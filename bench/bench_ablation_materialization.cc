@@ -1,0 +1,59 @@
+// Ablation A3: eager materialization strategy (§4.3): Q variable
+// assignments can materialize physically (CREATE TEMPORARY TABLE AS) or
+// logically (CREATE TEMPORARY VIEW). Physical pays the copy once and reads
+// it back cheaply; logical re-evaluates the defining query every time the
+// variable is referenced.
+
+#include <benchmark/benchmark.h>
+
+#include "bench/workload.h"
+#include "core/hyperq.h"
+
+namespace hyperq {
+namespace bench {
+namespace {
+
+sqldb::Database* SharedDb() {
+  static sqldb::Database* db = []() {
+    auto* d = new sqldb::Database();
+    Status s = LoadAnalyticalWorkload(d, WorkloadOptions{});
+    if (!s.ok()) std::abort();
+    return d;
+  }();
+  return db;
+}
+
+// Example 3's pattern: assign a filtered intermediate, then aggregate it —
+// here the intermediate is referenced several times.
+const char kProgram[] =
+    "dt: select sym, f0, f1 from wide_facts where f0>0.5;"
+    "a: exec max f0 from dt;"
+    "b: exec min f1 from dt;"
+    "exec count f0 from dt";
+
+void RunWith(benchmark::State& state, MaterializeMode mode) {
+  for (auto _ : state) {
+    HyperQSession::Options opts;
+    opts.translator.materialize = mode;
+    HyperQSession session(SharedDb(), opts);
+    auto r = session.Query(kProgram);
+    if (!r.ok()) state.SkipWithError(r.status().ToString().c_str());
+    benchmark::DoNotOptimize(r);
+  }
+}
+
+void BM_PhysicalTempTable(benchmark::State& state) {
+  RunWith(state, MaterializeMode::kPhysical);
+}
+BENCHMARK(BM_PhysicalTempTable)->Unit(benchmark::kMillisecond);
+
+void BM_LogicalView(benchmark::State& state) {
+  RunWith(state, MaterializeMode::kLogical);
+}
+BENCHMARK(BM_LogicalView)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace bench
+}  // namespace hyperq
+
+BENCHMARK_MAIN();

@@ -1,0 +1,86 @@
+// Ablation A6: the transparency rule's order elision (§3.3): "consider a
+// nested query in which the outer query performs a scalar aggregation on
+// the result of the inner query. In this case, the Xformer can remove the
+// ordering requirement on the inner query." With the rule disabled, every
+// subtree keeps its ordering machinery: the implicit order column survives
+// pruning and the final result pays an ORDER BY it does not need.
+
+#include <benchmark/benchmark.h>
+
+#include "bench/workload.h"
+#include "core/hyperq.h"
+
+namespace hyperq {
+namespace bench {
+namespace {
+
+sqldb::Database* SharedDb() {
+  static sqldb::Database* db = []() {
+    auto* d = new sqldb::Database();
+    Status s = LoadAnalyticalWorkload(d, WorkloadOptions{});
+    if (!s.ok()) std::abort();
+    return d;
+  }();
+  return db;
+}
+
+// Scalar aggregation over a filtered subset: order-insensitive by
+// definition.
+const char kScalarAgg[] =
+    "exec sum f0 from wide_facts where f1>0.25";
+// Row result: order is load-bearing, the rule must keep it.
+const char kRowResult[] = "select sym, f0 from wide_facts where f1>0.25";
+
+void RunWith(benchmark::State& state, const char* query, bool elision) {
+  HyperQSession::Options opts;
+  opts.translator.xformer.order_elision = elision;
+  HyperQSession session(SharedDb(), opts);
+  auto t = session.Translate(query);
+  if (!t.ok()) {
+    state.SkipWithError(t.status().ToString().c_str());
+    return;
+  }
+  for (auto _ : state) {
+    auto r = session.gateway().Execute(t->result_sql);
+    if (!r.ok()) state.SkipWithError(r.status().ToString().c_str());
+    benchmark::DoNotOptimize(r);
+  }
+  auto count_occurrences = [&](const char* needle) {
+    size_t n = 0, pos = 0;
+    while ((pos = t->result_sql.find(needle, pos)) != std::string::npos) {
+      ++n;
+      pos += 1;
+    }
+    return static_cast<double>(n);
+  };
+  state.counters["order_by_count"] = count_occurrences("ORDER BY");
+  // Without elision the implicit order column survives pruning and is
+  // dragged through every subquery.
+  state.counters["ordcol_refs"] = count_occurrences("ordcol");
+}
+
+void BM_ScalarAggWithElision(benchmark::State& state) {
+  RunWith(state, kScalarAgg, true);
+}
+BENCHMARK(BM_ScalarAggWithElision)->Unit(benchmark::kMillisecond);
+
+void BM_ScalarAggWithoutElision(benchmark::State& state) {
+  RunWith(state, kScalarAgg, false);
+}
+BENCHMARK(BM_ScalarAggWithoutElision)->Unit(benchmark::kMillisecond);
+
+void BM_RowResultWithElision(benchmark::State& state) {
+  RunWith(state, kRowResult, true);
+}
+BENCHMARK(BM_RowResultWithElision)->Unit(benchmark::kMillisecond);
+
+void BM_RowResultWithoutElision(benchmark::State& state) {
+  RunWith(state, kRowResult, false);
+}
+BENCHMARK(BM_RowResultWithoutElision)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace bench
+}  // namespace hyperq
+
+BENCHMARK_MAIN();

@@ -1,0 +1,90 @@
+// Ablation A5: the as-of join, "one of the most commonly used queries by
+// financial market analysts" (§2.2 Example 1). Compares the mini-kdb+
+// engine's native aj against Hyper-Q's SQL lowering (left outer join +
+// window function, Figure 2) executed on the analytical backend, sweeping
+// the quotes-table size. The real-time engine wins at small scale — the
+// gap is exactly the latency trade-off §2.1 describes; the analytical
+// path's value is capacity, not microseconds.
+
+#include <benchmark/benchmark.h>
+
+#include "core/hyperq.h"
+#include "kdb/engine.h"
+#include "testing/market_data.h"
+
+namespace hyperq {
+namespace bench {
+namespace {
+
+const char kAjQuery[] = "aj[`Symbol`Time; trades; quotes]";
+
+testing::MarketData DataFor(int64_t quotes) {
+  testing::MarketDataOptions opts;
+  opts.trades_per_symbol = 200 / opts.symbols.size();
+  opts.quotes_per_symbol =
+      static_cast<size_t>(quotes) / opts.symbols.size();
+  return testing::GenerateMarketData(opts);
+}
+
+void BM_KdbNativeAj(benchmark::State& state) {
+  testing::MarketData data = DataFor(state.range(0));
+  kdb::Interpreter interp;
+  interp.SetGlobal("trades", data.trades);
+  interp.SetGlobal("quotes", data.quotes);
+  for (auto _ : state) {
+    auto r = interp.EvalText(kAjQuery);
+    if (!r.ok()) state.SkipWithError(r.status().ToString().c_str());
+    benchmark::DoNotOptimize(r);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_KdbNativeAj)
+    ->Arg(1000)
+    ->Arg(10000)
+    ->Arg(50000)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_HyperQTranslatedAj(benchmark::State& state) {
+  testing::MarketData data = DataFor(state.range(0));
+  sqldb::Database db;
+  if (!LoadQTable(&db, "trades", data.trades).ok() ||
+      !LoadQTable(&db, "quotes", data.quotes).ok()) {
+    state.SkipWithError("load failed");
+    return;
+  }
+  HyperQSession session(&db);
+  for (auto _ : state) {
+    auto r = session.Query(kAjQuery);
+    if (!r.ok()) state.SkipWithError(r.status().ToString().c_str());
+    benchmark::DoNotOptimize(r);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_HyperQTranslatedAj)
+    ->Arg(1000)
+    ->Arg(10000)
+    ->Arg(50000)
+    ->Unit(benchmark::kMillisecond);
+
+/// Translation alone, to show it is noise next to either execution path.
+void BM_HyperQTranslateAjOnly(benchmark::State& state) {
+  testing::MarketData data = DataFor(1000);
+  sqldb::Database db;
+  if (!LoadQTable(&db, "trades", data.trades).ok() ||
+      !LoadQTable(&db, "quotes", data.quotes).ok()) {
+    state.SkipWithError("load failed");
+    return;
+  }
+  HyperQSession session(&db);
+  for (auto _ : state) {
+    auto t = session.Translate(kAjQuery);
+    benchmark::DoNotOptimize(t);
+  }
+}
+BENCHMARK(BM_HyperQTranslateAjOnly);
+
+}  // namespace
+}  // namespace bench
+}  // namespace hyperq
+
+BENCHMARK_MAIN();

@@ -1,0 +1,164 @@
+// Ablation A4: result-set format conversion cost (§4.2, Figure 5). QIPC is
+// column-oriented and ships a table as one message; PG v3 streams
+// row-oriented DataRow messages. Hyper-Q must buffer the whole PG result
+// and pivot rows into columns before answering the Q application. This
+// bench measures both encodings and the pivot across result sizes.
+
+#include <benchmark/benchmark.h>
+
+#include "common/bytes.h"
+#include "core/loader.h"
+#include "core/mdi.h"
+#include "protocol/pgwire/pgwire.h"
+#include "protocol/qipc/compress.h"
+#include "protocol/qipc/qipc.h"
+#include "testing/market_data.h"
+
+namespace hyperq {
+namespace bench {
+namespace {
+
+/// A TAQ-shaped result set of `rows` rows in both representations.
+struct Fixture {
+  QValue table;                 // column-oriented (Q side)
+  sqldb::QueryResult rows_fmt;  // row-oriented (PG side)
+};
+
+Fixture MakeFixture(int64_t rows) {
+  testing::MarketDataOptions opts;
+  opts.trades_per_symbol = static_cast<size_t>(rows) / opts.symbols.size();
+  opts.quotes_per_symbol = 1;
+  Fixture f;
+  f.table = testing::GenerateMarketData(opts).trades;
+
+  const QTable& t = f.table.Table();
+  for (size_t c = 0; c < t.names.size(); ++c) {
+    f.rows_fmt.columns.push_back(sqldb::TableColumn{
+        t.names[c], SqlTypeFromQType(t.columns[c].type())});
+  }
+  f.rows_fmt.has_rows = true;
+  size_t n = t.RowCount();
+  f.rows_fmt.rows.reserve(n);
+  for (size_t r = 0; r < n; ++r) {
+    std::vector<sqldb::Datum> row;
+    for (size_t c = 0; c < t.names.size(); ++c) {
+      auto d = DatumFromQ(t.columns[c], static_cast<int64_t>(r));
+      row.push_back(d.ok() ? *d : sqldb::Datum::Null());
+    }
+    f.rows_fmt.rows.push_back(std::move(row));
+  }
+  return f;
+}
+
+void BM_QipcEncodeTable(benchmark::State& state) {
+  Fixture f = MakeFixture(state.range(0));
+  for (auto _ : state) {
+    auto bytes = qipc::EncodeMessage(f.table, qipc::MsgType::kResponse);
+    benchmark::DoNotOptimize(bytes);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_QipcEncodeTable)->Arg(1000)->Arg(10000)->Arg(100000);
+
+void BM_QipcDecodeTable(benchmark::State& state) {
+  Fixture f = MakeFixture(state.range(0));
+  auto bytes = qipc::EncodeMessage(f.table, qipc::MsgType::kResponse);
+  for (auto _ : state) {
+    auto decoded = qipc::DecodeMessage(*bytes);
+    benchmark::DoNotOptimize(decoded);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_QipcDecodeTable)->Arg(1000)->Arg(10000)->Arg(100000);
+
+/// PG v3 DataRow encoding of the same result (the server side's work).
+void BM_PgWireEncodeRows(benchmark::State& state) {
+  Fixture f = MakeFixture(state.range(0));
+  for (auto _ : state) {
+    ByteWriter out;
+    for (const auto& row : f.rows_fmt.rows) {
+      ByteWriter dr;
+      dr.PutI16BE(static_cast<int16_t>(row.size()));
+      for (const auto& d : row) {
+        if (d.is_null()) {
+          dr.PutI32BE(-1);
+          continue;
+        }
+        std::string text = d.ToText();
+        dr.PutI32BE(static_cast<int32_t>(text.size()));
+        dr.PutString(text);
+      }
+      pgwire::WriteMessage(&out, pgwire::kMsgDataRow, dr.Take());
+    }
+    benchmark::DoNotOptimize(out);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_PgWireEncodeRows)->Arg(1000)->Arg(10000)->Arg(100000);
+
+/// The row->column pivot Hyper-Q performs after buffering the PG stream.
+void BM_PivotRowsToColumns(benchmark::State& state) {
+  Fixture f = MakeFixture(state.range(0));
+  for (auto _ : state) {
+    auto q = QValueFromResult(f.rows_fmt, ResultShape::kTable, {});
+    benchmark::DoNotOptimize(q);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_PivotRowsToColumns)->Arg(1000)->Arg(10000)->Arg(100000);
+
+/// Whole result leg: pivot + QIPC encode (what the Endpoint does per
+/// response).
+void BM_FullResultLeg(benchmark::State& state) {
+  Fixture f = MakeFixture(state.range(0));
+  for (auto _ : state) {
+    auto q = QValueFromResult(f.rows_fmt, ResultShape::kTable, {});
+    auto bytes = qipc::EncodeMessage(*q, qipc::MsgType::kResponse);
+    benchmark::DoNotOptimize(bytes);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_FullResultLeg)->Arg(1000)->Arg(10000)->Arg(100000);
+
+/// kdb+ IPC compression of a market-data table message (§3.1).
+void BM_QipcCompress(benchmark::State& state) {
+  Fixture f = MakeFixture(state.range(0));
+  auto plain = qipc::EncodeMessage(f.table, qipc::MsgType::kResponse);
+  if (!plain.ok()) {
+    state.SkipWithError("encode failed");
+    return;
+  }
+  size_t compressed_size = 0;
+  for (auto _ : state) {
+    auto packed = qipc::CompressMessage(*plain);
+    compressed_size = packed.size();
+    benchmark::DoNotOptimize(packed);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+  state.counters["ratio"] =
+      static_cast<double>(plain->size()) /
+      static_cast<double>(compressed_size);
+}
+BENCHMARK(BM_QipcCompress)->Arg(10000)->Arg(100000);
+
+void BM_QipcDecompress(benchmark::State& state) {
+  Fixture f = MakeFixture(state.range(0));
+  auto plain = qipc::EncodeMessage(f.table, qipc::MsgType::kResponse);
+  auto packed = qipc::CompressMessage(*plain);
+  if (!qipc::IsCompressedMessage(packed)) {
+    state.SkipWithError("data did not compress");
+    return;
+  }
+  for (auto _ : state) {
+    auto restored = qipc::DecompressMessage(packed);
+    benchmark::DoNotOptimize(restored);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_QipcDecompress)->Arg(10000)->Arg(100000);
+
+}  // namespace
+}  // namespace bench
+}  // namespace hyperq
+
+BENCHMARK_MAIN();

@@ -1,0 +1,44 @@
+#ifndef HYPERQ_BENCH_WORKLOAD_H_
+#define HYPERQ_BENCH_WORKLOAD_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "sqldb/database.h"
+
+namespace hyperq {
+namespace bench {
+
+/// The synthetic stand-in for §6's customer Analytical Workload:
+/// "25 queries that involve three or more wide tables (e.g., tables with
+/// more than 500 columns), joins, and various kinds of analytical
+/// aggregate functions."
+///
+/// Tables (all carry the implicit ordcol):
+///   wide_facts  (sym, t, f0..f497)           — 500 columns
+///   wide_dims   (sym keyed, d0..d498)        — 500 columns
+///   wide_dims2  (sym keyed, g0..g498)        — 500 columns
+///   wide_events (sym, t, e0..e497)           — 500 columns
+struct WorkloadOptions {
+  uint64_t seed = 7;
+  size_t fact_rows = 2000;
+  size_t dim_rows = 64;
+  size_t event_rows = 2000;
+  size_t wide_cols = 498;  ///< payload columns per table (+key columns)
+  size_t symbols = 16;
+};
+
+/// Creates and loads the four wide tables into the backend.
+Status LoadAnalyticalWorkload(sqldb::Database* db,
+                              const WorkloadOptions& options);
+
+/// The 25 Q queries of the Analytical Workload. Queries 10, 18, 19 and 20
+/// join more tables than the rest — the paper calls these out as the ones
+/// with the highest translation times.
+std::vector<std::string> AnalyticalQueries();
+
+}  // namespace bench
+}  // namespace hyperq
+
+#endif  // HYPERQ_BENCH_WORKLOAD_H_

@@ -1,0 +1,75 @@
+// Quickstart: the smallest end-to-end Hyper-Q deployment.
+//
+//   Q application --QIPC--> Hyper-Q --SQL--> PG-compatible backend
+//
+// This program plays all three roles in one process: it loads a table into
+// the analytical backend, starts a Hyper-Q server on the port a kdb+
+// server would own (§3.1), then connects as an unchanged Q application and
+// runs Q queries that execute as SQL.
+//
+// Build & run:
+//   cmake -B build -G Ninja && cmake --build build
+//   ./build/examples/quickstart
+
+#include <cstdio>
+
+#include "core/endpoint.h"
+#include "kdb/engine.h"
+
+using hyperq::HyperQServer;
+using hyperq::LoadQTable;
+using hyperq::QipcClient;
+using hyperq::QValue;
+
+int main() {
+  // 1. The analytical backend (Greenplum's role in the paper). Data is
+  //    loaded independently of Hyper-Q (§1) — here via the q loader, which
+  //    adds the implicit order column.
+  hyperq::sqldb::Database backend;
+  hyperq::kdb::Interpreter q;
+  auto table = q.EvalText(
+      "([] Symbol:`GOOG`IBM`GOOG`MSFT`IBM;"
+      "  Price:720.5 151.2 721.0 52.1 150.9;"
+      "  Size:100 200 150 300 120)");
+  if (!table.ok()) {
+    std::fprintf(stderr, "table build failed: %s\n",
+                 table.status().ToString().c_str());
+    return 1;
+  }
+  if (!LoadQTable(&backend, "trades", *table).ok()) return 1;
+
+  // 2. Hyper-Q takes over the kdb+ port (ephemeral here).
+  HyperQServer server(&backend, HyperQServer::Options{});
+  if (!server.Start(0).ok()) return 1;
+  std::printf("Hyper-Q listening on 127.0.0.1:%u\n\n", server.port());
+
+  // 3. The unchanged Q application connects and speaks plain q.
+  auto client = QipcClient::Connect("127.0.0.1", server.port(), "quant",
+                                    "password");
+  if (!client.ok()) {
+    std::fprintf(stderr, "connect failed: %s\n",
+                 client.status().ToString().c_str());
+    return 1;
+  }
+
+  const char* queries[] = {
+      "select from trades",
+      "select Price from trades where Symbol=`GOOG",
+      "select vwap: Size wavg Price by Symbol from trades",
+      "exec max Price from trades",
+  };
+  for (const char* query : queries) {
+    std::printf("q) %s\n", query);
+    auto result = client->Query(query);
+    if (!result.ok()) {
+      std::printf("   error: %s\n\n", result.status().ToString().c_str());
+      continue;
+    }
+    std::printf("%s\n", result->ToString().c_str());
+  }
+
+  client->Close();
+  server.Stop();
+  std::printf("done.\n");
+  return 0;
+}

@@ -1,0 +1,82 @@
+// The side-by-side testing framework of §5 as a user-facing tool: "we
+// built a side-by-side testing framework, which can be used for internal
+// testing of features, and also used by the customers in their staging
+// environments to ensure correctness of operation."
+//
+// Every query in the suite runs on the reference mini-kdb+ engine and
+// through Hyper-Q on the analytical backend; the tool prints a pass/fail
+// report with the generated SQL for any mismatch.
+
+#include <cstdio>
+#include <vector>
+
+#include "testing/market_data.h"
+#include "testing/side_by_side.h"
+
+int main() {
+  hyperq::testing::SideBySideHarness harness;
+
+  hyperq::testing::MarketDataOptions opts;
+  opts.trades_per_symbol = 60;
+  opts.quotes_per_symbol = 180;
+  auto data = hyperq::testing::GenerateMarketData(opts);
+  if (!harness.LoadTable("trades", data.trades).ok() ||
+      !harness.LoadTable("quotes", data.quotes).ok()) {
+    std::fprintf(stderr, "load failed\n");
+    return 1;
+  }
+
+  std::vector<std::string> suite = {
+      "select from trades",
+      "select Symbol, Price from trades where Price>120",
+      "select from trades where Symbol in `AAPL`GOOG",
+      "select mx: max Price, mn: min Price by Symbol from trades",
+      "select vwap: Size wavg Price by Symbol from trades",
+      "select n: count Price by Symbol from trades where Size>1000",
+      "exec sum Size from trades",
+      "update notional: Price*Size from trades",
+      "delete Size from trades",
+      "`Price xdesc trades",
+      "10#trades",
+      "-10#trades",
+      "distinct select Symbol from trades",
+      "aj[`Symbol`Time; trades; quotes]",
+      "f: {[S] :exec max Price from trades where Symbol=S}; f[`GOOG]",
+      "select s: sums Size from trades where Symbol=`IBM",
+      "select d: deltas Price from trades where Symbol=`AAPL",
+      "select avg Price by bucket: 1000 xbar Size from trades",
+      "select from trades where Price=(max;Price) fby Symbol",
+      "select[5;>Price] from trades",
+      "update mx: max Price by Symbol from trades",
+      "select nosuchcol from trades",  // both engines reject: AGREE-ERR
+  };
+
+  int passed = 0;
+  int agreed_fail = 0;
+  int failed = 0;
+  for (const auto& q : suite) {
+    auto c = harness.Run(q);
+    const char* verdict = c.match ? (c.both_failed ? "AGREE-ERR" : "PASS")
+                                  : "FAIL";
+    std::printf("[%-9s] %s\n", verdict, q.c_str());
+    if (c.match && !c.both_failed) {
+      ++passed;
+    } else if (c.both_failed) {
+      ++agreed_fail;
+    } else {
+      ++failed;
+      std::printf("    kdb:    %s\n",
+                  c.kdb_error.empty() ? c.kdb_result.ToString().c_str()
+                                      : c.kdb_error.c_str());
+      std::printf("    hyperq: %s\n",
+                  c.hyperq_error.empty()
+                      ? c.hyperq_result.ToString().c_str()
+                      : c.hyperq_error.c_str());
+      if (!c.sql.empty()) std::printf("    sql: %s\n", c.sql.c_str());
+    }
+  }
+  std::printf(
+      "\n%d passed, %d agreed-on-error, %d mismatched (of %zu queries)\n",
+      passed, agreed_fail, failed, suite.size());
+  return failed == 0 ? 0 : 1;
+}

@@ -1,0 +1,40 @@
+#include "algebrizer/scopes.h"
+
+#include "common/strings.h"
+
+namespace hyperq {
+
+Result<VarBinding> VariableScopes::Lookup(const std::string& name) const {
+  // Local scopes shadow session which shadows server (Figure 3).
+  for (auto it = locals_.rbegin(); it != locals_.rend(); ++it) {
+    auto found = it->find(name);
+    if (found != it->end()) return found->second;
+  }
+  auto s = session_.find(name);
+  if (s != session_.end()) return s->second;
+  if (mdi_ != nullptr && mdi_->HasTable(name)) {
+    VarBinding b;
+    b.kind = VarBinding::Kind::kRelation;
+    b.table = name;
+    return b;
+  }
+  return NotFound(StrCat(
+      "'", name,
+      "' is not defined in any scope (local, session, or server catalog)"));
+}
+
+void VariableScopes::Upsert(const std::string& name, VarBinding binding) {
+  if (!locals_.empty()) {
+    // Local upserts never get promoted to higher scopes (§3.2.3).
+    locals_.back()[name] = std::move(binding);
+    return;
+  }
+  session_[name] = std::move(binding);
+}
+
+void VariableScopes::UpsertSession(const std::string& name,
+                                   VarBinding binding) {
+  session_[name] = std::move(binding);
+}
+
+}  // namespace hyperq

@@ -1,0 +1,70 @@
+#ifndef HYPERQ_ALGEBRIZER_SCOPES_H_
+#define HYPERQ_ALGEBRIZER_SCOPES_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "algebrizer/metadata.h"
+#include "qval/qvalue.h"
+
+namespace hyperq {
+
+/// What a Q variable name is bound to during translation.
+struct VarBinding {
+  enum class Kind {
+    kScalar,    ///< constant value held in Hyper-Q's variable store
+    kRelation,  ///< backend table/temp table (physical materialization)
+    kFunction,  ///< lambda stored as text (§4.3)
+  };
+  Kind kind = Kind::kScalar;
+  QValue scalar;
+  std::string table;  ///< backend relation name for kRelation
+  QValue function;    ///< QLambda value for kFunction
+};
+
+/// The three-level variable scope hierarchy of §3.2.3 / Figure 3:
+///   local scope (function bodies) -> session scope -> server scope (MDI).
+/// Lookups walk up the hierarchy; upserts inside a function stay local
+/// (never promoted), upserts outside go to the session scope. Session
+/// variables are promoted to the server on session destruction — the
+/// platform (core/session) performs that step since it owns the backend.
+class VariableScopes {
+ public:
+  explicit VariableScopes(MetadataInterface* mdi) : mdi_(mdi) {}
+
+  /// Enters/leaves a function body's local scope.
+  void PushLocal() { locals_.emplace_back(); }
+  void PopLocal() { locals_.pop_back(); }
+  bool InFunction() const { return !locals_.empty(); }
+
+  /// Resolves a name: innermost local scopes first, then session, then the
+  /// server scope through the MDI (tables become kRelation bindings).
+  Result<VarBinding> Lookup(const std::string& name) const;
+
+  /// Definition/redefinition per Figure 3: local when inside a function,
+  /// session otherwise.
+  void Upsert(const std::string& name, VarBinding binding);
+
+  /// Direct session-scope definition (used when the platform materializes
+  /// a variable into a backend temp table).
+  void UpsertSession(const std::string& name, VarBinding binding);
+
+  /// Session-scope variables, exposed so the platform can promote them to
+  /// the server scope when the session is destroyed (§3.2.3).
+  const std::unordered_map<std::string, VarBinding>& session_vars() const {
+    return session_;
+  }
+
+  MetadataInterface* mdi() const { return mdi_; }
+
+ private:
+  MetadataInterface* mdi_;
+  std::vector<std::unordered_map<std::string, VarBinding>> locals_;
+  std::unordered_map<std::string, VarBinding> session_;
+};
+
+}  // namespace hyperq
+
+#endif  // HYPERQ_ALGEBRIZER_SCOPES_H_

@@ -1,0 +1,108 @@
+#ifndef HYPERQ_COMMON_BYTES_H_
+#define HYPERQ_COMMON_BYTES_H_
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+
+namespace hyperq {
+
+/// Growable byte sink used to assemble wire-protocol messages.
+///
+/// QIPC is little-endian (the handshake advertises architecture), while the
+/// PostgreSQL v3 protocol is big-endian (network order); both writers live
+/// here so each protocol plugin picks the byte order it needs.
+class ByteWriter {
+ public:
+  const std::vector<uint8_t>& data() const { return buffer_; }
+  std::vector<uint8_t> Take() { return std::move(buffer_); }
+  size_t size() const { return buffer_.size(); }
+
+  void PutU8(uint8_t v) { buffer_.push_back(v); }
+  void PutBytes(const void* data, size_t len) {
+    const uint8_t* p = static_cast<const uint8_t*>(data);
+    buffer_.insert(buffer_.end(), p, p + len);
+  }
+  void PutString(std::string_view s) { PutBytes(s.data(), s.size()); }
+  /// Writes the string followed by a NUL terminator (PG v3 string fields).
+  void PutCString(std::string_view s) {
+    PutString(s);
+    PutU8(0);
+  }
+
+  void PutU16LE(uint16_t v);
+  void PutU32LE(uint32_t v);
+  void PutU64LE(uint64_t v);
+  void PutI16LE(int16_t v) { PutU16LE(static_cast<uint16_t>(v)); }
+  void PutI32LE(int32_t v) { PutU32LE(static_cast<uint32_t>(v)); }
+  void PutI64LE(int64_t v) { PutU64LE(static_cast<uint64_t>(v)); }
+  void PutF64LE(double v);
+
+  void PutU16BE(uint16_t v);
+  void PutU32BE(uint32_t v);
+  void PutU64BE(uint64_t v);
+  void PutI16BE(int16_t v) { PutU16BE(static_cast<uint16_t>(v)); }
+  void PutI32BE(int32_t v) { PutU32BE(static_cast<uint32_t>(v)); }
+  void PutI64BE(int64_t v) { PutU64BE(static_cast<uint64_t>(v)); }
+  void PutF64BE(double v);
+
+  /// Overwrites 4 bytes at `offset` with `v` in big-endian order. Used to
+  /// back-patch PG v3 message lengths after the body is written.
+  void PatchU32BE(size_t offset, uint32_t v);
+  /// Little-endian variant for QIPC message headers.
+  void PatchU32LE(size_t offset, uint32_t v);
+
+ private:
+  std::vector<uint8_t> buffer_;
+};
+
+/// Bounds-checked cursor over a received wire message.
+class ByteReader {
+ public:
+  ByteReader(const uint8_t* data, size_t size) : data_(data), size_(size) {}
+  explicit ByteReader(const std::vector<uint8_t>& buf)
+      : data_(buf.data()), size_(buf.size()) {}
+
+  size_t position() const { return pos_; }
+  size_t remaining() const { return size_ - pos_; }
+  bool AtEnd() const { return pos_ >= size_; }
+
+  Result<uint8_t> GetU8();
+  Result<uint16_t> GetU16LE();
+  Result<uint32_t> GetU32LE();
+  Result<uint64_t> GetU64LE();
+  Result<int16_t> GetI16LE();
+  Result<int32_t> GetI32LE();
+  Result<int64_t> GetI64LE();
+  Result<double> GetF64LE();
+
+  Result<uint16_t> GetU16BE();
+  Result<uint32_t> GetU32BE();
+  Result<uint64_t> GetU64BE();
+  Result<int16_t> GetI16BE();
+  Result<int32_t> GetI32BE();
+  Result<int64_t> GetI64BE();
+  Result<double> GetF64BE();
+
+  /// Reads exactly `len` bytes.
+  Result<std::vector<uint8_t>> GetBytes(size_t len);
+  /// Reads `len` bytes as a string.
+  Result<std::string> GetString(size_t len);
+  /// Reads up to (and consuming) a NUL terminator.
+  Result<std::string> GetCString();
+
+ private:
+  Status Need(size_t n) const;
+
+  const uint8_t* data_;
+  size_t size_;
+  size_t pos_ = 0;
+};
+
+}  // namespace hyperq
+
+#endif  // HYPERQ_COMMON_BYTES_H_

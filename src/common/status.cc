@@ -1,0 +1,82 @@
+#include "common/status.h"
+
+namespace hyperq {
+
+const char* StatusCodeName(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk:
+      return "OK";
+    case StatusCode::kParseError:
+      return "ParseError";
+    case StatusCode::kBindError:
+      return "BindError";
+    case StatusCode::kTypeError:
+      return "TypeError";
+    case StatusCode::kUnsupported:
+      return "Unsupported";
+    case StatusCode::kNotFound:
+      return "NotFound";
+    case StatusCode::kAlreadyExists:
+      return "AlreadyExists";
+    case StatusCode::kExecutionError:
+      return "ExecutionError";
+    case StatusCode::kProtocolError:
+      return "ProtocolError";
+    case StatusCode::kAuthError:
+      return "AuthError";
+    case StatusCode::kNetworkError:
+      return "NetworkError";
+    case StatusCode::kInvalidArgument:
+      return "InvalidArgument";
+    case StatusCode::kInternal:
+      return "Internal";
+  }
+  return "Unknown";
+}
+
+std::string Status::ToString() const {
+  if (ok()) return "OK";
+  std::string out = StatusCodeName(code_);
+  out += ": ";
+  out += message_;
+  return out;
+}
+
+Status ParseError(std::string message) {
+  return Status(StatusCode::kParseError, std::move(message));
+}
+Status BindError(std::string message) {
+  return Status(StatusCode::kBindError, std::move(message));
+}
+Status TypeError(std::string message) {
+  return Status(StatusCode::kTypeError, std::move(message));
+}
+Status Unsupported(std::string message) {
+  return Status(StatusCode::kUnsupported, std::move(message));
+}
+Status NotFound(std::string message) {
+  return Status(StatusCode::kNotFound, std::move(message));
+}
+Status AlreadyExists(std::string message) {
+  return Status(StatusCode::kAlreadyExists, std::move(message));
+}
+Status ExecutionError(std::string message) {
+  return Status(StatusCode::kExecutionError, std::move(message));
+}
+Status ProtocolError(std::string message) {
+  return Status(StatusCode::kProtocolError, std::move(message));
+}
+Status AuthError(std::string message) {
+  return Status(StatusCode::kAuthError, std::move(message));
+}
+Status NetworkError(std::string message) {
+  return Status(StatusCode::kNetworkError, std::move(message));
+}
+Status InvalidArgument(std::string message) {
+  return Status(StatusCode::kInvalidArgument, std::move(message));
+}
+Status InternalError(std::string message) {
+  return Status(StatusCode::kInternal, std::move(message));
+}
+
+}  // namespace hyperq

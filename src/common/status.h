@@ -1,0 +1,133 @@
+#ifndef HYPERQ_COMMON_STATUS_H_
+#define HYPERQ_COMMON_STATUS_H_
+
+#include <cassert>
+#include <optional>
+#include <string>
+#include <utility>
+
+namespace hyperq {
+
+/// Error categories used across the platform. The taxonomy mirrors the
+/// paper's failure surfaces: language errors from the Q front end, semantic
+/// (binding) errors, translation gaps, backend (SQL) errors, and protocol or
+/// network failures.
+enum class StatusCode {
+  kOk = 0,
+  kParseError,        ///< Q or SQL text could not be parsed.
+  kBindError,         ///< Semantic analysis failed (unknown name, bad types).
+  kTypeError,         ///< Operand types invalid for an operation.
+  kUnsupported,       ///< Valid Q, but no SQL translation implemented yet.
+  kNotFound,          ///< Catalog or scope lookup miss.
+  kAlreadyExists,     ///< Object creation conflicts with the catalog.
+  kExecutionError,    ///< Backend execution failed.
+  kProtocolError,     ///< Malformed wire message.
+  kAuthError,         ///< Handshake / authentication rejected.
+  kNetworkError,      ///< Socket level failure.
+  kInvalidArgument,   ///< API misuse.
+  kInternal,          ///< Invariant violation inside Hyper-Q.
+};
+
+/// Returns a stable human-readable name, e.g. "ParseError".
+const char* StatusCodeName(StatusCode code);
+
+/// Result of a fallible operation. Hyper-Q does not use C++ exceptions; all
+/// fallible paths return Status or Result<T>.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status OK() { return Status(); }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// Formats as "<CodeName>: <message>"; "OK" when ok().
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && message_ == other.message_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+/// Shorthand factories matching the StatusCode taxonomy.
+Status ParseError(std::string message);
+Status BindError(std::string message);
+Status TypeError(std::string message);
+Status Unsupported(std::string message);
+Status NotFound(std::string message);
+Status AlreadyExists(std::string message);
+Status ExecutionError(std::string message);
+Status ProtocolError(std::string message);
+Status AuthError(std::string message);
+Status NetworkError(std::string message);
+Status InvalidArgument(std::string message);
+Status InternalError(std::string message);
+
+/// Holds either a value of type T or an error Status. Access to value() on
+/// an error result aborts in debug builds; callers must check ok() first.
+template <typename T>
+class Result {
+ public:
+  /// Implicit conversion from a value makes `return value;` work.
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  /// Implicit conversion from an error Status.
+  Result(Status status) : status_(std::move(status)) {  // NOLINT
+    assert(!status_.ok() && "Result constructed from OK status without value");
+  }
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+/// Propagates an error Status from a Status-returning expression.
+#define HQ_RETURN_IF_ERROR(expr)                   \
+  do {                                             \
+    ::hyperq::Status hq_status_ = (expr);          \
+    if (!hq_status_.ok()) return hq_status_;       \
+  } while (false)
+
+#define HQ_CONCAT_IMPL(a, b) a##b
+#define HQ_CONCAT(a, b) HQ_CONCAT_IMPL(a, b)
+
+/// Evaluates a Result<T>-returning expression; on success binds the value to
+/// `lhs`, on error propagates the Status.
+#define HQ_ASSIGN_OR_RETURN(lhs, expr)                       \
+  auto HQ_CONCAT(hq_result_, __LINE__) = (expr);             \
+  if (!HQ_CONCAT(hq_result_, __LINE__).ok())                 \
+    return HQ_CONCAT(hq_result_, __LINE__).status();         \
+  lhs = std::move(HQ_CONCAT(hq_result_, __LINE__)).value()
+
+}  // namespace hyperq
+
+#endif  // HYPERQ_COMMON_STATUS_H_

@@ -1,0 +1,41 @@
+#ifndef HYPERQ_COMMON_STRINGS_H_
+#define HYPERQ_COMMON_STRINGS_H_
+
+#include <sstream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace hyperq {
+
+/// Joins `parts` with `sep` between consecutive elements.
+std::string Join(const std::vector<std::string>& parts, std::string_view sep);
+
+/// Splits `text` on every occurrence of `sep`; keeps empty pieces.
+std::vector<std::string> Split(std::string_view text, char sep);
+
+/// ASCII lower-casing (SQL keywords are case-insensitive).
+std::string ToLower(std::string_view text);
+std::string ToUpper(std::string_view text);
+
+/// Case-insensitive ASCII comparison.
+bool EqualsIgnoreCase(std::string_view a, std::string_view b);
+
+/// Removes leading and trailing ASCII whitespace.
+std::string_view StripWhitespace(std::string_view text);
+
+bool StartsWith(std::string_view text, std::string_view prefix);
+bool EndsWith(std::string_view text, std::string_view suffix);
+
+/// Concatenates stream-formattable arguments into one string. Used for
+/// building error messages: StrCat("unknown column '", name, "'").
+template <typename... Args>
+std::string StrCat(const Args&... args) {
+  std::ostringstream os;
+  (os << ... << args);
+  return os.str();
+}
+
+}  // namespace hyperq
+
+#endif  // HYPERQ_COMMON_STRINGS_H_

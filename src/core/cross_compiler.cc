@@ -1,0 +1,80 @@
+#include "core/cross_compiler.h"
+
+#include "core/loader.h"
+
+namespace hyperq {
+
+Result<QValue> CrossCompiler::Process(const std::string& q_text,
+                                      StageTimings* timings,
+                                      std::string* executed_sql) {
+  // State shared between FSM callbacks (the translator-internal state the
+  // paper's FSMs maintain across re-entrant steps).
+  Translation translation;
+  sqldb::QueryResult backend_result;
+  QValue response;
+  Status failure = Status::OK();
+
+  Fsm<PtState, PtEvent> pt(PtState::kIdle, "protocol-translator");
+
+  pt.AddTransition(PtState::kIdle, PtEvent::kRequestArrived,
+                   PtState::kParsingRequest, nullptr);
+
+  // PT extracted the query; hand it to the QT for translation.
+  pt.AddTransition(PtState::kParsingRequest, PtEvent::kQueryExtracted,
+                   PtState::kAwaitingTranslation, [&]() -> Status {
+                     Result<Translation> t = translator_->Translate(q_text);
+                     if (!t.ok()) return t.status();
+                     translation = std::move(t).value();
+                     return Status::OK();
+                   });
+
+  // Translation ready: dispatch the final SQL to the backend.
+  pt.AddTransition(
+      PtState::kAwaitingTranslation, PtEvent::kTranslationReady,
+      PtState::kExecuting, [&]() -> Status {
+        if (translation.result_sql.empty()) {
+          // Pure assignment: nothing further to execute.
+          backend_result = sqldb::QueryResult{};
+          return Status::OK();
+        }
+        Result<sqldb::QueryResult> r =
+            gateway_->Execute(translation.result_sql);
+        if (!r.ok()) return r.status();
+        backend_result = std::move(r).value();
+        return Status::OK();
+      });
+
+  // Results arrived: pivot rows into the Q result format (§4.2).
+  pt.AddTransition(PtState::kExecuting, PtEvent::kResultsReady,
+                   PtState::kTranslatingResults, [&]() -> Status {
+                     if (!backend_result.has_rows) {
+                       response = QValue();  // assignments answer (::)
+                       return Status::OK();
+                     }
+                     Result<QValue> v = QValueFromResult(
+                         backend_result, translation.shape,
+                         translation.key_columns);
+                     if (!v.ok()) return v.status();
+                     response = std::move(v).value();
+                     return Status::OK();
+                   });
+
+  pt.AddTransition(PtState::kTranslatingResults,
+                   PtEvent::kResultsTranslated, PtState::kResponding,
+                   nullptr);
+  pt.AddTransition(PtState::kResponding, PtEvent::kResponseSent,
+                   PtState::kIdle, nullptr);
+
+  HQ_RETURN_IF_ERROR(pt.Fire(PtEvent::kRequestArrived));
+  HQ_RETURN_IF_ERROR(pt.Fire(PtEvent::kQueryExtracted));
+  HQ_RETURN_IF_ERROR(pt.Fire(PtEvent::kTranslationReady));
+  HQ_RETURN_IF_ERROR(pt.Fire(PtEvent::kResultsReady));
+  HQ_RETURN_IF_ERROR(pt.Fire(PtEvent::kResultsTranslated));
+  HQ_RETURN_IF_ERROR(pt.Fire(PtEvent::kResponseSent));
+
+  if (timings != nullptr) *timings = translation.timings;
+  if (executed_sql != nullptr) *executed_sql = translation.result_sql;
+  return response;
+}
+
+}  // namespace hyperq

@@ -1,0 +1,57 @@
+#ifndef HYPERQ_CORE_CROSS_COMPILER_H_
+#define HYPERQ_CORE_CROSS_COMPILER_H_
+
+#include <string>
+
+#include "core/fsm.h"
+#include "core/gateway.h"
+#include "core/query_translator.h"
+#include "qval/qvalue.h"
+
+namespace hyperq {
+
+/// The Cross Compiler (XC) of §3.4 / Figure 4: drives one request through
+/// the Protocol Translator / Query Translator split. The PT owns message
+/// handling (here: query text in, Q value out — the wire encodings live in
+/// the Endpoint/Gateway plugins); the QT owns the Q -> XTRA -> SQL
+/// translation. Both are modeled as FSMs whose callbacks perform the
+/// stage work, mirroring the paper's event-driven re-entrant design.
+class CrossCompiler {
+ public:
+  /// Protocol Translator states (request life cycle, §3 "Query Life
+  /// Cycle").
+  enum class PtState {
+    kIdle,
+    kParsingRequest,
+    kAwaitingTranslation,
+    kExecuting,
+    kTranslatingResults,
+    kResponding,
+  };
+  enum class PtEvent {
+    kRequestArrived,
+    kQueryExtracted,
+    kTranslationReady,
+    kResultsReady,
+    kResultsTranslated,
+    kResponseSent,
+  };
+
+  CrossCompiler(QueryTranslator* translator, BackendGateway* gateway)
+      : translator_(translator), gateway_(gateway) {}
+
+  /// Runs the full query life cycle for one Q request; returns the Q value
+  /// to send back. `timings` (optional) receives the translation stage
+  /// breakdown; `executed_sql` (optional) receives the final SQL text.
+  Result<QValue> Process(const std::string& q_text,
+                         StageTimings* timings = nullptr,
+                         std::string* executed_sql = nullptr);
+
+ private:
+  QueryTranslator* translator_;
+  BackendGateway* gateway_;
+};
+
+}  // namespace hyperq
+
+#endif  // HYPERQ_CORE_CROSS_COMPILER_H_

@@ -1,0 +1,179 @@
+#include "core/endpoint.h"
+
+#include <sys/socket.h>
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "common/strings.h"
+
+namespace hyperq {
+
+Status HyperQServer::Start(uint16_t port) {
+  HQ_ASSIGN_OR_RETURN(TcpListener listener, TcpListener::Listen(port));
+  port_ = listener.port();
+  listener_ = std::make_unique<TcpListener>(std::move(listener));
+  running_ = true;
+  accept_thread_ = std::make_unique<std::thread>([this]() { AcceptLoop(); });
+  return Status::OK();
+}
+
+void HyperQServer::Stop() {
+  if (!running_.exchange(false)) return;
+  if (listener_) listener_->Close();
+  if (accept_thread_ && accept_thread_->joinable()) accept_thread_->join();
+  {
+    // Wake workers blocked in recv on still-open client connections.
+    std::lock_guard<std::mutex> lock(conn_mu_);
+    for (int fd : active_fds_) ::shutdown(fd, SHUT_RDWR);
+  }
+  for (auto& w : workers_) {
+    if (w.joinable()) w.join();
+  }
+  workers_.clear();
+}
+
+void HyperQServer::AcceptLoop() {
+  while (running_) {
+    Result<TcpConnection> conn = listener_->Accept();
+    if (!conn.ok()) {
+      if (running_) {
+        HQ_LOG(Warning) << "qipc accept failed: "
+                        << conn.status().ToString();
+      }
+      return;
+    }
+    workers_.emplace_back([this, c = std::move(*conn)]() mutable {
+      HandleConnection(std::move(c));
+    });
+  }
+}
+
+void HyperQServer::RegisterFd(int fd) {
+  std::lock_guard<std::mutex> lock(conn_mu_);
+  active_fds_.push_back(fd);
+}
+
+void HyperQServer::UnregisterFd(int fd) {
+  std::lock_guard<std::mutex> lock(conn_mu_);
+  active_fds_.erase(std::remove(active_fds_.begin(), active_fds_.end(), fd),
+                    active_fds_.end());
+}
+
+void HyperQServer::HandleConnection(TcpConnection conn) {
+  RegisterFd(conn.fd());
+  struct Guard {
+    HyperQServer* s;
+    int fd;
+    ~Guard() { s->UnregisterFd(fd); }
+  } guard{this, conn.fd()};
+  // Handshake: read the NUL-terminated credential block (§4.2).
+  std::vector<uint8_t> creds;
+  while (true) {
+    Result<std::vector<uint8_t>> chunk = conn.ReadSome(256);
+    if (!chunk.ok() || chunk->empty()) return;
+    creds.insert(creds.end(), chunk->begin(), chunk->end());
+    if (creds.back() == 0) break;
+    if (creds.size() > 4096) return;  // junk
+  }
+  Result<qipc::HandshakeRequest> hs = qipc::DecodeHandshake(creds);
+  if (!hs.ok()) return;
+  if (!options_.user.empty() &&
+      (hs->user != options_.user || hs->password != options_.password)) {
+    // Rejected credentials: close immediately, as kdb+ does (§4.2).
+    return;
+  }
+  // Accept: single byte echoing a supported protocol version.
+  uint8_t accept_version = hs->version > 3 ? 3 : hs->version;
+  if (!conn.WriteAll(&accept_version, 1).ok()) return;
+
+  // One Hyper-Q session per connection (its own temp-table namespace and
+  // variable scopes).
+  HyperQSession session(backend_, options_.session);
+
+  while (running_) {
+    Result<std::vector<uint8_t>> header = conn.ReadExact(8);
+    if (!header.ok()) break;  // disconnect
+    Result<uint32_t> len = qipc::PeekMessageLength(header->data());
+    if (!len.ok() || *len < 9 || *len > (256u << 20)) break;
+    Result<std::vector<uint8_t>> rest = conn.ReadExact(*len - 8);
+    if (!rest.ok()) break;
+    std::vector<uint8_t> whole = std::move(*header);
+    whole.insert(whole.end(), rest->begin(), rest->end());
+
+    Result<qipc::DecodedMessage> msg = qipc::DecodeMessage(whole);
+    std::vector<uint8_t> reply;
+    if (!msg.ok()) {
+      reply = qipc::EncodeError(msg.status().ToString(),
+                                qipc::MsgType::kResponse);
+    } else if (msg->value.type() != QType::kChar) {
+      reply = qipc::EncodeError(
+          "expected a query string (char list) in the request",
+          qipc::MsgType::kResponse);
+    } else {
+      std::string q_text = msg->value.is_atom()
+                               ? std::string(1, msg->value.AsChar())
+                               : msg->value.CharsView();
+      Result<QValue> result = session.Query(q_text);
+      if (!result.ok()) {
+        reply = qipc::EncodeError(result.status().ToString(),
+                                  qipc::MsgType::kResponse);
+      } else {
+        Result<std::vector<uint8_t>> encoded =
+            options_.compress_responses
+                ? qipc::EncodeMessageCompressed(*result,
+                                                qipc::MsgType::kResponse)
+                : qipc::EncodeMessage(*result, qipc::MsgType::kResponse);
+        if (!encoded.ok()) {
+          reply = qipc::EncodeError(encoded.status().ToString(),
+                                    qipc::MsgType::kResponse);
+        } else {
+          reply = std::move(*encoded);
+        }
+      }
+      // Async messages expect no response.
+      if (msg->type == qipc::MsgType::kAsync) continue;
+    }
+    if (!conn.WriteAll(reply).ok()) break;
+  }
+  (void)session.Close();
+}
+
+Result<QipcClient> QipcClient::Connect(const std::string& host,
+                                       uint16_t port,
+                                       const std::string& user,
+                                       const std::string& password) {
+  HQ_ASSIGN_OR_RETURN(TcpConnection conn, TcpConnection::Connect(host, port));
+  std::vector<uint8_t> hs = qipc::EncodeHandshake(user, password);
+  HQ_RETURN_IF_ERROR(conn.WriteAll(hs));
+  Result<std::vector<uint8_t>> ack = conn.ReadExact(1);
+  if (!ack.ok()) {
+    return AuthError(
+        "connection rejected during QIPC handshake (bad credentials?)");
+  }
+  return QipcClient(std::move(conn));
+}
+
+Result<QValue> QipcClient::Query(const std::string& q_text) {
+  HQ_ASSIGN_OR_RETURN(
+      std::vector<uint8_t> msg,
+      qipc::EncodeMessage(QValue::Chars(q_text), qipc::MsgType::kSync));
+  HQ_RETURN_IF_ERROR(conn_.WriteAll(msg));
+
+  HQ_ASSIGN_OR_RETURN(std::vector<uint8_t> header, conn_.ReadExact(8));
+  HQ_ASSIGN_OR_RETURN(uint32_t len, qipc::PeekMessageLength(header.data()));
+  if (len < 9 || len > (256u << 20)) {
+    return ProtocolError(StrCat("implausible QIPC response length ", len));
+  }
+  HQ_ASSIGN_OR_RETURN(std::vector<uint8_t> rest, conn_.ReadExact(len - 8));
+  std::vector<uint8_t> whole = std::move(header);
+  whole.insert(whole.end(), rest.begin(), rest.end());
+  HQ_ASSIGN_OR_RETURN(qipc::DecodedMessage reply,
+                      qipc::DecodeMessage(whole));
+  if (reply.is_error) {
+    return ExecutionError(StrCat("'", reply.error));
+  }
+  return reply.value;
+}
+
+}  // namespace hyperq

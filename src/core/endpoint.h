@@ -1,0 +1,85 @@
+#ifndef HYPERQ_CORE_ENDPOINT_H_
+#define HYPERQ_CORE_ENDPOINT_H_
+
+#include <atomic>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/hyperq.h"
+#include "net/tcp.h"
+#include "protocol/qipc/qipc.h"
+
+namespace hyperq {
+
+/// The Endpoint plugin of Figure 1: listens on the port the original kdb+
+/// server would own (§3.1: "Hyper-Q takes over kdb+ server by listening to
+/// incoming messages on the port used by the original kdb+ server"),
+/// performs the QIPC handshake, extracts query text from incoming messages
+/// and runs each request through a per-connection HyperQSession.
+class HyperQServer {
+ public:
+  struct Options {
+    HyperQSession::Options session;
+    /// Empty user accepts any credentials (kdb+'s historical default of no
+    /// access control, §2.2); otherwise user/password must match.
+    std::string user;
+    std::string password;
+    /// Compress large responses with kdb+ IPC compression (§3.1). kdb+
+    /// compresses only for remote peers; the endpoint makes it opt-in.
+    bool compress_responses = false;
+  };
+
+  HyperQServer(sqldb::Database* backend, Options options)
+      : backend_(backend), options_(std::move(options)) {}
+  ~HyperQServer() { Stop(); }
+
+  /// Binds 127.0.0.1:port (0 = ephemeral) and serves until Stop().
+  Status Start(uint16_t port);
+  uint16_t port() const { return port_; }
+  void Stop();
+
+ private:
+  void AcceptLoop();
+  void HandleConnection(TcpConnection conn);
+  void RegisterFd(int fd);
+  void UnregisterFd(int fd);
+
+  sqldb::Database* backend_;
+  Options options_;
+  uint16_t port_ = 0;
+  std::unique_ptr<TcpListener> listener_;
+  std::unique_ptr<std::thread> accept_thread_;
+  std::vector<std::thread> workers_;
+  std::atomic<bool> running_{false};
+  std::mutex conn_mu_;
+  std::vector<int> active_fds_;
+};
+
+/// A minimal Q-application-side client: speaks QIPC exactly as a q process
+/// would (handshake, sync query messages, response/error decoding). Used by
+/// the examples and the end-to-end tests to play the role of the unchanged
+/// Q application.
+class QipcClient {
+ public:
+  static Result<QipcClient> Connect(const std::string& host, uint16_t port,
+                                    const std::string& user,
+                                    const std::string& password);
+
+  /// Sends a sync query and decodes the response (errors surface as
+  /// ExecutionError carrying the server's message).
+  Result<QValue> Query(const std::string& q_text);
+
+  void Close() { conn_.Close(); }
+
+ private:
+  explicit QipcClient(TcpConnection conn) : conn_(std::move(conn)) {}
+
+  TcpConnection conn_;
+};
+
+}  // namespace hyperq
+
+#endif  // HYPERQ_CORE_ENDPOINT_H_

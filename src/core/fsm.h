@@ -1,0 +1,72 @@
+#ifndef HYPERQ_CORE_FSM_H_
+#define HYPERQ_CORE_FSM_H_
+
+#include <functional>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+#include "common/strings.h"
+
+namespace hyperq {
+
+/// Finite State Machine as described for the Cross Compiler (§3.4): each
+/// translator process (Protocol Translator, Query Translator) maintains its
+/// internal state as an FSM; firing an event runs the transition's callback
+/// and advances the state, giving the re-entrant, callback-driven structure
+/// the paper attributes to XC.
+template <typename State, typename Event>
+class Fsm {
+ public:
+  using Callback = std::function<Status()>;
+
+  explicit Fsm(State initial, const char* name = "fsm")
+      : state_(initial), name_(name) {}
+
+  /// Registers `from --event--> to` running `cb` (may be null).
+  void AddTransition(State from, Event event, State to, Callback cb) {
+    transitions_[{from, event}] = {to, std::move(cb)};
+  }
+
+  State state() const { return state_; }
+  void Reset(State state) { state_ = state; }
+
+  /// Fires an event: rejects undefined transitions (protocol violations),
+  /// otherwise runs the callback and commits the new state. A failing
+  /// callback leaves the machine in the source state.
+  Status Fire(Event event) {
+    auto it = transitions_.find({state_, event});
+    if (it == transitions_.end()) {
+      return ProtocolError(StrCat(name_, ": event ",
+                                  static_cast<int>(event),
+                                  " is invalid in state ",
+                                  static_cast<int>(state_)));
+    }
+    if (it->second.callback) {
+      HQ_RETURN_IF_ERROR(it->second.callback());
+    }
+    state_ = it->second.to;
+    history_.push_back(state_);
+    return Status::OK();
+  }
+
+  /// States visited (after the initial one); used by tests.
+  const std::vector<State>& history() const { return history_; }
+
+ private:
+  struct Transition {
+    State to;
+    Callback callback;
+  };
+
+  State state_;
+  const char* name_;
+  std::map<std::pair<State, Event>, Transition> transitions_;
+  std::vector<State> history_;
+};
+
+}  // namespace hyperq
+
+#endif  // HYPERQ_CORE_FSM_H_

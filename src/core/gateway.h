@@ -1,0 +1,49 @@
+#ifndef HYPERQ_CORE_GATEWAY_H_
+#define HYPERQ_CORE_GATEWAY_H_
+
+#include <memory>
+#include <string>
+
+#include "common/status.h"
+#include "sqldb/database.h"
+
+namespace hyperq {
+
+/// The Gateway is the PG-side plugin of Figure 1: it carries SQL to the
+/// backend and results back. Implementations: an in-process gateway bound
+/// directly to the mini PG engine, and a wire gateway speaking the PG v3
+/// protocol over TCP (protocol/pgwire).
+class BackendGateway {
+ public:
+  virtual ~BackendGateway() = default;
+
+  virtual Result<sqldb::QueryResult> Execute(const std::string& sql) = 0;
+
+  /// Human-readable backend description for logs.
+  virtual std::string Describe() const = 0;
+};
+
+/// Direct in-process gateway: one backend session per gateway, giving the
+/// translator its temp-table namespace.
+class DirectGateway : public BackendGateway {
+ public:
+  explicit DirectGateway(sqldb::Database* db)
+      : db_(db), session_(db->CreateSession()) {}
+
+  Result<sqldb::QueryResult> Execute(const std::string& sql) override {
+    return db_->Execute(session_.get(), sql);
+  }
+
+  std::string Describe() const override { return "direct(sqldb)"; }
+
+  sqldb::Session* session() { return session_.get(); }
+  sqldb::Database* database() { return db_; }
+
+ private:
+  sqldb::Database* db_;
+  std::unique_ptr<sqldb::Session> session_;
+};
+
+}  // namespace hyperq
+
+#endif  // HYPERQ_CORE_GATEWAY_H_

@@ -1,0 +1,48 @@
+#ifndef HYPERQ_CORE_GATEWAY_WIRE_H_
+#define HYPERQ_CORE_GATEWAY_WIRE_H_
+
+#include <memory>
+#include <string>
+
+#include "common/strings.h"
+#include "core/gateway.h"
+#include "protocol/pgwire/pgwire.h"
+
+namespace hyperq {
+
+/// Gateway that reaches the backend over the PG v3 wire protocol — the
+/// deployment shape of Figure 1, where the backend is a separate
+/// PG-compatible MPP system. Hyper-Q "processes network traffic natively"
+/// rather than through an ODBC/JDBC driver (§3.1).
+class WireGateway : public BackendGateway {
+ public:
+  static Result<std::unique_ptr<WireGateway>> Connect(
+      const std::string& host, uint16_t port, const std::string& user,
+      const std::string& password) {
+    HQ_ASSIGN_OR_RETURN(pgwire::PgWireClient client,
+                        pgwire::PgWireClient::Connect(host, port, user,
+                                                      password));
+    return std::unique_ptr<WireGateway>(
+        new WireGateway(std::move(client), host, port));
+  }
+
+  Result<sqldb::QueryResult> Execute(const std::string& sql) override {
+    return client_.Query(sql);
+  }
+
+  std::string Describe() const override {
+    return StrCat("pgwire(", host_, ":", port_, ")");
+  }
+
+ private:
+  WireGateway(pgwire::PgWireClient client, std::string host, uint16_t port)
+      : client_(std::move(client)), host_(std::move(host)), port_(port) {}
+
+  pgwire::PgWireClient client_;
+  std::string host_;
+  uint16_t port_;
+};
+
+}  // namespace hyperq
+
+#endif  // HYPERQ_CORE_GATEWAY_WIRE_H_

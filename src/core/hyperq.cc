@@ -1,0 +1,26 @@
+#include "core/hyperq.h"
+
+#include "common/strings.h"
+#include "serializer/serializer.h"
+
+namespace hyperq {
+
+Status HyperQSession::Close() {
+  // Promote session-scope variables to the server scope (§3.2.3). Scalars
+  // have no server-side representation here and are dropped; materialized
+  // relations are copied into durable tables named after the variable.
+  for (const auto& [name, binding] : scopes_.session_vars()) {
+    if (binding.kind != VarBinding::Kind::kRelation) continue;
+    if (binding.table == name) continue;  // already durable
+    std::string ddl =
+        StrCat("CREATE TABLE ", Serializer::QuoteIdent(name),
+               " AS SELECT * FROM ", Serializer::QuoteIdent(binding.table));
+    Result<sqldb::QueryResult> r = gateway_->Execute(ddl);
+    if (!r.ok() && r.status().code() != StatusCode::kAlreadyExists) {
+      return r.status();
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace hyperq

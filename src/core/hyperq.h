@@ -1,0 +1,78 @@
+#ifndef HYPERQ_CORE_HYPERQ_H_
+#define HYPERQ_CORE_HYPERQ_H_
+
+#include <memory>
+#include <string>
+
+#include "core/cross_compiler.h"
+#include "core/gateway.h"
+#include "core/loader.h"
+#include "core/mdi.h"
+#include "core/metadata_cache.h"
+#include "core/query_translator.h"
+
+namespace hyperq {
+
+/// One Hyper-Q client session bound to a backend database: the composition
+/// root wiring Figure 1 together for in-process use — scopes, MDI + cache,
+/// Query Translator, Gateway and Cross Compiler. The network endpoints
+/// (QIPC server / PG wire) wrap this same object.
+class HyperQSession {
+ public:
+  struct Options {
+    QueryTranslator::Options translator;
+    MetadataCache::Options cache;
+  };
+
+  HyperQSession(sqldb::Database* backend, Options options = {})
+      : gateway_(std::make_unique<DirectGateway>(backend)),
+        raw_mdi_(backend, gateway_->session()),
+        cache_(&raw_mdi_, options.cache),
+        scopes_(&cache_),
+        translator_(&cache_, &scopes_, options.translator,
+                    [this](const std::string& sql) -> Status {
+                      Result<sqldb::QueryResult> r = gateway_->Execute(sql);
+                      return r.ok() ? Status::OK() : r.status();
+                    }),
+        xc_(&translator_, gateway_.get()) {
+    cache_.SetVersionProvider(
+        [this]() { return raw_mdi_.CatalogVersion(); });
+  }
+
+  /// Full query life cycle: Q text in, Q value out.
+  Result<QValue> Query(const std::string& q_text) {
+    return xc_.Process(q_text, &last_timings_, &last_sql_);
+  }
+
+  /// Translation only (no final execution); setup statements for
+  /// materialized variables still execute eagerly (§4.3).
+  Result<Translation> Translate(const std::string& q_text) {
+    return translator_.Translate(q_text);
+  }
+
+  /// Promotes session variables to the server scope (§3.2.3: "Session
+  /// variables are promoted to global (server) variables ... as part of
+  /// the session scope destruction"). Materialized variables become
+  /// durable backend tables named after the variable.
+  Status Close();
+
+  const StageTimings& last_timings() const { return last_timings_; }
+  const std::string& last_sql() const { return last_sql_; }
+  MetadataCache& metadata_cache() { return cache_; }
+  VariableScopes& scopes() { return scopes_; }
+  BackendGateway& gateway() { return *gateway_; }
+
+ private:
+  std::unique_ptr<DirectGateway> gateway_;
+  SqldbMetadata raw_mdi_;
+  MetadataCache cache_;
+  VariableScopes scopes_;
+  QueryTranslator translator_;
+  CrossCompiler xc_;
+  StageTimings last_timings_;
+  std::string last_sql_;
+};
+
+}  // namespace hyperq
+
+#endif  // HYPERQ_CORE_HYPERQ_H_

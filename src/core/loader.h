@@ -1,0 +1,40 @@
+#ifndef HYPERQ_CORE_LOADER_H_
+#define HYPERQ_CORE_LOADER_H_
+
+#include <string>
+#include <vector>
+
+#include "algebrizer/binder.h"
+#include "common/status.h"
+#include "qval/qvalue.h"
+#include "sqldb/database.h"
+
+namespace hyperq {
+
+/// Loads a Q table into the backend database, adding the implicit order
+/// column (ordcol) that preserves Q's ordered-list semantics (§2.2: "each Q
+/// table has an implicit order column. Providing implicit ordering using
+/// SQL requires database schema changes"). The paper assumes data is loaded
+/// into the underlying systems independently (§1); this is that loader.
+/// Keyed tables record their key columns in the catalog metadata.
+Status LoadQTable(sqldb::Database* db, const std::string& name,
+                  const QValue& table,
+                  const std::vector<std::string>& key_columns = {});
+
+/// Converts one Q column element to a backend datum.
+Result<sqldb::Datum> DatumFromQ(const QValue& column, int64_t row);
+
+/// Converts a backend result cell back into a Q atom.
+QValue QFromDatum(const sqldb::Datum& d);
+
+/// Converts a backend row set into a Q value of the requested shape,
+/// dropping Hyper-Q helper columns (ordcol, hq_*). This is the result leg
+/// of the Cross Compiler (§3.4): rows are pivoted into Q's column-oriented
+/// form (§4.2).
+Result<QValue> QValueFromResult(const sqldb::QueryResult& result,
+                                ResultShape shape,
+                                const std::vector<std::string>& key_columns);
+
+}  // namespace hyperq
+
+#endif  // HYPERQ_CORE_LOADER_H_

@@ -1,0 +1,144 @@
+#include "core/plugins.h"
+
+#include <cstdlib>
+
+#include "common/strings.h"
+#include "core/gateway_wire.h"
+
+namespace hyperq {
+
+namespace {
+
+/// Parses "host:port" into its parts.
+Result<std::pair<std::string, uint16_t>> SplitTarget(
+    const std::string& target) {
+  size_t colon = target.rfind(':');
+  if (colon == std::string::npos) {
+    return InvalidArgument(
+        StrCat("backend target '", target, "' must be host:port"));
+  }
+  int port = std::atoi(target.substr(colon + 1).c_str());
+  if (port <= 0 || port > 65535) {
+    return InvalidArgument(StrCat("invalid port in target '", target, "'"));
+  }
+  return std::make_pair(target.substr(0, colon),
+                        static_cast<uint16_t>(port));
+}
+
+}  // namespace
+
+PluginRegistry PluginRegistry::WithBuiltins() {
+  PluginRegistry reg;
+
+  EndpointPlugin kdb2;
+  kdb2.id = {"kdb+", 2};
+  kdb2.description = "QIPC endpoint (kdb+ v2 clients, no compression)";
+  kdb2.max_protocol_version = 2;
+  (void)reg.RegisterEndpoint(std::move(kdb2));
+
+  EndpointPlugin kdb3;
+  kdb3.id = {"kdb+", 3};
+  kdb3.description = "QIPC endpoint (kdb+ v3 clients)";
+  kdb3.max_protocol_version = 3;
+  (void)reg.RegisterEndpoint(std::move(kdb3));
+
+  BackendPlugin pg9;
+  pg9.id = {"postgres", 9};
+  pg9.description = "PostgreSQL 9.x over the v3 wire protocol";
+  pg9.connect = [](const std::string& target)
+      -> Result<std::unique_ptr<BackendGateway>> {
+    HQ_ASSIGN_OR_RETURN(auto hp, SplitTarget(target));
+    HQ_ASSIGN_OR_RETURN(
+        std::unique_ptr<WireGateway> gw,
+        WireGateway::Connect(hp.first, hp.second, "hyperq", ""));
+    return std::unique_ptr<BackendGateway>(std::move(gw));
+  };
+  (void)reg.RegisterBackend(std::move(pg9));
+
+  // Greenplum: PG-compatible dialect (§6 runs against Greenplum); same wire
+  // protocol, same rule set in this reproduction.
+  BackendPlugin gp4;
+  gp4.id = {"greenplum", 4};
+  gp4.description = "Greenplum 4.x (PG-compatible MPP)";
+  gp4.connect = [](const std::string& target)
+      -> Result<std::unique_ptr<BackendGateway>> {
+    HQ_ASSIGN_OR_RETURN(auto hp, SplitTarget(target));
+    HQ_ASSIGN_OR_RETURN(
+        std::unique_ptr<WireGateway> gw,
+        WireGateway::Connect(hp.first, hp.second, "gpadmin", ""));
+    return std::unique_ptr<BackendGateway>(std::move(gw));
+  };
+  (void)reg.RegisterBackend(std::move(gp4));
+  return reg;
+}
+
+Status PluginRegistry::RegisterBackend(BackendPlugin plugin) {
+  auto [it, inserted] = backends_.emplace(plugin.id, std::move(plugin));
+  if (!inserted) {
+    return AlreadyExists(StrCat("backend plugin for ", it->first.system,
+                                " v", it->first.version,
+                                " is already registered"));
+  }
+  return Status::OK();
+}
+
+Status PluginRegistry::RegisterEndpoint(EndpointPlugin plugin) {
+  auto [it, inserted] = endpoints_.emplace(plugin.id, std::move(plugin));
+  if (!inserted) {
+    return AlreadyExists(StrCat("endpoint plugin for ", it->first.system,
+                                " v", it->first.version,
+                                " is already registered"));
+  }
+  return Status::OK();
+}
+
+namespace {
+
+template <typename Map>
+Result<const typename Map::mapped_type*> VersionAwareFind(
+    const Map& map, const std::string& system, int version,
+    const char* kind) {
+  const typename Map::mapped_type* best = nullptr;
+  bool any = false;
+  for (const auto& [id, plugin] : map) {
+    if (id.system != system) continue;
+    any = true;
+    if (id.version <= version) best = &plugin;
+  }
+  if (!any) {
+    return NotFound(StrCat("no ", kind, " plugin registered for system '",
+                           system, "'"));
+  }
+  if (best == nullptr) {
+    return Unsupported(StrCat("system '", system, "' v", version,
+                              " predates every registered ", kind,
+                              " plugin"));
+  }
+  return best;
+}
+
+}  // namespace
+
+Result<const BackendPlugin*> PluginRegistry::FindBackend(
+    const std::string& system, int version) const {
+  return VersionAwareFind(backends_, system, version, "backend");
+}
+
+Result<const EndpointPlugin*> PluginRegistry::FindEndpoint(
+    const std::string& system, int version) const {
+  return VersionAwareFind(endpoints_, system, version, "endpoint");
+}
+
+std::vector<SystemVersion> PluginRegistry::BackendSystems() const {
+  std::vector<SystemVersion> out;
+  for (const auto& [id, _] : backends_) out.push_back(id);
+  return out;
+}
+
+std::vector<SystemVersion> PluginRegistry::EndpointSystems() const {
+  std::vector<SystemVersion> out;
+  for (const auto& [id, _] : endpoints_) out.push_back(id);
+  return out;
+}
+
+}  // namespace hyperq

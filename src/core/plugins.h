@@ -1,0 +1,85 @@
+#ifndef HYPERQ_CORE_PLUGINS_H_
+#define HYPERQ_CORE_PLUGINS_H_
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "core/gateway.h"
+#include "xformer/xformer.h"
+
+namespace hyperq {
+
+/// Identifies a supported peer system and version, e.g. {"kdb+", 3} on the
+/// application side or {"postgres", 9} / {"greenplum", 4} on the backend
+/// side. §3: "Hyper-Q virtualizes access to different databases by adopting
+/// a plugin-based architecture and using version-aware system components."
+struct SystemVersion {
+  std::string system;
+  int version = 0;
+
+  bool operator<(const SystemVersion& other) const {
+    if (system != other.system) return system < other.system;
+    return version < other.version;
+  }
+};
+
+/// Per-backend dialect adjustments a plugin contributes: which Xformer
+/// rules to run (systems that have "deviated in functionality or semantics
+/// from the core PG database", §3) and how to reach the system.
+struct BackendPlugin {
+  SystemVersion id;
+  std::string description;
+  /// Xformer configuration for this backend's dialect.
+  Xformer::Options xformer;
+  /// Connects a gateway given a connection string "host:port" (empty for
+  /// in-process backends registered with a factory closure).
+  std::function<Result<std::unique_ptr<BackendGateway>>(
+      const std::string& target)>
+      connect;
+};
+
+/// An application-side (endpoint) plugin: wire protocol identity. The QIPC
+/// endpoint for kdb+ v2/v3 is built in; the registry allows additional
+/// client protocols ("additional plugins for other languages are currently
+/// under development", §8).
+struct EndpointPlugin {
+  SystemVersion id;
+  std::string description;
+  /// Highest client protocol version this plugin can speak.
+  int max_protocol_version = 0;
+};
+
+/// Version-aware plugin registry. Resolution picks the registered plugin
+/// for the same system with the highest version not exceeding the
+/// requested one (a v9.2 Greenplum is served by the v9 plugin).
+class PluginRegistry {
+ public:
+  /// A registry pre-populated with the built-in kdb+ endpoint and
+  /// PostgreSQL backend plugins.
+  static PluginRegistry WithBuiltins();
+
+  Status RegisterBackend(BackendPlugin plugin);
+  Status RegisterEndpoint(EndpointPlugin plugin);
+
+  /// Version-aware lookup; NotFound when no plugin for the system exists,
+  /// Unsupported when only newer versions are registered.
+  Result<const BackendPlugin*> FindBackend(const std::string& system,
+                                           int version) const;
+  Result<const EndpointPlugin*> FindEndpoint(const std::string& system,
+                                             int version) const;
+
+  std::vector<SystemVersion> BackendSystems() const;
+  std::vector<SystemVersion> EndpointSystems() const;
+
+ private:
+  std::map<SystemVersion, BackendPlugin> backends_;
+  std::map<SystemVersion, EndpointPlugin> endpoints_;
+};
+
+}  // namespace hyperq
+
+#endif  // HYPERQ_CORE_PLUGINS_H_

@@ -1,0 +1,272 @@
+#include "core/query_translator.h"
+
+#include <chrono>
+
+#include "common/strings.h"
+#include "qlang/parser.h"
+#include "serializer/serializer.h"
+
+namespace hyperq {
+
+namespace {
+
+class StageTimer {
+ public:
+  explicit StageTimer(double* sink) : sink_(sink) {
+    start_ = std::chrono::steady_clock::now();
+  }
+  ~StageTimer() {
+    auto end = std::chrono::steady_clock::now();
+    *sink_ += std::chrono::duration<double, std::micro>(end - start_).count();
+  }
+
+ private:
+  double* sink_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace
+
+std::string QueryTranslator::NextTempName() {
+  return StrCat("HQ_TEMP_", ++temp_counter_);
+}
+
+Result<Translation> QueryTranslator::Translate(const std::string& q_text) {
+  Translation out;
+
+  std::vector<AstPtr> stmts;
+  {
+    StageTimer t(&out.timings.parse_us);
+    HQ_ASSIGN_OR_RETURN(stmts, Parser::ParseProgram(q_text));
+  }
+  if (stmts.empty()) {
+    return InvalidArgument("empty q request");
+  }
+
+  Binder binder(mdi_, scopes_);
+  bool produced_result = false;
+  for (size_t i = 0; i < stmts.size(); ++i) {
+    bool is_last = i + 1 == stmts.size();
+    const AstPtr& stmt = stmts[i];
+    if (stmt->kind == AstKind::kAssign ||
+        stmt->kind == AstKind::kGlobalAssign) {
+      HQ_RETURN_IF_ERROR(ProcessAssignment(stmt, &binder, &out));
+      produced_result = false;
+      continue;
+    }
+    if (stmt->kind == AstKind::kApply) {
+      // Possibly a user-function invocation to unroll.
+      const AstPtr& callee = stmt->child;
+      if (callee->kind == AstKind::kVarRef) {
+        Result<VarBinding> b = scopes_->Lookup(callee->name);
+        if (b.ok() && b->kind == VarBinding::Kind::kFunction) {
+          HQ_RETURN_IF_ERROR(
+              ProcessFunctionCall(*stmt, &binder, &out, &produced_result));
+          continue;
+        }
+      }
+    }
+    // Intermediate non-assignment statements without side effects are only
+    // translated when they are the last statement (their value is the
+    // response); earlier ones are skipped.
+    if (is_last) {
+      HQ_RETURN_IF_ERROR(EmitResultQuery(stmt, &binder, &out));
+      produced_result = true;
+    }
+  }
+  (void)produced_result;
+  return out;
+}
+
+Status QueryTranslator::ProcessAssignment(const AstPtr& stmt, Binder* binder,
+                                          Translation* out) {
+  const std::string& name = stmt->name;
+  const AstPtr& rhs = stmt->child;
+
+  // Function definition: store the lambda text (§4.3).
+  if (rhs->kind == AstKind::kLambda) {
+    VarBinding b;
+    b.kind = VarBinding::Kind::kFunction;
+    b.function = QValue::MakeLambda(rhs->params, rhs->source);
+    if (stmt->kind == AstKind::kGlobalAssign) {
+      scopes_->UpsertSession(name, std::move(b));
+    } else {
+      scopes_->Upsert(name, std::move(b));
+    }
+    return Status::OK();
+  }
+
+  // Scalar constant: keep in Hyper-Q's variable store (logical
+  // materialization of scalars, §4.3).
+  {
+    Result<QValue> c = binder->BindConstant(rhs);
+    if (c.ok()) {
+      VarBinding b;
+      b.kind = VarBinding::Kind::kScalar;
+      b.scalar = std::move(c).value();
+      if (stmt->kind == AstKind::kGlobalAssign) {
+        scopes_->UpsertSession(name, std::move(b));
+      } else {
+        scopes_->Upsert(name, std::move(b));
+      }
+      return Status::OK();
+    }
+  }
+
+  // Table-valued: materialize eagerly into the backend.
+  return MaterializeQuery(name, rhs, binder, out);
+}
+
+Status QueryTranslator::MaterializeQuery(const std::string& var_name,
+                                         const AstPtr& expr, Binder* binder,
+                                         Translation* out) {
+  BoundQuery bound;
+  {
+    StageTimer t(&out->timings.bind_us);
+    HQ_ASSIGN_OR_RETURN(bound, binder->BindQuery(expr));
+  }
+  {
+    StageTimer t(&out->timings.xform_us);
+    Xformer xformer(options_.xformer);
+    HQ_RETURN_IF_ERROR(
+        xformer.Transform(bound.root, /*result_order_required=*/true));
+  }
+  std::string select_sql;
+  {
+    StageTimer t(&out->timings.serialize_us);
+    Serializer serializer;
+    HQ_ASSIGN_OR_RETURN(select_sql, serializer.Serialize(bound.root));
+  }
+
+  std::string temp = NextTempName();
+  std::string quoted = Serializer::QuoteIdent(temp);
+  std::string ddl =
+      options_.materialize == MaterializeMode::kPhysical
+          ? StrCat("CREATE TEMPORARY TABLE ", quoted, " AS ", select_sql)
+          : StrCat("CREATE TEMPORARY VIEW ", quoted, " AS ", select_sql);
+  // Eager materialization (§4.3): later statements algebrize against this
+  // object's metadata, so it must exist before we continue.
+  HQ_RETURN_IF_ERROR(execute_backend_(ddl));
+  out->setup_sql.push_back(std::move(ddl));
+
+  VarBinding b;
+  b.kind = VarBinding::Kind::kRelation;
+  b.table = temp;
+  scopes_->Upsert(var_name, std::move(b));
+  return Status::OK();
+}
+
+Status QueryTranslator::ProcessFunctionCall(const AstNode& apply,
+                                            Binder* binder, Translation* out,
+                                            bool* produced_result) {
+  HQ_ASSIGN_OR_RETURN(VarBinding fb, scopes_->Lookup(apply.child->name));
+  const QLambda& lambda = fb.function.Lambda();
+
+  // The function body is stored as text and re-algebrized on invocation
+  // (§4.3).
+  AstPtr body;
+  {
+    StageTimer t(&out->timings.parse_us);
+    HQ_ASSIGN_OR_RETURN(body, Parser::ParseExpression(lambda.source));
+  }
+  if (body->kind != AstKind::kLambda) {
+    return InternalError("stored function text is not a lambda");
+  }
+  if (apply.args.size() > body->params.size()) {
+    return BindError(StrCat("function '", apply.child->name, "' takes ",
+                            body->params.size(), " arguments, got ",
+                            apply.args.size()));
+  }
+
+  // Bind arguments as local constants (table arguments would require
+  // materialization; constants cover the dominant customer pattern, §5).
+  scopes_->PushLocal();
+  auto cleanup = [&]() { scopes_->PopLocal(); };
+  for (size_t i = 0; i < apply.args.size(); ++i) {
+    Result<QValue> c = binder->BindConstant(apply.args[i]);
+    if (!c.ok()) {
+      cleanup();
+      return BindError(StrCat(
+          "argument ", i + 1, " of '", apply.child->name,
+          "' is not a translatable constant: ", c.status().message()));
+    }
+    VarBinding b;
+    b.kind = VarBinding::Kind::kScalar;
+    b.scalar = std::move(c).value();
+    scopes_->Upsert(body->params[i], std::move(b));
+  }
+
+  // Unroll the body: assignments materialize, the explicit return (or the
+  // last statement) becomes the result query.
+  for (size_t i = 0; i < body->body.size(); ++i) {
+    const AstPtr& stmt = body->body[i];
+    bool is_last = i + 1 == body->body.size();
+    if (stmt->kind == AstKind::kAssign) {
+      Status s = ProcessAssignment(stmt, binder, out);
+      if (!s.ok()) {
+        cleanup();
+        return s;
+      }
+      continue;
+    }
+    if (stmt->kind == AstKind::kGlobalAssign) {
+      Status s = ProcessAssignment(stmt, binder, out);
+      if (!s.ok()) {
+        cleanup();
+        return s;
+      }
+      continue;
+    }
+    const AstPtr& expr =
+        stmt->kind == AstKind::kReturn ? stmt->child : stmt;
+    if (stmt->kind == AstKind::kReturn || is_last) {
+      // A function may end by calling another function: unroll recursively
+      // (§5: "unrolling a large class of Q user-defined functions").
+      if (expr->kind == AstKind::kApply &&
+          expr->child->kind == AstKind::kVarRef) {
+        Result<VarBinding> callee = scopes_->Lookup(expr->child->name);
+        if (callee.ok() && callee->kind == VarBinding::Kind::kFunction) {
+          Status s = ProcessFunctionCall(*expr, binder, out,
+                                         produced_result);
+          cleanup();
+          return s;
+        }
+      }
+      Status s = EmitResultQuery(expr, binder, out);
+      if (!s.ok()) {
+        cleanup();
+        return s;
+      }
+      *produced_result = true;
+      break;
+    }
+  }
+  cleanup();
+  return Status::OK();
+}
+
+Status QueryTranslator::EmitResultQuery(const AstPtr& expr, Binder* binder,
+                                        Translation* out) {
+  BoundQuery bound;
+  {
+    StageTimer t(&out->timings.bind_us);
+    HQ_ASSIGN_OR_RETURN(bound, binder->BindQuery(expr));
+  }
+  bool order_matters = bound.shape == ResultShape::kTable ||
+                       bound.shape == ResultShape::kList;
+  {
+    StageTimer t(&out->timings.xform_us);
+    Xformer xformer(options_.xformer);
+    HQ_RETURN_IF_ERROR(xformer.Transform(bound.root, order_matters));
+  }
+  {
+    StageTimer t(&out->timings.serialize_us);
+    Serializer serializer;
+    HQ_ASSIGN_OR_RETURN(out->result_sql, serializer.Serialize(bound.root));
+  }
+  out->shape = bound.shape;
+  out->key_columns = bound.key_columns;
+  return Status::OK();
+}
+
+}  // namespace hyperq

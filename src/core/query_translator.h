@@ -1,0 +1,89 @@
+#ifndef HYPERQ_CORE_QUERY_TRANSLATOR_H_
+#define HYPERQ_CORE_QUERY_TRANSLATOR_H_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "algebrizer/binder.h"
+#include "algebrizer/scopes.h"
+#include "common/status.h"
+#include "xformer/xformer.h"
+
+namespace hyperq {
+
+/// How Q variable assignments are materialized in the backend (§4.3).
+enum class MaterializeMode {
+  kPhysical,  ///< CREATE TEMPORARY TABLE ... AS (always correct)
+  kLogical,   ///< CREATE TEMPORARY VIEW ... AS (cheaper, re-evaluates)
+};
+
+/// Wall-clock time spent in each translation stage, for Figures 6 and 7.
+struct StageTimings {
+  double parse_us = 0;
+  double bind_us = 0;       ///< algebrization (incl. metadata lookups)
+  double xform_us = 0;      ///< optimization
+  double serialize_us = 0;
+  double total_us() const {
+    return parse_us + bind_us + xform_us + serialize_us;
+  }
+};
+
+/// The output of translating one Q request: any setup statements that were
+/// eagerly executed against the backend (materialized variables), the final
+/// result query, and how to re-shape its rows into a Q value.
+struct Translation {
+  std::vector<std::string> setup_sql;  ///< already executed eagerly
+  std::string result_sql;              ///< empty for pure assignments
+  ResultShape shape = ResultShape::kTable;
+  std::vector<std::string> key_columns;
+  StageTimings timings;
+};
+
+/// The Query Translator of the Cross Compiler (§3.4): drives Q text through
+/// the Algebrizer, Xformer and Serializer, managing the variable-scope
+/// hierarchy, eager materialization of assignments and unrolling of user
+/// functions (§4.3, §5).
+class QueryTranslator {
+ public:
+  struct Options {
+    Xformer::Options xformer;
+    MaterializeMode materialize = MaterializeMode::kPhysical;
+  };
+
+  /// `execute_backend` runs a setup statement against the backend
+  /// immediately (eager materialization requires in-situ execution).
+  using BackendExec = std::function<Status(const std::string& sql)>;
+
+  QueryTranslator(MetadataInterface* mdi, VariableScopes* scopes,
+                  Options options, BackendExec execute_backend)
+      : mdi_(mdi),
+        scopes_(scopes),
+        options_(options),
+        execute_backend_(std::move(execute_backend)) {}
+
+  /// Translates a full Q request (one or more ';'-separated statements).
+  Result<Translation> Translate(const std::string& q_text);
+
+ private:
+  Status ProcessAssignment(const AstPtr& stmt, Binder* binder,
+                           Translation* out);
+  Status ProcessFunctionCall(const AstNode& apply, Binder* binder,
+                             Translation* out, bool* produced_result);
+  Status EmitResultQuery(const AstPtr& expr, Binder* binder,
+                         Translation* out);
+  Status MaterializeQuery(const std::string& var_name, const AstPtr& expr,
+                          Binder* binder, Translation* out);
+
+  std::string NextTempName();
+
+  MetadataInterface* mdi_;
+  VariableScopes* scopes_;
+  Options options_;
+  BackendExec execute_backend_;
+  int temp_counter_ = 0;
+};
+
+}  // namespace hyperq
+
+#endif  // HYPERQ_CORE_QUERY_TRANSLATOR_H_

@@ -1,0 +1,1291 @@
+#include "kdb/builtins.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <numeric>
+#include <unordered_map>
+
+#include "common/strings.h"
+#include "kdb/value_ops.h"
+#include "qval/temporal.h"
+
+namespace hyperq {
+namespace kdb {
+
+namespace {
+
+using Args = std::vector<QValue>;
+
+// ---------------------------------------------------------------------------
+// Helpers
+// ---------------------------------------------------------------------------
+
+Result<int64_t> ScalarInt(const QValue& v, const char* what) {
+  if (!v.is_atom() || !IsIntegralBacked(v.type())) {
+    return TypeError(StrCat("type: ", what, " requires an integral atom"));
+  }
+  return v.AsInt();
+}
+
+Result<QValue> MathMonad(const QValue& v, double (*fn)(double)) {
+  HQ_ASSIGN_OR_RETURN(auto xs, ToFloats(v));
+  std::vector<double> out(xs.size());
+  for (size_t i = 0; i < xs.size(); ++i) {
+    out[i] = std::isnan(xs[i]) ? xs[i] : fn(xs[i]);
+  }
+  if (v.is_atom()) return QValue::Float(out[0]);
+  return QValue::FloatList(QType::kFloat, std::move(out));
+}
+
+/// Integral-preserving elementwise op.
+Result<QValue> IntMonad(const QValue& v, int64_t (*fi)(int64_t),
+                        double (*ff)(double)) {
+  if (IsIntegralBacked(v.type())) {
+    if (v.is_atom()) {
+      int64_t x = v.AsInt();
+      return QValue::IntegralAtom(v.type(),
+                                  x == kNullLong ? kNullLong : fi(x));
+    }
+    std::vector<int64_t> out = v.Ints();
+    for (auto& x : out) {
+      if (x != kNullLong) x = fi(x);
+    }
+    return QValue::IntList(v.type(), std::move(out));
+  }
+  if (IsFloatBacked(v.type())) {
+    if (v.is_atom()) return QValue::FloatAtom(v.type(), ff(v.AsFloat()));
+    std::vector<double> out = v.Floats();
+    for (auto& x : out) x = ff(x);
+    return QValue::FloatList(v.type(), std::move(out));
+  }
+  return TypeError(StrCat("type: numeric op on ", QTypeName(v.type())));
+}
+
+// ---------------------------------------------------------------------------
+// Monads
+// ---------------------------------------------------------------------------
+
+Result<QValue> BTil(EvalContext*, const QValue& v) {
+  HQ_ASSIGN_OR_RETURN(int64_t n, ScalarInt(v, "til"));
+  if (n < 0) return InvalidArgument("til: argument must be non-negative");
+  std::vector<int64_t> out(n);
+  std::iota(out.begin(), out.end(), 0);
+  return QValue::IntList(QType::kLong, std::move(out));
+}
+
+Result<QValue> BCount(EvalContext*, const QValue& v) { return AggCount(v); }
+Result<QValue> BSum(EvalContext*, const QValue& v) { return AggSum(v); }
+Result<QValue> BAvg(EvalContext*, const QValue& v) { return AggAvg(v); }
+Result<QValue> BMin(EvalContext*, const QValue& v) { return AggMin(v); }
+Result<QValue> BMax(EvalContext*, const QValue& v) { return AggMax(v); }
+Result<QValue> BMed(EvalContext*, const QValue& v) { return AggMed(v); }
+Result<QValue> BDev(EvalContext*, const QValue& v) { return AggDev(v); }
+Result<QValue> BVar(EvalContext*, const QValue& v) { return AggVar(v); }
+Result<QValue> BFirst(EvalContext*, const QValue& v) { return AggFirst(v); }
+Result<QValue> BLast(EvalContext*, const QValue& v) { return AggLast(v); }
+
+Result<QValue> BDistinct(EvalContext*, const QValue& v) {
+  return Distinct(v);
+}
+Result<QValue> BReverse(EvalContext*, const QValue& v) { return Reverse(v); }
+
+Result<QValue> BAsc(EvalContext*, const QValue& v) {
+  if (v.is_atom()) return v;
+  return IndexElements(v, GradeList(v, true));
+}
+Result<QValue> BDesc(EvalContext*, const QValue& v) {
+  if (v.is_atom()) return v;
+  return IndexElements(v, GradeList(v, false));
+}
+Result<QValue> BIasc(EvalContext*, const QValue& v) {
+  return QValue::IntList(QType::kLong, GradeList(v, true));
+}
+Result<QValue> BIdesc(EvalContext*, const QValue& v) {
+  return QValue::IntList(QType::kLong, GradeList(v, false));
+}
+
+Result<QValue> BWhere(EvalContext*, const QValue& v) {
+  if (v.is_atom()) return TypeError("where: argument must be a list");
+  HQ_ASSIGN_OR_RETURN(auto counts, ToInts(v));
+  std::vector<int64_t> out;
+  for (size_t i = 0; i < counts.size(); ++i) {
+    int64_t c = counts[i];
+    if (c == kNullLong) continue;
+    // q where generalizes booleans: each index is replicated c times.
+    for (int64_t k = 0; k < c; ++k) out.push_back(i);
+  }
+  return QValue::IntList(QType::kLong, std::move(out));
+}
+
+Result<QValue> BEnlist(EvalContext*, const QValue& v) {
+  if (v.is_atom()) {
+    switch (v.type()) {
+      case QType::kSymbol:
+        return QValue::Syms({v.AsSym()});
+      case QType::kChar:
+        return QValue::Chars(std::string(1, v.AsChar()));
+      default:
+        if (IsIntegralBacked(v.type())) {
+          return QValue::IntList(v.type(), {v.AsInt()});
+        }
+        if (IsFloatBacked(v.type())) {
+          return QValue::FloatList(v.type(), {v.AsFloat()});
+        }
+        return QValue::Mixed({v});
+    }
+  }
+  return QValue::Mixed({v});
+}
+
+Result<QValue> BRaze(EvalContext*, const QValue& v) {
+  if (v.is_atom() || v.type() != QType::kMixed) return v;
+  QValue acc = QValue::Mixed({});
+  bool first = true;
+  for (const auto& item : v.Items()) {
+    if (first) {
+      acc = item.is_atom() ? QValue::Mixed({item}) : item;
+      first = false;
+      continue;
+    }
+    HQ_ASSIGN_OR_RETURN(acc, Concat(acc, item));
+  }
+  return acc;
+}
+
+Result<QValue> BString(EvalContext*, const QValue& v) {
+  auto str_of = [](const QValue& atom) -> std::string {
+    if (atom.type() == QType::kSymbol) return atom.AsSym();
+    if (atom.type() == QType::kChar) return std::string(1, atom.AsChar());
+    std::string s = atom.ToString();
+    // Strip q display suffixes for a clean textual form.
+    if (!s.empty() && (IsIntegralBacked(atom.type())) &&
+        (s.back() == 'h' || s.back() == 'i' || s.back() == 'j' ||
+         s.back() == 'b')) {
+      s.pop_back();
+    }
+    return s;
+  };
+  if (v.is_atom()) return QValue::Chars(str_of(v));
+  std::vector<QValue> out;
+  for (size_t i = 0; i < v.Count(); ++i) {
+    out.push_back(QValue::Chars(str_of(v.ElementAt(i))));
+  }
+  return QValue::Mixed(std::move(out));
+}
+
+Result<QValue> CaseChange(const QValue& v, bool upper) {
+  auto conv = [&](std::string s) {
+    return upper ? ToUpper(s) : ToLower(s);
+  };
+  if (v.type() == QType::kSymbol) {
+    if (v.is_atom()) return QValue::Sym(conv(v.AsSym()));
+    std::vector<std::string> out = v.SymsView();
+    for (auto& s : out) s = conv(s);
+    return QValue::Syms(std::move(out));
+  }
+  if (v.type() == QType::kChar) {
+    if (v.is_atom()) {
+      return QValue::Char(upper ? std::toupper(v.AsChar())
+                                : std::tolower(v.AsChar()));
+    }
+    return QValue::Chars(conv(v.CharsView()));
+  }
+  return TypeError("type: upper/lower requires chars or symbols");
+}
+
+Result<QValue> BUpper(EvalContext*, const QValue& v) {
+  return CaseChange(v, true);
+}
+Result<QValue> BLower(EvalContext*, const QValue& v) {
+  return CaseChange(v, false);
+}
+
+Result<QValue> BNeg(EvalContext*, const QValue& v) {
+  return IntMonad(v, [](int64_t x) { return -x; },
+                  [](double x) { return -x; });
+}
+Result<QValue> BAbs(EvalContext*, const QValue& v) {
+  return IntMonad(v, [](int64_t x) { return x < 0 ? -x : x; },
+                  [](double x) { return std::fabs(x); });
+}
+Result<QValue> BSqrt(EvalContext*, const QValue& v) {
+  return MathMonad(v, [](double x) { return std::sqrt(x); });
+}
+Result<QValue> BExp(EvalContext*, const QValue& v) {
+  return MathMonad(v, [](double x) { return std::exp(x); });
+}
+Result<QValue> BLog(EvalContext*, const QValue& v) {
+  return MathMonad(v, [](double x) { return std::log(x); });
+}
+
+Result<QValue> FloorCeil(const QValue& v, bool is_floor) {
+  if (IsIntegralBacked(v.type())) return v;
+  HQ_ASSIGN_OR_RETURN(auto xs, ToFloats(v));
+  std::vector<int64_t> out(xs.size());
+  for (size_t i = 0; i < xs.size(); ++i) {
+    out[i] = std::isnan(xs[i])
+                 ? kNullLong
+                 : static_cast<int64_t>(is_floor ? std::floor(xs[i])
+                                                 : std::ceil(xs[i]));
+  }
+  if (v.is_atom()) return QValue::Long(out[0]);
+  return QValue::IntList(QType::kLong, std::move(out));
+}
+
+Result<QValue> BFloor(EvalContext*, const QValue& v) {
+  return FloorCeil(v, true);
+}
+Result<QValue> BCeiling(EvalContext*, const QValue& v) {
+  return FloorCeil(v, false);
+}
+
+Result<QValue> BSignum(EvalContext*, const QValue& v) {
+  return IntMonad(
+      v, [](int64_t x) { return int64_t{x > 0 ? 1 : (x < 0 ? -1 : 0)}; },
+      [](double x) {
+        if (std::isnan(x)) return x;
+        return double{x > 0 ? 1.0 : (x < 0 ? -1.0 : 0.0)};
+      });
+}
+
+Result<QValue> BNot(EvalContext*, const QValue& v) {
+  HQ_ASSIGN_OR_RETURN(auto xs, ToFloats(v));
+  std::vector<int64_t> out(xs.size());
+  for (size_t i = 0; i < xs.size(); ++i) {
+    out[i] = (xs[i] == 0) ? 1 : 0;
+  }
+  if (v.is_atom()) return QValue::Bool(out[0] != 0);
+  return QValue::IntList(QType::kBool, std::move(out));
+}
+
+Result<QValue> BNull(EvalContext*, const QValue& v) {
+  if (v.is_atom()) return QValue::Bool(v.IsNullAtom());
+  std::vector<int64_t> out(v.Count());
+  for (size_t i = 0; i < out.size(); ++i) {
+    out[i] = v.ElementAt(i).IsNullAtom() ? 1 : 0;
+  }
+  return QValue::IntList(QType::kBool, std::move(out));
+}
+
+Result<QValue> BFills(EvalContext*, const QValue& v) { return Fills(v); }
+Result<QValue> BDeltas(EvalContext*, const QValue& v) { return Deltas(v); }
+Result<QValue> BSums(EvalContext*, const QValue& v) {
+  return RunningSums(v);
+}
+Result<QValue> BMins(EvalContext*, const QValue& v) {
+  return RunningMins(v);
+}
+Result<QValue> BMaxs(EvalContext*, const QValue& v) {
+  return RunningMaxs(v);
+}
+
+Result<QValue> BPrev(EvalContext*, const QValue& v) {
+  return PrevShift(v, 1);
+}
+Result<QValue> BNext(EvalContext*, const QValue& v) {
+  return PrevShift(v, -1);
+}
+
+Result<QValue> BFlip(EvalContext*, const QValue& v) {
+  if (v.IsDict()) {
+    const QDict& d = v.Dict();
+    if (d.keys->type() != QType::kSymbol || d.keys->is_atom()) {
+      return TypeError("flip: dict keys must be a symbol list");
+    }
+    std::vector<QValue> cols;
+    for (size_t i = 0; i < d.values->Count(); ++i) {
+      cols.push_back(d.values->ElementAt(i));
+    }
+    return QValue::MakeTable(d.keys->SymsView(), std::move(cols));
+  }
+  if (v.IsTable()) {
+    const QTable& t = v.Table();
+    return QValue::MakeDictUnchecked(QValue::Syms(t.names),
+                                     QValue::Mixed(t.columns));
+  }
+  return TypeError("flip: argument must be a table or column dictionary");
+}
+
+Result<QValue> BGroup(EvalContext*, const QValue& v) {
+  if (v.is_atom()) return TypeError("group: argument must be a list");
+  HQ_ASSIGN_OR_RETURN(Grouping g, GroupRows({v}));
+  std::vector<QValue> idx_lists;
+  for (auto& rows : g.group_rows) {
+    idx_lists.push_back(QValue::IntList(QType::kLong, std::move(rows)));
+  }
+  return QValue::MakeDictUnchecked(g.group_keys[0],
+                                   QValue::Mixed(std::move(idx_lists)));
+}
+
+Result<QValue> BKey(EvalContext*, const QValue& v) {
+  if (v.IsDict()) return *v.Dict().keys;
+  return TypeError("key: argument must be a dictionary or keyed table");
+}
+
+Result<QValue> BValue(EvalContext* ctx, const QValue& v) {
+  if (v.IsDict()) return *v.Dict().values;
+  if (v.type() == QType::kChar && !v.is_atom()) {
+    // value "..." evaluates a q string.
+    return ctx->interp()->EvalText(v.CharsView());
+  }
+  return v;
+}
+
+Result<QValue> BCols(EvalContext*, const QValue& v) {
+  if (v.IsTable()) return QValue::Syms(v.Table().names);
+  if (v.IsKeyedTable()) {
+    const QDict& d = v.Dict();
+    std::vector<std::string> names = d.keys->Table().names;
+    const auto& vn = d.values->Table().names;
+    names.insert(names.end(), vn.begin(), vn.end());
+    return QValue::Syms(std::move(names));
+  }
+  return TypeError("cols: argument must be a table");
+}
+
+Result<QValue> BKeys(EvalContext*, const QValue& v) {
+  if (v.IsKeyedTable()) return QValue::Syms(v.Dict().keys->Table().names);
+  if (v.IsTable()) return QValue::Syms({});
+  return TypeError("keys: argument must be a table");
+}
+
+Result<QValue> BType(EvalContext*, const QValue& v) {
+  int8_t code = static_cast<int8_t>(v.type());
+  return QValue::Short(v.is_atom() ? -code : code);
+}
+
+Result<QValue> BMeta(EvalContext*, const QValue& v) {
+  QValue t = v;
+  if (v.IsKeyedTable()) {
+    HQ_ASSIGN_OR_RETURN(t, Unkey(v));
+  }
+  if (!t.IsTable()) return TypeError("meta: argument must be a table");
+  const QTable& tab = t.Table();
+  std::vector<std::string> names = tab.names;
+  std::string type_chars;
+  for (const auto& col : tab.columns) {
+    type_chars.push_back(QTypeChar(col.type()));
+  }
+  return QValue::MakeTable(
+      {"c", "t"}, {QValue::Syms(std::move(names)),
+                   QValue::Chars(std::move(type_chars))});
+}
+
+Result<QValue> BAll(EvalContext*, const QValue& v) {
+  HQ_ASSIGN_OR_RETURN(auto xs, ToFloats(v));
+  for (double x : xs) {
+    if (x == 0 || std::isnan(x)) return QValue::Bool(false);
+  }
+  return QValue::Bool(true);
+}
+
+Result<QValue> BAny(EvalContext*, const QValue& v) {
+  HQ_ASSIGN_OR_RETURN(auto xs, ToFloats(v));
+  for (double x : xs) {
+    if (x != 0 && !std::isnan(x)) return QValue::Bool(true);
+  }
+  return QValue::Bool(false);
+}
+
+Result<QValue> BUngroup(EvalContext*, const QValue& v) {
+  QValue t = v;
+  if (v.IsKeyedTable()) {
+    HQ_ASSIGN_OR_RETURN(t, Unkey(v));
+  }
+  if (!t.IsTable()) return TypeError("ungroup: argument must be a table");
+  const QTable& tab = t.Table();
+  // Expand rows whose cells are lists.
+  std::vector<std::string> names = tab.names;
+  std::vector<std::vector<QValue>> cells(tab.columns.size());
+  size_t rows = tab.RowCount();
+  for (size_t r = 0; r < rows; ++r) {
+    size_t reps = 1;
+    for (const auto& col : tab.columns) {
+      QValue cell = col.ElementAt(r);
+      if (!cell.is_atom()) reps = std::max(reps, cell.Count());
+    }
+    for (size_t k = 0; k < reps; ++k) {
+      for (size_t c = 0; c < tab.columns.size(); ++c) {
+        QValue cell = tab.columns[c].ElementAt(r);
+        cells[c].push_back(cell.is_atom()
+                               ? cell
+                               : cell.ElementAt(static_cast<int64_t>(k)));
+      }
+    }
+  }
+  std::vector<QValue> cols;
+  for (auto& c : cells) {
+    // Re-pack typed via concat of atoms.
+    QValue col = QValue::Mixed({});
+    if (!c.empty()) {
+      bool uniform = true;
+      QType t0 = c[0].type();
+      for (const auto& e : c) uniform &= (e.is_atom() && e.type() == t0);
+      if (uniform) {
+        col = QValue::EmptyList(t0);
+        for (const auto& e : c) col = col.AppendElement(e);
+      } else {
+        col = QValue::Mixed(c);
+      }
+    }
+    cols.push_back(std::move(col));
+  }
+  return QValue::MakeTable(std::move(names), std::move(cols));
+}
+
+// ---------------------------------------------------------------------------
+// Dyads
+// ---------------------------------------------------------------------------
+
+Result<QValue> DAdd(EvalContext*, const QValue& a, const QValue& b) {
+  return NumericDyad(NumOp::kAdd, a, b);
+}
+Result<QValue> DSub(EvalContext* ctx, const QValue& a, const QValue& b) {
+  (void)ctx;
+  return NumericDyad(NumOp::kSub, a, b);
+}
+Result<QValue> DMul(EvalContext*, const QValue& a, const QValue& b) {
+  return NumericDyad(NumOp::kMul, a, b);
+}
+Result<QValue> DDiv(EvalContext*, const QValue& a, const QValue& b) {
+  return NumericDyad(NumOp::kDiv, a, b);
+}
+Result<QValue> DMinOp(EvalContext*, const QValue& a, const QValue& b) {
+  return NumericDyad(NumOp::kMin, a, b);
+}
+Result<QValue> DMaxOp(EvalContext*, const QValue& a, const QValue& b) {
+  return NumericDyad(NumOp::kMax, a, b);
+}
+Result<QValue> DMod(EvalContext*, const QValue& a, const QValue& b) {
+  return NumericDyad(NumOp::kMod, a, b);
+}
+Result<QValue> DIntDiv(EvalContext*, const QValue& a, const QValue& b) {
+  return NumericDyad(NumOp::kIntDiv, a, b);
+}
+Result<QValue> DXbar(EvalContext*, const QValue& a, const QValue& b) {
+  return NumericDyad(NumOp::kXbar, a, b);
+}
+
+Result<QValue> DEq(EvalContext*, const QValue& a, const QValue& b) {
+  return CompareDyad(CmpOp::kEq, a, b);
+}
+Result<QValue> DNe(EvalContext*, const QValue& a, const QValue& b) {
+  return CompareDyad(CmpOp::kNe, a, b);
+}
+Result<QValue> DLt(EvalContext*, const QValue& a, const QValue& b) {
+  return CompareDyad(CmpOp::kLt, a, b);
+}
+Result<QValue> DGt(EvalContext*, const QValue& a, const QValue& b) {
+  return CompareDyad(CmpOp::kGt, a, b);
+}
+Result<QValue> DLe(EvalContext*, const QValue& a, const QValue& b) {
+  return CompareDyad(CmpOp::kLe, a, b);
+}
+Result<QValue> DGe(EvalContext*, const QValue& a, const QValue& b) {
+  return CompareDyad(CmpOp::kGe, a, b);
+}
+
+Result<QValue> DMatch(EvalContext*, const QValue& a, const QValue& b) {
+  return QValue::Bool(QValue::Match(a, b));
+}
+
+Result<QValue> DConcat(EvalContext*, const QValue& a, const QValue& b) {
+  return Concat(a, b);
+}
+Result<QValue> DFill(EvalContext*, const QValue& a, const QValue& b) {
+  return FillOp(a, b);
+}
+
+Result<QValue> DTake(EvalContext*, const QValue& a, const QValue& b) {
+  // `a`b#t selects columns; n#x takes elements.
+  if (a.type() == QType::kSymbol && b.IsTable()) {
+    const QTable& t = b.Table();
+    std::vector<std::string> names;
+    std::vector<QValue> cols;
+    size_t n = a.is_atom() ? 1 : a.Count();
+    for (size_t i = 0; i < n; ++i) {
+      std::string name = a.is_atom() ? a.AsSym() : a.SymsView()[i];
+      int c = t.FindColumn(name);
+      if (c < 0) return NotFound(StrCat("column '", name, "' not found"));
+      names.push_back(name);
+      cols.push_back(t.columns[c]);
+    }
+    return QValue::MakeTableUnchecked(std::move(names), std::move(cols));
+  }
+  HQ_ASSIGN_OR_RETURN(int64_t n, ScalarInt(a, "take (#)"));
+  return Take(n, b);
+}
+
+Result<QValue> DDrop(EvalContext*, const QValue& a, const QValue& b) {
+  if (a.type() == QType::kSymbol && b.IsTable()) {
+    // `a`b _ t drops columns.
+    const QTable& t = b.Table();
+    std::vector<std::string> drop;
+    if (a.is_atom()) {
+      drop.push_back(a.AsSym());
+    } else {
+      drop = a.SymsView();
+    }
+    std::vector<std::string> names;
+    std::vector<QValue> cols;
+    for (size_t i = 0; i < t.names.size(); ++i) {
+      if (std::find(drop.begin(), drop.end(), t.names[i]) == drop.end()) {
+        names.push_back(t.names[i]);
+        cols.push_back(t.columns[i]);
+      }
+    }
+    return QValue::MakeTableUnchecked(std::move(names), std::move(cols));
+  }
+  HQ_ASSIGN_OR_RETURN(int64_t n, ScalarInt(a, "drop (_)"));
+  return Drop(n, b);
+}
+
+Result<QValue> DBang(EvalContext*, const QValue& a, const QValue& b) {
+  // keys!values builds a dict; table!table builds a keyed table;
+  // n!table keys the first n columns; 0!kt unkeys a keyed table.
+  if (a.is_atom() && IsIntegralBacked(a.type()) && b.IsKeyedTable()) {
+    HQ_ASSIGN_OR_RETURN(QValue flat, Unkey(b));
+    if (a.AsInt() <= 0) return flat;
+    return DBang(nullptr, a, flat);
+  }
+  if (a.is_atom() && IsIntegralBacked(a.type()) && b.IsTable()) {
+    int64_t n = a.AsInt();
+    const QTable& t = b.Table();
+    if (n <= 0) return b;
+    if (static_cast<size_t>(n) >= t.names.size()) {
+      return InvalidArgument("!: too many key columns");
+    }
+    std::vector<std::string> kn(t.names.begin(), t.names.begin() + n);
+    std::vector<QValue> kc(t.columns.begin(), t.columns.begin() + n);
+    std::vector<std::string> vn(t.names.begin() + n, t.names.end());
+    std::vector<QValue> vc(t.columns.begin() + n, t.columns.end());
+    return QValue::MakeDictUnchecked(
+        QValue::MakeTableUnchecked(std::move(kn), std::move(kc)),
+        QValue::MakeTableUnchecked(std::move(vn), std::move(vc)));
+  }
+  return QValue::MakeDict(a, b);
+}
+
+Result<QValue> DFind(EvalContext*, const QValue& a, const QValue& b) {
+  return Find(a, b);
+}
+
+Result<QValue> DAt(EvalContext* ctx, const QValue& a, const QValue& b) {
+  return ctx->Apply(a, {b});
+}
+
+Result<QValue> DDot(EvalContext* ctx, const QValue& a, const QValue& b) {
+  std::vector<QValue> args;
+  if (b.is_atom()) {
+    args.push_back(b);
+  } else {
+    for (size_t i = 0; i < b.Count(); ++i) args.push_back(b.ElementAt(i));
+  }
+  return ctx->Apply(a, args);
+}
+
+Result<QValue> DCast(EvalContext*, const QValue& a, const QValue& b) {
+  if (a.is_atom() && a.type() == QType::kSymbol) {
+    return Cast(a.AsSym(), b);
+  }
+  if (a.is_atom() && a.type() == QType::kChar) {
+    return Cast(std::string(1, a.AsChar()), b);
+  }
+  return TypeError("cast ($): left argument must be a type-name symbol");
+}
+
+Result<QValue> DIn(EvalContext*, const QValue& a, const QValue& b) {
+  return InOp(a, b);
+}
+Result<QValue> DWithin(EvalContext*, const QValue& a, const QValue& b) {
+  return WithinOp(a, b);
+}
+
+bool GlobMatch(const std::string& text, const std::string& pat) {
+  size_t t = 0, p = 0, star_t = std::string::npos, star_p = 0;
+  while (t < text.size()) {
+    if (p < pat.size() && (pat[p] == '?' || pat[p] == text[t])) {
+      ++t;
+      ++p;
+    } else if (p < pat.size() && pat[p] == '*') {
+      star_p = p++;
+      star_t = t;
+    } else if (star_t != std::string::npos) {
+      p = star_p + 1;
+      t = ++star_t;
+    } else {
+      return false;
+    }
+  }
+  while (p < pat.size() && pat[p] == '*') ++p;
+  return p == pat.size();
+}
+
+Result<QValue> DLike(EvalContext*, const QValue& a, const QValue& b) {
+  if (b.type() != QType::kChar) {
+    return TypeError("like: pattern must be a string");
+  }
+  std::string pat = b.is_atom() ? std::string(1, b.AsChar()) : b.CharsView();
+  auto one = [&](const QValue& e) -> Result<bool> {
+    if (e.type() == QType::kSymbol) return GlobMatch(e.AsSym(), pat);
+    if (e.type() == QType::kChar && !e.is_atom()) {
+      return GlobMatch(e.CharsView(), pat);
+    }
+    if (e.type() == QType::kChar) {
+      return GlobMatch(std::string(1, e.AsChar()), pat);
+    }
+    return TypeError("like: left argument must be symbols or strings");
+  };
+  if (a.is_atom() || a.type() == QType::kChar) {
+    HQ_ASSIGN_OR_RETURN(bool m, one(a));
+    return QValue::Bool(m);
+  }
+  std::vector<int64_t> out(a.Count());
+  for (size_t i = 0; i < out.size(); ++i) {
+    HQ_ASSIGN_OR_RETURN(bool m, one(a.ElementAt(i)));
+    out[i] = m ? 1 : 0;
+  }
+  return QValue::IntList(QType::kBool, std::move(out));
+}
+
+Result<QValue> SortTable(const QValue& cols, const QValue& table, bool asc) {
+  if (!table.IsTable()) return TypeError("xasc/xdesc: right must be a table");
+  std::vector<std::string> names;
+  if (cols.is_atom() && cols.type() == QType::kSymbol) {
+    names.push_back(cols.AsSym());
+  } else if (cols.type() == QType::kSymbol) {
+    names = cols.SymsView();
+  } else {
+    return TypeError("xasc/xdesc: left must be column symbols");
+  }
+  const QTable& t = table.Table();
+  std::vector<QValue> keys;
+  for (const auto& n : names) {
+    int c = t.FindColumn(n);
+    if (c < 0) return NotFound(StrCat("column '", n, "' not found"));
+    keys.push_back(t.columns[c]);
+  }
+  std::vector<bool> dirs(keys.size(), asc);
+  return TakeRows(table, GradeLists(keys, dirs));
+}
+
+Result<QValue> DXasc(EvalContext*, const QValue& a, const QValue& b) {
+  return SortTable(a, b, true);
+}
+Result<QValue> DXdesc(EvalContext*, const QValue& a, const QValue& b) {
+  return SortTable(a, b, false);
+}
+
+Result<QValue> DXkey(EvalContext*, const QValue& a, const QValue& b) {
+  QValue t = b;
+  if (b.IsKeyedTable()) {
+    HQ_ASSIGN_OR_RETURN(t, Unkey(b));
+  }
+  if (!t.IsTable()) return TypeError("xkey: right must be a table");
+  std::vector<std::string> keys;
+  if (a.is_atom() && a.type() == QType::kSymbol) {
+    keys.push_back(a.AsSym());
+  } else if (a.type() == QType::kSymbol) {
+    keys = a.SymsView();
+  } else {
+    return TypeError("xkey: left must be column symbols");
+  }
+  const QTable& tab = t.Table();
+  std::vector<std::string> kn, vn;
+  std::vector<QValue> kc, vc;
+  for (size_t i = 0; i < tab.names.size(); ++i) {
+    if (std::find(keys.begin(), keys.end(), tab.names[i]) != keys.end()) {
+      kn.push_back(tab.names[i]);
+      kc.push_back(tab.columns[i]);
+    } else {
+      vn.push_back(tab.names[i]);
+      vc.push_back(tab.columns[i]);
+    }
+  }
+  if (kn.size() != keys.size()) {
+    return NotFound("xkey: some key columns not present in table");
+  }
+  return QValue::MakeDictUnchecked(
+      QValue::MakeTableUnchecked(std::move(kn), std::move(kc)),
+      QValue::MakeTableUnchecked(std::move(vn), std::move(vc)));
+}
+
+Result<QValue> DXcol(EvalContext*, const QValue& a, const QValue& b) {
+  if (!b.IsTable()) return TypeError("xcol: right must be a table");
+  const QTable& t = b.Table();
+  std::vector<std::string> names = t.names;
+  if (a.type() == QType::kSymbol && !a.is_atom()) {
+    for (size_t i = 0; i < a.Count() && i < names.size(); ++i) {
+      names[i] = a.SymsView()[i];
+    }
+  } else if (a.IsDict()) {
+    const QDict& d = a.Dict();
+    for (size_t i = 0; i < d.keys->Count(); ++i) {
+      std::string from = d.keys->ElementAt(i).AsSym();
+      std::string to = d.values->ElementAt(i).AsSym();
+      for (auto& n : names) {
+        if (n == from) n = to;
+      }
+    }
+  } else {
+    return TypeError("xcol: left must be symbols or a rename dict");
+  }
+  return QValue::MakeTableUnchecked(std::move(names), t.columns);
+}
+
+Result<QValue> DXcols(EvalContext*, const QValue& a, const QValue& b) {
+  if (!b.IsTable() || a.type() != QType::kSymbol) {
+    return TypeError("xcols: needs symbols and a table");
+  }
+  const QTable& t = b.Table();
+  std::vector<std::string> order =
+      a.is_atom() ? std::vector<std::string>{a.AsSym()} : a.SymsView();
+  std::vector<std::string> names;
+  std::vector<QValue> cols;
+  for (const auto& n : order) {
+    int c = t.FindColumn(n);
+    if (c < 0) return NotFound(StrCat("column '", n, "' not found"));
+    names.push_back(n);
+    cols.push_back(t.columns[c]);
+  }
+  for (size_t i = 0; i < t.names.size(); ++i) {
+    if (std::find(order.begin(), order.end(), t.names[i]) == order.end()) {
+      names.push_back(t.names[i]);
+      cols.push_back(t.columns[i]);
+    }
+  }
+  return QValue::MakeTableUnchecked(std::move(names), std::move(cols));
+}
+
+Result<QValue> DLj(EvalContext*, const QValue& a, const QValue& b) {
+  return LeftJoin(a, b);
+}
+Result<QValue> DIj(EvalContext*, const QValue& a, const QValue& b) {
+  return InnerJoin(a, b);
+}
+Result<QValue> DUj(EvalContext*, const QValue& a, const QValue& b) {
+  return UnionJoin(a, b);
+}
+
+Result<QValue> DCross(EvalContext*, const QValue& a, const QValue& b) {
+  if (a.IsTable() && b.IsTable()) {
+    const QTable& ta = a.Table();
+    const QTable& tb = b.Table();
+    size_t na = ta.RowCount(), nb = tb.RowCount();
+    std::vector<int64_t> ia, ib;
+    ia.reserve(na * nb);
+    ib.reserve(na * nb);
+    for (size_t i = 0; i < na; ++i) {
+      for (size_t j = 0; j < nb; ++j) {
+        ia.push_back(i);
+        ib.push_back(j);
+      }
+    }
+    HQ_ASSIGN_OR_RETURN(QValue left, TakeRows(a, ia));
+    HQ_ASSIGN_OR_RETURN(QValue right, TakeRows(b, ib));
+    std::vector<std::string> names = left.Table().names;
+    std::vector<QValue> cols = left.Table().columns;
+    const QTable& rt = right.Table();
+    for (size_t i = 0; i < rt.names.size(); ++i) {
+      names.push_back(rt.names[i]);
+      cols.push_back(rt.columns[i]);
+    }
+    return QValue::MakeTable(std::move(names), std::move(cols));
+  }
+  size_t na = a.is_atom() ? 1 : a.Count();
+  size_t nb = b.is_atom() ? 1 : b.Count();
+  std::vector<QValue> out;
+  out.reserve(na * nb);
+  for (size_t i = 0; i < na; ++i) {
+    for (size_t j = 0; j < nb; ++j) {
+      out.push_back(QValue::Mixed({a.ElementAt(i), b.ElementAt(j)}));
+    }
+  }
+  return QValue::Mixed(std::move(out));
+}
+
+Result<QValue> DUnion(EvalContext*, const QValue& a, const QValue& b) {
+  HQ_ASSIGN_OR_RETURN(QValue joined, Concat(a, b));
+  return Distinct(joined);
+}
+
+Result<QValue> DInter(EvalContext*, const QValue& a, const QValue& b) {
+  HQ_ASSIGN_OR_RETURN(QValue mask, InOp(a, b));
+  HQ_ASSIGN_OR_RETURN(auto idx, BoolsToIndices(mask, a.Count()));
+  HQ_ASSIGN_OR_RETURN(QValue hits, IndexElements(a, idx));
+  return Distinct(hits);
+}
+
+Result<QValue> DExcept(EvalContext*, const QValue& a, const QValue& b) {
+  HQ_ASSIGN_OR_RETURN(QValue mask, InOp(a, b));
+  std::vector<int64_t> idx;
+  HQ_ASSIGN_OR_RETURN(auto in_idx, ToInts(mask));
+  for (size_t i = 0; i < in_idx.size(); ++i) {
+    if (in_idx[i] == 0) idx.push_back(i);
+  }
+  return IndexElements(a, idx);
+}
+
+Result<QValue> DWavg(EvalContext*, const QValue& w, const QValue& x) {
+  HQ_ASSIGN_OR_RETURN(auto ws, ToFloats(w));
+  HQ_ASSIGN_OR_RETURN(auto xs, ToFloats(x));
+  if (ws.size() != xs.size()) return TypeError("length: wavg");
+  double num = 0, den = 0;
+  for (size_t i = 0; i < ws.size(); ++i) {
+    if (std::isnan(ws[i]) || std::isnan(xs[i])) continue;
+    num += ws[i] * xs[i];
+    den += ws[i];
+  }
+  return QValue::Float(den == 0 ? std::nan("") : num / den);
+}
+
+Result<QValue> DWsum(EvalContext*, const QValue& w, const QValue& x) {
+  HQ_ASSIGN_OR_RETURN(auto ws, ToFloats(w));
+  HQ_ASSIGN_OR_RETURN(auto xs, ToFloats(x));
+  if (ws.size() != xs.size() && ws.size() != 1 && xs.size() != 1) {
+    return TypeError("length: wsum");
+  }
+  size_t n = std::max(ws.size(), xs.size());
+  double num = 0;
+  for (size_t i = 0; i < n; ++i) {
+    double wi = ws.size() == 1 ? ws[0] : ws[i];
+    double xi = xs.size() == 1 ? xs[0] : xs[i];
+    if (std::isnan(wi) || std::isnan(xi)) continue;
+    num += wi * xi;
+  }
+  return QValue::Float(num);
+}
+
+Result<QValue> MovingDyad(const std::string& name, const QValue& a,
+                          const QValue& b) {
+  if (!a.is_atom() || !IsIntegralBacked(a.type())) {
+    return TypeError(StrCat("type: ", name, " window must be an integer"));
+  }
+  return MovingAgg(name, a.AsInt(), b);
+}
+
+Result<QValue> DMavg(EvalContext*, const QValue& a, const QValue& b) {
+  return MovingDyad("mavg", a, b);
+}
+Result<QValue> DMsum(EvalContext*, const QValue& a, const QValue& b) {
+  return MovingDyad("msum", a, b);
+}
+Result<QValue> DMmax(EvalContext*, const QValue& a, const QValue& b) {
+  return MovingDyad("mmax", a, b);
+}
+Result<QValue> DMmin(EvalContext*, const QValue& a, const QValue& b) {
+  return MovingDyad("mmin", a, b);
+}
+Result<QValue> DMcount(EvalContext*, const QValue& a, const QValue& b) {
+  return MovingDyad("mcount", a, b);
+}
+
+Result<QValue> DXprev(EvalContext*, const QValue& a, const QValue& b) {
+  HQ_ASSIGN_OR_RETURN(int64_t n, ScalarInt(a, "xprev"));
+  return PrevShift(b, n);
+}
+
+Result<QValue> DBin(EvalContext*, const QValue& a, const QValue& b) {
+  // a bin y: index of last element of sorted a that is <= y.
+  HQ_ASSIGN_OR_RETURN(auto hay, ToFloats(a));
+  auto one = [&](double y) -> int64_t {
+    auto it = std::upper_bound(hay.begin(), hay.end(), y);
+    return static_cast<int64_t>(it - hay.begin()) - 1;
+  };
+  if (b.is_atom()) {
+    HQ_ASSIGN_OR_RETURN(auto ys, ToFloats(b));
+    return QValue::Long(one(ys[0]));
+  }
+  HQ_ASSIGN_OR_RETURN(auto ys, ToFloats(b));
+  std::vector<int64_t> out(ys.size());
+  for (size_t i = 0; i < ys.size(); ++i) out[i] = one(ys[i]);
+  return QValue::IntList(QType::kLong, std::move(out));
+}
+
+Result<QValue> DSublist(EvalContext*, const QValue& a, const QValue& b) {
+  HQ_ASSIGN_OR_RETURN(int64_t n, ScalarInt(a, "sublist"));
+  int64_t cnt = static_cast<int64_t>(b.Count());
+  int64_t take = std::min(n < 0 ? -n : n, cnt);
+  return Take(n < 0 ? -take : take, b);
+}
+
+Result<QValue> DVs(EvalContext*, const QValue& a, const QValue& b) {
+  // sep vs string: split.
+  if (a.type() != QType::kChar || b.type() != QType::kChar || b.is_atom()) {
+    return Unsupported("nyi: vs supports string splitting only");
+  }
+  char sep = a.is_atom() ? a.AsChar() : a.CharsView()[0];
+  std::vector<QValue> out;
+  for (auto& piece : Split(b.CharsView(), sep)) {
+    out.push_back(QValue::Chars(piece));
+  }
+  return QValue::Mixed(std::move(out));
+}
+
+Result<QValue> DSv(EvalContext*, const QValue& a, const QValue& b) {
+  if (a.type() != QType::kChar || b.type() != QType::kMixed) {
+    return Unsupported("nyi: sv supports string joining only");
+  }
+  std::string sep = a.is_atom() ? std::string(1, a.AsChar()) : a.CharsView();
+  std::string out;
+  for (size_t i = 0; i < b.Count(); ++i) {
+    if (i) out += sep;
+    QValue e = b.Items()[i];
+    if (e.type() == QType::kChar) {
+      out += e.is_atom() ? std::string(1, e.AsChar()) : e.CharsView();
+    } else {
+      out += e.ToString();
+    }
+  }
+  return QValue::Chars(std::move(out));
+}
+
+Result<QValue> DSet(EvalContext* ctx, const QValue& a, const QValue& b) {
+  if (!a.is_atom() || a.type() != QType::kSymbol) {
+    return TypeError("set: left argument must be a name symbol");
+  }
+  ctx->AssignGlobal(a.AsSym(), b);
+  return a;
+}
+
+Result<QValue> DInsert(EvalContext* ctx, const QValue& a, const QValue& b) {
+  if (!a.is_atom() || a.type() != QType::kSymbol) {
+    return TypeError("insert: left argument must be a table name symbol");
+  }
+  HQ_ASSIGN_OR_RETURN(QValue table, ctx->Lookup(a.AsSym()));
+  if (!table.IsTable()) {
+    return TypeError(StrCat("insert: '", a.AsSym(), "' is not a table"));
+  }
+  QValue rows = b;
+  if (!b.IsTable()) {
+    // A list of column values: build a single-row or multi-row table.
+    const QTable& t = table.Table();
+    if (b.Count() != t.names.size()) {
+      return TypeError("insert: value count does not match columns");
+    }
+    std::vector<QValue> cols;
+    for (size_t i = 0; i < t.names.size(); ++i) {
+      QValue cell = b.ElementAt(i);
+      cols.push_back(cell.is_atom() ? QValue::Mixed({cell}).ElementAt(0)
+                                    : cell);
+      if (cell.is_atom()) {
+        // Wrap the atom as a 1-element typed list.
+        HQ_ASSIGN_OR_RETURN(cols.back(), Take(1, cell));
+      }
+    }
+    HQ_ASSIGN_OR_RETURN(rows, QValue::MakeTable(t.names, std::move(cols)));
+  }
+  HQ_ASSIGN_OR_RETURN(QValue merged, Concat(table, rows));
+  ctx->AssignGlobal(a.AsSym(), merged);
+  return QValue::Long(static_cast<int64_t>(merged.Count()) - 1);
+}
+
+Result<QValue> DUpsert(EvalContext* ctx, const QValue& a, const QValue& b) {
+  if (a.is_atom() && a.type() == QType::kSymbol) {
+    return DInsert(ctx, a, b);
+  }
+  if (a.IsTable() && b.IsTable()) return Concat(a, b);
+  return TypeError("upsert: unsupported argument types");
+}
+
+// ---------------------------------------------------------------------------
+// Varargs
+// ---------------------------------------------------------------------------
+
+Result<QValue> VAj(EvalContext*, const Args& args) {
+  if (args.size() != 3) {
+    return ExecutionError("rank: aj[cols; t1; t2] takes 3 arguments");
+  }
+  return AsOfJoin(args[0], args[1], args[2]);
+}
+
+Result<QValue> VEj(EvalContext*, const Args& args) {
+  if (args.size() != 3) {
+    return ExecutionError("rank: ej[cols; t1; t2] takes 3 arguments");
+  }
+  return EquiJoin(args[0], args[1], args[2]);
+}
+
+Result<QValue> VEnlist(EvalContext*, const Args& args) {
+  return QValue::Mixed(args);
+}
+
+Result<QValue> VVectorCond(EvalContext*, const Args& args) {
+  // ?[c;a;b] — elementwise conditional with atom broadcast.
+  if (args.size() != 3) {
+    return ExecutionError("rank: ?[c;a;b] takes 3 arguments");
+  }
+  const QValue& c = args[0];
+  const QValue& a = args[1];
+  const QValue& b = args[2];
+  if (c.is_atom()) {
+    return c.AsInt() != 0 && !c.IsNullAtom() ? a : b;
+  }
+  HQ_ASSIGN_OR_RETURN(auto conds, ToInts(c));
+  size_t n = conds.size();
+  if ((!a.is_atom() && a.Count() != n) || (!b.is_atom() && b.Count() != n)) {
+    return TypeError("length: ?[c;a;b] operands differ in length");
+  }
+  std::vector<QValue> out;
+  out.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    bool t = conds[i] != 0 && conds[i] != kNullLong;
+    const QValue& src = t ? a : b;
+    out.push_back(src.is_atom() ? src
+                                : src.ElementAt(static_cast<int64_t>(i)));
+  }
+  // Re-pack typed when uniform.
+  bool uniform = !out.empty();
+  QType t0 = out.empty() ? QType::kMixed : out[0].type();
+  for (const auto& e : out) uniform &= e.is_atom() && e.type() == t0;
+  if (uniform && IsIntegralBacked(t0)) {
+    std::vector<int64_t> v;
+    for (const auto& e : out) v.push_back(e.AsInt());
+    return QValue::IntList(t0, std::move(v));
+  }
+  if (uniform && IsFloatBacked(t0)) {
+    std::vector<double> v;
+    for (const auto& e : out) v.push_back(e.AsFloat());
+    return QValue::FloatList(t0, std::move(v));
+  }
+  if (uniform && t0 == QType::kSymbol) {
+    std::vector<std::string> v;
+    for (const auto& e : out) v.push_back(e.AsSym());
+    return QValue::Syms(std::move(v));
+  }
+  return QValue::Mixed(std::move(out));
+}
+
+Result<QValue> CovCor(const QValue& a, const QValue& b, bool correlation) {
+  HQ_ASSIGN_OR_RETURN(auto xs, ToFloats(a));
+  HQ_ASSIGN_OR_RETURN(auto ys, ToFloats(b));
+  if (xs.size() != ys.size()) return TypeError("length: cov/cor");
+  double sx = 0, sy = 0, sxy = 0, sx2 = 0, sy2 = 0;
+  size_t n = 0;
+  for (size_t i = 0; i < xs.size(); ++i) {
+    if (std::isnan(xs[i]) || std::isnan(ys[i])) continue;
+    sx += xs[i];
+    sy += ys[i];
+    sxy += xs[i] * ys[i];
+    sx2 += xs[i] * xs[i];
+    sy2 += ys[i] * ys[i];
+    ++n;
+  }
+  if (n == 0) return QValue::Float(std::nan(""));
+  double nn = static_cast<double>(n);
+  double cov = sxy / nn - (sx / nn) * (sy / nn);
+  if (!correlation) return QValue::Float(cov);
+  double vx = sx2 / nn - (sx / nn) * (sx / nn);
+  double vy = sy2 / nn - (sy / nn) * (sy / nn);
+  double denom = std::sqrt(vx) * std::sqrt(vy);
+  return QValue::Float(denom == 0 ? std::nan("") : cov / denom);
+}
+
+Result<QValue> DCov(EvalContext*, const QValue& a, const QValue& b) {
+  return CovCor(a, b, false);
+}
+Result<QValue> DCor(EvalContext*, const QValue& a, const QValue& b) {
+  return CovCor(a, b, true);
+}
+
+Result<QValue> DFby(EvalContext* ctx, const QValue& a, const QValue& b) {
+  // (f;x) fby g: apply f to x within each group of g, broadcast back to
+  // every row — the classic "filter by" idiom.
+  if (a.is_atom() || a.type() != QType::kMixed || a.Count() != 2) {
+    return TypeError(
+        "fby: left argument must be the 2-list (aggregate; values)");
+  }
+  const QValue& fn = a.Items()[0];
+  const QValue& values = a.Items()[1];
+  if (values.is_atom() || b.is_atom()) {
+    return TypeError("fby: values and group keys must be lists");
+  }
+  if (values.Count() != b.Count()) {
+    return TypeError("length: fby values and group keys differ");
+  }
+  HQ_ASSIGN_OR_RETURN(Grouping groups, GroupRows({b}));
+  size_t n = values.Count();
+  std::vector<QValue> out(n);
+  for (const auto& rows : groups.group_rows) {
+    HQ_ASSIGN_OR_RETURN(QValue grp, IndexElements(values, rows));
+    HQ_ASSIGN_OR_RETURN(QValue agg, ctx->Apply(fn, {grp}));
+    for (int64_t r : rows) {
+      out[r] = agg.is_atom() ? agg : agg.ElementAt(0);
+    }
+  }
+  // Re-pack typed.
+  bool uniform = !out.empty();
+  QType t0 = out.empty() ? QType::kMixed : out[0].type();
+  for (const auto& e : out) uniform &= e.is_atom() && e.type() == t0;
+  if (uniform && IsIntegralBacked(t0)) {
+    std::vector<int64_t> v;
+    for (const auto& e : out) v.push_back(e.AsInt());
+    return QValue::IntList(t0, std::move(v));
+  }
+  if (uniform && IsFloatBacked(t0)) {
+    std::vector<double> v;
+    for (const auto& e : out) v.push_back(e.AsFloat());
+    return QValue::FloatList(t0, std::move(v));
+  }
+  if (uniform && t0 == QType::kSymbol) {
+    std::vector<std::string> v;
+    for (const auto& e : out) v.push_back(e.AsSym());
+    return QValue::Syms(std::move(v));
+  }
+  return QValue::Mixed(std::move(out));
+}
+
+// ---------------------------------------------------------------------------
+// Registry
+// ---------------------------------------------------------------------------
+
+const std::unordered_map<std::string, Builtin>& Registry() {
+  static const auto* kMap = new std::unordered_map<std::string, Builtin>{
+      // Symbolic verbs. Monadic forms follow q: `-` negates, `#` counts,
+      // `%` is reciprocal-free (no monadic form here), `?` is distinct.
+      {"+", {nullptr, DAdd, nullptr}},
+      {"-", {BNeg, DSub, nullptr}},
+      {"*", {BFirst, DMul, nullptr}},
+      {"%", {nullptr, DDiv, nullptr}},
+      {"&", {BWhere, DMinOp, nullptr}},
+      {"|", {BReverse, DMaxOp, nullptr}},
+      {"=", {nullptr, DEq, nullptr}},
+      {"<>", {nullptr, DNe, nullptr}},
+      {"<", {BIasc, DLt, nullptr}},
+      {">", {BIdesc, DGt, nullptr}},
+      {"<=", {nullptr, DLe, nullptr}},
+      {">=", {nullptr, DGe, nullptr}},
+      {"~", {BNot, DMatch, nullptr}},
+      {",", {BEnlist, DConcat, nullptr}},
+      {"^", {BAsc, DFill, nullptr}},
+      {"#", {BCount, DTake, nullptr}},
+      {"_", {BFloor, DDrop, nullptr}},
+      {"!", {BKey, DBang, nullptr}},
+      {"?", {BDistinct, DFind, VVectorCond}},
+      {"@", {BType, DAt, nullptr}},
+      {".", {BValue, DDot, nullptr}},
+      {"$", {BString, DCast, nullptr}},
+
+      // Named monads.
+      {"til", {BTil, nullptr, nullptr}},
+      {"count", {BCount, nullptr, nullptr}},
+      {"sum", {BSum, nullptr, nullptr}},
+      {"avg", {BAvg, nullptr, nullptr}},
+      {"min", {BMin, nullptr, nullptr}},
+      {"max", {BMax, nullptr, nullptr}},
+      {"med", {BMed, nullptr, nullptr}},
+      {"dev", {BDev, nullptr, nullptr}},
+      {"var", {BVar, nullptr, nullptr}},
+      {"first", {BFirst, nullptr, nullptr}},
+      {"last", {BLast, nullptr, nullptr}},
+      {"distinct", {BDistinct, nullptr, nullptr}},
+      {"reverse", {BReverse, nullptr, nullptr}},
+      {"asc", {BAsc, nullptr, nullptr}},
+      {"desc", {BDesc, nullptr, nullptr}},
+      {"iasc", {BIasc, nullptr, nullptr}},
+      {"idesc", {BIdesc, nullptr, nullptr}},
+      {"where", {BWhere, nullptr, nullptr}},
+      {"enlist", {BEnlist, nullptr, VEnlist}},
+      {"raze", {BRaze, nullptr, nullptr}},
+      {"string", {BString, nullptr, nullptr}},
+      {"upper", {BUpper, nullptr, nullptr}},
+      {"lower", {BLower, nullptr, nullptr}},
+      {"neg", {BNeg, nullptr, nullptr}},
+      {"abs", {BAbs, nullptr, nullptr}},
+      {"sqrt", {BSqrt, nullptr, nullptr}},
+      {"exp", {BExp, nullptr, nullptr}},
+      {"log", {BLog, nullptr, nullptr}},
+      {"floor", {BFloor, nullptr, nullptr}},
+      {"ceiling", {BCeiling, nullptr, nullptr}},
+      {"signum", {BSignum, nullptr, nullptr}},
+      {"not", {BNot, nullptr, nullptr}},
+      {"null", {BNull, nullptr, nullptr}},
+      {"fills", {BFills, nullptr, nullptr}},
+      {"deltas", {BDeltas, nullptr, nullptr}},
+      {"sums", {BSums, nullptr, nullptr}},
+      {"mins", {BMins, nullptr, nullptr}},
+      {"maxs", {BMaxs, nullptr, nullptr}},
+      {"prev", {BPrev, nullptr, nullptr}},
+      {"next", {BNext, nullptr, nullptr}},
+      {"flip", {BFlip, nullptr, nullptr}},
+      {"group", {BGroup, nullptr, nullptr}},
+      {"key", {BKey, nullptr, nullptr}},
+      {"value", {BValue, nullptr, nullptr}},
+      {"cols", {BCols, nullptr, nullptr}},
+      {"keys", {BKeys, nullptr, nullptr}},
+      {"type", {BType, nullptr, nullptr}},
+      {"meta", {BMeta, nullptr, nullptr}},
+      {"all", {BAll, nullptr, nullptr}},
+      {"any", {BAny, nullptr, nullptr}},
+      {"ungroup", {BUngroup, nullptr, nullptr}},
+
+      // Named dyads.
+      {"in", {nullptr, DIn, nullptr}},
+      {"within", {nullptr, DWithin, nullptr}},
+      {"like", {nullptr, DLike, nullptr}},
+      {"mod", {nullptr, DMod, nullptr}},
+      {"div", {nullptr, DIntDiv, nullptr}},
+      {"xbar", {nullptr, DXbar, nullptr}},
+      {"xasc", {nullptr, DXasc, nullptr}},
+      {"xdesc", {nullptr, DXdesc, nullptr}},
+      {"xkey", {nullptr, DXkey, nullptr}},
+      {"xcol", {nullptr, DXcol, nullptr}},
+      {"xcols", {nullptr, DXcols, nullptr}},
+      {"lj", {nullptr, DLj, nullptr}},
+      {"ij", {nullptr, DIj, nullptr}},
+      {"uj", {nullptr, DUj, nullptr}},
+      {"cross", {nullptr, DCross, nullptr}},
+      {"union", {nullptr, DUnion, nullptr}},
+      {"inter", {nullptr, DInter, nullptr}},
+      {"except", {nullptr, DExcept, nullptr}},
+      {"wavg", {nullptr, DWavg, nullptr}},
+      {"cov", {nullptr, DCov, nullptr}},
+      {"fby", {nullptr, DFby, nullptr}},
+      {"cor", {nullptr, DCor, nullptr}},
+      {"wsum", {nullptr, DWsum, nullptr}},
+      {"mavg", {nullptr, DMavg, nullptr}},
+      {"msum", {nullptr, DMsum, nullptr}},
+      {"mmax", {nullptr, DMmax, nullptr}},
+      {"mmin", {nullptr, DMmin, nullptr}},
+      {"mcount", {nullptr, DMcount, nullptr}},
+      {"xprev", {nullptr, DXprev, nullptr}},
+      {"bin", {nullptr, DBin, nullptr}},
+      {"sublist", {nullptr, DSublist, nullptr}},
+      {"vs", {nullptr, DVs, nullptr}},
+      {"sv", {nullptr, DSv, nullptr}},
+      {"set", {nullptr, DSet, nullptr}},
+      {"insert", {nullptr, DInsert, nullptr}},
+      {"upsert", {nullptr, DUpsert, nullptr}},
+      {"and", {nullptr, DMinOp, nullptr}},
+      {"or", {nullptr, DMaxOp, nullptr}},
+
+      // Varargs.
+      {"aj", {nullptr, nullptr, VAj}},
+      {"aj0", {nullptr, nullptr, VAj}},
+      {"ej", {nullptr, nullptr, VEj}},
+  };
+  return *kMap;
+}
+
+}  // namespace
+
+const Builtin* FindBuiltin(const std::string& name) {
+  const auto& reg = Registry();
+  auto it = reg.find(name);
+  return it == reg.end() ? nullptr : &it->second;
+}
+
+bool IsBuiltinName(const std::string& name) {
+  return FindBuiltin(name) != nullptr;
+}
+
+std::vector<std::string> BuiltinNames() {
+  std::vector<std::string> names;
+  for (const auto& [k, _] : Registry()) names.push_back(k);
+  std::sort(names.begin(), names.end());
+  return names;
+}
+
+}  // namespace kdb
+}  // namespace hyperq

@@ -1,0 +1,38 @@
+#ifndef HYPERQ_KDB_BUILTINS_H_
+#define HYPERQ_KDB_BUILTINS_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "kdb/engine.h"
+#include "qval/qvalue.h"
+
+namespace hyperq {
+namespace kdb {
+
+/// A primitive verb. A single name may have monadic, dyadic and variadic
+/// forms (e.g. `-` is both subtraction and negation); which one fires is
+/// decided by the argument count at the call site — Q is dynamically typed
+/// and has no overload resolution at parse time (§2.2).
+struct Builtin {
+  Result<QValue> (*monad)(EvalContext*, const QValue&) = nullptr;
+  Result<QValue> (*dyad)(EvalContext*, const QValue&, const QValue&) = nullptr;
+  Result<QValue> (*vararg)(EvalContext*,
+                           const std::vector<QValue>&) = nullptr;
+};
+
+/// Looks up a primitive by name ("+"/"count"/"aj"/...); nullptr when absent.
+const Builtin* FindBuiltin(const std::string& name);
+
+/// True when the name denotes a primitive (used for variable-shadowing
+/// resolution: user definitions shadow builtins).
+bool IsBuiltinName(const std::string& name);
+
+/// All registered builtin names (for docs/tests).
+std::vector<std::string> BuiltinNames();
+
+}  // namespace kdb
+}  // namespace hyperq
+
+#endif  // HYPERQ_KDB_BUILTINS_H_

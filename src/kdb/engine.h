@@ -1,0 +1,137 @@
+#ifndef HYPERQ_KDB_ENGINE_H_
+#define HYPERQ_KDB_ENGINE_H_
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "qlang/ast.h"
+#include "qval/qvalue.h"
+
+namespace hyperq {
+namespace kdb {
+
+class EvalContext;
+
+/// Runtime function value: a user lambda, a builtin verb, an
+/// adverb-derived function (f', f/, f\:) or a projection (f[;2]).
+/// Stored behind QLambda::compiled so functions are first-class QValues.
+struct FnVal {
+  enum class Kind { kBuiltin, kLambda, kAdverbed, kProjection };
+  Kind kind = Kind::kBuiltin;
+  std::string builtin;            ///< kBuiltin: verb name ("+", "count").
+  AstPtr lambda_node;             ///< kLambda: the parsed {[x]...} node.
+  std::shared_ptr<const FnVal> inner;  ///< kAdverbed/kProjection: wrapped fn.
+  std::string adverb;             ///< kAdverbed: ' / \ ': /: \:.
+  std::vector<QValue> bound;      ///< kProjection: bound args (generic null
+                                  ///< marks the elided holes).
+};
+
+/// The mini-kdb+ engine: a tree-walking interpreter for the Q subset over
+/// in-memory QValue tables. It serves as the real-time baseline for the
+/// benchmarks and as the reference oracle for the side-by-side testing
+/// framework of §5.
+///
+/// Like kdb+ (§2.2), the engine executes one request at a time; callers
+/// serialize access. Global (server) variables live in the engine and are
+/// shared by all sessions; local variables shadow them (§3.2.3).
+class Interpreter {
+ public:
+  Interpreter() = default;
+
+  /// Parses and evaluates a Q program; returns the value of the last
+  /// statement.
+  Result<QValue> EvalText(const std::string& text);
+
+  /// Directly defines/overwrites a global (used to load test data).
+  void SetGlobal(const std::string& name, QValue value);
+  Result<QValue> GetGlobal(const std::string& name) const;
+  bool HasGlobal(const std::string& name) const;
+  std::vector<std::string> GlobalNames() const;
+
+ private:
+  friend class EvalContext;
+  std::unordered_map<std::string, QValue> globals_;
+};
+
+/// One evaluation of a program: holds the local-frame stack and the column
+/// scopes used inside select/exec/update/delete templates.
+class EvalContext {
+ public:
+  explicit EvalContext(Interpreter* interp) : interp_(interp) {}
+
+  Result<QValue> Eval(const AstPtr& node);
+
+  /// Applies a function value (lambda/builtin/adverbed/projection) or
+  /// indexes a data value (list/dict/table) — dynamic dispatch per §3.2.1.
+  Result<QValue> Apply(const QValue& fn, const std::vector<QValue>& args);
+
+  /// Variable lookup: column scopes, then local frames, then globals; a
+  /// final fallback resolves builtin names to function values.
+  Result<QValue> Lookup(const std::string& name);
+
+  void AssignLocal(const std::string& name, QValue value);
+  void AssignGlobal(const std::string& name, QValue value);
+
+  /// Column scope handle for select-template evaluation.
+  using ColumnScope = std::unordered_map<std::string, QValue>;
+  void PushColumnScope(const ColumnScope* scope) {
+    column_scopes_.push_back(scope);
+  }
+  void PopColumnScope() { column_scopes_.pop_back(); }
+
+  Interpreter* interp() { return interp_; }
+
+ private:
+  Result<QValue> EvalApply(const AstPtr& node);
+  Result<QValue> EvalDyad(const AstPtr& node);
+  Result<QValue> EvalCond(const AstPtr& node);
+  Result<QValue> EvalListLit(const AstPtr& node);
+  Result<QValue> EvalTableLit(const AstPtr& node);
+  Result<QValue> MakeFunctionValue(const AstPtr& node);
+
+  Result<QValue> CallLambda(const FnVal& fn, const std::vector<QValue>& args);
+  Result<QValue> CallBuiltin(const std::string& name,
+                             const std::vector<QValue>& args);
+  Result<QValue> CallAdverbed(const FnVal& fn,
+                              const std::vector<QValue>& args);
+
+  struct Frame {
+    std::unordered_map<std::string, QValue> vars;
+  };
+
+  Interpreter* interp_;
+  std::vector<Frame> frames_;
+  std::vector<const ColumnScope*> column_scopes_;
+  bool returning_ = false;
+  QValue return_value_;
+  int depth_ = 0;
+};
+
+/// Evaluates the select/exec/update/delete template (implemented in
+/// query.cc).
+Result<QValue> EvalQueryTemplate(EvalContext* ctx, const AstNode& node);
+
+/// Infers the output column name for an unnamed select expression
+/// (q names `max Price` simply Price).
+std::string InferColumnName(const AstPtr& expr, int position);
+
+/// Join builtins (implemented in joins.cc).
+Result<QValue> AsOfJoin(const QValue& cols, const QValue& left,
+                        const QValue& right);
+Result<QValue> LeftJoin(const QValue& left, const QValue& keyed_right);
+Result<QValue> InnerJoin(const QValue& left, const QValue& keyed_right);
+Result<QValue> UnionJoin(const QValue& a, const QValue& b);
+Result<QValue> EquiJoin(const QValue& cols, const QValue& left,
+                        const QValue& right);
+
+/// Extracts a function value from a QValue (compiling lambda text on first
+/// use, per §4.3's "store as text, algebrize on invocation").
+Result<std::shared_ptr<const FnVal>> FnFromValue(const QValue& v);
+
+}  // namespace kdb
+}  // namespace hyperq
+
+#endif  // HYPERQ_KDB_ENGINE_H_

@@ -1,0 +1,643 @@
+#include <cassert>
+
+#include "common/strings.h"
+#include "kdb/builtins.h"
+#include "kdb/engine.h"
+#include "kdb/value_ops.h"
+#include "qlang/parser.h"
+
+namespace hyperq {
+namespace kdb {
+
+namespace {
+
+constexpr int kMaxDepth = 512;
+
+/// Packs a vector of element values into the tightest list representation.
+QValue PackList(const std::vector<QValue>& items) {
+  if (items.empty()) return QValue::Mixed({});
+  QType t = items[0].type();
+  bool uniform_atoms = true;
+  for (const auto& e : items) {
+    if (!e.is_atom() || e.type() != t || t == QType::kUnary ||
+        t == QType::kLambda) {
+      uniform_atoms = false;
+      break;
+    }
+  }
+  if (!uniform_atoms) return QValue::Mixed(items);
+  if (IsIntegralBacked(t)) {
+    if (t == QType::kChar) {
+      std::string s;
+      for (const auto& e : items) s.push_back(e.AsChar());
+      return QValue::Chars(std::move(s));
+    }
+    std::vector<int64_t> v;
+    v.reserve(items.size());
+    for (const auto& e : items) v.push_back(e.AsInt());
+    return QValue::IntList(t, std::move(v));
+  }
+  if (IsFloatBacked(t)) {
+    std::vector<double> v;
+    v.reserve(items.size());
+    for (const auto& e : items) v.push_back(e.AsFloat());
+    return QValue::FloatList(t, std::move(v));
+  }
+  if (t == QType::kChar) {
+    std::string s;
+    for (const auto& e : items) s.push_back(e.AsChar());
+    return QValue::Chars(std::move(s));
+  }
+  if (t == QType::kSymbol) {
+    std::vector<std::string> v;
+    v.reserve(items.size());
+    for (const auto& e : items) v.push_back(e.AsSym());
+    return QValue::Syms(std::move(v));
+  }
+  return QValue::Mixed(items);
+}
+
+QValue WrapFn(std::shared_ptr<const FnVal> fn, std::string display) {
+  QValue v = QValue::MakeLambda({}, std::move(display));
+  v.Lambda().compiled =
+      std::static_pointer_cast<const void>(std::move(fn));
+  return v;
+}
+
+}  // namespace
+
+Result<std::shared_ptr<const FnVal>> FnFromValue(const QValue& v) {
+  if (!v.IsLambda()) {
+    return TypeError(StrCat("type: value of type ", QTypeName(v.type()),
+                            " is not callable"));
+  }
+  const QLambda& lam = v.Lambda();
+  if (lam.compiled) {
+    return std::static_pointer_cast<const FnVal>(lam.compiled);
+  }
+  // Lambda stored as text (§4.3): algebrize on first invocation.
+  HQ_ASSIGN_OR_RETURN(AstPtr node, Parser::ParseExpression(lam.source));
+  if (node->kind != AstKind::kLambda) {
+    return TypeError("stored function text is not a lambda");
+  }
+  auto fn = std::make_shared<FnVal>();
+  fn->kind = FnVal::Kind::kLambda;
+  fn->lambda_node = node;
+  lam.compiled = std::static_pointer_cast<const void>(
+      std::shared_ptr<const FnVal>(fn));
+  return std::shared_ptr<const FnVal>(fn);
+}
+
+Result<QValue> Interpreter::EvalText(const std::string& text) {
+  HQ_ASSIGN_OR_RETURN(std::vector<AstPtr> stmts, Parser::ParseProgram(text));
+  EvalContext ctx(this);
+  QValue last;
+  for (const auto& stmt : stmts) {
+    HQ_ASSIGN_OR_RETURN(last, ctx.Eval(stmt));
+  }
+  return last;
+}
+
+void Interpreter::SetGlobal(const std::string& name, QValue value) {
+  globals_[name] = std::move(value);
+}
+
+Result<QValue> Interpreter::GetGlobal(const std::string& name) const {
+  auto it = globals_.find(name);
+  if (it == globals_.end()) {
+    return NotFound(StrCat("variable '", name, "' is not defined"));
+  }
+  return it->second;
+}
+
+bool Interpreter::HasGlobal(const std::string& name) const {
+  return globals_.count(name) > 0;
+}
+
+std::vector<std::string> Interpreter::GlobalNames() const {
+  std::vector<std::string> names;
+  names.reserve(globals_.size());
+  for (const auto& [k, _] : globals_) names.push_back(k);
+  return names;
+}
+
+Result<QValue> EvalContext::Lookup(const std::string& name) {
+  for (auto it = column_scopes_.rbegin(); it != column_scopes_.rend(); ++it) {
+    auto found = (*it)->find(name);
+    if (found != (*it)->end()) return found->second;
+  }
+  for (auto it = frames_.rbegin(); it != frames_.rend(); ++it) {
+    auto found = it->vars.find(name);
+    if (found != it->vars.end()) return found->second;
+  }
+  auto g = interp_->globals_.find(name);
+  if (g != interp_->globals_.end()) return g->second;
+  if (IsBuiltinName(name)) {
+    auto fn = std::make_shared<FnVal>();
+    fn->kind = FnVal::Kind::kBuiltin;
+    fn->builtin = name;
+    return WrapFn(std::move(fn), name);
+  }
+  return NotFound(StrCat("'", name,
+                         "' is not defined (no local, global or builtin with "
+                         "this name)"));
+}
+
+void EvalContext::AssignLocal(const std::string& name, QValue value) {
+  if (frames_.empty()) {
+    interp_->globals_[name] = std::move(value);
+  } else {
+    frames_.back().vars[name] = std::move(value);
+  }
+}
+
+void EvalContext::AssignGlobal(const std::string& name, QValue value) {
+  interp_->globals_[name] = std::move(value);
+}
+
+Result<QValue> EvalContext::Eval(const AstPtr& node) {
+  if (!node) return InternalError("null AST node");
+  if (++depth_ > kMaxDepth) {
+    --depth_;
+    return ExecutionError("stack: expression nesting too deep");
+  }
+  struct DepthGuard {
+    int* d;
+    ~DepthGuard() { --*d; }
+  } guard{&depth_};
+
+  switch (node->kind) {
+    case AstKind::kLiteral:
+      return node->literal;
+    case AstKind::kVarRef:
+      return Lookup(node->name);
+    case AstKind::kFnRef:
+    case AstKind::kAdverbed:
+    case AstKind::kLambda:
+      return MakeFunctionValue(node);
+    case AstKind::kAssign: {
+      HQ_ASSIGN_OR_RETURN(QValue v, Eval(node->child));
+      AssignLocal(node->name, v);
+      return v;
+    }
+    case AstKind::kGlobalAssign: {
+      HQ_ASSIGN_OR_RETURN(QValue v, Eval(node->child));
+      AssignGlobal(node->name, v);
+      return v;
+    }
+    case AstKind::kReturn: {
+      HQ_ASSIGN_OR_RETURN(QValue v, Eval(node->child));
+      returning_ = true;
+      return_value_ = v;
+      return v;
+    }
+    case AstKind::kDyad:
+      return EvalDyad(node);
+    case AstKind::kApply:
+      return EvalApply(node);
+    case AstKind::kCond:
+      return EvalCond(node);
+    case AstKind::kListLit:
+      return EvalListLit(node);
+    case AstKind::kTableLit:
+      return EvalTableLit(node);
+    case AstKind::kQuery:
+      return EvalQueryTemplate(this, *node);
+    case AstKind::kSeq: {
+      QValue last;
+      for (const auto& stmt : node->args) {
+        HQ_ASSIGN_OR_RETURN(last, Eval(stmt));
+        if (returning_) return return_value_;
+      }
+      return last;
+    }
+  }
+  return InternalError("unhandled AST node kind");
+}
+
+Result<QValue> EvalContext::MakeFunctionValue(const AstPtr& node) {
+  if (node->kind == AstKind::kLambda) {
+    QValue v = QValue::MakeLambda(node->params, node->source);
+    auto fn = std::make_shared<FnVal>();
+    fn->kind = FnVal::Kind::kLambda;
+    fn->lambda_node = node;
+    v.Lambda().compiled = std::static_pointer_cast<const void>(
+        std::shared_ptr<const FnVal>(fn));
+    return v;
+  }
+  if (node->kind == AstKind::kFnRef) {
+    auto fn = std::make_shared<FnVal>();
+    fn->kind = FnVal::Kind::kBuiltin;
+    fn->builtin = node->name;
+    return WrapFn(std::move(fn), node->name);
+  }
+  // Adverbed function: resolve inner function value.
+  assert(node->kind == AstKind::kAdverbed);
+  HQ_ASSIGN_OR_RETURN(QValue inner_val, Eval(node->child));
+  HQ_ASSIGN_OR_RETURN(auto inner, FnFromValue(inner_val));
+  auto fn = std::make_shared<FnVal>();
+  fn->kind = FnVal::Kind::kAdverbed;
+  fn->adverb = node->name;
+  fn->inner = inner;
+  return WrapFn(std::move(fn),
+                StrCat(inner_val.Lambda().source, node->name));
+}
+
+Result<QValue> EvalContext::EvalDyad(const AstPtr& node) {
+  // q evaluates right-to-left: the right operand is evaluated first.
+  HQ_ASSIGN_OR_RETURN(QValue rhs, Eval(node->rhs));
+  HQ_ASSIGN_OR_RETURN(QValue lhs, Eval(node->lhs));
+  const Builtin* b = FindBuiltin(node->name);
+  if (b == nullptr || b->dyad == nullptr) {
+    return Unsupported(StrCat("nyi: dyadic '", node->name,
+                              "' is not implemented"));
+  }
+  return b->dyad(this, lhs, rhs);
+}
+
+Result<QValue> EvalContext::EvalApply(const AstPtr& node) {
+  // Arguments evaluate right-to-left as well.
+  std::vector<QValue> args(node->args.size());
+  bool has_hole = false;
+  for (size_t i = node->args.size(); i > 0; --i) {
+    const AstPtr& a = node->args[i - 1];
+    if (a->kind == AstKind::kLiteral && a->literal.IsGenericNull() &&
+        node->args.size() > 1) {
+      has_hole = true;  // f[;2] projection hole
+      args[i - 1] = QValue();
+      continue;
+    }
+    HQ_ASSIGN_OR_RETURN(args[i - 1], Eval(a));
+  }
+  HQ_ASSIGN_OR_RETURN(QValue callee, Eval(node->child));
+
+  if (callee.IsLambda() && has_hole) {
+    HQ_ASSIGN_OR_RETURN(auto inner, FnFromValue(callee));
+    auto fn = std::make_shared<FnVal>();
+    fn->kind = FnVal::Kind::kProjection;
+    fn->inner = inner;
+    fn->bound = args;
+    return WrapFn(std::move(fn),
+                  StrCat(callee.Lambda().source, "[...]"));
+  }
+  return Apply(callee, args);
+}
+
+Result<QValue> EvalContext::Apply(const QValue& fn,
+                                  const std::vector<QValue>& args) {
+  if (fn.IsLambda()) {
+    HQ_ASSIGN_OR_RETURN(auto f, FnFromValue(fn));
+    switch (f->kind) {
+      case FnVal::Kind::kBuiltin:
+        return CallBuiltin(f->builtin, args);
+      case FnVal::Kind::kLambda:
+        return CallLambda(*f, args);
+      case FnVal::Kind::kAdverbed:
+        return CallAdverbed(*f, args);
+      case FnVal::Kind::kProjection: {
+        std::vector<QValue> merged = f->bound;
+        size_t next = 0;
+        for (auto& slot : merged) {
+          if (slot.IsGenericNull() && next < args.size()) {
+            slot = args[next++];
+          }
+        }
+        QValue inner_val = WrapFn(f->inner, "fn");
+        return Apply(inner_val, merged);
+      }
+    }
+  }
+
+  // Applying data indexes into it (dynamic dispatch, §3.2.1).
+  if (fn.IsDict()) {
+    const QDict& d = fn.Dict();
+    if (args.size() != 1) {
+      return InvalidArgument("dict indexing takes one argument");
+    }
+    HQ_ASSIGN_OR_RETURN(QValue pos, Find(*d.keys, args[0]));
+    if (pos.is_atom()) return d.values->ElementAt(pos.AsInt());
+    HQ_ASSIGN_OR_RETURN(auto idx, ToInts(pos));
+    return IndexElements(*d.values, idx);
+  }
+  if (fn.IsTable()) {
+    if (args.size() != 1) {
+      return InvalidArgument("table indexing takes one argument");
+    }
+    const QValue& ix = args[0];
+    // t[`col] yields the column; t[i] the row dict; t[i1 i2 ...] rows.
+    if (ix.is_atom() && ix.type() == QType::kSymbol) {
+      int c = fn.Table().FindColumn(ix.AsSym());
+      if (c < 0) {
+        return NotFound(StrCat("column '", ix.AsSym(), "' not found; table "
+                               "has columns: ",
+                               Join(fn.Table().names, ", ")));
+      }
+      return fn.Table().columns[c];
+    }
+    if (ix.is_atom() && IsIntegralBacked(ix.type())) {
+      return fn.ElementAt(ix.AsInt());
+    }
+    if (!ix.is_atom() && IsIntegralBacked(ix.type())) {
+      HQ_ASSIGN_OR_RETURN(auto idx, ToInts(ix));
+      return TakeRows(fn, idx);
+    }
+    if (!ix.is_atom() && ix.type() == QType::kSymbol) {
+      std::vector<QValue> cols;
+      for (const auto& name : ix.SymsView()) {
+        int c = fn.Table().FindColumn(name);
+        if (c < 0) return NotFound(StrCat("column '", name, "' not found"));
+        cols.push_back(fn.Table().columns[c]);
+      }
+      return QValue::Mixed(std::move(cols));
+    }
+    return InvalidArgument("unsupported table index type");
+  }
+  if (!fn.is_atom()) {
+    if (args.size() != 1) {
+      return InvalidArgument("list indexing takes one argument");
+    }
+    const QValue& ix = args[0];
+    if (ix.is_atom() && IsIntegralBacked(ix.type())) {
+      return fn.ElementAt(ix.AsInt());
+    }
+    if (!ix.is_atom() && IsIntegralBacked(ix.type())) {
+      HQ_ASSIGN_OR_RETURN(auto idx, ToInts(ix));
+      return IndexElements(fn, idx);
+    }
+    return TypeError("type: list index must be integral");
+  }
+  return TypeError(StrCat("type: value of type ", QTypeName(fn.type()),
+                          " cannot be applied"));
+}
+
+Result<QValue> EvalContext::CallLambda(const FnVal& fn,
+                                       const std::vector<QValue>& args) {
+  const AstNode& lam = *fn.lambda_node;
+  if (args.size() > lam.params.size()) {
+    return ExecutionError(StrCat("rank: function takes ", lam.params.size(),
+                                 " arguments, got ", args.size()));
+  }
+  Frame frame;
+  for (size_t i = 0; i < args.size(); ++i) {
+    frame.vars[lam.params[i]] = args[i];
+  }
+  frames_.push_back(std::move(frame));
+  // Column scopes do not leak into function bodies.
+  std::vector<const ColumnScope*> saved_scopes;
+  saved_scopes.swap(column_scopes_);
+
+  QValue last;
+  Status failure = Status::OK();
+  for (const auto& stmt : lam.body) {
+    Result<QValue> r = Eval(stmt);
+    if (!r.ok()) {
+      failure = r.status();
+      break;
+    }
+    last = std::move(r).value();
+    if (returning_) {
+      last = return_value_;
+      returning_ = false;
+      break;
+    }
+  }
+  column_scopes_.swap(saved_scopes);
+  frames_.pop_back();
+  if (!failure.ok()) return failure;
+  return last;
+}
+
+Result<QValue> EvalContext::CallBuiltin(const std::string& name,
+                                        const std::vector<QValue>& args) {
+  const Builtin* b = FindBuiltin(name);
+  if (b == nullptr) {
+    return Unsupported(StrCat("nyi: builtin '", name, "' is not implemented"));
+  }
+  if (args.size() == 1 && b->monad != nullptr) {
+    return b->monad(this, args[0]);
+  }
+  if (args.size() == 2 && b->dyad != nullptr) {
+    return b->dyad(this, args[0], args[1]);
+  }
+  if (b->vararg != nullptr) return b->vararg(this, args);
+  return ExecutionError(StrCat("rank: '", name, "' cannot be applied to ",
+                               args.size(), " arguments"));
+}
+
+Result<QValue> EvalContext::CallAdverbed(const FnVal& fn,
+                                         const std::vector<QValue>& args) {
+  QValue inner_val = WrapFn(fn.inner, "fn");
+  const std::string& adv = fn.adverb;
+
+  auto elem_count = [](const QValue& v) -> size_t {
+    return v.is_atom() ? 1 : v.Count();
+  };
+
+  if (adv == "'") {
+    if (args.size() == 1) {
+      // each: map over elements.
+      const QValue& x = args[0];
+      size_t n = elem_count(x);
+      std::vector<QValue> out;
+      out.reserve(n);
+      for (size_t i = 0; i < n; ++i) {
+        HQ_ASSIGN_OR_RETURN(QValue r, Apply(inner_val, {x.ElementAt(i)}));
+        out.push_back(std::move(r));
+      }
+      return PackList(out);
+    }
+    if (args.size() == 2) {
+      // each-both: pairwise zip with atom broadcast.
+      const QValue& x = args[0];
+      const QValue& y = args[1];
+      size_t nx = elem_count(x);
+      size_t ny = elem_count(y);
+      if (!x.is_atom() && !y.is_atom() && nx != ny) {
+        return TypeError("length: each-both operands differ in length");
+      }
+      size_t n = std::max(nx, ny);
+      std::vector<QValue> out;
+      out.reserve(n);
+      for (size_t i = 0; i < n; ++i) {
+        HQ_ASSIGN_OR_RETURN(
+            QValue r,
+            Apply(inner_val, {x.is_atom() ? x : x.ElementAt(i),
+                              y.is_atom() ? y : y.ElementAt(i)}));
+        out.push_back(std::move(r));
+      }
+      return PackList(out);
+    }
+    return ExecutionError("rank: each supports 1 or 2 arguments");
+  }
+
+  if (adv == "/" || adv == "\\") {
+    bool scan = adv == "\\";
+    QValue acc;
+    const QValue* list;
+    size_t start = 0;
+    if (args.size() == 1) {
+      list = &args[0];
+      size_t n = elem_count(*list);
+      if (n == 0) return QValue();
+      acc = list->ElementAt(0);
+      start = 1;
+    } else if (args.size() == 2) {
+      acc = args[0];
+      list = &args[1];
+    } else {
+      return ExecutionError("rank: over/scan supports 1 or 2 arguments");
+    }
+    size_t n = elem_count(*list);
+    std::vector<QValue> trace;
+    if (args.size() == 1 && scan) trace.push_back(acc);
+    for (size_t i = start; i < n; ++i) {
+      HQ_ASSIGN_OR_RETURN(acc, Apply(inner_val, {acc, list->ElementAt(i)}));
+      if (scan) trace.push_back(acc);
+    }
+    if (scan) return PackList(trace);
+    return acc;
+  }
+
+  if (adv == "/:") {
+    // each-right: x f/: y applies f[x; y_i].
+    if (args.size() != 2) return ExecutionError("rank: each-right is dyadic");
+    size_t n = elem_count(args[1]);
+    std::vector<QValue> out;
+    out.reserve(n);
+    for (size_t i = 0; i < n; ++i) {
+      HQ_ASSIGN_OR_RETURN(QValue r,
+                          Apply(inner_val, {args[0], args[1].ElementAt(i)}));
+      out.push_back(std::move(r));
+    }
+    return PackList(out);
+  }
+  if (adv == "\\:") {
+    if (args.size() != 2) return ExecutionError("rank: each-left is dyadic");
+    size_t n = elem_count(args[0]);
+    std::vector<QValue> out;
+    out.reserve(n);
+    for (size_t i = 0; i < n; ++i) {
+      HQ_ASSIGN_OR_RETURN(QValue r,
+                          Apply(inner_val, {args[0].ElementAt(i), args[1]}));
+      out.push_back(std::move(r));
+    }
+    return PackList(out);
+  }
+  if (adv == "':") {
+    // each-prior: f'[x_i; x_{i-1}], first element passes through.
+    if (args.size() != 1) return ExecutionError("rank: prior is monadic here");
+    const QValue& x = args[0];
+    size_t n = elem_count(x);
+    std::vector<QValue> out;
+    out.reserve(n);
+    for (size_t i = 0; i < n; ++i) {
+      if (i == 0) {
+        out.push_back(x.ElementAt(0));
+        continue;
+      }
+      HQ_ASSIGN_OR_RETURN(
+          QValue r, Apply(inner_val, {x.ElementAt(i), x.ElementAt(i - 1)}));
+      out.push_back(std::move(r));
+    }
+    return PackList(out);
+  }
+  return Unsupported(StrCat("nyi: adverb '", adv, "'"));
+}
+
+Result<QValue> EvalContext::EvalCond(const AstPtr& node) {
+  const auto& branches = node->args;
+  size_t i = 0;
+  // $[c1;t1;c2;t2;...;f]: evaluate conditions until one is true.
+  while (i + 1 < branches.size()) {
+    HQ_ASSIGN_OR_RETURN(QValue c, Eval(branches[i]));
+    if (returning_) return return_value_;
+    bool truth = false;
+    if (c.is_atom() && IsIntegralBacked(c.type())) {
+      truth = c.AsInt() != 0 && !c.IsNullAtom();
+    } else if (c.is_atom() && IsFloatBacked(c.type())) {
+      truth = c.AsFloat() != 0 && !c.IsNullAtom();
+    } else {
+      return TypeError("type: conditional requires a scalar condition");
+    }
+    if (truth) return Eval(branches[i + 1]);
+    i += 2;
+  }
+  if (i < branches.size()) return Eval(branches[i]);  // trailing else
+  return QValue();
+}
+
+Result<QValue> EvalContext::EvalListLit(const AstPtr& node) {
+  std::vector<QValue> items(node->args.size());
+  for (size_t i = node->args.size(); i > 0; --i) {
+    HQ_ASSIGN_OR_RETURN(items[i - 1], Eval(node->args[i - 1]));
+  }
+  return PackList(items);
+}
+
+Result<QValue> EvalContext::EvalTableLit(const AstPtr& node) {
+  auto eval_cols = [&](const std::vector<NamedExpr>& defs,
+                       std::vector<std::string>* names,
+                       std::vector<QValue>* cols, size_t* rows) -> Status {
+    for (size_t i = 0; i < defs.size(); ++i) {
+      HQ_ASSIGN_OR_RETURN(QValue v, Eval(defs[i].expr));
+      std::string name = defs[i].name.empty()
+                             ? InferColumnName(defs[i].expr,
+                                               static_cast<int>(i))
+                             : defs[i].name;
+      names->push_back(name);
+      cols->push_back(std::move(v));
+      if (!cols->back().is_atom()) {
+        *rows = std::max(*rows, cols->back().Count());
+      }
+    }
+    return Status::OK();
+  };
+
+  std::vector<std::string> key_names, val_names;
+  std::vector<QValue> key_cols, val_cols;
+  size_t rows = 0;
+  HQ_RETURN_IF_ERROR(eval_cols(node->key_cols, &key_names, &key_cols, &rows));
+  HQ_RETURN_IF_ERROR(
+      eval_cols(node->value_cols, &val_names, &val_cols, &rows));
+
+  auto broadcast = [&](QValue& col) -> Status {
+    if (col.is_atom()) {
+      HQ_ASSIGN_OR_RETURN(
+          col, Take(static_cast<int64_t>(rows == 0 ? 1 : rows), col));
+    }
+    return Status::OK();
+  };
+  for (auto& c : key_cols) HQ_RETURN_IF_ERROR(broadcast(c));
+  for (auto& c : val_cols) HQ_RETURN_IF_ERROR(broadcast(c));
+
+  HQ_ASSIGN_OR_RETURN(QValue values,
+                      QValue::MakeTable(val_names, val_cols));
+  if (key_cols.empty()) return values;
+  HQ_ASSIGN_OR_RETURN(QValue keys, QValue::MakeTable(key_names, key_cols));
+  return QValue::MakeDictUnchecked(std::move(keys), std::move(values));
+}
+
+std::string InferColumnName(const AstPtr& expr, int position) {
+  // q names the column after the underlying variable: `select max Price
+  // from t` produces a column named Price.
+  const AstNode* n = expr.get();
+  while (n != nullptr) {
+    switch (n->kind) {
+      case AstKind::kVarRef:
+        return n->name;
+      case AstKind::kApply:
+        n = n->args.empty() ? nullptr : n->args[0].get();
+        break;
+      case AstKind::kDyad:
+        n = n->lhs.get();
+        break;
+      default:
+        n = nullptr;
+        break;
+    }
+  }
+  return StrCat("x", position == 0 ? std::string() : StrCat(position));
+}
+
+}  // namespace kdb
+}  // namespace hyperq

@@ -1,0 +1,376 @@
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+
+#include "common/strings.h"
+#include "kdb/engine.h"
+#include "kdb/value_ops.h"
+
+namespace hyperq {
+namespace kdb {
+
+namespace {
+
+/// Encodes the value of row `i` across key columns into a hashable string.
+/// Integral payloads are encoded raw to avoid formatting cost.
+std::string EncodeKey(const std::vector<const QValue*>& key_cols, int64_t i) {
+  std::string key;
+  for (const QValue* col : key_cols) {
+    switch (col->type()) {
+      case QType::kSymbol:
+        key += col->SymsView()[i];
+        break;
+      case QType::kChar:
+        key.push_back(col->CharsView()[i]);
+        break;
+      default:
+        if (IsIntegralBacked(col->type())) {
+          int64_t v = col->Ints()[i];
+          key.append(reinterpret_cast<const char*>(&v), sizeof(v));
+        } else if (IsFloatBacked(col->type())) {
+          double v = col->Floats()[i];
+          if (std::isnan(v)) v = 0.0 / 0.0;  // canonical NaN
+          key.append(reinterpret_cast<const char*>(&v), sizeof(v));
+        } else {
+          key += col->ElementAt(i).ToString();
+        }
+    }
+    key.push_back('\x1f');
+  }
+  return key;
+}
+
+Result<std::vector<std::string>> SymbolNames(const QValue& cols) {
+  if (cols.is_atom() && cols.type() == QType::kSymbol) {
+    return std::vector<std::string>{cols.AsSym()};
+  }
+  if (!cols.is_atom() && cols.type() == QType::kSymbol) {
+    return cols.SymsView();
+  }
+  return TypeError("join columns must be symbols");
+}
+
+Result<const QValue*> ColumnOf(const QTable& t, const std::string& name) {
+  int c = t.FindColumn(name);
+  if (c < 0) {
+    return NotFound(StrCat("join column '", name, "' not found in table with "
+                           "columns: ",
+                           Join(t.names, ", ")));
+  }
+  return &t.columns[c];
+}
+
+/// A typed null list of length n matching the element type of `like`.
+QValue NullColumn(const QValue& like, size_t n) {
+  QType t = like.type();
+  if (IsIntegralBacked(t)) {
+    return QValue::IntList(t, std::vector<int64_t>(n, kNullLong));
+  }
+  if (IsFloatBacked(t)) {
+    return QValue::FloatList(t, std::vector<double>(n, std::nan("")));
+  }
+  if (t == QType::kSymbol) {
+    return QValue::Syms(std::vector<std::string>(n, ""));
+  }
+  if (t == QType::kChar) return QValue::Chars(std::string(n, ' '));
+  return QValue::Mixed(std::vector<QValue>(n, QValue()));
+}
+
+/// Gathers elements of `col` at match positions, where -1 means no match
+/// (typed null).
+Result<QValue> GatherWithNulls(const QValue& col,
+                               const std::vector<int64_t>& pos) {
+  return IndexElements(col, pos);  // IndexElements yields nulls out of range
+}
+
+}  // namespace
+
+Result<QValue> AsOfJoin(const QValue& cols, const QValue& left,
+                        const QValue& right) {
+  HQ_ASSIGN_OR_RETURN(std::vector<std::string> names, SymbolNames(cols));
+  if (names.empty()) return InvalidArgument("aj: no join columns");
+  HQ_ASSIGN_OR_RETURN(QValue lt, Unkey(left));
+  HQ_ASSIGN_OR_RETURN(QValue rt, Unkey(right));
+  if (!lt.IsTable() || !rt.IsTable()) {
+    return TypeError("aj: both inputs must be tables");
+  }
+  const QTable& l = lt.Table();
+  const QTable& r = rt.Table();
+
+  // Last column is the as-of (time) column; the rest match exactly.
+  std::string time_col = names.back();
+  std::vector<std::string> exact(names.begin(), names.end() - 1);
+
+  HQ_ASSIGN_OR_RETURN(const QValue* ltime, ColumnOf(l, time_col));
+  HQ_ASSIGN_OR_RETURN(const QValue* rtime, ColumnOf(r, time_col));
+  std::vector<const QValue*> lkeys, rkeys;
+  for (const auto& n : exact) {
+    HQ_ASSIGN_OR_RETURN(const QValue* lc, ColumnOf(l, n));
+    HQ_ASSIGN_OR_RETURN(const QValue* rc, ColumnOf(r, n));
+    lkeys.push_back(lc);
+    rkeys.push_back(rc);
+  }
+
+  bool int_time = IsIntegralBacked(ltime->type()) &&
+                  IsIntegralBacked(rtime->type());
+  HQ_ASSIGN_OR_RETURN(auto ltf, ToFloats(*ltime));
+  HQ_ASSIGN_OR_RETURN(auto rtf, ToFloats(*rtime));
+  std::vector<int64_t> lti, rti;
+  if (int_time) {
+    HQ_ASSIGN_OR_RETURN(lti, ToInts(*ltime));
+    HQ_ASSIGN_OR_RETURN(rti, ToInts(*rtime));
+  }
+
+  size_t nl = l.RowCount();
+  size_t nr = r.RowCount();
+
+  // Bucket the right table rows by exact-match key, times kept sorted.
+  std::unordered_map<std::string, std::vector<int64_t>> buckets;
+  buckets.reserve(nr * 2);
+  for (size_t i = 0; i < nr; ++i) {
+    buckets[EncodeKey(rkeys, i)].push_back(static_cast<int64_t>(i));
+  }
+  auto time_less = [&](int64_t a, int64_t b) {
+    return int_time ? rti[a] < rti[b] : rtf[a] < rtf[b];
+  };
+  for (auto& [_, rows] : buckets) {
+    std::stable_sort(rows.begin(), rows.end(), time_less);
+  }
+
+  // For each left row find the last right row with time <= left time.
+  std::vector<int64_t> match(nl, -1);
+  for (size_t i = 0; i < nl; ++i) {
+    auto it = buckets.find(EncodeKey(lkeys, static_cast<int64_t>(i)));
+    if (it == buckets.end()) continue;
+    const auto& rows = it->second;
+    // Binary search: last row with rtime <= ltime.
+    int64_t lo = 0, hi = static_cast<int64_t>(rows.size()) - 1, ans = -1;
+    while (lo <= hi) {
+      int64_t mid = (lo + hi) / 2;
+      bool le = int_time ? rti[rows[mid]] <= lti[i]
+                         : rtf[rows[mid]] <= ltf[i];
+      if (le) {
+        ans = rows[mid];
+        lo = mid + 1;
+      } else {
+        hi = mid - 1;
+      }
+    }
+    match[i] = ans;
+  }
+
+  // Result: all left columns; right non-key columns overwrite on match or
+  // are appended.
+  std::vector<std::string> out_names = l.names;
+  std::vector<QValue> out_cols = l.columns;
+  for (size_t c = 0; c < r.names.size(); ++c) {
+    const std::string& rn = r.names[c];
+    if (std::find(names.begin(), names.end(), rn) != names.end()) continue;
+    HQ_ASSIGN_OR_RETURN(QValue gathered, GatherWithNulls(r.columns[c], match));
+    int lc = l.FindColumn(rn);
+    if (lc >= 0) {
+      out_cols[lc] = std::move(gathered);
+    } else {
+      out_names.push_back(rn);
+      out_cols.push_back(std::move(gathered));
+    }
+  }
+  return QValue::MakeTableUnchecked(std::move(out_names),
+                                    std::move(out_cols));
+}
+
+namespace {
+
+/// Shared machinery for lj/ij: match left rows against the key columns of a
+/// keyed right table (first match wins, q semantics).
+struct KeyedMatch {
+  std::vector<int64_t> match;     // per left row: right row or -1
+  const QTable* right_values = nullptr;
+  QValue right_values_holder;
+};
+
+Result<KeyedMatch> MatchKeyed(const QValue& left, const QValue& keyed_right) {
+  if (!left.IsTable()) return TypeError("join: left input must be a table");
+  if (!keyed_right.IsKeyedTable()) {
+    return TypeError("join: right input must be a keyed table");
+  }
+  const QTable& l = left.Table();
+  const QTable& rk = keyed_right.Dict().keys->Table();
+
+  std::vector<const QValue*> lkeys, rkeys;
+  for (size_t c = 0; c < rk.names.size(); ++c) {
+    HQ_ASSIGN_OR_RETURN(const QValue* lc, ColumnOf(l, rk.names[c]));
+    lkeys.push_back(lc);
+    rkeys.push_back(&rk.columns[c]);
+  }
+  size_t nr = rk.RowCount();
+  std::unordered_map<std::string, int64_t> index;
+  index.reserve(nr * 2);
+  for (size_t i = 0; i < nr; ++i) {
+    index.emplace(EncodeKey(rkeys, i), static_cast<int64_t>(i));
+  }
+  KeyedMatch out;
+  size_t nl = l.RowCount();
+  out.match.resize(nl, -1);
+  for (size_t i = 0; i < nl; ++i) {
+    auto it = index.find(EncodeKey(lkeys, static_cast<int64_t>(i)));
+    if (it != index.end()) out.match[i] = it->second;
+  }
+  out.right_values_holder = *keyed_right.Dict().values;
+  out.right_values = &out.right_values_holder.Table();
+  return out;
+}
+
+}  // namespace
+
+Result<QValue> LeftJoin(const QValue& left, const QValue& keyed_right) {
+  HQ_ASSIGN_OR_RETURN(KeyedMatch m, MatchKeyed(left, keyed_right));
+  const QTable& l = left.Table();
+  std::vector<std::string> names = l.names;
+  std::vector<QValue> cols = l.columns;
+  for (size_t c = 0; c < m.right_values->names.size(); ++c) {
+    HQ_ASSIGN_OR_RETURN(
+        QValue gathered,
+        GatherWithNulls(m.right_values->columns[c], m.match));
+    int lc = l.FindColumn(m.right_values->names[c]);
+    if (lc >= 0) {
+      // lj: matched rows take the right value, unmatched keep the left.
+      size_t n = l.RowCount();
+      std::vector<QValue> merged;
+      merged.reserve(n);
+      for (size_t i = 0; i < n; ++i) {
+        merged.push_back(m.match[i] >= 0 ? gathered.ElementAt(i)
+                                         : cols[lc].ElementAt(i));
+      }
+      QValue packed = QValue::Mixed(merged);
+      bool uniform = true;
+      QType t = merged.empty() ? QType::kMixed : merged[0].type();
+      for (const auto& e : merged) uniform &= e.is_atom() && e.type() == t;
+      if (uniform && !merged.empty()) {
+        QValue typed = QValue::EmptyList(t);
+        for (const auto& e : merged) typed = typed.AppendElement(e);
+        packed = typed;
+      }
+      cols[lc] = packed;
+    } else {
+      names.push_back(m.right_values->names[c]);
+      cols.push_back(std::move(gathered));
+    }
+  }
+  return QValue::MakeTableUnchecked(std::move(names), std::move(cols));
+}
+
+Result<QValue> InnerJoin(const QValue& left, const QValue& keyed_right) {
+  HQ_ASSIGN_OR_RETURN(KeyedMatch m, MatchKeyed(left, keyed_right));
+  const QTable& l = left.Table();
+  std::vector<int64_t> keep;
+  std::vector<int64_t> rpos;
+  for (size_t i = 0; i < m.match.size(); ++i) {
+    if (m.match[i] >= 0) {
+      keep.push_back(static_cast<int64_t>(i));
+      rpos.push_back(m.match[i]);
+    }
+  }
+  HQ_ASSIGN_OR_RETURN(QValue lrows, TakeRows(left, keep));
+  std::vector<std::string> names = lrows.Table().names;
+  std::vector<QValue> cols = lrows.Table().columns;
+  for (size_t c = 0; c < m.right_values->names.size(); ++c) {
+    HQ_ASSIGN_OR_RETURN(QValue gathered,
+                        IndexElements(m.right_values->columns[c], rpos));
+    int lc = l.FindColumn(m.right_values->names[c]);
+    if (lc >= 0) {
+      cols[lc] = std::move(gathered);
+    } else {
+      names.push_back(m.right_values->names[c]);
+      cols.push_back(std::move(gathered));
+    }
+  }
+  return QValue::MakeTableUnchecked(std::move(names), std::move(cols));
+}
+
+Result<QValue> UnionJoin(const QValue& a, const QValue& b) {
+  HQ_ASSIGN_OR_RETURN(QValue ta, Unkey(a));
+  HQ_ASSIGN_OR_RETURN(QValue tb, Unkey(b));
+  if (!ta.IsTable() || !tb.IsTable()) {
+    return TypeError("uj: both inputs must be tables");
+  }
+  const QTable& l = ta.Table();
+  const QTable& r = tb.Table();
+  size_t nl = l.RowCount();
+  size_t nr = r.RowCount();
+
+  std::vector<std::string> names = l.names;
+  for (const auto& rn : r.names) {
+    if (std::find(names.begin(), names.end(), rn) == names.end()) {
+      names.push_back(rn);
+    }
+  }
+  std::vector<QValue> cols;
+  for (const auto& n : names) {
+    int lc = l.FindColumn(n);
+    int rc = r.FindColumn(n);
+    QValue top = lc >= 0 ? l.columns[lc]
+                         : NullColumn(r.columns[rc], nl);
+    QValue bottom = rc >= 0 ? r.columns[rc]
+                            : NullColumn(l.columns[lc], nr);
+    HQ_ASSIGN_OR_RETURN(QValue merged, Concat(top, bottom));
+    cols.push_back(std::move(merged));
+  }
+  return QValue::MakeTableUnchecked(std::move(names), std::move(cols));
+}
+
+Result<QValue> EquiJoin(const QValue& cols, const QValue& left,
+                        const QValue& right) {
+  HQ_ASSIGN_OR_RETURN(std::vector<std::string> names, SymbolNames(cols));
+  HQ_ASSIGN_OR_RETURN(QValue lt, Unkey(left));
+  HQ_ASSIGN_OR_RETURN(QValue rt, Unkey(right));
+  if (!lt.IsTable() || !rt.IsTable()) {
+    return TypeError("ej: both inputs must be tables");
+  }
+  const QTable& l = lt.Table();
+  const QTable& r = rt.Table();
+
+  std::vector<const QValue*> lkeys, rkeys;
+  for (const auto& n : names) {
+    HQ_ASSIGN_OR_RETURN(const QValue* lc, ColumnOf(l, n));
+    HQ_ASSIGN_OR_RETURN(const QValue* rc, ColumnOf(r, n));
+    lkeys.push_back(lc);
+    rkeys.push_back(rc);
+  }
+  std::unordered_map<std::string, std::vector<int64_t>> buckets;
+  size_t nr = r.RowCount();
+  for (size_t i = 0; i < nr; ++i) {
+    buckets[EncodeKey(rkeys, i)].push_back(static_cast<int64_t>(i));
+  }
+  std::vector<int64_t> li, ri;
+  size_t nl = l.RowCount();
+  for (size_t i = 0; i < nl; ++i) {
+    auto it = buckets.find(EncodeKey(lkeys, static_cast<int64_t>(i)));
+    if (it == buckets.end()) continue;
+    for (int64_t rrow : it->second) {
+      li.push_back(static_cast<int64_t>(i));
+      ri.push_back(rrow);
+    }
+  }
+  HQ_ASSIGN_OR_RETURN(QValue lrows, TakeRows(lt, li));
+  std::vector<std::string> out_names = lrows.Table().names;
+  std::vector<QValue> out_cols = lrows.Table().columns;
+  for (size_t c = 0; c < r.names.size(); ++c) {
+    if (std::find(names.begin(), names.end(), r.names[c]) != names.end()) {
+      continue;
+    }
+    HQ_ASSIGN_OR_RETURN(QValue gathered, IndexElements(r.columns[c], ri));
+    int lc = l.FindColumn(r.names[c]);
+    if (lc >= 0) {
+      out_cols[lc] = std::move(gathered);
+    } else {
+      out_names.push_back(r.names[c]);
+      out_cols.push_back(std::move(gathered));
+    }
+  }
+  return QValue::MakeTableUnchecked(std::move(out_names),
+                                    std::move(out_cols));
+}
+
+}  // namespace kdb
+}  // namespace hyperq

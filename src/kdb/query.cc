@@ -1,0 +1,436 @@
+#include <algorithm>
+#include <numeric>
+#include <unordered_set>
+
+#include "common/strings.h"
+#include "kdb/engine.h"
+#include "kdb/value_ops.h"
+
+namespace hyperq {
+namespace kdb {
+
+namespace {
+
+/// Builds a column scope mapping each column name (plus the virtual row
+/// index column `i`) to the column restricted to `rows`.
+Result<EvalContext::ColumnScope> MakeScope(const QTable& table,
+                                           const std::vector<int64_t>& rows) {
+  EvalContext::ColumnScope scope;
+  for (size_t c = 0; c < table.names.size(); ++c) {
+    HQ_ASSIGN_OR_RETURN(QValue col, IndexElements(table.columns[c], rows));
+    scope.emplace(table.names[c], std::move(col));
+  }
+  scope.emplace("i", QValue::IntList(
+                         QType::kLong,
+                         std::vector<int64_t>(rows.begin(), rows.end())));
+  return scope;
+}
+
+/// Broadcasts an expression result to a column of `n` rows.
+Result<QValue> AsColumn(QValue v, size_t n) {
+  if (v.is_atom()) {
+    return Take(static_cast<int64_t>(n), v);
+  }
+  if (v.IsTable() || v.IsDict()) {
+    return TypeError("select expression produced a non-column value");
+  }
+  if (v.Count() != n) {
+    return TypeError(StrCat("length: select expression produced ", v.Count(),
+                            " values for ", n, " rows"));
+  }
+  return v;
+}
+
+/// Replaces elements of `full` at positions `rows` with `values`
+/// (atom values broadcast). Used by update-with-where.
+Result<QValue> ScatterElements(const QValue& full,
+                               const std::vector<int64_t>& rows,
+                               const QValue& values) {
+  size_t n = full.Count();
+  std::vector<QValue> out;
+  out.reserve(n);
+  for (size_t i = 0; i < n; ++i) out.push_back(full.ElementAt(i));
+  for (size_t k = 0; k < rows.size(); ++k) {
+    out[rows[k]] = values.is_atom() ? values : values.ElementAt(k);
+  }
+  // Re-pack into the tightest representation via concat of an empty list.
+  QType t = out.empty() ? QType::kMixed : out[0].type();
+  bool uniform = true;
+  for (const auto& e : out) {
+    uniform &= e.is_atom() && e.type() == t;
+  }
+  if (!uniform) return QValue::Mixed(std::move(out));
+  QValue packed = QValue::EmptyList(t);
+  for (const auto& e : out) packed = packed.AppendElement(e);
+  return packed;
+}
+
+struct EvaluatedCols {
+  std::vector<std::string> names;
+  std::vector<QValue> values;  ///< Raw expression results (atom or list).
+};
+
+Result<EvaluatedCols> EvalExprList(EvalContext* ctx,
+                                   const std::vector<NamedExpr>& exprs) {
+  EvaluatedCols out;
+  for (size_t i = 0; i < exprs.size(); ++i) {
+    HQ_ASSIGN_OR_RETURN(QValue v, ctx->Eval(exprs[i].expr));
+    out.names.push_back(exprs[i].name.empty()
+                            ? InferColumnName(exprs[i].expr,
+                                              static_cast<int>(i))
+                            : exprs[i].name);
+    out.values.push_back(std::move(v));
+  }
+  return out;
+}
+
+/// Applies select[n] / select[n;>col] options to a finished select result.
+Result<QValue> ApplySelectOptions(EvalContext* ctx, const AstNode& node,
+                                  QValue result) {
+  if (node.query_order_dir != 0) {
+    if (!result.IsTable()) {
+      return Unsupported(
+          "select[..;<col] ordering applies to plain table results only");
+    }
+    const QTable& t = result.Table();
+    int c = t.FindColumn(node.query_order_col);
+    if (c < 0) {
+      return BindError(StrCat("select[..] ordering column '",
+                              node.query_order_col, "' not in result"));
+    }
+    HQ_ASSIGN_OR_RETURN(
+        result,
+        TakeRows(result,
+                 GradeList(t.columns[c], node.query_order_dir > 0)));
+  }
+  if (node.query_limit) {
+    HQ_ASSIGN_OR_RETURN(QValue nv, ctx->Eval(node.query_limit));
+    if (!nv.is_atom() || !IsIntegralBacked(nv.type())) {
+      return TypeError("select[n] limit must be an integer");
+    }
+    int64_t n = nv.AsInt();
+    int64_t rows = static_cast<int64_t>(result.Count());
+    int64_t take = std::min(n < 0 ? -n : n, rows);  // clamp, never cycle
+    if (result.IsTable()) {
+      HQ_ASSIGN_OR_RETURN(result, Take(n < 0 ? -take : take, result));
+    } else if (result.IsKeyedTable()) {
+      const QDict& d = result.Dict();
+      HQ_ASSIGN_OR_RETURN(QValue keys,
+                          Take(n < 0 ? -take : take, *d.keys));
+      HQ_ASSIGN_OR_RETURN(QValue vals,
+                          Take(n < 0 ? -take : take, *d.values));
+      result = QValue::MakeDictUnchecked(std::move(keys), std::move(vals));
+    }
+  }
+  return result;
+}
+
+}  // namespace
+
+Result<QValue> EvalQueryTemplate(EvalContext* ctx, const AstNode& node) {
+  HQ_ASSIGN_OR_RETURN(QValue source, ctx->Eval(node.from));
+  HQ_ASSIGN_OR_RETURN(source, Unkey(source));
+  if (!source.IsTable()) {
+    return TypeError(StrCat("from clause must be a table, got ",
+                            QTypeName(source.type())));
+  }
+  const QTable& table = source.Table();
+  size_t total_rows = table.RowCount();
+
+  // Where: conditions filter sequentially (left to right), each evaluated
+  // over the rows that survived the previous one.
+  std::vector<int64_t> rows(total_rows);
+  std::iota(rows.begin(), rows.end(), 0);
+  for (const auto& cond : node.where_list) {
+    HQ_ASSIGN_OR_RETURN(EvalContext::ColumnScope scope,
+                        MakeScope(table, rows));
+    ctx->PushColumnScope(&scope);
+    Result<QValue> mask = ctx->Eval(cond);
+    ctx->PopColumnScope();
+    if (!mask.ok()) return mask.status();
+    HQ_ASSIGN_OR_RETURN(auto keep, BoolsToIndices(*mask, rows.size()));
+    std::vector<int64_t> next;
+    next.reserve(keep.size());
+    for (int64_t k : keep) next.push_back(rows[k]);
+    rows = std::move(next);
+  }
+
+  // ---- delete ----
+  if (node.query_kind == QueryKind::kDelete) {
+    if (!node.delete_cols.empty()) {
+      std::vector<std::string> names;
+      std::vector<QValue> cols;
+      for (size_t i = 0; i < table.names.size(); ++i) {
+        if (std::find(node.delete_cols.begin(), node.delete_cols.end(),
+                      table.names[i]) == node.delete_cols.end()) {
+          names.push_back(table.names[i]);
+          cols.push_back(table.columns[i]);
+        }
+      }
+      return QValue::MakeTableUnchecked(std::move(names), std::move(cols));
+    }
+    // Delete rows matching the where clauses.
+    std::unordered_set<int64_t> doomed(rows.begin(), rows.end());
+    std::vector<int64_t> keep;
+    for (size_t i = 0; i < total_rows; ++i) {
+      if (node.where_list.empty() || doomed.count(i) == 0) keep.push_back(i);
+    }
+    return TakeRows(source, keep);
+  }
+
+  // ---- update ... by ----
+  if (node.query_kind == QueryKind::kUpdate && !node.by_list.empty()) {
+    // Grouped update: each expression evaluates per group and its result is
+    // scattered back to the group's rows (atoms broadcast).
+    HQ_ASSIGN_OR_RETURN(EvalContext::ColumnScope scope,
+                        MakeScope(table, rows));
+    ctx->PushColumnScope(&scope);
+    Result<EvaluatedCols> by_cols = EvalExprList(ctx, node.by_list);
+    ctx->PopColumnScope();
+    if (!by_cols.ok()) return by_cols.status();
+    std::vector<QValue> keys;
+    for (auto& v : by_cols->values) {
+      HQ_ASSIGN_OR_RETURN(QValue col, AsColumn(std::move(v), rows.size()));
+      keys.push_back(std::move(col));
+    }
+    HQ_ASSIGN_OR_RETURN(Grouping groups, GroupRows(keys));
+
+    std::vector<std::string> names = table.names;
+    std::vector<QValue> columns = table.columns;
+    for (const auto& members : groups.group_rows) {
+      std::vector<int64_t> grp_rows;
+      grp_rows.reserve(members.size());
+      for (int64_t m : members) grp_rows.push_back(rows[m]);
+      HQ_ASSIGN_OR_RETURN(EvalContext::ColumnScope gscope,
+                          MakeScope(table, grp_rows));
+      ctx->PushColumnScope(&gscope);
+      Result<EvaluatedCols> cols = EvalExprList(ctx, node.select_list);
+      ctx->PopColumnScope();
+      if (!cols.ok()) return cols.status();
+      for (size_t i = 0; i < cols->names.size(); ++i) {
+        HQ_ASSIGN_OR_RETURN(QValue vals,
+                            AsColumn(cols->values[i], grp_rows.size()));
+        int c = -1;
+        for (size_t k = 0; k < names.size(); ++k) {
+          if (names[k] == cols->names[i]) c = static_cast<int>(k);
+        }
+        if (c < 0) {
+          // New column: typed nulls everywhere, filled group by group.
+          QType t = vals.type() == QType::kMixed ? QType::kUnary
+                                                 : vals.type();
+          std::vector<QValue> nulls(total_rows, QValue::NullOf(t));
+          names.push_back(cols->names[i]);
+          columns.push_back(QValue::Mixed(std::move(nulls)));
+          c = static_cast<int>(names.size()) - 1;
+        }
+        HQ_ASSIGN_OR_RETURN(columns[c],
+                            ScatterElements(columns[c], grp_rows, vals));
+      }
+    }
+    return QValue::MakeTable(std::move(names), std::move(columns));
+  }
+
+  // ---- update ----
+  if (node.query_kind == QueryKind::kUpdate) {
+    HQ_ASSIGN_OR_RETURN(EvalContext::ColumnScope scope,
+                        MakeScope(table, rows));
+    ctx->PushColumnScope(&scope);
+    Result<EvaluatedCols> cols = EvalExprList(ctx, node.select_list);
+    ctx->PopColumnScope();
+    if (!cols.ok()) return cols.status();
+
+    std::vector<std::string> names = table.names;
+    std::vector<QValue> columns = table.columns;
+    for (size_t i = 0; i < cols->names.size(); ++i) {
+      HQ_ASSIGN_OR_RETURN(QValue vals,
+                          AsColumn(cols->values[i], rows.size()));
+      int c = table.FindColumn(cols->names[i]);
+      if (c >= 0) {
+        if (rows.size() == total_rows) {
+          columns[c] = vals;
+        } else {
+          HQ_ASSIGN_OR_RETURN(columns[c],
+                              ScatterElements(columns[c], rows, vals));
+        }
+      } else {
+        // New column: typed nulls outside the updated rows.
+        QValue base;
+        if (rows.size() == total_rows) {
+          base = vals;
+        } else {
+          QType t = vals.type() == QType::kMixed ? QType::kUnary : vals.type();
+          std::vector<QValue> nulls(total_rows, QValue::NullOf(t));
+          HQ_ASSIGN_OR_RETURN(
+              base, ScatterElements(QValue::Mixed(std::move(nulls)), rows,
+                                    vals));
+        }
+        names.push_back(cols->names[i]);
+        columns.push_back(std::move(base));
+      }
+    }
+    return QValue::MakeTable(std::move(names), std::move(columns));
+  }
+
+  // ---- select / exec ----
+  bool is_exec = node.query_kind == QueryKind::kExec;
+
+  if (node.by_list.empty()) {
+    HQ_ASSIGN_OR_RETURN(EvalContext::ColumnScope scope,
+                        MakeScope(table, rows));
+    ctx->PushColumnScope(&scope);
+    Result<EvaluatedCols> cols =
+        node.select_list.empty()
+            ? [&]() -> Result<EvaluatedCols> {
+                EvaluatedCols all;
+                for (size_t c = 0; c < table.names.size(); ++c) {
+                  all.names.push_back(table.names[c]);
+                  all.values.push_back(scope.at(table.names[c]));
+                }
+                return all;
+              }()
+            : EvalExprList(ctx, node.select_list);
+    ctx->PopColumnScope();
+    if (!cols.ok()) return cols.status();
+
+    if (is_exec) {
+      if (cols->values.size() == 1) return cols->values[0];
+      std::vector<QValue> vals = cols->values;
+      return QValue::MakeDictUnchecked(QValue::Syms(cols->names),
+                                       QValue::Mixed(std::move(vals)));
+    }
+    // Result row count is the longest list among the results; a select of
+    // only aggregates yields a one-row table (q semantics).
+    bool any_list = false;
+    size_t max_list = 0;
+    for (const auto& v : cols->values) {
+      if (!v.is_atom()) {
+        any_list = true;
+        max_list = std::max(max_list, v.Count());
+      }
+    }
+    size_t out_rows = any_list ? max_list : 1;
+    std::vector<QValue> columns;
+    for (auto& v : cols->values) {
+      HQ_ASSIGN_OR_RETURN(QValue col, AsColumn(std::move(v), out_rows));
+      columns.push_back(std::move(col));
+    }
+    HQ_ASSIGN_OR_RETURN(QValue result,
+                        QValue::MakeTable(cols->names, std::move(columns)));
+    return ApplySelectOptions(ctx, node, std::move(result));
+  }
+
+  // Grouped select/exec. Evaluate by-expressions over filtered rows.
+  HQ_ASSIGN_OR_RETURN(EvalContext::ColumnScope scope, MakeScope(table, rows));
+  ctx->PushColumnScope(&scope);
+  Result<EvaluatedCols> by_cols = EvalExprList(ctx, node.by_list);
+  ctx->PopColumnScope();
+  if (!by_cols.ok()) return by_cols.status();
+
+  std::vector<QValue> keys;
+  for (auto& v : by_cols->values) {
+    HQ_ASSIGN_OR_RETURN(QValue col, AsColumn(std::move(v), rows.size()));
+    keys.push_back(std::move(col));
+  }
+  HQ_ASSIGN_OR_RETURN(Grouping groups, GroupRows(keys));
+
+  // Evaluate select expressions per group; each must produce one value.
+  std::vector<std::vector<QValue>> group_results;
+  std::vector<std::string> out_names;
+  bool names_set = false;
+  for (const auto& members : groups.group_rows) {
+    std::vector<int64_t> grp_rows;
+    grp_rows.reserve(members.size());
+    for (int64_t m : members) grp_rows.push_back(rows[m]);
+    HQ_ASSIGN_OR_RETURN(EvalContext::ColumnScope gscope,
+                        MakeScope(table, grp_rows));
+    ctx->PushColumnScope(&gscope);
+    Result<EvaluatedCols> cols =
+        node.select_list.empty()
+            ? [&]() -> Result<EvaluatedCols> {
+                // `select by k from t` keeps the last row per group; the by
+                // columns themselves become the key and are excluded here.
+                EvaluatedCols last;
+                for (size_t c = 0; c < table.names.size(); ++c) {
+                  bool is_key = false;
+                  for (const auto& bn : by_cols->names) {
+                    if (bn == table.names[c]) is_key = true;
+                  }
+                  if (is_key) continue;
+                  Result<QValue> lv = AggLast(gscope.at(table.names[c]));
+                  if (!lv.ok()) return lv.status();
+                  last.names.push_back(table.names[c]);
+                  last.values.push_back(std::move(lv).value());
+                }
+                return last;
+              }()
+            : EvalExprList(ctx, node.select_list);
+    ctx->PopColumnScope();
+    if (!cols.ok()) return cols.status();
+    if (!names_set) {
+      out_names = cols->names;
+      names_set = true;
+    }
+    group_results.push_back(std::move(cols->values));
+  }
+
+  // Zero matching rows: the result is an empty keyed table that still
+  // carries the select-list column names.
+  if (groups.group_rows.empty() && !names_set) {
+    for (size_t i = 0; i < node.select_list.size(); ++i) {
+      out_names.push_back(node.select_list[i].name.empty()
+                              ? InferColumnName(node.select_list[i].expr,
+                                                static_cast<int>(i))
+                              : node.select_list[i].name);
+    }
+    if (node.select_list.empty()) {
+      for (size_t c = 0; c < table.names.size(); ++c) {
+        bool is_key = false;
+        for (const auto& bn : by_cols->names) {
+          if (bn == table.names[c]) is_key = true;
+        }
+        if (!is_key) out_names.push_back(table.names[c]);
+      }
+    }
+  }
+
+  size_t ngroups = groups.group_rows.size();
+  size_t nvals = out_names.size();
+  std::vector<QValue> out_cols(nvals);
+  for (size_t c = 0; c < nvals; ++c) {
+    QValue col = QValue::Mixed({});
+    bool typed = ngroups > 0 && group_results[0][c].is_atom();
+    if (typed) {
+      col = QValue::EmptyList(group_results[0][c].type());
+      for (size_t g = 0; g < ngroups; ++g) {
+        col = col.AppendElement(group_results[g][c]);
+      }
+    } else {
+      std::vector<QValue> items;
+      for (size_t g = 0; g < ngroups; ++g) {
+        items.push_back(group_results[g][c]);
+      }
+      col = QValue::Mixed(std::move(items));
+    }
+    out_cols[c] = std::move(col);
+  }
+
+  if (is_exec) {
+    // exec by returns a dict keyed by the (first) by column.
+    if (nvals == 1) {
+      return QValue::MakeDictUnchecked(groups.group_keys[0], out_cols[0]);
+    }
+    return QValue::MakeDictUnchecked(
+        QValue::Syms(out_names), QValue::Mixed(std::move(out_cols)));
+  }
+
+  HQ_ASSIGN_OR_RETURN(QValue key_table,
+                      QValue::MakeTable(by_cols->names, groups.group_keys));
+  HQ_ASSIGN_OR_RETURN(QValue val_table,
+                      QValue::MakeTable(out_names, std::move(out_cols)));
+  QValue keyed = QValue::MakeDictUnchecked(std::move(key_table),
+                                           std::move(val_table));
+  return ApplySelectOptions(ctx, node, std::move(keyed));
+}
+
+}  // namespace kdb
+}  // namespace hyperq

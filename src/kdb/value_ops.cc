@@ -1,0 +1,1346 @@
+#include "kdb/value_ops.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <set>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "common/strings.h"
+#include "qval/temporal.h"
+
+namespace hyperq {
+namespace kdb {
+
+namespace {
+
+bool IsNullInt(int64_t v) { return v == kNullLong; }
+
+/// Uniform numeric element view over an atom or list (integral- or
+/// float-backed). Symbols/chars/mixed take the slow generic paths.
+struct NumView {
+  bool valid = false;
+  bool is_float = false;
+  bool is_atom = false;
+  QType type = QType::kLong;
+  const std::vector<int64_t>* ints = nullptr;
+  const std::vector<double>* floats = nullptr;
+  int64_t iatom = 0;
+  double fatom = 0;
+  size_t count = 0;
+
+  static NumView Of(const QValue& v) {
+    NumView n;
+    n.type = v.type();
+    n.is_atom = v.is_atom();
+    if (IsIntegralBacked(v.type())) {
+      n.valid = true;
+      if (v.is_atom()) {
+        n.iatom = v.AsInt();
+        n.count = 1;
+      } else {
+        n.ints = &v.Ints();
+        n.count = n.ints->size();
+      }
+    } else if (IsFloatBacked(v.type())) {
+      n.valid = true;
+      n.is_float = true;
+      if (v.is_atom()) {
+        n.fatom = v.AsFloat();
+        n.count = 1;
+      } else {
+        n.floats = &v.Floats();
+        n.count = n.floats->size();
+      }
+    }
+    return n;
+  }
+
+  int64_t I(size_t i) const { return is_atom ? iatom : (*ints)[i]; }
+  double F(size_t i) const {
+    if (is_float) return is_atom ? fatom : (*floats)[i];
+    int64_t v = I(i);
+    return IsNullInt(v) ? std::nan("") : static_cast<double>(v);
+  }
+  bool IsNull(size_t i) const {
+    if (is_float) return std::isnan(is_atom ? fatom : (*floats)[i]);
+    return IsNullInt(I(i));
+  }
+};
+
+Status LengthError(size_t a, size_t b) {
+  return TypeError(StrCat("length: lists of size ", a, " and ", b,
+                          " cannot be combined element-wise"));
+}
+
+/// Result element type of an arithmetic op per q's promotion rules
+/// (normalized: integral arithmetic widens to long).
+QType ArithResultType(NumOp op, QType ta, QType tb) {
+  if (op == NumOp::kDiv) return QType::kFloat;
+  if (IsFloatBacked(ta) || IsFloatBacked(tb)) return QType::kFloat;
+  if (op == NumOp::kMin || op == NumOp::kMax) {
+    if (ta == tb) return ta;
+  }
+  bool tta = IsTemporal(ta);
+  bool ttb = IsTemporal(tb);
+  if (tta && ttb) {
+    // q: date-date is an int day count; timestamp-timestamp a timespan.
+    if (op == NumOp::kSub && ta == tb) {
+      return ta == QType::kTimestamp ? QType::kTimespan : QType::kLong;
+    }
+    return ta;
+  }
+  if (tta) return ta;
+  if (ttb) return tb;
+  return QType::kLong;
+}
+
+}  // namespace
+
+Result<QValue> NumericDyad(NumOp op, const QValue& a, const QValue& b) {
+  NumView va = NumView::Of(a);
+  NumView vb = NumView::Of(b);
+  if (!va.valid || !vb.valid) {
+    return TypeError(StrCat("type: cannot apply arithmetic to ",
+                            QTypeName(a.type()), " and ",
+                            QTypeName(b.type())));
+  }
+  if (!va.is_atom && !vb.is_atom && va.count != vb.count) {
+    return LengthError(va.count, vb.count);
+  }
+  bool atom_result = va.is_atom && vb.is_atom;
+  // Atoms broadcast to the list side's length (possibly zero).
+  size_t n = atom_result ? 1 : (va.is_atom ? vb.count : va.count);
+  QType rt = ArithResultType(op, a.type(), b.type());
+
+  if (IsFloatBacked(rt) || op == NumOp::kDiv) {
+    std::vector<double> out(n);
+    for (size_t i = 0; i < n; ++i) {
+      double x = va.F(i);
+      double y = vb.F(i);
+      double r = 0;
+      switch (op) {
+        case NumOp::kAdd:
+          r = x + y;
+          break;
+        case NumOp::kSub:
+          r = x - y;
+          break;
+        case NumOp::kMul:
+          r = x * y;
+          break;
+        case NumOp::kDiv:
+          r = x / y;
+          break;
+        case NumOp::kMin:
+          // Null behaves as -infinity (q: 0N&x is null, 0N|x is x).
+          r = std::isnan(x) ? x : (std::isnan(y) ? y : std::min(x, y));
+          break;
+        case NumOp::kMax:
+          r = std::isnan(x) ? y : (std::isnan(y) ? x : std::max(x, y));
+          break;
+        case NumOp::kMod:
+          r = y == 0 ? std::nan("") : x - y * std::floor(x / y);
+          break;
+        case NumOp::kIntDiv:
+          r = y == 0 ? std::nan("") : std::floor(x / y);
+          break;
+        case NumOp::kXbar:
+          r = x == 0 ? y : x * std::floor(y / x);
+          break;
+      }
+      out[i] = r;
+    }
+    if (atom_result) return QValue::FloatAtom(QType::kFloat, out[0]);
+    return QValue::FloatList(QType::kFloat, std::move(out));
+  }
+
+  std::vector<int64_t> out(n);
+  for (size_t i = 0; i < n; ++i) {
+    int64_t x = va.I(i);
+    int64_t y = vb.I(i);
+    int64_t r;
+    if (op == NumOp::kMin) {
+      r = std::min(x, y);  // null is INT64_MIN: naturally the minimum
+    } else if (op == NumOp::kMax) {
+      r = std::max(x, y);
+    } else if (IsNullInt(x) || IsNullInt(y)) {
+      r = kNullLong;
+    } else {
+      switch (op) {
+        case NumOp::kAdd:
+          r = x + y;
+          break;
+        case NumOp::kSub:
+          r = x - y;
+          break;
+        case NumOp::kMul:
+          r = x * y;
+          break;
+        case NumOp::kMod: {
+          if (y == 0) {
+            r = kNullLong;
+          } else {
+            r = x % y;
+            if (r != 0 && ((r < 0) != (y < 0))) r += y;
+          }
+          break;
+        }
+        case NumOp::kIntDiv: {
+          if (y == 0) {
+            r = kNullLong;
+          } else {
+            int64_t q = x / y;
+            if ((x % y != 0) && ((x < 0) != (y < 0))) --q;
+            r = q;
+          }
+          break;
+        }
+        case NumOp::kXbar: {
+          if (x == 0) {
+            r = y;
+          } else {
+            int64_t q = y / x;
+            if ((y % x != 0) && ((y < 0) != (x < 0))) --q;
+            r = q * x;
+          }
+          break;
+        }
+        default:
+          r = 0;
+          break;
+      }
+    }
+    out[i] = r;
+  }
+  if (atom_result) return QValue::IntegralAtom(rt, out[0]);
+  return QValue::IntList(rt, std::move(out));
+}
+
+bool AtomEquals2VL(const QValue& a, const QValue& b) {
+  // Null equals null regardless of type (Q 2-valued logic).
+  if (a.IsNullAtom() && b.IsNullAtom()) return true;
+  if (a.IsNullAtom() != b.IsNullAtom()) return false;
+  if (a.type() == QType::kSymbol || b.type() == QType::kSymbol) {
+    return a.type() == b.type() && a.AsSym() == b.AsSym();
+  }
+  if (a.type() == QType::kChar || b.type() == QType::kChar) {
+    return a.type() == b.type() && a.AsChar() == b.AsChar();
+  }
+  if (IsIntegralBacked(a.type()) && IsIntegralBacked(b.type())) {
+    return a.AsInt() == b.AsInt();
+  }
+  if ((IsIntegralBacked(a.type()) || IsFloatBacked(a.type())) &&
+      (IsIntegralBacked(b.type()) || IsFloatBacked(b.type()))) {
+    return a.AsFloat() == b.AsFloat();
+  }
+  return QValue::Match(a, b);
+}
+
+Result<QValue> CompareDyad(CmpOp op, const QValue& a, const QValue& b) {
+  // Fast numeric path.
+  NumView va = NumView::Of(a);
+  NumView vb = NumView::Of(b);
+  size_t n;
+  bool atom_result;
+  std::vector<int64_t> out;
+
+  auto emit = [&](size_t i, int cmp, bool both_null, bool either_null) {
+    bool r = false;
+    switch (op) {
+      case CmpOp::kEq:
+        r = both_null || (!either_null && cmp == 0);
+        break;
+      case CmpOp::kNe:
+        r = !(both_null || (!either_null && cmp == 0));
+        break;
+      case CmpOp::kLt:
+        r = cmp < 0;
+        break;
+      case CmpOp::kGt:
+        r = cmp > 0;
+        break;
+      case CmpOp::kLe:
+        r = cmp <= 0;
+        break;
+      case CmpOp::kGe:
+        r = cmp >= 0;
+        break;
+    }
+    out[i] = r ? 1 : 0;
+  };
+
+  if (va.valid && vb.valid) {
+    if (!va.is_atom && !vb.is_atom && va.count != vb.count) {
+      return LengthError(va.count, vb.count);
+    }
+    atom_result = va.is_atom && vb.is_atom;
+    n = atom_result ? 1 : (va.is_atom ? vb.count : va.count);
+    out.resize(n);
+    bool use_float = va.is_float || vb.is_float;
+    for (size_t i = 0; i < n; ++i) {
+      bool an = va.IsNull(i);
+      bool bn = vb.IsNull(i);
+      int cmp;
+      if (an || bn) {
+        // Null sorts below everything.
+        cmp = an == bn ? 0 : (an ? -1 : 1);
+      } else if (use_float) {
+        double x = va.F(i), y = vb.F(i);
+        cmp = x < y ? -1 : (x > y ? 1 : 0);
+      } else {
+        int64_t x = va.I(i), y = vb.I(i);
+        cmp = x < y ? -1 : (x > y ? 1 : 0);
+      }
+      emit(i, cmp, an && bn, an || bn);
+    }
+  } else {
+    // Generic path: symbols, chars, mixed lists.
+    if (!a.is_atom() && !b.is_atom() && a.Count() != b.Count()) {
+      return LengthError(a.Count(), b.Count());
+    }
+    atom_result = a.is_atom() && b.is_atom();
+    n = atom_result ? 1 : (a.is_atom() ? b.Count() : a.Count());
+    out.resize(n);
+    for (size_t i = 0; i < n; ++i) {
+      QValue x = a.ElementAt(a.is_atom() ? 0 : i);
+      QValue y = b.ElementAt(b.is_atom() ? 0 : i);
+      bool an = x.IsNullAtom();
+      bool bn = y.IsNullAtom();
+      if (!an && !bn && (op == CmpOp::kEq || op == CmpOp::kNe)) {
+        bool eq = AtomEquals2VL(x, y);
+        out[i] = (op == CmpOp::kEq) == eq ? 1 : 0;
+        continue;
+      }
+      if (!x.is_atom() || !y.is_atom()) {
+        return TypeError("type: comparison requires scalar elements");
+      }
+      if (!an && !bn && x.type() != y.type() &&
+          (x.type() == QType::kSymbol || y.type() == QType::kSymbol)) {
+        return TypeError(StrCat("type: cannot compare ", QTypeName(x.type()),
+                                " with ", QTypeName(y.type())));
+      }
+      int cmp = QValue::CompareAtoms(x, y);
+      emit(i, cmp, an && bn, an || bn);
+    }
+  }
+  if (atom_result) return QValue::Bool(out[0] != 0);
+  return QValue::IntList(QType::kBool, std::move(out));
+}
+
+Result<QValue> IndexElements(const QValue& list,
+                             const std::vector<int64_t>& idx) {
+  if (list.IsTable()) return TakeRows(list, idx);
+  if (list.is_atom()) {
+    return InvalidArgument("cannot index an atom");
+  }
+  int64_t n = static_cast<int64_t>(list.Count());
+  auto oob = [&](int64_t i) { return i < 0 || i >= n; };
+  switch (list.type()) {
+    case QType::kSymbol: {
+      std::vector<std::string> out;
+      out.reserve(idx.size());
+      for (int64_t i : idx) out.push_back(oob(i) ? "" : list.SymsView()[i]);
+      return QValue::Syms(std::move(out));
+    }
+    case QType::kChar: {
+      std::string out;
+      out.reserve(idx.size());
+      for (int64_t i : idx) out.push_back(oob(i) ? ' ' : list.CharsView()[i]);
+      return QValue::Chars(std::move(out));
+    }
+    case QType::kMixed: {
+      std::vector<QValue> out;
+      out.reserve(idx.size());
+      for (int64_t i : idx) {
+        out.push_back(oob(i) ? QValue() : list.Items()[i]);
+      }
+      return QValue::Mixed(std::move(out));
+    }
+    default:
+      if (IsIntegralBacked(list.type())) {
+        std::vector<int64_t> out;
+        out.reserve(idx.size());
+        for (int64_t i : idx) {
+          out.push_back(oob(i) ? kNullLong : list.Ints()[i]);
+        }
+        return QValue::IntList(list.type(), std::move(out));
+      }
+      if (IsFloatBacked(list.type())) {
+        std::vector<double> out;
+        out.reserve(idx.size());
+        for (int64_t i : idx) {
+          out.push_back(oob(i) ? std::nan("") : list.Floats()[i]);
+        }
+        return QValue::FloatList(list.type(), std::move(out));
+      }
+      return InvalidArgument(
+          StrCat("cannot index value of type ", QTypeName(list.type())));
+  }
+}
+
+Result<QValue> TakeRows(const QValue& table, const std::vector<int64_t>& idx) {
+  if (!table.IsTable()) return InvalidArgument("TakeRows expects a table");
+  const QTable& t = table.Table();
+  std::vector<QValue> cols;
+  cols.reserve(t.columns.size());
+  for (const auto& col : t.columns) {
+    HQ_ASSIGN_OR_RETURN(QValue c, IndexElements(col, idx));
+    cols.push_back(std::move(c));
+  }
+  return QValue::MakeTableUnchecked(t.names, std::move(cols));
+}
+
+int CompareListElems(const QValue& list, int64_t i, int64_t j) {
+  switch (list.type()) {
+    case QType::kSymbol:
+      return list.SymsView()[i].compare(list.SymsView()[j]);
+    case QType::kChar: {
+      char a = list.CharsView()[i], b = list.CharsView()[j];
+      return a < b ? -1 : (a > b ? 1 : 0);
+    }
+    case QType::kMixed:
+      return QValue::CompareAtoms(list.Items()[i], list.Items()[j]);
+    default:
+      if (IsIntegralBacked(list.type())) {
+        int64_t a = list.Ints()[i], b = list.Ints()[j];
+        return a < b ? -1 : (a > b ? 1 : 0);
+      }
+      if (IsFloatBacked(list.type())) {
+        double a = list.Floats()[i], b = list.Floats()[j];
+        bool an = std::isnan(a), bn = std::isnan(b);
+        if (an || bn) return an == bn ? 0 : (an ? -1 : 1);
+        return a < b ? -1 : (a > b ? 1 : 0);
+      }
+      return 0;
+  }
+}
+
+std::vector<int64_t> GradeList(const QValue& list, bool ascending) {
+  return GradeLists({list}, {ascending});
+}
+
+std::vector<int64_t> GradeLists(const std::vector<QValue>& keys,
+                                const std::vector<bool>& ascending) {
+  size_t n = keys.empty() ? 0 : keys[0].Count();
+  std::vector<int64_t> idx(n);
+  std::iota(idx.begin(), idx.end(), 0);
+  std::stable_sort(idx.begin(), idx.end(), [&](int64_t a, int64_t b) {
+    for (size_t k = 0; k < keys.size(); ++k) {
+      int cmp = CompareListElems(keys[k], a, b);
+      if (cmp != 0) return ascending[k] ? cmp < 0 : cmp > 0;
+    }
+    return false;
+  });
+  return idx;
+}
+
+Result<Grouping> GroupRows(const std::vector<QValue>& keys) {
+  if (keys.empty()) return InvalidArgument("GroupRows requires key lists");
+  size_t n = keys[0].Count();
+  for (const auto& k : keys) {
+    if (k.Count() != n) {
+      return InvalidArgument("group key lists have unequal lengths");
+    }
+  }
+  std::vector<bool> asc(keys.size(), true);
+  std::vector<int64_t> order = GradeLists(keys, asc);
+
+  Grouping g;
+  std::vector<int64_t> first_rows;
+  for (size_t pos = 0; pos < order.size();) {
+    size_t start = pos;
+    int64_t row0 = order[pos];
+    std::vector<int64_t> members;
+    while (pos < order.size()) {
+      int64_t row = order[pos];
+      bool same = true;
+      for (const auto& k : keys) {
+        if (CompareListElems(k, row0, row) != 0) {
+          same = false;
+          break;
+        }
+      }
+      if (!same) break;
+      members.push_back(row);
+      ++pos;
+    }
+    // q groups by value, preserving row order within each group.
+    std::sort(members.begin(), members.end());
+    first_rows.push_back(order[start]);
+    g.group_rows.push_back(std::move(members));
+  }
+  for (const auto& k : keys) {
+    HQ_ASSIGN_OR_RETURN(QValue gk, IndexElements(k, first_rows));
+    g.group_keys.push_back(std::move(gk));
+  }
+  return g;
+}
+
+Result<std::vector<int64_t>> BoolsToIndices(const QValue& cond, size_t n) {
+  std::vector<int64_t> out;
+  if (cond.is_atom()) {
+    if (!IsIntegralBacked(cond.type())) {
+      return TypeError("where clause must produce booleans");
+    }
+    if (cond.AsInt() != 0) {
+      out.resize(n);
+      std::iota(out.begin(), out.end(), 0);
+    }
+    return out;
+  }
+  if (!IsIntegralBacked(cond.type())) {
+    return TypeError("where clause must produce a boolean list");
+  }
+  const auto& v = cond.Ints();
+  if (v.size() != n) {
+    return TypeError(StrCat("where clause length ", v.size(),
+                            " does not match table rows ", n));
+  }
+  for (size_t i = 0; i < v.size(); ++i) {
+    if (v[i] != 0 && v[i] != kNullLong) out.push_back(i);
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Aggregates (q semantics: nulls are ignored)
+// ---------------------------------------------------------------------------
+
+namespace {
+
+Result<NumView> NumericList(const QValue& list, const char* fn) {
+  NumView v = NumView::Of(list);
+  if (!v.valid) {
+    return TypeError(
+        StrCat("type: ", fn, " requires numeric input, got ",
+               QTypeName(list.type())));
+  }
+  return v;
+}
+
+}  // namespace
+
+Result<QValue> AggSum(const QValue& list) {
+  HQ_ASSIGN_OR_RETURN(NumView v, NumericList(list, "sum"));
+  if (v.is_float) {
+    double s = 0;
+    for (size_t i = 0; i < v.count; ++i) {
+      if (!v.IsNull(i)) s += v.F(i);
+    }
+    return QValue::Float(s);
+  }
+  int64_t s = 0;
+  for (size_t i = 0; i < v.count; ++i) {
+    if (!v.IsNull(i)) s += v.I(i);
+  }
+  return QValue::Long(s);
+}
+
+Result<QValue> AggAvg(const QValue& list) {
+  HQ_ASSIGN_OR_RETURN(NumView v, NumericList(list, "avg"));
+  double s = 0;
+  size_t cnt = 0;
+  for (size_t i = 0; i < v.count; ++i) {
+    if (!v.IsNull(i)) {
+      s += v.F(i);
+      ++cnt;
+    }
+  }
+  if (cnt == 0) return QValue::Float(std::nan(""));
+  return QValue::Float(s / static_cast<double>(cnt));
+}
+
+namespace {
+
+Result<QValue> MinMax(const QValue& list, bool want_min, const char* fn) {
+  if (list.type() == QType::kSymbol && !list.is_atom()) {
+    const auto& syms = list.SymsView();
+    std::string best;
+    bool found = false;
+    for (const auto& s : syms) {
+      if (s.empty()) continue;  // null symbol
+      if (!found || (want_min ? s < best : s > best)) {
+        best = s;
+        found = true;
+      }
+    }
+    return QValue::Sym(found ? best : "");
+  }
+  HQ_ASSIGN_OR_RETURN(NumView v, NumericList(list, fn));
+  if (v.is_float) {
+    double best = 0;
+    bool found = false;
+    for (size_t i = 0; i < v.count; ++i) {
+      if (v.IsNull(i)) continue;
+      double x = v.F(i);
+      if (!found || (want_min ? x < best : x > best)) {
+        best = x;
+        found = true;
+      }
+    }
+    return QValue::Float(found ? best : std::nan(""));
+  }
+  int64_t best = 0;
+  bool found = false;
+  for (size_t i = 0; i < v.count; ++i) {
+    if (v.IsNull(i)) continue;
+    int64_t x = v.I(i);
+    if (!found || (want_min ? x < best : x > best)) {
+      best = x;
+      found = true;
+    }
+  }
+  QType t = v.type == QType::kBool ? QType::kBool : v.type;
+  return QValue::IntegralAtom(t, found ? best : kNullLong);
+}
+
+}  // namespace
+
+Result<QValue> AggMin(const QValue& list) { return MinMax(list, true, "min"); }
+Result<QValue> AggMax(const QValue& list) { return MinMax(list, false, "max"); }
+
+Result<QValue> AggMed(const QValue& list) {
+  HQ_ASSIGN_OR_RETURN(NumView v, NumericList(list, "med"));
+  std::vector<double> vals;
+  for (size_t i = 0; i < v.count; ++i) {
+    if (!v.IsNull(i)) vals.push_back(v.F(i));
+  }
+  if (vals.empty()) return QValue::Float(std::nan(""));
+  std::sort(vals.begin(), vals.end());
+  size_t m = vals.size() / 2;
+  if (vals.size() % 2 == 1) return QValue::Float(vals[m]);
+  return QValue::Float((vals[m - 1] + vals[m]) / 2.0);
+}
+
+namespace {
+
+Result<double> Variance(const QValue& list) {
+  NumView v = NumView::Of(list);
+  if (!v.valid) return TypeError("type: var/dev requires numeric input");
+  double s = 0, s2 = 0;
+  size_t cnt = 0;
+  for (size_t i = 0; i < v.count; ++i) {
+    if (v.IsNull(i)) continue;
+    double x = v.F(i);
+    s += x;
+    s2 += x * x;
+    ++cnt;
+  }
+  if (cnt == 0) return std::nan("");
+  double mean = s / cnt;
+  return s2 / cnt - mean * mean;  // population variance (q var)
+}
+
+}  // namespace
+
+Result<QValue> AggVar(const QValue& list) {
+  HQ_ASSIGN_OR_RETURN(double v, Variance(list));
+  return QValue::Float(v);
+}
+
+Result<QValue> AggDev(const QValue& list) {
+  HQ_ASSIGN_OR_RETURN(double v, Variance(list));
+  return QValue::Float(std::sqrt(v));
+}
+
+Result<QValue> AggFirst(const QValue& list) {
+  if (list.is_atom()) return list;
+  if (list.Count() == 0) {
+    return QValue::NullOf(list.type() == QType::kMixed ? QType::kUnary
+                                                       : list.type());
+  }
+  return list.ElementAt(0);
+}
+
+Result<QValue> AggLast(const QValue& list) {
+  if (list.is_atom()) return list;
+  if (list.Count() == 0) {
+    return QValue::NullOf(list.type() == QType::kMixed ? QType::kUnary
+                                                       : list.type());
+  }
+  return list.ElementAt(static_cast<int64_t>(list.Count()) - 1);
+}
+
+QValue AggCount(const QValue& list) {
+  return QValue::Long(static_cast<int64_t>(list.Count()));
+}
+
+// ---------------------------------------------------------------------------
+// Uniform list functions
+// ---------------------------------------------------------------------------
+
+Result<QValue> RunningSums(const QValue& list) {
+  HQ_ASSIGN_OR_RETURN(NumView v, NumericList(list, "sums"));
+  if (v.is_float) {
+    std::vector<double> out(v.count);
+    double s = 0;
+    for (size_t i = 0; i < v.count; ++i) {
+      s += v.F(i);  // NaN propagates, matching q's scan-of-plus
+      out[i] = s;
+    }
+    return QValue::FloatList(QType::kFloat, std::move(out));
+  }
+  std::vector<int64_t> out(v.count);
+  int64_t s = 0;
+  bool hit_null = false;
+  for (size_t i = 0; i < v.count; ++i) {
+    if (v.IsNull(i) || hit_null) {
+      hit_null = true;
+      out[i] = kNullLong;
+      continue;
+    }
+    s += v.I(i);
+    out[i] = s;
+  }
+  return QValue::IntList(QType::kLong, std::move(out));
+}
+
+namespace {
+
+Result<QValue> RunningMinMax(const QValue& list, bool want_min) {
+  NumView v = NumView::Of(list);
+  if (!v.valid) return TypeError("type: mins/maxs requires numeric input");
+  if (v.is_float) {
+    std::vector<double> out(v.count);
+    double best = 0;
+    bool found = false;
+    for (size_t i = 0; i < v.count; ++i) {
+      double x = v.F(i);
+      if (!found) {
+        best = x;
+        found = true;
+      } else if (!std::isnan(x) &&
+                 (std::isnan(best) || (want_min ? x < best : x > best))) {
+        best = x;
+      }
+      out[i] = best;
+    }
+    return QValue::FloatList(QType::kFloat, std::move(out));
+  }
+  std::vector<int64_t> out(v.count);
+  int64_t best = 0;
+  bool found = false;
+  for (size_t i = 0; i < v.count; ++i) {
+    int64_t x = v.I(i);
+    if (!found) {
+      best = x;
+      found = true;
+    } else if (want_min ? x < best : x > best) {
+      best = x;
+    }
+    out[i] = best;
+  }
+  return QValue::IntList(v.type, std::move(out));
+}
+
+}  // namespace
+
+Result<QValue> RunningMins(const QValue& list) {
+  return RunningMinMax(list, true);
+}
+Result<QValue> RunningMaxs(const QValue& list) {
+  return RunningMinMax(list, false);
+}
+
+Result<QValue> Deltas(const QValue& list) {
+  HQ_ASSIGN_OR_RETURN(NumView v, NumericList(list, "deltas"));
+  if (v.is_float) {
+    std::vector<double> out(v.count);
+    for (size_t i = 0; i < v.count; ++i) {
+      out[i] = i == 0 ? v.F(0) : v.F(i) - v.F(i - 1);
+    }
+    return QValue::FloatList(QType::kFloat, std::move(out));
+  }
+  std::vector<int64_t> out(v.count);
+  for (size_t i = 0; i < v.count; ++i) {
+    if (i == 0) {
+      out[i] = v.I(0);
+    } else if (v.IsNull(i) || v.IsNull(i - 1)) {
+      out[i] = kNullLong;
+    } else {
+      out[i] = v.I(i) - v.I(i - 1);
+    }
+  }
+  QType t = IsTemporal(v.type) ? QType::kLong : v.type;
+  return QValue::IntList(t, std::move(out));
+}
+
+Result<QValue> Fills(const QValue& list) {
+  if (list.is_atom()) return list;
+  if (list.type() == QType::kSymbol) {
+    std::vector<std::string> out = list.SymsView();
+    for (size_t i = 1; i < out.size(); ++i) {
+      if (out[i].empty()) out[i] = out[i - 1];
+    }
+    return QValue::Syms(std::move(out));
+  }
+  HQ_ASSIGN_OR_RETURN(NumView v, NumericList(list, "fills"));
+  if (v.is_float) {
+    std::vector<double> out(v.count);
+    double prev = std::nan("");
+    for (size_t i = 0; i < v.count; ++i) {
+      if (!v.IsNull(i)) prev = v.F(i);
+      out[i] = prev;
+    }
+    return QValue::FloatList(v.type, std::move(out));
+  }
+  std::vector<int64_t> out(v.count);
+  int64_t prev = kNullLong;
+  for (size_t i = 0; i < v.count; ++i) {
+    if (!v.IsNull(i)) prev = v.I(i);
+    out[i] = prev;
+  }
+  return QValue::IntList(v.type, std::move(out));
+}
+
+Result<QValue> PrevShift(const QValue& list, int64_t n) {
+  if (list.is_atom()) return list;
+  std::vector<int64_t> idx(list.Count());
+  for (size_t i = 0; i < idx.size(); ++i) {
+    idx[i] = static_cast<int64_t>(i) - n;
+  }
+  return IndexElements(list, idx);
+}
+
+Result<QValue> MovingAgg(const std::string& name, int64_t window,
+                         const QValue& list) {
+  HQ_ASSIGN_OR_RETURN(NumView v, NumericList(list, name.c_str()));
+  if (window <= 0) return InvalidArgument("moving window must be positive");
+  size_t n = v.count;
+  auto begin_of = [&](size_t i) {
+    return i + 1 >= static_cast<size_t>(window) ? i + 1 - window : 0;
+  };
+  if (name == "mcount") {
+    std::vector<int64_t> out(n);
+    for (size_t i = 0; i < n; ++i) {
+      int64_t c = 0;
+      for (size_t j = begin_of(i); j <= i; ++j) {
+        if (!v.IsNull(j)) ++c;
+      }
+      out[i] = c;
+    }
+    return QValue::IntList(QType::kLong, std::move(out));
+  }
+  if (name == "mmax" || name == "mmin") {
+    bool want_min = name == "mmin";
+    std::vector<double> outf(n);
+    std::vector<int64_t> outi(n);
+    for (size_t i = 0; i < n; ++i) {
+      bool found = false;
+      double bf = 0;
+      int64_t bi = 0;
+      for (size_t j = begin_of(i); j <= i; ++j) {
+        if (v.IsNull(j)) continue;
+        if (v.is_float) {
+          double x = v.F(j);
+          if (!found || (want_min ? x < bf : x > bf)) bf = x;
+        } else {
+          int64_t x = v.I(j);
+          if (!found || (want_min ? x < bi : x > bi)) bi = x;
+        }
+        found = true;
+      }
+      if (v.is_float) {
+        outf[i] = found ? bf : std::nan("");
+      } else {
+        outi[i] = found ? bi : kNullLong;
+      }
+    }
+    if (v.is_float) return QValue::FloatList(QType::kFloat, std::move(outf));
+    return QValue::IntList(v.type, std::move(outi));
+  }
+  // msum / mavg.
+  std::vector<double> out(n);
+  for (size_t i = 0; i < n; ++i) {
+    double s = 0;
+    int64_t c = 0;
+    for (size_t j = begin_of(i); j <= i; ++j) {
+      if (v.IsNull(j)) continue;
+      s += v.F(j);
+      ++c;
+    }
+    if (name == "mavg") {
+      out[i] = c == 0 ? std::nan("") : s / c;
+    } else {
+      out[i] = s;
+    }
+  }
+  if (name == "msum" && !v.is_float) {
+    std::vector<int64_t> outi(n);
+    for (size_t i = 0; i < n; ++i) outi[i] = static_cast<int64_t>(out[i]);
+    return QValue::IntList(QType::kLong, std::move(outi));
+  }
+  return QValue::FloatList(QType::kFloat, std::move(out));
+}
+
+Result<QValue> Distinct(const QValue& list) {
+  if (list.is_atom()) return list;
+  if (list.IsTable()) {
+    // distinct over a table keeps the first occurrence of each row.
+    const QTable& t = list.Table();
+    std::unordered_set<std::string> seen;
+    std::vector<int64_t> rows;
+    size_t nr = t.RowCount();
+    for (size_t r = 0; r < nr; ++r) {
+      std::string key;
+      for (const auto& col : t.columns) {
+        key += col.ElementAt(r).ToString();
+        key.push_back('\x1f');
+      }
+      if (seen.insert(key).second) rows.push_back(r);
+    }
+    return TakeRows(list, rows);
+  }
+  std::vector<int64_t> keep;
+  size_t n = list.Count();
+  switch (list.type()) {
+    case QType::kSymbol: {
+      std::unordered_set<std::string> seen;
+      for (size_t i = 0; i < n; ++i) {
+        if (seen.insert(list.SymsView()[i]).second) keep.push_back(i);
+      }
+      break;
+    }
+    case QType::kChar: {
+      std::unordered_set<char> seen;
+      for (size_t i = 0; i < n; ++i) {
+        if (seen.insert(list.CharsView()[i]).second) keep.push_back(i);
+      }
+      break;
+    }
+    case QType::kMixed: {
+      for (size_t i = 0; i < n; ++i) {
+        bool dup = false;
+        for (int64_t j : keep) {
+          if (QValue::Match(list.Items()[i], list.Items()[j])) {
+            dup = true;
+            break;
+          }
+        }
+        if (!dup) keep.push_back(i);
+      }
+      break;
+    }
+    default: {
+      if (IsIntegralBacked(list.type())) {
+        std::unordered_set<int64_t> seen;
+        for (size_t i = 0; i < n; ++i) {
+          if (seen.insert(list.Ints()[i]).second) keep.push_back(i);
+        }
+      } else if (IsFloatBacked(list.type())) {
+        std::set<double> seen;
+        bool seen_nan = false;
+        for (size_t i = 0; i < n; ++i) {
+          double x = list.Floats()[i];
+          if (std::isnan(x)) {
+            if (!seen_nan) {
+              seen_nan = true;
+              keep.push_back(i);
+            }
+          } else if (seen.insert(x).second) {
+            keep.push_back(i);
+          }
+        }
+      } else {
+        return TypeError("distinct: unsupported input type");
+      }
+    }
+  }
+  return IndexElements(list, keep);
+}
+
+Result<QValue> Reverse(const QValue& v) {
+  size_t n = v.Count();
+  std::vector<int64_t> idx(n);
+  for (size_t i = 0; i < n; ++i) idx[i] = static_cast<int64_t>(n - 1 - i);
+  if (v.IsTable()) return TakeRows(v, idx);
+  if (v.is_atom()) return v;
+  return IndexElements(v, idx);
+}
+
+Result<QValue> Take(int64_t n, const QValue& v) {
+  if (v.is_atom()) {
+    // n#atom replicates the atom.
+    size_t cnt = static_cast<size_t>(n < 0 ? -n : n);
+    std::vector<int64_t> idx(cnt, 0);
+    if (v.type() == QType::kSymbol) {
+      return IndexElements(QValue::Syms({v.AsSym()}), idx);
+    }
+    QValue single =
+        v.type() == QType::kChar
+            ? QValue::Chars(std::string(1, v.AsChar()))
+            : (IsFloatBacked(v.type())
+                   ? QValue::FloatList(v.type(), {v.AsFloat()})
+                   : QValue::IntList(v.type(), {v.AsInt()}));
+    return IndexElements(single, idx);
+  }
+  int64_t cnt = static_cast<int64_t>(v.Count());
+  int64_t take = n < 0 ? -n : n;
+  std::vector<int64_t> idx(take);
+  if (cnt == 0) {
+    // Taking from an empty list yields nulls (q yields empty for 0 take).
+    if (take == 0) return v;
+    for (int64_t i = 0; i < take; ++i) idx[i] = -1;
+  } else if (n >= 0) {
+    for (int64_t i = 0; i < take; ++i) idx[i] = i % cnt;  // cycle (q overtake)
+  } else {
+    int64_t start = ((cnt - take) % cnt + cnt) % cnt;
+    for (int64_t i = 0; i < take; ++i) idx[i] = (start + i) % cnt;
+  }
+  if (v.IsTable()) {
+    // Tables do not cycle: clamp instead.
+    if (take > cnt) idx.resize(cnt);
+    return TakeRows(v, idx);
+  }
+  return IndexElements(v, idx);
+}
+
+Result<QValue> Drop(int64_t n, const QValue& v) {
+  int64_t cnt = static_cast<int64_t>(v.Count());
+  int64_t drop = n < 0 ? -n : n;
+  if (drop >= cnt) {
+    if (v.IsTable()) return TakeRows(v, {});
+    return IndexElements(v, {});
+  }
+  std::vector<int64_t> idx;
+  if (n >= 0) {
+    for (int64_t i = drop; i < cnt; ++i) idx.push_back(i);
+  } else {
+    for (int64_t i = 0; i < cnt - drop; ++i) idx.push_back(i);
+  }
+  if (v.IsTable()) return TakeRows(v, idx);
+  return IndexElements(v, idx);
+}
+
+Result<QValue> Find(const QValue& haystack, const QValue& needles) {
+  if (haystack.is_atom()) return InvalidArgument("find: left must be a list");
+  size_t hn = haystack.Count();
+  size_t nn = needles.is_atom() ? 1 : needles.Count();
+  std::vector<int64_t> out(nn);
+  // Hash fast path for symbols and integral lists.
+  if (haystack.type() == QType::kSymbol &&
+      (needles.type() == QType::kSymbol)) {
+    std::unordered_map<std::string, int64_t> pos;
+    for (size_t i = 0; i < hn; ++i) {
+      pos.emplace(haystack.SymsView()[i], static_cast<int64_t>(i));
+    }
+    for (size_t i = 0; i < nn; ++i) {
+      const std::string& s =
+          needles.is_atom() ? needles.AsSym() : needles.SymsView()[i];
+      auto it = pos.find(s);
+      out[i] = it == pos.end() ? static_cast<int64_t>(hn) : it->second;
+    }
+  } else if (IsIntegralBacked(haystack.type()) &&
+             IsIntegralBacked(needles.type())) {
+    std::unordered_map<int64_t, int64_t> pos;
+    for (size_t i = 0; i < hn; ++i) {
+      pos.emplace(haystack.Ints()[i], static_cast<int64_t>(i));
+    }
+    for (size_t i = 0; i < nn; ++i) {
+      int64_t x = needles.is_atom() ? needles.AsInt() : needles.Ints()[i];
+      auto it = pos.find(x);
+      out[i] = it == pos.end() ? static_cast<int64_t>(hn) : it->second;
+    }
+  } else {
+    for (size_t i = 0; i < nn; ++i) {
+      QValue x = needles.is_atom() ? needles : needles.ElementAt(i);
+      int64_t found = static_cast<int64_t>(hn);
+      for (size_t j = 0; j < hn; ++j) {
+        if (AtomEquals2VL(haystack.ElementAt(j), x)) {
+          found = static_cast<int64_t>(j);
+          break;
+        }
+      }
+      out[i] = found;
+    }
+  }
+  if (needles.is_atom()) return QValue::Long(out[0]);
+  return QValue::IntList(QType::kLong, std::move(out));
+}
+
+Result<QValue> InOp(const QValue& x, const QValue& y) {
+  QValue hay = y;
+  if (y.is_atom()) {
+    hay = y.type() == QType::kSymbol
+              ? QValue::Syms({y.AsSym()})
+              : (IsFloatBacked(y.type())
+                     ? QValue::FloatList(y.type(), {y.AsFloat()})
+                     : QValue::IntList(y.type(), {y.AsInt()}));
+  }
+  HQ_ASSIGN_OR_RETURN(QValue pos, Find(hay, x));
+  int64_t miss = static_cast<int64_t>(hay.Count());
+  if (pos.is_atom()) return QValue::Bool(pos.AsInt() != miss);
+  std::vector<int64_t> out(pos.Count());
+  for (size_t i = 0; i < out.size(); ++i) {
+    out[i] = pos.Ints()[i] != miss ? 1 : 0;
+  }
+  return QValue::IntList(QType::kBool, std::move(out));
+}
+
+Result<QValue> WithinOp(const QValue& x, const QValue& range) {
+  if (range.Count() != 2) {
+    return InvalidArgument("within: right argument must be a 2-element range");
+  }
+  QValue lo = range.ElementAt(0);
+  QValue hi = range.ElementAt(1);
+  HQ_ASSIGN_OR_RETURN(QValue ge, CompareDyad(CmpOp::kGe, x, lo));
+  HQ_ASSIGN_OR_RETURN(QValue le, CompareDyad(CmpOp::kLe, x, hi));
+  return NumericDyad(NumOp::kMin, ge, le);
+}
+
+Result<QValue> Concat(const QValue& a, const QValue& b) {
+  // Table append.
+  if (a.IsTable() && b.IsTable()) {
+    const QTable& ta = a.Table();
+    const QTable& tb = b.Table();
+    if (ta.names != tb.names) {
+      return TypeError("mismatch: cannot append tables with different columns");
+    }
+    std::vector<QValue> cols;
+    for (size_t i = 0; i < ta.columns.size(); ++i) {
+      HQ_ASSIGN_OR_RETURN(QValue c, Concat(ta.columns[i], tb.columns[i]));
+      cols.push_back(std::move(c));
+    }
+    return QValue::MakeTableUnchecked(ta.names, std::move(cols));
+  }
+  auto as_elems = [](const QValue& v, std::vector<QValue>* out) {
+    if (v.is_atom()) {
+      out->push_back(v);
+    } else {
+      for (size_t i = 0; i < v.Count(); ++i) out->push_back(v.ElementAt(i));
+    }
+  };
+  // Typed fast paths.
+  QType ta = a.type(), tb = b.type();
+  if (ta == tb && !a.IsTable() && !b.IsTable() && ta != QType::kMixed &&
+      ta != QType::kDict) {
+    if (IsIntegralBacked(ta)) {
+      std::vector<int64_t> v;
+      if (a.is_atom()) v.push_back(a.AsInt());
+      else v = a.Ints();
+      if (b.is_atom()) v.push_back(b.AsInt());
+      else v.insert(v.end(), b.Ints().begin(), b.Ints().end());
+      return QValue::IntList(ta, std::move(v));
+    }
+    if (IsFloatBacked(ta)) {
+      std::vector<double> v;
+      if (a.is_atom()) v.push_back(a.AsFloat());
+      else v = a.Floats();
+      if (b.is_atom()) v.push_back(b.AsFloat());
+      else v.insert(v.end(), b.Floats().begin(), b.Floats().end());
+      return QValue::FloatList(ta, std::move(v));
+    }
+    if (ta == QType::kSymbol) {
+      std::vector<std::string> v;
+      if (a.is_atom()) v.push_back(a.AsSym());
+      else v = a.SymsView();
+      if (b.is_atom()) v.push_back(b.AsSym());
+      else v.insert(v.end(), b.SymsView().begin(), b.SymsView().end());
+      return QValue::Syms(std::move(v));
+    }
+    if (ta == QType::kChar) {
+      std::string v;
+      if (a.is_atom()) v.push_back(a.AsChar());
+      else v = a.CharsView();
+      if (b.is_atom()) v.push_back(b.AsChar());
+      else v += b.CharsView();
+      return QValue::Chars(std::move(v));
+    }
+  }
+  std::vector<QValue> items;
+  as_elems(a, &items);
+  as_elems(b, &items);
+  return QValue::Mixed(std::move(items));
+}
+
+Result<QValue> FillOp(const QValue& x, const QValue& y) {
+  if (y.is_atom()) {
+    return y.IsNullAtom() ? (x.is_atom() ? x : x.ElementAt(0)) : y;
+  }
+  size_t n = y.Count();
+  if (!x.is_atom() && x.Count() != n) return LengthError(x.Count(), n);
+  std::vector<QValue> out;
+  out.reserve(n);
+  // Typed fast path for numeric lists with atom filler.
+  NumView vy = NumView::Of(y);
+  NumView vx = NumView::Of(x);
+  if (vy.valid && vx.valid) {
+    if (vy.is_float || vx.is_float) {
+      std::vector<double> r(n);
+      for (size_t i = 0; i < n; ++i) {
+        r[i] = vy.IsNull(i) ? vx.F(vx.is_atom ? 0 : i) : vy.F(i);
+      }
+      return QValue::FloatList(
+          vy.is_float ? vy.type : QType::kFloat, std::move(r));
+    }
+    std::vector<int64_t> r(n);
+    for (size_t i = 0; i < n; ++i) {
+      r[i] = vy.IsNull(i) ? vx.I(vx.is_atom ? 0 : i) : vy.I(i);
+    }
+    return QValue::IntList(vy.type, std::move(r));
+  }
+  if (y.type() == QType::kSymbol && x.is_atom() &&
+      x.type() == QType::kSymbol) {
+    std::vector<std::string> r = y.SymsView();
+    for (auto& s : r) {
+      if (s.empty()) s = x.AsSym();
+    }
+    return QValue::Syms(std::move(r));
+  }
+  for (size_t i = 0; i < n; ++i) {
+    QValue e = y.ElementAt(i);
+    out.push_back(e.IsNullAtom() ? (x.is_atom() ? x : x.ElementAt(i)) : e);
+  }
+  return QValue::Mixed(std::move(out));
+}
+
+Result<QValue> Cast(const std::string& type_name, const QValue& v) {
+  QType target;
+  if (type_name.empty() || type_name == "symbol" || type_name == "s") {
+    // `$x (empty symbol target) casts to symbol.
+    target = QType::kSymbol;
+  } else if (type_name == "long" || type_name == "j") {
+    target = QType::kLong;
+  } else if (type_name == "int" || type_name == "i") {
+    target = QType::kInt;
+  } else if (type_name == "short" || type_name == "h") {
+    target = QType::kShort;
+  } else if (type_name == "float" || type_name == "f") {
+    target = QType::kFloat;
+  } else if (type_name == "real" || type_name == "e") {
+    target = QType::kReal;
+  } else if (type_name == "boolean" || type_name == "b") {
+    target = QType::kBool;
+  } else if (type_name == "symbol" || type_name == "s") {
+    target = QType::kSymbol;
+  } else if (type_name == "date" || type_name == "d") {
+    target = QType::kDate;
+  } else if (type_name == "time" || type_name == "t") {
+    target = QType::kTime;
+  } else if (type_name == "timestamp" || type_name == "p") {
+    target = QType::kTimestamp;
+  } else if (type_name == "char" || type_name == "c" ||
+             type_name == "string") {
+    target = QType::kChar;
+  } else {
+    return TypeError(StrCat("cast: unknown target type `", type_name));
+  }
+
+  auto cast_one = [&](const QValue& e) -> Result<QValue> {
+    if (target == QType::kSymbol) {
+      if (e.type() == QType::kSymbol) return e;
+      if (e.type() == QType::kChar) {
+        return QValue::Sym(e.is_atom() ? std::string(1, e.AsChar())
+                                       : e.CharsView());
+      }
+      return QValue::Sym(e.ToString());
+    }
+    if (target == QType::kChar) {
+      if (e.type() == QType::kChar) return e;
+      return QValue::Chars(e.ToString());
+    }
+    if (e.IsNullAtom()) return QValue::NullOf(target);
+    if (IsFloatBacked(target)) {
+      if (IsIntegralBacked(e.type()) || IsFloatBacked(e.type())) {
+        return QValue::FloatAtom(target, e.AsFloat());
+      }
+      return TypeError(StrCat("cast: cannot cast ", QTypeName(e.type()),
+                              " to ", QTypeName(target)));
+    }
+    // Integral targets.
+    if (IsFloatBacked(e.type())) {
+      double f = e.AsFloat();
+      return QValue::IntegralAtom(
+          target, static_cast<int64_t>(std::llround(f)));
+    }
+    if (IsIntegralBacked(e.type())) {
+      int64_t x = e.AsInt();
+      // Temporal conversions: timestamp -> date/time and date -> timestamp.
+      if (e.type() == QType::kTimestamp && target == QType::kDate) {
+        int64_t d = x / 86400000000000LL;
+        if (x < 0 && x % 86400000000000LL != 0) --d;
+        return QValue::Date(d);
+      }
+      if (e.type() == QType::kTimestamp && target == QType::kTime) {
+        int64_t rem = x % 86400000000000LL;
+        if (rem < 0) rem += 86400000000000LL;
+        return QValue::Time(rem / 1000000);
+      }
+      if (e.type() == QType::kDate && target == QType::kTimestamp) {
+        return QValue::Timestamp(x * 86400000000000LL);
+      }
+      if (target == QType::kBool) return QValue::Bool(x != 0);
+      return QValue::IntegralAtom(target, x);
+    }
+    return TypeError(StrCat("cast: cannot cast ", QTypeName(e.type()), " to ",
+                            QTypeName(target)));
+  };
+
+  if (v.is_atom()) return cast_one(v);
+  if (target == QType::kSymbol && v.type() == QType::kChar) {
+    // string -> symbol of whole char list.
+    return QValue::Sym(v.CharsView());
+  }
+  size_t n = v.Count();
+  std::vector<QValue> items;
+  items.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    HQ_ASSIGN_OR_RETURN(QValue e, cast_one(v.ElementAt(i)));
+    items.push_back(std::move(e));
+  }
+  // Re-pack typed.
+  if (target == QType::kSymbol) {
+    std::vector<std::string> out;
+    for (auto& e : items) out.push_back(e.AsSym());
+    return QValue::Syms(std::move(out));
+  }
+  if (target == QType::kChar) {
+    std::vector<QValue> out = std::move(items);
+    return QValue::Mixed(std::move(out));  // list of strings
+  }
+  if (IsFloatBacked(target)) {
+    std::vector<double> out;
+    for (auto& e : items) out.push_back(e.AsFloat());
+    return QValue::FloatList(target, std::move(out));
+  }
+  std::vector<int64_t> out;
+  for (auto& e : items) out.push_back(e.AsInt());
+  return QValue::IntList(target, std::move(out));
+}
+
+Result<std::vector<double>> ToFloats(const QValue& v) {
+  NumView nv = NumView::Of(v);
+  if (!nv.valid) return TypeError("expected numeric value");
+  std::vector<double> out(nv.count);
+  for (size_t i = 0; i < nv.count; ++i) out[i] = nv.F(i);
+  return out;
+}
+
+Result<std::vector<int64_t>> ToInts(const QValue& v) {
+  NumView nv = NumView::Of(v);
+  if (!nv.valid || nv.is_float) return TypeError("expected integral value");
+  std::vector<int64_t> out(nv.count);
+  for (size_t i = 0; i < nv.count; ++i) out[i] = nv.I(i);
+  return out;
+}
+
+Result<QValue> Unkey(const QValue& v) {
+  if (!v.IsKeyedTable()) return v;
+  const QDict& d = v.Dict();
+  const QTable& kt = d.keys->Table();
+  const QTable& vt = d.values->Table();
+  std::vector<std::string> names = kt.names;
+  std::vector<QValue> cols = kt.columns;
+  names.insert(names.end(), vt.names.begin(), vt.names.end());
+  cols.insert(cols.end(), vt.columns.begin(), vt.columns.end());
+  return QValue::MakeTableUnchecked(std::move(names), std::move(cols));
+}
+
+std::string ElementToDisplay(const QValue& list, int64_t i) {
+  return list.ElementAt(i).ToString();
+}
+
+}  // namespace kdb
+}  // namespace hyperq

@@ -1,0 +1,153 @@
+#ifndef HYPERQ_KDB_VALUE_OPS_H_
+#define HYPERQ_KDB_VALUE_OPS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "qval/qvalue.h"
+
+namespace hyperq {
+namespace kdb {
+
+/// Low-level vector operations on QValue shared by the interpreter builtins,
+/// the select-template evaluator and the join implementations. All functions
+/// implement Q semantics: ordered lists, 2-valued null logic, right-to-left
+/// evaluation has already been resolved by the parser.
+
+/// Kinds of dyadic primitives with uniform broadcast behaviour.
+enum class NumOp {
+  kAdd,      // +
+  kSub,      // -
+  kMul,      // *
+  kDiv,      // % (always produces float, q semantics)
+  kMin,      // & (also boolean and)
+  kMax,      // | (also boolean or)
+  kMod,      // mod
+  kIntDiv,   // div
+  kXbar,     // xbar (left bucket size)
+};
+
+enum class CmpOp {
+  kEq,   // = (nulls compare equal: 2VL)
+  kNe,   // <>
+  kLt,   // <
+  kGt,   // >
+  kLe,   // <=
+  kGe,   // >=
+};
+
+/// Element-wise arithmetic with atom/list broadcasting. Lists of unequal
+/// length produce a length error, matching q.
+Result<QValue> NumericDyad(NumOp op, const QValue& a, const QValue& b);
+
+/// Element-wise comparison returning bools. Null semantics per §2.2/§3.3:
+/// two nulls compare equal (Q uses 2-valued logic, unlike SQL).
+Result<QValue> CompareDyad(CmpOp op, const QValue& a, const QValue& b);
+
+/// True when two scalar atoms are equal under Q's 2-valued logic.
+bool AtomEquals2VL(const QValue& a, const QValue& b);
+
+/// Indexes a list with the given positions; out-of-range yields typed nulls.
+Result<QValue> IndexElements(const QValue& list, const std::vector<int64_t>& idx);
+
+/// Returns rows `idx` of a table as a new table (stable order).
+Result<QValue> TakeRows(const QValue& table, const std::vector<int64_t>& idx);
+
+/// Stable sort permutation of a single list (ascending or descending).
+/// Nulls sort first ascending, last descending.
+std::vector<int64_t> GradeList(const QValue& list, bool ascending);
+
+/// Stable sort permutation over multiple parallel key lists.
+std::vector<int64_t> GradeLists(const std::vector<QValue>& keys,
+                                const std::vector<bool>& ascending);
+
+/// Group rows by the given parallel key lists. Returns the distinct key
+/// tuples in ascending key order plus the member row indices per group
+/// (q's `select ... by` ordering).
+struct Grouping {
+  /// One list per key column; element g of each list is group g's key.
+  std::vector<QValue> group_keys;
+  std::vector<std::vector<int64_t>> group_rows;
+};
+Result<Grouping> GroupRows(const std::vector<QValue>& keys);
+
+/// Converts a where-clause result (bool list/atom) into selected row indexes
+/// over `n` rows.
+Result<std::vector<int64_t>> BoolsToIndices(const QValue& cond, size_t n);
+
+/// Aggregates over a list.
+Result<QValue> AggSum(const QValue& list);
+Result<QValue> AggAvg(const QValue& list);
+Result<QValue> AggMin(const QValue& list);
+Result<QValue> AggMax(const QValue& list);
+Result<QValue> AggMed(const QValue& list);
+Result<QValue> AggDev(const QValue& list);   // stddev (population, q `dev`)
+Result<QValue> AggVar(const QValue& list);
+Result<QValue> AggFirst(const QValue& list);
+Result<QValue> AggLast(const QValue& list);
+QValue AggCount(const QValue& list);
+
+/// Running/uniform list functions.
+Result<QValue> RunningSums(const QValue& list);
+Result<QValue> RunningMins(const QValue& list);
+Result<QValue> RunningMaxs(const QValue& list);
+Result<QValue> Deltas(const QValue& list);
+Result<QValue> Fills(const QValue& list);  ///< forward-fill nulls
+Result<QValue> PrevShift(const QValue& list, int64_t n);  ///< xprev/prev
+
+/// Moving-window functions (mavg/msum/mmax/mmin/mcount).
+Result<QValue> MovingAgg(const std::string& name, int64_t window,
+                         const QValue& list);
+
+/// distinct elements in order of first occurrence.
+Result<QValue> Distinct(const QValue& list);
+
+/// reverse of a list or table.
+Result<QValue> Reverse(const QValue& v);
+
+/// q take (#): n#list cycles when overtaking; negative takes from the end.
+Result<QValue> Take(int64_t n, const QValue& v);
+/// q drop (_).
+Result<QValue> Drop(int64_t n, const QValue& v);
+
+/// q find (?): position of each element of `needles` in `haystack`
+/// (count(haystack) when absent).
+Result<QValue> Find(const QValue& haystack, const QValue& needles);
+
+/// q in: membership of x's elements in y.
+Result<QValue> InOp(const QValue& x, const QValue& y);
+
+/// q within: x within (lo;hi) inclusive.
+Result<QValue> WithinOp(const QValue& x, const QValue& range);
+
+/// Concatenation (q `,`): preserves type when compatible, degrades to mixed.
+Result<QValue> Concat(const QValue& a, const QValue& b);
+
+/// Fill (q `^`): replaces nulls in y with x (atom or parallel list).
+Result<QValue> FillOp(const QValue& x, const QValue& y);
+
+/// Cast (q `$`): `target$value` where target is a type-name symbol.
+Result<QValue> Cast(const std::string& type_name, const QValue& v);
+
+/// Converts an atom/list to its float (double) elements; nulls become NaN.
+Result<std::vector<double>> ToFloats(const QValue& v);
+/// Converts to int64 elements (integral-backed lists only).
+Result<std::vector<int64_t>> ToInts(const QValue& v);
+
+/// The element at position i of any list as a scalar sort key.
+/// Lightweight comparator handle used by grading/grouping.
+int CompareListElems(const QValue& list, int64_t i, int64_t j);
+
+/// Unkeys a keyed table (dict of tables) into a flat table; plain tables
+/// pass through.
+Result<QValue> Unkey(const QValue& v);
+
+/// String form of one element (used by `string` and formatting).
+std::string ElementToDisplay(const QValue& list, int64_t i);
+
+}  // namespace kdb
+}  // namespace hyperq
+
+#endif  // HYPERQ_KDB_VALUE_OPS_H_

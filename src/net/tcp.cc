@@ -1,0 +1,156 @@
+#include "net/tcp.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "common/strings.h"
+
+namespace hyperq {
+
+namespace {
+
+Status Errno(const char* what) {
+  return NetworkError(StrCat(what, ": ", std::strerror(errno)));
+}
+
+}  // namespace
+
+TcpConnection::~TcpConnection() { Close(); }
+
+TcpConnection& TcpConnection::operator=(TcpConnection&& other) noexcept {
+  if (this != &other) {
+    Close();
+    fd_ = other.fd_;
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+Result<TcpConnection> TcpConnection::Connect(const std::string& host,
+                                             uint16_t port) {
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return Errno("socket");
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  std::string ip = host == "localhost" ? "127.0.0.1" : host;
+  if (::inet_pton(AF_INET, ip.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd);
+    return NetworkError(StrCat("invalid address '", host, "'"));
+  }
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    return Errno("connect");
+  }
+  int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return TcpConnection(fd);
+}
+
+Status TcpConnection::WriteAll(const void* data, size_t len) {
+  const uint8_t* p = static_cast<const uint8_t*>(data);
+  size_t sent = 0;
+  while (sent < len) {
+    ssize_t n = ::send(fd_, p + sent, len - sent, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Errno("send");
+    }
+    sent += static_cast<size_t>(n);
+  }
+  return Status::OK();
+}
+
+Result<std::vector<uint8_t>> TcpConnection::ReadExact(size_t len) {
+  std::vector<uint8_t> buf(len);
+  size_t got = 0;
+  while (got < len) {
+    ssize_t n = ::recv(fd_, buf.data() + got, len - got, 0);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Errno("recv");
+    }
+    if (n == 0) {
+      return NetworkError(StrCat("peer closed connection after ", got,
+                                 " of ", len, " bytes"));
+    }
+    got += static_cast<size_t>(n);
+  }
+  return buf;
+}
+
+Result<std::vector<uint8_t>> TcpConnection::ReadSome(size_t max) {
+  std::vector<uint8_t> buf(max);
+  while (true) {
+    ssize_t n = ::recv(fd_, buf.data(), max, 0);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Errno("recv");
+    }
+    buf.resize(static_cast<size_t>(n));
+    return buf;
+  }
+}
+
+void TcpConnection::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+Result<TcpListener> TcpListener::Listen(uint16_t port) {
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return Errno("socket");
+  int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    return Errno("bind");
+  }
+  if (::listen(fd, 16) != 0) {
+    ::close(fd);
+    return Errno("listen");
+  }
+  socklen_t len = sizeof(addr);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len) != 0) {
+    ::close(fd);
+    return Errno("getsockname");
+  }
+  return TcpListener(fd, ntohs(addr.sin_port));
+}
+
+TcpListener::~TcpListener() { Close(); }
+
+Result<TcpConnection> TcpListener::Accept() {
+  while (true) {
+    int client = ::accept(fd_, nullptr, nullptr);
+    if (client < 0) {
+      if (errno == EINTR) continue;
+      return Errno("accept");
+    }
+    int one = 1;
+    ::setsockopt(client, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    return TcpConnection(client);
+  }
+}
+
+void TcpListener::Close() {
+  if (fd_ >= 0) {
+    ::shutdown(fd_, SHUT_RDWR);
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+}  // namespace hyperq

@@ -1,0 +1,79 @@
+#ifndef HYPERQ_NET_TCP_H_
+#define HYPERQ_NET_TCP_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace hyperq {
+
+/// Blocking TCP connection (kdb+ and PG both use TCP/IP, §3.1). Move-only
+/// RAII wrapper over a socket descriptor.
+class TcpConnection {
+ public:
+  explicit TcpConnection(int fd) : fd_(fd) {}
+  ~TcpConnection();
+
+  TcpConnection(TcpConnection&& other) noexcept : fd_(other.fd_) {
+    other.fd_ = -1;
+  }
+  TcpConnection& operator=(TcpConnection&& other) noexcept;
+  TcpConnection(const TcpConnection&) = delete;
+  TcpConnection& operator=(const TcpConnection&) = delete;
+
+  /// Connects to host:port (host is an IPv4 literal or "localhost").
+  static Result<TcpConnection> Connect(const std::string& host,
+                                       uint16_t port);
+
+  /// Writes the whole buffer.
+  Status WriteAll(const void* data, size_t len);
+  Status WriteAll(const std::vector<uint8_t>& data) {
+    return WriteAll(data.data(), data.size());
+  }
+
+  /// Reads exactly `len` bytes (blocks until received or the peer closes).
+  Result<std::vector<uint8_t>> ReadExact(size_t len);
+
+  /// Reads at most `max` bytes; empty result means orderly shutdown.
+  Result<std::vector<uint8_t>> ReadSome(size_t max);
+
+  void Close();
+  bool ok() const { return fd_ >= 0; }
+  int fd() const { return fd_; }
+
+ private:
+  int fd_;
+};
+
+/// Listening socket bound to 127.0.0.1; port 0 picks an ephemeral port.
+class TcpListener {
+ public:
+  static Result<TcpListener> Listen(uint16_t port);
+  ~TcpListener();
+
+  TcpListener(TcpListener&& other) noexcept
+      : fd_(other.fd_), port_(other.port_) {
+    other.fd_ = -1;
+  }
+  TcpListener(const TcpListener&) = delete;
+  TcpListener& operator=(const TcpListener&) = delete;
+
+  /// Blocks until a client connects (fails when the listener is closed).
+  Result<TcpConnection> Accept();
+
+  uint16_t port() const { return port_; }
+  void Close();
+
+ private:
+  TcpListener(int fd, uint16_t port) : fd_(fd), port_(port) {}
+
+  int fd_;
+  uint16_t port_;
+};
+
+}  // namespace hyperq
+
+#endif  // HYPERQ_NET_TCP_H_

@@ -1,0 +1,521 @@
+#include "protocol/pgwire/pgwire.h"
+
+#include <sys/socket.h>
+
+#include <cstdlib>
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "sqldb/eval.h"
+#include "common/strings.h"
+
+namespace hyperq {
+namespace pgwire {
+
+int32_t OidFor(sqldb::SqlType type) {
+  switch (type) {
+    case sqldb::SqlType::kBoolean:
+      return 16;
+    case sqldb::SqlType::kSmallInt:
+      return 21;
+    case sqldb::SqlType::kInteger:
+      return 23;
+    case sqldb::SqlType::kBigInt:
+      return 20;
+    case sqldb::SqlType::kReal:
+      return 700;
+    case sqldb::SqlType::kDouble:
+      return 701;
+    case sqldb::SqlType::kVarchar:
+      return 1043;
+    case sqldb::SqlType::kText:
+      return 25;
+    case sqldb::SqlType::kDate:
+      return 1082;
+    case sqldb::SqlType::kTime:
+      return 1083;
+    case sqldb::SqlType::kTimestamp:
+      return 1114;
+    case sqldb::SqlType::kNull:
+      return 25;
+  }
+  return 25;
+}
+
+sqldb::SqlType SqlTypeForOid(int32_t oid) {
+  switch (oid) {
+    case 16:
+      return sqldb::SqlType::kBoolean;
+    case 21:
+      return sqldb::SqlType::kSmallInt;
+    case 23:
+      return sqldb::SqlType::kInteger;
+    case 20:
+      return sqldb::SqlType::kBigInt;
+    case 700:
+      return sqldb::SqlType::kReal;
+    case 701:
+      return sqldb::SqlType::kDouble;
+    case 1043:
+      return sqldb::SqlType::kVarchar;
+    case 1082:
+      return sqldb::SqlType::kDate;
+    case 1083:
+      return sqldb::SqlType::kTime;
+    case 1114:
+      return sqldb::SqlType::kTimestamp;
+    default:
+      return sqldb::SqlType::kText;
+  }
+}
+
+void WriteMessage(ByteWriter* out, char type,
+                  const std::vector<uint8_t>& body) {
+  out->PutU8(static_cast<uint8_t>(type));
+  out->PutU32BE(static_cast<uint32_t>(body.size() + 4));
+  out->PutBytes(body.data(), body.size());
+}
+
+Result<WireMessage> ReadMessage(TcpConnection* conn) {
+  HQ_ASSIGN_OR_RETURN(std::vector<uint8_t> header, conn->ReadExact(5));
+  WireMessage msg;
+  msg.type = static_cast<char>(header[0]);
+  ByteReader r(header.data() + 1, 4);
+  HQ_ASSIGN_OR_RETURN(uint32_t len, r.GetU32BE());
+  if (len < 4 || len > (64u << 20)) {
+    return ProtocolError(StrCat("implausible PG message length ", len));
+  }
+  if (len > 4) {
+    HQ_ASSIGN_OR_RETURN(msg.body, conn->ReadExact(len - 4));
+  }
+  return msg;
+}
+
+std::string ToyMd5(const std::string& input) {
+  // FNV-1a based 128-bit-looking digest: reproduces the md5 *flow*, not
+  // the algorithm (see header note).
+  uint64_t h1 = 1469598103934665603ull;
+  uint64_t h2 = 1099511628211ull * 31;
+  for (unsigned char c : input) {
+    h1 = (h1 ^ c) * 1099511628211ull;
+    h2 = (h2 ^ (c + 17)) * 14695981039346656037ull;
+  }
+  char buf[33];
+  std::snprintf(buf, sizeof(buf), "%016llx%016llx",
+                static_cast<unsigned long long>(h1),
+                static_cast<unsigned long long>(h2));
+  return buf;
+}
+
+namespace {
+
+std::vector<uint8_t> AuthBody(int32_t code) {
+  ByteWriter w;
+  w.PutI32BE(code);
+  return w.Take();
+}
+
+std::vector<uint8_t> ErrorBody(const Status& status) {
+  ByteWriter w;
+  w.PutU8('S');
+  w.PutCString("ERROR");
+  w.PutU8('C');
+  w.PutCString("XX000");
+  w.PutU8('M');
+  w.PutCString(status.ToString());
+  w.PutU8(0);
+  return w.Take();
+}
+
+std::vector<uint8_t> ReadyBody() {
+  ByteWriter w;
+  w.PutU8('I');
+  return w.Take();
+}
+
+Result<sqldb::Datum> DatumFromText(sqldb::SqlType type,
+                                   const std::string& text) {
+  using sqldb::Datum;
+  using sqldb::SqlType;
+  switch (type) {
+    case SqlType::kBoolean:
+      return Datum::Bool(text == "t" || text == "true" || text == "1");
+    case SqlType::kSmallInt:
+    case SqlType::kInteger:
+    case SqlType::kBigInt:
+      return Datum::Int(type, std::atoll(text.c_str()));
+    case SqlType::kReal:
+    case SqlType::kDouble:
+      return Datum::Float(type, std::strtod(text.c_str(), nullptr));
+    default: {
+      Datum s = Datum::String(SqlType::kText, text);
+      if (type == SqlType::kDate || type == SqlType::kTime ||
+          type == SqlType::kTimestamp) {
+        return sqldb::CastDatum(s, type);
+      }
+      return Datum::String(type, text);
+    }
+  }
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Client
+// ---------------------------------------------------------------------------
+
+Result<PgWireClient> PgWireClient::Connect(const std::string& host,
+                                           uint16_t port,
+                                           const std::string& user,
+                                           const std::string& password,
+                                           const std::string& database) {
+  HQ_ASSIGN_OR_RETURN(TcpConnection conn, TcpConnection::Connect(host, port));
+
+  // Startup message: length + protocol + parameters (no type byte).
+  ByteWriter body;
+  body.PutI32BE(kProtocolVersion3);
+  body.PutCString("user");
+  body.PutCString(user);
+  body.PutCString("database");
+  body.PutCString(database);
+  body.PutU8(0);
+  ByteWriter startup;
+  startup.PutU32BE(static_cast<uint32_t>(body.size() + 4));
+  startup.PutBytes(body.data().data(), body.size());
+  HQ_RETURN_IF_ERROR(conn.WriteAll(startup.data()));
+
+  PgWireClient client(std::move(conn));
+
+  // Authentication loop.
+  while (true) {
+    HQ_ASSIGN_OR_RETURN(WireMessage msg, ReadMessage(&client.conn_));
+    if (msg.type == kMsgErrorResponse) {
+      return AuthError("backend rejected startup");
+    }
+    if (msg.type != kMsgAuthentication) {
+      return ProtocolError(StrCat("expected authentication message, got '",
+                                  std::string(1, msg.type), "'"));
+    }
+    ByteReader r(msg.body);
+    HQ_ASSIGN_OR_RETURN(int32_t code, r.GetI32BE());
+    if (code == 0) break;  // AuthenticationOk
+    if (code == 3) {
+      ByteWriter pw;
+      pw.PutCString(password);
+      ByteWriter out;
+      WriteMessage(&out, kMsgPassword, pw.Take());
+      HQ_RETURN_IF_ERROR(client.conn_.WriteAll(out.data()));
+      continue;
+    }
+    if (code == 5) {
+      HQ_ASSIGN_OR_RETURN(std::vector<uint8_t> salt, r.GetBytes(4));
+      std::string salt_str(salt.begin(), salt.end());
+      std::string digest =
+          "md5" + ToyMd5(ToyMd5(password + user) + salt_str);
+      ByteWriter pw;
+      pw.PutCString(digest);
+      ByteWriter out;
+      WriteMessage(&out, kMsgPassword, pw.Take());
+      HQ_RETURN_IF_ERROR(client.conn_.WriteAll(out.data()));
+      continue;
+    }
+    return ProtocolError(StrCat("unsupported authentication code ", code));
+  }
+
+  // Drain ParameterStatus messages until ReadyForQuery.
+  while (true) {
+    HQ_ASSIGN_OR_RETURN(WireMessage msg, ReadMessage(&client.conn_));
+    if (msg.type == kMsgReadyForQuery) break;
+    if (msg.type == kMsgErrorResponse) {
+      return AuthError("backend error during startup");
+    }
+  }
+  return client;
+}
+
+Result<sqldb::QueryResult> PgWireClient::Query(const std::string& sql) {
+  ByteWriter q;
+  q.PutCString(sql);
+  ByteWriter out;
+  WriteMessage(&out, kMsgQuery, q.Take());
+  HQ_RETURN_IF_ERROR(conn_.WriteAll(out.data()));
+
+  sqldb::QueryResult result;
+  Status error = Status::OK();
+  // Buffer the row-oriented stream until ReadyForQuery (§4.2: Hyper-Q
+  // buffers the entire result set before pivoting to QIPC).
+  while (true) {
+    HQ_ASSIGN_OR_RETURN(WireMessage msg, ReadMessage(&conn_));
+    switch (msg.type) {
+      case kMsgRowDescription: {
+        ByteReader r(msg.body);
+        HQ_ASSIGN_OR_RETURN(int16_t nfields, r.GetI16BE());
+        result.columns.clear();
+        result.has_rows = true;
+        for (int i = 0; i < nfields; ++i) {
+          sqldb::TableColumn col;
+          HQ_ASSIGN_OR_RETURN(col.name, r.GetCString());
+          HQ_RETURN_IF_ERROR(r.GetI32BE().status());  // table oid
+          HQ_RETURN_IF_ERROR(r.GetI16BE().status());  // attnum
+          HQ_ASSIGN_OR_RETURN(int32_t oid, r.GetI32BE());
+          HQ_RETURN_IF_ERROR(r.GetI16BE().status());  // typlen
+          HQ_RETURN_IF_ERROR(r.GetI32BE().status());  // typmod
+          HQ_RETURN_IF_ERROR(r.GetI16BE().status());  // format
+          col.type = SqlTypeForOid(oid);
+          result.columns.push_back(std::move(col));
+        }
+        break;
+      }
+      case kMsgDataRow: {
+        ByteReader r(msg.body);
+        HQ_ASSIGN_OR_RETURN(int16_t nfields, r.GetI16BE());
+        std::vector<sqldb::Datum> row;
+        row.reserve(nfields);
+        for (int i = 0; i < nfields; ++i) {
+          HQ_ASSIGN_OR_RETURN(int32_t len, r.GetI32BE());
+          if (len < 0) {
+            row.push_back(sqldb::Datum::Null());
+            continue;
+          }
+          HQ_ASSIGN_OR_RETURN(std::string text, r.GetString(len));
+          HQ_ASSIGN_OR_RETURN(
+              sqldb::Datum d,
+              DatumFromText(result.columns[i].type, text));
+          row.push_back(std::move(d));
+        }
+        result.rows.push_back(std::move(row));
+        break;
+      }
+      case kMsgCommandComplete: {
+        ByteReader r(msg.body);
+        HQ_ASSIGN_OR_RETURN(result.command_tag, r.GetCString());
+        break;
+      }
+      case kMsgErrorResponse: {
+        // Extract the 'M' field.
+        ByteReader r(msg.body);
+        std::string message = "backend error";
+        while (true) {
+          Result<uint8_t> key = r.GetU8();
+          if (!key.ok() || *key == 0) break;
+          Result<std::string> value = r.GetCString();
+          if (!value.ok()) break;
+          if (*key == 'M') message = *value;
+        }
+        error = ExecutionError(message);
+        break;
+      }
+      case kMsgReadyForQuery:
+        if (!error.ok()) return error;
+        return result;
+      default:
+        break;  // ignore ParameterStatus / notices
+    }
+  }
+}
+
+void PgWireClient::Close() {
+  ByteWriter out;
+  WriteMessage(&out, kMsgTerminate, {});
+  (void)conn_.WriteAll(out.data());
+  conn_.Close();
+}
+
+// ---------------------------------------------------------------------------
+// Server
+// ---------------------------------------------------------------------------
+
+Status PgWireServer::Start(uint16_t port) {
+  HQ_ASSIGN_OR_RETURN(TcpListener listener, TcpListener::Listen(port));
+  port_ = listener.port();
+  listener_ = std::make_unique<TcpListener>(std::move(listener));
+  running_ = true;
+  accept_thread_ = std::make_unique<std::thread>([this]() { AcceptLoop(); });
+  return Status::OK();
+}
+
+void PgWireServer::Stop() {
+  if (!running_.exchange(false)) return;
+  if (listener_) listener_->Close();
+  if (accept_thread_ && accept_thread_->joinable()) accept_thread_->join();
+  {
+    // Wake workers blocked in recv on still-open client connections.
+    std::lock_guard<std::mutex> lock(conn_mu_);
+    for (int fd : active_fds_) ::shutdown(fd, SHUT_RDWR);
+  }
+  for (auto& w : workers_) {
+    if (w.joinable()) w.join();
+  }
+  workers_.clear();
+}
+
+void PgWireServer::AcceptLoop() {
+  while (running_) {
+    Result<TcpConnection> conn = listener_->Accept();
+    if (!conn.ok()) {
+      if (running_) {
+        HQ_LOG(Warning) << "pg accept failed: " << conn.status().ToString();
+      }
+      return;
+    }
+    workers_.emplace_back(
+        [this, c = std::move(*conn)]() mutable {
+          HandleConnection(std::move(c));
+        });
+  }
+}
+
+Status PgWireServer::Handshake(TcpConnection* conn) {
+  // Startup packet: length + protocol + params.
+  HQ_ASSIGN_OR_RETURN(std::vector<uint8_t> lenb, conn->ReadExact(4));
+  ByteReader lr(lenb);
+  HQ_ASSIGN_OR_RETURN(uint32_t len, lr.GetU32BE());
+  if (len < 8 || len > (1u << 20)) {
+    return ProtocolError("implausible startup packet length");
+  }
+  HQ_ASSIGN_OR_RETURN(std::vector<uint8_t> body, conn->ReadExact(len - 4));
+  ByteReader r(body);
+  HQ_ASSIGN_OR_RETURN(int32_t protocol, r.GetI32BE());
+  if (protocol != kProtocolVersion3) {
+    return ProtocolError(StrCat("unsupported protocol version ", protocol));
+  }
+  std::string user;
+  while (!r.AtEnd()) {
+    Result<std::string> key = r.GetCString();
+    if (!key.ok() || key->empty()) break;
+    HQ_ASSIGN_OR_RETURN(std::string value, r.GetCString());
+    if (*key == "user") user = value;
+  }
+
+  auto send = [&](char type, const std::vector<uint8_t>& payload) {
+    ByteWriter out;
+    WriteMessage(&out, type, payload);
+    return conn->WriteAll(out.data());
+  };
+
+  std::string salt = "hqs!";
+  if (options_.auth == AuthMode::kCleartext) {
+    HQ_RETURN_IF_ERROR(send(kMsgAuthentication, AuthBody(3)));
+  } else if (options_.auth == AuthMode::kMd5) {
+    ByteWriter b;
+    b.PutI32BE(5);
+    b.PutString(salt);
+    HQ_RETURN_IF_ERROR(send(kMsgAuthentication, b.Take()));
+  }
+  if (options_.auth != AuthMode::kTrust) {
+    HQ_ASSIGN_OR_RETURN(WireMessage pw, ReadMessage(conn));
+    if (pw.type != kMsgPassword) {
+      return AuthError("expected password message");
+    }
+    ByteReader pr(pw.body);
+    HQ_ASSIGN_OR_RETURN(std::string given, pr.GetCString());
+    bool ok;
+    if (options_.auth == AuthMode::kCleartext) {
+      ok = given == options_.password && user == options_.user;
+    } else {
+      std::string expect =
+          "md5" + ToyMd5(ToyMd5(options_.password + options_.user) + salt);
+      ok = given == expect;
+    }
+    if (!ok) {
+      ByteWriter out;
+      WriteMessage(&out, kMsgErrorResponse,
+                   ErrorBody(AuthError("password authentication failed")));
+      (void)conn->WriteAll(out.data());
+      return AuthError("password authentication failed");
+    }
+  }
+  HQ_RETURN_IF_ERROR(send(kMsgAuthentication, AuthBody(0)));
+
+  ByteWriter ps;
+  ps.PutCString("server_version");
+  ps.PutCString("9.2-hyperq-mini");
+  HQ_RETURN_IF_ERROR(send(kMsgParameterStatus, ps.Take()));
+  return send(kMsgReadyForQuery, ReadyBody());
+}
+
+void PgWireServer::RegisterFd(int fd) {
+  std::lock_guard<std::mutex> lock(conn_mu_);
+  active_fds_.push_back(fd);
+}
+
+void PgWireServer::UnregisterFd(int fd) {
+  std::lock_guard<std::mutex> lock(conn_mu_);
+  active_fds_.erase(std::remove(active_fds_.begin(), active_fds_.end(), fd),
+                    active_fds_.end());
+}
+
+void PgWireServer::HandleConnection(TcpConnection conn) {
+  RegisterFd(conn.fd());
+  struct Guard {
+    PgWireServer* s;
+    int fd;
+    ~Guard() { s->UnregisterFd(fd); }
+  } guard{this, conn.fd()};
+  Status hs = Handshake(&conn);
+  if (!hs.ok()) {
+    HQ_LOG(Info) << "pg handshake failed: " << hs.ToString();
+    return;
+  }
+  auto session = db_->CreateSession();
+  while (running_) {
+    Result<WireMessage> msg = ReadMessage(&conn);
+    if (!msg.ok()) return;  // disconnect
+    if (msg->type == kMsgTerminate) return;
+    if (msg->type != kMsgQuery) continue;
+
+    ByteReader r(msg->body);
+    Result<std::string> sql = r.GetCString();
+    ByteWriter out;
+    if (!sql.ok()) {
+      WriteMessage(&out, kMsgErrorResponse, ErrorBody(sql.status()));
+      WriteMessage(&out, kMsgReadyForQuery, ReadyBody());
+      if (!conn.WriteAll(out.data()).ok()) return;
+      continue;
+    }
+    Result<sqldb::QueryResult> result = db_->Execute(session.get(), *sql);
+    if (!result.ok()) {
+      WriteMessage(&out, kMsgErrorResponse, ErrorBody(result.status()));
+      WriteMessage(&out, kMsgReadyForQuery, ReadyBody());
+      if (!conn.WriteAll(out.data()).ok()) return;
+      continue;
+    }
+    if (result->has_rows) {
+      ByteWriter desc;
+      desc.PutI16BE(static_cast<int16_t>(result->columns.size()));
+      for (const auto& c : result->columns) {
+        desc.PutCString(c.name);
+        desc.PutI32BE(0);
+        desc.PutI16BE(0);
+        desc.PutI32BE(OidFor(c.type));
+        desc.PutI16BE(-1);
+        desc.PutI32BE(-1);
+        desc.PutI16BE(0);  // text format
+      }
+      WriteMessage(&out, kMsgRowDescription, desc.Take());
+      for (const auto& row : result->rows) {
+        ByteWriter dr;
+        dr.PutI16BE(static_cast<int16_t>(row.size()));
+        for (const auto& d : row) {
+          if (d.is_null()) {
+            dr.PutI32BE(-1);
+            continue;
+          }
+          std::string text = d.ToText();
+          dr.PutI32BE(static_cast<int32_t>(text.size()));
+          dr.PutString(text);
+        }
+        WriteMessage(&out, kMsgDataRow, dr.Take());
+      }
+    }
+    ByteWriter tag;
+    tag.PutCString(result->command_tag);
+    WriteMessage(&out, kMsgCommandComplete, tag.Take());
+    WriteMessage(&out, kMsgReadyForQuery, ReadyBody());
+    if (!conn.WriteAll(out.data()).ok()) return;
+  }
+}
+
+}  // namespace pgwire
+}  // namespace hyperq

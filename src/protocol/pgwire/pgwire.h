@@ -1,0 +1,132 @@
+#ifndef HYPERQ_PROTOCOL_PGWIRE_PGWIRE_H_
+#define HYPERQ_PROTOCOL_PGWIRE_PGWIRE_H_
+
+#include <cstdint>
+#include <atomic>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/bytes.h"
+#include "common/status.h"
+#include "net/tcp.h"
+#include "sqldb/database.h"
+
+namespace hyperq {
+namespace pgwire {
+
+/// PostgreSQL v3 wire protocol (§4.2): a message is a single type byte
+/// followed by a 4-byte big-endian length (including itself) and the body.
+/// The startup message has no type byte. Results stream row-oriented:
+/// RowDescription then one DataRow per row then CommandComplete (contrast
+/// with QIPC's single column-oriented message, Figure 5).
+
+/// Front-end/back-end message type bytes.
+inline constexpr char kMsgQuery = 'Q';
+inline constexpr char kMsgPassword = 'p';
+inline constexpr char kMsgTerminate = 'X';
+inline constexpr char kMsgAuthentication = 'R';
+inline constexpr char kMsgParameterStatus = 'S';
+inline constexpr char kMsgReadyForQuery = 'Z';
+inline constexpr char kMsgRowDescription = 'T';
+inline constexpr char kMsgDataRow = 'D';
+inline constexpr char kMsgCommandComplete = 'C';
+inline constexpr char kMsgErrorResponse = 'E';
+
+inline constexpr int32_t kProtocolVersion3 = 196608;  // 3.0
+
+/// PG type OIDs for the supported column types.
+int32_t OidFor(sqldb::SqlType type);
+sqldb::SqlType SqlTypeForOid(int32_t oid);
+
+/// Writes one typed message (type byte + length + body).
+void WriteMessage(ByteWriter* out, char type,
+                  const std::vector<uint8_t>& body);
+
+/// Reads one typed message from a connection.
+struct WireMessage {
+  char type = 0;
+  std::vector<uint8_t> body;
+};
+Result<WireMessage> ReadMessage(TcpConnection* conn);
+
+// -- Client -----------------------------------------------------------------
+
+/// Minimal PG v3 client: startup, cleartext or MD5 (toy) password auth,
+/// simple query protocol. Used by the wire Gateway so Hyper-Q reaches the
+/// backend exactly as it would reach a real PG-compatible MPP system.
+class PgWireClient {
+ public:
+  static Result<PgWireClient> Connect(const std::string& host, uint16_t port,
+                                      const std::string& user,
+                                      const std::string& password,
+                                      const std::string& database = "hyperq");
+
+  /// Runs one simple query; buffers the streamed rows into a QueryResult
+  /// (the row-set buffering Hyper-Q performs before pivoting, §4.2).
+  Result<sqldb::QueryResult> Query(const std::string& sql);
+
+  void Close();
+
+ private:
+  explicit PgWireClient(TcpConnection conn) : conn_(std::move(conn)) {}
+
+  TcpConnection conn_;
+};
+
+// -- Server -----------------------------------------------------------------
+
+/// Authentication mode for the server side (§4.2 lists clear text, MD5 and
+/// Kerberos; Kerberos is out of scope — see DESIGN.md substitutions).
+enum class AuthMode { kTrust, kCleartext, kMd5 };
+
+struct ServerOptions {
+  AuthMode auth = AuthMode::kTrust;
+  std::string user = "hyperq";
+  std::string password;
+};
+
+/// Serves the mini PG engine over the PG v3 protocol. Single-threaded
+/// accept loop with one handler thread per connection; Run() blocks until
+/// Stop().
+class PgWireServer {
+ public:
+  PgWireServer(sqldb::Database* db, ServerOptions options)
+      : db_(db), options_(std::move(options)) {}
+
+  /// Binds to 127.0.0.1:port (0 = ephemeral) and starts the accept thread.
+  Status Start(uint16_t port);
+  uint16_t port() const { return port_; }
+  void Stop();
+  ~PgWireServer() { Stop(); }
+
+ private:
+  void AcceptLoop();
+  void HandleConnection(TcpConnection conn);
+  Status Handshake(TcpConnection* conn);
+  void RegisterFd(int fd);
+  void UnregisterFd(int fd);
+
+  sqldb::Database* db_;
+  ServerOptions options_;
+  uint16_t port_ = 0;
+  std::unique_ptr<TcpListener> listener_;
+  std::unique_ptr<std::thread> accept_thread_;
+  std::vector<std::thread> workers_;
+  std::atomic<bool> running_{false};
+  std::mutex conn_mu_;
+  std::vector<int> active_fds_;
+};
+
+/// Toy MD5-shaped hash used for the md5 auth flow. NOT cryptographic — it
+/// reproduces the message flow (AuthenticationMD5Password + salt), not
+/// production security.
+std::string ToyMd5(const std::string& input);
+
+}  // namespace pgwire
+}  // namespace hyperq
+
+#endif  // HYPERQ_PROTOCOL_PGWIRE_PGWIRE_H_

@@ -1,0 +1,48 @@
+#ifndef HYPERQ_PROTOCOL_QIPC_COMPRESS_H_
+#define HYPERQ_PROTOCOL_QIPC_COMPRESS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+
+namespace hyperq {
+namespace qipc {
+
+/// kdb+ IPC compression (§3.1: the QIPC protocol "describes message
+/// format, process handshake, and data compression").
+///
+/// The scheme is the classic kx byte-pair LZ variant: the payload is
+/// scanned with a 256-entry hash table of byte-pair positions; output is
+/// groups of 8 items, each preceded by a flag byte whose bits mark whether
+/// the item is a literal byte or a (hash, extra-length) back-reference.
+/// Back-references copy byte-by-byte, so overlapping (RLE-style) runs work.
+///
+/// Compressed message layout:
+///   bytes 0..7   QIPC header with the compressed flag set and the
+///                *compressed* total length at bytes 4..7
+///   bytes 8..11  uncompressed total message length (uint32 LE)
+///   bytes 12..   flag-byte groups
+///
+/// kdb+ only compresses messages over 4096 bytes going to remote hosts;
+/// `kMinCompressSize` mirrors that threshold.
+
+inline constexpr size_t kMinCompressSize = 4096;
+
+/// Compresses a complete uncompressed QIPC message (header + payload).
+/// Returns the input unchanged when compression would not shrink it (the
+/// protocol then sends the plain message).
+std::vector<uint8_t> CompressMessage(const std::vector<uint8_t>& message);
+
+/// Decompresses a complete compressed QIPC message back to its plain form.
+/// Fails with ProtocolError on malformed streams.
+Result<std::vector<uint8_t>> DecompressMessage(
+    const std::vector<uint8_t>& message);
+
+/// True when the message's header declares compression.
+bool IsCompressedMessage(const std::vector<uint8_t>& message);
+
+}  // namespace qipc
+}  // namespace hyperq
+
+#endif  // HYPERQ_PROTOCOL_QIPC_COMPRESS_H_

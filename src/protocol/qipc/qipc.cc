@@ -1,0 +1,449 @@
+#include "protocol/qipc/qipc.h"
+
+#include <cmath>
+
+#include "common/bytes.h"
+#include "protocol/qipc/compress.h"
+#include "common/strings.h"
+
+namespace hyperq {
+namespace qipc {
+
+namespace {
+
+constexpr int8_t kErrorType = -128;
+constexpr int8_t kGenericNull = 101;
+
+int8_t TypeCode(QType t) { return static_cast<int8_t>(t); }
+
+/// Per-type integral widths on the wire (kdb+ layout).
+int AtomWidth(QType t) {
+  switch (t) {
+    case QType::kBool:
+    case QType::kByte:
+    case QType::kChar:
+      return 1;
+    case QType::kShort:
+      return 2;
+    case QType::kInt:
+    case QType::kDate:
+    case QType::kTime:
+      return 4;
+    default:
+      return 8;
+  }
+}
+
+/// Narrow-width null sentinels: internal nulls are INT64_MIN; the wire
+/// carries the width-matching minimum.
+int64_t WireInt(QType t, int64_t v) {
+  if (v != kNullLong) return v;
+  switch (AtomWidth(t)) {
+    case 2:
+      return INT16_MIN;
+    case 4:
+      return INT32_MIN;
+    default:
+      return INT64_MIN;
+  }
+}
+
+int64_t FromWireInt(QType t, int64_t v) {
+  switch (AtomWidth(t)) {
+    case 2:
+      return v == INT16_MIN ? kNullLong : v;
+    case 4:
+      return v == INT32_MIN ? kNullLong : v;
+    default:
+      return v;
+  }
+}
+
+void PutIntOfWidth(ByteWriter* w, QType t, int64_t v) {
+  int64_t wire = WireInt(t, v);
+  switch (AtomWidth(t)) {
+    case 1:
+      w->PutU8(static_cast<uint8_t>(wire));
+      break;
+    case 2:
+      w->PutI16LE(static_cast<int16_t>(wire));
+      break;
+    case 4:
+      w->PutI32LE(static_cast<int32_t>(wire));
+      break;
+    default:
+      w->PutI64LE(wire);
+      break;
+  }
+}
+
+Result<int64_t> GetIntOfWidth(ByteReader* r, QType t) {
+  switch (AtomWidth(t)) {
+    case 1: {
+      HQ_ASSIGN_OR_RETURN(uint8_t v, r->GetU8());
+      return static_cast<int64_t>(t == QType::kBool ? (v != 0)
+                                                    : static_cast<int8_t>(v));
+    }
+    case 2: {
+      HQ_ASSIGN_OR_RETURN(int16_t v, r->GetI16LE());
+      return FromWireInt(t, v);
+    }
+    case 4: {
+      HQ_ASSIGN_OR_RETURN(int32_t v, r->GetI32LE());
+      return FromWireInt(t, v);
+    }
+    default: {
+      HQ_ASSIGN_OR_RETURN(int64_t v, r->GetI64LE());
+      return v;
+    }
+  }
+}
+
+Status EncodeObject(const QValue& v, ByteWriter* w);
+
+Status EncodeAtom(const QValue& v, ByteWriter* w) {
+  QType t = v.type();
+  w->PutU8(static_cast<uint8_t>(-TypeCode(t)));
+  switch (t) {
+    case QType::kSymbol:
+      w->PutCString(v.AsSym());
+      return Status::OK();
+    case QType::kReal: {
+      float f = static_cast<float>(v.AsFloat());
+      uint32_t bits;
+      std::memcpy(&bits, &f, sizeof(bits));
+      w->PutU32LE(bits);
+      return Status::OK();
+    }
+    case QType::kFloat:
+      w->PutF64LE(v.AsFloat());
+      return Status::OK();
+    case QType::kChar:
+      w->PutU8(static_cast<uint8_t>(v.AsChar()));
+      return Status::OK();
+    default:
+      if (IsIntegralBacked(t)) {
+        PutIntOfWidth(w, t, v.AsInt());
+        return Status::OK();
+      }
+      return ProtocolError(StrCat("cannot encode atom of type ",
+                                  QTypeName(t)));
+  }
+}
+
+Status EncodeList(const QValue& v, ByteWriter* w) {
+  QType t = v.type();
+  w->PutU8(static_cast<uint8_t>(TypeCode(t)));
+  w->PutU8(0);  // attributes
+  w->PutI32LE(static_cast<int32_t>(v.Count()));
+  switch (t) {
+    case QType::kSymbol:
+      for (const auto& s : v.SymsView()) w->PutCString(s);
+      return Status::OK();
+    case QType::kChar:
+      w->PutString(v.CharsView());
+      return Status::OK();
+    case QType::kMixed:
+      for (const auto& e : v.Items()) {
+        HQ_RETURN_IF_ERROR(EncodeObject(e, w));
+      }
+      return Status::OK();
+    case QType::kReal:
+      for (double d : v.Floats()) {
+        float f = static_cast<float>(d);
+        uint32_t bits;
+        std::memcpy(&bits, &f, sizeof(bits));
+        w->PutU32LE(bits);
+      }
+      return Status::OK();
+    case QType::kFloat:
+      for (double d : v.Floats()) w->PutF64LE(d);
+      return Status::OK();
+    default:
+      if (IsIntegralBacked(t)) {
+        for (int64_t x : v.Ints()) PutIntOfWidth(w, t, x);
+        return Status::OK();
+      }
+      return ProtocolError(StrCat("cannot encode list of type ",
+                                  QTypeName(t)));
+  }
+}
+
+Status EncodeObject(const QValue& v, ByteWriter* w) {
+  if (v.IsGenericNull()) {
+    w->PutU8(static_cast<uint8_t>(kGenericNull));
+    w->PutU8(0);
+    return Status::OK();
+  }
+  if (v.IsTable()) {
+    // Table: 98, attributes, then the column dictionary (99).
+    w->PutU8(98);
+    w->PutU8(0);
+    w->PutU8(99);
+    const QTable& t = v.Table();
+    HQ_RETURN_IF_ERROR(EncodeList(QValue::Syms(t.names), w));
+    HQ_RETURN_IF_ERROR(EncodeList(QValue::Mixed(t.columns), w));
+    return Status::OK();
+  }
+  if (v.IsDict()) {
+    w->PutU8(99);
+    HQ_RETURN_IF_ERROR(EncodeObject(*v.Dict().keys, w));
+    HQ_RETURN_IF_ERROR(EncodeObject(*v.Dict().values, w));
+    return Status::OK();
+  }
+  if (v.IsLambda()) {
+    // Functions travel as their source text (char list), mirroring §4.3's
+    // store-as-text representation.
+    return EncodeList(QValue::Chars(v.Lambda().source), w);
+  }
+  if (v.is_atom()) return EncodeAtom(v, w);
+  return EncodeList(v, w);
+}
+
+Result<QValue> DecodeObject(ByteReader* r);
+
+Result<QValue> DecodeAtom(QType t, ByteReader* r) {
+  switch (t) {
+    case QType::kSymbol: {
+      HQ_ASSIGN_OR_RETURN(std::string s, r->GetCString());
+      return QValue::Sym(std::move(s));
+    }
+    case QType::kReal: {
+      HQ_ASSIGN_OR_RETURN(uint32_t bits, r->GetU32LE());
+      float f;
+      std::memcpy(&f, &bits, sizeof(f));
+      return QValue::Real(f);
+    }
+    case QType::kFloat: {
+      HQ_ASSIGN_OR_RETURN(double d, r->GetF64LE());
+      return QValue::Float(d);
+    }
+    case QType::kChar: {
+      HQ_ASSIGN_OR_RETURN(uint8_t c, r->GetU8());
+      return QValue::Char(static_cast<char>(c));
+    }
+    default: {
+      if (!IsIntegralBacked(t)) {
+        return ProtocolError(StrCat("cannot decode atom of type code ",
+                                    static_cast<int>(t)));
+      }
+      HQ_ASSIGN_OR_RETURN(int64_t v, GetIntOfWidth(r, t));
+      return QValue::IntegralAtom(t, v);
+    }
+  }
+}
+
+Result<QValue> DecodeList(QType t, ByteReader* r) {
+  HQ_ASSIGN_OR_RETURN(uint8_t attr, r->GetU8());
+  (void)attr;
+  HQ_ASSIGN_OR_RETURN(int32_t count, r->GetI32LE());
+  if (count < 0) return ProtocolError("negative list length");
+  size_t n = static_cast<size_t>(count);
+  switch (t) {
+    case QType::kSymbol: {
+      std::vector<std::string> out;
+      out.reserve(n);
+      for (size_t i = 0; i < n; ++i) {
+        HQ_ASSIGN_OR_RETURN(std::string s, r->GetCString());
+        out.push_back(std::move(s));
+      }
+      return QValue::Syms(std::move(out));
+    }
+    case QType::kChar: {
+      HQ_ASSIGN_OR_RETURN(std::string s, r->GetString(n));
+      return QValue::Chars(std::move(s));
+    }
+    case QType::kMixed: {
+      std::vector<QValue> out;
+      out.reserve(n);
+      for (size_t i = 0; i < n; ++i) {
+        HQ_ASSIGN_OR_RETURN(QValue e, DecodeObject(r));
+        out.push_back(std::move(e));
+      }
+      return QValue::Mixed(std::move(out));
+    }
+    case QType::kReal: {
+      std::vector<double> out(n);
+      for (size_t i = 0; i < n; ++i) {
+        HQ_ASSIGN_OR_RETURN(uint32_t bits, r->GetU32LE());
+        float f;
+        std::memcpy(&f, &bits, sizeof(f));
+        out[i] = f;
+      }
+      return QValue::FloatList(QType::kReal, std::move(out));
+    }
+    case QType::kFloat: {
+      std::vector<double> out(n);
+      for (size_t i = 0; i < n; ++i) {
+        HQ_ASSIGN_OR_RETURN(out[i], r->GetF64LE());
+      }
+      return QValue::FloatList(QType::kFloat, std::move(out));
+    }
+    default: {
+      if (!IsIntegralBacked(t)) {
+        return ProtocolError(StrCat("cannot decode list of type code ",
+                                    static_cast<int>(t)));
+      }
+      std::vector<int64_t> out(n);
+      for (size_t i = 0; i < n; ++i) {
+        HQ_ASSIGN_OR_RETURN(out[i], GetIntOfWidth(r, t));
+      }
+      return QValue::IntList(t, std::move(out));
+    }
+  }
+}
+
+Result<QValue> DecodeObject(ByteReader* r) {
+  HQ_ASSIGN_OR_RETURN(uint8_t raw, r->GetU8());
+  int8_t code = static_cast<int8_t>(raw);
+  if (code == kGenericNull) {
+    HQ_ASSIGN_OR_RETURN(uint8_t pad, r->GetU8());
+    (void)pad;
+    return QValue();
+  }
+  if (code == 98) {
+    HQ_ASSIGN_OR_RETURN(uint8_t attr, r->GetU8());
+    (void)attr;
+    HQ_ASSIGN_OR_RETURN(uint8_t dict_marker, r->GetU8());
+    if (dict_marker != 99) {
+      return ProtocolError("malformed table: expected dict marker 99");
+    }
+    HQ_ASSIGN_OR_RETURN(QValue names, DecodeObject(r));
+    HQ_ASSIGN_OR_RETURN(QValue cols, DecodeObject(r));
+    if (names.type() != QType::kSymbol || names.is_atom() ||
+        cols.type() != QType::kMixed) {
+      return ProtocolError("malformed table payload");
+    }
+    return QValue::MakeTable(names.SymsView(), cols.Items());
+  }
+  if (code == 99) {
+    HQ_ASSIGN_OR_RETURN(QValue keys, DecodeObject(r));
+    HQ_ASSIGN_OR_RETURN(QValue values, DecodeObject(r));
+    return QValue::MakeDict(std::move(keys), std::move(values));
+  }
+  if (code < 0) {
+    return DecodeAtom(static_cast<QType>(-code), r);
+  }
+  return DecodeList(static_cast<QType>(code), r);
+}
+
+}  // namespace
+
+Result<std::vector<uint8_t>> EncodeMessage(const QValue& value,
+                                           MsgType type) {
+  ByteWriter w;
+  w.PutU8(1);  // little-endian architecture
+  w.PutU8(static_cast<uint8_t>(type));
+  w.PutU8(0);  // not compressed
+  w.PutU8(0);
+  w.PutU32LE(0);  // length patched below
+  HQ_RETURN_IF_ERROR(EncodeObject(value, &w));
+  std::vector<uint8_t> out = w.Take();
+  uint32_t len = static_cast<uint32_t>(out.size());
+  for (int i = 0; i < 4; ++i) {
+    out[4 + i] = static_cast<uint8_t>(len >> (8 * i));
+  }
+  return out;
+}
+
+Result<std::vector<uint8_t>> EncodeMessageCompressed(const QValue& value,
+                                                     MsgType type) {
+  HQ_ASSIGN_OR_RETURN(std::vector<uint8_t> plain, EncodeMessage(value, type));
+  return CompressMessage(plain);
+}
+
+std::vector<uint8_t> EncodeError(const std::string& message, MsgType type) {
+  ByteWriter w;
+  w.PutU8(1);
+  w.PutU8(static_cast<uint8_t>(type));
+  w.PutU8(0);
+  w.PutU8(0);
+  w.PutU32LE(0);
+  w.PutU8(static_cast<uint8_t>(kErrorType));
+  w.PutCString(message);
+  std::vector<uint8_t> out = w.Take();
+  uint32_t len = static_cast<uint32_t>(out.size());
+  for (int i = 0; i < 4; ++i) {
+    out[4 + i] = static_cast<uint8_t>(len >> (8 * i));
+  }
+  return out;
+}
+
+Result<uint32_t> PeekMessageLength(const uint8_t* header8) {
+  ByteReader r(header8, 8);
+  HQ_RETURN_IF_ERROR(r.GetU32LE().status());  // arch/type/flags
+  return r.GetU32LE();
+}
+
+Result<DecodedMessage> DecodeMessage(const std::vector<uint8_t>& bytes) {
+  if (bytes.size() < 9) {
+    return ProtocolError(StrCat("QIPC message too short: ", bytes.size(),
+                                " bytes"));
+  }
+  ByteReader r(bytes);
+  HQ_ASSIGN_OR_RETURN(uint8_t arch, r.GetU8());
+  if (arch != 1) {
+    return ProtocolError("only little-endian QIPC peers are supported");
+  }
+  HQ_ASSIGN_OR_RETURN(uint8_t type, r.GetU8());
+  HQ_ASSIGN_OR_RETURN(uint8_t compressed, r.GetU8());
+  if (compressed == 1) {
+    HQ_ASSIGN_OR_RETURN(std::vector<uint8_t> plain,
+                        DecompressMessage(bytes));
+    return DecodeMessage(plain);
+  }
+  if (compressed != 0) {
+    return ProtocolError("unknown QIPC compression scheme");
+  }
+  HQ_RETURN_IF_ERROR(r.GetU8().status());
+  HQ_ASSIGN_OR_RETURN(uint32_t len, r.GetU32LE());
+  if (len != bytes.size()) {
+    return ProtocolError(StrCat("QIPC length mismatch: header says ", len,
+                                ", got ", bytes.size()));
+  }
+  DecodedMessage out;
+  out.type = static_cast<MsgType>(type);
+
+  // Error responses carry type -128 + text.
+  if (static_cast<int8_t>(bytes[8]) == kErrorType) {
+    ByteReader er(bytes.data() + 9, bytes.size() - 9);
+    HQ_ASSIGN_OR_RETURN(out.error, er.GetCString());
+    out.is_error = true;
+    return out;
+  }
+  HQ_ASSIGN_OR_RETURN(out.value, DecodeObject(&r));
+  return out;
+}
+
+std::vector<uint8_t> EncodeHandshake(const std::string& user,
+                                     const std::string& password,
+                                     uint8_t version) {
+  ByteWriter w;
+  w.PutString(user);
+  w.PutU8(':');
+  w.PutString(password);
+  w.PutU8(version);
+  w.PutU8(0);
+  return w.Take();
+}
+
+Result<HandshakeRequest> DecodeHandshake(const std::vector<uint8_t>& bytes) {
+  if (bytes.size() < 2 || bytes.back() != 0) {
+    return AuthError("malformed QIPC handshake");
+  }
+  HandshakeRequest out;
+  out.version = bytes[bytes.size() - 2];
+  std::string creds(reinterpret_cast<const char*>(bytes.data()),
+                    bytes.size() - 2);
+  size_t colon = creds.find(':');
+  if (colon == std::string::npos) {
+    out.user = creds;
+  } else {
+    out.user = creds.substr(0, colon);
+    out.password = creds.substr(colon + 1);
+  }
+  return out;
+}
+
+}  // namespace qipc
+}  // namespace hyperq

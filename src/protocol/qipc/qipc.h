@@ -1,0 +1,77 @@
+#ifndef HYPERQ_PROTOCOL_QIPC_QIPC_H_
+#define HYPERQ_PROTOCOL_QIPC_QIPC_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "qval/qvalue.h"
+
+namespace hyperq {
+namespace qipc {
+
+/// Q-Inter Process Communication wire format (§3.1, §4.2). Messages carry
+/// one serialized Q object, column-oriented: a whole table travels as a
+/// single message (Figure 5), in contrast to PG v3's row streaming.
+///
+/// Message layout:
+///   byte 0: architecture (1 = little endian)
+///   byte 1: message type (0 async, 1 sync, 2 response)
+///   byte 2: compressed flag (0; compression is not implemented)
+///   byte 3: reserved
+///   bytes 4..7: total message length, uint32 LE
+///   payload: recursive type-coded object encoding.
+///
+/// Object encoding: a signed type byte (negative = atom, positive = list,
+/// kdb+ numbering), followed by the payload; lists carry an attribute byte
+/// and an int32 count; symbols are NUL-terminated; a table (98) wraps a
+/// dict (99) of column names to column lists.
+enum class MsgType : uint8_t { kAsync = 0, kSync = 1, kResponse = 2 };
+
+/// Serializes a Q value into a complete QIPC message.
+Result<std::vector<uint8_t>> EncodeMessage(const QValue& value,
+                                           MsgType type);
+
+/// Like EncodeMessage, but applies kdb+ IPC compression when the plain
+/// message exceeds the compression threshold and actually shrinks
+/// (see compress.h). DecodeMessage transparently handles both forms.
+Result<std::vector<uint8_t>> EncodeMessageCompressed(const QValue& value,
+                                                     MsgType type);
+
+/// Serializes an error response (type -128 + NUL-terminated text).
+std::vector<uint8_t> EncodeError(const std::string& message, MsgType type);
+
+struct DecodedMessage {
+  MsgType type = MsgType::kSync;
+  QValue value;
+  bool is_error = false;
+  std::string error;
+};
+
+/// Parses a complete QIPC message (header + payload).
+Result<DecodedMessage> DecodeMessage(const std::vector<uint8_t>& bytes);
+
+/// Reads the total length from an 8-byte header.
+Result<uint32_t> PeekMessageLength(const uint8_t* header8);
+
+// -- Handshake (§4.2) -------------------------------------------------------
+
+/// Client credential block: "user:password" + version byte + NUL.
+std::vector<uint8_t> EncodeHandshake(const std::string& user,
+                                     const std::string& password,
+                                     uint8_t version = 3);
+
+struct HandshakeRequest {
+  std::string user;
+  std::string password;
+  uint8_t version = 0;
+};
+
+/// Parses the client handshake bytes (everything up to the trailing NUL).
+Result<HandshakeRequest> DecodeHandshake(const std::vector<uint8_t>& bytes);
+
+}  // namespace qipc
+}  // namespace hyperq
+
+#endif  // HYPERQ_PROTOCOL_QIPC_QIPC_H_

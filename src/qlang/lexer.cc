@@ -1,0 +1,489 @@
+#include "qlang/lexer.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "common/strings.h"
+#include "qval/temporal.h"
+
+namespace hyperq {
+
+const char* TokenKindName(TokenKind kind) {
+  switch (kind) {
+    case TokenKind::kNumber:
+      return "number";
+    case TokenKind::kSymbolLit:
+      return "symbol";
+    case TokenKind::kString:
+      return "string";
+    case TokenKind::kIdent:
+      return "identifier";
+    case TokenKind::kOperator:
+      return "operator";
+    case TokenKind::kColon:
+      return "':'";
+    case TokenKind::kDoubleColon:
+      return "'::'";
+    case TokenKind::kAdverb:
+      return "adverb";
+    case TokenKind::kLParen:
+      return "'('";
+    case TokenKind::kRParen:
+      return "')'";
+    case TokenKind::kLBracket:
+      return "'['";
+    case TokenKind::kRBracket:
+      return "']'";
+    case TokenKind::kLBrace:
+      return "'{'";
+    case TokenKind::kRBrace:
+      return "'}'";
+    case TokenKind::kSemi:
+      return "';'";
+    case TokenKind::kEof:
+      return "end of input";
+  }
+  return "?";
+}
+
+char Lexer::Advance() {
+  char c = text_[pos_++];
+  if (c == '\n') {
+    ++line_;
+    column_ = 1;
+  } else {
+    ++column_;
+  }
+  return c;
+}
+
+Status Lexer::Error(const std::string& message) const {
+  return ParseError(
+      StrCat("q lexer at ", line_, ":", column_, ": ", message));
+}
+
+bool Lexer::EndsValue(const Token& token) {
+  switch (token.kind) {
+    case TokenKind::kNumber:
+    case TokenKind::kSymbolLit:
+    case TokenKind::kString:
+    case TokenKind::kIdent:
+    case TokenKind::kRParen:
+    case TokenKind::kRBracket:
+    case TokenKind::kRBrace:
+      return true;
+    default:
+      return false;
+  }
+}
+
+Result<std::vector<Token>> Lexer::Tokenize() {
+  std::vector<Token> out;
+  while (!AtEnd()) {
+    HQ_RETURN_IF_ERROR(LexOne(&out));
+  }
+  out.push_back(Token{TokenKind::kEof, "", QValue(), Loc()});
+  return out;
+}
+
+Status Lexer::LexOne(std::vector<Token>* out) {
+  bool saw_space = false;
+  while (!AtEnd() && std::isspace(static_cast<unsigned char>(Peek()))) {
+    saw_space = true;
+    Advance();
+  }
+  if (AtEnd()) return Status::OK();
+
+  char c = Peek();
+  SourceLoc loc = Loc();
+  bool prev_ends_value = !out->empty() && EndsValue(out->back());
+
+  // Comment: '/' preceded by whitespace / start of input is a comment to end
+  // of line; '/' glued to a term is the over adverb.
+  if (c == '/' && (saw_space || out->empty() ||
+                   out->back().kind == TokenKind::kSemi)) {
+    while (!AtEnd() && Peek() != '\n') Advance();
+    return Status::OK();
+  }
+
+  // Numeric literal (optionally negative when '-' cannot be binary minus).
+  if (std::isdigit(static_cast<unsigned char>(c)) ||
+      (c == '.' && std::isdigit(static_cast<unsigned char>(Peek(1))))) {
+    return LexNumber(out, /*negative=*/false);
+  }
+  if (c == '-' && (std::isdigit(static_cast<unsigned char>(Peek(1))) ||
+                   (Peek(1) == '.' &&
+                    std::isdigit(static_cast<unsigned char>(Peek(2))))) &&
+      !prev_ends_value) {
+    Advance();  // consume '-'
+    return LexNumber(out, /*negative=*/true);
+  }
+
+  if (c == '`') return LexSymbol(out);
+  if (c == '"') return LexString(out);
+  if (std::isalpha(static_cast<unsigned char>(c))) return LexIdent(out);
+
+  // Adverbs and multi-char operators.
+  auto push = [&](TokenKind kind, std::string text) {
+    out->push_back(Token{kind, std::move(text), QValue(), loc});
+  };
+
+  switch (c) {
+    case '(':
+      Advance();
+      push(TokenKind::kLParen, "(");
+      return Status::OK();
+    case ')':
+      Advance();
+      push(TokenKind::kRParen, ")");
+      return Status::OK();
+    case '[':
+      Advance();
+      push(TokenKind::kLBracket, "[");
+      return Status::OK();
+    case ']':
+      Advance();
+      push(TokenKind::kRBracket, "]");
+      return Status::OK();
+    case '{':
+      Advance();
+      push(TokenKind::kLBrace, "{");
+      return Status::OK();
+    case '}':
+      Advance();
+      push(TokenKind::kRBrace, "}");
+      return Status::OK();
+    case ';':
+      Advance();
+      push(TokenKind::kSemi, ";");
+      return Status::OK();
+    case '\'':
+      Advance();
+      if (Peek() == ':') {
+        Advance();
+        push(TokenKind::kAdverb, "':");
+      } else {
+        push(TokenKind::kAdverb, "'");
+      }
+      return Status::OK();
+    case '/':
+      Advance();
+      if (Peek() == ':') {
+        Advance();
+        push(TokenKind::kAdverb, "/:");
+      } else {
+        push(TokenKind::kAdverb, "/");
+      }
+      return Status::OK();
+    case '\\':
+      Advance();
+      if (Peek() == ':') {
+        Advance();
+        push(TokenKind::kAdverb, "\\:");
+      } else {
+        push(TokenKind::kAdverb, "\\");
+      }
+      return Status::OK();
+    case ':':
+      Advance();
+      if (Peek() == ':') {
+        Advance();
+        push(TokenKind::kDoubleColon, "::");
+      } else {
+        push(TokenKind::kColon, ":");
+      }
+      return Status::OK();
+    case '<':
+      Advance();
+      if (Peek() == '=') {
+        Advance();
+        push(TokenKind::kOperator, "<=");
+      } else if (Peek() == '>') {
+        Advance();
+        push(TokenKind::kOperator, "<>");
+      } else {
+        push(TokenKind::kOperator, "<");
+      }
+      return Status::OK();
+    case '>':
+      Advance();
+      if (Peek() == '=') {
+        Advance();
+        push(TokenKind::kOperator, ">=");
+      } else {
+        push(TokenKind::kOperator, ">");
+      }
+      return Status::OK();
+    default:
+      break;
+  }
+
+  static const char kSingleOps[] = "+-*%!&|=~,^#_?@$.";
+  for (char op : kSingleOps) {
+    if (c == op && op != '\0') {
+      Advance();
+      push(TokenKind::kOperator, std::string(1, c));
+      return Status::OK();
+    }
+  }
+  return Error(StrCat("unexpected character '", std::string(1, c), "'"));
+}
+
+Status Lexer::LexNumber(std::vector<Token>* out, bool negative) {
+  SourceLoc loc = Loc();
+  // Byte literals 0x.. need hex digits, which overlap suffix letters; scan
+  // them eagerly here.
+  if (Peek() == '0' && Peek(1) == 'x') {
+    std::string hex;
+    Advance();
+    Advance();
+    while (!AtEnd() && std::isxdigit(static_cast<unsigned char>(Peek()))) {
+      hex.push_back(Advance());
+    }
+    std::vector<int64_t> bytes;
+    for (size_t i = 0; i + 1 < hex.size() || i < hex.size(); i += 2) {
+      std::string pair = hex.substr(i, 2);
+      bytes.push_back(std::strtol(pair.c_str(), nullptr, 16));
+    }
+    if (bytes.empty()) bytes.push_back(0);
+    QValue v = bytes.size() == 1
+                   ? QValue::Byte(static_cast<uint8_t>(bytes[0]))
+                   : QValue::IntList(QType::kByte, std::move(bytes));
+    out->push_back(Token{TokenKind::kNumber, "0x" + hex, std::move(v), loc});
+    return Status::OK();
+  }
+  // Scan the numberish span: digits plus temporal/suffix characters.
+  std::string span;
+  while (!AtEnd()) {
+    char c = Peek();
+    if (std::isdigit(static_cast<unsigned char>(c)) || c == '.' || c == ':' ||
+        c == 'D' || std::strchr("bhijefnptNWwx", c) != nullptr) {
+      span.push_back(Advance());
+    } else {
+      break;
+    }
+  }
+  if (span.empty()) return Error("empty numeric literal");
+
+  auto push_value = [&](QValue v) {
+    out->push_back(Token{TokenKind::kNumber, span, std::move(v), loc});
+    return Status::OK();
+  };
+  auto negate_int = [&](int64_t v) { return negative ? -v : v; };
+  auto negate_f = [&](double v) { return negative ? -v : v; };
+
+  // Byte literals 0x0a0b...
+  if (span.size() > 2 && span[0] == '0' && span[1] == 'x') {
+    std::vector<int64_t> bytes;
+    for (size_t i = 2; i + 1 < span.size(); i += 2) {
+      bytes.push_back(std::strtol(span.substr(i, 2).c_str(), nullptr, 16));
+    }
+    if (bytes.size() == 1) return push_value(QValue::Byte(bytes[0]));
+    return push_value(QValue::IntList(QType::kByte, std::move(bytes)));
+  }
+
+  // Null and infinity forms: 0N 0n 0W 0w with optional type suffix.
+  if (span.size() >= 2 && span[0] == '0' &&
+      (span[1] == 'N' || span[1] == 'n' || span[1] == 'W' || span[1] == 'w')) {
+    char cls = span[1];
+    char suffix = span.size() > 2 ? span[2] : '\0';
+    if (cls == 'n') return push_value(QValue::Float(std::nan("")));
+    if (cls == 'w') {
+      return push_value(QValue::Float(negate_f(HUGE_VAL)));
+    }
+    QType t = QType::kLong;
+    switch (suffix) {
+      case 'h':
+        t = QType::kShort;
+        break;
+      case 'i':
+        t = QType::kInt;
+        break;
+      case 'j':
+      case '\0':
+        t = QType::kLong;
+        break;
+      case 'e':
+      case 'f':
+        return push_value(cls == 'N' ? QValue::NullOf(QType::kFloat)
+                                     : QValue::Float(negate_f(HUGE_VAL)));
+      case 'd':
+        t = QType::kDate;
+        break;
+      case 't':
+        t = QType::kTime;
+        break;
+      case 'p':
+        t = QType::kTimestamp;
+        break;
+      default:
+        t = QType::kLong;
+        break;
+    }
+    if (cls == 'N') return push_value(QValue::NullOf(t));
+    return push_value(QValue::IntegralAtom(t, negate_int(kInfLong)));
+  }
+
+  // Temporal: timestamp (date 'D' time), timespan (nD...), date, time.
+  size_t dpos = span.find('D');
+  size_t dots = static_cast<size_t>(std::count(span.begin(), span.end(), '.'));
+  bool has_colon = span.find(':') != std::string::npos;
+  if (dpos != std::string::npos) {
+    std::string datepart = span.substr(0, dpos);
+    if (datepart.find('.') != std::string::npos) {
+      HQ_ASSIGN_OR_RETURN(int64_t ns, ParseQTimestamp(span));
+      return push_value(QValue::Timestamp(negate_int(ns)));
+    }
+    // Timespan: <days>D[HH:MM:SS.nnnnnnnnn]
+    int64_t days = std::atoll(datepart.c_str());
+    int64_t ns = 0;
+    std::string tpart = span.substr(dpos + 1);
+    if (!tpart.empty()) {
+      int h = 0, m = 0, s = 0;
+      int64_t frac = 0;
+      std::sscanf(tpart.c_str(), "%d:%d:%d", &h, &m, &s);
+      size_t dot = tpart.find('.');
+      if (dot != std::string::npos) {
+        std::string digits = tpart.substr(dot + 1);
+        frac = std::atoll(digits.c_str());
+        for (size_t i = digits.size(); i < 9; ++i) frac *= 10;
+      }
+      ns = static_cast<int64_t>(h) * 3600000000000LL +
+           static_cast<int64_t>(m) * 60000000000LL +
+           static_cast<int64_t>(s) * 1000000000LL + frac;
+    }
+    ns += days * 86400000000000LL;
+    return push_value(QValue::Timespan(negate_int(ns)));
+  }
+  if (has_colon) {
+    HQ_ASSIGN_OR_RETURN(int64_t ms, ParseQTime(span));
+    return push_value(QValue::Time(negate_int(ms)));
+  }
+  if (dots == 2) {
+    HQ_ASSIGN_OR_RETURN(int64_t days, ParseQDate(span));
+    return push_value(QValue::Date(negate_int(days)));
+  }
+
+  // Plain numeric with optional suffix.
+  char suffix = span.back();
+  std::string digits = span;
+  if (std::strchr("bhijef", suffix) != nullptr) {
+    digits = span.substr(0, span.size() - 1);
+  } else {
+    suffix = '\0';
+  }
+  if (digits.empty()) return Error(StrCat("bad numeric literal '", span, "'"));
+
+  if (suffix == 'b') {
+    // Bool atom or vector: 1b, 0b, 1010b.
+    std::vector<int64_t> bits;
+    for (char d : digits) {
+      if (d != '0' && d != '1') {
+        return Error(StrCat("bad boolean literal '", span, "'"));
+      }
+      bits.push_back(d - '0');
+    }
+    if (bits.size() == 1) return push_value(QValue::Bool(bits[0] != 0));
+    return push_value(QValue::IntList(QType::kBool, std::move(bits)));
+  }
+
+  bool is_float = digits.find('.') != std::string::npos ||
+                  digits.find('e') != std::string::npos || suffix == 'e' ||
+                  suffix == 'f';
+  if (is_float) {
+    double v = std::strtod(digits.c_str(), nullptr);
+    QType t = suffix == 'e' ? QType::kReal : QType::kFloat;
+    return push_value(QValue::FloatAtom(t, negate_f(v)));
+  }
+  int64_t v = std::atoll(digits.c_str());
+  QType t = QType::kLong;
+  if (suffix == 'h') t = QType::kShort;
+  if (suffix == 'i') t = QType::kInt;
+  return push_value(QValue::IntegralAtom(t, negate_int(v)));
+}
+
+Status Lexer::LexSymbol(std::vector<Token>* out) {
+  SourceLoc loc = Loc();
+  std::vector<std::string> syms;
+  std::string raw;
+  while (Peek() == '`') {
+    raw.push_back(Advance());
+    std::string name;
+    while (!AtEnd()) {
+      char c = Peek();
+      if (std::isalnum(static_cast<unsigned char>(c)) || c == '_' ||
+          c == '.') {
+        name.push_back(Advance());
+      } else {
+        break;
+      }
+    }
+    raw += name;
+    syms.push_back(std::move(name));
+  }
+  QValue v = syms.size() == 1 ? QValue::Sym(syms[0])
+                              : QValue::Syms(std::move(syms));
+  out->push_back(Token{TokenKind::kSymbolLit, raw, std::move(v), loc});
+  return Status::OK();
+}
+
+Status Lexer::LexString(std::vector<Token>* out) {
+  SourceLoc loc = Loc();
+  Advance();  // opening quote
+  std::string s;
+  while (true) {
+    if (AtEnd()) return Error("unterminated string literal");
+    char c = Advance();
+    if (c == '"') break;
+    if (c == '\\') {
+      if (AtEnd()) return Error("unterminated escape in string literal");
+      char e = Advance();
+      switch (e) {
+        case 'n':
+          s.push_back('\n');
+          break;
+        case 't':
+          s.push_back('\t');
+          break;
+        case 'r':
+          s.push_back('\r');
+          break;
+        case '\\':
+          s.push_back('\\');
+          break;
+        case '"':
+          s.push_back('"');
+          break;
+        default:
+          s.push_back(e);
+          break;
+      }
+    } else {
+      s.push_back(c);
+    }
+  }
+  QValue v = s.size() == 1 ? QValue::Char(s[0]) : QValue::Chars(s);
+  out->push_back(Token{TokenKind::kString, s, std::move(v), loc});
+  return Status::OK();
+}
+
+Status Lexer::LexIdent(std::vector<Token>* out) {
+  SourceLoc loc = Loc();
+  std::string name;
+  while (!AtEnd()) {
+    char c = Peek();
+    if (std::isalnum(static_cast<unsigned char>(c)) || c == '_') {
+      name.push_back(Advance());
+    } else {
+      break;
+    }
+  }
+  out->push_back(Token{TokenKind::kIdent, std::move(name), QValue(), loc});
+  return Status::OK();
+}
+
+}  // namespace hyperq

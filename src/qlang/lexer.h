@@ -1,0 +1,59 @@
+#ifndef HYPERQ_QLANG_LEXER_H_
+#define HYPERQ_QLANG_LEXER_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "qlang/token.h"
+
+namespace hyperq {
+
+/// Tokenizes Q query text.
+///
+/// Q-specific lexing rules handled here:
+///  - `/` introduces a comment only when preceded by whitespace or at the
+///    start of a line; immediately after a term it is the *over* adverb.
+///  - `-` is part of a numeric literal only when a number follows directly
+///    and the previous token cannot end a value (q's `x -1` vs `x-1` rule).
+///  - Consecutive backticked names form one symbol-list literal (`a`b`c).
+///  - Numeric literals carry kdb+ type suffixes (1b, 2h, 3i, 4j, 5e, 6f)
+///    and null/infinity forms (0N, 0n, 0Nh, 0W, -0w, ...).
+///  - Temporal literals: 2016.06.26, 09:30:00.000,
+///    2016.06.26D09:30:00.000000000, and timespans 0D00:00:01.
+class Lexer {
+ public:
+  explicit Lexer(std::string text) : text_(std::move(text)) {}
+
+  /// Tokenizes the whole input. The result always ends with a kEof token.
+  Result<std::vector<Token>> Tokenize();
+
+ private:
+  Status LexOne(std::vector<Token>* out);
+  Status LexNumber(std::vector<Token>* out, bool negative);
+  Status LexSymbol(std::vector<Token>* out);
+  Status LexString(std::vector<Token>* out);
+  Status LexIdent(std::vector<Token>* out);
+
+  char Peek(size_t ahead = 0) const {
+    return pos_ + ahead < text_.size() ? text_[pos_ + ahead] : '\0';
+  }
+  char Advance();
+  bool AtEnd() const { return pos_ >= text_.size(); }
+  SourceLoc Loc() const { return {line_, column_, pos_}; }
+  Status Error(const std::string& message) const;
+
+  /// True if the previously emitted token can end a value expression, which
+  /// disambiguates `-` (binary minus) from a negative literal and `/`
+  /// (adverb) from a comment.
+  static bool EndsValue(const Token& token);
+
+  std::string text_;
+  size_t pos_ = 0;
+  int line_ = 1;
+  int column_ = 1;
+};
+
+}  // namespace hyperq
+
+#endif  // HYPERQ_QLANG_LEXER_H_

@@ -1,0 +1,670 @@
+#include "qlang/parser.h"
+
+#include <unordered_set>
+
+#include "common/strings.h"
+#include "qlang/lexer.h"
+
+namespace hyperq {
+
+namespace {
+
+const std::unordered_set<std::string>& InfixKeywords() {
+  static const auto* kSet = new std::unordered_set<std::string>{
+      "in",    "within", "like",  "mod",   "div",  "xbar",  "xasc",
+      "xdesc", "xkey",   "xcol",  "xcols", "lj",   "ij",    "uj",
+      "pj",    "cross",  "union", "inter", "except", "wavg", "wsum",
+      "mavg",  "msum",   "mmax",  "mmin",  "mcount", "xprev", "bin",
+      "binr",  "vs",     "sv",    "insert", "upsert", "set",  "and",
+      "cor",   "cov",   "fby",
+      "or",    "asof",
+  };
+  return *kSet;
+}
+
+const std::unordered_set<std::string>& AdverbKeywords() {
+  static const auto* kSet = new std::unordered_set<std::string>{
+      "each", "over", "scan", "prior", "peach"};
+  return *kSet;
+}
+
+std::string AdverbKeywordToSymbol(const std::string& name) {
+  if (name == "each" || name == "peach") return "'";
+  if (name == "over") return "/";
+  if (name == "scan") return "\\";
+  if (name == "prior") return "':";
+  return name;
+}
+
+// Merges juxtaposed numeric literal tokens into one vector literal.
+// q applies the type suffix of the *last* number to the whole vector:
+// `0 1 1 0b` is a bool vector and `1 2 3h` a short vector; any float makes
+// the vector float.
+QValue MergeNumberLiterals(const std::vector<QValue>& atoms) {
+  bool all_integral = true;
+  bool all_numeric = true;
+  for (const auto& a : atoms) {
+    if (!IsIntegralBacked(a.type())) all_integral = false;
+    if (!IsIntegralBacked(a.type()) && !IsFloatBacked(a.type())) {
+      all_numeric = false;
+    }
+  }
+  if (all_integral) {
+    QType last = atoms.back().type();
+    // The trailing suffix dominates when the others are default longs.
+    QType target = last;
+    for (const auto& a : atoms) {
+      if (a.type() != last && a.type() != QType::kLong) {
+        target = QType::kLong;  // genuinely mixed integral types
+        break;
+      }
+    }
+    std::vector<int64_t> v;
+    v.reserve(atoms.size());
+    for (const auto& a : atoms) v.push_back(a.AsInt());
+    return QValue::IntList(target, std::move(v));
+  }
+  if (all_numeric) {
+    std::vector<double> v;
+    v.reserve(atoms.size());
+    for (const auto& a : atoms) v.push_back(a.AsFloat());
+    return QValue::FloatList(QType::kFloat, std::move(v));
+  }
+  return QValue::Mixed(atoms);
+}
+
+}  // namespace
+
+bool Parser::IsInfixKeyword(const std::string& name) {
+  return InfixKeywords().count(name) > 0;
+}
+
+bool Parser::IsAdverbKeyword(const std::string& name) {
+  return AdverbKeywords().count(name) > 0;
+}
+
+bool Parser::IsQueryKeyword(const std::string& name) {
+  return name == "select" || name == "exec" || name == "update" ||
+         name == "delete";
+}
+
+Result<std::vector<AstPtr>> Parser::ParseProgram(const std::string& text) {
+  Lexer lexer(text);
+  HQ_ASSIGN_OR_RETURN(std::vector<Token> tokens, lexer.Tokenize());
+  Parser parser(text, std::move(tokens));
+  return parser.Program();
+}
+
+Result<AstPtr> Parser::ParseExpression(const std::string& text) {
+  HQ_ASSIGN_OR_RETURN(std::vector<AstPtr> stmts, ParseProgram(text));
+  if (stmts.size() != 1) {
+    return ParseError(StrCat("expected a single expression, found ",
+                             stmts.size(), " statements"));
+  }
+  return stmts[0];
+}
+
+const Token& Parser::Peek(size_t ahead) const {
+  size_t i = pos_ + ahead;
+  if (i >= tokens_.size()) i = tokens_.size() - 1;  // EOF token
+  return tokens_[i];
+}
+
+const Token& Parser::Consume() {
+  const Token& t = tokens_[pos_];
+  if (pos_ + 1 < tokens_.size()) ++pos_;
+  return t;
+}
+
+bool Parser::CheckIdent(const std::string& name) const {
+  return Peek().kind == TokenKind::kIdent && Peek().text == name;
+}
+
+Status Parser::Expect(TokenKind kind, const std::string& what) {
+  if (Peek().kind != kind) {
+    return ErrorHere(StrCat("expected ", what, ", found ",
+                            TokenKindName(Peek().kind),
+                            Peek().text.empty() ? "" : " '" + Peek().text + "'"));
+  }
+  Consume();
+  return Status::OK();
+}
+
+Status Parser::ErrorHere(const std::string& message) const {
+  const Token& t = Peek();
+  return ParseError(
+      StrCat("q parser at ", t.loc.line, ":", t.loc.column, ": ", message));
+}
+
+bool Parser::AtExprEnd() const {
+  const Token& t = Peek();
+  switch (t.kind) {
+    case TokenKind::kEof:
+    case TokenKind::kSemi:
+    case TokenKind::kRParen:
+    case TokenKind::kRBracket:
+    case TokenKind::kRBrace:
+      return true;
+    case TokenKind::kOperator:
+      return t.text == "," && Ctx().stop_comma;
+    case TokenKind::kIdent:
+      return Ctx().stop_words.count(t.text) > 0;
+    default:
+      return false;
+  }
+}
+
+bool Parser::StartsNoun() const {
+  const Token& t = Peek();
+  switch (t.kind) {
+    case TokenKind::kNumber:
+    case TokenKind::kSymbolLit:
+    case TokenKind::kString:
+    case TokenKind::kLParen:
+    case TokenKind::kLBrace:
+      return true;
+    case TokenKind::kIdent:
+      return Ctx().stop_words.count(t.text) == 0 &&
+             !IsInfixKeyword(t.text) && !IsAdverbKeyword(t.text);
+    default:
+      return false;
+  }
+}
+
+Result<std::vector<AstPtr>> Parser::Program() {
+  std::vector<AstPtr> stmts;
+  while (!Check(TokenKind::kEof)) {
+    if (Check(TokenKind::kSemi)) {
+      Consume();
+      continue;
+    }
+    HQ_ASSIGN_OR_RETURN(AstPtr stmt, Statement());
+    stmts.push_back(std::move(stmt));
+    if (!Check(TokenKind::kEof)) {
+      HQ_RETURN_IF_ERROR(Expect(TokenKind::kSemi, "';' between statements"));
+    }
+  }
+  return stmts;
+}
+
+Result<AstPtr> Parser::Statement() {
+  // Leading ':' is an explicit return (only meaningful inside lambdas).
+  if (Check(TokenKind::kColon)) {
+    SourceLoc loc = Peek().loc;
+    Consume();
+    HQ_ASSIGN_OR_RETURN(AstPtr value, Expr());
+    return MakeReturn(std::move(value), loc);
+  }
+  return Expr();
+}
+
+Result<AstPtr> Parser::Expr() {
+  HQ_ASSIGN_OR_RETURN(AstPtr left, Noun());
+  if (AtExprEnd()) return left;
+
+  const Token& t = Peek();
+
+  // Assignment: name: expr / name:: expr.
+  if ((t.kind == TokenKind::kColon || t.kind == TokenKind::kDoubleColon)) {
+    if (left->kind != AstKind::kVarRef) {
+      return ErrorHere("left side of assignment must be a name");
+    }
+    bool global = t.kind == TokenKind::kDoubleColon;
+    SourceLoc loc = t.loc;
+    Consume();
+    HQ_ASSIGN_OR_RETURN(AstPtr value, Expr());
+    return MakeAssign(left->name, std::move(value), global, loc);
+  }
+
+  // Dyadic operator (right-to-left: rhs re-enters Expr).
+  if (t.kind == TokenKind::kOperator) {
+    std::string op = t.text;
+    SourceLoc loc = t.loc;
+    Consume();
+    // Adverbed dyad: x +' y, x +/ y.
+    if (Check(TokenKind::kAdverb)) {
+      std::string adv = Consume().text;
+      AstPtr fn = MakeAdverbed(adv, MakeFnRef(op, loc), loc);
+      HQ_ASSIGN_OR_RETURN(AstPtr rhs, Expr());
+      return MakeApply(std::move(fn), {std::move(left), std::move(rhs)}, loc);
+    }
+    HQ_ASSIGN_OR_RETURN(AstPtr rhs, Expr());
+    return MakeDyad(op, std::move(left), std::move(rhs), loc);
+  }
+
+  // Infix named verb: x in y, t1 lj t2, price wavg size.
+  if (t.kind == TokenKind::kIdent && IsInfixKeyword(t.text) &&
+      Ctx().stop_words.count(t.text) == 0) {
+    std::string op = t.text;
+    SourceLoc loc = t.loc;
+    Consume();
+    HQ_ASSIGN_OR_RETURN(AstPtr rhs, Expr());
+    return MakeDyad(op, std::move(left), std::move(rhs), loc);
+  }
+
+  // Postfix adverb keyword: f each x, f over x.
+  if (t.kind == TokenKind::kIdent && IsAdverbKeyword(t.text)) {
+    SourceLoc loc = t.loc;
+    std::string adv = AdverbKeywordToSymbol(Consume().text);
+    AstPtr fn = MakeAdverbed(adv, std::move(left), loc);
+    if (AtExprEnd()) return fn;
+    HQ_ASSIGN_OR_RETURN(AstPtr rhs, Expr());
+    return MakeApply(std::move(fn), {std::move(rhs)}, loc);
+  }
+
+  // Infix lambda (possibly adverbed): `x {x+y} y`, `x f\: y`. The verb
+  // noun is parsed first; if more expression follows, the lambda applies
+  // infix between left and right.
+  if (t.kind == TokenKind::kLBrace) {
+    SourceLoc loc = t.loc;
+    HQ_ASSIGN_OR_RETURN(AstPtr verb, Noun());
+    if ((verb->kind == AstKind::kLambda ||
+         verb->kind == AstKind::kAdverbed) &&
+        !AtExprEnd() && StartsNoun()) {
+      HQ_ASSIGN_OR_RETURN(AstPtr rhs, Expr());
+      return MakeApply(std::move(verb), {std::move(left), std::move(rhs)},
+                       loc);
+    }
+    // Otherwise plain juxtaposition with the parsed noun.
+    return MakeApply(std::move(left), {std::move(verb)}, loc);
+  }
+
+  // Juxtaposition: `count trades` (application) or `list 2` (indexing);
+  // which one is a runtime question (dynamic typing, §3.2.1).
+  if (StartsNoun()) {
+    SourceLoc loc = t.loc;
+    HQ_ASSIGN_OR_RETURN(AstPtr rhs, Expr());
+    return MakeApply(std::move(left), {std::move(rhs)}, loc);
+  }
+
+  return left;
+}
+
+Result<AstPtr> Parser::Noun() {
+  HQ_ASSIGN_OR_RETURN(AstPtr base, Factor());
+  while (true) {
+    if (Check(TokenKind::kLBracket)) {
+      SourceLoc loc = Peek().loc;
+      HQ_ASSIGN_OR_RETURN(std::vector<AstPtr> args, ParseBracketArgs());
+      base = MakeApply(std::move(base), std::move(args), loc);
+      continue;
+    }
+    if (Check(TokenKind::kAdverb)) {
+      SourceLoc loc = Peek().loc;
+      std::string adv = Consume().text;
+      base = MakeAdverbed(adv, std::move(base), loc);
+      continue;
+    }
+    break;
+  }
+  return base;
+}
+
+Result<std::vector<AstPtr>> Parser::ParseBracketArgs() {
+  HQ_RETURN_IF_ERROR(Expect(TokenKind::kLBracket, "'['"));
+  contexts_.push_back(Context{});
+  std::vector<AstPtr> args;
+  if (!Check(TokenKind::kRBracket)) {
+    while (true) {
+      if (Check(TokenKind::kSemi)) {
+        // Elided argument (projection), e.g. f[;2]. Represent as generic
+        // null literal.
+        args.push_back(MakeLiteral(QValue(), Peek().loc));
+        Consume();
+        continue;
+      }
+      HQ_ASSIGN_OR_RETURN(AstPtr arg, Expr());
+      args.push_back(std::move(arg));
+      if (Check(TokenKind::kSemi)) {
+        Consume();
+        continue;
+      }
+      break;
+    }
+  }
+  contexts_.pop_back();
+  HQ_RETURN_IF_ERROR(Expect(TokenKind::kRBracket, "']'"));
+  return args;
+}
+
+Result<AstPtr> Parser::Factor() {
+  const Token& t = Peek();
+  SourceLoc loc = t.loc;
+  switch (t.kind) {
+    case TokenKind::kNumber: {
+      std::vector<QValue> atoms;
+      atoms.push_back(Consume().value);
+      while (Check(TokenKind::kNumber)) atoms.push_back(Consume().value);
+      if (atoms.size() == 1) return MakeLiteral(atoms[0], loc);
+      // A run of juxtaposed numbers is a vector literal; a run containing a
+      // list (e.g. two bool vectors) degrades to a mixed list.
+      bool all_atoms = true;
+      for (const auto& a : atoms) all_atoms &= a.is_atom();
+      if (!all_atoms) return MakeLiteral(QValue::Mixed(atoms), loc);
+      return MakeLiteral(MergeNumberLiterals(atoms), loc);
+    }
+    case TokenKind::kSymbolLit:
+    case TokenKind::kString:
+      return MakeLiteral(Consume().value, loc);
+    case TokenKind::kIdent: {
+      if (IsQueryKeyword(t.text)) {
+        QueryKind kind = QueryKind::kSelect;
+        if (t.text == "exec") kind = QueryKind::kExec;
+        if (t.text == "update") kind = QueryKind::kUpdate;
+        if (t.text == "delete") kind = QueryKind::kDelete;
+        Consume();
+        return ParseQuery(kind);
+      }
+      return MakeVarRef(Consume().text, loc);
+    }
+    case TokenKind::kLParen:
+      return ParseParenOrList();
+    case TokenKind::kLBrace:
+      return ParseLambda();
+    case TokenKind::kDoubleColon:
+      Consume();
+      return MakeLiteral(QValue(), loc);  // (::) generic null / identity
+    case TokenKind::kOperator: {
+      if (t.text == "$" && Peek(1).kind == TokenKind::kLBracket) {
+        Consume();
+        return ParseCond();
+      }
+      // A verb in value position: `+`, used as (+/) x or +[1;2].
+      return MakeFnRef(Consume().text, loc);
+    }
+    default:
+      return ErrorHere(StrCat("unexpected ", TokenKindName(t.kind),
+                              t.text.empty() ? "" : " '" + t.text + "'",
+                              " at start of expression"));
+  }
+}
+
+Result<AstPtr> Parser::ParseCond() {
+  SourceLoc loc = Peek().loc;
+  HQ_ASSIGN_OR_RETURN(std::vector<AstPtr> branches, ParseBracketArgs());
+  if (branches.size() < 3) {
+    return ErrorHere("$[c;t;f] conditional requires at least 3 arguments");
+  }
+  return MakeCond(std::move(branches), loc);
+}
+
+Result<AstPtr> Parser::ParseParenOrList() {
+  SourceLoc loc = Peek().loc;
+  HQ_RETURN_IF_ERROR(Expect(TokenKind::kLParen, "'('"));
+  contexts_.push_back(Context{});
+
+  // Empty list ().
+  if (Check(TokenKind::kRParen)) {
+    Consume();
+    contexts_.pop_back();
+    return MakeLiteral(QValue::Mixed({}), loc);
+  }
+
+  // Table literal: ([keycols] col:expr; ...).
+  if (Check(TokenKind::kLBracket)) {
+    Consume();
+    auto node = std::make_shared<AstNode>();
+    node->kind = AstKind::kTableLit;
+    node->loc = loc;
+    if (!Check(TokenKind::kRBracket)) {
+      HQ_ASSIGN_OR_RETURN(node->key_cols,
+                          ParseNamedExprList(TokenKind::kSemi));
+    }
+    HQ_RETURN_IF_ERROR(Expect(TokenKind::kRBracket, "']' in table literal"));
+    if (Check(TokenKind::kSemi)) Consume();
+    if (!Check(TokenKind::kRParen)) {
+      HQ_ASSIGN_OR_RETURN(node->value_cols,
+                          ParseNamedExprList(TokenKind::kSemi));
+    }
+    contexts_.pop_back();
+    HQ_RETURN_IF_ERROR(Expect(TokenKind::kRParen, "')' in table literal"));
+    return AstPtr(node);
+  }
+
+  HQ_ASSIGN_OR_RETURN(AstPtr first, Expr());
+  if (Check(TokenKind::kRParen)) {
+    Consume();
+    contexts_.pop_back();
+    return first;  // plain grouping
+  }
+  std::vector<AstPtr> items;
+  items.push_back(std::move(first));
+  while (Check(TokenKind::kSemi)) {
+    Consume();
+    HQ_ASSIGN_OR_RETURN(AstPtr item, Expr());
+    items.push_back(std::move(item));
+  }
+  contexts_.pop_back();
+  HQ_RETURN_IF_ERROR(Expect(TokenKind::kRParen, "')'"));
+  return MakeListLit(std::move(items), loc);
+}
+
+Result<std::vector<NamedExpr>> Parser::ParseNamedExprList(
+    TokenKind separator) {
+  // Each item is optionally `name: expr`. Select/by lists separate items
+  // with commas (which therefore terminate expressions); table literals use
+  // semicolons, so commas stay available as the join verb.
+  bool comma_sep = separator == TokenKind::kOperator;
+  contexts_.push_back(Context{Ctx().stop_words, /*stop_comma=*/comma_sep});
+  std::vector<NamedExpr> out;
+  while (true) {
+    NamedExpr ne;
+    if (Check(TokenKind::kIdent) && Peek(1).kind == TokenKind::kColon &&
+        !IsInfixKeyword(Peek().text) && !IsQueryKeyword(Peek().text)) {
+      ne.name = Consume().text;
+      Consume();  // ':'
+    }
+    auto expr = Expr();
+    if (!expr.ok()) {
+      contexts_.pop_back();
+      return expr.status();
+    }
+    ne.expr = std::move(expr).value();
+    out.push_back(std::move(ne));
+    if (comma_sep && Check(TokenKind::kOperator) && Peek().text == ",") {
+      Consume();
+      continue;
+    }
+    if (!comma_sep && Check(separator)) {
+      Consume();
+      continue;
+    }
+    break;
+  }
+  contexts_.pop_back();
+  return out;
+}
+
+Result<AstPtr> Parser::ParseQuery(QueryKind kind) {
+  auto node = std::make_shared<AstNode>();
+  node->kind = AstKind::kQuery;
+  node->loc = Peek().loc;
+  node->query_kind = kind;
+
+  // select[n] / select[n;>col]: bracketed limit and ordering options.
+  if (kind == QueryKind::kSelect && Check(TokenKind::kLBracket)) {
+    Consume();
+    contexts_.push_back(Context{});
+    auto parse_order = [&]() -> Status {
+      bool asc = Peek().text == "<";
+      Consume();  // '<' or '>'
+      if (!Check(TokenKind::kIdent)) {
+        contexts_.pop_back();
+        return ErrorHere("expected column name after ordering sign");
+      }
+      node->query_order_col = Consume().text;
+      node->query_order_dir = asc ? 1 : -1;
+      return Status::OK();
+    };
+    if (Check(TokenKind::kOperator) &&
+        (Peek().text == "<" || Peek().text == ">")) {
+      HQ_RETURN_IF_ERROR(parse_order());
+    } else {
+      auto limit = Expr();
+      if (!limit.ok()) {
+        contexts_.pop_back();
+        return limit.status();
+      }
+      node->query_limit = std::move(limit).value();
+      if (Check(TokenKind::kSemi)) {
+        Consume();
+        if (Check(TokenKind::kOperator) &&
+            (Peek().text == "<" || Peek().text == ">")) {
+          HQ_RETURN_IF_ERROR(parse_order());
+        } else {
+          contexts_.pop_back();
+          return ErrorHere("expected <col or >col ordering in select[..]");
+        }
+      }
+    }
+    contexts_.pop_back();
+    HQ_RETURN_IF_ERROR(
+        Expect(TokenKind::kRBracket, "']' after select options"));
+  }
+
+  contexts_.push_back(Context{{"by", "from", "where"}, /*stop_comma=*/true});
+
+  if (!CheckIdent("from") && !CheckIdent("by")) {
+    auto cols = ParseNamedExprList();
+    if (!cols.ok()) {
+      contexts_.pop_back();
+      return cols.status();
+    }
+    node->select_list = std::move(cols).value();
+  }
+  if (CheckIdent("by")) {
+    Consume();
+    auto by = ParseNamedExprList();
+    if (!by.ok()) {
+      contexts_.pop_back();
+      return by.status();
+    }
+    node->by_list = std::move(by).value();
+  }
+  contexts_.pop_back();
+
+  if (!CheckIdent("from")) {
+    return ErrorHere(StrCat("expected 'from' in ",
+                            kind == QueryKind::kSelect ? "select" : "query",
+                            " template"));
+  }
+  Consume();
+
+  contexts_.push_back(Context{{"where"}, /*stop_comma=*/false});
+  auto from = Expr();
+  contexts_.pop_back();
+  if (!from.ok()) return from.status();
+  node->from = std::move(from).value();
+
+  if (CheckIdent("where")) {
+    Consume();
+    contexts_.push_back(Context{{"by", "from", "where"}, /*stop_comma=*/true});
+    while (true) {
+      auto cond = Expr();
+      if (!cond.ok()) {
+        contexts_.pop_back();
+        return cond.status();
+      }
+      node->where_list.push_back(std::move(cond).value());
+      if (Check(TokenKind::kOperator) && Peek().text == ",") {
+        Consume();
+        continue;
+      }
+      break;
+    }
+    contexts_.pop_back();
+  }
+
+  // For delete, plain column references in the select list are the columns
+  // to drop: delete c1, c2 from t.
+  if (kind == QueryKind::kDelete) {
+    for (const auto& ne : node->select_list) {
+      if (ne.name.empty() && ne.expr->kind == AstKind::kVarRef) {
+        node->delete_cols.push_back(ne.expr->name);
+      }
+    }
+  }
+  return AstPtr(node);
+}
+
+Result<AstPtr> Parser::ParseLambda() {
+  SourceLoc start = Peek().loc;
+  HQ_RETURN_IF_ERROR(Expect(TokenKind::kLBrace, "'{'"));
+  contexts_.push_back(Context{});
+
+  auto node = std::make_shared<AstNode>();
+  node->kind = AstKind::kLambda;
+  node->loc = start;
+
+  bool explicit_params = false;
+  if (Check(TokenKind::kLBracket)) {
+    explicit_params = true;
+    Consume();
+    while (!Check(TokenKind::kRBracket)) {
+      if (!Check(TokenKind::kIdent)) {
+        contexts_.pop_back();
+        return ErrorHere("expected parameter name in lambda");
+      }
+      node->params.push_back(Consume().text);
+      if (Check(TokenKind::kSemi)) Consume();
+    }
+    Consume();  // ']'
+  }
+
+  while (!Check(TokenKind::kRBrace)) {
+    if (Check(TokenKind::kSemi)) {
+      Consume();
+      continue;
+    }
+    if (Check(TokenKind::kEof)) {
+      contexts_.pop_back();
+      return ErrorHere("unterminated lambda: missing '}'");
+    }
+    auto stmt = Statement();
+    if (!stmt.ok()) {
+      contexts_.pop_back();
+      return stmt.status();
+    }
+    node->body.push_back(std::move(stmt).value());
+  }
+  SourceLoc end = Peek().loc;
+  Consume();  // '}'
+  contexts_.pop_back();
+
+  node->source = text_.substr(start.offset, end.offset - start.offset + 1);
+
+  // Implicit x/y/z parameters when no explicit list is given.
+  if (!explicit_params) {
+    bool uses[3] = {false, false, false};
+    // Walk the body looking for x/y/z references.
+    std::vector<const AstNode*> stack;
+    for (const auto& s : node->body) stack.push_back(s.get());
+    while (!stack.empty()) {
+      const AstNode* n = stack.back();
+      stack.pop_back();
+      if (!n) continue;
+      if (n->kind == AstKind::kVarRef) {
+        if (n->name == "x") uses[0] = true;
+        if (n->name == "y") uses[1] = true;
+        if (n->name == "z") uses[2] = true;
+      }
+      if (n->kind == AstKind::kLambda) continue;  // inner lambda shadows
+      for (const auto& a : n->args) stack.push_back(a.get());
+      stack.push_back(n->lhs.get());
+      stack.push_back(n->rhs.get());
+      stack.push_back(n->child.get());
+      for (const auto& ne : n->select_list) stack.push_back(ne.expr.get());
+      for (const auto& ne : n->by_list) stack.push_back(ne.expr.get());
+      for (const auto& w : n->where_list) stack.push_back(w.get());
+      for (const auto& ne : n->key_cols) stack.push_back(ne.expr.get());
+      for (const auto& ne : n->value_cols) stack.push_back(ne.expr.get());
+      stack.push_back(n->from.get());
+    }
+    int arity = uses[2] ? 3 : (uses[1] ? 2 : (uses[0] ? 1 : 0));
+    static const char* kNames[] = {"x", "y", "z"};
+    for (int i = 0; i < arity; ++i) node->params.push_back(kNames[i]);
+  }
+  return AstPtr(node);
+}
+
+}  // namespace hyperq

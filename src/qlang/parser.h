@@ -1,0 +1,85 @@
+#ifndef HYPERQ_QLANG_PARSER_H_
+#define HYPERQ_QLANG_PARSER_H_
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "qlang/ast.h"
+#include "qlang/token.h"
+
+namespace hyperq {
+
+/// Recursive-descent parser for the Q language subset.
+///
+/// Q expressions evaluate strictly right-to-left with no operator precedence
+/// (§2.2); the grammar here is correspondingly right-recursive. The parser is
+/// deliberately lightweight (§3.2.1): it resolves no names and infers no
+/// types — `trades` may be a table, a list or a scalar; the binder decides.
+class Parser {
+ public:
+  /// Parses a whole query text into a list of top-level statements.
+  static Result<std::vector<AstPtr>> ParseProgram(const std::string& text);
+
+  /// Parses a single expression (convenience for tests).
+  static Result<AstPtr> ParseExpression(const std::string& text);
+
+  /// Names that act as infix dyadic verbs, e.g. `x in y`, `t1 lj t2`.
+  static bool IsInfixKeyword(const std::string& name);
+  /// Names that act as postfix adverbs: each, over, scan, prior, peach.
+  static bool IsAdverbKeyword(const std::string& name);
+  /// The select/exec/update/delete template keywords.
+  static bool IsQueryKeyword(const std::string& name);
+
+ private:
+  /// Expression-termination context. Select-template parsing stops column
+  /// expressions at top-level commas and at the by/from/where keywords;
+  /// parenthesized subexpressions reset to a neutral context.
+  struct Context {
+    std::set<std::string> stop_words;
+    bool stop_comma = false;
+  };
+
+  Parser(const std::string& text, std::vector<Token> tokens)
+      : text_(text), tokens_(std::move(tokens)) {}
+
+  Result<std::vector<AstPtr>> Program();
+  Result<AstPtr> Statement();
+  Result<AstPtr> Expr();
+  Result<AstPtr> Noun();
+  Result<AstPtr> Factor();
+  Result<AstPtr> ParseLambda();
+  Result<AstPtr> ParseQuery(QueryKind kind);
+  Result<AstPtr> ParseParenOrList();
+  Result<AstPtr> ParseCond();
+  /// Parses `[name:] expr` items separated by `separator` (comma in
+  /// select/by lists, semicolon in table literals).
+  Result<std::vector<NamedExpr>> ParseNamedExprList(
+      TokenKind separator = TokenKind::kOperator);
+  Result<std::vector<AstPtr>> ParseBracketArgs();
+
+  const Token& Peek(size_t ahead = 0) const;
+  const Token& Consume();
+  bool Check(TokenKind kind) const { return Peek().kind == kind; }
+  bool CheckIdent(const std::string& name) const;
+  Status Expect(TokenKind kind, const std::string& what);
+  Status ErrorHere(const std::string& message) const;
+
+  /// True if the current token terminates an expression in the current
+  /// context (stop word, top-level comma, closing bracket, semicolon, EOF).
+  bool AtExprEnd() const;
+  /// True if the current token can begin a noun (for juxtaposition).
+  bool StartsNoun() const;
+
+  const Context& Ctx() const { return contexts_.back(); }
+
+  const std::string& text_;
+  std::vector<Token> tokens_;
+  size_t pos_ = 0;
+  std::vector<Context> contexts_{Context{}};
+};
+
+}  // namespace hyperq
+
+#endif  // HYPERQ_QLANG_PARSER_H_

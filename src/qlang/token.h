@@ -1,0 +1,51 @@
+#ifndef HYPERQ_QLANG_TOKEN_H_
+#define HYPERQ_QLANG_TOKEN_H_
+
+#include <string>
+
+#include "qval/qvalue.h"
+
+namespace hyperq {
+
+enum class TokenKind {
+  kNumber,     ///< Numeric/temporal literal (payload in `value`).
+  kSymbolLit,  ///< `sym or `a`b`c (payload in `value`).
+  kString,     ///< "..." char atom or char list (payload in `value`).
+  kIdent,      ///< Name: variables, builtins, select/from/... keywords.
+  kOperator,   ///< Symbolic verb: + - * % = <> < > <= >= & | ~ , ^ # _ ! ? @ $ .
+  kColon,      ///< : (assignment / return).
+  kDoubleColon,///< :: (global amend / identity).
+  kAdverb,     ///< ' /: \: ': / \ (each, each-right, each-left, prior, over, scan).
+  kLParen,
+  kRParen,
+  kLBracket,
+  kRBracket,
+  kLBrace,
+  kRBrace,
+  kSemi,
+  kEof,
+};
+
+/// Position of a token in the query text, for verbose diagnostics (§5 calls
+/// out Hyper-Q's error messages as more informative than kdb+'s).
+struct SourceLoc {
+  int line = 1;
+  int column = 1;
+  /// Absolute byte offset into the query text; used to slice verbatim
+  /// lambda source (stored as text per §4.3).
+  size_t offset = 0;
+};
+
+struct Token {
+  TokenKind kind = TokenKind::kEof;
+  std::string text;  ///< Raw text (identifier/operator/adverb spelling).
+  QValue value;      ///< Literal payload for kNumber/kSymbolLit/kString.
+  SourceLoc loc;
+};
+
+/// Token kind name for diagnostics.
+const char* TokenKindName(TokenKind kind);
+
+}  // namespace hyperq
+
+#endif  // HYPERQ_QLANG_TOKEN_H_

@@ -1,0 +1,118 @@
+#include "qval/qtype.h"
+
+namespace hyperq {
+
+const char* QTypeName(QType type) {
+  switch (type) {
+    case QType::kMixed:
+      return "mixed";
+    case QType::kBool:
+      return "boolean";
+    case QType::kByte:
+      return "byte";
+    case QType::kShort:
+      return "short";
+    case QType::kInt:
+      return "int";
+    case QType::kLong:
+      return "long";
+    case QType::kReal:
+      return "real";
+    case QType::kFloat:
+      return "float";
+    case QType::kChar:
+      return "char";
+    case QType::kSymbol:
+      return "symbol";
+    case QType::kTimestamp:
+      return "timestamp";
+    case QType::kDate:
+      return "date";
+    case QType::kTimespan:
+      return "timespan";
+    case QType::kTime:
+      return "time";
+    case QType::kTable:
+      return "table";
+    case QType::kDict:
+      return "dict";
+    case QType::kLambda:
+      return "lambda";
+    case QType::kUnary:
+      return "unary";
+  }
+  return "unknown";
+}
+
+char QTypeChar(QType type) {
+  switch (type) {
+    case QType::kBool:
+      return 'b';
+    case QType::kByte:
+      return 'x';
+    case QType::kShort:
+      return 'h';
+    case QType::kInt:
+      return 'i';
+    case QType::kLong:
+      return 'j';
+    case QType::kReal:
+      return 'e';
+    case QType::kFloat:
+      return 'f';
+    case QType::kChar:
+      return 'c';
+    case QType::kSymbol:
+      return 's';
+    case QType::kTimestamp:
+      return 'p';
+    case QType::kDate:
+      return 'd';
+    case QType::kTimespan:
+      return 'n';
+    case QType::kTime:
+      return 't';
+    default:
+      return ' ';
+  }
+}
+
+bool IsIntegralBacked(QType type) {
+  switch (type) {
+    case QType::kBool:
+    case QType::kByte:
+    case QType::kShort:
+    case QType::kInt:
+    case QType::kLong:
+    case QType::kTimestamp:
+    case QType::kDate:
+    case QType::kTimespan:
+    case QType::kTime:
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool IsFloatBacked(QType type) {
+  return type == QType::kReal || type == QType::kFloat;
+}
+
+bool IsTemporal(QType type) {
+  switch (type) {
+    case QType::kTimestamp:
+    case QType::kDate:
+    case QType::kTimespan:
+    case QType::kTime:
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool IsScalarType(QType type) {
+  return IsIntegralBacked(type) || IsFloatBacked(type) ||
+         type == QType::kChar || type == QType::kSymbol;
+}
+
+}  // namespace hyperq

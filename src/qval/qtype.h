@@ -1,0 +1,59 @@
+#ifndef HYPERQ_QVAL_QTYPE_H_
+#define HYPERQ_QVAL_QTYPE_H_
+
+#include <cstdint>
+#include <string>
+
+namespace hyperq {
+
+/// Q datatype codes. Values follow the kdb+ type numbering (positive codes
+/// denote lists of the type; atoms are the negated code on the wire). The
+/// subset covers the types exercised by financial market data: integral,
+/// floating, character, symbol, and the temporal family.
+enum class QType : int8_t {
+  kMixed = 0,      ///< General (heterogeneous) list.
+  kBool = 1,       ///< 1b / 0b.
+  kByte = 4,       ///< 0x00-0xff.
+  kShort = 5,      ///< 16-bit integer (suffix h).
+  kInt = 6,        ///< 32-bit integer (suffix i).
+  kLong = 7,       ///< 64-bit integer (suffix j, default integral).
+  kReal = 8,       ///< 32-bit float (suffix e).
+  kFloat = 9,      ///< 64-bit float (default floating).
+  kChar = 10,      ///< "c"; a char list is a string.
+  kSymbol = 11,    ///< `sym, interned name.
+  kTimestamp = 12, ///< nanoseconds since 2000.01.01D00:00.
+  kDate = 14,      ///< days since 2000.01.01.
+  kTimespan = 16,  ///< nanoseconds duration.
+  kTime = 19,      ///< milliseconds since midnight.
+  kTable = 98,     ///< Flip of a column dictionary.
+  kDict = 99,      ///< Keys/values association; keyed tables are dicts.
+  kLambda = 100,   ///< {[x;y] ...} function value.
+  kUnary = 101,    ///< (::) generic null / identity.
+};
+
+/// Human-readable type name, e.g. "long", "symbol".
+const char* QTypeName(QType type);
+
+/// Single-character type code as shown by q's `meta`, e.g. 'j' for long.
+char QTypeChar(QType type);
+
+/// True for bool/byte/short/int/long/temporal types stored as int64.
+bool IsIntegralBacked(QType type);
+/// True for real/float.
+bool IsFloatBacked(QType type);
+/// True for the temporal family (timestamp/date/timespan/time).
+bool IsTemporal(QType type);
+/// True for any type usable as a list element (scalar data types).
+bool IsScalarType(QType type);
+
+/// Q null sentinels for integral-backed types (normalized to int64 storage).
+inline constexpr int64_t kNullLong = INT64_MIN;
+/// Q integral infinity 0W (long).
+inline constexpr int64_t kInfLong = INT64_MAX;
+
+/// Q epoch (2000.01.01) expressed as days since the Unix epoch.
+inline constexpr int64_t kQEpochDaysFromUnix = 10957;
+
+}  // namespace hyperq
+
+#endif  // HYPERQ_QVAL_QTYPE_H_

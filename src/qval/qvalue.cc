@@ -1,0 +1,616 @@
+#include "qval/qvalue.h"
+
+#include <cassert>
+#include <cmath>
+#include <cstdio>
+#include <unordered_set>
+
+#include "common/strings.h"
+#include "qval/temporal.h"
+
+namespace hyperq {
+
+size_t QTable::RowCount() const {
+  return columns.empty() ? 0 : columns[0].Count();
+}
+
+int QTable::FindColumn(const std::string& name) const {
+  for (size_t i = 0; i < names.size(); ++i) {
+    if (names[i] == name) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+QDict::QDict() : keys(new QValue()), values(new QValue()) {}
+QDict::QDict(QValue k, QValue v)
+    : keys(new QValue(std::move(k))), values(new QValue(std::move(v))) {}
+QDict::~QDict() = default;
+
+// ---------------------------------------------------------------------------
+// Factories
+// ---------------------------------------------------------------------------
+
+QValue QValue::IntegralAtom(QType type, int64_t v) {
+  assert(IsIntegralBacked(type));
+  QValue q;
+  q.type_ = type;
+  q.is_atom_ = true;
+  q.int_val_ = v;
+  return q;
+}
+
+QValue QValue::FloatAtom(QType type, double v) {
+  assert(IsFloatBacked(type));
+  QValue q;
+  q.type_ = type;
+  q.is_atom_ = true;
+  q.float_val_ = v;
+  return q;
+}
+
+QValue QValue::Bool(bool v) { return IntegralAtom(QType::kBool, v ? 1 : 0); }
+QValue QValue::Byte(uint8_t v) { return IntegralAtom(QType::kByte, v); }
+QValue QValue::Short(int64_t v) { return IntegralAtom(QType::kShort, v); }
+QValue QValue::Int(int64_t v) { return IntegralAtom(QType::kInt, v); }
+QValue QValue::Long(int64_t v) { return IntegralAtom(QType::kLong, v); }
+QValue QValue::Real(double v) { return FloatAtom(QType::kReal, v); }
+QValue QValue::Float(double v) { return FloatAtom(QType::kFloat, v); }
+
+QValue QValue::Char(char v) {
+  QValue q;
+  q.type_ = QType::kChar;
+  q.is_atom_ = true;
+  q.int_val_ = static_cast<unsigned char>(v);
+  return q;
+}
+
+QValue QValue::Sym(std::string v) {
+  QValue q;
+  q.type_ = QType::kSymbol;
+  q.is_atom_ = true;
+  q.str_val_ = std::move(v);
+  return q;
+}
+
+QValue QValue::Date(int64_t qdays) {
+  return IntegralAtom(QType::kDate, qdays);
+}
+QValue QValue::Time(int64_t millis) {
+  return IntegralAtom(QType::kTime, millis);
+}
+QValue QValue::Timestamp(int64_t nanos) {
+  return IntegralAtom(QType::kTimestamp, nanos);
+}
+QValue QValue::Timespan(int64_t nanos) {
+  return IntegralAtom(QType::kTimespan, nanos);
+}
+
+QValue QValue::NullOf(QType type) {
+  if (IsIntegralBacked(type)) {
+    // Bool has no null in q; 0b is the closest value.
+    if (type == QType::kBool || type == QType::kByte) {
+      return IntegralAtom(type, 0);
+    }
+    return IntegralAtom(type, kNullLong);
+  }
+  if (IsFloatBacked(type)) {
+    return FloatAtom(type, std::nan(""));
+  }
+  if (type == QType::kChar) return Char(' ');
+  if (type == QType::kSymbol) return Sym("");
+  return QValue();  // generic null
+}
+
+QValue QValue::IntList(QType elem_type, std::vector<int64_t> v) {
+  assert(IsIntegralBacked(elem_type));
+  QValue q;
+  q.type_ = elem_type;
+  q.is_atom_ = false;
+  q.int_list_ = std::make_shared<std::vector<int64_t>>(std::move(v));
+  return q;
+}
+
+QValue QValue::FloatList(QType elem_type, std::vector<double> v) {
+  assert(IsFloatBacked(elem_type));
+  QValue q;
+  q.type_ = elem_type;
+  q.is_atom_ = false;
+  q.float_list_ = std::make_shared<std::vector<double>>(std::move(v));
+  return q;
+}
+
+QValue QValue::Chars(std::string v) {
+  QValue q;
+  q.type_ = QType::kChar;
+  q.is_atom_ = false;
+  q.char_list_ = std::make_shared<std::string>(std::move(v));
+  return q;
+}
+
+QValue QValue::Syms(std::vector<std::string> v) {
+  QValue q;
+  q.type_ = QType::kSymbol;
+  q.is_atom_ = false;
+  q.sym_list_ = std::make_shared<std::vector<std::string>>(std::move(v));
+  return q;
+}
+
+QValue QValue::Mixed(std::vector<QValue> v) {
+  QValue q;
+  q.type_ = QType::kMixed;
+  q.is_atom_ = false;
+  q.mixed_list_ = std::make_shared<std::vector<QValue>>(std::move(v));
+  return q;
+}
+
+QValue QValue::EmptyList(QType elem_type) {
+  if (IsIntegralBacked(elem_type)) return IntList(elem_type, {});
+  if (IsFloatBacked(elem_type)) return FloatList(elem_type, {});
+  if (elem_type == QType::kChar) return Chars("");
+  if (elem_type == QType::kSymbol) return Syms({});
+  return Mixed({});
+}
+
+Result<QValue> QValue::MakeTable(std::vector<std::string> names,
+                                 std::vector<QValue> columns) {
+  if (names.size() != columns.size()) {
+    return InvalidArgument("table column name/value count mismatch");
+  }
+  std::unordered_set<std::string> seen;
+  for (const auto& n : names) {
+    if (!seen.insert(n).second) {
+      return InvalidArgument(StrCat("duplicate column name '", n, "'"));
+    }
+  }
+  size_t rows = columns.empty() ? 0 : columns[0].Count();
+  for (size_t i = 0; i < columns.size(); ++i) {
+    if (columns[i].is_atom() && !columns[i].IsGenericNull()) {
+      return InvalidArgument(
+          StrCat("table column '", names[i], "' must be a list"));
+    }
+    if (columns[i].Count() != rows) {
+      return InvalidArgument(StrCat("column '", names[i], "' has length ",
+                                    columns[i].Count(), ", expected ", rows));
+    }
+  }
+  return MakeTableUnchecked(std::move(names), std::move(columns));
+}
+
+QValue QValue::MakeTableUnchecked(std::vector<std::string> names,
+                                  std::vector<QValue> columns) {
+  QValue q;
+  q.type_ = QType::kTable;
+  q.is_atom_ = false;
+  q.table_ = std::make_shared<QTable>();
+  q.table_->names = std::move(names);
+  q.table_->columns = std::move(columns);
+  return q;
+}
+
+Result<QValue> QValue::MakeDict(QValue keys, QValue values) {
+  if (keys.Count() != values.Count()) {
+    return InvalidArgument(StrCat("dict length mismatch: ", keys.Count(),
+                                  " keys vs ", values.Count(), " values"));
+  }
+  return MakeDictUnchecked(std::move(keys), std::move(values));
+}
+
+QValue QValue::MakeDictUnchecked(QValue keys, QValue values) {
+  QValue q;
+  q.type_ = QType::kDict;
+  q.is_atom_ = false;
+  q.dict_ = std::make_shared<QDict>(std::move(keys), std::move(values));
+  return q;
+}
+
+QValue QValue::MakeLambda(std::vector<std::string> params,
+                          std::string source) {
+  QValue q;
+  q.type_ = QType::kLambda;
+  q.is_atom_ = true;
+  q.lambda_ = std::make_shared<QLambda>();
+  q.lambda_->params = std::move(params);
+  q.lambda_->source = std::move(source);
+  return q;
+}
+
+// ---------------------------------------------------------------------------
+// Inspectors
+// ---------------------------------------------------------------------------
+
+bool QValue::IsKeyedTable() const {
+  return IsDict() && dict_->keys->IsTable() && dict_->values->IsTable();
+}
+
+size_t QValue::Count() const {
+  if (is_atom_) return 1;
+  switch (type_) {
+    case QType::kMixed:
+      return mixed_list_->size();
+    case QType::kChar:
+      return char_list_->size();
+    case QType::kSymbol:
+      return sym_list_->size();
+    case QType::kTable:
+      return table_->RowCount();
+    case QType::kDict:
+      return dict_->keys->Count();
+    default:
+      if (IsIntegralBacked(type_)) return int_list_->size();
+      if (IsFloatBacked(type_)) return float_list_->size();
+      return 0;
+  }
+}
+
+bool QValue::IsNullAtom() const {
+  if (!is_atom_) return false;
+  if (type_ == QType::kUnary) return true;
+  if (IsIntegralBacked(type_)) {
+    if (type_ == QType::kBool || type_ == QType::kByte) return false;
+    return int_val_ == kNullLong;
+  }
+  if (IsFloatBacked(type_)) return std::isnan(float_val_);
+  if (type_ == QType::kChar) return int_val_ == ' ';
+  if (type_ == QType::kSymbol) return str_val_.empty();
+  return false;
+}
+
+int64_t QValue::AsInt() const {
+  assert(is_atom_ && IsIntegralBacked(type_));
+  return int_val_;
+}
+
+double QValue::AsFloat() const {
+  assert(is_atom_);
+  if (IsIntegralBacked(type_)) {
+    return int_val_ == kNullLong ? std::nan("")
+                                 : static_cast<double>(int_val_);
+  }
+  return float_val_;
+}
+
+char QValue::AsChar() const {
+  assert(is_atom_ && type_ == QType::kChar);
+  return static_cast<char>(int_val_);
+}
+
+const std::string& QValue::AsSym() const {
+  assert(is_atom_ && type_ == QType::kSymbol);
+  return str_val_;
+}
+
+const std::vector<int64_t>& QValue::Ints() const {
+  assert(!is_atom_ && int_list_);
+  return *int_list_;
+}
+
+const std::vector<double>& QValue::Floats() const {
+  assert(!is_atom_ && float_list_);
+  return *float_list_;
+}
+
+const std::string& QValue::CharsView() const {
+  assert(!is_atom_ && char_list_);
+  return *char_list_;
+}
+
+const std::vector<std::string>& QValue::SymsView() const {
+  assert(!is_atom_ && sym_list_);
+  return *sym_list_;
+}
+
+const std::vector<QValue>& QValue::Items() const {
+  assert(!is_atom_ && mixed_list_);
+  return *mixed_list_;
+}
+
+const QTable& QValue::Table() const {
+  assert(table_);
+  return *table_;
+}
+
+const QDict& QValue::Dict() const {
+  assert(dict_);
+  return *dict_;
+}
+
+const QLambda& QValue::Lambda() const {
+  assert(lambda_);
+  return *lambda_;
+}
+
+QValue QValue::ElementAt(int64_t i) const {
+  if (is_atom_) return *this;
+  bool oob = i < 0 || static_cast<size_t>(i) >= Count();
+  switch (type_) {
+    case QType::kMixed:
+      return oob ? QValue() : (*mixed_list_)[i];
+    case QType::kChar:
+      return oob ? NullOf(QType::kChar) : Char((*char_list_)[i]);
+    case QType::kSymbol:
+      return oob ? NullOf(QType::kSymbol) : Sym((*sym_list_)[i]);
+    case QType::kTable: {
+      // Row indexing yields a dict column-name -> atom.
+      if (oob) {
+        std::vector<QValue> nulls;
+        for (const auto& col : table_->columns) {
+          nulls.push_back(col.ElementAt(-1));
+        }
+        return MakeDictUnchecked(Syms(table_->names), Mixed(std::move(nulls)));
+      }
+      std::vector<QValue> vals;
+      for (const auto& col : table_->columns) vals.push_back(col.ElementAt(i));
+      return MakeDictUnchecked(Syms(table_->names), Mixed(std::move(vals)));
+    }
+    default:
+      if (IsIntegralBacked(type_)) {
+        return oob ? NullOf(type_) : IntegralAtom(type_, (*int_list_)[i]);
+      }
+      if (IsFloatBacked(type_)) {
+        return oob ? NullOf(type_) : FloatAtom(type_, (*float_list_)[i]);
+      }
+      return QValue();
+  }
+}
+
+QValue QValue::AppendElement(const QValue& elem) const {
+  assert(!is_atom_);
+  // Same-typed atom appends stay typed; anything else degrades to mixed.
+  if (elem.is_atom() && elem.type_ == type_ && type_ != QType::kMixed) {
+    if (IsIntegralBacked(type_)) {
+      std::vector<int64_t> v = *int_list_;
+      v.push_back(elem.int_val_);
+      return IntList(type_, std::move(v));
+    }
+    if (IsFloatBacked(type_)) {
+      std::vector<double> v = *float_list_;
+      v.push_back(elem.float_val_);
+      return FloatList(type_, std::move(v));
+    }
+    if (type_ == QType::kChar) {
+      std::string v = *char_list_;
+      v.push_back(static_cast<char>(elem.int_val_));
+      return Chars(std::move(v));
+    }
+    if (type_ == QType::kSymbol) {
+      std::vector<std::string> v = *sym_list_;
+      v.push_back(elem.str_val_);
+      return Syms(std::move(v));
+    }
+  }
+  std::vector<QValue> items;
+  size_t n = Count();
+  items.reserve(n + 1);
+  for (size_t i = 0; i < n; ++i) items.push_back(ElementAt(i));
+  items.push_back(elem);
+  return Mixed(std::move(items));
+}
+
+// ---------------------------------------------------------------------------
+// Match / compare
+// ---------------------------------------------------------------------------
+
+namespace {
+
+bool FloatsMatch(double a, double b) {
+  // Q 2-valued logic: nulls (NaN) compare equal (§2.2).
+  if (std::isnan(a) && std::isnan(b)) return true;
+  return a == b;
+}
+
+}  // namespace
+
+bool QValue::Match(const QValue& a, const QValue& b) {
+  if (a.type_ != b.type_ || a.is_atom_ != b.is_atom_) return false;
+  if (a.is_atom_) {
+    switch (a.type_) {
+      case QType::kUnary:
+        return true;
+      case QType::kSymbol:
+        return a.str_val_ == b.str_val_;
+      case QType::kLambda:
+        return a.lambda_->source == b.lambda_->source;
+      default:
+        if (IsFloatBacked(a.type_)) {
+          return FloatsMatch(a.float_val_, b.float_val_);
+        }
+        return a.int_val_ == b.int_val_;
+    }
+  }
+  if (a.type_ == QType::kTable) {
+    const QTable& ta = *a.table_;
+    const QTable& tb = *b.table_;
+    if (ta.names != tb.names) return false;
+    for (size_t i = 0; i < ta.columns.size(); ++i) {
+      if (!Match(ta.columns[i], tb.columns[i])) return false;
+    }
+    return true;
+  }
+  if (a.type_ == QType::kDict) {
+    return Match(*a.dict_->keys, *b.dict_->keys) &&
+           Match(*a.dict_->values, *b.dict_->values);
+  }
+  if (a.Count() != b.Count()) return false;
+  switch (a.type_) {
+    case QType::kMixed:
+      for (size_t i = 0; i < a.mixed_list_->size(); ++i) {
+        if (!Match((*a.mixed_list_)[i], (*b.mixed_list_)[i])) return false;
+      }
+      return true;
+    case QType::kChar:
+      return *a.char_list_ == *b.char_list_;
+    case QType::kSymbol:
+      return *a.sym_list_ == *b.sym_list_;
+    default:
+      if (IsFloatBacked(a.type_)) {
+        for (size_t i = 0; i < a.float_list_->size(); ++i) {
+          if (!FloatsMatch((*a.float_list_)[i], (*b.float_list_)[i])) {
+            return false;
+          }
+        }
+        return true;
+      }
+      return *a.int_list_ == *b.int_list_;
+  }
+}
+
+int QValue::CompareAtoms(const QValue& a, const QValue& b) {
+  // Nulls sort before everything (q asc semantics).
+  bool an = a.IsNullAtom();
+  bool bn = b.IsNullAtom();
+  if (an || bn) return an == bn ? 0 : (an ? -1 : 1);
+  if (a.type_ == QType::kSymbol && b.type_ == QType::kSymbol) {
+    return a.str_val_.compare(b.str_val_);
+  }
+  if (a.type_ == QType::kChar && b.type_ == QType::kChar) {
+    return static_cast<int>(a.int_val_) - static_cast<int>(b.int_val_);
+  }
+  // Numeric / temporal comparison across backing representations.
+  double fa = a.AsFloat();
+  double fb = b.AsFloat();
+  if (IsIntegralBacked(a.type_) && IsIntegralBacked(b.type_)) {
+    if (a.int_val_ < b.int_val_) return -1;
+    if (a.int_val_ > b.int_val_) return 1;
+    return 0;
+  }
+  if (fa < fb) return -1;
+  if (fa > fb) return 1;
+  return 0;
+}
+
+// ---------------------------------------------------------------------------
+// Formatting
+// ---------------------------------------------------------------------------
+
+std::string FormatAtom(QType type, int64_t int_val, double float_val,
+                       char char_val, const std::string& sym_val) {
+  switch (type) {
+    case QType::kBool:
+      return int_val ? "1b" : "0b";
+    case QType::kByte: {
+      char buf[8];
+      std::snprintf(buf, sizeof(buf), "0x%02x",
+                    static_cast<unsigned>(int_val & 0xff));
+      return buf;
+    }
+    case QType::kShort:
+      return int_val == kNullLong ? "0Nh" : StrCat(int_val, "h");
+    case QType::kInt:
+      return int_val == kNullLong ? "0Ni" : StrCat(int_val, "i");
+    case QType::kLong:
+      return int_val == kNullLong ? "0N" : StrCat(int_val);
+    case QType::kReal:
+    case QType::kFloat: {
+      if (std::isnan(float_val)) return "0n";
+      if (std::isinf(float_val)) return float_val > 0 ? "0w" : "-0w";
+      char buf[32];
+      std::snprintf(buf, sizeof(buf), "%g", float_val);
+      std::string s = buf;
+      if (type == QType::kReal) s += "e";
+      return s;
+    }
+    case QType::kChar:
+      return StrCat("\"", std::string(1, char_val), "\"");
+    case QType::kSymbol:
+      return StrCat("`", sym_val);
+    case QType::kTimestamp:
+      return FormatQTimestamp(int_val);
+    case QType::kDate:
+      return FormatQDate(int_val);
+    case QType::kTimespan:
+      return FormatQTimespan(int_val);
+    case QType::kTime:
+      return FormatQTime(int_val);
+    case QType::kUnary:
+      return "::";
+    default:
+      return "?";
+  }
+}
+
+namespace {
+
+std::string FormatListElems(const QValue& v, const char* sep) {
+  std::string out;
+  for (size_t i = 0; i < v.Count(); ++i) {
+    if (i) out += sep;
+    out += v.ElementAt(i).ToString();
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string QValue::ToString() const {
+  if (is_atom_) {
+    if (type_ == QType::kLambda) return lambda_->source;
+    return FormatAtom(type_, int_val_, float_val_,
+                      static_cast<char>(int_val_), str_val_);
+  }
+  switch (type_) {
+    case QType::kChar:
+      return StrCat("\"", *char_list_, "\"");
+    case QType::kSymbol: {
+      if (sym_list_->empty()) return "`$()";
+      std::string out;
+      for (const auto& s : *sym_list_) out += StrCat("`", s);
+      return out;
+    }
+    case QType::kMixed:
+      return StrCat("(", FormatListElems(*this, ";"), ")");
+    case QType::kTable: {
+      std::string out = Join(table_->names, " ") + "\n";
+      out += std::string(out.size() - 1, '-') + "\n";
+      size_t rows = table_->RowCount();
+      for (size_t r = 0; r < rows && r < 50; ++r) {
+        std::vector<std::string> cells;
+        for (const auto& col : table_->columns) {
+          cells.push_back(col.ElementAt(r).ToString());
+        }
+        out += Join(cells, " ") + "\n";
+      }
+      if (rows > 50) out += StrCat("... (", rows, " rows)\n");
+      return out;
+    }
+    case QType::kDict: {
+      // Keyed tables render like q's console: key columns | value columns.
+      if (IsKeyedTable()) {
+        const QTable& kt = dict_->keys->Table();
+        const QTable& vt = dict_->values->Table();
+        std::string header =
+            Join(kt.names, " ") + " | " + Join(vt.names, " ");
+        std::string out = header + "\n" +
+                          std::string(header.size(), '-') + "\n";
+        size_t rows = kt.RowCount();
+        for (size_t r = 0; r < rows && r < 50; ++r) {
+          std::vector<std::string> kcells, vcells;
+          for (const auto& col : kt.columns) {
+            kcells.push_back(col.ElementAt(r).ToString());
+          }
+          for (const auto& col : vt.columns) {
+            vcells.push_back(col.ElementAt(r).ToString());
+          }
+          out += Join(kcells, " ") + " | " + Join(vcells, " ") + "\n";
+        }
+        if (rows > 50) out += StrCat("... (", rows, " rows)\n");
+        return out;
+      }
+      std::string out;
+      size_t n = dict_->keys->Count();
+      for (size_t i = 0; i < n; ++i) {
+        out += StrCat(dict_->keys->ElementAt(i).ToString(), "| ",
+                      dict_->values->ElementAt(i).ToString(), "\n");
+      }
+      return out;
+    }
+    default: {
+      if (Count() == 0) return StrCat("`", QTypeName(type_), "$()");
+      if (Count() == 1) {
+        return StrCat("enlist ", ElementAt(0).ToString());
+      }
+      return FormatListElems(*this, " ");
+    }
+  }
+}
+
+}  // namespace hyperq

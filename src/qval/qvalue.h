@@ -1,0 +1,189 @@
+#ifndef HYPERQ_QVAL_QVALUE_H_
+#define HYPERQ_QVAL_QVALUE_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "qval/qtype.h"
+
+namespace hyperq {
+
+class QValue;
+
+/// A Q table: a flipped column dictionary. Columns are parallel lists of
+/// equal length; tables are ordered (row position is meaningful, §2.2).
+struct QTable {
+  std::vector<std::string> names;
+  std::vector<QValue> columns;
+
+  size_t RowCount() const;
+  /// Index of the named column, or -1.
+  int FindColumn(const std::string& name) const;
+};
+
+/// A Q dictionary: parallel key and value lists. A keyed table is a dict
+/// whose keys and values are both tables.
+struct QDict {
+  // Defined out-of-line because QValue is incomplete here.
+  QDict();
+  QDict(QValue keys, QValue values);
+  ~QDict();
+  std::unique_ptr<QValue> keys;
+  std::unique_ptr<QValue> values;
+};
+
+/// A Q function value. Per §4.3 the definition is stored as plain text and
+/// re-algebrized on invocation; the interpreter caches its parse under
+/// `compiled`.
+struct QLambda {
+  std::vector<std::string> params;
+  std::string source;
+  /// Opaque cached parse tree, owned by whichever engine compiled it.
+  mutable std::shared_ptr<const void> compiled;
+};
+
+/// Dynamically-typed Q value: an atom, a typed list, a general list, a
+/// table, a dictionary, or a lambda. Copies are cheap (list payloads are
+/// shared); mutation goes through the Build* APIs which copy-on-write.
+class QValue {
+ public:
+  /// Constructs the generic null (::).
+  QValue() : type_(QType::kUnary), is_atom_(true) {}
+
+  // -- Atom factories ------------------------------------------------------
+  static QValue Bool(bool v);
+  static QValue Byte(uint8_t v);
+  static QValue Short(int64_t v);
+  static QValue Int(int64_t v);
+  static QValue Long(int64_t v);
+  static QValue Real(double v);
+  static QValue Float(double v);
+  static QValue Char(char v);
+  static QValue Sym(std::string v);
+  static QValue Date(int64_t qdays);
+  static QValue Time(int64_t millis);
+  static QValue Timestamp(int64_t nanos);
+  static QValue Timespan(int64_t nanos);
+  /// Typed null atom (0N, 0n, `, " ", 0Nd, ...).
+  static QValue NullOf(QType type);
+  /// Integral-backed atom of the given type with raw payload `v`.
+  static QValue IntegralAtom(QType type, int64_t v);
+  /// Float-backed atom (real or float).
+  static QValue FloatAtom(QType type, double v);
+
+  // -- List factories ------------------------------------------------------
+  /// Typed integral-backed list (bool/byte/short/int/long/temporal).
+  static QValue IntList(QType elem_type, std::vector<int64_t> v);
+  /// Typed float-backed list (real/float).
+  static QValue FloatList(QType elem_type, std::vector<double> v);
+  /// Char list, i.e. a Q string.
+  static QValue Chars(std::string v);
+  /// Symbol list.
+  static QValue Syms(std::vector<std::string> v);
+  /// General (mixed) list.
+  static QValue Mixed(std::vector<QValue> v);
+  /// Empty typed list.
+  static QValue EmptyList(QType elem_type);
+
+  // -- Compound factories --------------------------------------------------
+  /// Builds a table; fails unless all columns are lists of equal length and
+  /// names are unique.
+  static Result<QValue> MakeTable(std::vector<std::string> names,
+                                  std::vector<QValue> columns);
+  /// Internal fast path: caller guarantees the table invariants.
+  static QValue MakeTableUnchecked(std::vector<std::string> names,
+                                   std::vector<QValue> columns);
+  /// Builds a dictionary; fails unless keys/values have equal count.
+  static Result<QValue> MakeDict(QValue keys, QValue values);
+  static QValue MakeDictUnchecked(QValue keys, QValue values);
+  static QValue MakeLambda(std::vector<std::string> params,
+                           std::string source);
+
+  // -- Inspectors ----------------------------------------------------------
+  QType type() const { return type_; }
+  bool is_atom() const { return is_atom_; }
+  bool IsList() const { return !is_atom_ && type_ != QType::kTable &&
+                               type_ != QType::kDict; }
+  bool IsMixedList() const { return type_ == QType::kMixed && !is_atom_; }
+  bool IsTable() const { return type_ == QType::kTable; }
+  bool IsDict() const { return type_ == QType::kDict; }
+  bool IsLambda() const { return type_ == QType::kLambda; }
+  bool IsGenericNull() const { return type_ == QType::kUnary; }
+  /// True if this is a dict whose keys and values are both tables.
+  bool IsKeyedTable() const;
+  /// q's `count`: 1 for atoms, length for lists, rows for tables,
+  /// entries for dicts.
+  size_t Count() const;
+  /// True for a null atom of any type.
+  bool IsNullAtom() const;
+
+  // -- Payload access (type-checked by assertion) --------------------------
+  int64_t AsInt() const;          ///< Integral-backed atom payload.
+  double AsFloat() const;         ///< Float-backed atom payload.
+  char AsChar() const;
+  const std::string& AsSym() const;
+  bool AsBool() const { return AsInt() != 0; }
+
+  const std::vector<int64_t>& Ints() const;
+  const std::vector<double>& Floats() const;
+  const std::string& CharsView() const;
+  const std::vector<std::string>& SymsView() const;
+  const std::vector<QValue>& Items() const;
+  const QTable& Table() const;
+  const QDict& Dict() const;
+  const QLambda& Lambda() const;
+
+  /// Element `i` as an atom (or single row dict for tables). Out-of-range
+  /// indexes yield the typed null, matching q indexing semantics.
+  QValue ElementAt(int64_t i) const;
+
+  /// Appends an element to a copy of this list, promoting to a mixed list
+  /// when types differ. Invalid on atoms/tables.
+  QValue AppendElement(const QValue& elem) const;
+
+  // -- Semantics -----------------------------------------------------------
+  /// q match (~): deep structural equality where nulls compare equal
+  /// (Q's 2-valued logic, §2.2).
+  static bool Match(const QValue& a, const QValue& b);
+
+  /// Total order used by asc/xasc: nulls sort first; comparable across
+  /// numeric types. Only meaningful for scalar atoms.
+  static int CompareAtoms(const QValue& a, const QValue& b);
+
+  /// q-console-style rendering (atoms inline, lists space-separated, tables
+  /// as column header + rows).
+  std::string ToString() const;
+
+  bool operator==(const QValue& other) const { return Match(*this, other); }
+
+ private:
+  QType type_ = QType::kUnary;
+  bool is_atom_ = true;
+
+  // Atom payloads.
+  int64_t int_val_ = 0;
+  double float_val_ = 0;
+  // `str_val_` holds a symbol atom or is unused.
+  std::string str_val_;
+
+  // List payloads (shared; treat as immutable once published).
+  std::shared_ptr<std::vector<int64_t>> int_list_;
+  std::shared_ptr<std::vector<double>> float_list_;
+  std::shared_ptr<std::string> char_list_;
+  std::shared_ptr<std::vector<std::string>> sym_list_;
+  std::shared_ptr<std::vector<QValue>> mixed_list_;
+  std::shared_ptr<QTable> table_;
+  std::shared_ptr<QDict> dict_;
+  std::shared_ptr<QLambda> lambda_;
+};
+
+/// Renders an atom payload of `type` for display.
+std::string FormatAtom(QType type, int64_t int_val, double float_val,
+                       char char_val, const std::string& sym_val);
+
+}  // namespace hyperq
+
+#endif  // HYPERQ_QVAL_QVALUE_H_

@@ -1,0 +1,227 @@
+#include "qval/temporal.h"
+
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/strings.h"
+#include "qval/qtype.h"
+
+namespace hyperq {
+
+namespace {
+
+// Civil-date <-> day-count conversion (Howard Hinnant's algorithm), with the
+// day count rebased from the Unix epoch to the Q epoch 2000.01.01.
+int64_t DaysFromCivil(int y, int m, int d) {
+  y -= m <= 2;
+  const int64_t era = (y >= 0 ? y : y - 399) / 400;
+  const unsigned yoe = static_cast<unsigned>(y - era * 400);
+  const unsigned doy = (153 * (m + (m > 2 ? -3 : 9)) + 2) / 5 + d - 1;
+  const unsigned doe = yoe * 365 + yoe / 4 - yoe / 100 + doy;
+  return era * 146097 + static_cast<int64_t>(doe) - 719468;
+}
+
+void CivilFromDays(int64_t z, int* y, int* m, int* d) {
+  z += 719468;
+  const int64_t era = (z >= 0 ? z : z - 146096) / 146097;
+  const unsigned doe = static_cast<unsigned>(z - era * 146097);
+  const unsigned yoe = (doe - doe / 1460 + doe / 36524 - doe / 146096) / 365;
+  const int64_t yy = static_cast<int64_t>(yoe) + era * 400;
+  const unsigned doy = doe - (365 * yoe + yoe / 4 - yoe / 100);
+  const unsigned mp = (5 * doy + 2) / 153;
+  const unsigned dd = doy - (153 * mp + 2) / 5 + 1;
+  const unsigned mm = mp + (mp < 10 ? 3 : -9);
+  *y = static_cast<int>(yy + (mm <= 2));
+  *m = static_cast<int>(mm);
+  *d = static_cast<int>(dd);
+}
+
+constexpr int64_t kNanosPerSec = 1000000000LL;
+constexpr int64_t kNanosPerDay = 86400LL * kNanosPerSec;
+constexpr int64_t kMillisPerDay = 86400LL * 1000;
+
+}  // namespace
+
+int64_t YmdToQDays(int year, int month, int day) {
+  return DaysFromCivil(year, month, day) - kQEpochDaysFromUnix;
+}
+
+void QDaysToYmd(int64_t qdays, int* year, int* month, int* day) {
+  CivilFromDays(qdays + kQEpochDaysFromUnix, year, month, day);
+}
+
+std::string FormatQDate(int64_t qdays) {
+  if (qdays == kNullLong) return "0Nd";
+  int y, m, d;
+  QDaysToYmd(qdays, &y, &m, &d);
+  char buf[16];
+  std::snprintf(buf, sizeof(buf), "%04d.%02d.%02d", y, m, d);
+  return buf;
+}
+
+std::string FormatQTime(int64_t millis) {
+  if (millis == kNullLong) return "0Nt";
+  bool neg = millis < 0;
+  int64_t ms = neg ? -millis : millis;
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%s%02" PRId64 ":%02d:%02d.%03d",
+                neg ? "-" : "", ms / 3600000,
+                static_cast<int>(ms / 60000 % 60),
+                static_cast<int>(ms / 1000 % 60), static_cast<int>(ms % 1000));
+  return buf;
+}
+
+std::string FormatQTimestamp(int64_t nanos) {
+  if (nanos == kNullLong) return "0Np";
+  int64_t days = nanos / kNanosPerDay;
+  int64_t rem = nanos % kNanosPerDay;
+  if (rem < 0) {
+    days -= 1;
+    rem += kNanosPerDay;
+  }
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "%sD%02d:%02d:%02d.%09d",
+                FormatQDate(days).c_str(), static_cast<int>(rem / 3600000000000LL),
+                static_cast<int>(rem / 60000000000LL % 60),
+                static_cast<int>(rem / kNanosPerSec % 60),
+                static_cast<int>(rem % kNanosPerSec));
+  return buf;
+}
+
+std::string FormatQTimespan(int64_t nanos) {
+  if (nanos == kNullLong) return "0Nn";
+  bool neg = nanos < 0;
+  int64_t ns = neg ? -nanos : nanos;
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "%s%" PRId64 "D%02d:%02d:%02d.%09d",
+                neg ? "-" : "", ns / kNanosPerDay,
+                static_cast<int>(ns / 3600000000000LL % 24),
+                static_cast<int>(ns / 60000000000LL % 60),
+                static_cast<int>(ns / kNanosPerSec % 60),
+                static_cast<int>(ns % kNanosPerSec));
+  return buf;
+}
+
+Result<int64_t> ParseQDate(const std::string& text) {
+  int y, m, d;
+  if (std::sscanf(text.c_str(), "%d.%d.%d", &y, &m, &d) != 3 || m < 1 ||
+      m > 12 || d < 1 || d > 31) {
+    return ParseError(StrCat("invalid date literal '", text, "'"));
+  }
+  return YmdToQDays(y, m, d);
+}
+
+Result<int64_t> ParseQTime(const std::string& text) {
+  int h = 0, m = 0, s = 0, ms = 0;
+  int n = std::sscanf(text.c_str(), "%d:%d:%d.%d", &h, &m, &s, &ms);
+  if (n < 2) return ParseError(StrCat("invalid time literal '", text, "'"));
+  // Scale fractional part written with fewer than 3 digits.
+  size_t dot = text.find('.');
+  if (dot != std::string::npos) {
+    size_t digits = text.size() - dot - 1;
+    for (size_t i = digits; i < 3; ++i) ms *= 10;
+    for (size_t i = 3; i < digits; ++i) ms /= 10;
+  }
+  return static_cast<int64_t>(h) * 3600000 + static_cast<int64_t>(m) * 60000 +
+         static_cast<int64_t>(s) * 1000 + ms;
+}
+
+Result<int64_t> ParseQTimestamp(const std::string& text) {
+  size_t dpos = text.find('D');
+  if (dpos == std::string::npos) {
+    HQ_ASSIGN_OR_RETURN(int64_t days, ParseQDate(text));
+    return days * kNanosPerDay;
+  }
+  HQ_ASSIGN_OR_RETURN(int64_t days, ParseQDate(text.substr(0, dpos)));
+  std::string tpart = text.substr(dpos + 1);
+  int h = 0, m = 0, s = 0;
+  int64_t frac = 0;
+  int n = std::sscanf(tpart.c_str(), "%d:%d:%d", &h, &m, &s);
+  if (n < 2) {
+    return ParseError(StrCat("invalid timestamp literal '", text, "'"));
+  }
+  size_t dot = tpart.find('.');
+  if (dot != std::string::npos) {
+    std::string digits = tpart.substr(dot + 1);
+    frac = std::atoll(digits.c_str());
+    for (size_t i = digits.size(); i < 9; ++i) frac *= 10;
+  }
+  return days * kNanosPerDay + static_cast<int64_t>(h) * 3600000000000LL +
+         static_cast<int64_t>(m) * 60000000000LL +
+         static_cast<int64_t>(s) * kNanosPerSec + frac;
+}
+
+std::string FormatIsoDate(int64_t qdays) {
+  int y, m, d;
+  QDaysToYmd(qdays, &y, &m, &d);
+  char buf[16];
+  std::snprintf(buf, sizeof(buf), "%04d-%02d-%02d", y, m, d);
+  return buf;
+}
+
+std::string FormatIsoTime(int64_t millis) {
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "%02d:%02d:%02d.%03d",
+                static_cast<int>(millis / 3600000),
+                static_cast<int>(millis / 60000 % 60),
+                static_cast<int>(millis / 1000 % 60),
+                static_cast<int>(millis % 1000));
+  return buf;
+}
+
+std::string FormatIsoTimestamp(int64_t nanos) {
+  int64_t days = nanos / kNanosPerDay;
+  int64_t rem = nanos % kNanosPerDay;
+  if (rem < 0) {
+    days -= 1;
+    rem += kNanosPerDay;
+  }
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "%s %02d:%02d:%02d.%09d",
+                FormatIsoDate(days).c_str(),
+                static_cast<int>(rem / 3600000000000LL),
+                static_cast<int>(rem / 60000000000LL % 60),
+                static_cast<int>(rem / kNanosPerSec % 60),
+                static_cast<int>(rem % kNanosPerSec));
+  return buf;
+}
+
+Result<int64_t> ParseIsoDate(const std::string& text) {
+  int y, m, d;
+  if (std::sscanf(text.c_str(), "%d-%d-%d", &y, &m, &d) != 3) {
+    return ParseError(StrCat("invalid ISO date '", text, "'"));
+  }
+  return YmdToQDays(y, m, d);
+}
+
+Result<int64_t> ParseIsoTime(const std::string& text) {
+  // Same shape as the q time literal.
+  return ParseQTime(text);
+}
+
+Result<int64_t> ParseIsoTimestamp(const std::string& text) {
+  size_t space = text.find(' ');
+  if (space == std::string::npos) {
+    HQ_ASSIGN_OR_RETURN(int64_t days, ParseIsoDate(text));
+    return days * kNanosPerDay;
+  }
+  HQ_ASSIGN_OR_RETURN(int64_t days, ParseIsoDate(text.substr(0, space)));
+  std::string tpart = text.substr(space + 1);
+  int h = 0, m = 0, s = 0;
+  int64_t frac = 0;
+  if (std::sscanf(tpart.c_str(), "%d:%d:%d", &h, &m, &s) < 2) {
+    return ParseError(StrCat("invalid ISO timestamp '", text, "'"));
+  }
+  size_t dot = tpart.find('.');
+  if (dot != std::string::npos) {
+    std::string digits = tpart.substr(dot + 1);
+    frac = std::atoll(digits.c_str());
+    for (size_t i = digits.size(); i < 9; ++i) frac *= 10;
+  }
+  return days * kNanosPerDay + static_cast<int64_t>(h) * 3600000000000LL +
+         static_cast<int64_t>(m) * 60000000000LL +
+         static_cast<int64_t>(s) * kNanosPerSec + frac;
+}
+
+}  // namespace hyperq

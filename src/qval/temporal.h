@@ -1,0 +1,53 @@
+#ifndef HYPERQ_QVAL_TEMPORAL_H_
+#define HYPERQ_QVAL_TEMPORAL_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/status.h"
+
+namespace hyperq {
+
+/// Calendar helpers for the Q temporal types. Dates are stored as days since
+/// the Q epoch 2000.01.01; times as milliseconds since midnight; timestamps
+/// and timespans as nanoseconds.
+
+/// Days since 2000.01.01 for the given calendar date (proleptic Gregorian).
+int64_t YmdToQDays(int year, int month, int day);
+
+/// Inverse of YmdToQDays.
+void QDaysToYmd(int64_t qdays, int* year, int* month, int* day);
+
+/// Formats a date value as q prints it: 2016.06.26.
+std::string FormatQDate(int64_t qdays);
+
+/// Formats a time value (ms since midnight) as 09:30:00.000.
+std::string FormatQTime(int64_t millis);
+
+/// Formats a timestamp (ns since Q epoch) as 2016.06.26D09:30:00.000000000.
+std::string FormatQTimestamp(int64_t nanos);
+
+/// Formats a timespan (ns) as 0D00:00:01.000000000.
+std::string FormatQTimespan(int64_t nanos);
+
+/// Parses "YYYY.MM.DD" into days since Q epoch.
+Result<int64_t> ParseQDate(const std::string& text);
+
+/// Parses "HH:MM[:SS[.mmm]]" into ms since midnight.
+Result<int64_t> ParseQTime(const std::string& text);
+
+/// Parses "YYYY.MM.DDDHH:MM:SS[.nnnnnnnnn]" into ns since Q epoch.
+Result<int64_t> ParseQTimestamp(const std::string& text);
+
+/// ISO forms used on the SQL side: 2016-06-26, 09:30:00.000,
+/// 2016-06-26 09:30:00.000000000.
+std::string FormatIsoDate(int64_t qdays);
+std::string FormatIsoTime(int64_t millis);
+std::string FormatIsoTimestamp(int64_t nanos);
+Result<int64_t> ParseIsoDate(const std::string& text);
+Result<int64_t> ParseIsoTime(const std::string& text);
+Result<int64_t> ParseIsoTimestamp(const std::string& text);
+
+}  // namespace hyperq
+
+#endif  // HYPERQ_QVAL_TEMPORAL_H_

@@ -1,0 +1,57 @@
+#ifndef HYPERQ_SERIALIZER_SERIALIZER_H_
+#define HYPERQ_SERIALIZER_SERIALIZER_H_
+
+#include <map>
+#include <string>
+
+#include "common/status.h"
+#include "xtra/operator.h"
+
+namespace hyperq {
+
+/// Serializes an XTRA expression into a PostgreSQL-dialect SELECT statement
+/// (§3.4's Query Translator back end). Operators become nested subqueries
+/// with generated aliases t0, t1, ...; identifiers are double-quoted to
+/// preserve Q's case-sensitive column names; the final statement carries an
+/// ORDER BY on the implicit order column when the result is
+/// order-sensitive (§3.3).
+class Serializer {
+ public:
+  /// Serializes the tree into one SELECT statement (no trailing ';').
+  Result<std::string> Serialize(const xtra::XtraPtr& root);
+
+  /// Maps a Q type to the SQL type name used in casts and DDL.
+  static const char* SqlTypeNameFor(QType type);
+
+  /// Quotes an identifier for the generated SQL.
+  static std::string QuoteIdent(const std::string& name);
+  /// Escapes and quotes a string literal.
+  static std::string QuoteLiteral(const std::string& text);
+
+ private:
+  /// A rendered subquery: its SQL text and the result-column name for each
+  /// ColId it exposes.
+  struct Rendered {
+    std::string sql;
+    std::map<xtra::ColId, std::string> columns;
+  };
+
+  Result<Rendered> Render(const xtra::XtraPtr& op);
+  Result<std::string> RenderScalar(const xtra::ScalarPtr& e,
+                                   const std::map<xtra::ColId, std::string>&
+                                       cols,
+                                   const std::string& alias);
+  Result<std::string> RenderScalarTwoSided(
+      const xtra::ScalarPtr& e,
+      const std::map<xtra::ColId, std::string>& left_cols,
+      const std::string& left_alias,
+      const std::map<xtra::ColId, std::string>& right_cols,
+      const std::string& right_alias);
+  Result<std::string> RenderConst(const QValue& v);
+
+  int next_alias_ = 0;
+};
+
+}  // namespace hyperq
+
+#endif  // HYPERQ_SERIALIZER_SERIALIZER_H_

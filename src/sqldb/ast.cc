@@ -1,0 +1,54 @@
+#include "sqldb/ast.h"
+
+namespace hyperq {
+namespace sqldb {
+
+ExprPtr MakeConst(Datum d) {
+  auto e = std::make_shared<Expr>();
+  e->kind = ExprKind::kConst;
+  e->datum = std::move(d);
+  return e;
+}
+
+ExprPtr MakeColRef(std::string qualifier, std::string column) {
+  auto e = std::make_shared<Expr>();
+  e->kind = ExprKind::kColRef;
+  e->qualifier = std::move(qualifier);
+  e->column = std::move(column);
+  return e;
+}
+
+ExprPtr MakeStar(std::string qualifier) {
+  auto e = std::make_shared<Expr>();
+  e->kind = ExprKind::kStar;
+  e->qualifier = std::move(qualifier);
+  return e;
+}
+
+ExprPtr MakeBinary(std::string op, ExprPtr lhs, ExprPtr rhs) {
+  auto e = std::make_shared<Expr>();
+  e->kind = ExprKind::kBinary;
+  e->op = std::move(op);
+  e->lhs = std::move(lhs);
+  e->rhs = std::move(rhs);
+  return e;
+}
+
+ExprPtr MakeUnary(std::string op, ExprPtr operand) {
+  auto e = std::make_shared<Expr>();
+  e->kind = ExprKind::kUnary;
+  e->op = std::move(op);
+  e->lhs = std::move(operand);
+  return e;
+}
+
+ExprPtr MakeFunc(std::string name, std::vector<ExprPtr> args) {
+  auto e = std::make_shared<Expr>();
+  e->kind = ExprKind::kFuncCall;
+  e->func_name = std::move(name);
+  e->args = std::move(args);
+  return e;
+}
+
+}  // namespace sqldb
+}  // namespace hyperq

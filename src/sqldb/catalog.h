@@ -1,0 +1,78 @@
+#ifndef HYPERQ_SQLDB_CATALOG_H_
+#define HYPERQ_SQLDB_CATALOG_H_
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "sqldb/ast.h"
+#include "sqldb/types.h"
+
+namespace hyperq {
+namespace sqldb {
+
+struct TableColumn {
+  std::string name;
+  SqlType type = SqlType::kText;
+};
+
+/// A stored table: schema plus row-major data. Rows are owned by the table;
+/// the executor copies what it needs.
+struct StoredTable {
+  std::string name;
+  std::vector<TableColumn> columns;
+  std::vector<std::vector<Datum>> rows;
+  /// Declared sort order (column names), advisory metadata exposed through
+  /// the metadata interface for the binder's property derivation.
+  std::vector<std::string> sort_keys;
+  /// Declared key columns (advisory, used by the binder for keyed tables).
+  std::vector<std::string> key_columns;
+
+  int FindColumn(const std::string& name) const;
+};
+
+struct StoredView {
+  std::string name;
+  SelectPtr select;  ///< The defining query.
+};
+
+/// The system catalog: named tables and views. Temporary objects live in a
+/// per-session overlay (see Database::Session); this is the shared, durable
+/// part. Thread-safe via a coarse mutex — matching kdb+'s one-request-at-a-
+/// time execution model (§2.2), fine-grained concurrency is out of scope.
+class Catalog {
+ public:
+  Status CreateTable(StoredTable table, bool or_replace = false);
+  Status DropTable(const std::string& name, bool if_exists);
+  Result<std::shared_ptr<StoredTable>> GetTable(const std::string& name) const;
+  bool HasTable(const std::string& name) const;
+
+  Status CreateView(StoredView view, bool or_replace);
+  Status DropView(const std::string& name, bool if_exists);
+  Result<StoredView> GetView(const std::string& name) const;
+  bool HasView(const std::string& name) const;
+
+  std::vector<std::string> TableNames() const;
+
+  /// Appends rows to an existing table (INSERT path).
+  Status AppendRows(const std::string& name,
+                    std::vector<std::vector<Datum>> rows);
+
+  /// Monotonic version counter bumped by every DDL/DML change; the
+  /// metadata cache uses it for invalidation (§6).
+  uint64_t version() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::shared_ptr<StoredTable>> tables_;
+  std::map<std::string, StoredView> views_;
+  uint64_t version_ = 0;
+};
+
+}  // namespace sqldb
+}  // namespace hyperq
+
+#endif  // HYPERQ_SQLDB_CATALOG_H_

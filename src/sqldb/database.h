@@ -1,0 +1,63 @@
+#ifndef HYPERQ_SQLDB_DATABASE_H_
+#define HYPERQ_SQLDB_DATABASE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "sqldb/catalog.h"
+#include "sqldb/relation.h"
+#include "sqldb/session.h"
+
+namespace hyperq {
+namespace sqldb {
+
+/// Result of executing one SQL statement: row data for SELECTs, a command
+/// tag for everything (matching PG's CommandComplete payloads).
+struct QueryResult {
+  std::vector<TableColumn> columns;
+  std::vector<std::vector<Datum>> rows;
+  std::string command_tag;
+  bool has_rows = false;
+};
+
+/// The mini PG-compatible database: catalog + SQL front door. This is the
+/// analytical backend Hyper-Q talks to; in the paper's deployment this role
+/// is played by Greenplum (§6), reachable through exactly the same SQL
+/// dialect and (via protocol/pgwire) the same wire protocol.
+class Database {
+ public:
+  Database() = default;
+
+  Database(const Database&) = delete;
+  Database& operator=(const Database&) = delete;
+
+  Catalog& catalog() { return catalog_; }
+  const Catalog& catalog() const { return catalog_; }
+
+  std::unique_ptr<Session> CreateSession() {
+    return std::make_unique<Session>();
+  }
+
+  /// Parses and executes all ';'-separated statements; returns the result
+  /// of the last one. `session` may be null (no temp-object visibility).
+  Result<QueryResult> Execute(Session* session, const std::string& sql);
+
+  /// Executes a single parsed statement.
+  Result<QueryResult> ExecuteStatement(Session* session,
+                                       const SqlStatement& stmt);
+
+  /// Convenience bulk loader used by tests, benchmarks and examples.
+  Status CreateAndLoad(StoredTable table) {
+    return catalog_.CreateTable(std::move(table), /*or_replace=*/true);
+  }
+
+ private:
+  Catalog catalog_;
+};
+
+}  // namespace sqldb
+}  // namespace hyperq
+
+#endif  // HYPERQ_SQLDB_DATABASE_H_

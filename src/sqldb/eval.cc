@@ -1,0 +1,633 @@
+#include "sqldb/eval.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+#include <set>
+
+#include "common/strings.h"
+#include "qval/temporal.h"
+
+namespace hyperq {
+namespace sqldb {
+
+namespace {
+
+bool IsFloatDatum(const Datum& d) {
+  return d.type() == SqlType::kReal || d.type() == SqlType::kDouble;
+}
+
+Result<Datum> NumericBinary(const std::string& op, const Datum& a,
+                            const Datum& b) {
+  if (!IsNumericType(a.type()) && !IsTemporalType(a.type())) {
+    return TypeError(StrCat("operator ", op, " not defined for ",
+                            SqlTypeName(a.type())));
+  }
+  if (!IsNumericType(b.type()) && !IsTemporalType(b.type())) {
+    return TypeError(StrCat("operator ", op, " not defined for ",
+                            SqlTypeName(b.type())));
+  }
+  bool use_float = IsFloatDatum(a) || IsFloatDatum(b);
+  if (op == "/" && use_float) {
+    double y = b.AsDouble();
+    return Datum::Double(a.AsDouble() / y);
+  }
+  if (use_float) {
+    double x = a.AsDouble();
+    double y = b.AsDouble();
+    if (op == "+") return Datum::Double(x + y);
+    if (op == "-") return Datum::Double(x - y);
+    if (op == "*") return Datum::Double(x * y);
+    if (op == "%") {
+      if (y == 0) return ExecutionError("division by zero");
+      return Datum::Double(std::fmod(x, y));
+    }
+    return InternalError(StrCat("unknown numeric operator ", op));
+  }
+  int64_t x = a.AsInt();
+  int64_t y = b.AsInt();
+  // Temporal arithmetic: value +/- integer stays temporal; so does the
+  // sum of two same-typed temporals (matching q's promotion).
+  SqlType rt = SqlType::kBigInt;
+  if (IsTemporalType(a.type()) && !IsTemporalType(b.type())) rt = a.type();
+  if (IsTemporalType(b.type()) && !IsTemporalType(a.type())) rt = b.type();
+  if (IsTemporalType(a.type()) && a.type() == b.type() && op != "-") {
+    rt = a.type();
+  }
+  if (op == "+") return Datum::Int(rt, x + y);
+  if (op == "-") {
+    if (IsTemporalType(a.type()) && a.type() == b.type()) {
+      return Datum::BigInt(x - y);  // difference of temporals is a count
+    }
+    return Datum::Int(rt, x - y);
+  }
+  if (op == "*") return Datum::Int(rt, x * y);
+  if (op == "/") {
+    if (y == 0) return ExecutionError("division by zero");
+    return Datum::BigInt(x / y);  // PG: integer division truncates
+  }
+  if (op == "%") {
+    if (y == 0) return ExecutionError("division by zero");
+    return Datum::BigInt(x % y);
+  }
+  return InternalError(StrCat("unknown numeric operator ", op));
+}
+
+Result<int> CompareDatums(const Datum& a, const Datum& b,
+                          const std::string& op_for_error) {
+  bool sa = IsStringType(a.type());
+  bool sb = IsStringType(b.type());
+  if (sa != sb) {
+    return TypeError(StrCat("cannot compare ", SqlTypeName(a.type()), " ",
+                            op_for_error, " ", SqlTypeName(b.type())));
+  }
+  return Datum::Compare(a, b);
+}
+
+bool LikeMatch(const std::string& text, const std::string& pattern) {
+  // SQL LIKE: % any sequence, _ any single char.
+  size_t t = 0, p = 0, star_t = std::string::npos, star_p = 0;
+  while (t < text.size()) {
+    if (p < pattern.size() &&
+        (pattern[p] == '_' || pattern[p] == text[t])) {
+      ++t;
+      ++p;
+    } else if (p < pattern.size() && pattern[p] == '%') {
+      star_p = p++;
+      star_t = t;
+    } else if (star_t != std::string::npos) {
+      p = star_p + 1;
+      t = ++star_t;
+    } else {
+      return false;
+    }
+  }
+  while (p < pattern.size() && pattern[p] == '%') ++p;
+  return p == pattern.size();
+}
+
+Result<Datum> EvalScalarFunction(const Expr& e,
+                                 const std::vector<Datum>& args) {
+  const std::string& f = e.func_name;
+  auto need = [&](size_t n) -> Status {
+    if (args.size() != n) {
+      return TypeError(StrCat("function ", f, " expects ", n,
+                              " argument(s), got ", args.size()));
+    }
+    return Status::OK();
+  };
+  // COALESCE / NULLIF / GREATEST / LEAST handle nulls specially.
+  if (f == "coalesce") {
+    for (const auto& a : args) {
+      if (!a.is_null()) return a;
+    }
+    return Datum::Null();
+  }
+  if (f == "nullif") {
+    HQ_RETURN_IF_ERROR(need(2));
+    if (!args[0].is_null() && !args[1].is_null() &&
+        Datum::DistinctEquals(args[0], args[1])) {
+      return Datum::Null();
+    }
+    return args[0];
+  }
+  if (f == "greatest" || f == "least") {
+    Datum best;
+    for (const auto& a : args) {
+      if (a.is_null()) continue;
+      if (best.is_null()) {
+        best = a;
+        continue;
+      }
+      int cmp = Datum::Compare(a, best);
+      if ((f == "greatest" && cmp > 0) || (f == "least" && cmp < 0)) {
+        best = a;
+      }
+    }
+    return best;
+  }
+
+  // Remaining functions are strict: NULL in -> NULL out.
+  for (const auto& a : args) {
+    if (a.is_null()) return Datum::Null();
+  }
+
+  if (f == "abs") {
+    HQ_RETURN_IF_ERROR(need(1));
+    if (IsFloatDatum(args[0])) return Datum::Double(std::fabs(args[0].AsDouble()));
+    int64_t v = args[0].AsInt();
+    // Preserve the integral/temporal type (q's abs is type-preserving).
+    SqlType rt = args[0].type() == SqlType::kBoolean ? SqlType::kBigInt
+                                                     : args[0].type();
+    return Datum::Int(rt, v < 0 ? -v : v);
+  }
+  if (f == "floor" || f == "ceil" || f == "ceiling" || f == "round") {
+    HQ_RETURN_IF_ERROR(need(1));
+    double v = args[0].AsDouble();
+    if (f == "floor") return Datum::Double(std::floor(v));
+    if (f == "round") return Datum::Double(std::round(v));
+    return Datum::Double(std::ceil(v));
+  }
+  if (f == "sqrt") {
+    HQ_RETURN_IF_ERROR(need(1));
+    return Datum::Double(std::sqrt(args[0].AsDouble()));
+  }
+  if (f == "exp") {
+    HQ_RETURN_IF_ERROR(need(1));
+    return Datum::Double(std::exp(args[0].AsDouble()));
+  }
+  if (f == "ln" || f == "log") {
+    HQ_RETURN_IF_ERROR(need(1));
+    return Datum::Double(std::log(args[0].AsDouble()));
+  }
+  if (f == "power" || f == "pow") {
+    HQ_RETURN_IF_ERROR(need(2));
+    return Datum::Double(std::pow(args[0].AsDouble(), args[1].AsDouble()));
+  }
+  if (f == "mod") {
+    HQ_RETURN_IF_ERROR(need(2));
+    if (args[1].AsInt() == 0) return ExecutionError("division by zero");
+    return Datum::BigInt(args[0].AsInt() % args[1].AsInt());
+  }
+  if (f == "sign") {
+    HQ_RETURN_IF_ERROR(need(1));
+    double v = args[0].AsDouble();
+    return Datum::BigInt(v > 0 ? 1 : (v < 0 ? -1 : 0));
+  }
+  if (f == "lower" || f == "upper") {
+    HQ_RETURN_IF_ERROR(need(1));
+    if (!IsStringType(args[0].type())) {
+      return TypeError(StrCat(f, " requires a string argument"));
+    }
+    return Datum::Text(f == "lower" ? ToLower(args[0].AsString())
+                                    : ToUpper(args[0].AsString()));
+  }
+  if (f == "length" || f == "char_length") {
+    HQ_RETURN_IF_ERROR(need(1));
+    return Datum::BigInt(static_cast<int64_t>(args[0].AsString().size()));
+  }
+  if (f == "substr" || f == "substring") {
+    if (args.size() < 2 || args.size() > 3) {
+      return TypeError("substr takes 2 or 3 arguments");
+    }
+    const std::string& s = args[0].AsString();
+    int64_t start = std::max<int64_t>(1, args[1].AsInt()) - 1;
+    if (start >= static_cast<int64_t>(s.size())) return Datum::Text("");
+    size_t len = args.size() == 3
+                     ? static_cast<size_t>(std::max<int64_t>(0, args[2].AsInt()))
+                     : std::string::npos;
+    return Datum::Text(s.substr(start, len));
+  }
+  if (f == "concat") {
+    std::string out;
+    for (const auto& a : args) out += a.ToText();
+    return Datum::Text(out);
+  }
+  return Unsupported(StrCat("function ", f,
+                            " is not implemented in the mini PG engine"));
+}
+
+}  // namespace
+
+bool DatumIsTrue(const Datum& d) { return !d.is_null() && d.AsInt() != 0; }
+
+Result<Datum> CastDatum(const Datum& d, SqlType target) {
+  if (d.is_null()) return Datum::Null();
+  if (d.type() == target) return d;
+  if (IsStringType(target)) {
+    return Datum::String(target, d.ToText());
+  }
+  if (IsStringType(d.type())) {
+    const std::string& s = d.AsString();
+    switch (target) {
+      case SqlType::kBoolean: {
+        std::string v = ToLower(s);
+        if (v == "t" || v == "true" || v == "1") return Datum::Bool(true);
+        if (v == "f" || v == "false" || v == "0") return Datum::Bool(false);
+        return TypeError(StrCat("invalid boolean literal '", s, "'"));
+      }
+      case SqlType::kSmallInt:
+      case SqlType::kInteger:
+      case SqlType::kBigInt:
+        return Datum::Int(target, std::atoll(s.c_str()));
+      case SqlType::kReal:
+      case SqlType::kDouble:
+        return Datum::Float(target, std::strtod(s.c_str(), nullptr));
+      case SqlType::kDate: {
+        HQ_ASSIGN_OR_RETURN(int64_t days, ParseIsoDate(s));
+        return Datum::Date(days);
+      }
+      case SqlType::kTime: {
+        HQ_ASSIGN_OR_RETURN(int64_t ms, ParseIsoTime(s));
+        return Datum::Time(ms);
+      }
+      case SqlType::kTimestamp: {
+        HQ_ASSIGN_OR_RETURN(int64_t ns, ParseIsoTimestamp(s));
+        return Datum::Timestamp(ns);
+      }
+      default:
+        return TypeError(StrCat("cannot cast text to ", SqlTypeName(target)));
+    }
+  }
+  // Numeric/temporal conversions.
+  if (IsFloatDatum(d)) {
+    double v = d.AsDouble();
+    switch (target) {
+      case SqlType::kReal:
+      case SqlType::kDouble:
+        return Datum::Float(target, v);
+      case SqlType::kBoolean:
+        return Datum::Bool(v != 0);
+      case SqlType::kSmallInt:
+      case SqlType::kInteger:
+      case SqlType::kBigInt:
+        return Datum::Int(target, static_cast<int64_t>(std::llround(v)));
+      default:
+        return TypeError(StrCat("cannot cast double to ",
+                                SqlTypeName(target)));
+    }
+  }
+  int64_t v = d.AsInt();
+  switch (target) {
+    case SqlType::kBoolean:
+      return Datum::Bool(v != 0);
+    case SqlType::kSmallInt:
+    case SqlType::kInteger:
+    case SqlType::kBigInt:
+      return Datum::Int(target, v);
+    case SqlType::kReal:
+    case SqlType::kDouble:
+      return Datum::Float(target, static_cast<double>(v));
+    case SqlType::kDate:
+      if (d.type() == SqlType::kTimestamp) {
+        int64_t days = v / 86400000000000LL;
+        if (v < 0 && v % 86400000000000LL != 0) --days;
+        return Datum::Date(days);
+      }
+      return Datum::Date(v);
+    case SqlType::kTime:
+      if (d.type() == SqlType::kTimestamp) {
+        int64_t rem = v % 86400000000000LL;
+        if (rem < 0) rem += 86400000000000LL;
+        return Datum::Time(rem / 1000000);
+      }
+      return Datum::Time(v);
+    case SqlType::kTimestamp:
+      if (d.type() == SqlType::kDate) {
+        return Datum::Timestamp(v * 86400000000000LL);
+      }
+      return Datum::Timestamp(v);
+    default:
+      return TypeError(StrCat("cannot cast ", SqlTypeName(d.type()), " to ",
+                              SqlTypeName(target)));
+  }
+}
+
+Result<Datum> EvalExpr(const Expr& e, const EvalCtx& ctx) {
+  switch (e.kind) {
+    case ExprKind::kConst:
+      return e.datum;
+    case ExprKind::kColRef: {
+      if (ctx.rel == nullptr) {
+        return BindError(StrCat("column \"", e.column,
+                                "\" referenced without a FROM clause"));
+      }
+      // Relation addresses can be reused across queries, so validate the
+      // memo against the column name before trusting it.
+      if (e.resolved_rel == ctx.rel && e.resolved_idx >= 0 &&
+          static_cast<size_t>(e.resolved_idx) < ctx.rel->cols.size() &&
+          ctx.rel->cols[e.resolved_idx].name == e.column) {
+        return ctx.rel->rows[ctx.row_idx][e.resolved_idx];
+      }
+      HQ_ASSIGN_OR_RETURN(int idx, ctx.rel->Resolve(e.qualifier, e.column));
+      e.resolved_rel = ctx.rel;
+      e.resolved_idx = idx;
+      return ctx.rel->rows[ctx.row_idx][idx];
+    }
+    case ExprKind::kStar:
+      return BindError("'*' is only valid in select lists and COUNT(*)");
+    case ExprKind::kUnary: {
+      HQ_ASSIGN_OR_RETURN(Datum v, EvalExpr(*e.lhs, ctx));
+      if (e.op == "NOT") {
+        if (v.is_null()) return Datum::Null();
+        return Datum::Bool(!DatumIsTrue(v));
+      }
+      // Unary minus.
+      if (v.is_null()) return Datum::Null();
+      if (IsFloatDatum(v)) return Datum::Double(-v.AsDouble());
+      return Datum::Int(v.type() == SqlType::kBoolean ? SqlType::kBigInt
+                                                      : v.type(),
+                        -v.AsInt());
+    }
+    case ExprKind::kBinary: {
+      const std::string& op = e.op;
+      if (op == "AND" || op == "OR") {
+        // Kleene 3-valued logic with short-circuit.
+        HQ_ASSIGN_OR_RETURN(Datum a, EvalExpr(*e.lhs, ctx));
+        bool a_true = DatumIsTrue(a);
+        bool a_false = !a.is_null() && !a_true;
+        if (op == "AND" && a_false) return Datum::Bool(false);
+        if (op == "OR" && a_true) return Datum::Bool(true);
+        HQ_ASSIGN_OR_RETURN(Datum b, EvalExpr(*e.rhs, ctx));
+        bool b_true = DatumIsTrue(b);
+        bool b_false = !b.is_null() && !b_true;
+        if (op == "AND") {
+          if (b_false) return Datum::Bool(false);
+          if (a.is_null() || b.is_null()) return Datum::Null();
+          return Datum::Bool(true);
+        }
+        if (b_true) return Datum::Bool(true);
+        if (a.is_null() || b.is_null()) return Datum::Null();
+        return Datum::Bool(false);
+      }
+      HQ_ASSIGN_OR_RETURN(Datum a, EvalExpr(*e.lhs, ctx));
+      HQ_ASSIGN_OR_RETURN(Datum b, EvalExpr(*e.rhs, ctx));
+      if (op == "IS_DISTINCT" || op == "IS_NOT_DISTINCT") {
+        bool eq = Datum::DistinctEquals(a, b);
+        return Datum::Bool(op == "IS_DISTINCT" ? !eq : eq);
+      }
+      if (a.is_null() || b.is_null()) return Datum::Null();
+      if (op == "=" || op == "<>" || op == "<" || op == ">" || op == "<=" ||
+          op == ">=") {
+        HQ_ASSIGN_OR_RETURN(int cmp, CompareDatums(a, b, op));
+        bool r;
+        if (op == "=") {
+          r = cmp == 0;
+        } else if (op == "<>") {
+          r = cmp != 0;
+        } else if (op == "<") {
+          r = cmp < 0;
+        } else if (op == ">") {
+          r = cmp > 0;
+        } else if (op == "<=") {
+          r = cmp <= 0;
+        } else {
+          r = cmp >= 0;
+        }
+        return Datum::Bool(r);
+      }
+      if (op == "||") {
+        return Datum::Text(a.ToText() + b.ToText());
+      }
+      if (op == "LIKE") {
+        if (!IsStringType(a.type()) || !IsStringType(b.type())) {
+          return TypeError("LIKE requires string operands");
+        }
+        return Datum::Bool(LikeMatch(a.AsString(), b.AsString()));
+      }
+      return NumericBinary(op, a, b);
+    }
+    case ExprKind::kIsNull: {
+      HQ_ASSIGN_OR_RETURN(Datum v, EvalExpr(*e.lhs, ctx));
+      return Datum::Bool(e.negated ? !v.is_null() : v.is_null());
+    }
+    case ExprKind::kInList: {
+      HQ_ASSIGN_OR_RETURN(Datum v, EvalExpr(*e.lhs, ctx));
+      if (v.is_null()) return Datum::Null();
+      bool saw_null = false;
+      for (const auto& item : e.args) {
+        HQ_ASSIGN_OR_RETURN(Datum x, EvalExpr(*item, ctx));
+        if (x.is_null()) {
+          saw_null = true;
+          continue;
+        }
+        if (Datum::DistinctEquals(v, x)) {
+          return Datum::Bool(!e.negated);
+        }
+      }
+      if (saw_null) return Datum::Null();
+      return Datum::Bool(e.negated);
+    }
+    case ExprKind::kBetween: {
+      HQ_ASSIGN_OR_RETURN(Datum v, EvalExpr(*e.lhs, ctx));
+      HQ_ASSIGN_OR_RETURN(Datum lo, EvalExpr(*e.low, ctx));
+      HQ_ASSIGN_OR_RETURN(Datum hi, EvalExpr(*e.high, ctx));
+      if (v.is_null() || lo.is_null() || hi.is_null()) return Datum::Null();
+      HQ_ASSIGN_OR_RETURN(int c1, CompareDatums(lo, v, "BETWEEN"));
+      HQ_ASSIGN_OR_RETURN(int c2, CompareDatums(v, hi, "BETWEEN"));
+      bool in = c1 <= 0 && c2 <= 0;
+      return Datum::Bool(e.negated ? !in : in);
+    }
+    case ExprKind::kCase: {
+      size_t pairs = e.has_else ? (e.args.size() - 1) / 2 : e.args.size() / 2;
+      for (size_t i = 0; i < pairs; ++i) {
+        HQ_ASSIGN_OR_RETURN(Datum c, EvalExpr(*e.args[2 * i], ctx));
+        if (DatumIsTrue(c)) return EvalExpr(*e.args[2 * i + 1], ctx);
+      }
+      if (e.has_else) return EvalExpr(*e.args.back(), ctx);
+      return Datum::Null();
+    }
+    case ExprKind::kCast: {
+      HQ_ASSIGN_OR_RETURN(Datum v, EvalExpr(*e.lhs, ctx));
+      return CastDatum(v, e.cast_type);
+    }
+    case ExprKind::kFuncCall: {
+      if (IsAggregateFunction(e.func_name)) {
+        if (ctx.agg_values != nullptr) {
+          auto it = ctx.agg_values->find(&e);
+          if (it != ctx.agg_values->end()) return it->second;
+        }
+        return BindError(StrCat("aggregate ", e.func_name,
+                                " used outside of a grouped context"));
+      }
+      std::vector<Datum> args;
+      args.reserve(e.args.size());
+      for (const auto& a : e.args) {
+        HQ_ASSIGN_OR_RETURN(Datum v, EvalExpr(*a, ctx));
+        args.push_back(std::move(v));
+      }
+      return EvalScalarFunction(e, args);
+    }
+    case ExprKind::kWindow: {
+      if (ctx.window_values != nullptr) {
+        auto it = ctx.window_values->find(&e);
+        if (it != ctx.window_values->end()) {
+          return it->second[ctx.row_idx];
+        }
+      }
+      return BindError(StrCat("window function ", e.func_name,
+                              " used in an unsupported position"));
+    }
+  }
+  return InternalError("unhandled expression kind");
+}
+
+bool IsAggregateFunction(const std::string& f) {
+  // first/last are engine extensions (DuckDB-style) so Hyper-Q can map q's
+  // order-dependent first/last aggregates; they use the group's row order.
+  return f == "count" || f == "sum" || f == "avg" || f == "min" ||
+         f == "max" || f == "stddev_pop" || f == "stddev" ||
+         f == "var_pop" || f == "variance" || f == "bool_and" ||
+         f == "bool_or" || f == "median" || f == "first" || f == "last";
+}
+
+void CollectAggregates(const ExprPtr& e, std::vector<const Expr*>* out) {
+  if (!e) return;
+  if (e->kind == ExprKind::kFuncCall && IsAggregateFunction(e->func_name)) {
+    out->push_back(e.get());
+    return;  // no nested aggregates
+  }
+  if (e->kind == ExprKind::kWindow) return;
+  CollectAggregates(e->lhs, out);
+  CollectAggregates(e->rhs, out);
+  CollectAggregates(e->low, out);
+  CollectAggregates(e->high, out);
+  for (const auto& a : e->args) CollectAggregates(a, out);
+}
+
+void CollectWindows(const ExprPtr& e, std::vector<const Expr*>* out) {
+  if (!e) return;
+  if (e->kind == ExprKind::kWindow) {
+    out->push_back(e.get());
+    return;
+  }
+  CollectWindows(e->lhs, out);
+  CollectWindows(e->rhs, out);
+  CollectWindows(e->low, out);
+  CollectWindows(e->high, out);
+  for (const auto& a : e->args) CollectWindows(a, out);
+}
+
+Result<Datum> ComputeAggregate(const Expr& agg, const Relation& rel,
+                               const std::vector<size_t>& member_rows) {
+  const std::string& f = agg.func_name;
+  bool star = !agg.args.empty() && agg.args[0]->kind == ExprKind::kStar;
+  if (f == "count" && (agg.args.empty() || star)) {
+    return Datum::BigInt(static_cast<int64_t>(member_rows.size()));
+  }
+  if (agg.args.size() != 1 && f != "count") {
+    return TypeError(StrCat("aggregate ", f, " takes one argument"));
+  }
+
+  // first/last take the group's first/last element in row order, including
+  // NULLs (q semantics).
+  if (f == "first" || f == "last") {
+    if (member_rows.empty()) return Datum::Null();
+    EvalCtx ctx;
+    ctx.rel = &rel;
+    ctx.row_idx = f == "first" ? member_rows.front() : member_rows.back();
+    return EvalExpr(*agg.args[0], ctx);
+  }
+
+  // Evaluate the argument per member row.
+  std::vector<Datum> values;
+  values.reserve(member_rows.size());
+  std::set<std::string> distinct_seen;
+  for (size_t r : member_rows) {
+    EvalCtx ctx;
+    ctx.rel = &rel;
+    ctx.row_idx = r;
+    HQ_ASSIGN_OR_RETURN(Datum v, EvalExpr(*agg.args[0], ctx));
+    if (v.is_null()) continue;  // SQL aggregates ignore NULLs
+    if (agg.distinct) {
+      std::string key;
+      EncodeDatum(v, &key);
+      if (!distinct_seen.insert(key).second) continue;
+    }
+    values.push_back(std::move(v));
+  }
+
+  if (f == "count") {
+    return Datum::BigInt(static_cast<int64_t>(values.size()));
+  }
+  if (values.empty()) return Datum::Null();
+
+  if (f == "min" || f == "max") {
+    Datum best = values[0];
+    for (const auto& v : values) {
+      int cmp = Datum::Compare(v, best);
+      if ((f == "min" && cmp < 0) || (f == "max" && cmp > 0)) best = v;
+    }
+    return best;
+  }
+  if (f == "bool_and" || f == "bool_or") {
+    bool acc = f == "bool_and";
+    for (const auto& v : values) {
+      bool t = DatumIsTrue(v);
+      acc = f == "bool_and" ? (acc && t) : (acc || t);
+    }
+    return Datum::Bool(acc);
+  }
+
+  bool any_float = false;
+  for (const auto& v : values) any_float |= IsFloatDatum(v);
+  if (f == "sum") {
+    if (any_float) {
+      double s = 0;
+      for (const auto& v : values) s += v.AsDouble();
+      return Datum::Double(s);
+    }
+    int64_t s = 0;
+    for (const auto& v : values) s += v.AsInt();
+    return Datum::BigInt(s);
+  }
+  double s = 0, s2 = 0;
+  std::vector<double> xs;
+  xs.reserve(values.size());
+  for (const auto& v : values) {
+    double x = v.AsDouble();
+    xs.push_back(x);
+    s += x;
+    s2 += x * x;
+  }
+  double n = static_cast<double>(xs.size());
+  if (f == "avg") return Datum::Double(s / n);
+  if (f == "median") {
+    std::sort(xs.begin(), xs.end());
+    size_t m = xs.size() / 2;
+    return Datum::Double(xs.size() % 2 == 1 ? xs[m]
+                                            : (xs[m - 1] + xs[m]) / 2.0);
+  }
+  double mean = s / n;
+  double var_pop = s2 / n - mean * mean;
+  if (f == "var_pop") return Datum::Double(var_pop);
+  if (f == "stddev_pop") return Datum::Double(std::sqrt(std::max(0.0, var_pop)));
+  // Sample variance/stddev (PG's variance/stddev).
+  if (xs.size() < 2) return Datum::Null();
+  double var_samp = (s2 - n * mean * mean) / (n - 1);
+  if (f == "variance") return Datum::Double(var_samp);
+  return Datum::Double(std::sqrt(std::max(0.0, var_samp)));  // stddev
+}
+
+}  // namespace sqldb
+}  // namespace hyperq

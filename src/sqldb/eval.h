@@ -1,0 +1,52 @@
+#ifndef HYPERQ_SQLDB_EVAL_H_
+#define HYPERQ_SQLDB_EVAL_H_
+
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "sqldb/ast.h"
+#include "sqldb/relation.h"
+
+namespace hyperq {
+namespace sqldb {
+
+/// Evaluation context for one row of a relation. `agg_values` supplies
+/// pre-computed results for aggregate nodes (grouped execution) keyed by
+/// node identity; `window_values` supplies per-row window function results.
+struct EvalCtx {
+  const Relation* rel = nullptr;
+  size_t row_idx = 0;
+  const std::unordered_map<const Expr*, Datum>* agg_values = nullptr;
+  const std::unordered_map<const Expr*, std::vector<Datum>>* window_values =
+      nullptr;
+};
+
+/// Evaluates an expression under SQL three-valued logic (contrast with the
+/// Q engine's 2-valued logic — bridging the two is the Xformer's job, §3.3).
+Result<Datum> EvalExpr(const Expr& e, const EvalCtx& ctx);
+
+/// Casts a datum to a target type (CAST / '::' semantics).
+Result<Datum> CastDatum(const Datum& d, SqlType target);
+
+/// True when the datum is boolean-true (non-null and non-zero).
+bool DatumIsTrue(const Datum& d);
+
+/// Collects aggregate call nodes (FuncCall with aggregate name) from an
+/// expression tree; does not descend into window specs.
+void CollectAggregates(const ExprPtr& e, std::vector<const Expr*>* out);
+
+/// Collects window nodes from an expression tree.
+void CollectWindows(const ExprPtr& e, std::vector<const Expr*>* out);
+
+/// True if the function name denotes an aggregate.
+bool IsAggregateFunction(const std::string& lower_name);
+
+/// Computes one aggregate over the given member rows of a relation.
+Result<Datum> ComputeAggregate(const Expr& agg, const Relation& rel,
+                               const std::vector<size_t>& member_rows);
+
+}  // namespace sqldb
+}  // namespace hyperq
+
+#endif  // HYPERQ_SQLDB_EVAL_H_

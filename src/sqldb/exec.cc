@@ -1,0 +1,811 @@
+#include "sqldb/exec.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/strings.h"
+
+namespace hyperq {
+namespace sqldb {
+
+namespace {
+
+constexpr int kMaxViewDepth = 16;
+
+/// Splits an expression into its top-level AND conjuncts.
+void SplitConjuncts(const ExprPtr& e, std::vector<ExprPtr>* out) {
+  if (!e) return;
+  if (e->kind == ExprKind::kBinary && e->op == "AND") {
+    SplitConjuncts(e->lhs, out);
+    SplitConjuncts(e->rhs, out);
+    return;
+  }
+  out->push_back(e);
+}
+
+std::string OutputName(const SelectItem& item) {
+  if (!item.alias.empty()) return item.alias;
+  const Expr& e = *item.expr;
+  if (e.kind == ExprKind::kColRef) return e.column;
+  if (e.kind == ExprKind::kFuncCall || e.kind == ExprKind::kWindow) {
+    return e.func_name;
+  }
+  return "?column?";
+}
+
+}  // namespace
+
+SqlType Executor::InferType(const Expr& e, const Relation& input) {
+  switch (e.kind) {
+    case ExprKind::kConst:
+      return e.datum.is_null() ? SqlType::kText : e.datum.type();
+    case ExprKind::kColRef: {
+      auto idx = input.Resolve(e.qualifier, e.column);
+      return idx.ok() ? input.cols[*idx].type : SqlType::kText;
+    }
+    case ExprKind::kStar:
+      return SqlType::kText;
+    case ExprKind::kUnary:
+      if (e.op == "NOT") return SqlType::kBoolean;
+      return InferType(*e.lhs, input);
+    case ExprKind::kBinary: {
+      const std::string& op = e.op;
+      if (op == "AND" || op == "OR" || op == "=" || op == "<>" ||
+          op == "<" || op == ">" || op == "<=" || op == ">=" ||
+          op == "LIKE" || op == "IS_DISTINCT" || op == "IS_NOT_DISTINCT") {
+        return SqlType::kBoolean;
+      }
+      if (op == "||") return SqlType::kText;
+      SqlType lt = InferType(*e.lhs, input);
+      SqlType rt = InferType(*e.rhs, input);
+      if (lt == SqlType::kReal || lt == SqlType::kDouble ||
+          rt == SqlType::kReal || rt == SqlType::kDouble) {
+        return SqlType::kDouble;
+      }
+      if (IsTemporalType(lt) && !IsTemporalType(rt)) return lt;
+      if (IsTemporalType(rt) && !IsTemporalType(lt)) return rt;
+      if (IsTemporalType(lt) && lt == rt) {
+        // Temporal difference is a count; other ops stay temporal.
+        return op == "-" ? SqlType::kBigInt : lt;
+      }
+      return SqlType::kBigInt;
+    }
+    case ExprKind::kIsNull:
+    case ExprKind::kInList:
+    case ExprKind::kBetween:
+      return SqlType::kBoolean;
+    case ExprKind::kCase: {
+      if (e.args.size() >= 2) return InferType(*e.args[1], input);
+      return SqlType::kText;
+    }
+    case ExprKind::kCast:
+      return e.cast_type;
+    case ExprKind::kFuncCall:
+    case ExprKind::kWindow: {
+      const std::string& f = e.func_name;
+      if (f == "count" || f == "row_number" || f == "rank" ||
+          f == "dense_rank" || f == "length" || f == "char_length" ||
+          f == "mod" || f == "sign") {
+        return SqlType::kBigInt;
+      }
+      if (f == "avg" || f == "median" || f == "stddev" ||
+          f == "stddev_pop" || f == "variance" || f == "var_pop" ||
+          f == "sqrt" || f == "exp" || f == "ln" || f == "log" ||
+          f == "power" || f == "floor" || f == "ceil" || f == "ceiling" ||
+          f == "round") {
+        return SqlType::kDouble;
+      }
+      if (f == "bool_and" || f == "bool_or") return SqlType::kBoolean;
+      if (f == "lower" || f == "upper" || f == "substr" ||
+          f == "substring" || f == "concat") {
+        return SqlType::kText;
+      }
+      if (!e.args.empty()) return InferType(*e.args[0], input);
+      return SqlType::kBigInt;
+    }
+  }
+  return SqlType::kText;
+}
+
+Result<Relation> Executor::ExecuteSelect(const SelectStmt& stmt) {
+  HQ_ASSIGN_OR_RETURN(CoreResult core, ExecCore(stmt));
+
+  if (!stmt.union_all.empty()) {
+    for (const auto& u : stmt.union_all) {
+      HQ_ASSIGN_OR_RETURN(CoreResult next, ExecCore(*u));
+      if (next.output.cols.size() != core.output.cols.size()) {
+        return BindError(StrCat(
+            "UNION ALL member has ", next.output.cols.size(),
+            " columns, expected ", core.output.cols.size()));
+      }
+      for (auto& row : next.output.rows) {
+        core.output.rows.push_back(std::move(row));
+      }
+    }
+    // ORDER BY over a union may only reference output columns/ordinals.
+    if (!stmt.order_by.empty()) {
+      CoreResult for_order;
+      for_order.output = std::move(core.output);
+      for_order.work = for_order.output;  // resolve against outputs
+      for_order.distinct_applied = true;  // forces output-only resolution
+      HQ_RETURN_IF_ERROR(ApplyOrderBy(stmt, &for_order));
+      core.output = std::move(for_order.output);
+    }
+  } else if (!stmt.order_by.empty()) {
+    HQ_RETURN_IF_ERROR(ApplyOrderBy(stmt, &core));
+  }
+  HQ_RETURN_IF_ERROR(ApplyLimit(stmt, &core.output));
+  return std::move(core.output);
+}
+
+Result<Executor::CoreResult> Executor::ExecCore(const SelectStmt& stmt) {
+  // ---- FROM ----
+  Relation input;
+  if (stmt.from) {
+    HQ_ASSIGN_OR_RETURN(input, EvalTableRef(*stmt.from));
+  } else {
+    input.rows.push_back({});  // SELECT without FROM: one empty row
+  }
+
+  // ---- WHERE ----
+  if (stmt.where) {
+    std::vector<std::vector<Datum>> kept;
+    kept.reserve(input.rows.size());
+    for (size_t i = 0; i < input.rows.size(); ++i) {
+      EvalCtx ctx{&input, i, nullptr, nullptr};
+      HQ_ASSIGN_OR_RETURN(Datum v, EvalExpr(*stmt.where, ctx));
+      if (DatumIsTrue(v)) kept.push_back(std::move(input.rows[i]));
+    }
+    input.rows = std::move(kept);
+  }
+
+  CoreResult core;
+
+  // ---- GROUP BY / aggregates ----
+  std::vector<const Expr*> agg_nodes;
+  for (const auto& item : stmt.items) CollectAggregates(item.expr, &agg_nodes);
+  CollectAggregates(stmt.having, &agg_nodes);
+  bool grouped = !stmt.group_by.empty() || !agg_nodes.empty();
+
+  if (grouped) {
+    // Bucket rows by group key (order of first occurrence).
+    std::unordered_map<std::string, size_t> group_of;
+    std::vector<std::vector<size_t>> members;
+    for (size_t i = 0; i < input.rows.size(); ++i) {
+      std::string key;
+      for (const auto& g : stmt.group_by) {
+        EvalCtx ctx{&input, i, nullptr, nullptr};
+        HQ_ASSIGN_OR_RETURN(Datum v, EvalExpr(*g, ctx));
+        EncodeDatum(v, &key);
+      }
+      auto [it, inserted] = group_of.emplace(key, members.size());
+      if (inserted) members.push_back({});
+      members[it->second].push_back(i);
+    }
+    // An aggregate query with no GROUP BY always yields one group, even
+    // over zero rows.
+    if (stmt.group_by.empty() && members.empty()) members.push_back({});
+
+    core.work.cols = input.cols;
+    for (const auto& m : members) {
+      std::unordered_map<const Expr*, Datum> aggs;
+      for (const Expr* agg : agg_nodes) {
+        HQ_ASSIGN_OR_RETURN(Datum v, ComputeAggregate(*agg, input, m));
+        aggs.emplace(agg, std::move(v));
+      }
+      // Representative row: first member (empty groups use all-null).
+      std::vector<Datum> rep =
+          m.empty() ? std::vector<Datum>(input.cols.size())
+                    : input.rows[m.front()];
+      core.work.rows.push_back(std::move(rep));
+      core.agg_per_row.push_back(std::move(aggs));
+    }
+    // HAVING filters groups.
+    if (stmt.having) {
+      Relation filtered;
+      filtered.cols = core.work.cols;
+      std::vector<std::unordered_map<const Expr*, Datum>> kept_aggs;
+      for (size_t i = 0; i < core.work.rows.size(); ++i) {
+        EvalCtx ctx{&core.work, i, &core.agg_per_row[i], nullptr};
+        HQ_ASSIGN_OR_RETURN(Datum v, EvalExpr(*stmt.having, ctx));
+        if (DatumIsTrue(v)) {
+          filtered.rows.push_back(std::move(core.work.rows[i]));
+          kept_aggs.push_back(std::move(core.agg_per_row[i]));
+        }
+      }
+      core.work = std::move(filtered);
+      core.agg_per_row = std::move(kept_aggs);
+    }
+  } else {
+    core.work = std::move(input);
+  }
+
+  // ---- Window functions ----
+  std::vector<const Expr*> window_nodes;
+  for (const auto& item : stmt.items) CollectWindows(item.expr, &window_nodes);
+  for (const auto& o : stmt.order_by) CollectWindows(o.expr, &window_nodes);
+  if (!window_nodes.empty()) {
+    HQ_RETURN_IF_ERROR(ComputeWindows(window_nodes, core.work,
+                                      core.agg_per_row,
+                                      &core.window_values));
+  }
+
+  // ---- Projection ----
+  // Expand stars first.
+  std::vector<SelectItem> items;
+  for (const auto& item : stmt.items) {
+    if (item.expr->kind == ExprKind::kStar) {
+      for (size_t c = 0; c < core.work.cols.size(); ++c) {
+        const RelColumn& col = core.work.cols[c];
+        if (!item.expr->qualifier.empty() &&
+            col.qualifier != item.expr->qualifier) {
+          continue;
+        }
+        SelectItem expanded;
+        expanded.expr = MakeColRef(col.qualifier, col.name);
+        expanded.alias = col.name;
+        items.push_back(std::move(expanded));
+      }
+      continue;
+    }
+    items.push_back(item);
+  }
+  if (items.empty()) return BindError("empty select list");
+
+  core.output.cols.reserve(items.size());
+  for (const auto& item : items) {
+    RelColumn col;
+    col.name = OutputName(item);
+    col.type = InferType(*item.expr, core.work);
+    core.output.cols.push_back(std::move(col));
+  }
+  core.output.rows.reserve(core.work.rows.size());
+  for (size_t i = 0; i < core.work.rows.size(); ++i) {
+    EvalCtx ctx{&core.work, i,
+                core.agg_per_row.empty() ? nullptr : &core.agg_per_row[i],
+                core.window_values.empty() ? nullptr : &core.window_values};
+    std::vector<Datum> row;
+    row.reserve(items.size());
+    for (size_t c = 0; c < items.size(); ++c) {
+      HQ_ASSIGN_OR_RETURN(Datum v, EvalExpr(*items[c].expr, ctx));
+      // Refine inferred type from actual values.
+      if (!v.is_null() && core.output.cols[c].type != v.type() &&
+          core.output.rows.empty()) {
+        core.output.cols[c].type = v.type();
+      }
+      row.push_back(std::move(v));
+    }
+    core.output.rows.push_back(std::move(row));
+  }
+
+  // ---- DISTINCT ----
+  if (stmt.distinct) {
+    std::unordered_map<std::string, bool> seen;
+    std::vector<std::vector<Datum>> rows;
+    for (auto& row : core.output.rows) {
+      std::string key = EncodeKeyRow(row);
+      if (seen.emplace(key, true).second) rows.push_back(std::move(row));
+    }
+    core.output.rows = std::move(rows);
+    core.distinct_applied = true;
+  }
+  return core;
+}
+
+Status Executor::ApplyOrderBy(const SelectStmt& stmt, CoreResult* core) {
+  size_t n = core->output.rows.size();
+  // Evaluate sort keys per output row. Keys may be output ordinals, output
+  // aliases, or (when no DISTINCT reshaped the rows) arbitrary expressions
+  // over the pre-projection relation.
+  std::vector<std::vector<Datum>> keys(n);
+  for (const auto& item : stmt.order_by) {
+    const Expr& e = *item.expr;
+    int out_idx = -1;
+    if (e.kind == ExprKind::kConst && !e.datum.is_null() &&
+        IsIntegralType(e.datum.type())) {
+      int64_t ord = e.datum.AsInt();
+      if (ord < 1 || ord > static_cast<int64_t>(core->output.cols.size())) {
+        return BindError(StrCat("ORDER BY position ", ord,
+                                " is out of range"));
+      }
+      out_idx = static_cast<int>(ord - 1);
+    } else if (e.kind == ExprKind::kColRef && e.qualifier.empty()) {
+      for (size_t c = 0; c < core->output.cols.size(); ++c) {
+        if (core->output.cols[c].name == e.column) {
+          out_idx = static_cast<int>(c);
+          break;
+        }
+      }
+    }
+    if (out_idx >= 0) {
+      for (size_t i = 0; i < n; ++i) {
+        keys[i].push_back(core->output.rows[i][out_idx]);
+      }
+      continue;
+    }
+    if (core->distinct_applied) {
+      return BindError(
+          "ORDER BY expression must appear in the select list when "
+          "DISTINCT/UNION is used");
+    }
+    if (core->work.rows.size() != n) {
+      return InternalError("order-by source rows out of sync");
+    }
+    for (size_t i = 0; i < n; ++i) {
+      EvalCtx ctx{&core->work, i,
+                  core->agg_per_row.empty() ? nullptr : &core->agg_per_row[i],
+                  core->window_values.empty() ? nullptr
+                                              : &core->window_values};
+      HQ_ASSIGN_OR_RETURN(Datum v, EvalExpr(e, ctx));
+      keys[i].push_back(std::move(v));
+    }
+  }
+
+  std::vector<size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  Status failure = Status::OK();
+  std::stable_sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    for (size_t k = 0; k < stmt.order_by.size(); ++k) {
+      const Datum& x = keys[a][k];
+      const Datum& y = keys[b][k];
+      const OrderItem& item = stmt.order_by[k];
+      if (x.is_null() || y.is_null()) {
+        if (x.is_null() == y.is_null()) continue;
+        bool a_first = x.is_null() == item.nulls_first;
+        return a_first;
+      }
+      int cmp = Datum::Compare(x, y);
+      if (cmp != 0) return item.ascending ? cmp < 0 : cmp > 0;
+    }
+    return false;
+  });
+  HQ_RETURN_IF_ERROR(failure);
+
+  std::vector<std::vector<Datum>> sorted;
+  sorted.reserve(n);
+  for (size_t i : order) sorted.push_back(std::move(core->output.rows[i]));
+  core->output.rows = std::move(sorted);
+  return Status::OK();
+}
+
+Status Executor::ApplyLimit(const SelectStmt& stmt, Relation* rel) {
+  auto eval_const = [&](const ExprPtr& e, int64_t* out) -> Status {
+    if (!e) return Status::OK();
+    EvalCtx ctx;
+    HQ_ASSIGN_OR_RETURN(Datum v, EvalExpr(*e, ctx));
+    if (v.is_null() || !IsIntegralType(v.type())) {
+      return BindError("LIMIT/OFFSET must be integer constants");
+    }
+    *out = v.AsInt();
+    return Status::OK();
+  };
+  int64_t limit = -1, offset = 0;
+  HQ_RETURN_IF_ERROR(eval_const(stmt.limit, &limit));
+  HQ_RETURN_IF_ERROR(eval_const(stmt.offset, &offset));
+  if (stmt.offset && offset > 0) {
+    if (offset >= static_cast<int64_t>(rel->rows.size())) {
+      rel->rows.clear();
+    } else {
+      rel->rows.erase(rel->rows.begin(), rel->rows.begin() + offset);
+    }
+  }
+  if (stmt.limit && limit >= 0 &&
+      static_cast<int64_t>(rel->rows.size()) > limit) {
+    rel->rows.resize(limit);
+  }
+  return Status::OK();
+}
+
+// ---------------------------------------------------------------------------
+// FROM clause
+// ---------------------------------------------------------------------------
+
+Result<Relation> Executor::EvalTableRef(const TableRef& ref) {
+  switch (ref.kind) {
+    case TableRef::Kind::kNamed:
+      return LookupNamed(ref.name, ref.alias.empty() ? ref.name : ref.alias);
+    case TableRef::Kind::kSubquery: {
+      HQ_ASSIGN_OR_RETURN(Relation rel, ExecuteSelect(*ref.subquery));
+      for (auto& c : rel.cols) c.qualifier = ref.alias;
+      return rel;
+    }
+    case TableRef::Kind::kJoin:
+      return ExecJoin(ref);
+  }
+  return InternalError("unhandled table ref kind");
+}
+
+Result<Relation> Executor::LookupNamed(const std::string& name,
+                                       const std::string& alias) {
+  // Resolution order: session temp tables, catalog tables, session temp
+  // views, catalog views.
+  std::shared_ptr<StoredTable> table;
+  if (session_ != nullptr) {
+    auto it = session_->temp_tables().find(name);
+    if (it != session_->temp_tables().end()) table = it->second;
+  }
+  if (!table && catalog_->HasTable(name)) {
+    HQ_ASSIGN_OR_RETURN(table, catalog_->GetTable(name));
+  }
+  if (table) {
+    Relation rel;
+    rel.cols.reserve(table->columns.size());
+    for (const auto& c : table->columns) {
+      rel.cols.push_back(RelColumn{alias, c.name, c.type});
+    }
+    rel.rows = table->rows;
+    return rel;
+  }
+  const StoredView* view = nullptr;
+  StoredView catalog_view;
+  if (session_ != nullptr) {
+    auto it = session_->temp_views().find(name);
+    if (it != session_->temp_views().end()) view = &it->second;
+  }
+  if (view == nullptr && catalog_->HasView(name)) {
+    HQ_ASSIGN_OR_RETURN(catalog_view, catalog_->GetView(name));
+    view = &catalog_view;
+  }
+  if (view != nullptr) {
+    if (++view_depth_ > kMaxViewDepth) {
+      --view_depth_;
+      return ExecutionError(
+          StrCat("view nesting exceeds ", kMaxViewDepth,
+                 " levels (circular view definition?)"));
+    }
+    Result<Relation> rel = ExecuteSelect(*view->select);
+    --view_depth_;
+    if (!rel.ok()) return rel.status();
+    for (auto& c : rel->cols) c.qualifier = alias;
+    return std::move(rel).value();
+  }
+  return NotFound(StrCat("relation \"", name, "\" does not exist"));
+}
+
+Result<Relation> Executor::ExecJoin(const TableRef& join) {
+  HQ_ASSIGN_OR_RETURN(Relation left, EvalTableRef(*join.left));
+  HQ_ASSIGN_OR_RETURN(Relation right, EvalTableRef(*join.right));
+
+  Relation out;
+  out.cols = left.cols;
+  out.cols.insert(out.cols.end(), right.cols.begin(), right.cols.end());
+
+  auto combine = [&](const std::vector<Datum>& l,
+                     const std::vector<Datum>& r) {
+    std::vector<Datum> row;
+    row.reserve(l.size() + r.size());
+    row.insert(row.end(), l.begin(), l.end());
+    row.insert(row.end(), r.begin(), r.end());
+    return row;
+  };
+  auto null_right = [&]() {
+    return std::vector<Datum>(right.cols.size());
+  };
+
+  if (join.join_type == JoinType::kCross) {
+    for (const auto& l : left.rows) {
+      for (const auto& r : right.rows) {
+        out.rows.push_back(combine(l, r));
+      }
+    }
+    return out;
+  }
+
+  // Extract hashable equality keys from the ON conjuncts.
+  std::vector<ExprPtr> conjuncts;
+  SplitConjuncts(join.on, &conjuncts);
+  struct EquiKey {
+    int left_idx;
+    int right_idx;
+    bool null_safe;  // IS NOT DISTINCT FROM
+  };
+  std::vector<EquiKey> keys;
+  std::vector<ExprPtr> residual;
+  for (const auto& c : conjuncts) {
+    bool is_eq = c->kind == ExprKind::kBinary &&
+                 (c->op == "=" || c->op == "IS_NOT_DISTINCT");
+    if (is_eq && c->lhs->kind == ExprKind::kColRef &&
+        c->rhs->kind == ExprKind::kColRef) {
+      auto l_in_left = left.Resolve(c->lhs->qualifier, c->lhs->column);
+      auto r_in_right = right.Resolve(c->rhs->qualifier, c->rhs->column);
+      if (l_in_left.ok() && r_in_right.ok()) {
+        keys.push_back(
+            {*l_in_left, *r_in_right, c->op == "IS_NOT_DISTINCT"});
+        continue;
+      }
+      auto l_in_right = right.Resolve(c->lhs->qualifier, c->lhs->column);
+      auto r_in_left = left.Resolve(c->rhs->qualifier, c->rhs->column);
+      if (l_in_right.ok() && r_in_left.ok()) {
+        keys.push_back(
+            {*r_in_left, *l_in_right, c->op == "IS_NOT_DISTINCT"});
+        continue;
+      }
+    }
+    residual.push_back(c);
+  }
+
+  // One scratch relation reused for all residual evaluations (copying the
+  // 500-column schema per candidate row would dominate join cost).
+  Relation residual_scratch;
+  residual_scratch.cols = out.cols;
+  residual_scratch.rows.resize(1);
+  auto residual_ok = [&](std::vector<Datum>& row) -> Result<bool> {
+    residual_scratch.rows[0].swap(row);
+    bool ok = true;
+    Status failure = Status::OK();
+    for (const auto& c : residual) {
+      EvalCtx ctx{&residual_scratch, 0, nullptr, nullptr};
+      Result<Datum> v = EvalExpr(*c, ctx);
+      if (!v.ok()) {
+        failure = v.status();
+        ok = false;
+        break;
+      }
+      if (!DatumIsTrue(*v)) {
+        ok = false;
+        break;
+      }
+    }
+    residual_scratch.rows[0].swap(row);
+    HQ_RETURN_IF_ERROR(failure);
+    return ok;
+  };
+
+  if (!keys.empty()) {
+    // Hash join.
+    std::unordered_map<std::string, std::vector<size_t>> buckets;
+    buckets.reserve(right.rows.size() * 2);
+    for (size_t i = 0; i < right.rows.size(); ++i) {
+      std::string key;
+      bool usable = true;
+      for (const auto& k : keys) {
+        const Datum& v = right.rows[i][k.right_idx];
+        if (v.is_null() && !k.null_safe) {
+          usable = false;  // plain '=' never matches NULL
+          break;
+        }
+        EncodeDatum(v, &key);
+      }
+      if (usable) buckets[key].push_back(i);
+    }
+    for (const auto& l : left.rows) {
+      bool matched = false;
+      std::string key;
+      bool usable = true;
+      for (const auto& k : keys) {
+        const Datum& v = l[k.left_idx];
+        if (v.is_null() && !k.null_safe) {
+          usable = false;
+          break;
+        }
+        EncodeDatum(v, &key);
+      }
+      if (usable) {
+        auto it = buckets.find(key);
+        if (it != buckets.end()) {
+          for (size_t ri : it->second) {
+            std::vector<Datum> row = combine(l, right.rows[ri]);
+            HQ_ASSIGN_OR_RETURN(bool ok, residual_ok(row));
+            if (ok) {
+              out.rows.push_back(std::move(row));
+              matched = true;
+            }
+          }
+        }
+      }
+      if (!matched && join.join_type == JoinType::kLeft) {
+        out.rows.push_back(combine(l, null_right()));
+      }
+    }
+    return out;
+  }
+
+  // Nested-loop fallback: evaluate the full ON condition per pair.
+  Relation probe;
+  probe.cols = out.cols;
+  probe.rows.push_back({});
+  for (const auto& l : left.rows) {
+    bool matched = false;
+    for (const auto& r : right.rows) {
+      std::vector<Datum> row = combine(l, r);
+      probe.rows[0] = row;
+      EvalCtx ctx{&probe, 0, nullptr, nullptr};
+      HQ_ASSIGN_OR_RETURN(Datum v, EvalExpr(*join.on, ctx));
+      if (DatumIsTrue(v)) {
+        out.rows.push_back(std::move(row));
+        matched = true;
+      }
+    }
+    if (!matched && join.join_type == JoinType::kLeft) {
+      out.rows.push_back(combine(l, null_right()));
+    }
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Window functions
+// ---------------------------------------------------------------------------
+
+Status Executor::ComputeWindows(
+    const std::vector<const Expr*>& nodes, const Relation& work,
+    const std::vector<std::unordered_map<const Expr*, Datum>>& agg_per_row,
+    std::unordered_map<const Expr*, std::vector<Datum>>* out) {
+  size_t n = work.rows.size();
+  for (const Expr* node : nodes) {
+    if (out->count(node) > 0) continue;
+    const WindowSpec& spec = node->window;
+
+    auto ctx_for = [&](size_t i) {
+      return EvalCtx{&work, i,
+                     agg_per_row.empty() ? nullptr : &agg_per_row[i],
+                     nullptr};
+    };
+
+    // Partition rows.
+    std::unordered_map<std::string, size_t> part_of;
+    std::vector<std::vector<size_t>> partitions;
+    for (size_t i = 0; i < n; ++i) {
+      std::string key;
+      for (const auto& p : spec.partition_by) {
+        HQ_ASSIGN_OR_RETURN(Datum v, EvalExpr(*p, ctx_for(i)));
+        EncodeDatum(v, &key);
+      }
+      auto [it, inserted] = part_of.emplace(key, partitions.size());
+      if (inserted) partitions.push_back({});
+      partitions[it->second].push_back(i);
+    }
+
+    std::vector<Datum> result(n);
+    for (auto& part : partitions) {
+      // Order within the partition.
+      std::vector<std::vector<Datum>> keys(part.size());
+      for (size_t p = 0; p < part.size(); ++p) {
+        for (const auto& o : spec.order_by) {
+          HQ_ASSIGN_OR_RETURN(Datum v, EvalExpr(*o.expr, ctx_for(part[p])));
+          keys[p].push_back(std::move(v));
+        }
+      }
+      std::vector<size_t> order(part.size());
+      std::iota(order.begin(), order.end(), 0);
+      std::stable_sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+        for (size_t k = 0; k < spec.order_by.size(); ++k) {
+          const Datum& x = keys[a][k];
+          const Datum& y = keys[b][k];
+          const OrderItem& item = spec.order_by[k];
+          if (x.is_null() || y.is_null()) {
+            if (x.is_null() == y.is_null()) continue;
+            return x.is_null() == item.nulls_first;
+          }
+          int cmp = Datum::Compare(x, y);
+          if (cmp != 0) return item.ascending ? cmp < 0 : cmp > 0;
+        }
+        return false;
+      });
+      std::vector<size_t> seq;  // row indices in window order
+      seq.reserve(part.size());
+      for (size_t o : order) seq.push_back(part[o]);
+
+      // Peer groups (rows equal on all order keys).
+      std::vector<size_t> peer_end(seq.size());
+      {
+        size_t i = 0;
+        while (i < seq.size()) {
+          size_t j = i;
+          while (j + 1 < seq.size()) {
+            bool equal = true;
+            for (size_t k = 0; k < spec.order_by.size(); ++k) {
+              const Datum& x = keys[order[i]][k];
+              const Datum& y = keys[order[j + 1]][k];
+              if (!Datum::DistinctEquals(x, y)) {
+                equal = false;
+                break;
+              }
+            }
+            if (!equal) break;
+            ++j;
+          }
+          for (size_t p = i; p <= j; ++p) peer_end[p] = j;
+          i = j + 1;
+        }
+      }
+
+      const std::string& f = node->func_name;
+      auto arg_at = [&](size_t pos, size_t arg_idx) -> Result<Datum> {
+        return EvalExpr(*node->args[arg_idx], ctx_for(seq[pos]));
+      };
+
+      for (size_t pos = 0; pos < seq.size(); ++pos) {
+        Datum value;
+        if (f == "row_number") {
+          value = Datum::BigInt(static_cast<int64_t>(pos + 1));
+        } else if (f == "rank" || f == "dense_rank") {
+          int64_t rank = 1;
+          int64_t dense = 1;
+          for (size_t p = 0; p < pos; ++p) {
+            if (peer_end[p] < pos) {
+              ++rank;
+              if (p == peer_end[p] || peer_end[p] < pos) {
+                // count distinct peer groups
+              }
+            }
+          }
+          // Simpler: rank = index of first peer + 1.
+          size_t first_peer = pos;
+          while (first_peer > 0 && peer_end[first_peer - 1] >= pos) {
+            --first_peer;
+          }
+          rank = static_cast<int64_t>(first_peer) + 1;
+          // dense rank: count of peer groups before this one.
+          dense = 1;
+          size_t p = 0;
+          while (p < first_peer) {
+            ++dense;
+            p = peer_end[p] + 1;
+          }
+          value = Datum::BigInt(f == "rank" ? rank : dense);
+        } else if (f == "lag" || f == "lead") {
+          int64_t off = 1;
+          if (node->args.size() >= 2) {
+            HQ_ASSIGN_OR_RETURN(Datum o, arg_at(pos, 1));
+            if (!o.is_null()) off = o.AsInt();
+          }
+          int64_t target = static_cast<int64_t>(pos) +
+                           (f == "lag" ? -off : off);
+          if (target < 0 || target >= static_cast<int64_t>(seq.size())) {
+            if (node->args.size() >= 3) {
+              HQ_ASSIGN_OR_RETURN(value, arg_at(pos, 2));
+            } else {
+              value = Datum::Null();
+            }
+          } else {
+            HQ_ASSIGN_OR_RETURN(value, arg_at(target, 0));
+          }
+        } else {
+          // Frame-based functions. Default frame: RANGE UNBOUNDED
+          // PRECEDING .. CURRENT ROW (ends at the last peer).
+          int64_t lo = 0;
+          int64_t hi;
+          if (node->window.frame.specified) {
+            const WindowFrame& fr = node->window.frame;
+            lo = fr.start_offset == INT64_MIN
+                     ? 0
+                     : std::max<int64_t>(0, static_cast<int64_t>(pos) +
+                                                fr.start_offset);
+            hi = fr.end_offset == INT64_MAX
+                     ? static_cast<int64_t>(seq.size()) - 1
+                     : std::min<int64_t>(
+                           static_cast<int64_t>(seq.size()) - 1,
+                           static_cast<int64_t>(pos) + fr.end_offset);
+          } else {
+            hi = spec.order_by.empty()
+                     ? static_cast<int64_t>(seq.size()) - 1
+                     : static_cast<int64_t>(peer_end[pos]);
+          }
+          if (f == "first_value" || f == "last_value") {
+            if (lo > hi) {
+              value = Datum::Null();
+            } else {
+              HQ_ASSIGN_OR_RETURN(
+                  value, arg_at(f == "first_value" ? lo : hi, 0));
+            }
+          } else if (IsAggregateFunction(f)) {
+            std::vector<size_t> frame_rows;
+            for (int64_t p = lo; p <= hi; ++p) frame_rows.push_back(seq[p]);
+            HQ_ASSIGN_OR_RETURN(value,
+                                ComputeAggregate(*node, work, frame_rows));
+          } else {
+            return Unsupported(StrCat("window function ", f,
+                                      " is not implemented"));
+          }
+        }
+        result[seq[pos]] = std::move(value);
+      }
+    }
+    out->emplace(node, std::move(result));
+  }
+  return Status::OK();
+}
+
+}  // namespace sqldb
+}  // namespace hyperq

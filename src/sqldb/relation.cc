@@ -1,0 +1,73 @@
+#include "sqldb/relation.h"
+
+#include <cmath>
+#include <cstring>
+
+#include "common/strings.h"
+
+namespace hyperq {
+namespace sqldb {
+
+Result<int> Relation::Resolve(const std::string& qualifier,
+                              const std::string& name) const {
+  int found = -1;
+  for (size_t i = 0; i < cols.size(); ++i) {
+    if (cols[i].name != name) continue;
+    if (!qualifier.empty() && cols[i].qualifier != qualifier) continue;
+    if (found >= 0) {
+      return BindError(StrCat("column reference \"", name,
+                              "\" is ambiguous; qualify it with a table "
+                              "alias"));
+    }
+    found = static_cast<int>(i);
+  }
+  if (found < 0) {
+    std::vector<std::string> names;
+    for (const auto& c : cols) {
+      names.push_back(c.qualifier.empty() ? c.name
+                                          : c.qualifier + "." + c.name);
+    }
+    return BindError(StrCat(
+        "column \"", qualifier.empty() ? name : qualifier + "." + name,
+        "\" does not exist; available columns: ", Join(names, ", ")));
+  }
+  return found;
+}
+
+void EncodeDatum(const Datum& d, std::string* out) {
+  if (d.is_null()) {
+    out->push_back('\x00');
+    return;
+  }
+  if (IsStringType(d.type())) {
+    out->push_back('s');
+    out->append(d.AsString());
+  } else if (d.type() == SqlType::kReal || d.type() == SqlType::kDouble) {
+    out->push_back('f');
+    double v = d.AsDouble();
+    if (std::isnan(v)) v = std::nan("");
+    // Integral-valued doubles encode as ints so 1 and 1.0 group together.
+    if (!std::isnan(v) && v == static_cast<double>(static_cast<int64_t>(v))) {
+      (*out)[out->size() - 1] = 'i';
+      int64_t iv = static_cast<int64_t>(v);
+      out->append(reinterpret_cast<const char*>(&iv), sizeof(iv));
+    } else {
+      out->append(reinterpret_cast<const char*>(&v), sizeof(v));
+    }
+  } else {
+    out->push_back('i');
+    int64_t v = d.AsInt();
+    out->append(reinterpret_cast<const char*>(&v), sizeof(v));
+  }
+  out->push_back('\x1f');
+}
+
+std::string EncodeKeyRow(const std::vector<Datum>& row) {
+  std::string key;
+  key.reserve(row.size() * 10);
+  for (const auto& d : row) EncodeDatum(d, &key);
+  return key;
+}
+
+}  // namespace sqldb
+}  // namespace hyperq

@@ -1,0 +1,42 @@
+#ifndef HYPERQ_SQLDB_RELATION_H_
+#define HYPERQ_SQLDB_RELATION_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "sqldb/types.h"
+
+namespace hyperq {
+namespace sqldb {
+
+/// A column of an intermediate relation, carrying the range-variable
+/// qualifier it is visible under (table alias).
+struct RelColumn {
+  std::string qualifier;
+  std::string name;
+  SqlType type = SqlType::kText;
+};
+
+/// A fully materialized intermediate result. The engine evaluates SELECTs
+/// by materializing each operator's output — simple, deterministic and fast
+/// enough for an in-memory analytical engine at benchmark scale.
+struct Relation {
+  std::vector<RelColumn> cols;
+  std::vector<std::vector<Datum>> rows;
+
+  /// Resolves [qualifier.]name to a column index; reports ambiguity and
+  /// misses with verbose messages (the serializer relies on exact names).
+  Result<int> Resolve(const std::string& qualifier,
+                      const std::string& name) const;
+};
+
+/// Stable hashable encoding of a datum for group/distinct/join keys. Two
+/// datums encode equal iff DistinctEquals holds.
+void EncodeDatum(const Datum& d, std::string* out);
+std::string EncodeKeyRow(const std::vector<Datum>& row);
+
+}  // namespace sqldb
+}  // namespace hyperq
+
+#endif  // HYPERQ_SQLDB_RELATION_H_

@@ -1,0 +1,39 @@
+#ifndef HYPERQ_SQLDB_SESSION_H_
+#define HYPERQ_SQLDB_SESSION_H_
+
+#include <map>
+#include <memory>
+#include <string>
+
+#include "sqldb/catalog.h"
+
+namespace hyperq {
+namespace sqldb {
+
+/// Per-connection state: temporary tables and views shadowing the shared
+/// catalog (PG search-path style — temp objects resolve first). Hyper-Q's
+/// eager materialization (§4.3) creates its HQ_TEMP_* tables here so they
+/// vanish with the session.
+class Session {
+ public:
+  std::map<std::string, std::shared_ptr<StoredTable>>& temp_tables() {
+    return temp_tables_;
+  }
+  const std::map<std::string, std::shared_ptr<StoredTable>>& temp_tables()
+      const {
+    return temp_tables_;
+  }
+  std::map<std::string, StoredView>& temp_views() { return temp_views_; }
+  const std::map<std::string, StoredView>& temp_views() const {
+    return temp_views_;
+  }
+
+ private:
+  std::map<std::string, std::shared_ptr<StoredTable>> temp_tables_;
+  std::map<std::string, StoredView> temp_views_;
+};
+
+}  // namespace sqldb
+}  // namespace hyperq
+
+#endif  // HYPERQ_SQLDB_SESSION_H_

@@ -1,0 +1,183 @@
+#include "sqldb/sql_lexer.h"
+
+#include <cctype>
+#include <cstdlib>
+#include <cstring>
+
+#include "common/strings.h"
+
+namespace hyperq {
+namespace sqldb {
+
+Result<std::vector<SqlToken>> TokenizeSql(const std::string& text) {
+  std::vector<SqlToken> out;
+  size_t i = 0;
+  size_t n = text.size();
+
+  auto push = [&](SqlTokKind kind, std::string t, size_t pos) {
+    SqlToken tok;
+    tok.kind = kind;
+    tok.text = std::move(t);
+    tok.pos = static_cast<int>(pos);
+    out.push_back(std::move(tok));
+  };
+
+  while (i < n) {
+    char c = text[i];
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    // Comments.
+    if (c == '-' && i + 1 < n && text[i + 1] == '-') {
+      while (i < n && text[i] != '\n') ++i;
+      continue;
+    }
+    if (c == '/' && i + 1 < n && text[i + 1] == '*') {
+      i += 2;
+      while (i + 1 < n && !(text[i] == '*' && text[i + 1] == '/')) ++i;
+      i = i + 2 <= n ? i + 2 : n;
+      continue;
+    }
+    size_t start = i;
+    // Identifiers / keywords.
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      std::string ident;
+      while (i < n && (std::isalnum(static_cast<unsigned char>(text[i])) ||
+                       text[i] == '_' || text[i] == '$')) {
+        ident.push_back(text[i++]);
+      }
+      push(SqlTokKind::kIdent, ToLower(ident), start);
+      continue;
+    }
+    // Quoted identifiers keep their exact case.
+    if (c == '"') {
+      ++i;
+      std::string ident;
+      while (i < n && text[i] != '"') ident.push_back(text[i++]);
+      if (i >= n) {
+        return ParseError(StrCat("unterminated quoted identifier at byte ",
+                                 start));
+      }
+      ++i;
+      SqlToken tok;
+      tok.kind = SqlTokKind::kIdent;
+      tok.text = std::move(ident);
+      tok.quoted = true;
+      tok.pos = static_cast<int>(start);
+      out.push_back(std::move(tok));
+      continue;
+    }
+    // String literals with '' escape.
+    if (c == '\'') {
+      ++i;
+      std::string s;
+      while (i < n) {
+        if (text[i] == '\'') {
+          if (i + 1 < n && text[i + 1] == '\'') {
+            s.push_back('\'');
+            i += 2;
+            continue;
+          }
+          break;
+        }
+        s.push_back(text[i++]);
+      }
+      if (i >= n) {
+        return ParseError(
+            StrCat("unterminated string literal at byte ", start));
+      }
+      ++i;
+      SqlToken tok;
+      tok.kind = SqlTokKind::kString;
+      tok.text = std::move(s);
+      tok.pos = static_cast<int>(start);
+      out.push_back(std::move(tok));
+      continue;
+    }
+    // Numbers.
+    if (std::isdigit(static_cast<unsigned char>(c)) ||
+        (c == '.' && i + 1 < n &&
+         std::isdigit(static_cast<unsigned char>(text[i + 1])))) {
+      std::string num;
+      bool is_float = false;
+      while (i < n) {
+        char d = text[i];
+        if (std::isdigit(static_cast<unsigned char>(d))) {
+          num.push_back(d);
+          ++i;
+        } else if (d == '.' && !is_float) {
+          // A second dot would start a new token (e.g. ranges) — not SQL.
+          is_float = true;
+          num.push_back(d);
+          ++i;
+        } else if ((d == 'e' || d == 'E') && i + 1 < n &&
+                   (std::isdigit(static_cast<unsigned char>(text[i + 1])) ||
+                    text[i + 1] == '-' || text[i + 1] == '+')) {
+          is_float = true;
+          num.push_back(d);
+          ++i;
+          if (text[i] == '-' || text[i] == '+') num.push_back(text[i++]);
+        } else {
+          break;
+        }
+      }
+      SqlToken tok;
+      tok.kind = SqlTokKind::kNumber;
+      tok.text = num;
+      tok.pos = static_cast<int>(start);
+      if (is_float) {
+        tok.dbl_val = std::strtod(num.c_str(), nullptr);
+      } else {
+        tok.is_int = true;
+        tok.int_val = std::atoll(num.c_str());
+      }
+      out.push_back(std::move(tok));
+      continue;
+    }
+    // Punctuation and operators.
+    switch (c) {
+      case '(':
+        push(SqlTokKind::kLParen, "(", start);
+        ++i;
+        continue;
+      case ')':
+        push(SqlTokKind::kRParen, ")", start);
+        ++i;
+        continue;
+      case ',':
+        push(SqlTokKind::kComma, ",", start);
+        ++i;
+        continue;
+      case ';':
+        push(SqlTokKind::kSemi, ";", start);
+        ++i;
+        continue;
+      default:
+        break;
+    }
+    auto two = [&](const char* op) {
+      return i + 1 < n && text[i] == op[0] && text[i + 1] == op[1];
+    };
+    if (two("<>") || two("<=") || two(">=") || two("!=") || two("::") ||
+        two("||")) {
+      std::string op = text.substr(i, 2);
+      if (op == "!=") op = "<>";
+      push(SqlTokKind::kOp, op, start);
+      i += 2;
+      continue;
+    }
+    if (std::strchr("=<>+-*/%.", c) != nullptr) {
+      push(SqlTokKind::kOp, std::string(1, c), start);
+      ++i;
+      continue;
+    }
+    return ParseError(StrCat("SQL lexer: unexpected character '",
+                             std::string(1, c), "' at byte ", start));
+  }
+  push(SqlTokKind::kEof, "", n);
+  return out;
+}
+
+}  // namespace sqldb
+}  // namespace hyperq

@@ -1,0 +1,43 @@
+#ifndef HYPERQ_SQLDB_SQL_LEXER_H_
+#define HYPERQ_SQLDB_SQL_LEXER_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "sqldb/types.h"
+
+namespace hyperq {
+namespace sqldb {
+
+enum class SqlTokKind {
+  kIdent,    ///< identifier or keyword (normalized to lower unless quoted)
+  kNumber,   ///< integer or decimal literal (payload in int_val/dbl_val)
+  kString,   ///< 'quoted string' with '' escaping
+  kOp,       ///< symbolic operator: = <> < > <= >= + - * / % || :: . etc.
+  kLParen,
+  kRParen,
+  kComma,
+  kSemi,
+  kEof,
+};
+
+struct SqlToken {
+  SqlTokKind kind = SqlTokKind::kEof;
+  std::string text;     ///< raw/normalized spelling
+  bool quoted = false;  ///< identifier was "double quoted"
+  bool is_int = false;
+  int64_t int_val = 0;
+  double dbl_val = 0;
+  int pos = 0;  ///< byte offset for diagnostics
+};
+
+/// Tokenizes one SQL string (PostgreSQL-ish lexical rules: case-insensitive
+/// keywords, 'string' literals with doubled quotes, "quoted idents",
+/// -- line comments and /* block comments */).
+Result<std::vector<SqlToken>> TokenizeSql(const std::string& text);
+
+}  // namespace sqldb
+}  // namespace hyperq
+
+#endif  // HYPERQ_SQLDB_SQL_LEXER_H_

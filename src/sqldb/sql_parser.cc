@@ -1,0 +1,839 @@
+#include "sqldb/sql_parser.h"
+
+#include <unordered_set>
+
+#include "common/strings.h"
+#include "qval/temporal.h"
+
+namespace hyperq {
+namespace sqldb {
+
+namespace {
+
+/// Reserved words that terminate an alias-less identifier position.
+const std::unordered_set<std::string>& ReservedKeywords() {
+  static const auto* kSet = new std::unordered_set<std::string>{
+      "select", "from",   "where",  "group",  "having", "order",  "limit",
+      "offset", "union",  "join",   "inner",  "left",   "right",  "cross",
+      "outer",  "on",     "as",     "and",    "or",     "not",    "case",
+      "when",   "then",   "else",   "end",    "in",     "is",     "null",
+      "between", "asc",   "desc",   "nulls",  "first",  "last",   "distinct",
+      "by",     "values", "insert", "create", "drop",   "view",   "table",
+      "temporary", "temp", "exists", "if",    "into",   "over",   "partition",
+      "rows",   "range",  "preceding", "following", "current", "unbounded",
+      "cast",   "all",
+  };
+  return *kSet;
+}
+
+bool IsAggregateName(const std::string& name) {
+  return name == "count" || name == "sum" || name == "avg" || name == "min" ||
+         name == "max" || name == "stddev_pop" || name == "stddev" ||
+         name == "var_pop" || name == "variance" || name == "bool_and" ||
+         name == "bool_or" || name == "median" || name == "string_agg";
+}
+
+}  // namespace
+
+Result<std::vector<SqlStatement>> SqlParser::Parse(const std::string& sql) {
+  HQ_ASSIGN_OR_RETURN(std::vector<SqlToken> tokens, TokenizeSql(sql));
+  SqlParser parser(std::move(tokens));
+  std::vector<SqlStatement> out;
+  while (parser.Peek().kind != SqlTokKind::kEof) {
+    if (parser.Peek().kind == SqlTokKind::kSemi) {
+      parser.Consume();
+      continue;
+    }
+    HQ_ASSIGN_OR_RETURN(SqlStatement stmt, parser.ParseStatement());
+    out.push_back(std::move(stmt));
+    if (parser.Peek().kind != SqlTokKind::kEof) {
+      HQ_RETURN_IF_ERROR(
+          parser.ExpectTok(SqlTokKind::kSemi, "';' between statements"));
+    }
+  }
+  return out;
+}
+
+Result<ExprPtr> SqlParser::ParseExpressionText(const std::string& text) {
+  HQ_ASSIGN_OR_RETURN(std::vector<SqlToken> tokens, TokenizeSql(text));
+  SqlParser parser(std::move(tokens));
+  HQ_ASSIGN_OR_RETURN(ExprPtr e, parser.ParseExpr());
+  if (parser.Peek().kind != SqlTokKind::kEof) {
+    return parser.ErrorHere("trailing tokens after expression");
+  }
+  return e;
+}
+
+const SqlToken& SqlParser::Peek(size_t ahead) const {
+  size_t i = pos_ + ahead;
+  if (i >= tokens_.size()) i = tokens_.size() - 1;
+  return tokens_[i];
+}
+
+const SqlToken& SqlParser::Consume() {
+  const SqlToken& t = tokens_[pos_];
+  if (pos_ + 1 < tokens_.size()) ++pos_;
+  return t;
+}
+
+bool SqlParser::CheckKw(const std::string& kw) const {
+  return Peek().kind == SqlTokKind::kIdent && !Peek().quoted &&
+         Peek().text == kw;
+}
+
+bool SqlParser::ConsumeKw(const std::string& kw) {
+  if (CheckKw(kw)) {
+    Consume();
+    return true;
+  }
+  return false;
+}
+
+bool SqlParser::CheckOp(const std::string& op) const {
+  return Peek().kind == SqlTokKind::kOp && Peek().text == op;
+}
+
+bool SqlParser::ConsumeOp(const std::string& op) {
+  if (CheckOp(op)) {
+    Consume();
+    return true;
+  }
+  return false;
+}
+
+Status SqlParser::ExpectKw(const std::string& kw) {
+  if (!ConsumeKw(kw)) {
+    return ErrorHere(StrCat("expected keyword ", ToUpper(kw)));
+  }
+  return Status::OK();
+}
+
+Status SqlParser::ExpectTok(SqlTokKind kind, const std::string& what) {
+  if (Peek().kind != kind) {
+    return ErrorHere(StrCat("expected ", what));
+  }
+  Consume();
+  return Status::OK();
+}
+
+Status SqlParser::ErrorHere(const std::string& message) const {
+  return ParseError(StrCat("SQL parser at byte ", Peek().pos, " (near '",
+                           Peek().text, "'): ", message));
+}
+
+Result<SqlStatement> SqlParser::ParseStatement() {
+  if (CheckKw("select")) {
+    SqlStatement stmt;
+    stmt.kind = SqlStatement::Kind::kSelect;
+    HQ_ASSIGN_OR_RETURN(stmt.select, ParseSelect());
+    return stmt;
+  }
+  if (CheckKw("create")) return ParseCreate();
+  if (CheckKw("drop")) return ParseDrop();
+  if (CheckKw("insert")) return ParseInsert();
+  return ErrorHere("expected SELECT, CREATE, DROP or INSERT");
+}
+
+Result<SelectPtr> SqlParser::ParseSelect() {
+  HQ_ASSIGN_OR_RETURN(SelectPtr first, ParseSelectCore());
+  while (CheckKw("union")) {
+    Consume();
+    HQ_RETURN_IF_ERROR(ExpectKw("all"));
+    HQ_ASSIGN_OR_RETURN(SelectPtr next, ParseSelectCore());
+    first->union_all.push_back(std::move(next));
+  }
+  // ORDER BY / LIMIT after a union chain apply to the whole thing; attach
+  // them to the head select.
+  if (ConsumeKw("order")) {
+    HQ_RETURN_IF_ERROR(ExpectKw("by"));
+    HQ_ASSIGN_OR_RETURN(first->order_by, ParseOrderByList());
+  }
+  if (ConsumeKw("limit")) {
+    HQ_ASSIGN_OR_RETURN(first->limit, ParseExpr());
+  }
+  if (ConsumeKw("offset")) {
+    HQ_ASSIGN_OR_RETURN(first->offset, ParseExpr());
+  }
+  return first;
+}
+
+Result<SelectPtr> SqlParser::ParseSelectCore() {
+  HQ_RETURN_IF_ERROR(ExpectKw("select"));
+  auto stmt = std::make_shared<SelectStmt>();
+  stmt->distinct = ConsumeKw("distinct");
+
+  // Select list.
+  while (true) {
+    SelectItem item;
+    HQ_ASSIGN_OR_RETURN(item.expr, ParseExpr());
+    if (ConsumeKw("as")) {
+      if (Peek().kind != SqlTokKind::kIdent) {
+        return ErrorHere("expected alias after AS");
+      }
+      item.alias = Consume().text;
+    } else if (Peek().kind == SqlTokKind::kIdent &&
+               (Peek().quoted ||
+                ReservedKeywords().count(Peek().text) == 0)) {
+      item.alias = Consume().text;
+    }
+    stmt->items.push_back(std::move(item));
+    if (Peek().kind == SqlTokKind::kComma) {
+      Consume();
+      continue;
+    }
+    break;
+  }
+
+  if (ConsumeKw("from")) {
+    HQ_ASSIGN_OR_RETURN(stmt->from, ParseTableRef());
+  }
+  if (ConsumeKw("where")) {
+    HQ_ASSIGN_OR_RETURN(stmt->where, ParseExpr());
+  }
+  if (ConsumeKw("group")) {
+    HQ_RETURN_IF_ERROR(ExpectKw("by"));
+    while (true) {
+      HQ_ASSIGN_OR_RETURN(ExprPtr e, ParseExpr());
+      stmt->group_by.push_back(std::move(e));
+      if (Peek().kind == SqlTokKind::kComma) {
+        Consume();
+        continue;
+      }
+      break;
+    }
+  }
+  if (ConsumeKw("having")) {
+    HQ_ASSIGN_OR_RETURN(stmt->having, ParseExpr());
+  }
+  // ORDER BY / LIMIT / OFFSET are parsed by ParseSelect so they attach to
+  // the whole UNION ALL chain, not to its last member.
+  return stmt;
+}
+
+Result<std::vector<OrderItem>> SqlParser::ParseOrderByList() {
+  std::vector<OrderItem> out;
+  while (true) {
+    OrderItem item;
+    HQ_ASSIGN_OR_RETURN(item.expr, ParseExpr());
+    if (ConsumeKw("asc")) {
+      item.ascending = true;
+    } else if (ConsumeKw("desc")) {
+      item.ascending = false;
+    }
+    // PG defaults: NULLS LAST for ASC, NULLS FIRST for DESC.
+    item.nulls_first = !item.ascending;
+    if (ConsumeKw("nulls")) {
+      item.nulls_explicit = true;
+      if (ConsumeKw("first")) {
+        item.nulls_first = true;
+      } else {
+        HQ_RETURN_IF_ERROR(ExpectKw("last"));
+        item.nulls_first = false;
+      }
+    }
+    out.push_back(std::move(item));
+    if (Peek().kind == SqlTokKind::kComma) {
+      Consume();
+      continue;
+    }
+    break;
+  }
+  return out;
+}
+
+Result<TableRefPtr> SqlParser::ParseTableRef() {
+  HQ_ASSIGN_OR_RETURN(TableRefPtr left, ParseTablePrimary());
+  while (true) {
+    JoinType jt;
+    if (CheckKw("join") || CheckKw("inner")) {
+      ConsumeKw("inner");
+      HQ_RETURN_IF_ERROR(ExpectKw("join"));
+      jt = JoinType::kInner;
+    } else if (CheckKw("left")) {
+      Consume();
+      ConsumeKw("outer");
+      HQ_RETURN_IF_ERROR(ExpectKw("join"));
+      jt = JoinType::kLeft;
+    } else if (CheckKw("cross")) {
+      Consume();
+      HQ_RETURN_IF_ERROR(ExpectKw("join"));
+      jt = JoinType::kCross;
+    } else if (Peek().kind == SqlTokKind::kComma) {
+      // Comma join == cross join.
+      Consume();
+      jt = JoinType::kCross;
+    } else {
+      break;
+    }
+    HQ_ASSIGN_OR_RETURN(TableRefPtr right, ParseTablePrimary());
+    auto join = std::make_shared<TableRef>();
+    join->kind = TableRef::Kind::kJoin;
+    join->join_type = jt;
+    join->left = std::move(left);
+    join->right = std::move(right);
+    if (jt != JoinType::kCross) {
+      HQ_RETURN_IF_ERROR(ExpectKw("on"));
+      HQ_ASSIGN_OR_RETURN(join->on, ParseExpr());
+    }
+    left = std::move(join);
+  }
+  return left;
+}
+
+Result<TableRefPtr> SqlParser::ParseTablePrimary() {
+  auto ref = std::make_shared<TableRef>();
+  if (Peek().kind == SqlTokKind::kLParen) {
+    Consume();
+    ref->kind = TableRef::Kind::kSubquery;
+    HQ_ASSIGN_OR_RETURN(ref->subquery, ParseSelect());
+    HQ_RETURN_IF_ERROR(ExpectTok(SqlTokKind::kRParen, "')' after subquery"));
+  } else {
+    if (Peek().kind != SqlTokKind::kIdent) {
+      return ErrorHere("expected table name or subquery");
+    }
+    ref->kind = TableRef::Kind::kNamed;
+    ref->name = Consume().text;
+    // Allow schema-qualified names: schema.table (schema ignored).
+    if (CheckOp(".")) {
+      Consume();
+      if (Peek().kind != SqlTokKind::kIdent) {
+        return ErrorHere("expected identifier after '.'");
+      }
+      ref->name = Consume().text;
+    }
+  }
+  if (ConsumeKw("as")) {
+    if (Peek().kind != SqlTokKind::kIdent) {
+      return ErrorHere("expected alias after AS");
+    }
+    ref->alias = Consume().text;
+  } else if (Peek().kind == SqlTokKind::kIdent &&
+             (Peek().quoted || ReservedKeywords().count(Peek().text) == 0)) {
+    ref->alias = Consume().text;
+  }
+  if (ref->kind == TableRef::Kind::kSubquery && ref->alias.empty()) {
+    return ErrorHere("subquery in FROM must have an alias");
+  }
+  return ref;
+}
+
+// ---------------------------------------------------------------------------
+// Expressions
+// ---------------------------------------------------------------------------
+
+Result<ExprPtr> SqlParser::ParseOr() {
+  HQ_ASSIGN_OR_RETURN(ExprPtr lhs, ParseAnd());
+  while (ConsumeKw("or")) {
+    HQ_ASSIGN_OR_RETURN(ExprPtr rhs, ParseAnd());
+    lhs = MakeBinary("OR", std::move(lhs), std::move(rhs));
+  }
+  return lhs;
+}
+
+Result<ExprPtr> SqlParser::ParseAnd() {
+  HQ_ASSIGN_OR_RETURN(ExprPtr lhs, ParseNot());
+  while (ConsumeKw("and")) {
+    HQ_ASSIGN_OR_RETURN(ExprPtr rhs, ParseNot());
+    lhs = MakeBinary("AND", std::move(lhs), std::move(rhs));
+  }
+  return lhs;
+}
+
+Result<ExprPtr> SqlParser::ParseNot() {
+  if (ConsumeKw("not")) {
+    HQ_ASSIGN_OR_RETURN(ExprPtr e, ParseNot());
+    return MakeUnary("NOT", std::move(e));
+  }
+  return ParseComparison();
+}
+
+Result<ExprPtr> SqlParser::ParseComparison() {
+  HQ_ASSIGN_OR_RETURN(ExprPtr lhs, ParseAdditive());
+  while (true) {
+    if (CheckOp("=") || CheckOp("<>") || CheckOp("<") || CheckOp(">") ||
+        CheckOp("<=") || CheckOp(">=")) {
+      std::string op = Consume().text;
+      HQ_ASSIGN_OR_RETURN(ExprPtr rhs, ParseAdditive());
+      lhs = MakeBinary(op, std::move(lhs), std::move(rhs));
+      continue;
+    }
+    if (CheckKw("is")) {
+      Consume();
+      bool negated = ConsumeKw("not");
+      if (ConsumeKw("null")) {
+        auto e = std::make_shared<Expr>();
+        e->kind = ExprKind::kIsNull;
+        e->negated = negated;
+        e->lhs = std::move(lhs);
+        lhs = std::move(e);
+        continue;
+      }
+      HQ_RETURN_IF_ERROR(ExpectKw("distinct"));
+      HQ_RETURN_IF_ERROR(ExpectKw("from"));
+      HQ_ASSIGN_OR_RETURN(ExprPtr rhs, ParseAdditive());
+      lhs = MakeBinary(negated ? "IS_NOT_DISTINCT" : "IS_DISTINCT",
+                       std::move(lhs), std::move(rhs));
+      continue;
+    }
+    bool negated = false;
+    if (CheckKw("not") &&
+        Peek(1).kind == SqlTokKind::kIdent &&
+        (Peek(1).text == "in" || Peek(1).text == "between" ||
+         Peek(1).text == "like")) {
+      Consume();
+      negated = true;
+    }
+    if (ConsumeKw("in")) {
+      HQ_RETURN_IF_ERROR(ExpectTok(SqlTokKind::kLParen, "'(' after IN"));
+      auto e = std::make_shared<Expr>();
+      e->kind = ExprKind::kInList;
+      e->negated = negated;
+      e->lhs = std::move(lhs);
+      while (true) {
+        HQ_ASSIGN_OR_RETURN(ExprPtr item, ParseExpr());
+        e->args.push_back(std::move(item));
+        if (Peek().kind == SqlTokKind::kComma) {
+          Consume();
+          continue;
+        }
+        break;
+      }
+      HQ_RETURN_IF_ERROR(ExpectTok(SqlTokKind::kRParen, "')' after IN list"));
+      lhs = std::move(e);
+      continue;
+    }
+    if (ConsumeKw("between")) {
+      auto e = std::make_shared<Expr>();
+      e->kind = ExprKind::kBetween;
+      e->negated = negated;
+      e->lhs = std::move(lhs);
+      HQ_ASSIGN_OR_RETURN(e->low, ParseAdditive());
+      HQ_RETURN_IF_ERROR(ExpectKw("and"));
+      HQ_ASSIGN_OR_RETURN(e->high, ParseAdditive());
+      lhs = std::move(e);
+      continue;
+    }
+    if (ConsumeKw("like")) {
+      HQ_ASSIGN_OR_RETURN(ExprPtr rhs, ParseAdditive());
+      ExprPtr like = MakeBinary("LIKE", std::move(lhs), std::move(rhs));
+      lhs = negated ? MakeUnary("NOT", std::move(like)) : std::move(like);
+      continue;
+    }
+    break;
+  }
+  return lhs;
+}
+
+Result<ExprPtr> SqlParser::ParseAdditive() {
+  HQ_ASSIGN_OR_RETURN(ExprPtr lhs, ParseMultiplicative());
+  while (CheckOp("+") || CheckOp("-") || CheckOp("||")) {
+    std::string op = Consume().text;
+    HQ_ASSIGN_OR_RETURN(ExprPtr rhs, ParseMultiplicative());
+    lhs = MakeBinary(op, std::move(lhs), std::move(rhs));
+  }
+  return lhs;
+}
+
+Result<ExprPtr> SqlParser::ParseMultiplicative() {
+  HQ_ASSIGN_OR_RETURN(ExprPtr lhs, ParseUnary());
+  while (CheckOp("*") || CheckOp("/") || CheckOp("%")) {
+    std::string op = Consume().text;
+    HQ_ASSIGN_OR_RETURN(ExprPtr rhs, ParseUnary());
+    lhs = MakeBinary(op, std::move(lhs), std::move(rhs));
+  }
+  return lhs;
+}
+
+Result<ExprPtr> SqlParser::ParseUnary() {
+  if (ConsumeOp("-")) {
+    HQ_ASSIGN_OR_RETURN(ExprPtr e, ParseUnary());
+    return MakeUnary("-", std::move(e));
+  }
+  if (ConsumeOp("+")) return ParseUnary();
+  return ParsePostfix();
+}
+
+Result<ExprPtr> SqlParser::ParsePostfix() {
+  HQ_ASSIGN_OR_RETURN(ExprPtr e, ParsePrimary());
+  while (ConsumeOp("::")) {
+    if (Peek().kind != SqlTokKind::kIdent) {
+      return ErrorHere("expected type name after '::'");
+    }
+    std::string type_name = Consume().text;
+    // `double precision` is two words.
+    if (type_name == "double" && CheckKw("precision")) Consume();
+    HQ_ASSIGN_OR_RETURN(SqlType t, SqlTypeFromName(type_name));
+    auto cast = std::make_shared<Expr>();
+    cast->kind = ExprKind::kCast;
+    cast->cast_type = t;
+    cast->lhs = std::move(e);
+    e = std::move(cast);
+  }
+  return e;
+}
+
+Result<ExprPtr> SqlParser::ParsePrimary() {
+  const SqlToken& t = Peek();
+  switch (t.kind) {
+    case SqlTokKind::kNumber: {
+      const SqlToken& num = Consume();
+      if (num.is_int) return MakeConst(Datum::BigInt(num.int_val));
+      return MakeConst(Datum::Double(num.dbl_val));
+    }
+    case SqlTokKind::kString:
+      return MakeConst(Datum::Text(Consume().text));
+    case SqlTokKind::kLParen: {
+      Consume();
+      HQ_ASSIGN_OR_RETURN(ExprPtr e, ParseExpr());
+      HQ_RETURN_IF_ERROR(ExpectTok(SqlTokKind::kRParen, "')'"));
+      return e;
+    }
+    case SqlTokKind::kOp:
+      if (t.text == "*") {
+        Consume();
+        return MakeStar("");
+      }
+      return ErrorHere("unexpected operator at start of expression");
+    case SqlTokKind::kIdent:
+      break;
+    default:
+      return ErrorHere("unexpected token at start of expression");
+  }
+
+  // Keyword-led constructs.
+  if (!t.quoted) {
+    if (CheckKw("null")) {
+      Consume();
+      return MakeConst(Datum::Null());
+    }
+    if (CheckKw("true")) {
+      Consume();
+      return MakeConst(Datum::Bool(true));
+    }
+    if (CheckKw("false")) {
+      Consume();
+      return MakeConst(Datum::Bool(false));
+    }
+    if (CheckKw("case")) return ParseCase();
+    if (CheckKw("cast")) {
+      Consume();
+      HQ_RETURN_IF_ERROR(ExpectTok(SqlTokKind::kLParen, "'(' after CAST"));
+      HQ_ASSIGN_OR_RETURN(ExprPtr inner, ParseExpr());
+      HQ_RETURN_IF_ERROR(ExpectKw("as"));
+      if (Peek().kind != SqlTokKind::kIdent) {
+        return ErrorHere("expected type name in CAST");
+      }
+      std::string type_name = Consume().text;
+      if (type_name == "double" && CheckKw("precision")) Consume();
+      HQ_ASSIGN_OR_RETURN(SqlType ct, SqlTypeFromName(type_name));
+      HQ_RETURN_IF_ERROR(ExpectTok(SqlTokKind::kRParen, "')' after CAST"));
+      auto cast = std::make_shared<Expr>();
+      cast->kind = ExprKind::kCast;
+      cast->cast_type = ct;
+      cast->lhs = std::move(inner);
+      return ExprPtr(cast);
+    }
+    // Typed literals: DATE '2016-06-26', TIME '09:30', TIMESTAMP '...'.
+    if ((CheckKw("date") || CheckKw("time") || CheckKw("timestamp")) &&
+        Peek(1).kind == SqlTokKind::kString) {
+      std::string which = Consume().text;
+      std::string lit = Consume().text;
+      if (which == "date") {
+        HQ_ASSIGN_OR_RETURN(int64_t days, ParseIsoDate(lit));
+        return MakeConst(Datum::Date(days));
+      }
+      if (which == "time") {
+        HQ_ASSIGN_OR_RETURN(int64_t ms, ParseIsoTime(lit));
+        return MakeConst(Datum::Time(ms));
+      }
+      HQ_ASSIGN_OR_RETURN(int64_t ns, ParseIsoTimestamp(lit));
+      return MakeConst(Datum::Timestamp(ns));
+    }
+  }
+
+  // Identifier: column ref, qualified ref, star expansion or function call.
+  std::string first = Consume().text;
+  if (Peek().kind == SqlTokKind::kLParen && !t.quoted) {
+    return ParseFuncCall(first);
+  }
+  if (CheckOp(".")) {
+    Consume();
+    if (CheckOp("*")) {
+      Consume();
+      return MakeStar(first);
+    }
+    if (Peek().kind != SqlTokKind::kIdent) {
+      return ErrorHere("expected column name after '.'");
+    }
+    std::string col = Consume().text;
+    return MakeColRef(first, col);
+  }
+  return MakeColRef("", first);
+}
+
+Result<ExprPtr> SqlParser::ParseFuncCall(const std::string& name) {
+  HQ_RETURN_IF_ERROR(ExpectTok(SqlTokKind::kLParen, "'('"));
+  auto e = std::make_shared<Expr>();
+  e->kind = ExprKind::kFuncCall;
+  e->func_name = name;
+  if (ConsumeKw("distinct")) e->distinct = true;
+  if (Peek().kind != SqlTokKind::kRParen) {
+    while (true) {
+      if (CheckOp("*")) {
+        Consume();
+        e->args.push_back(MakeStar(""));
+      } else {
+        HQ_ASSIGN_OR_RETURN(ExprPtr arg, ParseExpr());
+        e->args.push_back(std::move(arg));
+      }
+      if (Peek().kind == SqlTokKind::kComma) {
+        Consume();
+        continue;
+      }
+      break;
+    }
+  }
+  HQ_RETURN_IF_ERROR(ExpectTok(SqlTokKind::kRParen, "')' after arguments"));
+
+  if (CheckKw("over")) {
+    Consume();
+    e->kind = ExprKind::kWindow;
+    HQ_ASSIGN_OR_RETURN(e->window, ParseWindowSpec());
+  } else if (IsAggregateName(name)) {
+    // Plain aggregate; kFuncCall with aggregate name (resolved by executor).
+  }
+  return ExprPtr(e);
+}
+
+Result<WindowSpec> SqlParser::ParseWindowSpec() {
+  HQ_RETURN_IF_ERROR(ExpectTok(SqlTokKind::kLParen, "'(' after OVER"));
+  WindowSpec spec;
+  if (ConsumeKw("partition")) {
+    HQ_RETURN_IF_ERROR(ExpectKw("by"));
+    while (true) {
+      HQ_ASSIGN_OR_RETURN(ExprPtr e, ParseExpr());
+      spec.partition_by.push_back(std::move(e));
+      if (Peek().kind == SqlTokKind::kComma) {
+        Consume();
+        continue;
+      }
+      break;
+    }
+  }
+  if (ConsumeKw("order")) {
+    HQ_RETURN_IF_ERROR(ExpectKw("by"));
+    HQ_ASSIGN_OR_RETURN(spec.order_by, ParseOrderByList());
+  }
+  if (CheckKw("rows") || CheckKw("range")) {
+    spec.frame.specified = true;
+    spec.frame.is_rows = ConsumeKw("rows");
+    if (!spec.frame.is_rows) Consume();  // RANGE
+    HQ_RETURN_IF_ERROR(ExpectKw("between"));
+    auto bound = [&](int64_t* offset) -> Status {
+      if (ConsumeKw("unbounded")) {
+        if (ConsumeKw("preceding")) {
+          *offset = INT64_MIN;
+        } else {
+          HQ_RETURN_IF_ERROR(ExpectKw("following"));
+          *offset = INT64_MAX;
+        }
+        return Status::OK();
+      }
+      if (ConsumeKw("current")) {
+        HQ_RETURN_IF_ERROR(ExpectKw("row"));
+        *offset = 0;
+        return Status::OK();
+      }
+      if (Peek().kind != SqlTokKind::kNumber) {
+        return ErrorHere("expected frame offset");
+      }
+      int64_t n = Consume().int_val;
+      if (ConsumeKw("preceding")) {
+        *offset = -n;
+      } else {
+        HQ_RETURN_IF_ERROR(ExpectKw("following"));
+        *offset = n;
+      }
+      return Status::OK();
+    };
+    HQ_RETURN_IF_ERROR(bound(&spec.frame.start_offset));
+    HQ_RETURN_IF_ERROR(ExpectKw("and"));
+    HQ_RETURN_IF_ERROR(bound(&spec.frame.end_offset));
+  }
+  HQ_RETURN_IF_ERROR(ExpectTok(SqlTokKind::kRParen, "')' after window spec"));
+  return spec;
+}
+
+Result<ExprPtr> SqlParser::ParseCase() {
+  HQ_RETURN_IF_ERROR(ExpectKw("case"));
+  auto e = std::make_shared<Expr>();
+  e->kind = ExprKind::kCase;
+  // Only searched CASE (CASE WHEN ...) is supported; the serializer never
+  // emits the simple form.
+  while (ConsumeKw("when")) {
+    HQ_ASSIGN_OR_RETURN(ExprPtr cond, ParseExpr());
+    HQ_RETURN_IF_ERROR(ExpectKw("then"));
+    HQ_ASSIGN_OR_RETURN(ExprPtr val, ParseExpr());
+    e->args.push_back(std::move(cond));
+    e->args.push_back(std::move(val));
+  }
+  if (e->args.empty()) {
+    return ErrorHere("CASE requires at least one WHEN branch");
+  }
+  if (ConsumeKw("else")) {
+    HQ_ASSIGN_OR_RETURN(ExprPtr els, ParseExpr());
+    e->args.push_back(std::move(els));
+    e->has_else = true;
+  }
+  HQ_RETURN_IF_ERROR(ExpectKw("end"));
+  return ExprPtr(e);
+}
+
+// ---------------------------------------------------------------------------
+// DDL / DML
+// ---------------------------------------------------------------------------
+
+Result<SqlStatement> SqlParser::ParseCreate() {
+  HQ_RETURN_IF_ERROR(ExpectKw("create"));
+  SqlStatement stmt;
+  stmt.or_replace = false;
+  if (ConsumeKw("or")) {
+    HQ_RETURN_IF_ERROR(ExpectKw("replace"));
+    stmt.or_replace = true;
+  }
+  stmt.temporary = ConsumeKw("temporary") || ConsumeKw("temp");
+  if (ConsumeKw("view")) {
+    if (Peek().kind != SqlTokKind::kIdent) {
+      return ErrorHere("expected view name");
+    }
+    stmt.kind = SqlStatement::Kind::kCreateView;
+    stmt.target = Consume().text;
+    HQ_RETURN_IF_ERROR(ExpectKw("as"));
+    HQ_ASSIGN_OR_RETURN(stmt.select, ParseSelect());
+    return stmt;
+  }
+  HQ_RETURN_IF_ERROR(ExpectKw("table"));
+  if (Peek().kind != SqlTokKind::kIdent) {
+    return ErrorHere("expected table name");
+  }
+  stmt.target = Consume().text;
+  if (ConsumeKw("as")) {
+    stmt.kind = SqlStatement::Kind::kCreateTableAs;
+    HQ_ASSIGN_OR_RETURN(stmt.select, ParseSelect());
+    return stmt;
+  }
+  HQ_RETURN_IF_ERROR(ExpectTok(SqlTokKind::kLParen, "'(' in CREATE TABLE"));
+  stmt.kind = SqlStatement::Kind::kCreateTable;
+  while (true) {
+    if (Peek().kind != SqlTokKind::kIdent) {
+      return ErrorHere("expected column name");
+    }
+    ColumnDef col;
+    col.name = Consume().text;
+    if (Peek().kind != SqlTokKind::kIdent) {
+      return ErrorHere("expected column type");
+    }
+    std::string type_name = Consume().text;
+    if (type_name == "double" && CheckKw("precision")) Consume();
+    if (type_name == "character" && CheckKw("varying")) {
+      Consume();
+      type_name = "varchar";
+    }
+    // Skip length arguments.
+    if (Peek().kind == SqlTokKind::kLParen) {
+      Consume();
+      while (Peek().kind != SqlTokKind::kRParen &&
+             Peek().kind != SqlTokKind::kEof) {
+        Consume();
+      }
+      HQ_RETURN_IF_ERROR(ExpectTok(SqlTokKind::kRParen, "')'"));
+    }
+    HQ_ASSIGN_OR_RETURN(col.type, SqlTypeFromName(type_name));
+    stmt.columns.push_back(std::move(col));
+    if (Peek().kind == SqlTokKind::kComma) {
+      Consume();
+      continue;
+    }
+    break;
+  }
+  HQ_RETURN_IF_ERROR(ExpectTok(SqlTokKind::kRParen, "')' in CREATE TABLE"));
+  return stmt;
+}
+
+Result<SqlStatement> SqlParser::ParseDrop() {
+  HQ_RETURN_IF_ERROR(ExpectKw("drop"));
+  SqlStatement stmt;
+  if (ConsumeKw("view")) {
+    stmt.kind = SqlStatement::Kind::kDropView;
+  } else {
+    HQ_RETURN_IF_ERROR(ExpectKw("table"));
+    stmt.kind = SqlStatement::Kind::kDropTable;
+  }
+  if (ConsumeKw("if")) {
+    HQ_RETURN_IF_ERROR(ExpectKw("exists"));
+    stmt.if_exists = true;
+  }
+  if (Peek().kind != SqlTokKind::kIdent) {
+    return ErrorHere("expected object name");
+  }
+  stmt.target = Consume().text;
+  return stmt;
+}
+
+Result<SqlStatement> SqlParser::ParseInsert() {
+  HQ_RETURN_IF_ERROR(ExpectKw("insert"));
+  HQ_RETURN_IF_ERROR(ExpectKw("into"));
+  SqlStatement stmt;
+  if (Peek().kind != SqlTokKind::kIdent) {
+    return ErrorHere("expected table name");
+  }
+  stmt.target = Consume().text;
+  if (Peek().kind == SqlTokKind::kLParen &&
+      Peek(1).kind == SqlTokKind::kIdent &&
+      (Peek(2).kind == SqlTokKind::kComma ||
+       Peek(2).kind == SqlTokKind::kRParen)) {
+    Consume();
+    while (true) {
+      if (Peek().kind != SqlTokKind::kIdent) {
+        return ErrorHere("expected column name");
+      }
+      stmt.insert_columns.push_back(Consume().text);
+      if (Peek().kind == SqlTokKind::kComma) {
+        Consume();
+        continue;
+      }
+      break;
+    }
+    HQ_RETURN_IF_ERROR(ExpectTok(SqlTokKind::kRParen, "')'"));
+  }
+  if (ConsumeKw("values")) {
+    stmt.kind = SqlStatement::Kind::kInsertValues;
+    while (true) {
+      HQ_RETURN_IF_ERROR(ExpectTok(SqlTokKind::kLParen, "'('"));
+      std::vector<ExprPtr> row;
+      while (true) {
+        HQ_ASSIGN_OR_RETURN(ExprPtr e, ParseExpr());
+        row.push_back(std::move(e));
+        if (Peek().kind == SqlTokKind::kComma) {
+          Consume();
+          continue;
+        }
+        break;
+      }
+      HQ_RETURN_IF_ERROR(ExpectTok(SqlTokKind::kRParen, "')'"));
+      stmt.insert_rows.push_back(std::move(row));
+      if (Peek().kind == SqlTokKind::kComma) {
+        Consume();
+        continue;
+      }
+      break;
+    }
+    return stmt;
+  }
+  stmt.kind = SqlStatement::Kind::kInsertSelect;
+  HQ_ASSIGN_OR_RETURN(stmt.select, ParseSelect());
+  return stmt;
+}
+
+}  // namespace sqldb
+}  // namespace hyperq

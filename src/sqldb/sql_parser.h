@@ -1,0 +1,72 @@
+#ifndef HYPERQ_SQLDB_SQL_PARSER_H_
+#define HYPERQ_SQLDB_SQL_PARSER_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "sqldb/ast.h"
+#include "sqldb/sql_lexer.h"
+
+namespace hyperq {
+namespace sqldb {
+
+/// Recursive-descent parser for the PostgreSQL dialect subset emitted by
+/// Hyper-Q's serializer (and a bit more): SELECT with joins / GROUP BY /
+/// HAVING / ORDER BY / LIMIT / window functions / UNION ALL, DDL
+/// (CREATE [TEMP] TABLE [AS] / CREATE VIEW / DROP), and INSERT.
+class SqlParser {
+ public:
+  /// Parses a string holding one or more ';'-separated statements.
+  static Result<std::vector<SqlStatement>> Parse(const std::string& sql);
+
+  /// Parses exactly one expression (used by tests).
+  static Result<ExprPtr> ParseExpressionText(const std::string& text);
+
+ private:
+  explicit SqlParser(std::vector<SqlToken> tokens)
+      : tokens_(std::move(tokens)) {}
+
+  Result<SqlStatement> ParseStatement();
+  Result<SelectPtr> ParseSelect();
+  Result<SelectPtr> ParseSelectCore();
+  Result<TableRefPtr> ParseTableRef();
+  Result<TableRefPtr> ParseTablePrimary();
+  Result<std::vector<OrderItem>> ParseOrderByList();
+  Result<WindowSpec> ParseWindowSpec();
+  Result<SqlStatement> ParseCreate();
+  Result<SqlStatement> ParseDrop();
+  Result<SqlStatement> ParseInsert();
+
+  // Expression precedence chain.
+  Result<ExprPtr> ParseExpr() { return ParseOr(); }
+  Result<ExprPtr> ParseOr();
+  Result<ExprPtr> ParseAnd();
+  Result<ExprPtr> ParseNot();
+  Result<ExprPtr> ParseComparison();
+  Result<ExprPtr> ParseAdditive();
+  Result<ExprPtr> ParseMultiplicative();
+  Result<ExprPtr> ParseUnary();
+  Result<ExprPtr> ParsePostfix();
+  Result<ExprPtr> ParsePrimary();
+  Result<ExprPtr> ParseFuncCall(const std::string& name);
+  Result<ExprPtr> ParseCase();
+
+  const SqlToken& Peek(size_t ahead = 0) const;
+  const SqlToken& Consume();
+  bool CheckKw(const std::string& kw) const;
+  bool ConsumeKw(const std::string& kw);
+  bool CheckOp(const std::string& op) const;
+  bool ConsumeOp(const std::string& op);
+  Status ExpectKw(const std::string& kw);
+  Status ExpectTok(SqlTokKind kind, const std::string& what);
+  Status ErrorHere(const std::string& message) const;
+
+  std::vector<SqlToken> tokens_;
+  size_t pos_ = 0;
+};
+
+}  // namespace sqldb
+}  // namespace hyperq
+
+#endif  // HYPERQ_SQLDB_SQL_PARSER_H_

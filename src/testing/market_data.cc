@@ -1,0 +1,98 @@
+#include "testing/market_data.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace hyperq {
+namespace testing {
+
+MarketData GenerateMarketData(const MarketDataOptions& options) {
+  Rng rng(options.seed);
+
+  struct Tick {
+    int64_t time_ms;
+    size_t symbol;
+    double price;
+    int64_t size;
+    bool is_trade;
+    double bid;
+    double ask;
+  };
+  std::vector<Tick> ticks;
+  int64_t span = options.close_millis - options.open_millis;
+
+  for (size_t s = 0; s < options.symbols.size(); ++s) {
+    // Per-symbol random walk; base price varies by symbol.
+    double px = options.base_price * (1.0 + 0.25 * static_cast<double>(s));
+    size_t total = options.trades_per_symbol + options.quotes_per_symbol;
+    std::vector<int64_t> times(total);
+    for (auto& t : times) {
+      t = options.open_millis + static_cast<int64_t>(rng.Below(span));
+    }
+    std::sort(times.begin(), times.end());
+    for (size_t i = 0; i < total; ++i) {
+      px *= 1.0 + options.volatility * (rng.NextDouble() - 0.5);
+      Tick tick;
+      tick.time_ms = times[i];
+      tick.symbol = s;
+      tick.price = px;
+      // Interleave trades and quotes roughly per the requested ratio.
+      tick.is_trade =
+          rng.Below(total) < options.trades_per_symbol;
+      tick.size = 100 * (1 + static_cast<int64_t>(rng.Below(50)));
+      double spread = px * 0.0005 * (1 + rng.NextDouble());
+      tick.bid = px - spread;
+      tick.ask = px + spread;
+      ticks.push_back(tick);
+    }
+  }
+  std::stable_sort(ticks.begin(), ticks.end(),
+                   [](const Tick& a, const Tick& b) {
+                     return a.time_ms < b.time_ms;
+                   });
+
+  std::vector<int64_t> t_date, t_time, t_size;
+  std::vector<std::string> t_sym;
+  std::vector<double> t_px;
+  std::vector<int64_t> q_date, q_time;
+  std::vector<std::string> q_sym;
+  std::vector<double> q_bid, q_ask;
+
+  size_t trade_budget =
+      options.trades_per_symbol * options.symbols.size();
+  for (const Tick& tick : ticks) {
+    if (tick.is_trade && t_px.size() < trade_budget) {
+      t_date.push_back(options.date_qdays);
+      t_sym.push_back(options.symbols[tick.symbol]);
+      t_time.push_back(tick.time_ms);
+      t_px.push_back(tick.price);
+      t_size.push_back(tick.size);
+    } else {
+      q_date.push_back(options.date_qdays);
+      q_sym.push_back(options.symbols[tick.symbol]);
+      q_time.push_back(tick.time_ms);
+      q_bid.push_back(tick.bid);
+      q_ask.push_back(tick.ask);
+    }
+  }
+
+  MarketData out;
+  out.trades = QValue::MakeTableUnchecked(
+      {"Date", "Symbol", "Time", "Price", "Size"},
+      {QValue::IntList(QType::kDate, std::move(t_date)),
+       QValue::Syms(std::move(t_sym)),
+       QValue::IntList(QType::kTime, std::move(t_time)),
+       QValue::FloatList(QType::kFloat, std::move(t_px)),
+       QValue::IntList(QType::kLong, std::move(t_size))});
+  out.quotes = QValue::MakeTableUnchecked(
+      {"Date", "Symbol", "Time", "Bid", "Ask"},
+      {QValue::IntList(QType::kDate, std::move(q_date)),
+       QValue::Syms(std::move(q_sym)),
+       QValue::IntList(QType::kTime, std::move(q_time)),
+       QValue::FloatList(QType::kFloat, std::move(q_bid)),
+       QValue::FloatList(QType::kFloat, std::move(q_ask))});
+  return out;
+}
+
+}  // namespace testing
+}  // namespace hyperq

@@ -1,0 +1,66 @@
+#ifndef HYPERQ_TESTING_MARKET_DATA_H_
+#define HYPERQ_TESTING_MARKET_DATA_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "qval/qvalue.h"
+
+namespace hyperq {
+namespace testing {
+
+/// Synthetic market-data generator standing in for the NYSE TAQ dataset
+/// the paper references (§2.1); TAQ itself is licensed. Produces
+/// trades/quotes tables with the TAQ shape — Date, Time, Symbol,
+/// Price/Bid/Ask, Size — time-ordered per symbol with geometric-ish price
+/// walks. Deterministic for a given seed.
+struct MarketDataOptions {
+  uint64_t seed = 42;
+  int64_t date_qdays = 6021;  ///< 2016.06.26
+  std::vector<std::string> symbols = {"AAPL", "GOOG", "IBM", "MSFT",
+                                      "ORCL"};
+  size_t trades_per_symbol = 100;
+  size_t quotes_per_symbol = 400;
+  int64_t open_millis = 9 * 3600000 + 30 * 60000;   ///< 09:30
+  int64_t close_millis = 16 * 3600000;              ///< 16:00
+  double base_price = 100.0;
+  double volatility = 0.002;
+};
+
+struct MarketData {
+  QValue trades;  ///< Date, Symbol, Time, Price, Size
+  QValue quotes;  ///< Date, Symbol, Time, Bid, Ask
+};
+
+/// Generates trades and quotes sorted by time (the load order a feed
+/// handler would produce).
+MarketData GenerateMarketData(const MarketDataOptions& options);
+
+/// Deterministic xorshift generator used by all synthetic data (no
+/// std::rand, reproducible across platforms).
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) : state_(seed ? seed : 0x9E3779B97F4A7C15ull) {}
+
+  uint64_t Next() {
+    state_ ^= state_ << 13;
+    state_ ^= state_ >> 7;
+    state_ ^= state_ << 17;
+    return state_;
+  }
+  /// Uniform in [0, n).
+  uint64_t Below(uint64_t n) { return n == 0 ? 0 : Next() % n; }
+  /// Uniform double in [0, 1).
+  double NextDouble() {
+    return static_cast<double>(Next() >> 11) / 9007199254740992.0;
+  }
+
+ private:
+  uint64_t state_;
+};
+
+}  // namespace testing
+}  // namespace hyperq
+
+#endif  // HYPERQ_TESTING_MARKET_DATA_H_

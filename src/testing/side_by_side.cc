@@ -1,0 +1,161 @@
+#include "testing/side_by_side.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/strings.h"
+#include "core/loader.h"
+
+namespace hyperq {
+namespace testing {
+
+namespace {
+
+/// Widens narrow integral representations to long so that SQL round-trips
+/// (which may widen types) still compare equal; recurses through compound
+/// values.
+QValue Canonicalize(const QValue& v) {
+  if (v.IsTable()) {
+    const QTable& t = v.Table();
+    std::vector<QValue> cols;
+    cols.reserve(t.columns.size());
+    for (const auto& c : t.columns) cols.push_back(Canonicalize(c));
+    return QValue::MakeTableUnchecked(t.names, std::move(cols));
+  }
+  if (v.IsDict()) {
+    return QValue::MakeDictUnchecked(Canonicalize(*v.Dict().keys),
+                                     Canonicalize(*v.Dict().values));
+  }
+  if (v.is_atom()) {
+    if (v.type() == QType::kShort || v.type() == QType::kInt) {
+      return QValue::Long(v.IsNullAtom() ? kNullLong : v.AsInt());
+    }
+    if (v.type() == QType::kReal) return QValue::Float(v.AsFloat());
+    return v;
+  }
+  if (v.type() == QType::kShort || v.type() == QType::kInt) {
+    return QValue::IntList(QType::kLong, v.Ints());
+  }
+  if (v.type() == QType::kReal) {
+    return QValue::FloatList(QType::kFloat, v.Floats());
+  }
+  if (v.type() == QType::kMixed) {
+    std::vector<QValue> items;
+    items.reserve(v.Count());
+    for (const auto& e : v.Items()) items.push_back(Canonicalize(e));
+    return QValue::Mixed(std::move(items));
+  }
+  return v;
+}
+
+/// Floats compare with a relative tolerance: the two engines may sum in a
+/// different order.
+bool NearlyMatch(const QValue& a, const QValue& b) {
+  if (a.is_atom() && b.is_atom() && IsFloatBacked(a.type()) &&
+      IsFloatBacked(b.type())) {
+    double x = a.AsFloat();
+    double y = b.AsFloat();
+    if (std::isnan(x) && std::isnan(y)) return true;
+    double scale = std::max(std::fabs(x), std::fabs(y));
+    return std::fabs(x - y) <= 1e-9 * std::max(1.0, scale);
+  }
+  if (a.is_atom() || b.is_atom()) return QValue::Match(a, b);
+  // Empty lists agree regardless of element type: a zero-row result has no
+  // evidence of its element type on either engine.
+  if (!a.IsTable() && !b.IsTable() && !a.IsDict() && !b.IsDict() &&
+      a.Count() == 0 && b.Count() == 0) {
+    return true;
+  }
+  if (a.IsTable() && b.IsTable()) {
+    const QTable& ta = a.Table();
+    const QTable& tb = b.Table();
+    if (ta.names != tb.names) return false;
+    for (size_t i = 0; i < ta.columns.size(); ++i) {
+      if (!NearlyMatch(ta.columns[i], tb.columns[i])) return false;
+    }
+    return true;
+  }
+  if (a.IsDict() && b.IsDict()) {
+    return NearlyMatch(*a.Dict().keys, *b.Dict().keys) &&
+           NearlyMatch(*a.Dict().values, *b.Dict().values);
+  }
+  if (a.type() != b.type() || a.Count() != b.Count()) {
+    return QValue::Match(a, b);
+  }
+  if (IsFloatBacked(a.type())) {
+    for (size_t i = 0; i < a.Count(); ++i) {
+      if (!NearlyMatch(a.ElementAt(i), b.ElementAt(i))) return false;
+    }
+    return true;
+  }
+  if (a.type() == QType::kMixed) {
+    for (size_t i = 0; i < a.Count(); ++i) {
+      if (!NearlyMatch(a.Items()[i], b.Items()[i])) return false;
+    }
+    return true;
+  }
+  return QValue::Match(a, b);
+}
+
+}  // namespace
+
+QValue CanonicalizeForComparison(const QValue& v) { return Canonicalize(v); }
+
+SideBySideHarness::SideBySideHarness() {
+  session_ = std::make_unique<HyperQSession>(&db_);
+}
+
+Status SideBySideHarness::DefineTable(const std::string& name,
+                                      const std::string& q_definition) {
+  HQ_ASSIGN_OR_RETURN(QValue table, kdb_.EvalText(q_definition));
+  return LoadTable(name, table);
+}
+
+Status SideBySideHarness::LoadTable(const std::string& name,
+                                    const QValue& table) {
+  kdb_.SetGlobal(name, table);
+  return LoadQTable(&db_, name, table);
+}
+
+SideBySideHarness::Comparison SideBySideHarness::Run(
+    const std::string& q_text) {
+  Comparison out;
+  out.query = q_text;
+
+  Result<QValue> expected = kdb_.EvalText(q_text);
+  Result<QValue> actual = session_->Query(q_text);
+  out.sql = session_->last_sql();
+
+  if (!expected.ok() && !actual.ok()) {
+    out.both_failed = true;
+    out.match = true;  // agreement on failure
+    out.kdb_error = expected.status().ToString();
+    out.hyperq_error = actual.status().ToString();
+    return out;
+  }
+  if (!expected.ok() || !actual.ok()) {
+    out.match = false;
+    if (!expected.ok()) out.kdb_error = expected.status().ToString();
+    if (!actual.ok()) out.hyperq_error = actual.status().ToString();
+    if (expected.ok()) out.kdb_result = *expected;
+    if (actual.ok()) out.hyperq_result = *actual;
+    return out;
+  }
+  out.kdb_result = Canonicalize(*expected);
+  out.hyperq_result = Canonicalize(*actual);
+  out.match = NearlyMatch(out.kdb_result, out.hyperq_result);
+  return out;
+}
+
+std::vector<SideBySideHarness::Comparison> SideBySideHarness::RunAll(
+    const std::vector<std::string>& queries) {
+  std::vector<Comparison> failures;
+  for (const auto& q : queries) {
+    Comparison c = Run(q);
+    if (!c.match) failures.push_back(std::move(c));
+  }
+  return failures;
+}
+
+}  // namespace testing
+}  // namespace hyperq

@@ -1,0 +1,68 @@
+#ifndef HYPERQ_TESTING_SIDE_BY_SIDE_H_
+#define HYPERQ_TESTING_SIDE_BY_SIDE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/hyperq.h"
+#include "kdb/engine.h"
+
+namespace hyperq {
+namespace testing {
+
+/// The side-by-side testing framework of §5: "we built a side-by-side
+/// testing framework, which can be used for internal testing of features,
+/// and also used by the customers in their staging environments to ensure
+/// correctness of operation." Every registered table is loaded both into
+/// the mini-kdb+ reference engine and (through the ordcol loader) into the
+/// PG backend; each query then runs on both sides and the results are
+/// compared under Q's match semantics.
+class SideBySideHarness {
+ public:
+  SideBySideHarness();
+
+  /// Defines a table on both sides. `q_definition` is a q expression
+  /// producing the table, e.g. "([] a: 1 2 3; b: `x`y`z)".
+  Status DefineTable(const std::string& name,
+                     const std::string& q_definition);
+
+  /// Loads an already-built Q value on both sides.
+  Status LoadTable(const std::string& name, const QValue& table);
+
+  struct Comparison {
+    std::string query;
+    bool match = false;
+    /// Both sides agreed the query fails (still a pass for coverage runs).
+    bool both_failed = false;
+    QValue kdb_result;
+    QValue hyperq_result;
+    std::string kdb_error;
+    std::string hyperq_error;
+    std::string sql;  ///< SQL Hyper-Q generated (empty on failure)
+  };
+
+  /// Runs one query on both engines and compares.
+  Comparison Run(const std::string& q_text);
+
+  /// Runs a batch; returns the failures only.
+  std::vector<Comparison> RunAll(const std::vector<std::string>& queries);
+
+  kdb::Interpreter& kdb() { return kdb_; }
+  HyperQSession& hyperq() { return *session_; }
+  sqldb::Database& backend() { return db_; }
+
+ private:
+  kdb::Interpreter kdb_;
+  sqldb::Database db_;
+  std::unique_ptr<HyperQSession> session_;
+};
+
+/// Normalizes engine-specific representation differences that are not
+/// semantic (e.g. int vs long widths after SQL round-trips) before match.
+QValue CanonicalizeForComparison(const QValue& v);
+
+}  // namespace testing
+}  // namespace hyperq
+
+#endif  // HYPERQ_TESTING_SIDE_BY_SIDE_H_

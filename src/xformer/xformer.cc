@@ -1,0 +1,253 @@
+#include "xformer/xformer.h"
+
+#include <algorithm>
+#include <set>
+
+#include "common/strings.h"
+
+namespace hyperq {
+
+using xtra::ColId;
+using xtra::kNoCol;
+using xtra::NamedScalar;
+using xtra::ScalarExpr;
+using xtra::ScalarKind;
+using xtra::ScalarPtr;
+using xtra::XtraColumn;
+using xtra::XtraKind;
+using xtra::XtraOp;
+using xtra::XtraPtr;
+
+namespace {
+
+/// Rewrites eq -> eq_ind / ne -> ne_ind when either operand can be NULL;
+/// this imposes Q's 2-valued logic on the SQL backend (§3.3 Correctness).
+ScalarPtr RewriteNullSemantics(const ScalarPtr& e, bool* changed) {
+  if (!e) return e;
+  auto copy = std::make_shared<ScalarExpr>(*e);
+  bool child_changed = false;
+  for (auto& a : copy->args) {
+    ScalarPtr na = RewriteNullSemantics(a, &child_changed);
+    a = na;
+  }
+  for (auto& p : copy->partition_by) {
+    p = RewriteNullSemantics(p, &child_changed);
+  }
+  for (auto& [o, asc] : copy->order_by) {
+    o = RewriteNullSemantics(o, &child_changed);
+  }
+  bool self = false;
+  if (copy->kind == ScalarKind::kFunc &&
+      (copy->func == "eq" || copy->func == "ne")) {
+    bool nullable = false;
+    for (const auto& a : copy->args) nullable |= a->nullable;
+    if (nullable) {
+      copy->func = copy->func == "eq" ? "eq_ind" : "ne_ind";
+      self = true;
+    }
+  }
+  if (!child_changed && !self) return e;
+  *changed = true;
+  return copy;
+}
+
+void CollectRefsOf(const XtraOp& op, std::vector<ColId>* out) {
+  CollectColumnRefs(op.predicate, out);
+  for (const auto& p : op.projections) CollectColumnRefs(p.expr, out);
+  for (const auto& k : op.group_keys) CollectColumnRefs(k.expr, out);
+  for (const auto& s : op.sort_keys) CollectColumnRefs(s.expr, out);
+}
+
+}  // namespace
+
+Status Xformer::Transform(const XtraPtr& root, bool result_order_required) {
+  applied_rules_.clear();
+  if (options_.null_semantics) {
+    HQ_RETURN_IF_ERROR(ApplyNullSemantics(root));
+  }
+  if (options_.order_elision) {
+    PropagateOrderRequirement(root, result_order_required, /*elide=*/true);
+    applied_rules_.push_back("order_elision");
+  } else {
+    // Without the rule every operator keeps its ordering requirement.
+    PropagateOrderRequirement(root, true, /*elide=*/false);
+  }
+  if (options_.column_pruning) {
+    std::vector<ColId> all;
+    for (const auto& c : root->output) all.push_back(c.id);
+    HQ_RETURN_IF_ERROR(PruneColumns(root, all));
+    applied_rules_.push_back("column_pruning");
+  }
+  return Status::OK();
+}
+
+Status Xformer::ApplyNullSemantics(const XtraPtr& op) {
+  if (!op) return Status::OK();
+  bool changed = false;
+  if (op->predicate) {
+    op->predicate = RewriteNullSemantics(op->predicate, &changed);
+  }
+  for (auto& p : op->projections) {
+    p.expr = RewriteNullSemantics(p.expr, &changed);
+  }
+  for (auto& k : op->group_keys) {
+    k.expr = RewriteNullSemantics(k.expr, &changed);
+  }
+  for (auto& s : op->sort_keys) {
+    s.expr = RewriteNullSemantics(s.expr, &changed);
+  }
+  if (changed) applied_rules_.push_back("null_semantics");
+  for (const auto& c : op->children) {
+    HQ_RETURN_IF_ERROR(ApplyNullSemantics(c));
+  }
+  return Status::OK();
+}
+
+void Xformer::PropagateOrderRequirement(const XtraPtr& op, bool required,
+                                        bool elide) {
+  if (!op) return;
+  op->order_required = required;
+  if (!elide) {
+    for (const auto& c : op->children) {
+      PropagateOrderRequirement(c, true, false);
+    }
+    return;
+  }
+  switch (op->kind) {
+    case XtraKind::kGroupAgg: {
+      // Aggregation is order-insensitive unless it computes first/last,
+      // which depend on the group's row order.
+      bool needs_order = false;
+      for (const auto& a : op->projections) {
+        if (a.expr && a.expr->kind == ScalarKind::kAgg &&
+            (a.expr->func == "first" || a.expr->func == "last")) {
+          needs_order = true;
+        }
+      }
+      PropagateOrderRequirement(op->children[0], needs_order, elide);
+      return;
+    }
+    case XtraKind::kSort:
+      // A sort re-establishes order; the child's order is irrelevant.
+      PropagateOrderRequirement(op->children[0], false, elide);
+      return;
+    case XtraKind::kLimit:
+      // LIMIT picks rows by position: the child order is load-bearing.
+      PropagateOrderRequirement(op->children[0], true, elide);
+      return;
+    case XtraKind::kJoin:
+      PropagateOrderRequirement(op->children[0], required, elide);
+      PropagateOrderRequirement(op->children[1], false, elide);
+      return;
+    default:
+      for (const auto& c : op->children) {
+        PropagateOrderRequirement(c, required, elide);
+      }
+      return;
+  }
+}
+
+Status Xformer::PruneColumns(const XtraPtr& op,
+                             const std::vector<ColId>& required) {
+  if (!op) return Status::OK();
+  std::set<ColId> req(required.begin(), required.end());
+
+  // The implicit order column stays when this subtree must deliver order.
+  if (op->order_required && op->ord_col != kNoCol) req.insert(op->ord_col);
+
+  switch (op->kind) {
+    case XtraKind::kGet: {
+      std::vector<XtraColumn> kept;
+      for (const auto& c : op->output) {
+        if (req.count(c.id) > 0) kept.push_back(c);
+      }
+      op->output = std::move(kept);
+      if (op->ord_col != kNoCol && op->FindOutput(op->ord_col) == nullptr) {
+        op->ord_col = kNoCol;
+      }
+      return Status::OK();
+    }
+    case XtraKind::kProject:
+    case XtraKind::kGroupAgg: {
+      // Keep required projections (group keys always stay: they define the
+      // grouping semantics).
+      std::vector<NamedScalar> kept;
+      for (const auto& p : op->projections) {
+        if (req.count(p.col.id) > 0) kept.push_back(p);
+      }
+      op->projections = std::move(kept);
+      op->output.clear();
+      for (const auto& k : op->group_keys) op->output.push_back(k.col);
+      for (const auto& p : op->projections) op->output.push_back(p.col);
+      if (op->ord_col != kNoCol && op->FindOutput(op->ord_col) == nullptr) {
+        op->ord_col = kNoCol;
+      }
+      std::vector<ColId> child_req;
+      CollectRefsOf(*op, &child_req);
+      return PruneColumns(op->children[0], child_req);
+    }
+    case XtraKind::kFilter:
+    case XtraKind::kSort:
+    case XtraKind::kLimit: {
+      std::vector<ColId> child_req(req.begin(), req.end());
+      CollectRefsOf(*op, &child_req);
+      HQ_RETURN_IF_ERROR(PruneColumns(op->children[0], child_req));
+      // Pass-through operators mirror the child's (pruned) output.
+      op->output = op->children[0]->output;
+      if (op->ord_col != kNoCol && op->FindOutput(op->ord_col) == nullptr) {
+        op->ord_col = kNoCol;
+      }
+      return Status::OK();
+    }
+    case XtraKind::kJoin: {
+      std::vector<ColId> needed(req.begin(), req.end());
+      CollectRefsOf(*op, &needed);
+      std::set<ColId> needed_set(needed.begin(), needed.end());
+      // Split requirements by owning child.
+      for (size_t ci = 0; ci < op->children.size(); ++ci) {
+        std::vector<ColId> child_req;
+        for (ColId id : needed_set) {
+          if (op->children[ci]->FindOutput(id) != nullptr) {
+            child_req.push_back(id);
+          }
+        }
+        HQ_RETURN_IF_ERROR(PruneColumns(op->children[ci], child_req));
+      }
+      std::vector<XtraColumn> kept;
+      for (const auto& c : op->output) {
+        if (req.count(c.id) > 0) kept.push_back(c);
+      }
+      op->output = std::move(kept);
+      if (op->ord_col != kNoCol && op->FindOutput(op->ord_col) == nullptr) {
+        op->ord_col = kNoCol;
+      }
+      return Status::OK();
+    }
+    case XtraKind::kUnionAll: {
+      // Positional: prune the same positions from both children.
+      std::vector<size_t> keep_pos;
+      std::vector<XtraColumn> kept;
+      for (size_t i = 0; i < op->output.size(); ++i) {
+        if (req.count(op->output[i].id) > 0) {
+          keep_pos.push_back(i);
+          kept.push_back(op->output[i]);
+        }
+      }
+      for (const auto& child : op->children) {
+        std::vector<ColId> child_req;
+        for (size_t pos : keep_pos) {
+          child_req.push_back(child->output[pos].id);
+        }
+        HQ_RETURN_IF_ERROR(PruneColumns(child, child_req));
+      }
+      op->output = std::move(kept);
+      if (op->ord_col != kNoCol && op->FindOutput(op->ord_col) == nullptr) {
+        op->ord_col = kNoCol;
+      }
+      return Status::OK();
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace hyperq

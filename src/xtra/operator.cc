@@ -1,0 +1,201 @@
+#include "xtra/operator.h"
+
+#include "common/strings.h"
+
+namespace hyperq {
+namespace xtra {
+
+const XtraColumn* XtraOp::FindOutput(ColId id) const {
+  for (const auto& c : output) {
+    if (c.id == id) return &c;
+  }
+  return nullptr;
+}
+
+const XtraColumn* XtraOp::FindOutputByName(const std::string& name) const {
+  for (const auto& c : output) {
+    if (c.name == name) return &c;
+  }
+  return nullptr;
+}
+
+XtraPtr CloneTree(const XtraPtr& op) {
+  if (!op) return nullptr;
+  auto copy = std::make_shared<XtraOp>(*op);
+  for (auto& c : copy->children) c = CloneTree(c);
+  return copy;
+}
+
+XtraPtr MakeGet(std::string table, std::vector<XtraColumn> columns,
+                ColId ord_col) {
+  auto op = std::make_shared<XtraOp>();
+  op->kind = XtraKind::kGet;
+  op->table = std::move(table);
+  op->output = std::move(columns);
+  op->ord_col = ord_col;
+  op->preserves_order = true;
+  return op;
+}
+
+XtraPtr MakeProject(XtraPtr child, std::vector<NamedScalar> projections) {
+  auto op = std::make_shared<XtraOp>();
+  op->kind = XtraKind::kProject;
+  op->preserves_order = true;
+  // Order passes through when the child's order column survives projection.
+  op->ord_col = kNoCol;
+  for (const auto& p : projections) {
+    op->output.push_back(p.col);
+    if (child->ord_col != kNoCol && p.expr &&
+        p.expr->kind == ScalarKind::kColRef &&
+        p.expr->col == child->ord_col) {
+      op->ord_col = p.col.id;
+    }
+  }
+  op->projections = std::move(projections);
+  op->children.push_back(std::move(child));
+  return op;
+}
+
+XtraPtr MakeFilter(XtraPtr child, ScalarPtr predicate) {
+  auto op = std::make_shared<XtraOp>();
+  op->kind = XtraKind::kFilter;
+  op->output = child->output;
+  op->ord_col = child->ord_col;
+  op->preserves_order = true;
+  op->predicate = std::move(predicate);
+  op->children.push_back(std::move(child));
+  return op;
+}
+
+XtraPtr MakeJoin(XtraJoinKind kind, XtraPtr left, XtraPtr right,
+                 ScalarPtr condition, std::vector<XtraColumn> output) {
+  auto op = std::make_shared<XtraOp>();
+  op->kind = XtraKind::kJoin;
+  op->join_kind = kind;
+  op->output = std::move(output);
+  // The as-of/left-join lowerings keep left-row order; the left child's
+  // order column survives if present in the output.
+  op->ord_col = kNoCol;
+  if (left->ord_col != kNoCol && op->FindOutput(left->ord_col) != nullptr) {
+    op->ord_col = left->ord_col;
+  }
+  op->preserves_order = true;
+  op->predicate = std::move(condition);
+  op->children.push_back(std::move(left));
+  op->children.push_back(std::move(right));
+  return op;
+}
+
+XtraPtr MakeGroupAgg(XtraPtr child, std::vector<NamedScalar> keys,
+                     std::vector<NamedScalar> aggs) {
+  auto op = std::make_shared<XtraOp>();
+  op->kind = XtraKind::kGroupAgg;
+  for (const auto& k : keys) op->output.push_back(k.col);
+  for (const auto& a : aggs) op->output.push_back(a.col);
+  // Aggregation destroys the input order; q's select-by orders by the
+  // group keys, modeled by a Sort the binder layers on top.
+  op->ord_col = kNoCol;
+  op->preserves_order = false;
+  op->group_keys = std::move(keys);
+  op->projections = std::move(aggs);
+  op->children.push_back(std::move(child));
+  return op;
+}
+
+XtraPtr MakeSort(XtraPtr child, std::vector<XtraSortKey> keys) {
+  auto op = std::make_shared<XtraOp>();
+  op->kind = XtraKind::kSort;
+  op->output = child->output;
+  op->ord_col = child->ord_col;
+  op->preserves_order = false;  // defines a new order
+  op->sort_keys = std::move(keys);
+  op->children.push_back(std::move(child));
+  return op;
+}
+
+XtraPtr MakeLimit(XtraPtr child, int64_t limit, int64_t offset) {
+  auto op = std::make_shared<XtraOp>();
+  op->kind = XtraKind::kLimit;
+  op->output = child->output;
+  op->ord_col = child->ord_col;
+  op->preserves_order = true;
+  op->limit = limit;
+  op->offset = offset;
+  op->children.push_back(std::move(child));
+  return op;
+}
+
+XtraPtr MakeUnionAll(XtraPtr left, XtraPtr right,
+                     std::vector<XtraColumn> output) {
+  auto op = std::make_shared<XtraOp>();
+  op->kind = XtraKind::kUnionAll;
+  op->output = std::move(output);
+  op->ord_col = kNoCol;  // union produces no inherent order
+  op->preserves_order = false;
+  op->children.push_back(std::move(left));
+  op->children.push_back(std::move(right));
+  return op;
+}
+
+std::string XtraToString(const XtraPtr& op, int indent) {
+  if (!op) return "";
+  std::string pad(indent * 2, ' ');
+  std::string out = pad;
+  switch (op->kind) {
+    case XtraKind::kGet:
+      out += StrCat("Get(", op->table, ")");
+      break;
+    case XtraKind::kProject: {
+      out += op->distinct ? "Project[distinct]" : "Project";
+      std::vector<std::string> cols;
+      for (const auto& p : op->projections) {
+        cols.push_back(StrCat(p.col.name, "=", ScalarToString(p.expr)));
+      }
+      out += StrCat("(", Join(cols, ", "), ")");
+      break;
+    }
+    case XtraKind::kFilter:
+      out += StrCat("Filter(", ScalarToString(op->predicate), ")");
+      break;
+    case XtraKind::kJoin:
+      out += StrCat(op->join_kind == XtraJoinKind::kLeftOuter ? "LeftJoin"
+                                                              : "InnerJoin",
+                    "(", ScalarToString(op->predicate), ")");
+      break;
+    case XtraKind::kGroupAgg: {
+      std::vector<std::string> keys, aggs;
+      for (const auto& k : op->group_keys) {
+        keys.push_back(StrCat(k.col.name, "=", ScalarToString(k.expr)));
+      }
+      for (const auto& a : op->projections) {
+        aggs.push_back(StrCat(a.col.name, "=", ScalarToString(a.expr)));
+      }
+      out += StrCat("GroupAgg(keys=[", Join(keys, ", "), "] aggs=[",
+                    Join(aggs, ", "), "])");
+      break;
+    }
+    case XtraKind::kSort: {
+      std::vector<std::string> keys;
+      for (const auto& k : op->sort_keys) {
+        keys.push_back(StrCat(ScalarToString(k.expr),
+                              k.ascending ? " asc" : " desc"));
+      }
+      out += StrCat("Sort(", Join(keys, ", "), ")");
+      break;
+    }
+    case XtraKind::kLimit:
+      out += StrCat("Limit(", op->limit, ",", op->offset, ")");
+      break;
+    case XtraKind::kUnionAll:
+      out += "UnionAll";
+      break;
+  }
+  out += "\n";
+  for (const auto& c : op->children) {
+    out += XtraToString(c, indent + 1);
+  }
+  return out;
+}
+
+}  // namespace xtra
+}  // namespace hyperq

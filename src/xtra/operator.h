@@ -1,0 +1,120 @@
+#ifndef HYPERQ_XTRA_OPERATOR_H_
+#define HYPERQ_XTRA_OPERATOR_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "xtra/scalar.h"
+
+namespace hyperq {
+namespace xtra {
+
+/// Relational operators of the eXTended Relational Algebra (§3.2). Each
+/// node derives relational properties at construction: output columns with
+/// names and types, the implicit order column (Q's ordered-list semantics)
+/// and whether the operator preserves its child's order (§3.3).
+enum class XtraKind {
+  kGet,       ///< base table scan
+  kProject,   ///< computed columns (optionally DISTINCT)
+  kFilter,    ///< predicate selection
+  kJoin,      ///< inner/left-outer join with general condition
+  kGroupAgg,  ///< grouped or scalar aggregation
+  kSort,      ///< explicit ordering
+  kLimit,     ///< row-count limiting (q take / sublist)
+  kUnionAll,  ///< q uj lowering
+};
+
+enum class XtraJoinKind { kInner, kLeftOuter };
+
+struct XtraColumn {
+  ColId id = kNoCol;
+  std::string name;
+  QType type = QType::kUnary;
+  bool nullable = true;
+};
+
+struct XtraOp;
+using XtraPtr = std::shared_ptr<XtraOp>;
+
+struct NamedScalar {
+  XtraColumn col;   ///< identity/name/type of the produced column
+  ScalarPtr expr;
+};
+
+struct XtraSortKey {
+  ScalarPtr expr;
+  bool ascending = true;
+};
+
+struct XtraOp {
+  XtraKind kind = XtraKind::kGet;
+
+  /// Derived: the columns this operator produces, in order.
+  std::vector<XtraColumn> output;
+
+  /// Derived order properties (§3.3 "Transparency"): the column id that
+  /// carries Q's implicit row order, and whether this operator preserves
+  /// its input order. kNoCol means no order is available.
+  ColId ord_col = kNoCol;
+  bool preserves_order = true;
+  /// Set by the Xformer when a parent does not require ordering; the
+  /// serializer then skips ORDER BY generation for this subtree.
+  bool order_required = true;
+
+  std::vector<XtraPtr> children;
+
+  // kGet
+  std::string table;
+
+  // kProject / kGroupAgg aggregate list
+  std::vector<NamedScalar> projections;
+  bool distinct = false;
+
+  // kFilter / kJoin condition
+  ScalarPtr predicate;
+
+  // kJoin
+  XtraJoinKind join_kind = XtraJoinKind::kInner;
+
+  // kGroupAgg group keys (column refs into the child)
+  std::vector<NamedScalar> group_keys;
+
+  // kSort
+  std::vector<XtraSortKey> sort_keys;
+
+  // kLimit
+  int64_t limit = -1;
+  int64_t offset = 0;
+
+  /// Finds an output column by id; nullptr when absent.
+  const XtraColumn* FindOutput(ColId id) const;
+  const XtraColumn* FindOutputByName(const std::string& name) const;
+};
+
+/// Deep-copies a tree (scalar expressions are shared; they are immutable).
+XtraPtr CloneTree(const XtraPtr& op);
+
+/// Renders the operator tree for tests/debugging.
+std::string XtraToString(const XtraPtr& op, int indent = 0);
+
+// -- Factory helpers (derive output columns and order properties) ----------
+
+XtraPtr MakeGet(std::string table, std::vector<XtraColumn> columns,
+                ColId ord_col);
+XtraPtr MakeProject(XtraPtr child, std::vector<NamedScalar> projections);
+XtraPtr MakeFilter(XtraPtr child, ScalarPtr predicate);
+XtraPtr MakeJoin(XtraJoinKind kind, XtraPtr left, XtraPtr right,
+                 ScalarPtr condition, std::vector<XtraColumn> output);
+XtraPtr MakeGroupAgg(XtraPtr child, std::vector<NamedScalar> keys,
+                     std::vector<NamedScalar> aggs);
+XtraPtr MakeSort(XtraPtr child, std::vector<XtraSortKey> keys);
+XtraPtr MakeLimit(XtraPtr child, int64_t limit, int64_t offset);
+XtraPtr MakeUnionAll(XtraPtr left, XtraPtr right,
+                     std::vector<XtraColumn> output);
+
+}  // namespace xtra
+}  // namespace hyperq
+
+#endif  // HYPERQ_XTRA_OPERATOR_H_

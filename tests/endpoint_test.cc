@@ -1,0 +1,175 @@
+#include <gtest/gtest.h>
+
+#include "core/endpoint.h"
+#include "core/gateway_wire.h"
+#include "kdb/engine.h"
+
+namespace hyperq {
+namespace {
+
+/// The full paper pipeline over real sockets: an unchanged "Q application"
+/// (QipcClient) talks QIPC to Hyper-Q, which translates and executes
+/// against the PG-compatible backend (§3 Query Life Cycle).
+class EndpointTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    kdb::Interpreter loader;
+    ASSERT_TRUE(loader
+                    .EvalText(
+                        "trades: ([] Symbol:`GOOG`IBM`GOOG`MSFT`IBM;"
+                        " Price:720.5 151.2 721.0 52.1 150.9;"
+                        " Size:100 200 150 300 120;"
+                        " Time:09:30:00.000 09:30:01.000 09:30:02.000 "
+                        "09:30:03.000 09:30:04.000)")
+                    .ok());
+    ASSERT_TRUE(LoadQTable(&db_, "trades", *loader.GetGlobal("trades")).ok());
+    server_ = std::make_unique<HyperQServer>(&db_, HyperQServer::Options{});
+    ASSERT_TRUE(server_->Start(0).ok());
+  }
+
+  void TearDown() override { server_->Stop(); }
+
+  sqldb::Database db_;
+  std::unique_ptr<HyperQServer> server_;
+};
+
+TEST_F(EndpointTest, QueryLifeCycleOverQipc) {
+  auto client =
+      QipcClient::Connect("127.0.0.1", server_->port(), "trader", "pw");
+  ASSERT_TRUE(client.ok()) << client.status().ToString();
+
+  auto result = client->Query("select Price from trades where Symbol=`GOOG");
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  ASSERT_TRUE(result->IsTable());
+  EXPECT_EQ(result->Count(), 2u);
+  EXPECT_DOUBLE_EQ(result->Table().columns[0].Floats()[1], 721.0);
+  client->Close();
+}
+
+TEST_F(EndpointTest, MultipleQueriesShareSessionState) {
+  auto client =
+      QipcClient::Connect("127.0.0.1", server_->port(), "trader", "pw");
+  ASSERT_TRUE(client.ok());
+  // Variable defined in one message is visible in the next (session scope,
+  // §3.2.3).
+  ASSERT_TRUE(client->Query("SOMEPX: 700.0").ok());
+  auto result = client->Query("select from trades where Price>SOMEPX");
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->Count(), 2u);
+  client->Close();
+}
+
+TEST_F(EndpointTest, ErrorsTravelAsQipcErrors) {
+  auto client =
+      QipcClient::Connect("127.0.0.1", server_->port(), "trader", "pw");
+  ASSERT_TRUE(client.ok());
+  auto result = client->Query("select from nonexistent_table");
+  ASSERT_FALSE(result.ok());
+  EXPECT_NE(result.status().message().find("nonexistent_table"),
+            std::string::npos);
+  // The connection survives the error.
+  EXPECT_TRUE(client->Query("select from trades").ok());
+  client->Close();
+}
+
+TEST_F(EndpointTest, AggregateAtomOverWire) {
+  auto client =
+      QipcClient::Connect("127.0.0.1", server_->port(), "trader", "pw");
+  ASSERT_TRUE(client.ok());
+  auto result = client->Query("exec max Price from trades");
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->is_atom());
+  EXPECT_DOUBLE_EQ(result->AsFloat(), 721.0);
+  client->Close();
+}
+
+TEST_F(EndpointTest, CompressedResponsesDecodeTransparently) {
+  HyperQServer::Options opts;
+  opts.compress_responses = true;
+  HyperQServer compressed(&db_, opts);
+  ASSERT_TRUE(compressed.Start(0).ok());
+  auto client =
+      QipcClient::Connect("127.0.0.1", compressed.port(), "t", "p");
+  ASSERT_TRUE(client.ok());
+  // Large repetitive result: crosses the compression threshold.
+  auto result = client->Query("select from trades uj trades uj trades");
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->Count(), 15u);
+  client->Close();
+  compressed.Stop();
+}
+
+TEST_F(EndpointTest, AuthRejectionClosesConnection) {
+  HyperQServer::Options opts;
+  opts.user = "alice";
+  opts.password = "correct";
+  HyperQServer secured(&db_, opts);
+  ASSERT_TRUE(secured.Start(0).ok());
+  auto bad = QipcClient::Connect("127.0.0.1", secured.port(), "alice",
+                                 "wrong");
+  EXPECT_FALSE(bad.ok());
+  auto good = QipcClient::Connect("127.0.0.1", secured.port(), "alice",
+                                  "correct");
+  EXPECT_TRUE(good.ok()) << good.status().ToString();
+  secured.Stop();
+}
+
+TEST_F(EndpointTest, ConcurrentClients) {
+  // kdb+ serializes requests (§2.2); Hyper-Q allows concurrent sessions
+  // ("configurable concurrency" is one of its improvements, §5).
+  constexpr int kClients = 4;
+  std::vector<std::thread> threads;
+  std::atomic<int> failures{0};
+  for (int i = 0; i < kClients; ++i) {
+    threads.emplace_back([&]() {
+      auto client =
+          QipcClient::Connect("127.0.0.1", server_->port(), "t", "p");
+      if (!client.ok()) {
+        ++failures;
+        return;
+      }
+      for (int k = 0; k < 5; ++k) {
+        auto r = client->Query("select Size wavg Price by Symbol from trades");
+        if (!r.ok() || !r->IsKeyedTable()) ++failures;
+      }
+      client->Close();
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(failures.load(), 0);
+}
+
+/// Hyper-Q with a wire gateway: SQL flows over the PG v3 protocol to a
+/// separate backend server, the complete Figure 1 topology.
+TEST(WireTopologyTest, QipcInPgOut) {
+  sqldb::Database db;
+  {
+    kdb::Interpreter loader;
+    ASSERT_TRUE(loader.EvalText("t: ([] sym:`a`b`c; v:10 20 30)").ok());
+    ASSERT_TRUE(LoadQTable(&db, "t", *loader.GetGlobal("t")).ok());
+  }
+  pgwire::PgWireServer backend(&db, pgwire::ServerOptions{});
+  ASSERT_TRUE(backend.Start(0).ok());
+
+  auto gateway = WireGateway::Connect("127.0.0.1", backend.port(), "hq", "");
+  ASSERT_TRUE(gateway.ok()) << gateway.status().ToString();
+
+  // Drive the translator manually against the wire gateway.
+  SqldbMetadata mdi(&db, nullptr);
+  VariableScopes scopes(&mdi);
+  QueryTranslator translator(
+      &mdi, &scopes, QueryTranslator::Options{},
+      [&](const std::string& sql) -> Status {
+        auto r = (*gateway)->Execute(sql);
+        return r.ok() ? Status::OK() : r.status();
+      });
+  CrossCompiler xc(&translator, gateway->get());
+  auto result = xc.Process("select v from t where sym=`b");
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  ASSERT_TRUE(result->IsTable());
+  EXPECT_EQ(result->Table().columns[0].Ints()[0], 20);
+  backend.Stop();
+}
+
+}  // namespace
+}  // namespace hyperq

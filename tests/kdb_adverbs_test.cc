@@ -1,0 +1,135 @@
+#include <gtest/gtest.h>
+
+#include "kdb/engine.h"
+
+namespace hyperq {
+namespace kdb {
+namespace {
+
+QValue Eval(const std::string& text) {
+  Interpreter interp;
+  auto r = interp.EvalText(text);
+  EXPECT_TRUE(r.ok()) << text << " -> " << r.status().ToString();
+  return r.ok() ? *r : QValue();
+}
+
+TEST(AdverbTest, EachOverLambda) {
+  EXPECT_EQ(Eval("{x+1} each 1 2 3").Ints(),
+            (std::vector<int64_t>{2, 3, 4}));
+  EXPECT_EQ(Eval("count each (1 2;3 4 5;enlist 6)").Ints(),
+            (std::vector<int64_t>{2, 3, 1}));
+}
+
+TEST(AdverbTest, EachBothZips) {
+  EXPECT_EQ(Eval("1 2 3 {x*y}' 4 5 6").Ints(),
+            (std::vector<int64_t>{4, 10, 18}));
+  // Atom broadcast on one side.
+  EXPECT_EQ(Eval("10 {x+y}' 1 2 3").Ints(),
+            (std::vector<int64_t>{11, 12, 13}));
+}
+
+TEST(AdverbTest, EachLeftAndRight) {
+  // each-left: every left element against the whole right.
+  QValue left = Eval("1 2 {x,y}\\: 10");
+  ASSERT_EQ(left.Count(), 2u);
+  // each-right: the whole left against every right element.
+  QValue right = Eval("1 {x,y}/: 10 20");
+  ASSERT_EQ(right.Count(), 2u);
+  // Atom left side: each-left wraps the whole-right result per element.
+  EXPECT_EQ(Eval("1 2 +\\: 10").Ints(), (std::vector<int64_t>{11, 12}));
+  EXPECT_EQ(Eval("3 +/: 1 2").Ints(), (std::vector<int64_t>{4, 5}));
+}
+
+TEST(AdverbTest, OverFoldsWithAndWithoutSeed) {
+  EXPECT_EQ(Eval("+/[1 2 3 4]").AsInt(), 10);
+  EXPECT_EQ(Eval("+/[100; 1 2 3]").AsInt(), 106);
+  EXPECT_EQ(Eval("{x*y} over 1 2 3 4").AsInt(), 24);
+}
+
+TEST(AdverbTest, ScanKeepsIntermediates) {
+  EXPECT_EQ(Eval("+\\[1 2 3 4]").Ints(),
+            (std::vector<int64_t>{1, 3, 6, 10}));
+  EXPECT_EQ(Eval("{x+y} scan 1 2 3").Ints(),
+            (std::vector<int64_t>{1, 3, 6}));
+}
+
+TEST(AdverbTest, EachPrior) {
+  // f': applies f[current; previous]; the first element passes through.
+  QValue d = Eval("-': 1 4 9 16");
+  EXPECT_EQ(d.Ints(), (std::vector<int64_t>{1, 3, 5, 7}));
+}
+
+TEST(AdverbTest, AdverbOnBuiltinName) {
+  EXPECT_EQ(Eval("sum each (1 2; 3 4)").Ints(),
+            (std::vector<int64_t>{3, 7}));
+}
+
+TEST(AdverbTest, NestedLambdasAndClosureArgs) {
+  EXPECT_EQ(Eval("f: {{x*2} x + 1}; f 3").AsInt(), 8);
+}
+
+TEST(StringOpsTest, VsSplitsAndSvJoins) {
+  QValue parts = Eval("\",\" vs \"a,b,c\"");
+  ASSERT_EQ(parts.Count(), 3u);
+  EXPECT_EQ(parts.Items()[1].CharsView(), "b");
+  QValue joined = Eval("\"-\" sv (\"x\"; \"yz\")");
+  // Single chars decode as atoms; sv renders them back.
+  EXPECT_EQ(joined.CharsView(), "x-yz");
+}
+
+TEST(StringOpsTest, LikeOnLists) {
+  QValue m = Eval("`GOOG`IBM`GE like \"G*\"");
+  EXPECT_EQ(m.Ints(), (std::vector<int64_t>{1, 0, 1}));
+}
+
+TEST(TemporalOpsTest, DateArithmetic) {
+  EXPECT_EQ(Eval("2016.06.26 + 5").ToString(), "2016.07.01");
+  EXPECT_EQ(Eval("2016.07.01 - 2016.06.26").AsInt(), 5);
+  EXPECT_EQ(Eval("`date$2016.06.26D12:00:00").ToString(), "2016.06.26");
+  EXPECT_EQ(Eval("`time$2016.06.26D09:30:00").ToString(), "09:30:00.000");
+}
+
+TEST(TemporalOpsTest, TimeBucketing) {
+  // Classic bar-building idiom: bucket times to 5-minute bars.
+  QValue bars = Eval("300000 xbar 09:31:00.000 09:36:00.000 09:33:00.000");
+  EXPECT_EQ(bars.Count(), 3u);
+  EXPECT_EQ(bars.Ints()[0], bars.Ints()[2]);  // 09:31 and 09:33 same bar
+  EXPECT_NE(bars.Ints()[0], bars.Ints()[1]);
+}
+
+TEST(CondTest, VectorConditional) {
+  EXPECT_EQ(Eval("?[1 0 1b; 10 20 30; 0 0 0]").Ints(),
+            (std::vector<int64_t>{10, 0, 30}));
+  EXPECT_EQ(Eval("?[1b; `yes; `no]").AsSym(), "yes");
+}
+
+TEST(StatsTest, CovCor) {
+  EXPECT_NEAR(Eval("1 2 3 4f cov 2 4 6 8f").AsFloat(), 2.5, 1e-9);
+  EXPECT_NEAR(Eval("1 2 3 4f cor 2 4 6 8f").AsFloat(), 1.0, 1e-9);
+  EXPECT_NEAR(Eval("1 2 3 4f cor 8 6 4 2f").AsFloat(), -1.0, 1e-9);
+}
+
+TEST(DictOpsTest, UnkeyAndRekey) {
+  QValue t = Eval("0!([sym:`a`b] px:1 2)");
+  ASSERT_TRUE(t.IsTable());
+  EXPECT_EQ(t.Table().names, (std::vector<std::string>{"sym", "px"}));
+  QValue kt = Eval("1!0!([sym:`a`b] px:1 2)");
+  EXPECT_TRUE(kt.IsKeyedTable());
+}
+
+TEST(GroupedUpdateTest, BroadcastsAggregates) {
+  QValue t = Eval(
+      "t: ([] s:`a`b`a`b; v:1 2 3 4);"
+      "update m: max v, tot: sum v by s from t");
+  ASSERT_TRUE(t.IsTable());
+  int m = t.Table().FindColumn("m");
+  int tot = t.Table().FindColumn("tot");
+  EXPECT_EQ(t.Table().columns[m].Ints(),
+            (std::vector<int64_t>{3, 4, 3, 4}));
+  EXPECT_EQ(t.Table().columns[tot].Ints(),
+            (std::vector<int64_t>{4, 6, 4, 6}));
+}
+
+}  // namespace
+}  // namespace kdb
+}  // namespace hyperq

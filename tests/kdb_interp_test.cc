@@ -1,0 +1,302 @@
+#include <gtest/gtest.h>
+
+#include "kdb/engine.h"
+#include "qval/qtype.h"
+
+namespace hyperq {
+namespace kdb {
+namespace {
+
+QValue Eval(const std::string& text) {
+  Interpreter interp;
+  auto r = interp.EvalText(text);
+  EXPECT_TRUE(r.ok()) << text << " -> " << r.status().ToString();
+  return r.ok() ? *r : QValue();
+}
+
+TEST(InterpTest, Arithmetic) {
+  EXPECT_EQ(Eval("1+2").AsInt(), 3);
+  EXPECT_EQ(Eval("2*3+4").AsInt(), 14);  // right-to-left
+  EXPECT_DOUBLE_EQ(Eval("7%2").AsFloat(), 3.5);  // % divides, always float
+  EXPECT_EQ(Eval("neg 5").AsInt(), -5);
+  EXPECT_EQ(Eval("-5").AsInt(), -5);
+}
+
+TEST(InterpTest, VectorArithmetic) {
+  QValue v = Eval("1 2 3 + 10");
+  ASSERT_EQ(v.Count(), 3u);
+  EXPECT_EQ(v.Ints()[2], 13);
+  QValue z = Eval("1 2 3 * 4 5 6");
+  EXPECT_EQ(z.Ints()[2], 18);
+}
+
+TEST(InterpTest, LengthErrorOnMismatch) {
+  Interpreter interp;
+  auto r = interp.EvalText("1 2 3 + 1 2");
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.status().message().find("length"), std::string::npos);
+}
+
+TEST(InterpTest, MinMaxOperators) {
+  // & and | are min/max in q.
+  EXPECT_EQ(Eval("3&5").AsInt(), 3);
+  EXPECT_EQ(Eval("3|5").AsInt(), 5);
+  EXPECT_EQ(Eval("0N|5").AsInt(), 5);  // null is minimal
+}
+
+TEST(InterpTest, NullEquality2VL) {
+  // Two nulls compare equal in q, unlike SQL (§2.2).
+  EXPECT_EQ(Eval("0N=0N").AsInt(), 1);
+  EXPECT_EQ(Eval("0n=0n").AsInt(), 1);
+  EXPECT_EQ(Eval("0N=5").AsInt(), 0);
+}
+
+TEST(InterpTest, NullPropagationInArithmetic) {
+  EXPECT_TRUE(Eval("1+0N").IsNullAtom());
+  EXPECT_TRUE(Eval("0n*2").IsNullAtom());
+}
+
+TEST(InterpTest, Comparisons) {
+  EXPECT_EQ(Eval("1<2").AsInt(), 1);
+  EXPECT_EQ(Eval("2<>3").AsInt(), 1);
+  QValue v = Eval("1 5 3 >= 2");
+  EXPECT_EQ(v.Ints(), (std::vector<int64_t>{0, 1, 1}));
+}
+
+TEST(InterpTest, TilCountSum) {
+  EXPECT_EQ(Eval("til 4").Ints(), (std::vector<int64_t>{0, 1, 2, 3}));
+  EXPECT_EQ(Eval("count til 10").AsInt(), 10);
+  EXPECT_EQ(Eval("sum til 5").AsInt(), 10);
+  EXPECT_DOUBLE_EQ(Eval("avg 1 2 3 4").AsFloat(), 2.5);
+}
+
+TEST(InterpTest, AggregatesIgnoreNulls) {
+  EXPECT_EQ(Eval("sum 1 0N 2").AsInt(), 3);
+  EXPECT_DOUBLE_EQ(Eval("avg 1 0N 3").AsFloat(), 2.0);
+  EXPECT_EQ(Eval("min 5 0N 2").AsInt(), 2);
+  EXPECT_EQ(Eval("max 0N 7 2").AsInt(), 7);
+}
+
+TEST(InterpTest, Variables) {
+  EXPECT_EQ(Eval("x: 5; x+1").AsInt(), 6);
+  // Dynamic rebinding (§3.2.1).
+  QValue v = Eval("x: 1; x: 1 2 3; count x");
+  EXPECT_EQ(v.AsInt(), 3);
+}
+
+TEST(InterpTest, LambdaCall) {
+  EXPECT_EQ(Eval("f: {[a;b] a+b}; f[2;3]").AsInt(), 5);
+  EXPECT_EQ(Eval("{x*x} 7").AsInt(), 49);
+  EXPECT_EQ(Eval("f: {2*x}; f 21").AsInt(), 42);
+}
+
+TEST(InterpTest, LambdaLocalScopeShadowing) {
+  // Local assignments never leak to the global scope (§3.2.3).
+  QValue v = Eval("x: 10; f: {[y] x: 99; y}; f[1]; x");
+  EXPECT_EQ(v.AsInt(), 10);
+}
+
+TEST(InterpTest, GlobalAmendFromFunction) {
+  QValue v = Eval("x: 10; f: {x:: 99; x}; f[]; x");
+  EXPECT_EQ(v.AsInt(), 99);
+}
+
+TEST(InterpTest, ExplicitReturn) {
+  EXPECT_EQ(Eval("f: {[a] :a+1; 999}; f 1").AsInt(), 2);
+}
+
+TEST(InterpTest, Conditional) {
+  EXPECT_EQ(Eval("$[1b;`yes;`no]").AsSym(), "yes");
+  EXPECT_EQ(Eval("$[0b;`yes;`no]").AsSym(), "no");
+  EXPECT_EQ(Eval("$[0;1;0;2;3]").AsInt(), 3);
+}
+
+TEST(InterpTest, Adverbs) {
+  EXPECT_EQ(Eval("+/[0;1 2 3]").AsInt(), 6);
+  EXPECT_EQ(Eval("{x*x} each 1 2 3").Ints(),
+            (std::vector<int64_t>{1, 4, 9}));
+  EXPECT_EQ(Eval("1 2 3 +' 10 20 30").Ints(),
+            (std::vector<int64_t>{11, 22, 33}));
+  // scan yields intermediates.
+  EXPECT_EQ(Eval("+\\[1 2 3]").Ints(), (std::vector<int64_t>{1, 3, 6}));
+}
+
+TEST(InterpTest, TakeDropOperators) {
+  EXPECT_EQ(Eval("2#1 2 3").Ints(), (std::vector<int64_t>{1, 2}));
+  EXPECT_EQ(Eval("-2#1 2 3").Ints(), (std::vector<int64_t>{2, 3}));
+  EXPECT_EQ(Eval("5#1 2").Ints(), (std::vector<int64_t>{1, 2, 1, 2, 1}));
+  EXPECT_EQ(Eval("1_1 2 3").Ints(), (std::vector<int64_t>{2, 3}));
+  EXPECT_EQ(Eval("-1_1 2 3").Ints(), (std::vector<int64_t>{1, 2}));
+}
+
+TEST(InterpTest, IndexingAndApply) {
+  EXPECT_EQ(Eval("x: 10 20 30; x 1").AsInt(), 20);
+  EXPECT_EQ(Eval("x: 10 20 30; x[2]").AsInt(), 30);
+  EXPECT_EQ(Eval("x: 10 20 30; x 0 2").Ints(),
+            (std::vector<int64_t>{10, 30}));
+  EXPECT_EQ(Eval("x: 10 20 30; x@1").AsInt(), 20);
+}
+
+TEST(InterpTest, DictOps) {
+  EXPECT_EQ(Eval("d: `a`b!1 2; d`b").AsInt(), 2);
+  EXPECT_EQ(Eval("d: `a`b!1 2; key d").SymsView(),
+            (std::vector<std::string>{"a", "b"}));
+  EXPECT_EQ(Eval("d: `a`b!1 2; value d").Ints(),
+            (std::vector<int64_t>{1, 2}));
+}
+
+TEST(InterpTest, SortingAndGrades) {
+  EXPECT_EQ(Eval("asc 3 1 2").Ints(), (std::vector<int64_t>{1, 2, 3}));
+  EXPECT_EQ(Eval("desc 3 1 2").Ints(), (std::vector<int64_t>{3, 2, 1}));
+  EXPECT_EQ(Eval("iasc 30 10 20").Ints(), (std::vector<int64_t>{1, 2, 0}));
+  // Nulls sort first.
+  EXPECT_EQ(Eval("asc 2 0N 1").Ints(),
+            (std::vector<int64_t>{kNullLong, 1, 2}));
+}
+
+TEST(InterpTest, WhereAndBoolLists) {
+  EXPECT_EQ(Eval("where 0 1 1 0b").Ints(), (std::vector<int64_t>{1, 2}));
+  EXPECT_EQ(Eval("where 0 2 1").Ints(), (std::vector<int64_t>{1, 1, 2}));
+}
+
+TEST(InterpTest, StringsAndSymbols) {
+  EXPECT_EQ(Eval("upper `goog").AsSym(), "GOOG");
+  EXPECT_EQ(Eval("lower \"ABC\"").CharsView(), "abc");
+  EXPECT_EQ(Eval("string `GOOG").CharsView(), "GOOG");
+  EXPECT_EQ(Eval("`$\"IBM\"").AsSym(), "IBM");
+}
+
+TEST(InterpTest, CastDollar) {
+  EXPECT_EQ(Eval("`long$2.7").AsInt(), 3);
+  EXPECT_DOUBLE_EQ(Eval("`float$3").AsFloat(), 3.0);
+  EXPECT_EQ(Eval("`boolean$2").AsInt(), 1);
+  EXPECT_EQ(Eval("`symbol$\"AAPL\"").AsSym(), "AAPL");
+}
+
+TEST(InterpTest, InWithinLike) {
+  EXPECT_EQ(Eval("2 in 1 2 3").AsInt(), 1);
+  EXPECT_EQ(Eval("5 in 1 2 3").AsInt(), 0);
+  EXPECT_EQ(Eval("`GOOG in `IBM`GOOG").AsInt(), 1);
+  EXPECT_EQ(Eval("3 within 2 5").AsInt(), 1);
+  EXPECT_EQ(Eval("`GOOG like \"GO*\"").AsInt(), 1);
+  EXPECT_EQ(Eval("`GOOG like \"X*\"").AsInt(), 0);
+}
+
+TEST(InterpTest, ListFunctions) {
+  EXPECT_EQ(Eval("distinct 1 2 1 3 2").Ints(),
+            (std::vector<int64_t>{1, 2, 3}));
+  EXPECT_EQ(Eval("reverse 1 2 3").Ints(), (std::vector<int64_t>{3, 2, 1}));
+  EXPECT_EQ(Eval("deltas 1 3 6").Ints(), (std::vector<int64_t>{1, 2, 3}));
+  EXPECT_EQ(Eval("sums 1 2 3").Ints(), (std::vector<int64_t>{1, 3, 6}));
+  EXPECT_EQ(Eval("fills 1 0N 0N 2").Ints(),
+            (std::vector<int64_t>{1, 1, 1, 2}));
+  EXPECT_EQ(Eval("maxs 1 3 2").Ints(), (std::vector<int64_t>{1, 3, 3}));
+  EXPECT_EQ(Eval("first 7 8 9").AsInt(), 7);
+  EXPECT_EQ(Eval("last 7 8 9").AsInt(), 9);
+}
+
+TEST(InterpTest, PrevNextXprev) {
+  EXPECT_EQ(Eval("prev 1 2 3").Ints(),
+            (std::vector<int64_t>{kNullLong, 1, 2}));
+  EXPECT_EQ(Eval("next 1 2 3").Ints(),
+            (std::vector<int64_t>{2, 3, kNullLong}));
+  EXPECT_EQ(Eval("2 xprev 1 2 3").Ints(),
+            (std::vector<int64_t>{kNullLong, kNullLong, 1}));
+}
+
+TEST(InterpTest, MovingWindows) {
+  EXPECT_EQ(Eval("2 msum 1 2 3 4").Ints(),
+            (std::vector<int64_t>{1, 3, 5, 7}));
+  QValue ma = Eval("2 mavg 2 4 6");
+  EXPECT_DOUBLE_EQ(ma.Floats()[0], 2.0);
+  EXPECT_DOUBLE_EQ(ma.Floats()[2], 5.0);
+  EXPECT_EQ(Eval("2 mmax 1 5 2").Ints(), (std::vector<int64_t>{1, 5, 5}));
+}
+
+TEST(InterpTest, WavgWsum) {
+  EXPECT_DOUBLE_EQ(Eval("1 2 wavg 10 20").AsFloat(), 50.0 / 3);
+  EXPECT_DOUBLE_EQ(Eval("1 2 wsum 10 20").AsFloat(), 50.0);
+}
+
+TEST(InterpTest, ConcatAndFill) {
+  EXPECT_EQ(Eval("1 2,3").Ints(), (std::vector<int64_t>{1, 2, 3}));
+  EXPECT_EQ(Eval("0^1 0N 3").Ints(), (std::vector<int64_t>{1, 0, 3}));
+  QValue mixed = Eval("1,`a");
+  EXPECT_EQ(mixed.type(), QType::kMixed);
+}
+
+TEST(InterpTest, MatchOperator) {
+  EXPECT_EQ(Eval("(1 2 3)~1 2 3").AsInt(), 1);
+  EXPECT_EQ(Eval("(1 2)~1 2 3").AsInt(), 0);
+}
+
+TEST(InterpTest, SetAndInsertGlobals) {
+  Interpreter interp;
+  ASSERT_TRUE(interp.EvalText("`x set 42").ok());
+  EXPECT_EQ(interp.GetGlobal("x")->AsInt(), 42);
+}
+
+TEST(InterpTest, TableLiteralAndOps) {
+  QValue t = Eval("([] sym:`a`b`c; px:1 2 3)");
+  ASSERT_TRUE(t.IsTable());
+  EXPECT_EQ(t.Count(), 3u);
+  EXPECT_EQ(Eval("t: ([] sym:`a`b; px:1 2); cols t").SymsView(),
+            (std::vector<std::string>{"sym", "px"}));
+  EXPECT_EQ(Eval("t: ([] a:1 2; b:3 4); count t").AsInt(), 2);
+}
+
+TEST(InterpTest, FlipDictToTable) {
+  QValue t = Eval("flip `a`b!(1 2;3 4)");
+  ASSERT_TRUE(t.IsTable());
+  EXPECT_EQ(t.Table().names, (std::vector<std::string>{"a", "b"}));
+}
+
+TEST(InterpTest, TypeOf) {
+  EXPECT_EQ(Eval("type 5").AsInt(), -7);       // long atom
+  EXPECT_EQ(Eval("type 1 2 3").AsInt(), 7);    // long list
+  EXPECT_EQ(Eval("type `a").AsInt(), -11);
+  EXPECT_EQ(Eval("type ([] a: 1 2)").AsInt(), 98);
+}
+
+TEST(InterpTest, ErrorsAreInformative) {
+  Interpreter interp;
+  auto r = interp.EvalText("undefined_variable+1");
+  ASSERT_FALSE(r.ok());
+  // Hyper-Q errors are more verbose than kdb+'s terse errors (§5).
+  EXPECT_NE(r.status().message().find("undefined_variable"),
+            std::string::npos);
+}
+
+TEST(InterpTest, SetOps) {
+  EXPECT_EQ(Eval("1 2 3 union 3 4").Ints(),
+            (std::vector<int64_t>{1, 2, 3, 4}));
+  EXPECT_EQ(Eval("1 2 3 inter 2 3 4").Ints(),
+            (std::vector<int64_t>{2, 3}));
+  EXPECT_EQ(Eval("1 2 3 except 2").Ints(), (std::vector<int64_t>{1, 3}));
+}
+
+TEST(InterpTest, ModDivXbar) {
+  EXPECT_EQ(Eval("7 mod 3").AsInt(), 1);
+  EXPECT_EQ(Eval("7 div 3").AsInt(), 2);
+  EXPECT_EQ(Eval("5 xbar 7 12 13").Ints(),
+            (std::vector<int64_t>{5, 10, 10}));
+}
+
+TEST(InterpTest, ProjectionHole) {
+  EXPECT_EQ(Eval("g: {[a;b] a-b}; h: g[;2]; h 10").AsInt(), 8);
+}
+
+TEST(InterpTest, RecursionWorks) {
+  EXPECT_EQ(Eval("fact: {$[x<2;1;x*fact x-1]}; fact 5").AsInt(), 120);
+}
+
+TEST(InterpTest, GroupBuiltin) {
+  QValue d = Eval("group `a`b`a");
+  ASSERT_TRUE(d.IsDict());
+  EXPECT_EQ(d.Dict().keys->SymsView(),
+            (std::vector<std::string>{"a", "b"}));
+}
+
+}  // namespace
+}  // namespace kdb
+}  // namespace hyperq

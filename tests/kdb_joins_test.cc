@@ -1,0 +1,154 @@
+#include <gtest/gtest.h>
+
+#include "kdb/engine.h"
+
+namespace hyperq {
+namespace kdb {
+namespace {
+
+class JoinsTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    // trades/quotes in the shape of §2.2 Example 1 (TAQ-like market data).
+    ASSERT_TRUE(interp_
+                    .EvalText(
+                        "trades: ([] Symbol:`GOOG`IBM`GOOG;"
+                        " Time:09:30:05.000 09:30:06.000 09:30:10.000;"
+                        " Price:720.5 151.2 721.0)")
+                    .ok());
+    ASSERT_TRUE(interp_
+                    .EvalText(
+                        "quotes: ([] Symbol:`GOOG`GOOG`IBM`GOOG;"
+                        " Time:09:30:01.000 09:30:04.000 09:30:05.500 "
+                        "09:30:09.000;"
+                        " Bid:720.0 720.3 151.0 720.8;"
+                        " Ask:720.9 720.8 151.5 721.4)")
+                    .ok());
+  }
+
+  QValue Eval(const std::string& text) {
+    auto r = interp_.EvalText(text);
+    EXPECT_TRUE(r.ok()) << text << " -> " << r.status().ToString();
+    return r.ok() ? *r : QValue();
+  }
+
+  Interpreter interp_;
+};
+
+TEST_F(JoinsTest, AsOfJoinPaperExample2) {
+  // aj[`Symbol`Time; trades; quotes]: for each trade, the prevailing quote.
+  QValue t = Eval("aj[`Symbol`Time; trades; quotes]");
+  ASSERT_TRUE(t.IsTable());
+  EXPECT_EQ(t.Count(), 3u);
+  int bid = t.Table().FindColumn("Bid");
+  int ask = t.Table().FindColumn("Ask");
+  ASSERT_GE(bid, 0);
+  ASSERT_GE(ask, 0);
+  // Trade 1: GOOG @09:30:05 -> quote @09:30:04 (Bid 720.3).
+  EXPECT_DOUBLE_EQ(t.Table().columns[bid].Floats()[0], 720.3);
+  // Trade 2: IBM @09:30:06 -> quote @09:30:05.5 (Bid 151.0).
+  EXPECT_DOUBLE_EQ(t.Table().columns[bid].Floats()[1], 151.0);
+  // Trade 3: GOOG @09:30:10 -> quote @09:30:09 (Bid 720.8).
+  EXPECT_DOUBLE_EQ(t.Table().columns[bid].Floats()[2], 720.8);
+  EXPECT_DOUBLE_EQ(t.Table().columns[ask].Floats()[2], 721.4);
+}
+
+TEST_F(JoinsTest, AsOfJoinNoMatchYieldsNull) {
+  QValue t = Eval(
+      "aj[`Symbol`Time;"
+      " ([] Symbol:enlist `MSFT; Time:enlist 09:30:00.000; Price:enlist 1.0);"
+      " quotes]");
+  int bid = t.Table().FindColumn("Bid");
+  EXPECT_TRUE(t.Table().columns[bid].ElementAt(0).IsNullAtom());
+}
+
+TEST_F(JoinsTest, AsOfJoinTimeBeforeAllQuotes) {
+  QValue t = Eval(
+      "aj[`Symbol`Time;"
+      " ([] Symbol:enlist `GOOG; Time:enlist 09:30:00.500; Price:enlist 1.0);"
+      " quotes]");
+  int bid = t.Table().FindColumn("Bid");
+  EXPECT_TRUE(t.Table().columns[bid].ElementAt(0).IsNullAtom());
+}
+
+TEST_F(JoinsTest, LeftJoinKeyed) {
+  QValue t = Eval(
+      "refdata: ([sym:`GOOG`IBM] sector:`tech`tech2);"
+      "t: ([] sym:`GOOG`MSFT; px:1 2);"
+      "t lj refdata");
+  ASSERT_TRUE(t.IsTable());
+  int sector = t.Table().FindColumn("sector");
+  ASSERT_GE(sector, 0);
+  EXPECT_EQ(t.Table().columns[sector].SymsView()[0], "tech");
+  EXPECT_TRUE(t.Table().columns[sector].ElementAt(1).IsNullAtom());
+}
+
+TEST_F(JoinsTest, InnerJoinKeyed) {
+  QValue t = Eval(
+      "refdata: ([sym:`GOOG`IBM] sector:`tech`svc);"
+      "t: ([] sym:`GOOG`MSFT`IBM; px:1 2 3);"
+      "t ij refdata");
+  EXPECT_EQ(t.Count(), 2u);
+  int sector = t.Table().FindColumn("sector");
+  EXPECT_EQ(t.Table().columns[sector].SymsView()[1], "svc");
+}
+
+TEST_F(JoinsTest, UnionJoinFillsMissingColumns) {
+  QValue t = Eval(
+      "a: ([] x:1 2; y:`p`q);"
+      "b: ([] x:3 4; z:10.5 11.5);"
+      "a uj b");
+  EXPECT_EQ(t.Count(), 4u);
+  EXPECT_EQ(t.Table().names, (std::vector<std::string>{"x", "y", "z"}));
+  // y is null in b's rows, z null in a's rows.
+  EXPECT_TRUE(t.Table().columns[1].ElementAt(2).IsNullAtom());
+  EXPECT_TRUE(t.Table().columns[2].ElementAt(0).IsNullAtom());
+  EXPECT_DOUBLE_EQ(t.Table().columns[2].Floats()[3], 11.5);
+}
+
+TEST_F(JoinsTest, EquiJoinAllMatches) {
+  QValue t = Eval(
+      "a: ([] s:`x`y; v:1 2);"
+      "b: ([] s:`x`x`y; w:10 20 30);"
+      "ej[`s; a; b]");
+  EXPECT_EQ(t.Count(), 3u);  // x matches twice, y once
+}
+
+TEST_F(JoinsTest, KeyedTableConstruction) {
+  QValue kt = Eval("`sym xkey ([] sym:`a`b; px:1 2)");
+  ASSERT_TRUE(kt.IsKeyedTable());
+  EXPECT_EQ(Eval("keys `sym xkey ([] sym:`a`b; px:1 2)").SymsView(),
+            (std::vector<std::string>{"sym"}));
+}
+
+TEST_F(JoinsTest, BangKeysFirstNColumns) {
+  QValue kt = Eval("1!([] sym:`a`b; px:1 2)");
+  EXPECT_TRUE(kt.IsKeyedTable());
+}
+
+TEST_F(JoinsTest, CrossJoinTables) {
+  QValue t = Eval("([] a:1 2) cross ([] b:`x`y`z)");
+  EXPECT_EQ(t.Count(), 6u);
+}
+
+TEST_F(JoinsTest, XascXdescSortTables) {
+  QValue t = Eval("`Price xasc trades");
+  EXPECT_DOUBLE_EQ(t.Table().columns[2].Floats()[0], 151.2);
+  QValue d = Eval("`Price xdesc trades");
+  EXPECT_DOUBLE_EQ(d.Table().columns[2].Floats()[0], 721.0);
+}
+
+TEST_F(JoinsTest, AjInsideSelectPipeline) {
+  // Example 1 from §2.2 end-to-end.
+  QValue t = Eval(
+      "aj[`Symbol`Time;"
+      " select Symbol, Time, Price from trades where Symbol in `GOOG`IBM;"
+      " select Symbol, Time, Bid, Ask from quotes]");
+  ASSERT_TRUE(t.IsTable());
+  EXPECT_EQ(t.Count(), 3u);
+  EXPECT_GE(t.Table().FindColumn("Bid"), 0);
+}
+
+}  // namespace
+}  // namespace kdb
+}  // namespace hyperq

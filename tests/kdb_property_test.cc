@@ -1,0 +1,183 @@
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "kdb/value_ops.h"
+#include "testing/market_data.h"
+
+namespace hyperq {
+namespace kdb {
+namespace {
+
+/// Property-style sweeps over the value-operation invariants, parameterized
+/// by RNG seed so each instantiation exercises different data.
+class ValueOpsProperty : public ::testing::TestWithParam<uint64_t> {
+ protected:
+  testing::Rng rng_{GetParam()};
+
+  /// Random long list with ~10% nulls.
+  QValue RandomLongs(size_t n) {
+    std::vector<int64_t> v(n);
+    for (auto& x : v) {
+      x = rng_.Below(10) == 0 ? kNullLong
+                              : static_cast<int64_t>(rng_.Below(1000)) - 500;
+    }
+    return QValue::IntList(QType::kLong, std::move(v));
+  }
+
+  QValue RandomFloats(size_t n) {
+    std::vector<double> v(n);
+    for (auto& x : v) {
+      x = rng_.Below(10) == 0 ? std::nan("") : rng_.NextDouble() * 100 - 50;
+    }
+    return QValue::FloatList(QType::kFloat, std::move(v));
+  }
+
+  QValue RandomSyms(size_t n) {
+    static const char* kPool[] = {"a", "b", "c", "d", ""};
+    std::vector<std::string> v(n);
+    for (auto& s : v) s = kPool[rng_.Below(5)];
+    return QValue::Syms(std::move(v));
+  }
+};
+
+TEST_P(ValueOpsProperty, SortedOutputIsOrderedPermutation) {
+  QValue v = RandomLongs(64);
+  std::vector<int64_t> idx = GradeList(v, true);
+  ASSERT_EQ(idx.size(), v.Count());
+  // Permutation: every index exactly once.
+  std::vector<bool> seen(idx.size(), false);
+  for (int64_t i : idx) {
+    ASSERT_GE(i, 0);
+    ASSERT_LT(static_cast<size_t>(i), seen.size());
+    EXPECT_FALSE(seen[i]);
+    seen[i] = true;
+  }
+  // Ordered under the element comparator.
+  QValue sorted = *IndexElements(v, idx);
+  for (size_t i = 1; i < sorted.Count(); ++i) {
+    EXPECT_LE(CompareListElems(sorted, i - 1, i), 0);
+  }
+}
+
+TEST_P(ValueOpsProperty, ReverseIsInvolution) {
+  QValue v = RandomFloats(33);
+  QValue back = *Reverse(*Reverse(v));
+  EXPECT_TRUE(QValue::Match(v, back));
+}
+
+TEST_P(ValueOpsProperty, DistinctIsIdempotentAndSubset) {
+  QValue v = RandomSyms(50);
+  QValue d1 = *Distinct(v);
+  QValue d2 = *Distinct(d1);
+  EXPECT_TRUE(QValue::Match(d1, d2));
+  EXPECT_LE(d1.Count(), v.Count());
+  // Every element of v appears in d1.
+  QValue mask = *InOp(v, d1);
+  for (int64_t m : mask.Ints()) EXPECT_EQ(m, 1);
+}
+
+TEST_P(ValueOpsProperty, TakeDropPartitionTheList) {
+  QValue v = RandomLongs(40);
+  int64_t n = static_cast<int64_t>(rng_.Below(40));
+  QValue head = *Take(n, v);
+  QValue tail = *Drop(n, v);
+  QValue joined = *Concat(head, tail);
+  EXPECT_TRUE(QValue::Match(v, joined));
+}
+
+TEST_P(ValueOpsProperty, ConcatCountIsAdditive) {
+  QValue a = RandomLongs(rng_.Below(30));
+  QValue b = RandomLongs(rng_.Below(30));
+  QValue c = *Concat(a, b);
+  EXPECT_EQ(c.Count(), a.Count() + b.Count());
+}
+
+TEST_P(ValueOpsProperty, FillsLeavesNoInteriorNulls) {
+  QValue v = RandomLongs(32);
+  QValue filled = *Fills(v);
+  bool seen_value = false;
+  for (size_t i = 0; i < filled.Count(); ++i) {
+    if (filled.Ints()[i] != kNullLong) {
+      seen_value = true;
+    } else {
+      // Nulls may only appear before the first non-null element.
+      EXPECT_FALSE(seen_value) << "null after a value at position " << i;
+    }
+  }
+}
+
+TEST_P(ValueOpsProperty, SumMatchesRunningSumsLast) {
+  QValue v = RandomFloats(25);
+  QValue total = *AggSum(v);
+  QValue running = *RunningSums(v);
+  double last = running.Floats().back();
+  // Running sums propagate NaN; total skips nulls — they agree only when
+  // no nulls are present, so compare on a null-free copy.
+  std::vector<double> clean;
+  for (double x : v.Floats()) {
+    if (!std::isnan(x)) clean.push_back(x);
+  }
+  QValue cv = QValue::FloatList(QType::kFloat, clean);
+  QValue rs = *RunningSums(cv);
+  double cl = clean.empty() ? 0 : rs.Floats().back();
+  QValue total_clean = *AggSum(cv);
+  EXPECT_NEAR(total_clean.AsFloat(), cl, 1e-9);
+  (void)total;
+  (void)last;
+}
+
+TEST_P(ValueOpsProperty, MinMaxBracketAllElements) {
+  QValue v = RandomLongs(30);
+  QValue lo = *AggMin(v);
+  QValue hi = *AggMax(v);
+  if (lo.IsNullAtom()) return;  // all nulls
+  for (int64_t x : v.Ints()) {
+    if (x == kNullLong) continue;
+    EXPECT_GE(x, lo.AsInt());
+    EXPECT_LE(x, hi.AsInt());
+  }
+}
+
+TEST_P(ValueOpsProperty, GroupRowsCoverExactlyAllRows) {
+  QValue keys = RandomSyms(45);
+  Grouping g = *GroupRows({keys});
+  std::vector<bool> seen(keys.Count(), false);
+  for (const auto& rows : g.group_rows) {
+    for (int64_t r : rows) {
+      EXPECT_FALSE(seen[r]);
+      seen[r] = true;
+    }
+  }
+  for (bool s : seen) EXPECT_TRUE(s);
+  // Group keys are distinct and ascending.
+  const auto& gk = g.group_keys[0];
+  for (size_t i = 1; i < gk.Count(); ++i) {
+    EXPECT_LT(CompareListElems(gk, i - 1, i), 0);
+  }
+}
+
+TEST_P(ValueOpsProperty, FindInverseOfIndex) {
+  QValue v = *Distinct(RandomLongs(30));
+  if (v.Count() == 0) return;
+  // find(v, v[i]) == i for distinct lists.
+  for (size_t i = 0; i < v.Count(); ++i) {
+    QValue pos = *Find(v, v.ElementAt(i));
+    EXPECT_EQ(pos.AsInt(), static_cast<int64_t>(i));
+  }
+}
+
+TEST_P(ValueOpsProperty, CompareDyadEqIsReflexive2VL) {
+  QValue v = RandomLongs(20);
+  QValue eq = *CompareDyad(CmpOp::kEq, v, v);
+  // Q 2VL: even null elements compare equal to themselves.
+  for (int64_t b : eq.Ints()) EXPECT_EQ(b, 1);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ValueOpsProperty,
+                         ::testing::Values(1u, 2u, 3u, 5u, 8u, 13u, 21u,
+                                           34u, 55u, 89u));
+
+}  // namespace
+}  // namespace kdb
+}  // namespace hyperq

@@ -1,0 +1,195 @@
+#include <gtest/gtest.h>
+
+#include "kdb/engine.h"
+
+namespace hyperq {
+namespace kdb {
+namespace {
+
+/// Fixture loading a small trades table resembling TAQ market data.
+class QueryTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_TRUE(interp_
+                    .EvalText(
+                        "trades: ([] Symbol:`GOOG`IBM`GOOG`MSFT`IBM;"
+                        " Price:720.5 151.2 721.0 52.1 150.9;"
+                        " Size:100 200 150 300 120;"
+                        " Time:09:30:00.000 09:30:01.000 09:30:02.000 "
+                        "09:30:03.000 09:30:04.000)")
+                    .ok());
+  }
+
+  QValue Eval(const std::string& text) {
+    auto r = interp_.EvalText(text);
+    EXPECT_TRUE(r.ok()) << text << " -> " << r.status().ToString();
+    return r.ok() ? *r : QValue();
+  }
+
+  Interpreter interp_;
+};
+
+TEST_F(QueryTest, SelectAll) {
+  QValue t = Eval("select from trades");
+  ASSERT_TRUE(t.IsTable());
+  EXPECT_EQ(t.Count(), 5u);
+  EXPECT_EQ(t.Table().names.size(), 4u);
+}
+
+TEST_F(QueryTest, SelectColumns) {
+  QValue t = Eval("select Symbol, Price from trades");
+  EXPECT_EQ(t.Table().names, (std::vector<std::string>{"Symbol", "Price"}));
+}
+
+TEST_F(QueryTest, SelectWhere) {
+  QValue t = Eval("select Price from trades where Symbol=`GOOG");
+  EXPECT_EQ(t.Count(), 2u);
+  EXPECT_DOUBLE_EQ(t.Table().columns[0].Floats()[1], 721.0);
+}
+
+TEST_F(QueryTest, WhereConditionsApplySequentially) {
+  QValue t = Eval("select from trades where Price>100, Symbol=`IBM");
+  EXPECT_EQ(t.Count(), 2u);
+}
+
+TEST_F(QueryTest, SelectComputedColumn) {
+  QValue t = Eval("select notional: Price*Size from trades where Symbol=`GOOG");
+  EXPECT_EQ(t.Table().names[0], "notional");
+  EXPECT_DOUBLE_EQ(t.Table().columns[0].Floats()[0], 72050.0);
+}
+
+TEST_F(QueryTest, ColumnNameInference) {
+  // q names `max Price` simply Price.
+  QValue t = Eval("select max Price from trades");
+  EXPECT_EQ(t.Table().names[0], "Price");
+}
+
+TEST_F(QueryTest, ScalarAggBroadcast) {
+  QValue t = Eval("select max Price from trades");
+  EXPECT_EQ(t.Count(), 1u);
+  EXPECT_DOUBLE_EQ(t.Table().columns[0].Floats()[0], 721.0);
+}
+
+TEST_F(QueryTest, SelectByGrouping) {
+  QValue kt = Eval("select mx: max Price by Symbol from trades");
+  ASSERT_TRUE(kt.IsKeyedTable());
+  const QTable& keys = kt.Dict().keys->Table();
+  const QTable& vals = kt.Dict().values->Table();
+  // Groups come out in ascending key order.
+  EXPECT_EQ(keys.columns[0].SymsView(),
+            (std::vector<std::string>{"GOOG", "IBM", "MSFT"}));
+  EXPECT_DOUBLE_EQ(vals.columns[0].Floats()[0], 721.0);
+  EXPECT_DOUBLE_EQ(vals.columns[0].Floats()[1], 151.2);
+}
+
+TEST_F(QueryTest, SelectByMultipleAggs) {
+  QValue kt = Eval(
+      "select n: count Price, vwap: Size wavg Price by Symbol from trades");
+  const QTable& vals = kt.Dict().values->Table();
+  EXPECT_EQ(vals.names, (std::vector<std::string>{"n", "vwap"}));
+  EXPECT_EQ(vals.columns[0].Ints()[0], 2);  // GOOG count
+}
+
+TEST_F(QueryTest, VirtualColumnI) {
+  QValue t = Eval("select i from trades where Symbol=`IBM");
+  EXPECT_EQ(t.Table().columns[0].Ints(), (std::vector<int64_t>{1, 4}));
+}
+
+TEST_F(QueryTest, ExecSingleColumn) {
+  QValue v = Eval("exec Price from trades where Symbol=`MSFT");
+  EXPECT_FALSE(v.IsTable());
+  EXPECT_EQ(v.Count(), 1u);
+  EXPECT_DOUBLE_EQ(v.Floats()[0], 52.1);
+}
+
+TEST_F(QueryTest, ExecScalarAgg) {
+  QValue v = Eval("exec max Price from trades");
+  EXPECT_TRUE(v.is_atom());
+  EXPECT_DOUBLE_EQ(v.AsFloat(), 721.0);
+}
+
+TEST_F(QueryTest, ExecBy) {
+  QValue d = Eval("exec max Price by Symbol from trades");
+  ASSERT_TRUE(d.IsDict());
+  EXPECT_EQ(d.Dict().keys->SymsView(),
+            (std::vector<std::string>{"GOOG", "IBM", "MSFT"}));
+}
+
+TEST_F(QueryTest, UpdateReplacesColumnInOutputOnly) {
+  // §2.2: Q update replaces columns in the query output, not persisted
+  // state.
+  QValue t = Eval("update Price: 2*Price from trades");
+  EXPECT_DOUBLE_EQ(t.Table().columns[1].Floats()[0], 1441.0);
+  // The global is unchanged.
+  QValue orig = Eval("trades");
+  EXPECT_DOUBLE_EQ(orig.Table().columns[1].Floats()[0], 720.5);
+}
+
+TEST_F(QueryTest, UpdateWithWhereTouchesOnlyMatchingRows) {
+  QValue t = Eval("update Price: 0.0 from trades where Symbol=`IBM");
+  EXPECT_DOUBLE_EQ(t.Table().columns[1].Floats()[0], 720.5);
+  EXPECT_DOUBLE_EQ(t.Table().columns[1].Floats()[1], 0.0);
+}
+
+TEST_F(QueryTest, UpdateAddsNewColumn) {
+  QValue t = Eval("update big: Price>200 from trades");
+  int c = t.Table().FindColumn("big");
+  ASSERT_GE(c, 0);
+  EXPECT_EQ(t.Table().columns[c].Ints()[0], 1);
+  EXPECT_EQ(t.Table().columns[c].Ints()[3], 0);
+}
+
+TEST_F(QueryTest, DeleteRows) {
+  QValue t = Eval("delete from trades where Symbol=`GOOG");
+  EXPECT_EQ(t.Count(), 3u);
+}
+
+TEST_F(QueryTest, DeleteColumns) {
+  QValue t = Eval("delete Size from trades");
+  EXPECT_EQ(t.Table().names,
+            (std::vector<std::string>{"Symbol", "Price", "Time"}));
+}
+
+TEST_F(QueryTest, SelectFromExpression) {
+  QValue t = Eval("select from select from trades where Price>100");
+  EXPECT_EQ(t.Count(), 4u);
+}
+
+TEST_F(QueryTest, SelectByBareKeepsLastRow) {
+  QValue kt = Eval("select by Symbol from trades");
+  ASSERT_TRUE(kt.IsKeyedTable());
+  const QTable& vals = kt.Dict().values->Table();
+  // Last GOOG row has Price 721.0.
+  EXPECT_DOUBLE_EQ(vals.columns[0].Floats()[0], 721.0);
+}
+
+TEST_F(QueryTest, PaperExample3EndToEnd) {
+  // §3.2.3 Example 3: function with intermediate variable.
+  QValue v = Eval(
+      "f: {[Sym]\n"
+      "  dt: select Price from trades where Symbol=Sym;\n"
+      "  :exec max Price from dt;\n"
+      "  };\n"
+      "f[`GOOG]");
+  EXPECT_TRUE(v.is_atom());
+  EXPECT_DOUBLE_EQ(v.AsFloat(), 721.0);
+}
+
+TEST_F(QueryTest, SelectByTimeBuckets) {
+  QValue kt = Eval(
+      "select vol: sum Size by bucket: 2 xbar i from trades");
+  ASSERT_TRUE(kt.IsKeyedTable());
+  EXPECT_EQ(kt.Dict().keys->Table().names[0], "bucket");
+}
+
+TEST_F(QueryTest, GroupedWhereInteraction) {
+  QValue kt = Eval(
+      "select total: sum Size by Symbol from trades where Price>100");
+  const QTable& keys = kt.Dict().keys->Table();
+  EXPECT_EQ(keys.columns[0].SymsView(),
+            (std::vector<std::string>{"GOOG", "IBM"}));
+}
+
+}  // namespace
+}  // namespace kdb
+}  // namespace hyperq

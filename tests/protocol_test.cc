@@ -1,0 +1,213 @@
+#include <gtest/gtest.h>
+
+#include "protocol/pgwire/pgwire.h"
+#include "protocol/qipc/qipc.h"
+#include "qval/temporal.h"
+
+namespace hyperq {
+namespace {
+
+QValue RoundTrip(const QValue& v) {
+  auto encoded = qipc::EncodeMessage(v, qipc::MsgType::kResponse);
+  EXPECT_TRUE(encoded.ok()) << encoded.status().ToString();
+  if (!encoded.ok()) return QValue();
+  auto decoded = qipc::DecodeMessage(*encoded);
+  EXPECT_TRUE(decoded.ok()) << decoded.status().ToString();
+  if (!decoded.ok()) return QValue();
+  EXPECT_FALSE(decoded->is_error);
+  return decoded->value;
+}
+
+TEST(QipcTest, AtomsRoundTrip) {
+  EXPECT_TRUE(QValue::Match(RoundTrip(QValue::Long(42)), QValue::Long(42)));
+  EXPECT_TRUE(QValue::Match(RoundTrip(QValue::Bool(true)), QValue::Bool(true)));
+  EXPECT_TRUE(QValue::Match(RoundTrip(QValue::Int(7)), QValue::Int(7)));
+  EXPECT_TRUE(QValue::Match(RoundTrip(QValue::Short(-3)), QValue::Short(-3)));
+  EXPECT_TRUE(
+      QValue::Match(RoundTrip(QValue::Float(2.5)), QValue::Float(2.5)));
+  EXPECT_TRUE(
+      QValue::Match(RoundTrip(QValue::Sym("GOOG")), QValue::Sym("GOOG")));
+  EXPECT_TRUE(QValue::Match(RoundTrip(QValue::Char('x')), QValue::Char('x')));
+}
+
+TEST(QipcTest, TemporalAtomsRoundTrip) {
+  QValue d = QValue::Date(YmdToQDays(2016, 6, 26));
+  EXPECT_TRUE(QValue::Match(RoundTrip(d), d));
+  QValue t = QValue::Time(34200000);
+  EXPECT_TRUE(QValue::Match(RoundTrip(t), t));
+  QValue ts = QValue::Timestamp(123456789123456789LL);
+  EXPECT_TRUE(QValue::Match(RoundTrip(ts), ts));
+}
+
+TEST(QipcTest, NullsRoundTripAcrossWidths) {
+  // Narrow nulls use width-specific sentinels on the wire.
+  for (QType t : {QType::kLong, QType::kInt, QType::kShort, QType::kFloat,
+                  QType::kSymbol, QType::kDate, QType::kTime}) {
+    QValue null = QValue::NullOf(t);
+    EXPECT_TRUE(QValue::Match(RoundTrip(null), null)) << QTypeName(t);
+  }
+}
+
+TEST(QipcTest, ListsRoundTrip) {
+  QValue longs = QValue::IntList(QType::kLong, {1, kNullLong, 3});
+  EXPECT_TRUE(QValue::Match(RoundTrip(longs), longs));
+  QValue syms = QValue::Syms({"a", "", "c"});
+  EXPECT_TRUE(QValue::Match(RoundTrip(syms), syms));
+  QValue chars = QValue::Chars("select from trades");
+  EXPECT_TRUE(QValue::Match(RoundTrip(chars), chars));
+  QValue mixed = QValue::Mixed({QValue::Long(1), QValue::Sym("x")});
+  EXPECT_TRUE(QValue::Match(RoundTrip(mixed), mixed));
+  QValue bools = QValue::IntList(QType::kBool, {1, 0, 1});
+  EXPECT_TRUE(QValue::Match(RoundTrip(bools), bools));
+}
+
+TEST(QipcTest, TableRoundTripsColumnOriented) {
+  // Figure 5: a whole table travels as a single column-oriented message.
+  QValue table = QValue::MakeTableUnchecked(
+      {"c1", "c2"}, {QValue::IntList(QType::kLong, {1, 2}),
+                     QValue::IntList(QType::kLong, {1, 2})});
+  EXPECT_TRUE(QValue::Match(RoundTrip(table), table));
+}
+
+TEST(QipcTest, DictAndKeyedTableRoundTrip) {
+  QValue dict = QValue::MakeDictUnchecked(
+      QValue::Syms({"a", "b"}), QValue::IntList(QType::kLong, {1, 2}));
+  EXPECT_TRUE(QValue::Match(RoundTrip(dict), dict));
+  QValue kt = QValue::MakeDictUnchecked(
+      QValue::MakeTableUnchecked({"sym"}, {QValue::Syms({"a"})}),
+      QValue::MakeTableUnchecked(
+          {"px"}, {QValue::FloatList(QType::kFloat, {1.5})}));
+  EXPECT_TRUE(QValue::Match(RoundTrip(kt), kt));
+}
+
+TEST(QipcTest, GenericNullRoundTrip) {
+  EXPECT_TRUE(QValue::Match(RoundTrip(QValue()), QValue()));
+}
+
+TEST(QipcTest, ErrorMessageEncoding) {
+  auto bytes = qipc::EncodeError("type", qipc::MsgType::kResponse);
+  auto decoded = qipc::DecodeMessage(bytes);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_TRUE(decoded->is_error);
+  EXPECT_EQ(decoded->error, "type");
+}
+
+TEST(QipcTest, HeaderCarriesLength) {
+  auto bytes = qipc::EncodeMessage(QValue::Long(1), qipc::MsgType::kSync);
+  ASSERT_TRUE(bytes.ok());
+  auto len = qipc::PeekMessageLength(bytes->data());
+  ASSERT_TRUE(len.ok());
+  EXPECT_EQ(*len, bytes->size());
+}
+
+TEST(QipcTest, HandshakeRoundTrip) {
+  auto bytes = qipc::EncodeHandshake("trader", "s3cret", 3);
+  auto hs = qipc::DecodeHandshake(bytes);
+  ASSERT_TRUE(hs.ok());
+  EXPECT_EQ(hs->user, "trader");
+  EXPECT_EQ(hs->password, "s3cret");
+  EXPECT_EQ(hs->version, 3);
+}
+
+TEST(QipcTest, TruncatedMessageIsProtocolError) {
+  auto bytes = qipc::EncodeMessage(QValue::Long(1), qipc::MsgType::kSync);
+  ASSERT_TRUE(bytes.ok());
+  std::vector<uint8_t> cut(bytes->begin(), bytes->end() - 2);
+  EXPECT_FALSE(qipc::DecodeMessage(cut).ok());
+}
+
+TEST(PgWireTest, OidMappingIsInverse) {
+  using sqldb::SqlType;
+  for (SqlType t : {SqlType::kBoolean, SqlType::kSmallInt, SqlType::kInteger,
+                    SqlType::kBigInt, SqlType::kReal, SqlType::kDouble,
+                    SqlType::kVarchar, SqlType::kDate, SqlType::kTime,
+                    SqlType::kTimestamp}) {
+    EXPECT_EQ(pgwire::SqlTypeForOid(pgwire::OidFor(t)), t);
+  }
+}
+
+TEST(PgWireTest, MessageFraming) {
+  ByteWriter w;
+  ByteWriter body;
+  body.PutCString("SELECT 1");
+  pgwire::WriteMessage(&w, pgwire::kMsgQuery, body.Take());
+  const auto& bytes = w.data();
+  EXPECT_EQ(bytes[0], 'Q');
+  // Length covers itself + body (4 + 9).
+  EXPECT_EQ(bytes[4], 13);
+}
+
+/// Full server round trip over real TCP: startup, auth, query, results.
+TEST(PgWireTest, EndToEndQueryOverWire) {
+  sqldb::Database db;
+  {
+    auto session = db.CreateSession();
+    ASSERT_TRUE(db.Execute(session.get(),
+                           "CREATE TABLE t (a bigint, b varchar)")
+                    .ok());
+    ASSERT_TRUE(db.Execute(session.get(),
+                           "INSERT INTO t VALUES (1,'x'), (2,'y'), "
+                           "(3, NULL)")
+                    .ok());
+  }
+  pgwire::PgWireServer server(&db, pgwire::ServerOptions{});
+  ASSERT_TRUE(server.Start(0).ok());
+
+  auto client = pgwire::PgWireClient::Connect("127.0.0.1", server.port(),
+                                              "hyperq", "");
+  ASSERT_TRUE(client.ok()) << client.status().ToString();
+  auto result = client->Query("SELECT a, b FROM t ORDER BY a");
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  ASSERT_EQ(result->rows.size(), 3u);
+  EXPECT_EQ(result->rows[0][0].AsInt(), 1);
+  EXPECT_EQ(result->rows[1][1].AsString(), "y");
+  EXPECT_TRUE(result->rows[2][1].is_null());
+  EXPECT_EQ(result->command_tag, "SELECT 3");
+
+  // Errors surface through ErrorResponse and the connection stays usable.
+  auto bad = client->Query("SELECT nope FROM t");
+  EXPECT_FALSE(bad.ok());
+  auto again = client->Query("SELECT COUNT(*) FROM t");
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(again->rows[0][0].AsInt(), 3);
+
+  client->Close();
+  server.Stop();
+}
+
+TEST(PgWireTest, CleartextAuthFlow) {
+  sqldb::Database db;
+  pgwire::ServerOptions opts;
+  opts.auth = pgwire::AuthMode::kCleartext;
+  opts.user = "gp";
+  opts.password = "secret";
+  pgwire::PgWireServer server(&db, opts);
+  ASSERT_TRUE(server.Start(0).ok());
+
+  auto good =
+      pgwire::PgWireClient::Connect("127.0.0.1", server.port(), "gp",
+                                    "secret");
+  EXPECT_TRUE(good.ok()) << good.status().ToString();
+  auto bad = pgwire::PgWireClient::Connect("127.0.0.1", server.port(), "gp",
+                                           "wrong");
+  EXPECT_FALSE(bad.ok());
+  server.Stop();
+}
+
+TEST(PgWireTest, Md5AuthFlow) {
+  sqldb::Database db;
+  pgwire::ServerOptions opts;
+  opts.auth = pgwire::AuthMode::kMd5;
+  opts.user = "gp";
+  opts.password = "secret";
+  pgwire::PgWireServer server(&db, opts);
+  ASSERT_TRUE(server.Start(0).ok());
+  auto good =
+      pgwire::PgWireClient::Connect("127.0.0.1", server.port(), "gp",
+                                    "secret");
+  EXPECT_TRUE(good.ok()) << good.status().ToString();
+  server.Stop();
+}
+
+}  // namespace
+}  // namespace hyperq

@@ -1,0 +1,213 @@
+#include <gtest/gtest.h>
+
+#include "protocol/qipc/compress.h"
+#include "protocol/qipc/qipc.h"
+#include "testing/market_data.h"
+
+namespace hyperq {
+namespace qipc {
+namespace {
+
+/// Property sweep: randomly generated Q values of every wire-encodable
+/// shape must round-trip through QIPC byte-identically under Q match
+/// semantics (nulls included).
+class QipcRoundTrip : public ::testing::TestWithParam<uint64_t> {
+ protected:
+  testing::Rng rng_{GetParam()};
+
+  QValue RandomAtom() {
+    switch (rng_.Below(8)) {
+      case 0:
+        return QValue::Long(static_cast<int64_t>(rng_.Below(1000)) - 500);
+      case 1:
+        return QValue::Float(rng_.NextDouble() * 1e6 - 5e5);
+      case 2:
+        return QValue::Sym(std::string(1 + rng_.Below(6), 'a' + rng_.Below(26)));
+      case 3:
+        return QValue::Bool(rng_.Below(2) == 0);
+      case 4:
+        return QValue::Date(static_cast<int64_t>(rng_.Below(10000)));
+      case 5:
+        return QValue::Time(static_cast<int64_t>(rng_.Below(86400000)));
+      case 6:
+        return QValue::NullOf(QType::kLong);
+      default:
+        return QValue::Char('a' + rng_.Below(26));
+    }
+  }
+
+  QValue RandomList(int depth) {
+    switch (rng_.Below(depth > 0 ? 6 : 5)) {
+      case 0: {
+        std::vector<int64_t> v(rng_.Below(20));
+        for (auto& x : v) {
+          x = rng_.Below(8) == 0 ? kNullLong
+                                 : static_cast<int64_t>(rng_.Below(100));
+        }
+        return QValue::IntList(QType::kLong, std::move(v));
+      }
+      case 1: {
+        std::vector<double> v(rng_.Below(20));
+        for (auto& x : v) x = rng_.NextDouble();
+        return QValue::FloatList(QType::kFloat, std::move(v));
+      }
+      case 2: {
+        std::vector<std::string> v(rng_.Below(12));
+        for (auto& s : v) s = std::string(rng_.Below(5), 'x');
+        return QValue::Syms(std::move(v));
+      }
+      case 3: {
+        std::string s(rng_.Below(30), ' ');
+        for (auto& c : s) c = 'a' + rng_.Below(26);
+        return QValue::Chars(std::move(s));
+      }
+      case 4: {
+        std::vector<int64_t> v(rng_.Below(10));
+        for (auto& x : v) x = rng_.Below(2);
+        return QValue::IntList(QType::kBool, std::move(v));
+      }
+      default: {
+        std::vector<QValue> items(rng_.Below(6));
+        for (auto& e : items) {
+          e = rng_.Below(2) == 0 ? RandomAtom() : RandomList(depth - 1);
+        }
+        return QValue::Mixed(std::move(items));
+      }
+    }
+  }
+
+  QValue RandomTable() {
+    size_t rows = rng_.Below(15);
+    std::vector<int64_t> a(rows);
+    std::vector<double> b(rows);
+    std::vector<std::string> c(rows);
+    for (size_t i = 0; i < rows; ++i) {
+      a[i] = static_cast<int64_t>(rng_.Below(100));
+      b[i] = rng_.NextDouble();
+      c[i] = std::string(1 + rng_.Below(3), 'q');
+    }
+    return QValue::MakeTableUnchecked(
+        {"a", "b", "c"},
+        {QValue::IntList(QType::kLong, std::move(a)),
+         QValue::FloatList(QType::kFloat, std::move(b)),
+         QValue::Syms(std::move(c))});
+  }
+
+  void ExpectRoundTrip(const QValue& v) {
+    auto bytes = EncodeMessage(v, MsgType::kResponse);
+    ASSERT_TRUE(bytes.ok()) << bytes.status().ToString();
+    auto decoded = DecodeMessage(*bytes);
+    ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+    EXPECT_TRUE(QValue::Match(v, decoded->value))
+        << "value: " << v.ToString()
+        << "\ndecoded: " << decoded->value.ToString();
+  }
+};
+
+TEST_P(QipcRoundTrip, Atoms) {
+  for (int i = 0; i < 30; ++i) ExpectRoundTrip(RandomAtom());
+}
+
+TEST_P(QipcRoundTrip, Lists) {
+  for (int i = 0; i < 30; ++i) ExpectRoundTrip(RandomList(2));
+}
+
+TEST_P(QipcRoundTrip, Tables) {
+  for (int i = 0; i < 10; ++i) ExpectRoundTrip(RandomTable());
+}
+
+TEST_P(QipcRoundTrip, Dicts) {
+  for (int i = 0; i < 10; ++i) {
+    size_t n = rng_.Below(8);
+    std::vector<std::string> keys(n);
+    for (size_t k = 0; k < n; ++k) keys[k] = std::string(1, 'a' + k);
+    std::vector<QValue> vals(n);
+    for (auto& v : vals) v = RandomAtom();
+    ExpectRoundTrip(QValue::MakeDictUnchecked(QValue::Syms(keys),
+                                              QValue::Mixed(vals)));
+  }
+}
+
+TEST_P(QipcRoundTrip, KeyedTables) {
+  QValue keys = QValue::MakeTableUnchecked(
+      {"sym"}, {QValue::Syms({"a", "b"})});
+  QValue vals = RandomTable();
+  if (vals.Count() != 2) return;  // only pair equal-length sides
+  ExpectRoundTrip(QValue::MakeDictUnchecked(keys, vals));
+}
+
+TEST_P(QipcRoundTrip, TruncationAlwaysFailsCleanly) {
+  QValue v = RandomTable();
+  auto bytes = EncodeMessage(v, MsgType::kResponse);
+  ASSERT_TRUE(bytes.ok());
+  // Any strict prefix must fail with a protocol error, never crash.
+  for (size_t cut = 9; cut < bytes->size();
+       cut += 1 + rng_.Below(7)) {
+    std::vector<uint8_t> prefix(bytes->begin(), bytes->begin() + cut);
+    auto r = DecodeMessage(prefix);
+    EXPECT_FALSE(r.ok());
+  }
+}
+
+TEST_P(QipcRoundTrip, CompressedTablesRoundTrip) {
+  // Large, repetitive tables compress well and must round-trip exactly.
+  size_t rows = 3000;
+  std::vector<int64_t> a(rows);
+  std::vector<std::string> syms(rows);
+  for (size_t i = 0; i < rows; ++i) {
+    a[i] = static_cast<int64_t>(rng_.Below(4));
+    syms[i] = i % 2 == 0 ? "AAPL" : "GOOG";
+  }
+  QValue table = QValue::MakeTableUnchecked(
+      {"sym", "v"},
+      {QValue::Syms(std::move(syms)),
+       QValue::IntList(QType::kLong, std::move(a))});
+  auto plain = EncodeMessage(table, MsgType::kResponse);
+  ASSERT_TRUE(plain.ok());
+  auto packed = EncodeMessageCompressed(table, MsgType::kResponse);
+  ASSERT_TRUE(packed.ok());
+  EXPECT_TRUE(IsCompressedMessage(*packed));
+  EXPECT_LT(packed->size(), plain->size());
+  auto decoded = DecodeMessage(*packed);
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  EXPECT_TRUE(QValue::Match(table, decoded->value));
+}
+
+TEST_P(QipcRoundTrip, IncompressibleDataStaysPlain) {
+  // High-entropy payloads must fall back to the plain encoding.
+  size_t rows = 2000;
+  std::vector<double> v(rows);
+  for (auto& x : v) x = rng_.NextDouble();
+  QValue list = QValue::FloatList(QType::kFloat, std::move(v));
+  auto packed = EncodeMessageCompressed(list, MsgType::kResponse);
+  ASSERT_TRUE(packed.ok());
+  EXPECT_FALSE(IsCompressedMessage(*packed));
+  auto decoded = DecodeMessage(*packed);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_TRUE(QValue::Match(list, decoded->value));
+}
+
+TEST_P(QipcRoundTrip, CompressedStreamFuzzDoesNotCrash) {
+  // Random mutations of a compressed stream must fail cleanly or decode to
+  // something — never crash or overrun.
+  QValue table = QValue::MakeTableUnchecked(
+      {"v"}, {QValue::IntList(QType::kLong,
+                              std::vector<int64_t>(3000, 7))});
+  auto packed = EncodeMessageCompressed(table, MsgType::kResponse);
+  ASSERT_TRUE(packed.ok());
+  ASSERT_TRUE(IsCompressedMessage(*packed));
+  for (int k = 0; k < 50; ++k) {
+    std::vector<uint8_t> corrupted = *packed;
+    size_t pos = 12 + rng_.Below(corrupted.size() - 12);
+    corrupted[pos] ^= static_cast<uint8_t>(1 + rng_.Below(255));
+    auto r = DecodeMessage(corrupted);  // must not crash
+    (void)r;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, QipcRoundTrip,
+                         ::testing::Values(11u, 22u, 33u, 44u, 55u, 66u));
+
+}  // namespace
+}  // namespace qipc
+}  // namespace hyperq

@@ -1,0 +1,60 @@
+#include <gtest/gtest.h>
+
+#include "qlang/parser.h"
+
+namespace hyperq {
+namespace {
+
+std::string P(const std::string& text) {
+  auto r = Parser::ParseExpression(text);
+  EXPECT_TRUE(r.ok()) << text << " -> " << r.status().ToString();
+  return r.ok() ? AstToString(*r) : "<error>";
+}
+
+TEST(InfixLambdaTest, PlainLambdaInfix) {
+  EXPECT_EQ(P("1 {x+y} 2"),
+            "(apply (lambda [x;y] (dyad + (var x) (var y))) (lit 1) "
+            "(lit 2))");
+}
+
+TEST(InfixLambdaTest, AdverbedLambdaInfix) {
+  std::string s = P("1 2 {x,y}\\: 10");
+  EXPECT_NE(s.find("(apply (adv \\: (lambda"), std::string::npos) << s;
+}
+
+TEST(InfixLambdaTest, LambdaJuxtapositionStillWorks) {
+  // No following noun: the lambda is the argument, not an infix verb.
+  EXPECT_EQ(P("{x*2} 5"),
+            "(apply (lambda [x] (dyad * (var x) (lit 2))) (lit 5))");
+}
+
+TEST(InfixLambdaTest, OperatorWithAdverbInfix) {
+  EXPECT_EQ(P("x +\\: y"),
+            "(apply (adv \\: (fn +)) (var x) (var y))");
+  EXPECT_EQ(P("x -': y"),
+            "(apply (adv ': (fn -)) (var x) (var y))");
+}
+
+TEST(InfixLambdaTest, CovCorParseAsInfix) {
+  EXPECT_EQ(P("a cov b"), "(dyad cov (var a) (var b))");
+  EXPECT_EQ(P("a cor b"), "(dyad cor (var a) (var b))");
+}
+
+TEST(InfixLambdaTest, VectorConditionalParses) {
+  EXPECT_EQ(P("?[c;a;b]"),
+            "(apply (fn ?) (var c) (var a) (var b))");
+}
+
+TEST(InfixLambdaTest, RightToLeftWithInfixKeyword) {
+  // `x in y , z`: , binds first on the right (right-to-left).
+  EXPECT_EQ(P("x in y,z"),
+            "(dyad in (var x) (dyad , (var y) (var z)))");
+}
+
+TEST(InfixLambdaTest, BangKeying) {
+  EXPECT_EQ(P("1!t"), "(dyad ! (lit 1) (var t))");
+  EXPECT_EQ(P("0!t"), "(dyad ! (lit 0) (var t))");
+}
+
+}  // namespace
+}  // namespace hyperq

@@ -1,0 +1,153 @@
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "qlang/lexer.h"
+#include "qval/temporal.h"
+
+namespace hyperq {
+namespace {
+
+std::vector<Token> Lex(const std::string& text) {
+  Lexer lexer(text);
+  auto r = lexer.Tokenize();
+  EXPECT_TRUE(r.ok()) << r.status().ToString();
+  return r.ok() ? *r : std::vector<Token>{};
+}
+
+TEST(LexerTest, Numbers) {
+  auto toks = Lex("42");
+  ASSERT_EQ(toks.size(), 2u);  // number + EOF
+  EXPECT_EQ(toks[0].kind, TokenKind::kNumber);
+  EXPECT_EQ(toks[0].value.AsInt(), 42);
+  EXPECT_EQ(toks[0].value.type(), QType::kLong);
+}
+
+TEST(LexerTest, TypedSuffixes) {
+  EXPECT_EQ(Lex("3h")[0].value.type(), QType::kShort);
+  EXPECT_EQ(Lex("3i")[0].value.type(), QType::kInt);
+  EXPECT_EQ(Lex("3j")[0].value.type(), QType::kLong);
+  EXPECT_EQ(Lex("3f")[0].value.type(), QType::kFloat);
+  EXPECT_EQ(Lex("3e")[0].value.type(), QType::kReal);
+  EXPECT_EQ(Lex("1b")[0].value.type(), QType::kBool);
+  EXPECT_EQ(Lex("2.5")[0].value.AsFloat(), 2.5);
+}
+
+TEST(LexerTest, BoolVector) {
+  QValue v = Lex("1010b")[0].value;
+  EXPECT_EQ(v.type(), QType::kBool);
+  EXPECT_FALSE(v.is_atom());
+  EXPECT_EQ(v.Count(), 4u);
+  EXPECT_EQ(v.Ints()[1], 0);
+}
+
+TEST(LexerTest, NullsAndInfinities) {
+  EXPECT_TRUE(Lex("0N")[0].value.IsNullAtom());
+  EXPECT_TRUE(Lex("0n")[0].value.IsNullAtom());
+  EXPECT_TRUE(Lex("0Ni")[0].value.IsNullAtom());
+  EXPECT_EQ(Lex("0Ni")[0].value.type(), QType::kInt);
+  EXPECT_EQ(Lex("0W")[0].value.AsInt(), kInfLong);
+  EXPECT_TRUE(std::isinf(Lex("0w")[0].value.AsFloat()));
+}
+
+TEST(LexerTest, DateTimeTimestampLiterals) {
+  EXPECT_EQ(Lex("2016.06.26")[0].value.type(), QType::kDate);
+  EXPECT_EQ(Lex("2016.06.26")[0].value.AsInt(), YmdToQDays(2016, 6, 26));
+  EXPECT_EQ(Lex("09:30:00.000")[0].value.type(), QType::kTime);
+  EXPECT_EQ(Lex("2016.06.26D09:30:00")[0].value.type(), QType::kTimestamp);
+  EXPECT_EQ(Lex("0D00:00:01")[0].value.type(), QType::kTimespan);
+  EXPECT_EQ(Lex("0D00:00:01")[0].value.AsInt(), 1000000000LL);
+}
+
+TEST(LexerTest, Symbols) {
+  auto toks = Lex("`GOOG");
+  EXPECT_EQ(toks[0].kind, TokenKind::kSymbolLit);
+  EXPECT_EQ(toks[0].value.AsSym(), "GOOG");
+  // Consecutive backticks form one symbol-list literal.
+  QValue list = Lex("`Symbol`Time")[0].value;
+  EXPECT_FALSE(list.is_atom());
+  ASSERT_EQ(list.Count(), 2u);
+  EXPECT_EQ(list.SymsView()[0], "Symbol");
+  EXPECT_EQ(list.SymsView()[1], "Time");
+  // Empty symbol.
+  EXPECT_EQ(Lex("`")[0].value.AsSym(), "");
+}
+
+TEST(LexerTest, Strings) {
+  EXPECT_EQ(Lex("\"abc\"")[0].value.CharsView(), "abc");
+  EXPECT_EQ(Lex("\"a\"")[0].value.AsChar(), 'a');  // one char is an atom
+  EXPECT_EQ(Lex("\"a\\nb\"")[0].value.CharsView(), "a\nb");
+}
+
+TEST(LexerTest, NegativeNumberVsMinus) {
+  // `x-1` is subtraction; `(-1)` and `f -1` are negative literals.
+  auto sub = Lex("x-1");
+  ASSERT_EQ(sub.size(), 4u);
+  EXPECT_EQ(sub[1].kind, TokenKind::kOperator);
+  EXPECT_EQ(sub[2].value.AsInt(), 1);
+
+  auto neg = Lex("(-1)");
+  EXPECT_EQ(neg[1].kind, TokenKind::kNumber);
+  EXPECT_EQ(neg[1].value.AsInt(), -1);
+}
+
+TEST(LexerTest, CommentsVsOverAdverb) {
+  // '/' after whitespace begins a comment; glued to a term it is an adverb.
+  auto commented = Lex("1+2 / trailing comment");
+  ASSERT_EQ(commented.size(), 4u);  // 1 + 2 EOF
+
+  auto adverb = Lex("+/");
+  ASSERT_EQ(adverb.size(), 3u);
+  EXPECT_EQ(adverb[1].kind, TokenKind::kAdverb);
+  EXPECT_EQ(adverb[1].text, "/");
+}
+
+TEST(LexerTest, AdverbForms) {
+  EXPECT_EQ(Lex("f'")[1].text, "'");
+  EXPECT_EQ(Lex("f':")[1].text, "':");
+  EXPECT_EQ(Lex("f\\:")[1].text, "\\:");
+  auto er = Lex("x+/:y");
+  EXPECT_EQ(er[2].text, "/:");
+}
+
+TEST(LexerTest, MultiCharOperators) {
+  EXPECT_EQ(Lex("a<>b")[1].text, "<>");
+  EXPECT_EQ(Lex("a<=b")[1].text, "<=");
+  EXPECT_EQ(Lex("a>=b")[1].text, ">=");
+  EXPECT_EQ(Lex("a::1")[1].kind, TokenKind::kDoubleColon);
+  EXPECT_EQ(Lex("a:1")[1].kind, TokenKind::kColon);
+}
+
+TEST(LexerTest, ByteLiterals) {
+  QValue b = Lex("0x0a")[0].value;
+  EXPECT_EQ(b.type(), QType::kByte);
+  EXPECT_EQ(b.AsInt(), 10);
+  QValue bl = Lex("0x0a0b")[0].value;
+  EXPECT_EQ(bl.Count(), 2u);
+}
+
+TEST(LexerTest, PunctuationAndLocations) {
+  auto toks = Lex("f[x;y]");
+  ASSERT_EQ(toks.size(), 7u);
+  EXPECT_EQ(toks[1].kind, TokenKind::kLBracket);
+  EXPECT_EQ(toks[3].kind, TokenKind::kSemi);
+  EXPECT_EQ(toks[5].kind, TokenKind::kRBracket);
+  EXPECT_EQ(toks[0].loc.line, 1);
+  EXPECT_EQ(toks[0].loc.column, 1);
+}
+
+TEST(LexerTest, UnterminatedStringFails) {
+  Lexer lexer("\"abc");
+  EXPECT_FALSE(lexer.Tokenize().ok());
+}
+
+TEST(LexerTest, ErrorsNameTheLocation) {
+  Lexer lexer("\n\n  ` ,\x01");
+  auto r = lexer.Tokenize();
+  ASSERT_FALSE(r.ok());
+  // Verbose diagnostics include line and column (§5).
+  EXPECT_NE(r.status().message().find("3:"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace hyperq

@@ -1,0 +1,237 @@
+#include <gtest/gtest.h>
+
+#include "qlang/parser.h"
+
+namespace hyperq {
+namespace {
+
+std::string ParseOne(const std::string& text) {
+  auto r = Parser::ParseExpression(text);
+  EXPECT_TRUE(r.ok()) << text << " -> " << r.status().ToString();
+  return r.ok() ? AstToString(*r) : "<error>";
+}
+
+TEST(ParserTest, RightToLeftNoPrecedence) {
+  // 2*3+4 is 2*(3+4) in q: strict right-to-left, no precedence (§2.2).
+  EXPECT_EQ(ParseOne("2*3+4"), "(dyad * (lit 2) (dyad + (lit 3) (lit 4)))");
+  EXPECT_EQ(ParseOne("2+3*4"), "(dyad + (lit 2) (dyad * (lit 3) (lit 4)))");
+}
+
+TEST(ParserTest, VectorLiteralMerging) {
+  EXPECT_EQ(ParseOne("1 2 3"), "(lit 1 2 3)");
+  // Mixed int/float promotes to float.
+  EXPECT_EQ(ParseOne("1 2.5"), "(lit 1 2.5)");
+}
+
+TEST(ParserTest, JuxtapositionIsApplication) {
+  EXPECT_EQ(ParseOne("count trades"), "(apply (var count) (var trades))");
+  EXPECT_EQ(ParseOne("til 10"), "(apply (var til) (lit 10))");
+}
+
+TEST(ParserTest, BracketApplication) {
+  EXPECT_EQ(ParseOne("f[1;2]"), "(apply (var f) (lit 1) (lit 2))");
+  EXPECT_EQ(ParseOne("t[`col]"), "(apply (var t) (lit `col))");
+  EXPECT_EQ(ParseOne("f[]"), "(apply (var f))");
+}
+
+TEST(ParserTest, Assignment) {
+  EXPECT_EQ(ParseOne("x:1"), "(assign x (lit 1))");
+  EXPECT_EQ(ParseOne("x::1"), "(gassign x (lit 1))");
+  EXPECT_EQ(ParseOne("x:1+2"), "(assign x (dyad + (lit 1) (lit 2)))");
+}
+
+TEST(ParserTest, Lambda) {
+  auto r = Parser::ParseExpression("{[a;b] a+b}");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ((*r)->kind, AstKind::kLambda);
+  EXPECT_EQ((*r)->params, (std::vector<std::string>{"a", "b"}));
+  EXPECT_EQ((*r)->source, "{[a;b] a+b}");
+}
+
+TEST(ParserTest, LambdaImplicitParams) {
+  auto r = Parser::ParseExpression("{x+y}");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ((*r)->params, (std::vector<std::string>{"x", "y"}));
+  auto r1 = Parser::ParseExpression("{2*x}");
+  EXPECT_EQ((*r1)->params, (std::vector<std::string>{"x"}));
+  auto r0 = Parser::ParseExpression("{1+2}");
+  EXPECT_TRUE((*r0)->params.empty());
+}
+
+TEST(ParserTest, LambdaBodyStatements) {
+  auto r = Parser::ParseExpression("{[s] dt: 2*s; :dt+1}");
+  ASSERT_TRUE(r.ok());
+  ASSERT_EQ((*r)->body.size(), 2u);
+  EXPECT_EQ((*r)->body[0]->kind, AstKind::kAssign);
+  EXPECT_EQ((*r)->body[1]->kind, AstKind::kReturn);
+}
+
+TEST(ParserTest, SelectTemplate) {
+  EXPECT_EQ(
+      ParseOne("select Price from trades"),
+      "(select (_ (var Price)) from (var trades))");
+}
+
+TEST(ParserTest, SelectWhereMultipleConds) {
+  // Comma-separated where conditions apply sequentially.
+  std::string s = ParseOne(
+      "select Price from trades where Date=SOMEDATE, Symbol in SYMLIST");
+  EXPECT_NE(s.find("where (dyad = (var Date) (var SOMEDATE)) "
+                   "(dyad in (var Symbol) (var SYMLIST))"),
+            std::string::npos)
+      << s;
+}
+
+TEST(ParserTest, SelectByFrom) {
+  std::string s = ParseOne("select mx: max Price by Symbol from trades");
+  EXPECT_NE(s.find("(mx (apply (var max) (var Price)))"), std::string::npos)
+      << s;
+  EXPECT_NE(s.find("by (_ (var Symbol))"), std::string::npos) << s;
+}
+
+TEST(ParserTest, SelectMultipleColumns) {
+  std::string s = ParseOne("select Symbol, Time, Bid, Ask from quotes");
+  EXPECT_NE(s.find("(_ (var Symbol)) (_ (var Time)) (_ (var Bid)) "
+                   "(_ (var Ask))"),
+            std::string::npos)
+      << s;
+}
+
+TEST(ParserTest, ExecUpdateDelete) {
+  EXPECT_NE(ParseOne("exec max Price from dt").find("(exec"),
+            std::string::npos);
+  EXPECT_NE(ParseOne("update Price: 2*Price from t").find("(update"),
+            std::string::npos);
+  auto del = Parser::ParseExpression("delete Bid from quotes");
+  ASSERT_TRUE(del.ok());
+  EXPECT_EQ((*del)->delete_cols, (std::vector<std::string>{"Bid"}));
+}
+
+TEST(ParserTest, PaperExample1AsOfJoin) {
+  // The flagship query from §2.2 Example 1.
+  auto r = Parser::ParseExpression(
+      "aj[`Symbol`Time;"
+      "  select Price from trades where Date=SOMEDATE, Symbol in SYMLIST;"
+      "  select Symbol, Time, Bid, Ask from quotes where Date=SOMEDATE]");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ((*r)->kind, AstKind::kApply);
+  EXPECT_EQ((*r)->child->name, "aj");
+  ASSERT_EQ((*r)->args.size(), 3u);
+  EXPECT_EQ((*r)->args[1]->kind, AstKind::kQuery);
+  EXPECT_EQ((*r)->args[2]->kind, AstKind::kQuery);
+}
+
+TEST(ParserTest, PaperExample3Function) {
+  // §3.2.3 Example 3: function with local variable and return.
+  auto prog = Parser::ParseProgram(
+      "f: {[Sym]\n"
+      "  dt: select Price from trades where Symbol=Sym;\n"
+      "  :select max Price from dt;\n"
+      "  };\n"
+      "f[`GOOG];");
+  ASSERT_TRUE(prog.ok()) << prog.status().ToString();
+  ASSERT_EQ(prog->size(), 2u);
+  EXPECT_EQ((*prog)[0]->kind, AstKind::kAssign);
+  EXPECT_EQ((*prog)[0]->child->kind, AstKind::kLambda);
+  EXPECT_EQ((*prog)[1]->kind, AstKind::kApply);
+}
+
+TEST(ParserTest, InfixKeywords) {
+  EXPECT_EQ(ParseOne("t1 lj t2"), "(dyad lj (var t1) (var t2))");
+  EXPECT_EQ(ParseOne("x in y"), "(dyad in (var x) (var y))");
+  EXPECT_EQ(ParseOne("5 mod 3"), "(dyad mod (lit 5) (lit 3))");
+  EXPECT_EQ(ParseOne("w wavg p"), "(dyad wavg (var w) (var p))");
+}
+
+TEST(ParserTest, Adverbs) {
+  EXPECT_EQ(ParseOne("count each x"),
+            "(apply (adv ' (var count)) (var x))");
+  EXPECT_EQ(ParseOne("+/[0;x]"),
+            "(apply (adv / (fn +)) (lit 0) (var x))");
+  EXPECT_EQ(ParseOne("x +' y"),
+            "(apply (adv ' (fn +)) (var x) (var y))");
+}
+
+TEST(ParserTest, CondAndListLiterals) {
+  EXPECT_EQ(ParseOne("$[x;1;2]"),
+            "(cond (var x) (lit 1) (lit 2))");
+  EXPECT_EQ(ParseOne("(1;`a)"), "(list (lit 1) (lit `a))");
+  EXPECT_EQ(ParseOne("(1+2)"), "(dyad + (lit 1) (lit 2))");  // grouping
+}
+
+TEST(ParserTest, TableLiteral) {
+  auto r = Parser::ParseExpression("([] sym:`a`b; px:1 2)");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ((*r)->kind, AstKind::kTableLit);
+  ASSERT_EQ((*r)->value_cols.size(), 2u);
+  EXPECT_EQ((*r)->value_cols[0].name, "sym");
+  EXPECT_TRUE((*r)->key_cols.empty());
+}
+
+TEST(ParserTest, KeyedTableLiteral) {
+  auto r = Parser::ParseExpression("([sym:`a`b] px:1 2)");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  ASSERT_EQ((*r)->key_cols.size(), 1u);
+  EXPECT_EQ((*r)->key_cols[0].name, "sym");
+}
+
+TEST(ParserTest, SelectLimitOptions) {
+  auto r = Parser::ParseExpression("select[5] from t");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  ASSERT_TRUE((*r)->query_limit != nullptr);
+  EXPECT_EQ((*r)->query_limit->literal.AsInt(), 5);
+  EXPECT_EQ((*r)->query_order_dir, 0);
+
+  auto o = Parser::ParseExpression("select[10;>Price] from t");
+  ASSERT_TRUE(o.ok()) << o.status().ToString();
+  EXPECT_EQ((*o)->query_order_col, "Price");
+  EXPECT_EQ((*o)->query_order_dir, -1);
+
+  auto asc = Parser::ParseExpression("select[<Size] from t");
+  ASSERT_TRUE(asc.ok()) << asc.status().ToString();
+  EXPECT_EQ((*asc)->query_order_dir, 1);
+  EXPECT_TRUE((*asc)->query_limit == nullptr);
+}
+
+TEST(ParserTest, FbyParsesAsInfix) {
+  std::string s;
+  auto r = Parser::ParseExpression(
+      "select from t where p=(max;p) fby s");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  s = AstToString(*r);
+  EXPECT_NE(s.find("(dyad fby (list (var max) (var p)) (var s))"),
+            std::string::npos)
+      << s;
+}
+
+TEST(ParserTest, MultiStatementProgram) {
+  auto prog = Parser::ParseProgram("x: 1; y: 2; x+y");
+  ASSERT_TRUE(prog.ok());
+  EXPECT_EQ(prog->size(), 3u);
+}
+
+TEST(ParserTest, DynamicTypingExamples) {
+  // §3.2.1: x can be rebound to a scalar, a list, then a table expression.
+  auto prog = Parser::ParseProgram("x: 1; x: 1 2 3; x: select from trades");
+  ASSERT_TRUE(prog.ok());
+  EXPECT_EQ((*prog)[2]->child->kind, AstKind::kQuery);
+}
+
+TEST(ParserTest, ProjectionHole) {
+  EXPECT_EQ(ParseOne("f[;2]"), "(apply (var f) (lit ::) (lit 2))");
+}
+
+TEST(ParserTest, ErrorsAreVerbose) {
+  auto r = Parser::ParseExpression("select Price trades");
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.status().message().find("from"), std::string::npos);
+}
+
+TEST(ParserTest, CommaInsideSelectParensIsJoin) {
+  // Inside parens the comma reverts to the join verb.
+  std::string s = ParseOne("select c:(a,b) from t");
+  EXPECT_NE(s.find("(dyad , (var a) (var b))"), std::string::npos) << s;
+}
+
+}  // namespace
+}  // namespace hyperq

@@ -1,0 +1,198 @@
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "qval/qtype.h"
+#include "qval/qvalue.h"
+#include "qval/temporal.h"
+
+namespace hyperq {
+namespace {
+
+TEST(QTypeTest, NamesAndChars) {
+  EXPECT_STREQ(QTypeName(QType::kLong), "long");
+  EXPECT_STREQ(QTypeName(QType::kSymbol), "symbol");
+  EXPECT_EQ(QTypeChar(QType::kLong), 'j');
+  EXPECT_EQ(QTypeChar(QType::kFloat), 'f');
+  EXPECT_EQ(QTypeChar(QType::kDate), 'd');
+}
+
+TEST(QTypeTest, BackingPredicates) {
+  EXPECT_TRUE(IsIntegralBacked(QType::kBool));
+  EXPECT_TRUE(IsIntegralBacked(QType::kTimestamp));
+  EXPECT_FALSE(IsIntegralBacked(QType::kFloat));
+  EXPECT_TRUE(IsFloatBacked(QType::kReal));
+  EXPECT_TRUE(IsTemporal(QType::kDate));
+  EXPECT_FALSE(IsTemporal(QType::kLong));
+}
+
+TEST(TemporalTest, QEpochAnchors) {
+  EXPECT_EQ(YmdToQDays(2000, 1, 1), 0);
+  EXPECT_EQ(YmdToQDays(2000, 1, 2), 1);
+  EXPECT_EQ(YmdToQDays(1999, 12, 31), -1);
+  int y, m, d;
+  QDaysToYmd(6021, &y, &m, &d);  // 2016.06.26 (SIGMOD'16)
+  EXPECT_EQ(y, 2016);
+  EXPECT_EQ(m, 6);
+  EXPECT_EQ(d, 26);
+}
+
+TEST(TemporalTest, DateFormatParseRoundTrip) {
+  int64_t days = ParseQDate("2016.06.26").value();
+  EXPECT_EQ(FormatQDate(days), "2016.06.26");
+  EXPECT_EQ(FormatIsoDate(days), "2016-06-26");
+  EXPECT_EQ(ParseIsoDate("2016-06-26").value(), days);
+}
+
+TEST(TemporalTest, TimeFormatParse) {
+  int64_t ms = ParseQTime("09:30:00.123").value();
+  EXPECT_EQ(ms, ((9 * 60 + 30) * 60 + 0) * 1000 + 123);
+  EXPECT_EQ(FormatQTime(ms), "09:30:00.123");
+  EXPECT_EQ(ParseQTime("09:30").value(), (9 * 60 + 30) * 60000);
+}
+
+TEST(TemporalTest, TimestampRoundTrip) {
+  int64_t ns = ParseQTimestamp("2016.06.26D09:30:00.000000001").value();
+  EXPECT_EQ(FormatQTimestamp(ns), "2016.06.26D09:30:00.000000001");
+  int64_t iso = ParseIsoTimestamp("2016-06-26 09:30:00.000000001").value();
+  EXPECT_EQ(ns, iso);
+}
+
+TEST(QValueTest, AtomBasics) {
+  QValue v = QValue::Long(42);
+  EXPECT_TRUE(v.is_atom());
+  EXPECT_EQ(v.type(), QType::kLong);
+  EXPECT_EQ(v.AsInt(), 42);
+  EXPECT_EQ(v.Count(), 1u);
+  EXPECT_EQ(v.ToString(), "42");
+}
+
+TEST(QValueTest, NullAtoms) {
+  EXPECT_TRUE(QValue::NullOf(QType::kLong).IsNullAtom());
+  EXPECT_TRUE(QValue::NullOf(QType::kFloat).IsNullAtom());
+  EXPECT_TRUE(QValue::NullOf(QType::kSymbol).IsNullAtom());
+  EXPECT_TRUE(QValue::NullOf(QType::kDate).IsNullAtom());
+  EXPECT_FALSE(QValue::Long(0).IsNullAtom());
+  EXPECT_FALSE(QValue::Sym("a").IsNullAtom());
+}
+
+TEST(QValueTest, GenericNull) {
+  QValue v;
+  EXPECT_TRUE(v.IsGenericNull());
+  EXPECT_TRUE(v.IsNullAtom());
+  EXPECT_EQ(v.ToString(), "::");
+}
+
+TEST(QValueTest, ListsAndIndexing) {
+  QValue v = QValue::IntList(QType::kLong, {10, 20, 30});
+  EXPECT_FALSE(v.is_atom());
+  EXPECT_EQ(v.Count(), 3u);
+  EXPECT_EQ(v.ElementAt(1).AsInt(), 20);
+  // Out-of-range indexing yields a typed null, as in q.
+  EXPECT_TRUE(v.ElementAt(7).IsNullAtom());
+  EXPECT_EQ(v.ElementAt(7).type(), QType::kLong);
+}
+
+TEST(QValueTest, SymbolListToString) {
+  QValue v = QValue::Syms({"GOOG", "IBM"});
+  EXPECT_EQ(v.ToString(), "`GOOG`IBM");
+  EXPECT_EQ(v.ElementAt(0).AsSym(), "GOOG");
+}
+
+TEST(QValueTest, CharsAreStrings) {
+  QValue s = QValue::Chars("hello");
+  EXPECT_EQ(s.type(), QType::kChar);
+  EXPECT_EQ(s.Count(), 5u);
+  EXPECT_EQ(s.ElementAt(1).AsChar(), 'e');
+}
+
+TEST(QValueTest, MatchEquality2VL) {
+  // Nulls compare equal under q's 2-valued logic (§2.2).
+  EXPECT_TRUE(QValue::Match(QValue::NullOf(QType::kFloat),
+                            QValue::NullOf(QType::kFloat)));
+  EXPECT_TRUE(QValue::Match(QValue::Long(1), QValue::Long(1)));
+  EXPECT_FALSE(QValue::Match(QValue::Long(1), QValue::Int(1)));  // types differ
+  EXPECT_TRUE(QValue::Match(QValue::IntList(QType::kLong, {1, kNullLong}),
+                            QValue::IntList(QType::kLong, {1, kNullLong})));
+}
+
+TEST(QValueTest, TableInvariants) {
+  auto ok = QValue::MakeTable(
+      {"a", "b"}, {QValue::IntList(QType::kLong, {1, 2}),
+                   QValue::Syms({"x", "y"})});
+  ASSERT_TRUE(ok.ok());
+  EXPECT_TRUE(ok->IsTable());
+  EXPECT_EQ(ok->Count(), 2u);
+
+  auto bad_len = QValue::MakeTable(
+      {"a", "b"}, {QValue::IntList(QType::kLong, {1, 2}),
+                   QValue::Syms({"x"})});
+  EXPECT_FALSE(bad_len.ok());
+
+  auto dup = QValue::MakeTable(
+      {"a", "a"}, {QValue::IntList(QType::kLong, {1}),
+                   QValue::IntList(QType::kLong, {2})});
+  EXPECT_FALSE(dup.ok());
+}
+
+TEST(QValueTest, TableRowIndexingYieldsDict) {
+  QValue t = QValue::MakeTableUnchecked(
+      {"sym", "px"}, {QValue::Syms({"a", "b"}),
+                      QValue::FloatList(QType::kFloat, {1.5, 2.5})});
+  QValue row = t.ElementAt(1);
+  ASSERT_TRUE(row.IsDict());
+  EXPECT_EQ(row.Dict().values->ElementAt(0).AsSym(), "b");
+  EXPECT_DOUBLE_EQ(row.Dict().values->ElementAt(1).AsFloat(), 2.5);
+}
+
+TEST(QValueTest, KeyedTableDetection) {
+  QValue keys = QValue::MakeTableUnchecked(
+      {"sym"}, {QValue::Syms({"a", "b"})});
+  QValue vals = QValue::MakeTableUnchecked(
+      {"px"}, {QValue::FloatList(QType::kFloat, {1, 2})});
+  QValue kt = QValue::MakeDictUnchecked(keys, vals);
+  EXPECT_TRUE(kt.IsKeyedTable());
+  EXPECT_TRUE(kt.IsDict());
+  QValue plain = QValue::MakeDictUnchecked(QValue::Syms({"a"}),
+                                           QValue::IntList(QType::kLong, {1}));
+  EXPECT_FALSE(plain.IsKeyedTable());
+}
+
+TEST(QValueTest, AppendElementKeepsType) {
+  QValue v = QValue::IntList(QType::kLong, {1});
+  QValue v2 = v.AppendElement(QValue::Long(2));
+  EXPECT_EQ(v2.type(), QType::kLong);
+  EXPECT_EQ(v2.Count(), 2u);
+  // Appending a different type degrades to a mixed list.
+  QValue v3 = v2.AppendElement(QValue::Sym("x"));
+  EXPECT_EQ(v3.type(), QType::kMixed);
+  EXPECT_EQ(v3.Count(), 3u);
+}
+
+TEST(QValueTest, CompareAtomsOrdersNullsFirst) {
+  EXPECT_LT(QValue::CompareAtoms(QValue::NullOf(QType::kLong),
+                                 QValue::Long(-100)), 0);
+  EXPECT_GT(QValue::CompareAtoms(QValue::Long(5), QValue::Long(3)), 0);
+  EXPECT_EQ(QValue::CompareAtoms(QValue::Sym("a"), QValue::Sym("a")), 0);
+  EXPECT_LT(QValue::CompareAtoms(QValue::Long(2), QValue::Float(2.5)), 0);
+}
+
+TEST(QValueTest, DisplayFormats) {
+  EXPECT_EQ(QValue::Bool(true).ToString(), "1b");
+  EXPECT_EQ(QValue::Short(3).ToString(), "3h");
+  EXPECT_EQ(QValue::Int(3).ToString(), "3i");
+  EXPECT_EQ(QValue::Float(2.5).ToString(), "2.5");
+  EXPECT_EQ(QValue::Sym("GOOG").ToString(), "`GOOG");
+  EXPECT_EQ(QValue::NullOf(QType::kLong).ToString(), "0N");
+  EXPECT_EQ(QValue::Date(YmdToQDays(2016, 6, 26)).ToString(), "2016.06.26");
+}
+
+TEST(QValueTest, LambdaStoresSourceText) {
+  QValue f = QValue::MakeLambda({"x"}, "{[x] x+1}");
+  EXPECT_TRUE(f.IsLambda());
+  EXPECT_EQ(f.Lambda().source, "{[x] x+1}");
+  EXPECT_EQ(f.Lambda().params.size(), 1u);
+}
+
+}  // namespace
+}  // namespace hyperq

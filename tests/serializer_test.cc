@@ -1,0 +1,135 @@
+#include <gtest/gtest.h>
+
+#include "algebrizer/binder.h"
+#include "core/loader.h"
+#include "core/mdi.h"
+#include "kdb/engine.h"
+#include "qlang/parser.h"
+#include "serializer/serializer.h"
+#include "sqldb/sql_parser.h"
+#include "xformer/xformer.h"
+
+namespace hyperq {
+namespace {
+
+class SerializerTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    kdb::Interpreter loader;
+    ASSERT_TRUE(
+        loader.EvalText("t: ([] sym:`a`b; px:1.0 2.0; ts:09:30:00.000 "
+                        "09:30:01.000)")
+            .ok());
+    ASSERT_TRUE(LoadQTable(&db_, "t", *loader.GetGlobal("t")).ok());
+    mdi_ = std::make_unique<SqldbMetadata>(&db_, nullptr);
+    scopes_ = std::make_unique<VariableScopes>(mdi_.get());
+  }
+
+  std::string Sql(const std::string& q) {
+    Binder binder(mdi_.get(), scopes_.get());
+    auto ast = Parser::ParseExpression(q);
+    EXPECT_TRUE(ast.ok()) << ast.status().ToString();
+    auto bound = binder.BindQuery(*ast);
+    EXPECT_TRUE(bound.ok()) << q << ": " << bound.status().ToString();
+    if (!bound.ok()) return "";
+    Xformer xformer;
+    EXPECT_TRUE(xformer.Transform(bound->root, true).ok());
+    Serializer serializer;
+    auto sql = serializer.Serialize(bound->root);
+    EXPECT_TRUE(sql.ok()) << sql.status().ToString();
+    return sql.ok() ? *sql : "";
+  }
+
+  sqldb::Database db_;
+  std::unique_ptr<SqldbMetadata> mdi_;
+  std::unique_ptr<VariableScopes> scopes_;
+};
+
+TEST_F(SerializerTest, GeneratedSqlAlwaysReparses) {
+  // Property: everything the serializer emits must be accepted by the SQL
+  // parser (the contract between Hyper-Q and the PG-compatible backend).
+  const char* queries[] = {
+      "select from t",
+      "select px from t where sym=`a",
+      "select mx: max px by sym from t",
+      "select s: sums px from t",
+      "update px: 2*px from t where sym=`b",
+      "delete sym from t",
+      "`px xdesc t",
+      "2#t",
+      "-1#t",
+      "distinct select sym from t",
+      "exec max px from t",
+      "select from t where px within 0.5 1.5",
+      "select from t where sym like \"a*\"",
+  };
+  for (const char* q : queries) {
+    std::string sql = Sql(q);
+    ASSERT_FALSE(sql.empty()) << q;
+    auto parsed = sqldb::SqlParser::Parse(sql);
+    EXPECT_TRUE(parsed.ok()) << q << "\nSQL: " << sql << "\n"
+                             << parsed.status().ToString();
+  }
+}
+
+TEST_F(SerializerTest, QuotingPreservesCase) {
+  std::string sql = Sql("select px from t");
+  EXPECT_NE(sql.find("\"px\""), std::string::npos);
+  EXPECT_NE(sql.find("\"t\""), std::string::npos);
+}
+
+TEST_F(SerializerTest, ConstRendering) {
+  // Scalar constant rendering via bound expressions.
+  std::string sql = Sql("select from t where px > 1.5");
+  EXPECT_NE(sql.find("1.5"), std::string::npos);
+  std::string syms = Sql("select from t where sym=`a");
+  EXPECT_NE(syms.find("'a'::varchar"), std::string::npos);
+  std::string times = Sql("select from t where ts >= 09:30:01.000");
+  EXPECT_NE(times.find("TIME '09:30:01.000'"), std::string::npos);
+}
+
+TEST_F(SerializerTest, FloatDivisionGetsCast) {
+  // q's % always divides as floats; PG integer division truncates, so the
+  // serializer must force a float division.
+  std::string sql = Sql("select r: px%2 from t");
+  EXPECT_NE(sql.find("CAST("), std::string::npos) << sql;
+  EXPECT_NE(sql.find("double precision"), std::string::npos) << sql;
+}
+
+TEST_F(SerializerTest, TypeNameMapping) {
+  EXPECT_STREQ(Serializer::SqlTypeNameFor(QType::kLong), "bigint");
+  EXPECT_STREQ(Serializer::SqlTypeNameFor(QType::kSymbol), "varchar");
+  EXPECT_STREQ(Serializer::SqlTypeNameFor(QType::kFloat),
+               "double precision");
+  EXPECT_STREQ(Serializer::SqlTypeNameFor(QType::kTimestamp), "timestamp");
+}
+
+TEST_F(SerializerTest, QuoteHelpers) {
+  EXPECT_EQ(Serializer::QuoteIdent("a\"b"), "\"a\"\"b\"");
+  EXPECT_EQ(Serializer::QuoteLiteral("it's"), "'it''s'");
+}
+
+TEST_F(SerializerTest, InListExpansion) {
+  std::string sql = Sql("select from t where sym in `a`b");
+  EXPECT_NE(sql.find("IN ('a'::varchar, 'b'::varchar)"), std::string::npos)
+      << sql;
+}
+
+TEST_F(SerializerTest, LimitMergesWithSort) {
+  std::string sql = Sql("2#`px xdesc t");
+  // ORDER BY and LIMIT must land in the same SELECT so LIMIT applies to
+  // the ordered rows.
+  size_t order_pos = sql.find("ORDER BY");
+  size_t limit_pos = sql.find("LIMIT 2");
+  ASSERT_NE(order_pos, std::string::npos) << sql;
+  ASSERT_NE(limit_pos, std::string::npos) << sql;
+  EXPECT_LT(order_pos, limit_pos);
+}
+
+TEST_F(SerializerTest, NullConstantsAreTyped) {
+  std::string sql = Sql("update gap: 0N from t");
+  EXPECT_NE(sql.find("CAST(NULL AS bigint)"), std::string::npos) << sql;
+}
+
+}  // namespace
+}  // namespace hyperq

@@ -1,0 +1,135 @@
+#include <map>
+
+#include <gtest/gtest.h>
+
+#include "common/strings.h"
+#include "sqldb/database.h"
+#include "testing/market_data.h"
+
+namespace hyperq {
+namespace sqldb {
+namespace {
+
+/// Relational-invariant sweeps over randomly generated tables,
+/// parameterized by seed.
+class SqlDbProperty : public ::testing::TestWithParam<uint64_t> {
+ protected:
+  void SetUp() override {
+    session_ = db_.CreateSession();
+    Run("CREATE TABLE t (g varchar, v bigint, f double precision)");
+    hyperq::testing::Rng rng(GetParam());
+    std::vector<std::string> rows;
+    size_t n = 50 + rng.Below(100);
+    for (size_t i = 0; i < n; ++i) {
+      std::string g = StrCat("'g", rng.Below(6), "'");
+      std::string v = rng.Below(10) == 0
+                          ? "NULL"
+                          : StrCat(static_cast<int64_t>(rng.Below(1000)) -
+                                   500);
+      std::string f = StrCat(rng.NextDouble() * 100);
+      rows.push_back(StrCat("(", g, ",", v, ",", f, ")"));
+    }
+    Run(StrCat("INSERT INTO t VALUES ", Join(rows, ",")));
+  }
+
+  QueryResult Run(const std::string& sql) {
+    auto r = db_.Execute(session_.get(), sql);
+    EXPECT_TRUE(r.ok()) << sql << " -> " << r.status().ToString();
+    return r.ok() ? *r : QueryResult{};
+  }
+
+  Database db_;
+  std::unique_ptr<Session> session_;
+};
+
+TEST_P(SqlDbProperty, GroupSumsEqualTotalSum) {
+  QueryResult total = Run("SELECT SUM(v), COUNT(v) FROM t");
+  QueryResult groups =
+      Run("SELECT g, SUM(v) AS s, COUNT(v) AS c FROM t GROUP BY g");
+  int64_t sum = 0, cnt = 0;
+  for (const auto& row : groups.rows) {
+    if (!row[1].is_null()) sum += row[1].AsInt();
+    cnt += row[2].AsInt();
+  }
+  if (!total.rows[0][0].is_null()) {
+    EXPECT_EQ(sum, total.rows[0][0].AsInt());
+  }
+  EXPECT_EQ(cnt, total.rows[0][1].AsInt());
+}
+
+TEST_P(SqlDbProperty, FilterPartitionsRows) {
+  int64_t all = Run("SELECT COUNT(*) FROM t").rows[0][0].AsInt();
+  int64_t pos = Run("SELECT COUNT(*) FROM t WHERE v > 0").rows[0][0].AsInt();
+  int64_t nonpos =
+      Run("SELECT COUNT(*) FROM t WHERE v <= 0").rows[0][0].AsInt();
+  int64_t nulls =
+      Run("SELECT COUNT(*) FROM t WHERE v IS NULL").rows[0][0].AsInt();
+  // 3VL: every row is exactly one of >0, <=0 or NULL.
+  EXPECT_EQ(all, pos + nonpos + nulls);
+}
+
+TEST_P(SqlDbProperty, OrderByProducesSortedOutput) {
+  QueryResult r = Run("SELECT v FROM t ORDER BY v ASC NULLS LAST");
+  bool seen_null = false;
+  for (size_t i = 1; i < r.rows.size(); ++i) {
+    if (r.rows[i][0].is_null()) {
+      seen_null = true;
+      continue;
+    }
+    EXPECT_FALSE(seen_null) << "non-null after null at row " << i;
+    if (!r.rows[i - 1][0].is_null()) {
+      EXPECT_LE(r.rows[i - 1][0].AsInt(), r.rows[i][0].AsInt());
+    }
+  }
+}
+
+TEST_P(SqlDbProperty, DistinctMatchesGroupByCardinality) {
+  size_t distinct = Run("SELECT DISTINCT g FROM t").rows.size();
+  size_t grouped = Run("SELECT g FROM t GROUP BY g").rows.size();
+  EXPECT_EQ(distinct, grouped);
+}
+
+TEST_P(SqlDbProperty, LimitOffsetPartition) {
+  QueryResult ordered = Run("SELECT f FROM t ORDER BY f");
+  size_t n = ordered.rows.size();
+  size_t k = n / 3;
+  QueryResult head = Run(StrCat("SELECT f FROM t ORDER BY f LIMIT ", k));
+  QueryResult tail =
+      Run(StrCat("SELECT f FROM t ORDER BY f OFFSET ", k));
+  EXPECT_EQ(head.rows.size() + tail.rows.size(), n);
+  if (!head.rows.empty() && !tail.rows.empty()) {
+    EXPECT_LE(head.rows.back()[0].AsDouble(), tail.rows[0][0].AsDouble());
+  }
+}
+
+TEST_P(SqlDbProperty, WindowSumLastRowEqualsGroupSum) {
+  QueryResult r = Run(
+      "SELECT g, SUM(f) OVER (PARTITION BY g ORDER BY f) AS run FROM t "
+      "ORDER BY g, f");
+  QueryResult totals =
+      Run("SELECT g, SUM(f) FROM t GROUP BY g ORDER BY g");
+  // The last running value per group equals the group total.
+  std::map<std::string, double> last_run;
+  for (const auto& row : r.rows) {
+    last_run[row[0].AsString()] = row[1].AsDouble();
+  }
+  for (const auto& row : totals.rows) {
+    EXPECT_NEAR(last_run[row[0].AsString()], row[1].AsDouble(), 1e-6);
+  }
+}
+
+TEST_P(SqlDbProperty, JoinWithSelfOnKeyNeverLosesRows) {
+  QueryResult joined = Run(
+      "SELECT COUNT(*) FROM (SELECT DISTINCT g FROM t) a "
+      "JOIN (SELECT DISTINCT g FROM t) b ON a.g = b.g");
+  QueryResult distinct = Run("SELECT COUNT(*) FROM (SELECT DISTINCT g "
+                             "FROM t) x");
+  EXPECT_EQ(joined.rows[0][0].AsInt(), distinct.rows[0][0].AsInt());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SqlDbProperty,
+                         ::testing::Values(3u, 7u, 31u, 127u, 8191u));
+
+}  // namespace
+}  // namespace sqldb
+}  // namespace hyperq

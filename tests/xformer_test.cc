@@ -1,0 +1,150 @@
+#include <gtest/gtest.h>
+
+#include "algebrizer/binder.h"
+#include "core/hyperq.h"
+#include "kdb/engine.h"
+#include "qlang/parser.h"
+#include "serializer/serializer.h"
+#include "xformer/xformer.h"
+
+namespace hyperq {
+namespace {
+
+/// Builds bound XTRA trees from q text against a small catalog, so the
+/// Xformer rules can be tested in isolation.
+class XformerTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    kdb::Interpreter loader;
+    ASSERT_TRUE(loader
+                    .EvalText("t: ([] sym:`a`b; px:1.0 2.0; qty:10 20;"
+                              " extra1:1 2; extra2:3 4)")
+                    .ok());
+    ASSERT_TRUE(LoadQTable(&db_, "t", *loader.GetGlobal("t")).ok());
+    mdi_ = std::make_unique<SqldbMetadata>(&db_, nullptr);
+    scopes_ = std::make_unique<VariableScopes>(mdi_.get());
+  }
+
+  BoundQuery Bind(const std::string& q) {
+    Binder binder(mdi_.get(), scopes_.get());
+    auto ast = Parser::ParseExpression(q);
+    EXPECT_TRUE(ast.ok()) << ast.status().ToString();
+    auto bound = binder.BindQuery(*ast);
+    EXPECT_TRUE(bound.ok()) << bound.status().ToString();
+    return bound.ok() ? std::move(bound).value() : BoundQuery{};
+  }
+
+  std::string SerializeWith(const std::string& q, Xformer::Options opts,
+                            bool order_required = true) {
+    BoundQuery bound = Bind(q);
+    Xformer xformer(opts);
+    Status s = xformer.Transform(bound.root, order_required);
+    EXPECT_TRUE(s.ok()) << s.ToString();
+    Serializer serializer;
+    auto sql = serializer.Serialize(bound.root);
+    EXPECT_TRUE(sql.ok()) << sql.status().ToString();
+    return sql.ok() ? *sql : "";
+  }
+
+  sqldb::Database db_;
+  std::unique_ptr<SqldbMetadata> mdi_;
+  std::unique_ptr<VariableScopes> scopes_;
+};
+
+TEST_F(XformerTest, NullSemanticsRuleRewritesEquality) {
+  Xformer::Options on;
+  std::string sql = SerializeWith("select from t where sym=`a", on);
+  EXPECT_NE(sql.find("IS NOT DISTINCT FROM"), std::string::npos) << sql;
+  EXPECT_EQ(sql.find(" = "), std::string::npos) << sql;
+
+  Xformer::Options off;
+  off.null_semantics = false;
+  std::string plain = SerializeWith("select from t where sym=`a", off);
+  EXPECT_EQ(plain.find("IS NOT DISTINCT FROM"), std::string::npos) << plain;
+  EXPECT_NE(plain.find("="), std::string::npos);
+}
+
+TEST_F(XformerTest, NullSemanticsLeavesNonNullableAlone) {
+  // ordcol is non-nullable; comparisons against it stay strict. Exercised
+  // indirectly: constants are non-nullable, so const=const stays '='.
+  BoundQuery bound = Bind("select from t where px>1.5");
+  Xformer xformer{Xformer::Options{}};
+  ASSERT_TRUE(xformer.Transform(bound.root, true).ok());
+  Serializer serializer;
+  std::string sql = *serializer.Serialize(bound.root);
+  // Ordering comparisons are never rewritten (IS NOT DISTINCT FROM only
+  // replaces eq/ne).
+  EXPECT_NE(sql.find(">"), std::string::npos);
+}
+
+TEST_F(XformerTest, ColumnPruningDropsUnusedWideColumns) {
+  Xformer::Options on;
+  std::string pruned = SerializeWith("select mx: max px by sym from t", on);
+  EXPECT_EQ(pruned.find("extra1"), std::string::npos) << pruned;
+  EXPECT_EQ(pruned.find("extra2"), std::string::npos) << pruned;
+
+  Xformer::Options off;
+  off.column_pruning = false;
+  std::string unpruned =
+      SerializeWith("select mx: max px by sym from t", off);
+  EXPECT_NE(unpruned.find("extra1"), std::string::npos) << unpruned;
+}
+
+TEST_F(XformerTest, PruningKeepsPredicateColumns) {
+  std::string sql =
+      SerializeWith("select mx: max px by sym from t where qty>5",
+                    Xformer::Options{});
+  EXPECT_NE(sql.find("qty"), std::string::npos);
+  EXPECT_EQ(sql.find("extra1"), std::string::npos);
+}
+
+TEST_F(XformerTest, OrderElisionUnderScalarAggregate) {
+  // A scalar aggregate result does not depend on row order; the rule
+  // removes the ordering requirement so no ORDER BY is emitted.
+  Xformer::Options on;
+  std::string sql = SerializeWith("select max px from t", on,
+                                  /*order_required=*/false);
+  EXPECT_EQ(sql.find("ORDER BY"), std::string::npos) << sql;
+}
+
+TEST_F(XformerTest, OrderKeptForRowResults) {
+  std::string sql = SerializeWith("select px from t", Xformer::Options{});
+  EXPECT_NE(sql.find("ORDER BY"), std::string::npos) << sql;
+  EXPECT_NE(sql.find("ordcol"), std::string::npos) << sql;
+}
+
+TEST_F(XformerTest, OrderElisionDisabledKeepsOrdcolAlive) {
+  // With elision off the scalar aggregate still carries the ordering
+  // machinery (the ablation's cost).
+  Xformer::Options off;
+  off.order_elision = false;
+  BoundQuery bound = Bind("select max px from t");
+  Xformer xformer(off);
+  ASSERT_TRUE(xformer.Transform(bound.root, false).ok());
+  // ordcol survives pruning because order_required stayed true below.
+  Serializer serializer;
+  std::string sql = *serializer.Serialize(bound.root);
+  EXPECT_NE(sql.find("ordcol"), std::string::npos) << sql;
+}
+
+TEST_F(XformerTest, AppliedRulesAreReported) {
+  BoundQuery bound = Bind("select from t where sym=`a");
+  Xformer xformer{Xformer::Options{}};
+  ASSERT_TRUE(xformer.Transform(bound.root, true).ok());
+  const auto& rules = xformer.applied_rules();
+  EXPECT_NE(std::find(rules.begin(), rules.end(), "null_semantics"),
+            rules.end());
+  EXPECT_NE(std::find(rules.begin(), rules.end(), "column_pruning"),
+            rules.end());
+}
+
+TEST_F(XformerTest, PrunedTreeStillExecutes) {
+  // End-to-end safety: aggressive pruning must not break execution.
+  HyperQSession session(&db_);
+  auto r = session.Query("select mx: max px by sym from t where qty>5");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_TRUE(r->IsKeyedTable());
+}
+
+}  // namespace
+}  // namespace hyperq

@@ -1,0 +1,141 @@
+#include <gtest/gtest.h>
+
+#include "xtra/operator.h"
+#include "xtra/scalar.h"
+
+namespace hyperq {
+namespace xtra {
+namespace {
+
+XtraPtr SampleGet(ColId* next) {
+  std::vector<XtraColumn> cols;
+  cols.push_back({(*next)++, "sym", QType::kSymbol, true});
+  cols.push_back({(*next)++, "px", QType::kFloat, true});
+  ColId ord = (*next)++;
+  cols.push_back({ord, "ordcol", QType::kLong, false});
+  return MakeGet("trades", std::move(cols), ord);
+}
+
+TEST(XtraScalarTest, ConstAndColRef) {
+  ScalarPtr c = MakeConst(QValue::Long(7));
+  EXPECT_EQ(c->kind, ScalarKind::kConst);
+  EXPECT_EQ(c->type, QType::kLong);
+  EXPECT_FALSE(c->nullable);
+
+  ScalarPtr null_c = MakeConst(QValue::NullOf(QType::kFloat));
+  EXPECT_TRUE(null_c->nullable);
+
+  ScalarPtr col = MakeColRef(3, "px", QType::kFloat, true);
+  EXPECT_EQ(ScalarToString(col), "(col 3 px)");
+}
+
+TEST(XtraScalarTest, FuncNullabilityPropagates) {
+  ScalarPtr a = MakeColRef(1, "a", QType::kLong, true);
+  ScalarPtr b = MakeConst(QValue::Long(1));
+  ScalarPtr f = MakeFunc("add", {a, b}, QType::kLong);
+  EXPECT_TRUE(f->nullable);
+  ScalarPtr g = MakeFunc("add", {b, b}, QType::kLong);
+  EXPECT_FALSE(g->nullable);
+}
+
+TEST(XtraScalarTest, CollectColumnRefs) {
+  ScalarPtr a = MakeColRef(1, "a", QType::kLong, true);
+  ScalarPtr b = MakeColRef(9, "b", QType::kLong, true);
+  ScalarPtr f = MakeFunc("add", {a, MakeFunc("mul", {b, b}, QType::kLong)},
+                         QType::kLong);
+  std::vector<ColId> refs;
+  CollectColumnRefs(f, &refs);
+  EXPECT_EQ(refs, (std::vector<ColId>{1, 9, 9}));
+}
+
+TEST(XtraOperatorTest, GetDerivesOrdCol) {
+  ColId next = 1;
+  XtraPtr get = SampleGet(&next);
+  EXPECT_EQ(get->kind, XtraKind::kGet);
+  EXPECT_EQ(get->output.size(), 3u);
+  EXPECT_NE(get->ord_col, kNoCol);
+  EXPECT_TRUE(get->preserves_order);
+}
+
+TEST(XtraOperatorTest, FilterPreservesOrderAndColumns) {
+  ColId next = 1;
+  XtraPtr get = SampleGet(&next);
+  ScalarPtr pred = MakeFunc(
+      "gt", {MakeColRef(get->output[1].id, "px", QType::kFloat, true),
+             MakeConst(QValue::Float(1))},
+      QType::kBool);
+  XtraPtr filter = MakeFilter(get, pred);
+  EXPECT_EQ(filter->output.size(), 3u);
+  EXPECT_EQ(filter->ord_col, get->ord_col);
+  EXPECT_TRUE(filter->preserves_order);
+}
+
+TEST(XtraOperatorTest, ProjectTracksOrdColSurvival) {
+  ColId next = 1;
+  XtraPtr get = SampleGet(&next);
+  const XtraColumn& px = get->output[1];
+  const XtraColumn& ord = get->output[2];
+
+  // Projection keeping the order column: order survives.
+  XtraPtr with_ord = MakeProject(
+      get, {NamedScalar{px, MakeColRef(px.id, px.name, px.type, true)},
+            NamedScalar{ord, MakeColRef(ord.id, ord.name, ord.type, false)}});
+  EXPECT_EQ(with_ord->ord_col, ord.id);
+
+  // Projection dropping it: no order available downstream.
+  XtraPtr without = MakeProject(
+      get, {NamedScalar{px, MakeColRef(px.id, px.name, px.type, true)}});
+  EXPECT_EQ(without->ord_col, kNoCol);
+}
+
+TEST(XtraOperatorTest, GroupAggDestroysOrder) {
+  ColId next = 1;
+  XtraPtr get = SampleGet(&next);
+  const XtraColumn& sym = get->output[0];
+  XtraColumn out_key{next++, "sym", QType::kSymbol, true};
+  XtraColumn out_agg{next++, "mx", QType::kFloat, true};
+  XtraPtr agg = MakeGroupAgg(
+      get,
+      {NamedScalar{out_key, MakeColRef(sym.id, "sym", QType::kSymbol, true)}},
+      {NamedScalar{out_agg,
+                   MakeAgg("max",
+                           {MakeColRef(get->output[1].id, "px",
+                                       QType::kFloat, true)},
+                           QType::kFloat)}});
+  EXPECT_EQ(agg->ord_col, kNoCol);
+  EXPECT_FALSE(agg->preserves_order);
+  EXPECT_EQ(agg->output.size(), 2u);
+}
+
+TEST(XtraOperatorTest, CloneTreeIsDeep) {
+  ColId next = 1;
+  XtraPtr get = SampleGet(&next);
+  XtraPtr filter = MakeFilter(get, MakeConst(QValue::Bool(true)));
+  XtraPtr clone = CloneTree(filter);
+  ASSERT_NE(clone, filter);
+  ASSERT_NE(clone->children[0], filter->children[0]);
+  clone->children[0]->table = "other";
+  EXPECT_EQ(filter->children[0]->table, "trades");
+}
+
+TEST(XtraOperatorTest, ToStringRendersTree) {
+  ColId next = 1;
+  XtraPtr get = SampleGet(&next);
+  XtraPtr limit = MakeLimit(get, 10, 0);
+  std::string s = XtraToString(limit);
+  EXPECT_NE(s.find("Limit(10,0)"), std::string::npos);
+  EXPECT_NE(s.find("Get(trades)"), std::string::npos);
+}
+
+TEST(XtraOperatorTest, FindOutputByIdAndName) {
+  ColId next = 1;
+  XtraPtr get = SampleGet(&next);
+  EXPECT_NE(get->FindOutputByName("px"), nullptr);
+  EXPECT_EQ(get->FindOutputByName("nope"), nullptr);
+  EXPECT_NE(get->FindOutput(get->output[0].id), nullptr);
+  EXPECT_EQ(get->FindOutput(9999), nullptr);
+}
+
+}  // namespace
+}  // namespace xtra
+}  // namespace hyperq
