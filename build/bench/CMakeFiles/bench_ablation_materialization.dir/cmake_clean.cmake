@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_materialization.dir/bench_ablation_materialization.cc.o"
+  "CMakeFiles/bench_ablation_materialization.dir/bench_ablation_materialization.cc.o.d"
+  "bench_ablation_materialization"
+  "bench_ablation_materialization.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_materialization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_order_elision.dir/bench_ablation_order_elision.cc.o"
+  "CMakeFiles/bench_ablation_order_elision.dir/bench_ablation_order_elision.cc.o.d"
+  "bench_ablation_order_elision"
+  "bench_ablation_order_elision.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_order_elision.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

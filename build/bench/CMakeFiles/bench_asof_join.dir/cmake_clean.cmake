@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_asof_join.dir/bench_asof_join.cc.o"
+  "CMakeFiles/bench_asof_join.dir/bench_asof_join.cc.o.d"
+  "bench_asof_join"
+  "bench_asof_join.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_asof_join.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

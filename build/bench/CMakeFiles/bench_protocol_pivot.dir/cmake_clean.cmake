@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_protocol_pivot.dir/bench_protocol_pivot.cc.o"
+  "CMakeFiles/bench_protocol_pivot.dir/bench_protocol_pivot.cc.o.d"
+  "bench_protocol_pivot"
+  "bench_protocol_pivot.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_protocol_pivot.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

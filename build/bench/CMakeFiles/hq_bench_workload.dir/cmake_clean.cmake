@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hq_bench_workload.dir/workload.cc.o"
+  "CMakeFiles/hq_bench_workload.dir/workload.cc.o.d"
+  "libhq_bench_workload.a"
+  "libhq_bench_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hq_bench_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

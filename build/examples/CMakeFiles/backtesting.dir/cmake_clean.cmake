@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/backtesting.dir/backtesting.cpp.o"
+  "CMakeFiles/backtesting.dir/backtesting.cpp.o.d"
+  "backtesting"
+  "backtesting.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/backtesting.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/market_data_asof.dir/market_data_asof.cpp.o"
+  "CMakeFiles/market_data_asof.dir/market_data_asof.cpp.o.d"
+  "market_data_asof"
+  "market_data_asof.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/market_data_asof.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/side_by_side.dir/side_by_side.cpp.o"
+  "CMakeFiles/side_by_side.dir/side_by_side.cpp.o.d"
+  "side_by_side"
+  "side_by_side.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/side_by_side.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for side_by_side.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for side_by_side.
+# This may be replaced when dependencies are built.

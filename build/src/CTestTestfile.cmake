@@ -1,0 +1,19 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("common")
+subdirs("qval")
+subdirs("qlang")
+subdirs("kdb")
+subdirs("xtra")
+subdirs("sqldb")
+subdirs("algebrizer")
+subdirs("xformer")
+subdirs("serializer")
+subdirs("net")
+subdirs("protocol")
+subdirs("core")
+subdirs("testing")

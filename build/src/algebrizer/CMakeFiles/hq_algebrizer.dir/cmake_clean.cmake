@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hq_algebrizer.dir/binder.cc.o"
+  "CMakeFiles/hq_algebrizer.dir/binder.cc.o.d"
+  "CMakeFiles/hq_algebrizer.dir/scopes.cc.o"
+  "CMakeFiles/hq_algebrizer.dir/scopes.cc.o.d"
+  "libhq_algebrizer.a"
+  "libhq_algebrizer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hq_algebrizer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

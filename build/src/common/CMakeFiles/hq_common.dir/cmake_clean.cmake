@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hq_common.dir/bytes.cc.o"
+  "CMakeFiles/hq_common.dir/bytes.cc.o.d"
+  "CMakeFiles/hq_common.dir/logging.cc.o"
+  "CMakeFiles/hq_common.dir/logging.cc.o.d"
+  "CMakeFiles/hq_common.dir/status.cc.o"
+  "CMakeFiles/hq_common.dir/status.cc.o.d"
+  "CMakeFiles/hq_common.dir/strings.cc.o"
+  "CMakeFiles/hq_common.dir/strings.cc.o.d"
+  "libhq_common.a"
+  "libhq_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hq_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

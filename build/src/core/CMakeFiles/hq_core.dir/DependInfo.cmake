@@ -1,0 +1,36 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/cross_compiler.cc" "src/core/CMakeFiles/hq_core.dir/cross_compiler.cc.o" "gcc" "src/core/CMakeFiles/hq_core.dir/cross_compiler.cc.o.d"
+  "/root/repo/src/core/endpoint.cc" "src/core/CMakeFiles/hq_core.dir/endpoint.cc.o" "gcc" "src/core/CMakeFiles/hq_core.dir/endpoint.cc.o.d"
+  "/root/repo/src/core/hyperq.cc" "src/core/CMakeFiles/hq_core.dir/hyperq.cc.o" "gcc" "src/core/CMakeFiles/hq_core.dir/hyperq.cc.o.d"
+  "/root/repo/src/core/loader.cc" "src/core/CMakeFiles/hq_core.dir/loader.cc.o" "gcc" "src/core/CMakeFiles/hq_core.dir/loader.cc.o.d"
+  "/root/repo/src/core/mdi.cc" "src/core/CMakeFiles/hq_core.dir/mdi.cc.o" "gcc" "src/core/CMakeFiles/hq_core.dir/mdi.cc.o.d"
+  "/root/repo/src/core/metadata_cache.cc" "src/core/CMakeFiles/hq_core.dir/metadata_cache.cc.o" "gcc" "src/core/CMakeFiles/hq_core.dir/metadata_cache.cc.o.d"
+  "/root/repo/src/core/plugins.cc" "src/core/CMakeFiles/hq_core.dir/plugins.cc.o" "gcc" "src/core/CMakeFiles/hq_core.dir/plugins.cc.o.d"
+  "/root/repo/src/core/query_translator.cc" "src/core/CMakeFiles/hq_core.dir/query_translator.cc.o" "gcc" "src/core/CMakeFiles/hq_core.dir/query_translator.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/hq_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/qval/CMakeFiles/hq_qval.dir/DependInfo.cmake"
+  "/root/repo/build/src/qlang/CMakeFiles/hq_qlang.dir/DependInfo.cmake"
+  "/root/repo/build/src/xtra/CMakeFiles/hq_xtra.dir/DependInfo.cmake"
+  "/root/repo/build/src/algebrizer/CMakeFiles/hq_algebrizer.dir/DependInfo.cmake"
+  "/root/repo/build/src/xformer/CMakeFiles/hq_xformer.dir/DependInfo.cmake"
+  "/root/repo/build/src/serializer/CMakeFiles/hq_serializer.dir/DependInfo.cmake"
+  "/root/repo/build/src/sqldb/CMakeFiles/hq_sqldb.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/hq_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/protocol/CMakeFiles/hq_protocol.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hq_core.dir/cross_compiler.cc.o"
+  "CMakeFiles/hq_core.dir/cross_compiler.cc.o.d"
+  "CMakeFiles/hq_core.dir/endpoint.cc.o"
+  "CMakeFiles/hq_core.dir/endpoint.cc.o.d"
+  "CMakeFiles/hq_core.dir/hyperq.cc.o"
+  "CMakeFiles/hq_core.dir/hyperq.cc.o.d"
+  "CMakeFiles/hq_core.dir/loader.cc.o"
+  "CMakeFiles/hq_core.dir/loader.cc.o.d"
+  "CMakeFiles/hq_core.dir/mdi.cc.o"
+  "CMakeFiles/hq_core.dir/mdi.cc.o.d"
+  "CMakeFiles/hq_core.dir/metadata_cache.cc.o"
+  "CMakeFiles/hq_core.dir/metadata_cache.cc.o.d"
+  "CMakeFiles/hq_core.dir/plugins.cc.o"
+  "CMakeFiles/hq_core.dir/plugins.cc.o.d"
+  "CMakeFiles/hq_core.dir/query_translator.cc.o"
+  "CMakeFiles/hq_core.dir/query_translator.cc.o.d"
+  "libhq_core.a"
+  "libhq_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hq_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/kdb/builtins.cc" "src/kdb/CMakeFiles/hq_kdb.dir/builtins.cc.o" "gcc" "src/kdb/CMakeFiles/hq_kdb.dir/builtins.cc.o.d"
+  "/root/repo/src/kdb/interp.cc" "src/kdb/CMakeFiles/hq_kdb.dir/interp.cc.o" "gcc" "src/kdb/CMakeFiles/hq_kdb.dir/interp.cc.o.d"
+  "/root/repo/src/kdb/joins.cc" "src/kdb/CMakeFiles/hq_kdb.dir/joins.cc.o" "gcc" "src/kdb/CMakeFiles/hq_kdb.dir/joins.cc.o.d"
+  "/root/repo/src/kdb/query.cc" "src/kdb/CMakeFiles/hq_kdb.dir/query.cc.o" "gcc" "src/kdb/CMakeFiles/hq_kdb.dir/query.cc.o.d"
+  "/root/repo/src/kdb/value_ops.cc" "src/kdb/CMakeFiles/hq_kdb.dir/value_ops.cc.o" "gcc" "src/kdb/CMakeFiles/hq_kdb.dir/value_ops.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/hq_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/qval/CMakeFiles/hq_qval.dir/DependInfo.cmake"
+  "/root/repo/build/src/qlang/CMakeFiles/hq_qlang.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

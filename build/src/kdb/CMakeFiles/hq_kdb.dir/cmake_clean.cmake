@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hq_kdb.dir/builtins.cc.o"
+  "CMakeFiles/hq_kdb.dir/builtins.cc.o.d"
+  "CMakeFiles/hq_kdb.dir/interp.cc.o"
+  "CMakeFiles/hq_kdb.dir/interp.cc.o.d"
+  "CMakeFiles/hq_kdb.dir/joins.cc.o"
+  "CMakeFiles/hq_kdb.dir/joins.cc.o.d"
+  "CMakeFiles/hq_kdb.dir/query.cc.o"
+  "CMakeFiles/hq_kdb.dir/query.cc.o.d"
+  "CMakeFiles/hq_kdb.dir/value_ops.cc.o"
+  "CMakeFiles/hq_kdb.dir/value_ops.cc.o.d"
+  "libhq_kdb.a"
+  "libhq_kdb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hq_kdb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for hq_kdb.
+# This may be replaced when dependencies are built.

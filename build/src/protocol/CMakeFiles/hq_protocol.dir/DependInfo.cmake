@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/protocol/pgwire/pgwire.cc" "src/protocol/CMakeFiles/hq_protocol.dir/pgwire/pgwire.cc.o" "gcc" "src/protocol/CMakeFiles/hq_protocol.dir/pgwire/pgwire.cc.o.d"
+  "/root/repo/src/protocol/qipc/compress.cc" "src/protocol/CMakeFiles/hq_protocol.dir/qipc/compress.cc.o" "gcc" "src/protocol/CMakeFiles/hq_protocol.dir/qipc/compress.cc.o.d"
+  "/root/repo/src/protocol/qipc/qipc.cc" "src/protocol/CMakeFiles/hq_protocol.dir/qipc/qipc.cc.o" "gcc" "src/protocol/CMakeFiles/hq_protocol.dir/qipc/qipc.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/hq_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/qval/CMakeFiles/hq_qval.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/hq_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sqldb/CMakeFiles/hq_sqldb.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

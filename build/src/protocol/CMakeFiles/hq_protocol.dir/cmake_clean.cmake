@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hq_protocol.dir/pgwire/pgwire.cc.o"
+  "CMakeFiles/hq_protocol.dir/pgwire/pgwire.cc.o.d"
+  "CMakeFiles/hq_protocol.dir/qipc/compress.cc.o"
+  "CMakeFiles/hq_protocol.dir/qipc/compress.cc.o.d"
+  "CMakeFiles/hq_protocol.dir/qipc/qipc.cc.o"
+  "CMakeFiles/hq_protocol.dir/qipc/qipc.cc.o.d"
+  "libhq_protocol.a"
+  "libhq_protocol.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hq_protocol.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hq_qlang.dir/ast.cc.o"
+  "CMakeFiles/hq_qlang.dir/ast.cc.o.d"
+  "CMakeFiles/hq_qlang.dir/lexer.cc.o"
+  "CMakeFiles/hq_qlang.dir/lexer.cc.o.d"
+  "CMakeFiles/hq_qlang.dir/parser.cc.o"
+  "CMakeFiles/hq_qlang.dir/parser.cc.o.d"
+  "libhq_qlang.a"
+  "libhq_qlang.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hq_qlang.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hq_qval.dir/qtype.cc.o"
+  "CMakeFiles/hq_qval.dir/qtype.cc.o.d"
+  "CMakeFiles/hq_qval.dir/qvalue.cc.o"
+  "CMakeFiles/hq_qval.dir/qvalue.cc.o.d"
+  "CMakeFiles/hq_qval.dir/temporal.cc.o"
+  "CMakeFiles/hq_qval.dir/temporal.cc.o.d"
+  "libhq_qval.a"
+  "libhq_qval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hq_qval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

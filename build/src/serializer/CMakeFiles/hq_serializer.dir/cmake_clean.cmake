@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hq_serializer.dir/serializer.cc.o"
+  "CMakeFiles/hq_serializer.dir/serializer.cc.o.d"
+  "libhq_serializer.a"
+  "libhq_serializer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hq_serializer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sqldb/ast.cc" "src/sqldb/CMakeFiles/hq_sqldb.dir/ast.cc.o" "gcc" "src/sqldb/CMakeFiles/hq_sqldb.dir/ast.cc.o.d"
+  "/root/repo/src/sqldb/catalog.cc" "src/sqldb/CMakeFiles/hq_sqldb.dir/catalog.cc.o" "gcc" "src/sqldb/CMakeFiles/hq_sqldb.dir/catalog.cc.o.d"
+  "/root/repo/src/sqldb/database.cc" "src/sqldb/CMakeFiles/hq_sqldb.dir/database.cc.o" "gcc" "src/sqldb/CMakeFiles/hq_sqldb.dir/database.cc.o.d"
+  "/root/repo/src/sqldb/eval.cc" "src/sqldb/CMakeFiles/hq_sqldb.dir/eval.cc.o" "gcc" "src/sqldb/CMakeFiles/hq_sqldb.dir/eval.cc.o.d"
+  "/root/repo/src/sqldb/exec.cc" "src/sqldb/CMakeFiles/hq_sqldb.dir/exec.cc.o" "gcc" "src/sqldb/CMakeFiles/hq_sqldb.dir/exec.cc.o.d"
+  "/root/repo/src/sqldb/relation.cc" "src/sqldb/CMakeFiles/hq_sqldb.dir/relation.cc.o" "gcc" "src/sqldb/CMakeFiles/hq_sqldb.dir/relation.cc.o.d"
+  "/root/repo/src/sqldb/sql_lexer.cc" "src/sqldb/CMakeFiles/hq_sqldb.dir/sql_lexer.cc.o" "gcc" "src/sqldb/CMakeFiles/hq_sqldb.dir/sql_lexer.cc.o.d"
+  "/root/repo/src/sqldb/sql_parser.cc" "src/sqldb/CMakeFiles/hq_sqldb.dir/sql_parser.cc.o" "gcc" "src/sqldb/CMakeFiles/hq_sqldb.dir/sql_parser.cc.o.d"
+  "/root/repo/src/sqldb/types.cc" "src/sqldb/CMakeFiles/hq_sqldb.dir/types.cc.o" "gcc" "src/sqldb/CMakeFiles/hq_sqldb.dir/types.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/hq_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/qval/CMakeFiles/hq_qval.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hq_sqldb.dir/ast.cc.o"
+  "CMakeFiles/hq_sqldb.dir/ast.cc.o.d"
+  "CMakeFiles/hq_sqldb.dir/catalog.cc.o"
+  "CMakeFiles/hq_sqldb.dir/catalog.cc.o.d"
+  "CMakeFiles/hq_sqldb.dir/database.cc.o"
+  "CMakeFiles/hq_sqldb.dir/database.cc.o.d"
+  "CMakeFiles/hq_sqldb.dir/eval.cc.o"
+  "CMakeFiles/hq_sqldb.dir/eval.cc.o.d"
+  "CMakeFiles/hq_sqldb.dir/exec.cc.o"
+  "CMakeFiles/hq_sqldb.dir/exec.cc.o.d"
+  "CMakeFiles/hq_sqldb.dir/relation.cc.o"
+  "CMakeFiles/hq_sqldb.dir/relation.cc.o.d"
+  "CMakeFiles/hq_sqldb.dir/sql_lexer.cc.o"
+  "CMakeFiles/hq_sqldb.dir/sql_lexer.cc.o.d"
+  "CMakeFiles/hq_sqldb.dir/sql_parser.cc.o"
+  "CMakeFiles/hq_sqldb.dir/sql_parser.cc.o.d"
+  "CMakeFiles/hq_sqldb.dir/types.cc.o"
+  "CMakeFiles/hq_sqldb.dir/types.cc.o.d"
+  "libhq_sqldb.a"
+  "libhq_sqldb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hq_sqldb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hq_testing.dir/market_data.cc.o"
+  "CMakeFiles/hq_testing.dir/market_data.cc.o.d"
+  "CMakeFiles/hq_testing.dir/side_by_side.cc.o"
+  "CMakeFiles/hq_testing.dir/side_by_side.cc.o.d"
+  "libhq_testing.a"
+  "libhq_testing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hq_testing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hq_xformer.dir/xformer.cc.o"
+  "CMakeFiles/hq_xformer.dir/xformer.cc.o.d"
+  "libhq_xformer.a"
+  "libhq_xformer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hq_xformer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/xtra/operator.cc" "src/xtra/CMakeFiles/hq_xtra.dir/operator.cc.o" "gcc" "src/xtra/CMakeFiles/hq_xtra.dir/operator.cc.o.d"
+  "/root/repo/src/xtra/scalar.cc" "src/xtra/CMakeFiles/hq_xtra.dir/scalar.cc.o" "gcc" "src/xtra/CMakeFiles/hq_xtra.dir/scalar.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/hq_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/qval/CMakeFiles/hq_qval.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hq_xtra.dir/operator.cc.o"
+  "CMakeFiles/hq_xtra.dir/operator.cc.o.d"
+  "CMakeFiles/hq_xtra.dir/scalar.cc.o"
+  "CMakeFiles/hq_xtra.dir/scalar.cc.o.d"
+  "libhq_xtra.a"
+  "libhq_xtra.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hq_xtra.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/endpoint_test.dir/endpoint_test.cc.o"
+  "CMakeFiles/endpoint_test.dir/endpoint_test.cc.o.d"
+  "endpoint_test"
+  "endpoint_test.pdb"
+  "endpoint_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/endpoint_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

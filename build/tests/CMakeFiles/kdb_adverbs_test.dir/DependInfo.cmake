@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/kdb_adverbs_test.cc" "tests/CMakeFiles/kdb_adverbs_test.dir/kdb_adverbs_test.cc.o" "gcc" "tests/CMakeFiles/kdb_adverbs_test.dir/kdb_adverbs_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/testing/CMakeFiles/hq_testing.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/hq_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/algebrizer/CMakeFiles/hq_algebrizer.dir/DependInfo.cmake"
+  "/root/repo/build/src/xformer/CMakeFiles/hq_xformer.dir/DependInfo.cmake"
+  "/root/repo/build/src/serializer/CMakeFiles/hq_serializer.dir/DependInfo.cmake"
+  "/root/repo/build/src/xtra/CMakeFiles/hq_xtra.dir/DependInfo.cmake"
+  "/root/repo/build/src/protocol/CMakeFiles/hq_protocol.dir/DependInfo.cmake"
+  "/root/repo/build/src/sqldb/CMakeFiles/hq_sqldb.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/hq_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/kdb/CMakeFiles/hq_kdb.dir/DependInfo.cmake"
+  "/root/repo/build/src/qlang/CMakeFiles/hq_qlang.dir/DependInfo.cmake"
+  "/root/repo/build/src/qval/CMakeFiles/hq_qval.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/hq_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

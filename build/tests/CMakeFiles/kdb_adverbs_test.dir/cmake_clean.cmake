@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kdb_adverbs_test.dir/kdb_adverbs_test.cc.o"
+  "CMakeFiles/kdb_adverbs_test.dir/kdb_adverbs_test.cc.o.d"
+  "kdb_adverbs_test"
+  "kdb_adverbs_test.pdb"
+  "kdb_adverbs_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kdb_adverbs_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/kdb_interp_test.cc" "tests/CMakeFiles/kdb_interp_test.dir/kdb_interp_test.cc.o" "gcc" "tests/CMakeFiles/kdb_interp_test.dir/kdb_interp_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/kdb/CMakeFiles/hq_kdb.dir/DependInfo.cmake"
+  "/root/repo/build/src/qlang/CMakeFiles/hq_qlang.dir/DependInfo.cmake"
+  "/root/repo/build/src/qval/CMakeFiles/hq_qval.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/hq_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

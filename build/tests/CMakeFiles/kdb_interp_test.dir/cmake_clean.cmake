@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kdb_interp_test.dir/kdb_interp_test.cc.o"
+  "CMakeFiles/kdb_interp_test.dir/kdb_interp_test.cc.o.d"
+  "kdb_interp_test"
+  "kdb_interp_test.pdb"
+  "kdb_interp_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kdb_interp_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

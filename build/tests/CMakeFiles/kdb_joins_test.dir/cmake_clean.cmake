@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kdb_joins_test.dir/kdb_joins_test.cc.o"
+  "CMakeFiles/kdb_joins_test.dir/kdb_joins_test.cc.o.d"
+  "kdb_joins_test"
+  "kdb_joins_test.pdb"
+  "kdb_joins_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kdb_joins_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

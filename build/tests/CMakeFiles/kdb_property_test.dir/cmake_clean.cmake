@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kdb_property_test.dir/kdb_property_test.cc.o"
+  "CMakeFiles/kdb_property_test.dir/kdb_property_test.cc.o.d"
+  "kdb_property_test"
+  "kdb_property_test.pdb"
+  "kdb_property_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kdb_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kdb_query_test.dir/kdb_query_test.cc.o"
+  "CMakeFiles/kdb_query_test.dir/kdb_query_test.cc.o.d"
+  "kdb_query_test"
+  "kdb_query_test.pdb"
+  "kdb_query_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kdb_query_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qipc_property_test.dir/qipc_property_test.cc.o"
+  "CMakeFiles/qipc_property_test.dir/qipc_property_test.cc.o.d"
+  "qipc_property_test"
+  "qipc_property_test.pdb"
+  "qipc_property_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qipc_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qlang_infix_test.dir/qlang_infix_test.cc.o"
+  "CMakeFiles/qlang_infix_test.dir/qlang_infix_test.cc.o.d"
+  "qlang_infix_test"
+  "qlang_infix_test.pdb"
+  "qlang_infix_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qlang_infix_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

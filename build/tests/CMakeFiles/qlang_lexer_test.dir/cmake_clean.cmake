@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qlang_lexer_test.dir/qlang_lexer_test.cc.o"
+  "CMakeFiles/qlang_lexer_test.dir/qlang_lexer_test.cc.o.d"
+  "qlang_lexer_test"
+  "qlang_lexer_test.pdb"
+  "qlang_lexer_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qlang_lexer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

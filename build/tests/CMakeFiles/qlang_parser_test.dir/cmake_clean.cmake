@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qlang_parser_test.dir/qlang_parser_test.cc.o"
+  "CMakeFiles/qlang_parser_test.dir/qlang_parser_test.cc.o.d"
+  "qlang_parser_test"
+  "qlang_parser_test.pdb"
+  "qlang_parser_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qlang_parser_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qval_test.dir/qval_test.cc.o"
+  "CMakeFiles/qval_test.dir/qval_test.cc.o.d"
+  "qval_test"
+  "qval_test.pdb"
+  "qval_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qval_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

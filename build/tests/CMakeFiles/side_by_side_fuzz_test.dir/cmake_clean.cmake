@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/side_by_side_fuzz_test.dir/side_by_side_fuzz_test.cc.o"
+  "CMakeFiles/side_by_side_fuzz_test.dir/side_by_side_fuzz_test.cc.o.d"
+  "side_by_side_fuzz_test"
+  "side_by_side_fuzz_test.pdb"
+  "side_by_side_fuzz_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/side_by_side_fuzz_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sqldb_property_test.dir/sqldb_property_test.cc.o"
+  "CMakeFiles/sqldb_property_test.dir/sqldb_property_test.cc.o.d"
+  "sqldb_property_test"
+  "sqldb_property_test.pdb"
+  "sqldb_property_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sqldb_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/translator_errors_test.dir/translator_errors_test.cc.o"
+  "CMakeFiles/translator_errors_test.dir/translator_errors_test.cc.o.d"
+  "translator_errors_test"
+  "translator_errors_test.pdb"
+  "translator_errors_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/translator_errors_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xformer_test.dir/xformer_test.cc.o"
+  "CMakeFiles/xformer_test.dir/xformer_test.cc.o.d"
+  "xformer_test"
+  "xformer_test.pdb"
+  "xformer_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xformer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xtra_test.dir/xtra_test.cc.o"
+  "CMakeFiles/xtra_test.dir/xtra_test.cc.o.d"
+  "xtra_test"
+  "xtra_test.pdb"
+  "xtra_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xtra_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

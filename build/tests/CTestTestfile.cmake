@@ -1,0 +1,29 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/common_test[1]_include.cmake")
+include("/root/repo/build/tests/qval_test[1]_include.cmake")
+include("/root/repo/build/tests/qlang_lexer_test[1]_include.cmake")
+include("/root/repo/build/tests/qlang_parser_test[1]_include.cmake")
+include("/root/repo/build/tests/kdb_interp_test[1]_include.cmake")
+include("/root/repo/build/tests/kdb_query_test[1]_include.cmake")
+include("/root/repo/build/tests/kdb_joins_test[1]_include.cmake")
+include("/root/repo/build/tests/sqldb_test[1]_include.cmake")
+include("/root/repo/build/tests/translator_test[1]_include.cmake")
+include("/root/repo/build/tests/protocol_test[1]_include.cmake")
+include("/root/repo/build/tests/endpoint_test[1]_include.cmake")
+include("/root/repo/build/tests/side_by_side_test[1]_include.cmake")
+include("/root/repo/build/tests/xtra_test[1]_include.cmake")
+include("/root/repo/build/tests/xformer_test[1]_include.cmake")
+include("/root/repo/build/tests/serializer_test[1]_include.cmake")
+include("/root/repo/build/tests/kdb_property_test[1]_include.cmake")
+include("/root/repo/build/tests/qipc_property_test[1]_include.cmake")
+include("/root/repo/build/tests/core_test[1]_include.cmake")
+include("/root/repo/build/tests/side_by_side_fuzz_test[1]_include.cmake")
+include("/root/repo/build/tests/kdb_adverbs_test[1]_include.cmake")
+include("/root/repo/build/tests/sqldb_property_test[1]_include.cmake")
+include("/root/repo/build/tests/qlang_infix_test[1]_include.cmake")
+include("/root/repo/build/tests/translator_errors_test[1]_include.cmake")
