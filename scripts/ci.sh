@@ -1,0 +1,38 @@
+#!/usr/bin/env bash
+# CI entry point: tier-1 build + full test suite, then the concurrency
+# battery (endpoint stress + metrics) rebuilt and re-run under
+# ThreadSanitizer. Any TSAN report fails the run via -DHYPERQ_SANITIZE
+# instrumentation and halt_on_error.
+#
+# Usage: scripts/ci.sh [--skip-tsan]
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+JOBS="$(nproc 2>/dev/null || echo 4)"
+SKIP_TSAN=0
+[[ "${1:-}" == "--skip-tsan" ]] && SKIP_TSAN=1
+
+echo "==> tier-1: configure + build"
+cmake -B build -S . >/dev/null
+cmake --build build -j "$JOBS"
+
+echo "==> tier-1: full test suite"
+ctest --test-dir build --output-on-failure -j "$JOBS"
+
+if [[ "$SKIP_TSAN" == 1 ]]; then
+  echo "==> tsan: skipped (--skip-tsan)"
+  exit 0
+fi
+
+echo "==> tsan: configure + build (build-tsan)"
+cmake -B build-tsan -S . -DHYPERQ_SANITIZE=thread >/dev/null
+cmake --build build-tsan -j "$JOBS" \
+  --target endpoint_stress_test metrics_test endpoint_test
+
+echo "==> tsan: concurrency battery"
+export TSAN_OPTIONS="halt_on_error=1 second_deadlock_stack=1"
+./build-tsan/tests/metrics_test
+./build-tsan/tests/endpoint_test
+./build-tsan/tests/endpoint_stress_test
+
+echo "==> ci: all green"

@@ -1,0 +1,158 @@
+#include "common/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/strings.h"
+
+namespace hyperq {
+
+int LatencyHistogram::BucketFor(double us) {
+  if (!(us > 1.0)) return 0;  // [0, 1] us and any NaN/negative input
+  double ceiling = std::ceil(us);
+  if (ceiling >= static_cast<double>(1ull << (kNumBuckets - 1))) {
+    return kNumBuckets - 1;
+  }
+  uint64_t v = static_cast<uint64_t>(ceiling) - 1;
+  int bits = 0;
+  while (v != 0) {
+    v >>= 1;
+    ++bits;
+  }
+  // bits = position of the highest set bit of (ceil(us) - 1); values in
+  // (2^(b-1), 2^b] land in bucket b.
+  return bits;
+}
+
+double LatencyHistogram::BucketUpperBound(int b) {
+  return static_cast<double>(1ull << b);
+}
+
+void LatencyHistogram::Record(double us) {
+  if (!enabled_->load(std::memory_order_relaxed)) return;
+  buckets_[BucketFor(us)].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  double ns = us * 1000.0;
+  if (ns < 0 || std::isnan(ns)) ns = 0;
+  sum_ns_.fetch_add(static_cast<uint64_t>(ns), std::memory_order_relaxed);
+}
+
+double LatencyHistogram::Percentile(double q) const {
+  uint64_t counts[kNumBuckets];
+  uint64_t total = 0;
+  for (int b = 0; b < kNumBuckets; ++b) {
+    counts[b] = buckets_[b].load(std::memory_order_relaxed);
+    total += counts[b];
+  }
+  if (total == 0) return 0.0;
+  if (q < 0) q = 0;
+  if (q > 1) q = 1;
+  // Rank of the target sample, 1-based.
+  uint64_t rank = static_cast<uint64_t>(std::ceil(q * total));
+  if (rank == 0) rank = 1;
+  uint64_t seen = 0;
+  for (int b = 0; b < kNumBuckets; ++b) {
+    if (counts[b] == 0) continue;
+    if (seen + counts[b] >= rank) {
+      double lo = b == 0 ? 0.0 : BucketUpperBound(b - 1);
+      double hi = BucketUpperBound(b);
+      double within = static_cast<double>(rank - seen) /
+                      static_cast<double>(counts[b]);
+      return lo + (hi - lo) * within;
+    }
+    seen += counts[b];
+  }
+  return BucketUpperBound(kNumBuckets - 1);
+}
+
+void LatencyHistogram::Reset() {
+  for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+  sum_ns_.store(0, std::memory_order_relaxed);
+}
+
+MetricsRegistry& MetricsRegistry::Global() {
+  static MetricsRegistry* registry = new MetricsRegistry();
+  return *registry;
+}
+
+Counter* MetricsRegistry::GetCounter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = counters_[name];
+  if (slot == nullptr) slot.reset(new Counter(&enabled_));
+  return slot.get();
+}
+
+Gauge* MetricsRegistry::GetGauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = gauges_[name];
+  if (slot == nullptr) slot.reset(new Gauge(&enabled_));
+  return slot.get();
+}
+
+LatencyHistogram* MetricsRegistry::GetHistogram(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = histograms_[name];
+  if (slot == nullptr) slot.reset(new LatencyHistogram(&enabled_));
+  return slot.get();
+}
+
+std::vector<MetricsRegistry::Row> MetricsRegistry::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<Row> rows;
+  rows.reserve(counters_.size() + gauges_.size() + histograms_.size());
+  for (const auto& [name, c] : counters_) {
+    Row r;
+    r.name = name;
+    r.kind = "counter";
+    r.count = c->value();
+    rows.push_back(std::move(r));
+  }
+  for (const auto& [name, g] : gauges_) {
+    Row r;
+    r.name = name;
+    r.kind = "gauge";
+    r.count = static_cast<uint64_t>(g->value() < 0 ? 0 : g->value());
+    rows.push_back(std::move(r));
+  }
+  for (const auto& [name, h] : histograms_) {
+    Row r;
+    r.name = name;
+    r.kind = "histogram";
+    r.count = h->count();
+    r.sum_us = h->sum_us();
+    r.p50_us = h->Percentile(0.50);
+    r.p95_us = h->Percentile(0.95);
+    r.p99_us = h->Percentile(0.99);
+    rows.push_back(std::move(r));
+  }
+  std::sort(rows.begin(), rows.end(),
+            [](const Row& a, const Row& b) { return a.name < b.name; });
+  return rows;
+}
+
+std::string MetricsRegistry::TextDump() const {
+  std::string out;
+  for (const Row& r : Snapshot()) {
+    out += r.name;
+    out += ' ';
+    out += r.kind;
+    out += ' ';
+    out += std::to_string(r.count);
+    if (r.kind == "histogram") {
+      out += StrCat(" sum_us=", r.sum_us, " p50=", r.p50_us,
+                    " p95=", r.p95_us, " p99=", r.p99_us);
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+void MetricsRegistry::ResetAll() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, c] : counters_) c->Reset();
+  for (auto& [name, g] : gauges_) g->Reset();
+  for (auto& [name, h] : histograms_) h->Reset();
+}
+
+}  // namespace hyperq

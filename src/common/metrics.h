@@ -1,0 +1,190 @@
+#ifndef HYPERQ_COMMON_METRICS_H_
+#define HYPERQ_COMMON_METRICS_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace hyperq {
+
+/// Runtime observability for the translation pipeline and the endpoints
+/// (Figure 7 breaks translation cost into per-stage timings; production
+/// deployments need the same split live, not just in offline benches).
+///
+/// Design: registration (name -> metric object) takes a mutex once per
+/// metric; the returned pointers are stable for the registry's lifetime, so
+/// hot paths touch only std::atomic with relaxed ordering. A registry-wide
+/// `enabled` flag freezes all mutation so the cost of compiled-in but
+/// disabled instrumentation can be measured (and stays negligible).
+
+class MetricsRegistry;
+
+/// Monotonic event count. All mutation is relaxed-atomic.
+class Counter {
+ public:
+  void Increment(uint64_t delta = 1) {
+    if (!enabled_->load(std::memory_order_relaxed)) return;
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  friend class MetricsRegistry;
+  explicit Counter(const std::atomic<bool>* enabled) : enabled_(enabled) {}
+
+  const std::atomic<bool>* enabled_;
+  std::atomic<uint64_t> value_{0};
+};
+
+/// Instantaneous level (active connections, queue depth); may go up and
+/// down.
+class Gauge {
+ public:
+  void Set(int64_t v) {
+    if (!enabled_->load(std::memory_order_relaxed)) return;
+    value_.store(v, std::memory_order_relaxed);
+  }
+  void Add(int64_t delta) {
+    if (!enabled_->load(std::memory_order_relaxed)) return;
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  int64_t value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  friend class MetricsRegistry;
+  explicit Gauge(const std::atomic<bool>* enabled) : enabled_(enabled) {}
+
+  const std::atomic<bool>* enabled_;
+  std::atomic<int64_t> value_{0};
+};
+
+/// Fixed-bucket latency histogram over microseconds. Buckets are powers of
+/// two: bucket 0 covers [0, 1] us, bucket b covers (2^(b-1), 2^b] us, the
+/// last bucket is a catch-all. Percentiles are estimated by linear
+/// interpolation inside the target bucket, so an estimate is always within
+/// the bucket that holds the true rank.
+class LatencyHistogram {
+ public:
+  static constexpr int kNumBuckets = 32;
+
+  void Record(double us);
+
+  uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+  /// Total of all recorded values, in microseconds.
+  double sum_us() const {
+    return static_cast<double>(sum_ns_.load(std::memory_order_relaxed)) /
+           1000.0;
+  }
+  double mean_us() const {
+    uint64_t n = count();
+    return n == 0 ? 0.0 : sum_us() / static_cast<double>(n);
+  }
+  /// Estimated value at quantile q in [0, 1]; 0 when empty.
+  double Percentile(double q) const;
+  uint64_t bucket_count(int b) const {
+    return buckets_[b].load(std::memory_order_relaxed);
+  }
+  /// Inclusive upper bound of bucket b in microseconds.
+  static double BucketUpperBound(int b);
+  /// Index of the bucket a value lands in.
+  static int BucketFor(double us);
+
+  void Reset();
+
+ private:
+  friend class MetricsRegistry;
+  explicit LatencyHistogram(const std::atomic<bool>* enabled)
+      : enabled_(enabled) {}
+
+  const std::atomic<bool>* enabled_;
+  std::atomic<uint64_t> buckets_[kNumBuckets] = {};
+  std::atomic<uint64_t> count_{0};
+  std::atomic<uint64_t> sum_ns_{0};
+};
+
+/// Names and owns all metrics of one process (or one test). Components
+/// resolve their metrics once (mutex-guarded map insert) and then mutate
+/// through the stable pointers lock-free.
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  /// The process-wide registry the production wiring uses.
+  static MetricsRegistry& Global();
+
+  Counter* GetCounter(const std::string& name);
+  Gauge* GetGauge(const std::string& name);
+  LatencyHistogram* GetHistogram(const std::string& name);
+
+  /// Freezes / unfreezes all mutation (reads stay available).
+  void SetEnabled(bool enabled) {
+    enabled_.store(enabled, std::memory_order_relaxed);
+  }
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+
+  /// One row per metric, sorted by name — the source for `.hyperq.stats[]`
+  /// and the text dump.
+  struct Row {
+    std::string name;
+    std::string kind;  ///< "counter" | "gauge" | "histogram"
+    uint64_t count = 0;   ///< counter value / gauge level / sample count
+    double sum_us = 0;    ///< histograms only: total recorded time
+    double p50_us = 0;
+    double p95_us = 0;
+    double p99_us = 0;
+  };
+  std::vector<Row> Snapshot() const;
+
+  /// Plain-text dump for logs: one `name kind value [p50 p95 p99]` line per
+  /// metric.
+  std::string TextDump() const;
+
+  /// Zeroes every registered metric (tests, or a stats reset over the
+  /// wire). Registered pointers stay valid.
+  void ResetAll();
+
+ private:
+  mutable std::mutex mu_;
+  std::atomic<bool> enabled_{true};
+  // std::map keeps Snapshot() sorted; unique_ptr keeps metric addresses
+  // stable across rehashing/insertion.
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<LatencyHistogram>> histograms_;
+};
+
+/// Records the elapsed wall time into a histogram on destruction. When the
+/// owning registry is disabled at construction time no clock is read at
+/// all.
+class ScopedLatencyTimer {
+ public:
+  ScopedLatencyTimer(const MetricsRegistry& registry, LatencyHistogram* hist)
+      : hist_(registry.enabled() ? hist : nullptr) {
+    if (hist_ != nullptr) start_ = std::chrono::steady_clock::now();
+  }
+  ~ScopedLatencyTimer() {
+    if (hist_ == nullptr) return;
+    auto end = std::chrono::steady_clock::now();
+    hist_->Record(
+        std::chrono::duration<double, std::micro>(end - start_).count());
+  }
+  ScopedLatencyTimer(const ScopedLatencyTimer&) = delete;
+  ScopedLatencyTimer& operator=(const ScopedLatencyTimer&) = delete;
+
+ private:
+  LatencyHistogram* hist_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace hyperq
+
+#endif  // HYPERQ_COMMON_METRICS_H_

@@ -1,8 +1,44 @@
 #include "core/cross_compiler.h"
 
+#include "common/metrics.h"
 #include "core/loader.h"
 
 namespace hyperq {
+
+namespace {
+
+/// Per-stage translation histograms (the live counterpart of Figure 7's
+/// Algebrizer / XTRA+Xformer / Serializer split) plus end-to-end request
+/// counters. Resolved once; mutation afterwards is lock-free.
+struct XcMetrics {
+  LatencyHistogram* parse_us;
+  LatencyHistogram* bind_us;
+  LatencyHistogram* xform_us;
+  LatencyHistogram* serialize_us;
+  LatencyHistogram* translate_total_us;
+  LatencyHistogram* execute_us;
+  Counter* requests;
+  Counter* translate_errors;
+  Counter* execute_errors;
+
+  static XcMetrics& Get() {
+    static XcMetrics* m = [] {
+      MetricsRegistry& r = MetricsRegistry::Global();
+      return new XcMetrics{r.GetHistogram("translate.parse_us"),
+                           r.GetHistogram("translate.algebrize_us"),
+                           r.GetHistogram("translate.xform_us"),
+                           r.GetHistogram("translate.serialize_us"),
+                           r.GetHistogram("translate.total_us"),
+                           r.GetHistogram("backend.execute_us"),
+                           r.GetCounter("xc.requests"),
+                           r.GetCounter("xc.translate_errors"),
+                           r.GetCounter("xc.execute_errors")};
+    }();
+    return *m;
+  }
+};
+
+}  // namespace
 
 Result<QValue> CrossCompiler::Process(const std::string& q_text,
                                       StageTimings* timings,
@@ -65,9 +101,34 @@ Result<QValue> CrossCompiler::Process(const std::string& q_text,
   pt.AddTransition(PtState::kResponding, PtEvent::kResponseSent,
                    PtState::kIdle, nullptr);
 
+  XcMetrics& metrics = XcMetrics::Get();
+  metrics.requests->Increment();
+
   HQ_RETURN_IF_ERROR(pt.Fire(PtEvent::kRequestArrived));
-  HQ_RETURN_IF_ERROR(pt.Fire(PtEvent::kQueryExtracted));
-  HQ_RETURN_IF_ERROR(pt.Fire(PtEvent::kTranslationReady));
+  {
+    Status translated = pt.Fire(PtEvent::kQueryExtracted);
+    if (!translated.ok()) {
+      metrics.translate_errors->Increment();
+      return translated;
+    }
+  }
+  // The stage split was measured inside the translator; publish it to the
+  // live histograms (Figure 7 per stage, Figure 6 for the total).
+  if (MetricsRegistry::Global().enabled()) {
+    metrics.parse_us->Record(translation.timings.parse_us);
+    metrics.bind_us->Record(translation.timings.bind_us);
+    metrics.xform_us->Record(translation.timings.xform_us);
+    metrics.serialize_us->Record(translation.timings.serialize_us);
+    metrics.translate_total_us->Record(translation.timings.total_us());
+  }
+  {
+    ScopedLatencyTimer timer(MetricsRegistry::Global(), metrics.execute_us);
+    Status executed = pt.Fire(PtEvent::kTranslationReady);
+    if (!executed.ok()) {
+      metrics.execute_errors->Increment();
+      return executed;
+    }
+  }
   HQ_RETURN_IF_ERROR(pt.Fire(PtEvent::kResultsReady));
   HQ_RETURN_IF_ERROR(pt.Fire(PtEvent::kResultsTranslated));
   HQ_RETURN_IF_ERROR(pt.Fire(PtEvent::kResponseSent));

@@ -3,11 +3,51 @@
 #include <sys/socket.h>
 
 #include <algorithm>
+#include <chrono>
 
 #include "common/logging.h"
+#include "common/metrics.h"
 #include "common/strings.h"
+#include "protocol/qipc/compress.h"
 
 namespace hyperq {
+
+namespace {
+
+struct ServerMetrics {
+  Gauge* connections_active;
+  Counter* connections_total;
+  Counter* connections_refused;
+  Counter* handshake_failures;
+  Counter* read_timeouts;
+  Counter* bytes_in;
+  Counter* bytes_out;
+  Counter* compress_fallbacks;
+  LatencyHistogram* request_us;
+
+  static ServerMetrics& Get() {
+    static ServerMetrics* m = [] {
+      MetricsRegistry& r = MetricsRegistry::Global();
+      return new ServerMetrics{
+          r.GetGauge("server.connections_active"),
+          r.GetCounter("server.connections_total"),
+          r.GetCounter("server.connections_refused"),
+          r.GetCounter("server.handshake_failures"),
+          r.GetCounter("server.read_timeouts"),
+          r.GetCounter("server.bytes_in"),
+          r.GetCounter("server.bytes_out"),
+          r.GetCounter("server.compress_fallbacks"),
+          r.GetHistogram("server.request_us")};
+    }();
+    return *m;
+  }
+};
+
+bool IsTimeout(const Status& s) {
+  return s.message().find("timed out") != std::string::npos;
+}
+
+}  // namespace
 
 Status HyperQServer::Start(uint16_t port) {
   HQ_ASSIGN_OR_RETURN(TcpListener listener, TcpListener::Listen(port));
@@ -23,14 +63,18 @@ void HyperQServer::Stop() {
   if (listener_) listener_->Close();
   if (accept_thread_ && accept_thread_->joinable()) accept_thread_->join();
   {
-    // Wake workers blocked in recv on still-open client connections.
+    // Drain, don't axe: SHUT_RD wakes workers blocked in recv (they see
+    // EOF and exit), while a worker mid-query can still write its response
+    // before its loop observes running_ == false.
     std::lock_guard<std::mutex> lock(conn_mu_);
-    for (int fd : active_fds_) ::shutdown(fd, SHUT_RDWR);
+    for (int fd : active_fds_) ::shutdown(fd, SHUT_RD);
   }
   for (auto& w : workers_) {
     if (w.joinable()) w.join();
   }
   workers_.clear();
+  HQ_LOG(Debug) << "qipc server stopped; final metrics:\n"
+                << MetricsRegistry::Global().TextDump();
 }
 
 void HyperQServer::AcceptLoop() {
@@ -61,43 +105,99 @@ void HyperQServer::UnregisterFd(int fd) {
 }
 
 void HyperQServer::HandleConnection(TcpConnection conn) {
+  ServerMetrics& metrics = ServerMetrics::Get();
+  metrics.connections_total->Increment();
+  // Admission control: reserve a slot before any protocol work; over-limit
+  // connections are closed before the accept byte, which clients observe
+  // as a rejected handshake instead of an unbounded worker pile-up.
+  // The gauge mirrors active_count_ via Set() rather than Add(+-1) so a
+  // mid-flight .hyperq.resetStats[] desyncs it only until the next
+  // connection event instead of driving it negative forever.
+  struct SlotGuard {
+    HyperQServer* s;
+    ~SlotGuard() {
+      int now = s->active_count_.fetch_sub(1, std::memory_order_acq_rel) - 1;
+      ServerMetrics::Get().connections_active->Set(now);
+    }
+  };
+  int prior = active_count_.fetch_add(1, std::memory_order_acq_rel);
+  metrics.connections_active->Set(prior + 1);
+  SlotGuard slot{this};
+  if (prior >= options_.max_connections) {
+    metrics.connections_refused->Increment();
+    return;
+  }
+
   RegisterFd(conn.fd());
-  struct Guard {
+  struct FdGuard {
     HyperQServer* s;
     int fd;
-    ~Guard() { s->UnregisterFd(fd); }
+    ~FdGuard() { s->UnregisterFd(fd); }
   } guard{this, conn.fd()};
+
+  if (options_.read_timeout_ms > 0) {
+    if (!conn.SetReadTimeout(options_.read_timeout_ms).ok()) return;
+  }
+
   // Handshake: read the NUL-terminated credential block (§4.2).
   std::vector<uint8_t> creds;
   while (true) {
     Result<std::vector<uint8_t>> chunk = conn.ReadSome(256);
-    if (!chunk.ok() || chunk->empty()) return;
+    if (!chunk.ok() || chunk->empty()) {
+      if (!chunk.ok() && IsTimeout(chunk.status())) {
+        metrics.read_timeouts->Increment();
+      }
+      metrics.handshake_failures->Increment();
+      return;
+    }
     creds.insert(creds.end(), chunk->begin(), chunk->end());
     if (creds.back() == 0) break;
-    if (creds.size() > 4096) return;  // junk
+    if (creds.size() > 4096) {  // junk
+      metrics.handshake_failures->Increment();
+      return;
+    }
   }
+  metrics.bytes_in->Increment(creds.size());
   Result<qipc::HandshakeRequest> hs = qipc::DecodeHandshake(creds);
-  if (!hs.ok()) return;
+  if (!hs.ok()) {
+    metrics.handshake_failures->Increment();
+    return;
+  }
   if (!options_.user.empty() &&
       (hs->user != options_.user || hs->password != options_.password)) {
     // Rejected credentials: close immediately, as kdb+ does (§4.2).
+    metrics.handshake_failures->Increment();
     return;
   }
   // Accept: single byte echoing a supported protocol version.
   uint8_t accept_version = hs->version > 3 ? 3 : hs->version;
   if (!conn.WriteAll(&accept_version, 1).ok()) return;
+  metrics.bytes_out->Increment(1);
 
+  ServeRequests(conn);
+}
+
+void HyperQServer::ServeRequests(TcpConnection& conn) {
+  ServerMetrics& metrics = ServerMetrics::Get();
   // One Hyper-Q session per connection (its own temp-table namespace and
   // variable scopes).
   HyperQSession session(backend_, options_.session);
 
   while (running_) {
     Result<std::vector<uint8_t>> header = conn.ReadExact(8);
-    if (!header.ok()) break;  // disconnect
+    if (!header.ok()) {  // disconnect or idle timeout
+      if (IsTimeout(header.status())) metrics.read_timeouts->Increment();
+      break;
+    }
+    auto request_start = std::chrono::steady_clock::now();
     Result<uint32_t> len = qipc::PeekMessageLength(header->data());
     if (!len.ok() || *len < 9 || *len > (256u << 20)) break;
     Result<std::vector<uint8_t>> rest = conn.ReadExact(*len - 8);
-    if (!rest.ok()) break;
+    if (!rest.ok()) {
+      if (IsTimeout(rest.status())) metrics.read_timeouts->Increment();
+      break;
+    }
+    metrics.bytes_in->Increment(*len);
     std::vector<uint8_t> whole = std::move(*header);
     whole.insert(whole.end(), rest->begin(), rest->end());
 
@@ -128,13 +228,27 @@ void HyperQServer::HandleConnection(TcpConnection conn) {
           reply = qipc::EncodeError(encoded.status().ToString(),
                                     qipc::MsgType::kResponse);
         } else {
+          if (options_.compress_responses &&
+              !qipc::IsCompressedMessage(*encoded)) {
+            // Incompressible (or under-threshold) payload fell back to the
+            // plain encoding.
+            metrics.compress_fallbacks->Increment();
+          }
           reply = std::move(*encoded);
         }
       }
       // Async messages expect no response.
       if (msg->type == qipc::MsgType::kAsync) continue;
     }
-    if (!conn.WriteAll(reply).ok()) break;
+    bool sent = conn.WriteAll(reply).ok();
+    if (sent) {
+      metrics.bytes_out->Increment(reply.size());
+      auto end = std::chrono::steady_clock::now();
+      metrics.request_us->Record(
+          std::chrono::duration<double, std::micro>(end - request_start)
+              .count());
+    }
+    if (!sent) break;
   }
   (void)session.Close();
 }

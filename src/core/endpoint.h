@@ -30,6 +30,15 @@ class HyperQServer {
     /// Compress large responses with kdb+ IPC compression (§3.1). kdb+
     /// compresses only for remote peers; the endpoint makes it opt-in.
     bool compress_responses = false;
+    /// Hard cap on simultaneously served connections. Connections beyond
+    /// the cap are refused during the handshake (closed before the accept
+    /// byte), which a q client surfaces as a rejected handshake rather
+    /// than a hang.
+    int max_connections = 256;
+    /// Per-connection idle read timeout in milliseconds; 0 disables. A
+    /// connection whose next request does not arrive in time is closed
+    /// (slow-loris style half-open peers no longer pin a worker forever).
+    int read_timeout_ms = 0;
   };
 
   HyperQServer(sqldb::Database* backend, Options options)
@@ -39,11 +48,25 @@ class HyperQServer {
   /// Binds 127.0.0.1:port (0 = ephemeral) and serves until Stop().
   Status Start(uint16_t port);
   uint16_t port() const { return port_; }
+
+  /// Stops accepting, then drains: in-flight requests run to completion
+  /// and their responses are written (reads are shut down, writes are
+  /// not); idle connections close immediately. Blocks until every worker
+  /// has exited. Safe to call repeatedly / concurrently.
   void Stop();
+
+  /// Connections currently inside HandleConnection (admitted or about to
+  /// be refused). Returns to 0 after all clients disconnect.
+  int active_connections() const {
+    return active_count_.load(std::memory_order_acquire);
+  }
 
  private:
   void AcceptLoop();
   void HandleConnection(TcpConnection conn);
+  /// The per-request loop after a successful handshake; returns bytes
+  /// in/out through the metrics counters.
+  void ServeRequests(TcpConnection& conn);
   void RegisterFd(int fd);
   void UnregisterFd(int fd);
 
@@ -54,6 +77,7 @@ class HyperQServer {
   std::unique_ptr<std::thread> accept_thread_;
   std::vector<std::thread> workers_;
   std::atomic<bool> running_{false};
+  std::atomic<int> active_count_{0};
   std::mutex conn_mu_;
   std::vector<int> active_fds_;
 };

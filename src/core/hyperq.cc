@@ -1,9 +1,96 @@
 #include "core/hyperq.h"
 
+#include "common/metrics.h"
 #include "common/strings.h"
 #include "serializer/serializer.h"
 
 namespace hyperq {
+
+namespace {
+
+struct SessionMetrics {
+  Counter* queries;
+  Counter* errors;
+  Counter* builtin_queries;
+
+  static SessionMetrics& Get() {
+    static SessionMetrics* m = [] {
+      MetricsRegistry& r = MetricsRegistry::Global();
+      return new SessionMetrics{r.GetCounter("session.queries"),
+                                r.GetCounter("session.errors"),
+                                r.GetCounter("session.builtin_queries")};
+    }();
+    return *m;
+  }
+};
+
+}  // namespace
+
+QValue HyperQSession::StatsTable() {
+  std::vector<MetricsRegistry::Row> rows =
+      MetricsRegistry::Global().Snapshot();
+  std::vector<std::string> names, kinds;
+  std::vector<int64_t> counts;
+  std::vector<double> sums, p50s, p95s, p99s;
+  names.reserve(rows.size());
+  for (const MetricsRegistry::Row& r : rows) {
+    names.push_back(r.name);
+    kinds.push_back(r.kind);
+    counts.push_back(static_cast<int64_t>(r.count));
+    sums.push_back(r.sum_us);
+    p50s.push_back(r.p50_us);
+    p95s.push_back(r.p95_us);
+    p99s.push_back(r.p99_us);
+  }
+  return QValue::MakeTableUnchecked(
+      {"metric", "kind", "count", "sum_us", "p50_us", "p95_us", "p99_us"},
+      {QValue::Syms(std::move(names)), QValue::Syms(std::move(kinds)),
+       QValue::IntList(QType::kLong, std::move(counts)),
+       QValue::FloatList(QType::kFloat, std::move(sums)),
+       QValue::FloatList(QType::kFloat, std::move(p50s)),
+       QValue::FloatList(QType::kFloat, std::move(p95s)),
+       QValue::FloatList(QType::kFloat, std::move(p99s))});
+}
+
+std::optional<Result<QValue>> HyperQSession::TryBuiltin(
+    const std::string& q_text) {
+  std::string_view text = StripWhitespace(q_text);
+  if (!StartsWith(text, ".hyperq.")) return std::nullopt;
+  // Accept both niladic-call and bare-name spellings, as q tooling issues
+  // either form.
+  std::string_view name = text;
+  for (std::string_view suffix : {"[]", "[::]"}) {
+    if (EndsWith(name, suffix)) {
+      name = name.substr(0, name.size() - suffix.size());
+      break;
+    }
+  }
+  SessionMetrics::Get().builtin_queries->Increment();
+  if (name == ".hyperq.stats") {
+    return Result<QValue>(StatsTable());
+  }
+  if (name == ".hyperq.statsText") {
+    return Result<QValue>(
+        QValue::Chars(MetricsRegistry::Global().TextDump()));
+  }
+  if (name == ".hyperq.resetStats") {
+    MetricsRegistry::Global().ResetAll();
+    return Result<QValue>(QValue());
+  }
+  return Result<QValue>(
+      NotFound(StrCat("unknown builtin '", std::string(name), "'")));
+}
+
+Result<QValue> HyperQSession::Query(const std::string& q_text) {
+  if (std::optional<Result<QValue>> builtin = TryBuiltin(q_text)) {
+    return *std::move(builtin);
+  }
+  SessionMetrics& metrics = SessionMetrics::Get();
+  metrics.queries->Increment();
+  Result<QValue> result = xc_.Process(q_text, &last_timings_, &last_sql_);
+  if (!result.ok()) metrics.errors->Increment();
+  return result;
+}
 
 Status HyperQSession::Close() {
   // Promote session-scope variables to the server scope (§3.2.3). Scalars

@@ -2,6 +2,7 @@
 #define HYPERQ_CORE_HYPERQ_H_
 
 #include <memory>
+#include <optional>
 #include <string>
 
 #include "core/cross_compiler.h"
@@ -39,10 +40,11 @@ class HyperQSession {
         [this]() { return raw_mdi_.CatalogVersion(); });
   }
 
-  /// Full query life cycle: Q text in, Q value out.
-  Result<QValue> Query(const std::string& q_text) {
-    return xc_.Process(q_text, &last_timings_, &last_sql_);
-  }
+  /// Full query life cycle: Q text in, Q value out. Recognizes the
+  /// `.hyperq.*` introspection builtins (e.g. `.hyperq.stats[]`), which are
+  /// answered from the metrics registry without touching the translator, so
+  /// unchanged kdb+ tooling can scrape Hyper-Q like any other q process.
+  Result<QValue> Query(const std::string& q_text);
 
   /// Translation only (no final execution); setup statements for
   /// materialized variables still execute eagerly (§4.3).
@@ -62,7 +64,15 @@ class HyperQSession {
   VariableScopes& scopes() { return scopes_; }
   BackendGateway& gateway() { return *gateway_; }
 
+  /// The metrics snapshot as a Q table (schema documented in
+  /// docs/OBSERVABILITY.md): columns metric, kind, count, sum_us, p50_us,
+  /// p95_us, p99_us.
+  static QValue StatsTable();
+
  private:
+  /// Handles `.hyperq.*` builtins; returns nullopt for ordinary queries.
+  std::optional<Result<QValue>> TryBuiltin(const std::string& q_text);
+
   std::unique_ptr<DirectGateway> gateway_;
   SqldbMetadata raw_mdi_;
   MetadataCache cache_;

@@ -14,6 +14,7 @@ void MetadataCache::MaybeFlushOnVersionChange() {
     if (!cache_.empty()) {
       cache_.clear();
       ++stats_.invalidations;
+      invalidations_metric_->Increment();
     }
   }
 }
@@ -22,15 +23,18 @@ Result<TableMetadata> MetadataCache::LookupTable(const std::string& name) {
   ++stats_.lookups;
   if (!options_.enabled) {
     ++stats_.misses;
+    misses_metric_->Increment();
     return inner_->LookupTable(name);
   }
   MaybeFlushOnVersionChange();
   auto it = cache_.find(name);
   if (it != cache_.end() && Fresh(it->second)) {
     ++stats_.hits;
+    hits_metric_->Increment();
     return it->second.meta;
   }
   ++stats_.misses;
+  misses_metric_->Increment();
   HQ_ASSIGN_OR_RETURN(TableMetadata meta, inner_->LookupTable(name));
   cache_[name] = Entry{meta, std::chrono::steady_clock::now()};
   return meta;
@@ -48,10 +52,14 @@ bool MetadataCache::HasTable(const std::string& name) {
 void MetadataCache::Invalidate() {
   cache_.clear();
   ++stats_.invalidations;
+  invalidations_metric_->Increment();
 }
 
 void MetadataCache::InvalidateTable(const std::string& name) {
-  if (cache_.erase(name) > 0) ++stats_.invalidations;
+  if (cache_.erase(name) > 0) {
+    ++stats_.invalidations;
+    invalidations_metric_->Increment();
+  }
 }
 
 }  // namespace hyperq

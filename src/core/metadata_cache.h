@@ -7,6 +7,7 @@
 #include <unordered_map>
 
 #include "algebrizer/metadata.h"
+#include "common/metrics.h"
 
 namespace hyperq {
 
@@ -30,7 +31,14 @@ class MetadataCache : public MetadataInterface {
   };
 
   MetadataCache(MetadataInterface* inner, Options options)
-      : inner_(inner), options_(options) {}
+      : inner_(inner),
+        options_(options),
+        hits_metric_(
+            MetricsRegistry::Global().GetCounter("mdi.cache_hits")),
+        misses_metric_(
+            MetricsRegistry::Global().GetCounter("mdi.cache_misses")),
+        invalidations_metric_(MetricsRegistry::Global().GetCounter(
+            "mdi.cache_invalidations")) {}
 
   /// Installs a catalog-version source; a version change flushes the cache.
   void SetVersionProvider(std::function<uint64_t()> provider) {
@@ -59,6 +67,11 @@ class MetadataCache : public MetadataInterface {
   uint64_t last_version_ = 0;
   std::unordered_map<std::string, Entry> cache_;
   Stats stats_;
+  // Process-wide counters mirroring stats_ (all sessions aggregated), for
+  // `.hyperq.stats[]`.
+  Counter* hits_metric_;
+  Counter* misses_metric_;
+  Counter* invalidations_metric_;
 };
 
 }  // namespace hyperq

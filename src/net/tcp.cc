@@ -4,6 +4,7 @@
 #include <netinet/in.h>
 #include <netinet/tcp.h>
 #include <sys/socket.h>
+#include <sys/time.h>
 #include <unistd.h>
 
 #include <cerrno>
@@ -53,6 +54,17 @@ Result<TcpConnection> TcpConnection::Connect(const std::string& host,
   return TcpConnection(fd);
 }
 
+Status TcpConnection::SetReadTimeout(int millis) {
+  if (millis < 0) return InvalidArgument("negative read timeout");
+  timeval tv{};
+  tv.tv_sec = millis / 1000;
+  tv.tv_usec = (millis % 1000) * 1000;
+  if (::setsockopt(fd_, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv)) != 0) {
+    return Errno("setsockopt(SO_RCVTIMEO)");
+  }
+  return Status::OK();
+}
+
 Status TcpConnection::WriteAll(const void* data, size_t len) {
   const uint8_t* p = static_cast<const uint8_t*>(data);
   size_t sent = 0;
@@ -74,6 +86,9 @@ Result<std::vector<uint8_t>> TcpConnection::ReadExact(size_t len) {
     ssize_t n = ::recv(fd_, buf.data() + got, len - got, 0);
     if (n < 0) {
       if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        return NetworkError("recv timed out");
+      }
       return Errno("recv");
     }
     if (n == 0) {
@@ -91,6 +106,9 @@ Result<std::vector<uint8_t>> TcpConnection::ReadSome(size_t max) {
     ssize_t n = ::recv(fd_, buf.data(), max, 0);
     if (n < 0) {
       if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        return NetworkError("recv timed out");
+      }
       return Errno("recv");
     }
     buf.resize(static_cast<size_t>(n));
@@ -134,7 +152,9 @@ TcpListener::~TcpListener() { Close(); }
 
 Result<TcpConnection> TcpListener::Accept() {
   while (true) {
-    int client = ::accept(fd_, nullptr, nullptr);
+    int fd = fd_.load(std::memory_order_acquire);
+    if (fd < 0) return NetworkError("accept: listener closed");
+    int client = ::accept(fd, nullptr, nullptr);
     if (client < 0) {
       if (errno == EINTR) continue;
       return Errno("accept");
@@ -146,10 +166,10 @@ Result<TcpConnection> TcpListener::Accept() {
 }
 
 void TcpListener::Close() {
-  if (fd_ >= 0) {
-    ::shutdown(fd_, SHUT_RDWR);
-    ::close(fd_);
-    fd_ = -1;
+  int fd = fd_.exchange(-1, std::memory_order_acq_rel);
+  if (fd >= 0) {
+    ::shutdown(fd, SHUT_RDWR);
+    ::close(fd);
   }
 }
 

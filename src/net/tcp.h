@@ -1,6 +1,7 @@
 #ifndef HYPERQ_NET_TCP_H_
 #define HYPERQ_NET_TCP_H_
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <string>
@@ -40,6 +41,11 @@ class TcpConnection {
   /// Reads at most `max` bytes; empty result means orderly shutdown.
   Result<std::vector<uint8_t>> ReadSome(size_t max);
 
+  /// Caps how long a single blocking read may wait (SO_RCVTIMEO); 0
+  /// disables the timeout. A timed-out read fails with NetworkError
+  /// mentioning "timed out".
+  Status SetReadTimeout(int millis);
+
   void Close();
   bool ok() const { return fd_ >= 0; }
   int fd() const { return fd_; }
@@ -55,9 +61,7 @@ class TcpListener {
   ~TcpListener();
 
   TcpListener(TcpListener&& other) noexcept
-      : fd_(other.fd_), port_(other.port_) {
-    other.fd_ = -1;
-  }
+      : fd_(other.fd_.exchange(-1)), port_(other.port_) {}
   TcpListener(const TcpListener&) = delete;
   TcpListener& operator=(const TcpListener&) = delete;
 
@@ -65,12 +69,16 @@ class TcpListener {
   Result<TcpConnection> Accept();
 
   uint16_t port() const { return port_; }
+
+  /// Safe to call from a thread other than the one blocked in Accept():
+  /// exactly one closer wins the descriptor, and shutdown() wakes the
+  /// accepting thread with an error.
   void Close();
 
  private:
   TcpListener(int fd, uint16_t port) : fd_(fd), port_(port) {}
 
-  int fd_;
+  std::atomic<int> fd_;
   uint16_t port_;
 };
 

@@ -313,6 +313,26 @@ Result<std::string> Serializer::RenderScalarTwoSided(
         if (f == "ge") return infix(">=");
         if (f == "eq_ind") return infix("IS NOT DISTINCT FROM");
         if (f == "ne_ind") return infix("IS DISTINCT FROM");
+        // Null-aware ordered comparisons: q totally orders values with
+        // null smallest, so a null operand must yield a definite boolean
+        // instead of SQL's NULL. COALESCE supplies the null-vs-null and
+        // null-vs-value verdicts the plain comparison leaves undefined.
+        if (f == "lt_ind") {
+          return StrCat("COALESCE((", a[0], " < ", a[1], "), ((", a[0],
+                        " IS NULL) AND (", a[1], " IS NOT NULL)))");
+        }
+        if (f == "gt_ind") {
+          return StrCat("COALESCE((", a[0], " > ", a[1], "), ((", a[1],
+                        " IS NULL) AND (", a[0], " IS NOT NULL)))");
+        }
+        if (f == "le_ind") {
+          return StrCat("COALESCE((", a[0], " <= ", a[1], "), (", a[0],
+                        " IS NULL))");
+        }
+        if (f == "ge_ind") {
+          return StrCat("COALESCE((", a[0], " >= ", a[1], "), (", a[1],
+                        " IS NULL))");
+        }
         if (f == "and") return infix("AND");
         if (f == "or") return infix("OR");
         if (f == "not") return StrCat("(NOT ", a[0], ")");

@@ -1,6 +1,7 @@
 #include "xformer/xformer.h"
 
 #include <algorithm>
+#include <map>
 #include <set>
 
 #include "common/strings.h"
@@ -20,8 +21,11 @@ using xtra::XtraPtr;
 
 namespace {
 
-/// Rewrites eq -> eq_ind / ne -> ne_ind when either operand can be NULL;
-/// this imposes Q's 2-valued logic on the SQL backend (§3.3 Correctness).
+/// Rewrites comparisons to null-aware forms when either operand can be
+/// NULL; this imposes Q's 2-valued logic on the SQL backend (§3.3
+/// Correctness). Equality maps to IS [NOT] DISTINCT FROM; the ordered
+/// comparisons map to *_ind spellings that treat null as the smallest
+/// value, matching q's total order (0n < x for every non-null x).
 ScalarPtr RewriteNullSemantics(const ScalarPtr& e, bool* changed) {
   if (!e) return e;
   auto copy = std::make_shared<ScalarExpr>(*e);
@@ -37,13 +41,19 @@ ScalarPtr RewriteNullSemantics(const ScalarPtr& e, bool* changed) {
     o = RewriteNullSemantics(o, &child_changed);
   }
   bool self = false;
-  if (copy->kind == ScalarKind::kFunc &&
-      (copy->func == "eq" || copy->func == "ne")) {
-    bool nullable = false;
-    for (const auto& a : copy->args) nullable |= a->nullable;
-    if (nullable) {
-      copy->func = copy->func == "eq" ? "eq_ind" : "ne_ind";
-      self = true;
+  if (copy->kind == ScalarKind::kFunc) {
+    static const std::map<std::string, std::string> kNullAware = {
+        {"eq", "eq_ind"}, {"ne", "ne_ind"}, {"lt", "lt_ind"},
+        {"gt", "gt_ind"}, {"le", "le_ind"}, {"ge", "ge_ind"},
+    };
+    auto it = kNullAware.find(copy->func);
+    if (it != kNullAware.end()) {
+      bool nullable = false;
+      for (const auto& a : copy->args) nullable |= a->nullable;
+      if (nullable) {
+        copy->func = it->second;
+        self = true;
+      }
     }
   }
   if (!child_changed && !self) return e;

@@ -1,0 +1,287 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "common/metrics.h"
+#include "testing/side_by_side.h"
+
+namespace hyperq {
+namespace {
+
+// -- Histogram bucket math --------------------------------------------------
+
+TEST(LatencyHistogramTest, BucketBoundaries) {
+  // Bucket 0 is [0, 1]; bucket b is (2^(b-1), 2^b].
+  EXPECT_EQ(LatencyHistogram::BucketFor(0.0), 0);
+  EXPECT_EQ(LatencyHistogram::BucketFor(0.5), 0);
+  EXPECT_EQ(LatencyHistogram::BucketFor(1.0), 0);
+  EXPECT_EQ(LatencyHistogram::BucketFor(1.5), 1);
+  EXPECT_EQ(LatencyHistogram::BucketFor(2.0), 1);
+  EXPECT_EQ(LatencyHistogram::BucketFor(2.5), 2);
+  EXPECT_EQ(LatencyHistogram::BucketFor(4.0), 2);
+  EXPECT_EQ(LatencyHistogram::BucketFor(5.0), 3);
+  EXPECT_EQ(LatencyHistogram::BucketFor(1024.0), 10);
+  EXPECT_EQ(LatencyHistogram::BucketFor(1025.0), 11);
+  // Far beyond the last boundary: clamps into the catch-all bucket.
+  EXPECT_EQ(LatencyHistogram::BucketFor(1e18),
+            LatencyHistogram::kNumBuckets - 1);
+  for (int b = 0; b < LatencyHistogram::kNumBuckets; ++b) {
+    EXPECT_EQ(LatencyHistogram::BucketFor(LatencyHistogram::BucketUpperBound(b)),
+              b);
+  }
+}
+
+TEST(LatencyHistogramTest, CountSumAndBucketPlacement) {
+  MetricsRegistry registry;
+  LatencyHistogram* h = registry.GetHistogram("h");
+  h->Record(0.5);
+  h->Record(3.0);
+  h->Record(3.5);
+  h->Record(100.0);
+  EXPECT_EQ(h->count(), 4u);
+  EXPECT_NEAR(h->sum_us(), 107.0, 1e-6);
+  EXPECT_NEAR(h->mean_us(), 26.75, 1e-6);
+  EXPECT_EQ(h->bucket_count(0), 1u);  // 0.5
+  EXPECT_EQ(h->bucket_count(2), 2u);  // 3.0, 3.5 in (2, 4]
+  EXPECT_EQ(h->bucket_count(7), 1u);  // 100 in (64, 128]
+}
+
+TEST(LatencyHistogramTest, PercentileEstimatesStayInsideTheirBucket) {
+  MetricsRegistry registry;
+  LatencyHistogram* h = registry.GetHistogram("h");
+  // 90 fast samples at 10us, 10 slow at 1000us: p50 must land in the
+  // (8, 16] bucket, p95 and p99 in the (512, 1024] bucket.
+  for (int i = 0; i < 90; ++i) h->Record(10.0);
+  for (int i = 0; i < 10; ++i) h->Record(1000.0);
+  EXPECT_GT(h->Percentile(0.50), 8.0);
+  EXPECT_LE(h->Percentile(0.50), 16.0);
+  EXPECT_GT(h->Percentile(0.95), 512.0);
+  EXPECT_LE(h->Percentile(0.95), 1024.0);
+  EXPECT_GT(h->Percentile(0.99), 512.0);
+  EXPECT_LE(h->Percentile(0.99), 1024.0);
+  // Percentiles are monotone in q.
+  EXPECT_LE(h->Percentile(0.50), h->Percentile(0.95));
+  EXPECT_LE(h->Percentile(0.95), h->Percentile(0.99));
+  EXPECT_EQ(h->Percentile(0.0), h->Percentile(0.001));
+}
+
+TEST(LatencyHistogramTest, EmptyHistogramReportsZero) {
+  MetricsRegistry registry;
+  LatencyHistogram* h = registry.GetHistogram("h");
+  EXPECT_EQ(h->count(), 0u);
+  EXPECT_EQ(h->Percentile(0.5), 0.0);
+  EXPECT_EQ(h->mean_us(), 0.0);
+}
+
+// -- Counters / gauges / registry -------------------------------------------
+
+TEST(MetricsRegistryTest, SameNameReturnsSameMetric) {
+  MetricsRegistry registry;
+  EXPECT_EQ(registry.GetCounter("a"), registry.GetCounter("a"));
+  EXPECT_NE(registry.GetCounter("a"), registry.GetCounter("b"));
+  // Kinds live in separate namespaces.
+  registry.GetGauge("a")->Set(7);
+  EXPECT_EQ(registry.GetCounter("a")->value(), 0u);
+}
+
+TEST(MetricsRegistryTest, DisabledRegistryFreezesAllMutation) {
+  MetricsRegistry registry;
+  Counter* c = registry.GetCounter("c");
+  Gauge* g = registry.GetGauge("g");
+  LatencyHistogram* h = registry.GetHistogram("h");
+  registry.SetEnabled(false);
+  c->Increment();
+  g->Add(5);
+  h->Record(10.0);
+  EXPECT_EQ(c->value(), 0u);
+  EXPECT_EQ(g->value(), 0);
+  EXPECT_EQ(h->count(), 0u);
+  registry.SetEnabled(true);
+  c->Increment(3);
+  EXPECT_EQ(c->value(), 3u);
+}
+
+TEST(MetricsRegistryTest, SnapshotAndTextDump) {
+  MetricsRegistry registry;
+  registry.GetCounter("zeta")->Increment(2);
+  registry.GetGauge("alpha")->Set(4);
+  registry.GetHistogram("mid")->Record(100.0);
+  std::vector<MetricsRegistry::Row> rows = registry.Snapshot();
+  ASSERT_EQ(rows.size(), 3u);
+  EXPECT_EQ(rows[0].name, "alpha");
+  EXPECT_EQ(rows[0].kind, "gauge");
+  EXPECT_EQ(rows[0].count, 4u);
+  EXPECT_EQ(rows[1].name, "mid");
+  EXPECT_EQ(rows[1].kind, "histogram");
+  EXPECT_EQ(rows[1].count, 1u);
+  EXPECT_GT(rows[1].p99_us, 64.0);
+  EXPECT_EQ(rows[2].name, "zeta");
+  EXPECT_EQ(rows[2].kind, "counter");
+  std::string dump = registry.TextDump();
+  EXPECT_NE(dump.find("zeta counter 2"), std::string::npos);
+  EXPECT_NE(dump.find("mid histogram 1"), std::string::npos);
+}
+
+TEST(MetricsRegistryTest, ResetAllZeroesButKeepsPointers) {
+  MetricsRegistry registry;
+  Counter* c = registry.GetCounter("c");
+  LatencyHistogram* h = registry.GetHistogram("h");
+  c->Increment(9);
+  h->Record(5.0);
+  registry.ResetAll();
+  EXPECT_EQ(c->value(), 0u);
+  EXPECT_EQ(h->count(), 0u);
+  EXPECT_EQ(registry.GetCounter("c"), c);
+}
+
+// -- Concurrency ------------------------------------------------------------
+
+TEST(MetricsConcurrencyTest, EightThreadsProduceExactTotals) {
+  MetricsRegistry registry;
+  Counter* c = registry.GetCounter("c");
+  Gauge* g = registry.GetGauge("g");
+  LatencyHistogram* h = registry.GetHistogram("h");
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 50000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t]() {
+      for (int i = 0; i < kPerThread; ++i) {
+        c->Increment();
+        g->Add(i % 2 == 0 ? 1 : -1);
+        h->Record(static_cast<double>(t + 1));
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(c->value(),
+            static_cast<uint64_t>(kThreads) * kPerThread);
+  EXPECT_EQ(g->value(), 0);
+  EXPECT_EQ(h->count(), static_cast<uint64_t>(kThreads) * kPerThread);
+  uint64_t bucket_total = 0;
+  for (int b = 0; b < LatencyHistogram::kNumBuckets; ++b) {
+    bucket_total += h->bucket_count(b);
+  }
+  EXPECT_EQ(bucket_total, h->count());
+}
+
+TEST(MetricsConcurrencyTest, ConcurrentRegistrationIsSafe) {
+  MetricsRegistry registry;
+  constexpr int kThreads = 8;
+  std::atomic<Counter*> seen[kThreads];
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back(
+        [&, t]() { seen[t] = registry.GetCounter("shared"); });
+  }
+  for (auto& t : threads) t.join();
+  for (int t = 1; t < kThreads; ++t) {
+    EXPECT_EQ(seen[t].load(), seen[0].load());
+  }
+}
+
+// -- `.hyperq.stats[]` through a real session -------------------------------
+
+class StatsBuiltinTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    MetricsRegistry::Global().ResetAll();
+    ASSERT_TRUE(harness_
+                    .DefineTable("trades",
+                                 "([] Symbol:`a`b`a`c; Price:1.0 2.0 3.0 4.5;"
+                                 " Size: 10 20 30 40)")
+                    .ok());
+  }
+
+  testing::SideBySideHarness harness_;
+};
+
+TEST_F(StatsBuiltinTest, StatsReturnsWellFormedQTable) {
+  // A mixed workload: successes, a grouped query, and an error.
+  ASSERT_TRUE(harness_.hyperq().Query("select from trades").ok());
+  ASSERT_TRUE(
+      harness_.hyperq().Query("select sum Size by Symbol from trades").ok());
+  EXPECT_FALSE(harness_.hyperq().Query("select from missing_table").ok());
+
+  Result<QValue> stats = harness_.hyperq().Query(".hyperq.stats[]");
+  ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+  ASSERT_TRUE(stats->IsTable());
+  const QTable& table = stats->Table();
+  ASSERT_EQ(table.names.size(), 7u);
+  EXPECT_EQ(table.names[0], "metric");
+  EXPECT_EQ(table.names[1], "kind");
+  EXPECT_EQ(table.names[2], "count");
+  EXPECT_EQ(table.names[3], "sum_us");
+  EXPECT_EQ(table.names[4], "p50_us");
+  EXPECT_EQ(table.names[5], "p95_us");
+  EXPECT_EQ(table.names[6], "p99_us");
+
+  // Find per-stage translation histograms and per-session counters and
+  // check the workload above is reflected.
+  const std::vector<std::string>& metric = table.columns[0].SymsView();
+  const std::vector<int64_t>& count = table.columns[2].Ints();
+  auto value_of = [&](const std::string& name) -> int64_t {
+    for (size_t i = 0; i < metric.size(); ++i) {
+      if (metric[i] == name) return count[i];
+    }
+    return -1;
+  };
+  EXPECT_EQ(value_of("session.queries"), 3);
+  EXPECT_EQ(value_of("session.errors"), 1);
+  EXPECT_EQ(value_of("translate.total_us"), 2);
+  EXPECT_EQ(value_of("translate.parse_us"), 2);
+  EXPECT_EQ(value_of("translate.algebrize_us"), 2);
+  EXPECT_EQ(value_of("translate.xform_us"), 2);
+  EXPECT_EQ(value_of("translate.serialize_us"), 2);
+  EXPECT_GE(value_of("mdi.cache_misses"), 1);
+  // The two successful translations must have recorded nonzero time.
+  const std::vector<double>& sum_us = table.columns[3].Floats();
+  for (size_t i = 0; i < metric.size(); ++i) {
+    if (metric[i] == "translate.total_us") EXPECT_GT(sum_us[i], 0.0);
+  }
+}
+
+TEST_F(StatsBuiltinTest, StatsTextAndResetBuiltins) {
+  ASSERT_TRUE(harness_.hyperq().Query("select from trades").ok());
+  Result<QValue> text = harness_.hyperq().Query(".hyperq.statsText[]");
+  ASSERT_TRUE(text.ok());
+  ASSERT_EQ(text->type(), QType::kChar);
+  EXPECT_NE(text->CharsView().find("translate.total_us"), std::string::npos);
+
+  ASSERT_TRUE(harness_.hyperq().Query(".hyperq.resetStats[]").ok());
+  Result<QValue> stats = harness_.hyperq().Query(".hyperq.stats[]");
+  ASSERT_TRUE(stats.ok());
+  const QTable& table = stats->Table();
+  const std::vector<std::string>& metric = table.columns[0].SymsView();
+  const std::vector<int64_t>& count = table.columns[2].Ints();
+  for (size_t i = 0; i < metric.size(); ++i) {
+    if (metric[i] == "session.queries") EXPECT_EQ(count[i], 0);
+  }
+}
+
+TEST_F(StatsBuiltinTest, UnknownBuiltinFailsCleanly) {
+  Result<QValue> r = harness_.hyperq().Query(".hyperq.nosuch[]");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+}
+
+TEST_F(StatsBuiltinTest, CacheHitsShowUpAfterRepeatedQueries) {
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_TRUE(harness_.hyperq().Query("select from trades").ok());
+  }
+  Result<QValue> stats = harness_.hyperq().Query(".hyperq.stats[]");
+  ASSERT_TRUE(stats.ok());
+  const QTable& table = stats->Table();
+  const std::vector<std::string>& metric = table.columns[0].SymsView();
+  const std::vector<int64_t>& count = table.columns[2].Ints();
+  int64_t hits = -1;
+  for (size_t i = 0; i < metric.size(); ++i) {
+    if (metric[i] == "mdi.cache_hits") hits = count[i];
+  }
+  EXPECT_GT(hits, 0);
+}
+
+}  // namespace
+}  // namespace hyperq

@@ -187,6 +187,69 @@ TEST_P(QipcRoundTrip, IncompressibleDataStaysPlain) {
   EXPECT_TRUE(QValue::Match(list, decoded->value));
 }
 
+TEST_P(QipcRoundTrip, CompressionRoundTripProperty) {
+  // The compress_responses = true path must be value-transparent for every
+  // wire-encodable shape: whatever EncodeMessageCompressed produces —
+  // compressed or plain fallback — decodes to a matching value.
+  for (int i = 0; i < 20; ++i) {
+    QValue v;
+    switch (rng_.Below(3)) {
+      case 0:
+        v = RandomList(2);
+        break;
+      case 1:
+        v = RandomTable();
+        break;
+      default: {
+        // Large repetitive lists: guaranteed over the threshold and
+        // compressible, so the compressed branch is exercised every round.
+        std::vector<int64_t> big(kMinCompressSize, 0);
+        for (auto& x : big) x = static_cast<int64_t>(rng_.Below(3));
+        v = QValue::IntList(QType::kLong, std::move(big));
+        break;
+      }
+    }
+    auto packed = EncodeMessageCompressed(v, MsgType::kResponse);
+    ASSERT_TRUE(packed.ok()) << packed.status().ToString();
+    auto decoded = DecodeMessage(*packed);
+    ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+    EXPECT_TRUE(QValue::Match(v, decoded->value))
+        << "value: " << v.ToString()
+        << "\ndecoded: " << decoded->value.ToString();
+  }
+}
+
+TEST_P(QipcRoundTrip, CompressionThresholdBoundary) {
+  // A char-list message is 14 bytes of header/envelope + payload; walk the
+  // plain message size across the compression threshold and check the
+  // on/off decision and decode identity at every boundary case.
+  auto chars_for_message_size = [](size_t total) {
+    // Highly repetitive payload => always shrinks when compression runs.
+    return QValue::Chars(std::string(total - 14, 'r'));
+  };
+  for (long delta : {-2L, -1L, 0L, 1L, 2L}) {
+    size_t target = kMinCompressSize + static_cast<size_t>(delta);
+    QValue v = chars_for_message_size(target);
+    auto plain = EncodeMessage(v, MsgType::kResponse);
+    ASSERT_TRUE(plain.ok());
+    ASSERT_EQ(plain->size(), target);  // envelope arithmetic holds
+    auto packed = EncodeMessageCompressed(v, MsgType::kResponse);
+    ASSERT_TRUE(packed.ok());
+    if (target >= kMinCompressSize) {
+      EXPECT_TRUE(IsCompressedMessage(*packed))
+          << "message of " << target << " bytes should compress";
+      EXPECT_LT(packed->size(), plain->size());
+    } else {
+      EXPECT_FALSE(IsCompressedMessage(*packed))
+          << "message of " << target << " bytes is under the threshold";
+      EXPECT_EQ(*packed, *plain);
+    }
+    auto decoded = DecodeMessage(*packed);
+    ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+    EXPECT_TRUE(QValue::Match(v, decoded->value));
+  }
+}
+
 TEST_P(QipcRoundTrip, CompressedStreamFuzzDoesNotCrash) {
   // Random mutations of a compressed stream must fail cleanly or decode to
   // something — never crash or overrun.

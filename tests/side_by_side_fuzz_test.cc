@@ -1,5 +1,7 @@
 #include <gtest/gtest.h>
 
+#include <optional>
+
 #include "common/strings.h"
 #include "testing/market_data.h"
 #include "testing/side_by_side.h"
@@ -134,6 +136,42 @@ class SideBySideFuzz : public ::testing::TestWithParam<uint64_t> {
             RandomCondition(), "; select Symbol, Time, Bid from quotes]");
     }
   }
+
+  /// Multi-statement pipelines mixing `select … by … where` with as-of
+  /// joins — the dominant customer shape of §2.1 (filter trades, join the
+  /// prevailing quote as-of each trade, aggregate per symbol). Each
+  /// statement's materialized variable feeds the next one.
+  std::string RandomPipeline() {
+    switch (rng_.Below(4)) {
+      case 0:  // filtered trades materialized, then joined
+        return StrCat(
+            "FT: select Symbol, Time, Price from trades where ",
+            RandomCondition(),
+            "; aj[`Symbol`Time; FT; select Symbol, Time, Bid, Ask from "
+            "quotes]");
+      case 1:  // join materialized, then grouped aggregation over it
+        return StrCat(
+            "J: aj[`Symbol`Time; select Symbol, Time, Price, Size from "
+            "trades where ",
+            RandomCondition(),
+            "; select Symbol, Time, Bid from quotes]; select hi: max "
+            "Price, lo: min Price, b: ",
+            rng_.Below(2) == 0 ? "avg" : "max",
+            " Bid by Symbol from J");
+      case 2:  // join, then filter on a joined-in quote column, grouped
+        return StrCat(
+            "J2: aj[`Symbol`Time; select Symbol, Time, Price from trades; "
+            "select Symbol, Time, Bid from quotes]; select n: count "
+            "Price, m: ",
+            rng_.Below(2) == 0 ? "avg Bid" : "max Price",
+            " by Symbol from J2 where Bid<Price");
+      default:  // two-step: grouped aggregate over a filtered snapshot
+        return StrCat(
+            "S: select Symbol, Time, Price, Size from trades where ",
+            RandomCondition(), "; select v: ", RandomAgg(),
+            ", w: sum Size by Symbol from S where ", RandomCondition());
+    }
+  }
 };
 
 TEST_P(SideBySideFuzz, RandomQueriesAgree) {
@@ -152,6 +190,32 @@ TEST_P(SideBySideFuzz, RandomQueriesAgree) {
   // The generator must produce mostly executable queries, or the sweep
   // proves nothing.
   EXPECT_GE(checked, 20) << "too few queries actually executed";
+}
+
+TEST_P(SideBySideFuzz, MixedPipelinesAgree) {
+  int checked = 0;
+  // Keep the first disagreement whole — query, generated SQL and both
+  // results — so a red run tells you what to reproduce without re-running
+  // the sweep.
+  std::optional<SideBySideHarness::Comparison> first_mismatch;
+  for (int k = 0; k < 25; ++k) {
+    std::string q = RandomPipeline();
+    SideBySideHarness::Comparison c = harness_.Run(q);
+    if (!c.match && !first_mismatch) first_mismatch = c;
+    if (c.match && !c.both_failed) ++checked;
+  }
+  if (first_mismatch) {
+    ADD_FAILURE() << "seed " << GetParam()
+                  << " first mismatching pipeline:\n  query: "
+                  << first_mismatch->query
+                  << "\n  sql: " << first_mismatch->sql
+                  << "\n  kdb:    " << first_mismatch->kdb_result.ToString()
+                  << "\n  hyperq: "
+                  << first_mismatch->hyperq_result.ToString()
+                  << "\n  kdb err: " << first_mismatch->kdb_error
+                  << "\n  hq err:  " << first_mismatch->hyperq_error;
+  }
+  EXPECT_GE(checked, 15) << "too few pipelines actually executed";
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, SideBySideFuzz,
