@@ -7,6 +7,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench/bench_main.h"
+
 #include "bench/workload.h"
 #include "core/hyperq.h"
 
@@ -51,9 +53,12 @@ BENCHMARK(BM_ExecutePruned)->Unit(benchmark::kMillisecond);
 void BM_ExecuteUnpruned(benchmark::State& state) { RunWith(state, false); }
 BENCHMARK(BM_ExecuteUnpruned)->Unit(benchmark::kMillisecond);
 
-// Serialization cost also scales with the column count kept alive.
+// Serialization cost also scales with the column count kept alive. The
+// translation cache stays off here: these loops measure real translation.
 void BM_SerializePruned(benchmark::State& state) {
-  HyperQSession session(SharedDb());
+  HyperQSession::Options opts;
+  opts.translation_cache.enabled = false;
+  HyperQSession session(SharedDb(), opts);
   for (auto _ : state) {
     auto t = session.Translate(kQuery);
     benchmark::DoNotOptimize(t);
@@ -64,6 +69,7 @@ BENCHMARK(BM_SerializePruned);
 void BM_SerializeUnpruned(benchmark::State& state) {
   HyperQSession::Options opts;
   opts.translator.xformer.column_pruning = false;
+  opts.translation_cache.enabled = false;
   HyperQSession session(SharedDb(), opts);
   for (auto _ : state) {
     auto t = session.Translate(kQuery);
@@ -76,4 +82,4 @@ BENCHMARK(BM_SerializeUnpruned);
 }  // namespace bench
 }  // namespace hyperq
 
-BENCHMARK_MAIN();
+HQ_BENCH_MAIN();

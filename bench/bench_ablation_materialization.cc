@@ -6,6 +6,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench/bench_main.h"
+
 #include "bench/workload.h"
 #include "core/hyperq.h"
 
@@ -56,4 +58,4 @@ BENCHMARK(BM_LogicalView)->Unit(benchmark::kMillisecond);
 }  // namespace bench
 }  // namespace hyperq
 
-BENCHMARK_MAIN();
+HQ_BENCH_MAIN();

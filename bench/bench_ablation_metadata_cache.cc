@@ -10,6 +10,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench/bench_main.h"
+
 #include "bench/workload.h"
 #include "core/hyperq.h"
 #include "core/metadata_cache.h"
@@ -141,4 +143,4 @@ BENCHMARK(BM_WorkloadWithCacheStats)->Unit(benchmark::kMillisecond);
 }  // namespace bench
 }  // namespace hyperq
 
-BENCHMARK_MAIN();
+HQ_BENCH_MAIN();

@@ -7,6 +7,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench/bench_main.h"
+
 #include "bench/workload.h"
 #include "core/hyperq.h"
 
@@ -83,4 +85,4 @@ BENCHMARK(BM_RowResultWithoutElision)->Unit(benchmark::kMillisecond);
 }  // namespace bench
 }  // namespace hyperq
 
-BENCHMARK_MAIN();
+HQ_BENCH_MAIN();

@@ -8,6 +8,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench/bench_main.h"
+
 #include "core/hyperq.h"
 #include "kdb/engine.h"
 #include "testing/market_data.h"
@@ -75,7 +77,11 @@ void BM_HyperQTranslateAjOnly(benchmark::State& state) {
     state.SkipWithError("load failed");
     return;
   }
-  HyperQSession session(&db);
+  // Translation cache off: this bench measures real translation work, not
+  // a cache replay.
+  HyperQSession::Options opts;
+  opts.translation_cache.enabled = false;
+  HyperQSession session(&db, opts);
   for (auto _ : state) {
     auto t = session.Translate(kAjQuery);
     benchmark::DoNotOptimize(t);
@@ -87,4 +93,4 @@ BENCHMARK(BM_HyperQTranslateAjOnly);
 }  // namespace bench
 }  // namespace hyperq
 
-BENCHMARK_MAIN();
+HQ_BENCH_MAIN();

@@ -10,6 +10,7 @@
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <string>
 #include <vector>
 
@@ -26,7 +27,13 @@ double NowUs() {
       .count();
 }
 
-int RunFig6() {
+struct Fig6Row {
+  double translate_us;
+  double execute_us;
+  double pct;
+};
+
+int RunFig6(const std::string& json_path, int iters) {
   sqldb::Database db;
   Status load = LoadAnalyticalWorkload(&db, WorkloadOptions{});
   if (!load.ok()) {
@@ -34,7 +41,11 @@ int RunFig6() {
                  load.ToString().c_str());
     return 1;
   }
-  HyperQSession session(&db);  // metadata caching enabled by default
+  // Metadata caching on (the paper's steady state); translation caching
+  // off — this figure measures the translation work itself.
+  HyperQSession::Options opts;
+  opts.translation_cache.enabled = false;
+  HyperQSession session(&db, opts);
 
   std::vector<std::string> queries = AnalyticalQueries();
 
@@ -55,14 +66,14 @@ int RunFig6() {
   std::printf("%-5s %15s %15s %12s\n", "query", "translate_us",
               "execute_us", "overhead");
 
-  constexpr int kIters = 3;
   double sum_pct = 0;
   double max_pct = 0;
   int max_q = 0;
+  std::vector<Fig6Row> rows;
   for (size_t i = 0; i < queries.size(); ++i) {
     double best_translate = 1e18;
     double best_execute = 1e18;
-    for (int it = 0; it < kIters; ++it) {
+    for (int it = 0; it < iters; ++it) {
       auto t = session.Translate(queries[i]);
       if (!t.ok()) return 1;
       best_translate = std::min(best_translate, t->timings.total_us());
@@ -77,6 +88,7 @@ int RunFig6() {
       best_execute = std::min(best_execute, elapsed);
     }
     double pct = 100.0 * best_translate / (best_translate + best_execute);
+    rows.push_back(Fig6Row{best_translate, best_execute, pct});
     sum_pct += pct;
     if (pct > max_pct) {
       max_pct = pct;
@@ -90,6 +102,29 @@ int RunFig6() {
   std::printf(
       "paper reference: average ~0.5%% of execution time, max ~4%%; "
       "queries 10/18/19/20 translate slowest (more tables to join)\n");
+
+  if (!json_path.empty()) {
+    std::FILE* f = std::fopen(json_path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot write %s\n", json_path.c_str());
+      return 1;
+    }
+    std::fprintf(f, "{\n  \"name\": \"fig6_translation_overhead\",\n");
+    std::fprintf(f, "  \"iterations\": %d,\n  \"queries\": [\n", iters);
+    for (size_t i = 0; i < rows.size(); ++i) {
+      std::fprintf(f,
+                   "    {\"query\": %zu, \"translate_us\": %.1f, "
+                   "\"execute_us\": %.1f, \"overhead_pct\": %.3f}%s\n",
+                   i + 1, rows[i].translate_us, rows[i].execute_us,
+                   rows[i].pct, i + 1 < rows.size() ? "," : "");
+    }
+    std::fprintf(f,
+                 "  ],\n  \"avg_overhead_pct\": %.3f,\n"
+                 "  \"max_overhead_pct\": %.3f,\n  \"max_query\": %d\n}\n",
+                 sum_pct / rows.size(), max_pct, max_q);
+    std::fclose(f);
+    std::printf("wrote %s\n", json_path.c_str());
+  }
   return 0;
 }
 
@@ -97,4 +132,23 @@ int RunFig6() {
 }  // namespace bench
 }  // namespace hyperq
 
-int main() { return hyperq::bench::RunFig6(); }
+int main(int argc, char** argv) {
+  std::string json_path;
+  int iters = 3;
+  for (int i = 1; i < argc; ++i) {
+    std::string a = argv[i];
+    if (a.rfind("--json=", 0) == 0) {
+      json_path = a.substr(7);
+    } else if (a == "--smoke") {
+      iters = 1;
+    } else if (a.rfind("--iters=", 0) == 0) {
+      iters = std::max(1, std::atoi(a.c_str() + 8));
+    } else {
+      std::fprintf(stderr,
+                   "usage: %s [--json=FILE] [--smoke] [--iters=N]\n",
+                   argv[0]);
+      return 2;
+    }
+  }
+  return hyperq::bench::RunFig6(json_path, iters);
+}

@@ -27,7 +27,11 @@ int RunFig7() {
                  load.ToString().c_str());
     return 1;
   }
-  HyperQSession session(&db);
+  // Translation caching off: a cache hit skips the stages this figure
+  // splits (its timings would be zero).
+  HyperQSession::Options opts;
+  opts.translation_cache.enabled = false;
+  HyperQSession session(&db, opts);
   std::vector<std::string> queries = AnalyticalQueries();
   for (const auto& q : queries) {
     auto warm = session.Translate(q);  // warm metadata cache

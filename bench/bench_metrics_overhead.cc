@@ -52,7 +52,11 @@ int RunMetricsOverhead() {
                  load.ToString().c_str());
     return 1;
   }
-  HyperQSession session(&db);
+  // Translation caching off so both passes pay the instrumented translate
+  // path this bench budgets.
+  HyperQSession::Options opts;
+  opts.translation_cache.enabled = false;
+  HyperQSession session(&db, opts);
   std::vector<std::string> queries = AnalyticalQueries();
 
   // Warm: metadata cache + backend paths, outside both measurements.

@@ -6,6 +6,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench/bench_main.h"
+
 #include "common/bytes.h"
 #include "core/loader.h"
 #include "core/mdi.h"
@@ -161,4 +163,4 @@ BENCHMARK(BM_QipcDecompress)->Arg(10000)->Arg(100000);
 }  // namespace bench
 }  // namespace hyperq
 
-BENCHMARK_MAIN();
+HQ_BENCH_MAIN();

@@ -1,0 +1,212 @@
+// The translation cache's hot path: per-query translation latency with the
+// cache cold (full parse/bind/xform/serialize), hot on the exact-text tier
+// (replay, no parse) and hot on the fingerprint tier (parse + literal
+// splice into the cached SQL template). The acceptance bar is a >=5x
+// reduction hot vs cold; `--json=FILE` writes the evidence as an artifact
+// (scripts/bench.sh commits it as BENCH_translation.json).
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "bench/workload.h"
+#include "common/strings.h"
+#include "core/hyperq.h"
+
+namespace hyperq {
+namespace bench {
+namespace {
+
+double NowUs() {
+  return std::chrono::duration<double, std::micro>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+/// Best-of-N latency of one Translate call.
+double MeasureUs(HyperQSession* session, const std::string& q, int iters) {
+  double best = 1e18;
+  for (int it = 0; it < iters; ++it) {
+    double start = NowUs();
+    auto t = session->Translate(q);
+    double elapsed = NowUs() - start;
+    if (!t.ok()) {
+      std::fprintf(stderr, "translate failed: %s\n  %s\n", q.c_str(),
+                   t.status().ToString().c_str());
+      std::exit(1);
+    }
+    best = std::min(best, elapsed);
+  }
+  return best;
+}
+
+/// Query shapes whose literal is rotated per call: every call presents new
+/// query text, so only the fingerprint tier (not the exact-text tier) can
+/// serve it.
+std::string ShapeWithLiteral(int shape, int k) {
+  std::string lit = StrCat("0.", 100 + (k % 797));
+  switch (shape % 3) {
+    case 0:
+      return StrCat("select sym, f0, f1 from wide_facts where f0 > ", lit);
+    case 1:
+      return StrCat("select a: sum f0, b: max f1 by sym from wide_facts "
+                    "where f1 > ",
+                    lit);
+    default:
+      return StrCat("exec sum f0 from wide_facts where f0 > ", lit);
+  }
+}
+
+int Run(const std::string& json_path, int iters) {
+  sqldb::Database db;
+  Status load = LoadAnalyticalWorkload(&db, WorkloadOptions{});
+  if (!load.ok()) {
+    std::fprintf(stderr, "workload load failed: %s\n",
+                 load.ToString().c_str());
+    return 1;
+  }
+
+  HyperQSession::Options cold_opts;
+  cold_opts.translation_cache.enabled = false;
+  HyperQSession cold(&db, cold_opts);
+  HyperQSession hot(&db);
+
+  std::vector<std::string> queries = AnalyticalQueries();
+
+  // Warm both metadata caches and the hot session's translation cache.
+  for (const auto& q : queries) {
+    auto c = cold.Translate(q);
+    auto h = hot.Translate(q);
+    if (!c.ok() || !h.ok()) {
+      std::fprintf(stderr, "warmup translate failed for: %s\n", q.c_str());
+      return 1;
+    }
+  }
+
+  std::printf(
+      "Translation cache hot path (Analytical Workload, %d iterations, "
+      "best-of)\n",
+      iters);
+  std::printf("%-5s %12s %14s %10s\n", "query", "cold_us", "hot_exact_us",
+              "speedup");
+
+  double sum_cold = 0;
+  double sum_exact = 0;
+  std::vector<double> per_query_cold, per_query_exact;
+  for (size_t i = 0; i < queries.size(); ++i) {
+    double cold_us = MeasureUs(&cold, queries[i], iters);
+    double exact_us = MeasureUs(&hot, queries[i], iters);
+    sum_cold += cold_us;
+    sum_exact += exact_us;
+    per_query_cold.push_back(cold_us);
+    per_query_exact.push_back(exact_us);
+    std::printf("q%-4zu %12.1f %14.1f %9.1fx\n", i + 1, cold_us, exact_us,
+                cold_us / exact_us);
+  }
+
+  // Fingerprint tier: the literal changes every call, so the exact tier
+  // never matches and each hit pays parse + fingerprint + splice.
+  double sum_fp_cold = 0;
+  double sum_fp_hot = 0;
+  int fp_shapes = 3;
+  for (int s = 0; s < fp_shapes; ++s) {
+    // Warm the fingerprint entry (first value of the rotation).
+    auto w = hot.Translate(ShapeWithLiteral(s, 0));
+    if (!w.ok()) {
+      std::fprintf(stderr, "fingerprint warmup failed\n");
+      return 1;
+    }
+    double cold_us = 1e18;
+    double hot_us = 1e18;
+    for (int it = 0; it < iters; ++it) {
+      std::string qc = ShapeWithLiteral(s, it + 1);
+      double start = NowUs();
+      auto c = cold.Translate(qc);
+      cold_us = std::min(cold_us, NowUs() - start);
+      std::string qh = ShapeWithLiteral(s, iters + it + 1);
+      start = NowUs();
+      auto h = hot.Translate(qh);
+      hot_us = std::min(hot_us, NowUs() - start);
+      if (!c.ok() || !h.ok()) {
+        std::fprintf(stderr, "fingerprint measurement failed\n");
+        return 1;
+      }
+      if (!h->cache_hit) {
+        std::fprintf(stderr, "expected a fingerprint hit for: %s\n",
+                     qh.c_str());
+        return 1;
+      }
+    }
+    std::printf("fp%-3d %12.1f %14.1f %9.1fx   (literal rotated per call)\n",
+                s + 1, cold_us, hot_us, cold_us / hot_us);
+    sum_fp_cold += cold_us;
+    sum_fp_hot += hot_us;
+  }
+
+  double speedup_exact = sum_cold / sum_exact;
+  double speedup_fp = sum_fp_cold / sum_fp_hot;
+  std::printf(
+      "\naggregate: cold %.1fus/query, hot-exact %.1fus/query "
+      "(speedup %.1fx); fingerprint tier speedup %.1fx\n",
+      sum_cold / queries.size(), sum_exact / queries.size(), speedup_exact,
+      speedup_fp);
+  std::printf("acceptance bar: >=5x hot vs cold — %s\n",
+              speedup_exact >= 5.0 ? "PASS" : "FAIL");
+
+  if (!json_path.empty()) {
+    std::FILE* f = std::fopen(json_path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot write %s\n", json_path.c_str());
+      return 1;
+    }
+    std::fprintf(f, "{\n  \"name\": \"translation_cache_hot_path\",\n");
+    std::fprintf(f, "  \"iterations\": %d,\n  \"queries\": [\n", iters);
+    for (size_t i = 0; i < per_query_cold.size(); ++i) {
+      std::fprintf(f,
+                   "    {\"query\": %zu, \"cold_us\": %.1f, "
+                   "\"hot_exact_us\": %.1f, \"speedup\": %.1f}%s\n",
+                   i + 1, per_query_cold[i], per_query_exact[i],
+                   per_query_cold[i] / per_query_exact[i],
+                   i + 1 < per_query_cold.size() ? "," : "");
+    }
+    std::fprintf(f,
+                 "  ],\n  \"avg_cold_us\": %.1f,\n"
+                 "  \"avg_hot_exact_us\": %.1f,\n"
+                 "  \"speedup_exact\": %.1f,\n"
+                 "  \"speedup_fingerprint\": %.1f,\n"
+                 "  \"acceptance_5x\": %s\n}\n",
+                 sum_cold / queries.size(), sum_exact / queries.size(),
+                 speedup_exact, speedup_fp,
+                 speedup_exact >= 5.0 ? "true" : "false");
+    std::fclose(f);
+    std::printf("wrote %s\n", json_path.c_str());
+  }
+  return speedup_exact >= 5.0 ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace hyperq
+
+int main(int argc, char** argv) {
+  std::string json_path;
+  int iters = 25;
+  for (int i = 1; i < argc; ++i) {
+    std::string a = argv[i];
+    if (a.rfind("--json=", 0) == 0) {
+      json_path = a.substr(7);
+    } else if (a == "--smoke") {
+      iters = 3;
+    } else if (a.rfind("--iters=", 0) == 0) {
+      iters = std::max(1, std::atoi(a.c_str() + 8));
+    } else {
+      std::fprintf(stderr, "usage: %s [--json=FILE] [--smoke] [--iters=N]\n",
+                   argv[0]);
+      return 2;
+    }
+  }
+  return hyperq::bench::Run(json_path, iters);
+}

@@ -1,0 +1,30 @@
+#!/usr/bin/env bash
+# Bench runner: builds the headline benches and writes their JSON artifacts
+# at the repo root (BENCH_translation.json, BENCH_fig6.json). The
+# translation-cache bench exits non-zero if the hot path is not at least
+# 5x faster than cold translation, so this script doubles as a perf gate.
+#
+# Usage: scripts/bench.sh [--smoke]
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+JOBS="$(nproc 2>/dev/null || echo 4)"
+SMOKE=()
+[[ "${1:-}" == "--smoke" ]] && SMOKE=(--smoke)
+
+echo "==> bench: configure + build"
+cmake -B build -S . >/dev/null
+cmake --build build -j "$JOBS" \
+  --target bench_translation_cache bench_fig6_translation_overhead >/dev/null
+
+echo "==> bench: translation cache hot path"
+./build/bench/bench_translation_cache --json=BENCH_translation.json \
+  "${SMOKE[@]}"
+
+echo "==> bench: figure 6 translation overhead"
+./build/bench/bench_fig6_translation_overhead --json=BENCH_fig6.json \
+  "${SMOKE[@]}"
+
+echo "==> bench: artifacts"
+grep -o '"speedup_[a-z]*": [0-9.]*' BENCH_translation.json
+grep -o '"avg_overhead_pct": [0-9.]*' BENCH_fig6.json

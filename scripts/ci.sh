@@ -4,13 +4,20 @@
 # ThreadSanitizer. Any TSAN report fails the run via -DHYPERQ_SANITIZE
 # instrumentation and halt_on_error.
 #
-# Usage: scripts/ci.sh [--skip-tsan]
+# Usage: scripts/ci.sh [--skip-tsan] [--bench-smoke]
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 JOBS="$(nproc 2>/dev/null || echo 4)"
 SKIP_TSAN=0
-[[ "${1:-}" == "--skip-tsan" ]] && SKIP_TSAN=1
+BENCH_SMOKE=0
+for arg in "$@"; do
+  case "$arg" in
+    --skip-tsan) SKIP_TSAN=1 ;;
+    --bench-smoke) BENCH_SMOKE=1 ;;
+    *) echo "unknown flag: $arg" >&2; exit 2 ;;
+  esac
+done
 
 echo "==> tier-1: configure + build"
 cmake -B build -S . >/dev/null
@@ -18,6 +25,11 @@ cmake --build build -j "$JOBS"
 
 echo "==> tier-1: full test suite"
 ctest --test-dir build --output-on-failure -j "$JOBS"
+
+if [[ "$BENCH_SMOKE" == 1 ]]; then
+  echo "==> bench: smoke (tiny iteration counts, artifacts at repo root)"
+  scripts/bench.sh --smoke
+fi
 
 if [[ "$SKIP_TSAN" == 1 ]]; then
   echo "==> tsan: skipped (--skip-tsan)"
@@ -27,12 +39,14 @@ fi
 echo "==> tsan: configure + build (build-tsan)"
 cmake -B build-tsan -S . -DHYPERQ_SANITIZE=thread >/dev/null
 cmake --build build-tsan -j "$JOBS" \
-  --target endpoint_stress_test metrics_test endpoint_test
+  --target endpoint_stress_test metrics_test endpoint_test \
+  translation_cache_test
 
 echo "==> tsan: concurrency battery"
 export TSAN_OPTIONS="halt_on_error=1 second_deadlock_stack=1"
 ./build-tsan/tests/metrics_test
 ./build-tsan/tests/endpoint_test
 ./build-tsan/tests/endpoint_stress_test
+./build-tsan/tests/translation_cache_test
 
 echo "==> ci: all green"

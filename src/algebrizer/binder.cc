@@ -50,22 +50,6 @@ std::string InferName(const AstPtr& expr, int position) {
   return StrCat("x", position == 0 ? std::string() : StrCat(position));
 }
 
-Result<std::vector<std::string>> SymbolListOf(const AstPtr& node,
-                                              const char* what) {
-  if (node->kind != AstKind::kLiteral) {
-    return BindError(StrCat(what, " requires a literal symbol list"));
-  }
-  const QValue& v = node->literal;
-  if (v.is_atom() && v.type() == QType::kSymbol) {
-    return std::vector<std::string>{v.AsSym()};
-  }
-  if (!v.is_atom() && v.type() == QType::kSymbol) {
-    return v.SymsView();
-  }
-  return BindError(StrCat(what, " requires symbols, got ",
-                          QTypeName(v.type())));
-}
-
 Result<XtraColumn> FindCol(const XtraOp& op, const std::string& name,
                            const char* what) {
   const XtraColumn* c = op.FindOutputByName(name);
@@ -260,8 +244,14 @@ Result<QValue> Binder::BindConstant(const AstPtr& node) {
   switch (node->kind) {
     case AstKind::kLiteral:
       return node->literal;
+    case AstKind::kParam:
+      // The constant's value shapes the plan here (take counts, window
+      // sizes, ...): pin the slot so the cache entry only matches this
+      // exact value.
+      PinParam(*node);
+      return node->literal;
     case AstKind::kVarRef: {
-      HQ_ASSIGN_OR_RETURN(VarBinding b, scopes_->Lookup(node->name));
+      HQ_ASSIGN_OR_RETURN(VarBinding b, LookupVar(node->name));
       if (b.kind == VarBinding::Kind::kScalar) return b.scalar;
       return BindError(StrCat("'", node->name,
                               "' is not a constant in this context"));
@@ -273,6 +263,42 @@ Result<QValue> Binder::BindConstant(const AstPtr& node) {
   }
 }
 
+Result<VarBinding> Binder::LookupVar(const std::string& name) {
+  Result<VarBinding> b = scopes_->Lookup(name);
+  if (trace_ != nullptr && b.ok()) {
+    trace_->ref_names.push_back(name);
+    if (scopes_->IsShadowed(name)) {
+      trace_->used_scope_var = true;
+    } else if (b->kind == VarBinding::Kind::kRelation) {
+      trace_->ref_tables.push_back(b->table);
+    }
+  }
+  return b;
+}
+
+void Binder::PinParam(const AstNode& node) {
+  if (trace_ != nullptr && node.param_slot >= 0) {
+    trace_->pinned_slots.push_back(node.param_slot);
+  }
+}
+
+Result<std::vector<std::string>> Binder::SymbolListOf(const AstPtr& node,
+                                                      const char* what) {
+  if (node->kind != AstKind::kLiteral && node->kind != AstKind::kParam) {
+    return BindError(StrCat(what, " requires a literal symbol list"));
+  }
+  if (node->kind == AstKind::kParam) PinParam(*node);
+  const QValue& v = node->literal;
+  if (v.is_atom() && v.type() == QType::kSymbol) {
+    return std::vector<std::string>{v.AsSym()};
+  }
+  if (!v.is_atom() && v.type() == QType::kSymbol) {
+    return v.SymsView();
+  }
+  return BindError(StrCat(what, " requires symbols, got ",
+                          QTypeName(v.type())));
+}
+
 // ---------------------------------------------------------------------------
 // Table expressions
 // ---------------------------------------------------------------------------
@@ -280,7 +306,7 @@ Result<QValue> Binder::BindConstant(const AstPtr& node) {
 Result<XtraPtr> Binder::BindTableExpr(const AstPtr& node) {
   switch (node->kind) {
     case AstKind::kVarRef: {
-      HQ_ASSIGN_OR_RETURN(VarBinding b, scopes_->Lookup(node->name));
+      HQ_ASSIGN_OR_RETURN(VarBinding b, LookupVar(node->name));
       if (b.kind != VarBinding::Kind::kRelation) {
         return BindError(StrCat("'", node->name,
                                 "' is not bound to a table (it is a ",
@@ -396,7 +422,7 @@ Result<Binder::KeyedTable> Binder::BindKeyedTable(const AstPtr& node) {
     return KeyedTable{std::move(op), std::move(keys)};
   }
   if (node->kind == AstKind::kVarRef) {
-    HQ_ASSIGN_OR_RETURN(VarBinding b, scopes_->Lookup(node->name));
+    HQ_ASSIGN_OR_RETURN(VarBinding b, LookupVar(node->name));
     if (b.kind == VarBinding::Kind::kRelation) {
       HQ_ASSIGN_OR_RETURN(TableMetadata meta, mdi_->LookupTable(b.table));
       if (meta.key_columns.empty()) {
@@ -1084,6 +1110,8 @@ Result<ScalarPtr> Binder::BindScalar(const AstPtr& node,
   switch (node->kind) {
     case AstKind::kLiteral:
       return MakeConst(node->literal);
+    case AstKind::kParam:
+      return xtra::MakeParamConst(node->literal, node->param_slot);
     case AstKind::kVarRef: {
       if (input != nullptr) {
         const XtraColumn* c = input->FindOutputByName(node->name);
@@ -1094,7 +1122,7 @@ Result<ScalarPtr> Binder::BindScalar(const AstPtr& node,
           return ColRefOf(*oc);
         }
       }
-      Result<VarBinding> b = scopes_->Lookup(node->name);
+      Result<VarBinding> b = LookupVar(node->name);
       if (!b.ok()) {
         if (input != nullptr) {
           std::vector<std::string> names;

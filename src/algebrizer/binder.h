@@ -25,6 +25,19 @@ struct BoundQuery {
   std::vector<std::string> key_columns;  ///< for kKeyedTable
 };
 
+/// Side-channel the translation cache uses to learn what a binding run
+/// depended on: which names were resolved (and whether any came from a
+/// session/local scope rather than the catalog), which backend tables the
+/// query references, and which lifted parameters were consumed as
+/// structural values (take counts, window sizes, sort columns, casts) and
+/// must therefore be pinned to their exact values in the cache entry.
+struct BindTrace {
+  bool used_scope_var = false;
+  std::vector<std::string> ref_names;   ///< names resolved through scopes
+  std::vector<std::string> ref_tables;  ///< backend tables referenced
+  std::vector<int> pinned_slots;        ///< param slots read as values
+};
+
 /// The binding half of the Algebrizer (§3.2.2): resolves names through the
 /// scope hierarchy and the MDI, derives and checks operator properties
 /// bottom-up, and maps Q operators to XTRA expressions. Purely functional
@@ -32,8 +45,9 @@ struct BoundQuery {
 /// unrolling) are made by the Query Translator which drives the binder.
 class Binder {
  public:
-  Binder(MetadataInterface* mdi, VariableScopes* scopes)
-      : mdi_(mdi), scopes_(scopes) {}
+  Binder(MetadataInterface* mdi, VariableScopes* scopes,
+         BindTrace* trace = nullptr)
+      : mdi_(mdi), scopes_(scopes), trace_(trace) {}
 
   /// Binds a table- or value-producing Q expression into XTRA.
   Result<BoundQuery> BindQuery(const AstPtr& node);
@@ -94,8 +108,18 @@ class Binder {
 
   xtra::ColId NextId() { return next_col_id_++; }
 
+  /// Scope lookup recording the dependency into the trace (if any).
+  Result<VarBinding> LookupVar(const std::string& name);
+  /// Reads a literal (or lifted-parameter) symbol list, pinning consumed
+  /// parameter slots.
+  Result<std::vector<std::string>> SymbolListOf(const AstPtr& node,
+                                                const char* what);
+  /// Records that a lifted parameter's value was consumed structurally.
+  void PinParam(const AstNode& node);
+
   MetadataInterface* mdi_;
   VariableScopes* scopes_;
+  BindTrace* trace_;
   int next_col_id_ = 1;
 };
 

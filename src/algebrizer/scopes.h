@@ -43,6 +43,16 @@ class VariableScopes {
   /// server scope through the MDI (tables become kRelation bindings).
   Result<VarBinding> Lookup(const std::string& name) const;
 
+  /// True when `name` resolves in a session or local scope, i.e. BEFORE the
+  /// server catalog. The translation cache uses this to reject cached
+  /// entries whose referenced names have since been shadowed by variables.
+  bool IsShadowed(const std::string& name) const {
+    for (auto it = locals_.rbegin(); it != locals_.rend(); ++it) {
+      if (it->count(name) != 0) return true;
+    }
+    return session_.count(name) != 0;
+  }
+
   /// Definition/redefinition per Figure 3: local when inside a function,
   /// session otherwise.
   void Upsert(const std::string& name, VarBinding binding);

@@ -113,12 +113,17 @@ Result<QValue> CrossCompiler::Process(const std::string& q_text,
     }
   }
   // The stage split was measured inside the translator; publish it to the
-  // live histograms (Figure 7 per stage, Figure 6 for the total).
+  // live histograms (Figure 7 per stage, Figure 6 for the total). Cache
+  // hits skip the stages they never ran so the per-stage distributions
+  // keep describing real pipeline work; the total is recorded for every
+  // request either way.
   if (MetricsRegistry::Global().enabled()) {
-    metrics.parse_us->Record(translation.timings.parse_us);
-    metrics.bind_us->Record(translation.timings.bind_us);
-    metrics.xform_us->Record(translation.timings.xform_us);
-    metrics.serialize_us->Record(translation.timings.serialize_us);
+    if (!translation.cache_hit) {
+      metrics.parse_us->Record(translation.timings.parse_us);
+      metrics.bind_us->Record(translation.timings.bind_us);
+      metrics.xform_us->Record(translation.timings.xform_us);
+      metrics.serialize_us->Record(translation.timings.serialize_us);
+    }
     metrics.translate_total_us->Record(translation.timings.total_us());
   }
   {

@@ -42,7 +42,16 @@ class HyperQServer {
   };
 
   HyperQServer(sqldb::Database* backend, Options options)
-      : backend_(backend), options_(std::move(options)) {}
+      : backend_(backend),
+        options_(std::move(options)),
+        translation_cache_(options_.session.translation_cache) {
+    // One translation cache for the whole server: every per-connection
+    // session shares the hot entries (the cache is internally sharded and
+    // thread-safe). Sessions receive it through their options.
+    translation_cache_.SetVersionProvider(
+        [this]() { return backend_->catalog().version(); });
+    options_.session.shared_translation_cache = &translation_cache_;
+  }
   ~HyperQServer() { Stop(); }
 
   /// Binds 127.0.0.1:port (0 = ephemeral) and serves until Stop().
@@ -61,6 +70,9 @@ class HyperQServer {
     return active_count_.load(std::memory_order_acquire);
   }
 
+  /// The server-wide translation cache shared by all sessions.
+  TranslationCache& translation_cache() { return translation_cache_; }
+
  private:
   void AcceptLoop();
   void HandleConnection(TcpConnection conn);
@@ -72,6 +84,7 @@ class HyperQServer {
 
   sqldb::Database* backend_;
   Options options_;
+  TranslationCache translation_cache_;
   uint16_t port_ = 0;
   std::unique_ptr<TcpListener> listener_;
   std::unique_ptr<std::thread> accept_thread_;

@@ -77,6 +77,21 @@ std::optional<Result<QValue>> HyperQSession::TryBuiltin(
     MetricsRegistry::Global().ResetAll();
     return Result<QValue>(QValue());
   }
+  // Runtime control over the translation cache (docs/PERFORMANCE.md).
+  // Enable/disable toggle the whole cache (shared across sessions when the
+  // endpoint owns it); cacheClear drops every entry.
+  if (name == ".hyperq.cacheEnable") {
+    tcache_->set_enabled(true);
+    return Result<QValue>(QValue());
+  }
+  if (name == ".hyperq.cacheDisable") {
+    tcache_->set_enabled(false);
+    return Result<QValue>(QValue());
+  }
+  if (name == ".hyperq.cacheClear") {
+    tcache_->Clear();
+    return Result<QValue>(QValue());
+  }
   return Result<QValue>(
       NotFound(StrCat("unknown builtin '", std::string(name), "'")));
 }

@@ -11,6 +11,7 @@
 #include "core/mdi.h"
 #include "core/metadata_cache.h"
 #include "core/query_translator.h"
+#include "core/translation_cache.h"
 
 namespace hyperq {
 
@@ -23,9 +24,19 @@ class HyperQSession {
   struct Options {
     QueryTranslator::Options translator;
     MetadataCache::Options cache;
+    /// Options for the session-owned translation cache (ignored when a
+    /// shared cache is supplied).
+    TranslationCache::Options translation_cache;
+    /// A server-owned cache shared across sessions; null means the
+    /// session creates its own. The owner is responsible for setting the
+    /// shared cache's version provider.
+    TranslationCache* shared_translation_cache = nullptr;
   };
 
-  HyperQSession(sqldb::Database* backend, Options options = {})
+  explicit HyperQSession(sqldb::Database* backend)
+      : HyperQSession(backend, Options()) {}
+
+  HyperQSession(sqldb::Database* backend, Options options)
       : gateway_(std::make_unique<DirectGateway>(backend)),
         raw_mdi_(backend, gateway_->session()),
         cache_(&raw_mdi_, options.cache),
@@ -38,6 +49,24 @@ class HyperQSession {
         xc_(&translator_, gateway_.get()) {
     cache_.SetVersionProvider(
         [this]() { return raw_mdi_.CatalogVersion(); });
+    if (options.shared_translation_cache != nullptr) {
+      tcache_ = options.shared_translation_cache;
+    } else {
+      owned_tcache_ =
+          std::make_unique<TranslationCache>(options.translation_cache);
+      owned_tcache_->SetVersionProvider(
+          [this]() { return raw_mdi_.CatalogVersion(); });
+      tcache_ = owned_tcache_.get();
+    }
+    translator_.set_translation_cache(tcache_);
+    // Explicitly invalidated metadata drops the translations built on it.
+    cache_.SetInvalidationListener([this](const std::string* table) {
+      if (table != nullptr) {
+        tcache_->InvalidateTable(*table);
+      } else {
+        tcache_->Clear();
+      }
+    });
   }
 
   /// Full query life cycle: Q text in, Q value out. Recognizes the
@@ -61,6 +90,7 @@ class HyperQSession {
   const StageTimings& last_timings() const { return last_timings_; }
   const std::string& last_sql() const { return last_sql_; }
   MetadataCache& metadata_cache() { return cache_; }
+  TranslationCache& translation_cache() { return *tcache_; }
   VariableScopes& scopes() { return scopes_; }
   BackendGateway& gateway() { return *gateway_; }
 
@@ -79,6 +109,8 @@ class HyperQSession {
   VariableScopes scopes_;
   QueryTranslator translator_;
   CrossCompiler xc_;
+  std::unique_ptr<TranslationCache> owned_tcache_;
+  TranslationCache* tcache_ = nullptr;
   StageTimings last_timings_;
   std::string last_sql_;
 };

@@ -222,6 +222,8 @@ Result<QValue> QValueFromResult(const sqldb::QueryResult& result,
                                 const std::vector<std::string>& key_columns) {
   std::vector<std::string> names;
   std::vector<QValue> columns;
+  names.reserve(result.columns.size());
+  columns.reserve(result.columns.size());
   for (size_t c = 0; c < result.columns.size(); ++c) {
     if (IsHelperColumn(result.columns[c].name)) continue;
     names.push_back(result.columns[c].name);

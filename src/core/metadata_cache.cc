@@ -53,6 +53,7 @@ void MetadataCache::Invalidate() {
   cache_.clear();
   ++stats_.invalidations;
   invalidations_metric_->Increment();
+  if (listener_) listener_(nullptr);
 }
 
 void MetadataCache::InvalidateTable(const std::string& name) {
@@ -60,6 +61,10 @@ void MetadataCache::InvalidateTable(const std::string& name) {
     ++stats_.invalidations;
     invalidations_metric_->Increment();
   }
+  // The listener fires whether or not the MDI held an entry: the caller is
+  // declaring the table's metadata stale, and dependent translations must
+  // go either way.
+  if (listener_) listener_(&name);
 }
 
 }  // namespace hyperq

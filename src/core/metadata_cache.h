@@ -45,6 +45,15 @@ class MetadataCache : public MetadataInterface {
     version_provider_ = std::move(provider);
   }
 
+  /// Observer poked by the explicit invalidation entry points: `table` is
+  /// the invalidated table, or nullptr for a full flush. The translation
+  /// cache subscribes so dropping metadata also drops the cached
+  /// translations built from it.
+  using InvalidationListener = std::function<void(const std::string* table)>;
+  void SetInvalidationListener(InvalidationListener listener) {
+    listener_ = std::move(listener);
+  }
+
   Result<TableMetadata> LookupTable(const std::string& name) override;
   bool HasTable(const std::string& name) override;
 
@@ -64,6 +73,7 @@ class MetadataCache : public MetadataInterface {
   MetadataInterface* inner_;
   Options options_;
   std::function<uint64_t()> version_provider_;
+  InvalidationListener listener_;
   uint64_t last_version_ = 0;
   std::unordered_map<std::string, Entry> cache_;
   Stats stats_;

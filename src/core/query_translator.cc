@@ -2,7 +2,10 @@
 
 #include <chrono>
 
+#include "common/metrics.h"
 #include "common/strings.h"
+#include "core/translation_cache.h"
+#include "qlang/fingerprint.h"
 #include "qlang/parser.h"
 #include "serializer/serializer.h"
 
@@ -25,15 +28,51 @@ class StageTimer {
   std::chrono::steady_clock::time_point start_;
 };
 
+/// Wall time of a cache hit, from request text to ready Translation.
+LatencyHistogram* CacheHitHistogram() {
+  static LatencyHistogram* hist =
+      MetricsRegistry::Global().GetHistogram("translate.cache_hit_us");
+  return hist;
+}
+
+double MicrosSince(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double, std::micro>(
+             std::chrono::steady_clock::now() - start)
+      .count();
+}
+
 }  // namespace
 
 std::string QueryTranslator::NextTempName() {
   return StrCat("HQ_TEMP_", ++temp_counter_);
 }
 
-Result<Translation> QueryTranslator::Translate(const std::string& q_text) {
-  Translation out;
+bool QueryTranslator::IsFunctionInvocation(const AstPtr& stmt) const {
+  if (stmt->kind != AstKind::kApply || !stmt->child ||
+      stmt->child->kind != AstKind::kVarRef) {
+    return false;
+  }
+  Result<VarBinding> b = scopes_->Lookup(stmt->child->name);
+  return b.ok() && b->kind == VarBinding::Kind::kFunction;
+}
 
+Result<Translation> QueryTranslator::Translate(const std::string& q_text) {
+  const auto start = std::chrono::steady_clock::now();
+  const bool cache_on = cache_ != nullptr && cache_->enabled();
+  TranslationCache::ShadowFn shadow = [this](const std::string& name) {
+    return scopes_->IsShadowed(name);
+  };
+
+  if (cache_on) {
+    Translation hit;
+    if (cache_->LookupExact(q_text, shadow, &hit)) {
+      hit.cache_hit = true;
+      CacheHitHistogram()->Record(MicrosSince(start));
+      return hit;
+    }
+  }
+
+  Translation out;
   std::vector<AstPtr> stmts;
   {
     StageTimer t(&out.timings.parse_us);
@@ -43,7 +82,36 @@ Result<Translation> QueryTranslator::Translate(const std::string& q_text) {
     return InvalidArgument("empty q request");
   }
 
-  Binder binder(mdi_, scopes_);
+  // Single side-effect-free statements go through the fingerprint tier.
+  bool exact_insertable = false;
+  bool fp_attempt_failed = false;
+  QueryFingerprint fp;
+  if (cache_on && stmts.size() == 1 && !IsFunctionInvocation(stmts[0])) {
+    fp = FingerprintProgram(stmts);
+    if (fp.cacheable) {
+      exact_insertable = true;  // definitely side-effect free
+      Translation hit;
+      TranslationCache::FpResult r =
+          cache_->Lookup(fp.hash, fp.text, fp.params, shadow, &hit);
+      if (r == TranslationCache::FpResult::kHit) {
+        hit.cache_hit = true;
+        hit.timings.parse_us = out.timings.parse_us;
+        CacheHitHistogram()->Record(MicrosSince(start));
+        return hit;
+      }
+      if (r == TranslationCache::FpResult::kMiss) {
+        Result<Translation> miss = TranslateFingerprintMiss(
+            q_text, stmts[0], fp, out.timings.parse_us);
+        // Errors fall through to the plain path below, which re-raises
+        // genuine user errors with the original (unparameterized) AST.
+        if (miss.ok()) return miss;
+        fp_attempt_failed = true;
+      }
+    }
+  }
+
+  BindTrace trace;
+  Binder binder(mdi_, scopes_, &trace);
   bool produced_result = false;
   for (size_t i = 0; i < stmts.size(); ++i) {
     bool is_last = i + 1 == stmts.size();
@@ -74,7 +142,109 @@ Result<Translation> QueryTranslator::Translate(const std::string& q_text) {
       produced_result = true;
     }
   }
+  // The exact tier can replay any side-effect-free result query whose
+  // binding never read a session/local variable's value.
+  if (exact_insertable && produced_result && out.setup_sql.empty() &&
+      !trace.used_scope_var) {
+    if (fp_attempt_failed) {
+      // The plain pipeline accepts this query but the parameterized one
+      // does not: stop re-attempting parameterization for the shape.
+      cache_->MarkUncacheable(fp.hash, fp.text,
+                              "parameterized translation failed");
+    }
+    cache_->InsertExact(q_text, out, trace.ref_tables, trace.ref_names);
+  }
   (void)produced_result;
+  return out;
+}
+
+Result<Translation> QueryTranslator::TranslateFingerprintMiss(
+    const std::string& q_text, const AstPtr& stmt, const QueryFingerprint& fp,
+    double parse_us) {
+  Translation out;
+  out.timings.parse_us = parse_us;
+
+  AstPtr param_stmt = ParameterizeStatement(stmt);
+  BindTrace trace;
+  Binder binder(mdi_, scopes_, &trace);
+
+  BoundQuery bound;
+  {
+    StageTimer t(&out.timings.bind_us);
+    HQ_ASSIGN_OR_RETURN(bound, binder.BindQuery(param_stmt));
+  }
+  bool order_matters = bound.shape == ResultShape::kTable ||
+                       bound.shape == ResultShape::kList;
+  {
+    StageTimer t(&out.timings.xform_us);
+    Xformer xformer(options_.xformer);
+    HQ_RETURN_IF_ERROR(xformer.Transform(bound.root, order_matters));
+  }
+  {
+    StageTimer t(&out.timings.serialize_us);
+    Serializer concrete;
+    HQ_ASSIGN_OR_RETURN(out.result_sql, concrete.Serialize(bound.root));
+  }
+  out.shape = bound.shape;
+  out.key_columns = bound.key_columns;
+
+  // Value-dependent bindings make the translation specific to this
+  // session's variables: return it, but never share it through the cache.
+  if (trace.used_scope_var) return out;
+
+  // Serialize the same tree again in parameterized mode to get the $n
+  // template (cold-path-only extra work, excluded from stage timings).
+  Serializer param_ser;
+  param_ser.EnableParamMode();
+  Result<std::string> sql_template = param_ser.Serialize(bound.root);
+  if (!sql_template.ok()) {
+    cache_->MarkUncacheable(fp.hash, fp.text,
+                            std::string(sql_template.status().message()));
+    return out;
+  }
+
+  // Every slot that did not surface as a placeholder had its value baked
+  // into the plan (structural pins, `in`-list expansion, constant folding):
+  // it must match exactly for the entry to be reused.
+  std::vector<bool> emitted(fp.params.size(), false);
+  for (int slot : param_ser.emitted_slots()) {
+    if (slot >= 0 && static_cast<size_t>(slot) < emitted.size()) {
+      emitted[slot] = true;
+    }
+  }
+  TranslationCache::Insertable entry;
+  entry.sql_template = std::move(*sql_template);
+  entry.shape = out.shape;
+  entry.key_columns = out.key_columns;
+  for (size_t i = 0; i < emitted.size(); ++i) {
+    if (!emitted[i]) entry.pinned_slots.push_back(static_cast<int>(i));
+  }
+  entry.ref_tables = trace.ref_tables;
+  entry.ref_names = trace.ref_names;
+
+  // Verify end-to-end before publishing: instantiating the template with
+  // the current literals must reproduce the concrete SQL byte-for-byte.
+  // This catches any path that bakes a parameter value we failed to pin
+  // (and pathological `$n` collisions inside string literals).
+  Result<std::vector<std::string>> rendered =
+      TranslationCache::RenderParams(fp.params);
+  if (!rendered.ok()) {
+    cache_->MarkUncacheable(fp.hash, fp.text,
+                            std::string(rendered.status().message()));
+    return out;
+  }
+  Result<std::string> replay =
+      TranslationCache::Instantiate(entry.sql_template, *rendered);
+  if (!replay.ok() || *replay != out.result_sql) {
+    cache_->MarkUncacheable(
+        fp.hash, fp.text,
+        replay.ok() ? "instantiated template diverges from concrete SQL"
+                    : std::string(replay.status().message()));
+    return out;
+  }
+
+  cache_->Insert(fp.hash, fp.text, *rendered, entry);
+  cache_->InsertExact(q_text, out, trace.ref_tables, trace.ref_names);
   return out;
 }
 

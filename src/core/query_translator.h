@@ -12,6 +12,9 @@
 
 namespace hyperq {
 
+class TranslationCache;
+struct QueryFingerprint;
+
 /// How Q variable assignments are materialized in the backend (§4.3).
 enum class MaterializeMode {
   kPhysical,  ///< CREATE TEMPORARY TABLE ... AS (always correct)
@@ -38,6 +41,10 @@ struct Translation {
   ResultShape shape = ResultShape::kTable;
   std::vector<std::string> key_columns;
   StageTimings timings;
+  /// True when the translation was served from the translation cache; the
+  /// per-stage timings above are then zero (or parse-only for a
+  /// fingerprint-tier hit).
+  bool cache_hit = false;
 };
 
 /// The Query Translator of the Cross Compiler (§3.4): drives Q text through
@@ -65,6 +72,10 @@ class QueryTranslator {
   /// Translates a full Q request (one or more ';'-separated statements).
   Result<Translation> Translate(const std::string& q_text);
 
+  /// Attaches a (usually server-shared) translation cache. Null detaches.
+  void set_translation_cache(TranslationCache* cache) { cache_ = cache; }
+  TranslationCache* translation_cache() const { return cache_; }
+
  private:
   Status ProcessAssignment(const AstPtr& stmt, Binder* binder,
                            Translation* out);
@@ -75,12 +86,27 @@ class QueryTranslator {
   Status MaterializeQuery(const std::string& var_name, const AstPtr& expr,
                           Binder* binder, Translation* out);
 
+  /// Fingerprint-tier miss: re-binds the parameterized statement, emits
+  /// both the concrete SQL and the `$n` template, verifies the template
+  /// reproduces the concrete SQL, and populates the cache. Any failure
+  /// falls back to the plain path (marking the fingerprint uncacheable
+  /// when the parameterized pipeline itself broke).
+  Result<Translation> TranslateFingerprintMiss(const std::string& q_text,
+                                               const AstPtr& stmt,
+                                               const QueryFingerprint& fp,
+                                               double parse_us);
+
+  /// True for `f[...]` statements where f resolves to a stored function
+  /// (unrolling has side effects, so those bypass the cache).
+  bool IsFunctionInvocation(const AstPtr& stmt) const;
+
   std::string NextTempName();
 
   MetadataInterface* mdi_;
   VariableScopes* scopes_;
   Options options_;
   BackendExec execute_backend_;
+  TranslationCache* cache_ = nullptr;
   int temp_counter_ = 0;
 };
 

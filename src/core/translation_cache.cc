@@ -1,0 +1,356 @@
+#include "core/translation_cache.h"
+
+#include <cctype>
+
+#include "common/strings.h"
+#include "qlang/fingerprint.h"
+#include "serializer/serializer.h"
+
+namespace hyperq {
+
+TranslationCache::TranslationCache() : TranslationCache(Options()) {}
+
+TranslationCache::TranslationCache(Options options)
+    : options_(options),
+      enabled_(options.enabled),
+      hits_(MetricsRegistry::Global().GetCounter("translation_cache.hits")),
+      hits_exact_(MetricsRegistry::Global().GetCounter(
+          "translation_cache.exact_hits")),
+      misses_(
+          MetricsRegistry::Global().GetCounter("translation_cache.misses")),
+      inserts_(
+          MetricsRegistry::Global().GetCounter("translation_cache.inserts")),
+      evictions_(MetricsRegistry::Global().GetCounter(
+          "translation_cache.evictions")),
+      invalidations_(MetricsRegistry::Global().GetCounter(
+          "translation_cache.invalidations")),
+      uncacheable_(MetricsRegistry::Global().GetCounter(
+          "translation_cache.uncacheable")) {
+  if (options_.shard_count == 0) options_.shard_count = 1;
+  if (options_.max_variants == 0) options_.max_variants = 1;
+  shards_.reserve(options_.shard_count);
+  for (size_t i = 0; i < options_.shard_count; ++i) {
+    shards_.push_back(std::make_unique<Shard>());
+  }
+}
+
+bool TranslationCache::AnyShadowed(const std::vector<std::string>& names,
+                                   const ShadowFn& shadowed) {
+  if (!shadowed) return false;
+  for (const auto& n : names) {
+    if (shadowed(n)) return true;
+  }
+  return false;
+}
+
+bool TranslationCache::LookupExact(const std::string& q_text,
+                                   const ShadowFn& shadowed,
+                                   Translation* out) {
+  if (!enabled()) return false;
+  Shard& shard = ShardFor(FingerprintHash(q_text));
+  const uint64_t version = CurrentVersion();
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.exact.find(q_text);
+  if (it == shard.exact.end()) return false;
+  const Cached& c = it->second.value;
+  if (c.version != version) {
+    shard.exact_lru.erase(it->second.lru_it);
+    shard.exact.erase(it);
+    invalidations_->Increment();
+    return false;
+  }
+  if (AnyShadowed(c.ref_names, shadowed)) return false;
+  shard.exact_lru.splice(shard.exact_lru.begin(), shard.exact_lru,
+                         it->second.lru_it);
+  out->setup_sql.clear();
+  out->result_sql = c.sql;
+  out->shape = c.shape;
+  out->key_columns = c.key_columns;
+  out->timings = StageTimings{};
+  hits_->Increment();
+  hits_exact_->Increment();
+  return true;
+}
+
+void TranslationCache::InsertExact(const std::string& q_text,
+                                   const Translation& t,
+                                   std::vector<std::string> ref_tables,
+                                   std::vector<std::string> ref_names) {
+  if (!enabled()) return;
+  Shard& shard = ShardFor(FingerprintHash(q_text));
+  const uint64_t version = CurrentVersion();
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.exact.find(q_text);
+  if (it == shard.exact.end()) {
+    shard.exact_lru.push_front(q_text);
+    it = shard.exact.emplace(q_text, ExactEntry{}).first;
+    it->second.lru_it = shard.exact_lru.begin();
+    inserts_->Increment();
+  } else {
+    shard.exact_lru.splice(shard.exact_lru.begin(), shard.exact_lru,
+                           it->second.lru_it);
+  }
+  Cached& c = it->second.value;
+  c.sql = t.result_sql;
+  c.shape = t.shape;
+  c.key_columns = t.key_columns;
+  c.pins.clear();
+  c.ref_tables = std::move(ref_tables);
+  c.ref_names = std::move(ref_names);
+  c.version = version;
+  while (shard.exact.size() > options_.exact_capacity_per_shard) {
+    const std::string& victim = shard.exact_lru.back();
+    shard.exact.erase(victim);
+    shard.exact_lru.pop_back();
+    evictions_->Increment();
+  }
+}
+
+TranslationCache::FpResult TranslationCache::Lookup(
+    uint64_t hash, const std::string& fp_text,
+    const std::vector<QValue>& params, const ShadowFn& shadowed,
+    Translation* out) {
+  if (!enabled()) return FpResult::kUncacheable;
+  Shard& shard = ShardFor(hash);
+  const uint64_t version = CurrentVersion();
+
+  // Render outside the lock: literal formatting has no shared state.
+  Result<std::vector<std::string>> rendered = RenderParams(params);
+
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.fp.find(fp_text);
+  if (it == shard.fp.end()) {
+    misses_->Increment();
+    return FpResult::kMiss;
+  }
+  shard.fp_lru.splice(shard.fp_lru.begin(), shard.fp_lru, it->second.lru_it);
+  if (it->second.uncacheable) return FpResult::kUncacheable;
+  if (!rendered.ok()) {
+    // A lifted literal we cannot render can never match or instantiate.
+    misses_->Increment();
+    return FpResult::kMiss;
+  }
+  auto& variants = it->second.variants;
+  for (auto v = variants.begin(); v != variants.end();) {
+    if (v->version != version) {
+      v = variants.erase(v);
+      invalidations_->Increment();
+      continue;
+    }
+    bool pins_match = true;
+    for (const auto& [slot, value] : v->pins) {
+      if (slot < 0 || static_cast<size_t>(slot) >= rendered->size() ||
+          (*rendered)[slot] != value) {
+        pins_match = false;
+        break;
+      }
+    }
+    if (!pins_match || AnyShadowed(v->ref_names, shadowed)) {
+      ++v;
+      continue;
+    }
+    Result<std::string> sql = Instantiate(v->sql, *rendered);
+    if (!sql.ok()) {
+      // Verified at insert; a failure here means the entry is corrupt.
+      v = variants.erase(v);
+      continue;
+    }
+    out->setup_sql.clear();
+    out->result_sql = std::move(*sql);
+    out->shape = v->shape;
+    out->key_columns = v->key_columns;
+    out->timings = StageTimings{};
+    hits_->Increment();
+    return FpResult::kHit;
+  }
+  misses_->Increment();
+  return FpResult::kMiss;
+}
+
+void TranslationCache::Insert(uint64_t hash, const std::string& fp_text,
+                              const std::vector<std::string>& rendered_params,
+                              const Insertable& entry) {
+  if (!enabled()) return;
+  Shard& shard = ShardFor(hash);
+  const uint64_t version = CurrentVersion();
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.fp.find(fp_text);
+  if (it == shard.fp.end()) {
+    shard.fp_lru.push_front(fp_text);
+    it = shard.fp.emplace(fp_text, FpEntry{}).first;
+    it->second.lru_it = shard.fp_lru.begin();
+  } else {
+    shard.fp_lru.splice(shard.fp_lru.begin(), shard.fp_lru,
+                        it->second.lru_it);
+  }
+  FpEntry& e = it->second;
+  if (e.uncacheable) return;
+  Cached c;
+  c.sql = entry.sql_template;
+  c.shape = entry.shape;
+  c.key_columns = entry.key_columns;
+  c.pins.reserve(entry.pinned_slots.size());
+  for (int slot : entry.pinned_slots) {
+    if (slot < 0 || static_cast<size_t>(slot) >= rendered_params.size()) {
+      // A pin outside the parameter vector can never be re-checked.
+      e.uncacheable = true;
+      e.reason = "pinned slot outside parameter vector";
+      e.variants.clear();
+      uncacheable_->Increment();
+      return;
+    }
+    c.pins.emplace_back(slot, rendered_params[slot]);
+  }
+  c.ref_tables = entry.ref_tables;
+  c.ref_names = entry.ref_names;
+  c.version = version;
+  if (e.variants.size() >= options_.max_variants) {
+    e.variants.erase(e.variants.begin());
+    evictions_->Increment();
+  }
+  e.variants.push_back(std::move(c));
+  inserts_->Increment();
+  while (shard.fp.size() > options_.capacity_per_shard) {
+    const std::string& victim = shard.fp_lru.back();
+    shard.fp.erase(victim);
+    shard.fp_lru.pop_back();
+    evictions_->Increment();
+  }
+}
+
+void TranslationCache::MarkUncacheable(uint64_t hash,
+                                       const std::string& fp_text,
+                                       std::string reason) {
+  Shard& shard = ShardFor(hash);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.fp.find(fp_text);
+  if (it == shard.fp.end()) {
+    shard.fp_lru.push_front(fp_text);
+    it = shard.fp.emplace(fp_text, FpEntry{}).first;
+    it->second.lru_it = shard.fp_lru.begin();
+  }
+  FpEntry& e = it->second;
+  if (!e.uncacheable) uncacheable_->Increment();
+  e.uncacheable = true;
+  e.reason = std::move(reason);
+  e.variants.clear();
+  while (shard.fp.size() > options_.capacity_per_shard) {
+    const std::string& victim = shard.fp_lru.back();
+    shard.fp.erase(victim);
+    shard.fp_lru.pop_back();
+    evictions_->Increment();
+  }
+}
+
+void TranslationCache::InvalidateTable(const std::string& table) {
+  for (auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    for (auto it = shard->fp.begin(); it != shard->fp.end();) {
+      auto& variants = it->second.variants;
+      for (auto v = variants.begin(); v != variants.end();) {
+        bool refs = false;
+        for (const auto& t : v->ref_tables) {
+          if (t == table) {
+            refs = true;
+            break;
+          }
+        }
+        if (refs) {
+          v = variants.erase(v);
+          invalidations_->Increment();
+        } else {
+          ++v;
+        }
+      }
+      // Keep uncacheable markers; drop entries left with no variants.
+      if (!it->second.uncacheable && variants.empty()) {
+        shard->fp_lru.erase(it->second.lru_it);
+        it = shard->fp.erase(it);
+      } else {
+        ++it;
+      }
+    }
+    for (auto it = shard->exact.begin(); it != shard->exact.end();) {
+      bool refs = false;
+      for (const auto& t : it->second.value.ref_tables) {
+        if (t == table) {
+          refs = true;
+          break;
+        }
+      }
+      if (refs) {
+        shard->exact_lru.erase(it->second.lru_it);
+        it = shard->exact.erase(it);
+        invalidations_->Increment();
+      } else {
+        ++it;
+      }
+    }
+  }
+}
+
+void TranslationCache::Clear() {
+  for (auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    size_t dropped = shard->fp.size() + shard->exact.size();
+    shard->fp.clear();
+    shard->fp_lru.clear();
+    shard->exact.clear();
+    shard->exact_lru.clear();
+    invalidations_->Increment(dropped);
+  }
+}
+
+Result<std::vector<std::string>> TranslationCache::RenderParams(
+    const std::vector<QValue>& params) {
+  std::vector<std::string> out;
+  out.reserve(params.size());
+  for (const QValue& p : params) {
+    HQ_ASSIGN_OR_RETURN(std::string s, Serializer::RenderConstant(p));
+    out.push_back(std::move(s));
+  }
+  return out;
+}
+
+Result<std::string> TranslationCache::Instantiate(
+    const std::string& sql_template,
+    const std::vector<std::string>& rendered_params) {
+  std::string out;
+  out.reserve(sql_template.size() + 16 * rendered_params.size());
+  for (size_t i = 0; i < sql_template.size();) {
+    char c = sql_template[i];
+    if (c != '$' || i + 1 >= sql_template.size() ||
+        !std::isdigit(static_cast<unsigned char>(sql_template[i + 1]))) {
+      out.push_back(c);
+      ++i;
+      continue;
+    }
+    size_t j = i + 1;
+    size_t n = 0;
+    while (j < sql_template.size() &&
+           std::isdigit(static_cast<unsigned char>(sql_template[j]))) {
+      n = n * 10 + static_cast<size_t>(sql_template[j] - '0');
+      ++j;
+    }
+    if (n == 0 || n > rendered_params.size()) {
+      return InternalError(StrCat("translation cache: placeholder $", n,
+                                  " outside parameter vector of size ",
+                                  rendered_params.size()));
+    }
+    out += rendered_params[n - 1];
+    i = j;
+  }
+  return out;
+}
+
+TranslationCache::Sizes TranslationCache::sizes() const {
+  Sizes s;
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    s.fingerprint += shard->fp.size();
+    s.exact += shard->exact.size();
+  }
+  return s;
+}
+
+}  // namespace hyperq

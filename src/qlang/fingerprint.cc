@@ -1,0 +1,344 @@
+#include "qlang/fingerprint.h"
+
+#include "common/strings.h"
+#include "qval/qtype.h"
+
+namespace hyperq {
+
+namespace {
+
+/// True for literal atoms the normalizer lifts into the parameter vector.
+/// `structural_pos` marks positions whose direct literals must stay in the
+/// structure (elements of list literals).
+bool LiftableAtom(const AstNode& n, bool structural_pos) {
+  return n.kind == AstKind::kLiteral && !structural_pos &&
+         n.literal.is_atom() && !n.literal.IsNullAtom();
+}
+
+// ---------------------------------------------------------------------------
+// Fingerprint rendering
+// ---------------------------------------------------------------------------
+
+/// Renders the normalized structure of a statement into `out`, lifting
+/// literal atoms into `params`. The traversal order here defines the slot
+/// numbering; ParameterizeStatement below MUST visit nodes in the same
+/// order.
+class FingerprintWriter {
+ public:
+  FingerprintWriter(std::string* out, std::vector<QValue>* params)
+      : out_(out), params_(params) {}
+
+  bool ok() const { return ok_; }
+  const std::string& reason() const { return reason_; }
+
+  void Visit(const AstPtr& node, bool structural_pos = false) {
+    if (!ok_) return;
+    if (!node) {
+      *out_ += "~";
+      return;
+    }
+    const AstNode& n = *node;
+    switch (n.kind) {
+      case AstKind::kLiteral:
+        if (LiftableAtom(n, structural_pos)) {
+          // Value lifted; the type stays (types drive operator binding).
+          Append("?", QTypeName(n.literal.type()));
+          params_->push_back(n.literal);
+        } else {
+          Append("(lit:", QTypeName(n.literal.type()),
+                 n.literal.is_atom() ? ":a:" : ":l:", n.literal.ToString(),
+                 ")");
+        }
+        return;
+      case AstKind::kParam:
+        // Fingerprinting an already-parameterized tree would double-lift.
+        Fail("unexpected kParam node");
+        return;
+      case AstKind::kVarRef:
+        Append("(var:", n.name, ")");
+        return;
+      case AstKind::kFnRef:
+        Append("(fn:", n.name, ")");
+        return;
+      case AstKind::kAdverbed:
+        Append("(adv:", n.name, " ");
+        Visit(n.child);
+        Append(")");
+        return;
+      case AstKind::kDyad:
+        Append("(dyad:", n.name, " ");
+        Visit(n.lhs);
+        Append(" ");
+        Visit(n.rhs);
+        Append(")");
+        return;
+      case AstKind::kApply:
+        Append("(apply ");
+        Visit(n.child);
+        for (const auto& a : n.args) {
+          Append(" ");
+          Visit(a);
+        }
+        Append(")");
+        return;
+      case AstKind::kCond:
+        Append("(cond");
+        for (const auto& a : n.args) {
+          Append(" ");
+          Visit(a);
+        }
+        Append(")");
+        return;
+      case AstKind::kListLit:
+        Append("(list");
+        for (const auto& a : n.args) {
+          Append(" ");
+          // Direct literal elements stay structural: list shapes feed
+          // constructs that inspect the AST (fby, argument lists).
+          Visit(a, /*structural_pos=*/true);
+        }
+        Append(")");
+        return;
+      case AstKind::kSeq:
+        Append("(seq");
+        for (const auto& a : n.args) {
+          Append(" ");
+          Visit(a);
+        }
+        Append(")");
+        return;
+      case AstKind::kQuery:
+        VisitQuery(n);
+        return;
+      // Side-effecting or shape-inspected constructs: never cached.
+      case AstKind::kAssign:
+      case AstKind::kGlobalAssign:
+        Fail("assignments have side effects");
+        return;
+      case AstKind::kLambda:
+        Fail("function definitions are scope mutations");
+        return;
+      case AstKind::kReturn:
+        Fail("return outside a cached context");
+        return;
+      case AstKind::kTableLit:
+        Fail("table literals are not parameterizable");
+        return;
+    }
+    Fail("unknown AST node kind");
+  }
+
+ private:
+  void VisitQuery(const AstNode& n) {
+    const char* kind = "select";
+    if (n.query_kind == QueryKind::kExec) kind = "exec";
+    if (n.query_kind == QueryKind::kUpdate) kind = "update";
+    if (n.query_kind == QueryKind::kDelete) kind = "delete";
+    Append("(", kind);
+    if (n.query_limit) {
+      Append(" limit ");
+      Visit(n.query_limit);
+    }
+    if (n.query_order_dir != 0) {
+      Append(" ord:", n.query_order_col, ":",
+             n.query_order_dir > 0 ? "+" : "-");
+    }
+    VisitNamed(" cols", n.select_list);
+    VisitNamed(" by", n.by_list);
+    if (!n.where_list.empty()) {
+      Append(" where");
+      for (const auto& w : n.where_list) {
+        Append(" ");
+        Visit(w);
+      }
+    }
+    Append(" from ");
+    Visit(n.from);
+    if (!n.delete_cols.empty()) {
+      Append(" delcols:", Join(n.delete_cols, ","));
+    }
+    Append(")");
+  }
+
+  void VisitNamed(const char* tag, const std::vector<NamedExpr>& exprs) {
+    if (exprs.empty()) return;
+    Append(tag);
+    for (const auto& ne : exprs) {
+      Append(" (", ne.name.empty() ? "_" : ne.name, " ");
+      Visit(ne.expr);
+      Append(")");
+    }
+  }
+
+  template <typename... Args>
+  void Append(const Args&... args) {
+    *out_ += StrCat(args...);
+  }
+
+  void Fail(const char* why) {
+    if (ok_) reason_ = why;
+    ok_ = false;
+  }
+
+  std::string* out_;
+  std::vector<QValue>* params_;
+  bool ok_ = true;
+  std::string reason_;
+};
+
+// ---------------------------------------------------------------------------
+// Parameterizing rewrite
+// ---------------------------------------------------------------------------
+
+/// Copy-on-write rewrite replacing lifted literals with kParam nodes. Slot
+/// assignment follows the identical traversal order as FingerprintWriter.
+class Parameterizer {
+ public:
+  AstPtr Rewrite(const AstPtr& node, bool structural_pos = false) {
+    if (!node) return node;
+    const AstNode& n = *node;
+    switch (n.kind) {
+      case AstKind::kLiteral:
+        if (LiftableAtom(n, structural_pos)) {
+          return MakeParam(n.literal, next_slot_++, n.loc);
+        }
+        return node;
+      case AstKind::kAdverbed: {
+        AstPtr child = Rewrite(n.child);
+        return child == n.child ? node : Clone(n, [&](AstNode* c) {
+          c->child = std::move(child);
+        });
+      }
+      case AstKind::kDyad: {
+        AstPtr lhs = Rewrite(n.lhs);
+        AstPtr rhs = Rewrite(n.rhs);
+        if (lhs == n.lhs && rhs == n.rhs) return node;
+        return Clone(n, [&](AstNode* c) {
+          c->lhs = std::move(lhs);
+          c->rhs = std::move(rhs);
+        });
+      }
+      case AstKind::kApply: {
+        AstPtr child = Rewrite(n.child);
+        bool changed = child != n.child;
+        std::vector<AstPtr> args = RewriteAll(n.args, false, &changed);
+        if (!changed) return node;
+        return Clone(n, [&](AstNode* c) {
+          c->child = std::move(child);
+          c->args = std::move(args);
+        });
+      }
+      case AstKind::kCond:
+      case AstKind::kSeq: {
+        bool changed = false;
+        std::vector<AstPtr> args = RewriteAll(n.args, false, &changed);
+        if (!changed) return node;
+        return Clone(n, [&](AstNode* c) { c->args = std::move(args); });
+      }
+      case AstKind::kListLit: {
+        bool changed = false;
+        std::vector<AstPtr> args = RewriteAll(n.args, true, &changed);
+        if (!changed) return node;
+        return Clone(n, [&](AstNode* c) { c->args = std::move(args); });
+      }
+      case AstKind::kQuery: {
+        bool changed = false;
+        AstPtr limit;
+        if (n.query_limit) {
+          limit = Rewrite(n.query_limit);
+          changed |= limit != n.query_limit;
+        }
+        std::vector<NamedExpr> sel = RewriteNamed(n.select_list, &changed);
+        std::vector<NamedExpr> by = RewriteNamed(n.by_list, &changed);
+        std::vector<AstPtr> where = RewriteAll(n.where_list, false, &changed);
+        AstPtr from = Rewrite(n.from);
+        changed |= from != n.from;
+        if (!changed) return node;
+        return Clone(n, [&](AstNode* c) {
+          c->query_limit = std::move(limit);
+          c->select_list = std::move(sel);
+          c->by_list = std::move(by);
+          c->where_list = std::move(where);
+          c->from = std::move(from);
+        });
+      }
+      // Terminals and uncacheable kinds (the fingerprint pass rejected the
+      // latter before a rewrite is ever requested).
+      default:
+        return node;
+    }
+  }
+
+ private:
+  template <typename Fn>
+  static AstPtr Clone(const AstNode& n, Fn mutate) {
+    auto copy = std::make_shared<AstNode>(n);
+    mutate(copy.get());
+    return copy;
+  }
+
+  std::vector<AstPtr> RewriteAll(const std::vector<AstPtr>& nodes,
+                                 bool structural_pos, bool* changed) {
+    std::vector<AstPtr> out;
+    out.reserve(nodes.size());
+    for (const auto& a : nodes) {
+      AstPtr r = Rewrite(a, structural_pos);
+      *changed |= r != a;
+      out.push_back(std::move(r));
+    }
+    return out;
+  }
+
+  std::vector<NamedExpr> RewriteNamed(const std::vector<NamedExpr>& exprs,
+                                      bool* changed) {
+    std::vector<NamedExpr> out;
+    out.reserve(exprs.size());
+    for (const auto& ne : exprs) {
+      AstPtr r = Rewrite(ne.expr);
+      *changed |= r != ne.expr;
+      out.push_back(NamedExpr{ne.name, std::move(r)});
+    }
+    return out;
+  }
+
+  int next_slot_ = 0;
+};
+
+}  // namespace
+
+uint64_t FingerprintHash(const std::string& text) {
+  uint64_t h = 1469598103934665603ULL;  // FNV offset basis
+  for (unsigned char c : text) {
+    h ^= c;
+    h *= 1099511628211ULL;  // FNV prime
+  }
+  return h;
+}
+
+QueryFingerprint FingerprintProgram(const std::vector<AstPtr>& stmts) {
+  QueryFingerprint fp;
+  if (stmts.size() != 1) {
+    fp.reason = stmts.empty() ? "empty program"
+                              : "multi-statement programs materialize "
+                                "intermediate state";
+    return fp;
+  }
+  FingerprintWriter writer(&fp.text, &fp.params);
+  writer.Visit(stmts[0]);
+  if (!writer.ok()) {
+    fp.text.clear();
+    fp.params.clear();
+    fp.reason = writer.reason();
+    return fp;
+  }
+  fp.cacheable = true;
+  fp.hash = FingerprintHash(fp.text);
+  return fp;
+}
+
+AstPtr ParameterizeStatement(const AstPtr& stmt) {
+  Parameterizer p;
+  return p.Rewrite(stmt);
+}
+
+}  // namespace hyperq

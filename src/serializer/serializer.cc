@@ -103,7 +103,7 @@ std::string Serializer::QuoteLiteral(const std::string& text) {
   return out;
 }
 
-Result<std::string> Serializer::RenderConst(const QValue& v) {
+Result<std::string> Serializer::RenderConstant(const QValue& v) {
   if (!v.is_atom()) {
     // A char list is a q string: it renders as a text literal.
     if (v.type() == QType::kChar) {
@@ -174,7 +174,11 @@ Result<std::string> Serializer::RenderScalarTwoSided(
       [&](const ScalarPtr& node) -> Result<std::string> {
     switch (node->kind) {
       case ScalarKind::kConst:
-        return RenderConst(node->value);
+        if (param_mode_ && node->param_slot >= 0) {
+          emitted_slots_.push_back(node->param_slot);
+          return StrCat("$", node->param_slot + 1);
+        }
+        return RenderConstant(node->value);
       case ScalarKind::kColRef: {
         auto l = left_cols.find(node->col);
         if (l != left_cols.end()) {
@@ -216,6 +220,7 @@ Result<std::string> Serializer::RenderScalarTwoSided(
         }
         if (node->func == "count_star") return StrCat(name, "(*)");
         std::vector<std::string> args;
+        args.reserve(node->args.size());
         for (const auto& a : node->args) {
           HQ_ASSIGN_OR_RETURN(std::string s, render(a));
           args.push_back(std::move(s));
@@ -230,6 +235,7 @@ Result<std::string> Serializer::RenderScalarTwoSided(
                                     node->func, "' has no SQL spelling"));
         }
         std::vector<std::string> args;
+        args.reserve(node->args.size());
         for (const auto& a : node->args) {
           HQ_ASSIGN_OR_RETURN(std::string s, render(a));
           args.push_back(std::move(s));
@@ -267,17 +273,22 @@ Result<std::string> Serializer::RenderScalarTwoSided(
           // args[1] is a constant list, expanded inline rather than
           // rendered as a scalar constant.
           HQ_ASSIGN_OR_RETURN(std::string lhs, render(node->args[0]));
+          if (param_mode_ && node->args[1]->param_slot >= 0) {
+            baked_slots_.push_back(node->args[1]->param_slot);
+          }
           const QValue& list = node->args[1]->value;
           std::vector<std::string> items;
+          items.reserve(list.Count());
           for (size_t i = 0; i < list.Count(); ++i) {
             HQ_ASSIGN_OR_RETURN(std::string item,
-                                RenderConst(list.ElementAt(i)));
+                                RenderConstant(list.ElementAt(i)));
             items.push_back(std::move(item));
           }
           if (items.empty()) return std::string("FALSE");
           return StrCat("(", lhs, " IN (", Join(items, ", "), "))");
         }
         std::vector<std::string> a;
+        a.reserve(node->args.size());
         for (const auto& arg : node->args) {
           HQ_ASSIGN_OR_RETURN(std::string s, render(arg));
           a.push_back(std::move(s));
@@ -345,11 +356,15 @@ Result<std::string> Serializer::RenderScalarTwoSided(
         }
         if (f == "like") return infix("LIKE");
         if (f == "in") {
+          if (param_mode_ && node->args[1]->param_slot >= 0) {
+            baked_slots_.push_back(node->args[1]->param_slot);
+          }
           const QValue& list = node->args[1]->value;
           std::vector<std::string> items;
+          items.reserve(list.Count());
           for (size_t i = 0; i < list.Count(); ++i) {
             HQ_ASSIGN_OR_RETURN(std::string item,
-                                RenderConst(list.ElementAt(i)));
+                                RenderConstant(list.ElementAt(i)));
             items.push_back(std::move(item));
           }
           if (items.empty()) return std::string("FALSE");

@@ -3,6 +3,7 @@
 
 #include <map>
 #include <string>
+#include <vector>
 
 #include "common/status.h"
 #include "xtra/operator.h"
@@ -20,8 +21,22 @@ class Serializer {
   /// Serializes the tree into one SELECT statement (no trailing ';').
   Result<std::string> Serialize(const xtra::XtraPtr& root);
 
+  /// Parameterized rendering for the translation cache: constants tagged
+  /// with a param_slot render as `$slot+1` placeholders instead of their
+  /// values. Slots actually emitted as placeholders are recorded in
+  /// emitted_slots(); slots whose values were consumed inline anyway
+  /// (e.g. an `in` list expansion) land in baked_slots() so the cache can
+  /// refuse to parameterize them.
+  void EnableParamMode() { param_mode_ = true; }
+  const std::vector<int>& emitted_slots() const { return emitted_slots_; }
+  const std::vector<int>& baked_slots() const { return baked_slots_; }
+
   /// Maps a Q type to the SQL type name used in casts and DDL.
   static const char* SqlTypeNameFor(QType type);
+
+  /// Renders a constant atom as a SQL literal (the translation cache uses
+  /// this to splice lifted literals back into a cached statement).
+  static Result<std::string> RenderConstant(const QValue& v);
 
   /// Quotes an identifier for the generated SQL.
   static std::string QuoteIdent(const std::string& name);
@@ -47,9 +62,10 @@ class Serializer {
       const std::string& left_alias,
       const std::map<xtra::ColId, std::string>& right_cols,
       const std::string& right_alias);
-  Result<std::string> RenderConst(const QValue& v);
-
   int next_alias_ = 0;
+  bool param_mode_ = false;
+  std::vector<int> emitted_slots_;
+  std::vector<int> baked_slots_;
 };
 
 }  // namespace hyperq

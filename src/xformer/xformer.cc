@@ -192,6 +192,9 @@ Status Xformer::PruneColumns(const XtraPtr& op,
       if (op->ord_col != kNoCol && op->FindOutput(op->ord_col) == nullptr) {
         op->ord_col = kNoCol;
       }
+      // A projection of pure constants (e.g. a scalar function body) has
+      // no input to prune.
+      if (op->children.empty() || !op->children[0]) return Status::OK();
       std::vector<ColId> child_req;
       CollectRefsOf(*op, &child_req);
       return PruneColumns(op->children[0], child_req);
@@ -199,6 +202,7 @@ Status Xformer::PruneColumns(const XtraPtr& op,
     case XtraKind::kFilter:
     case XtraKind::kSort:
     case XtraKind::kLimit: {
+      if (op->children.empty() || !op->children[0]) return Status::OK();
       std::vector<ColId> child_req(req.begin(), req.end());
       CollectRefsOf(*op, &child_req);
       HQ_RETURN_IF_ERROR(PruneColumns(op->children[0], child_req));

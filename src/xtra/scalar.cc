@@ -14,6 +14,16 @@ ScalarPtr MakeConst(QValue v) {
   return e;
 }
 
+ScalarPtr MakeParamConst(QValue v, int slot) {
+  auto e = std::make_shared<ScalarExpr>();
+  e->kind = ScalarKind::kConst;
+  e->type = v.type();
+  e->nullable = v.IsNullAtom();
+  e->value = std::move(v);
+  e->param_slot = slot;
+  return e;
+}
+
 ScalarPtr MakeColRef(ColId id, std::string name, QType type, bool nullable) {
   auto e = std::make_shared<ScalarExpr>();
   e->kind = ScalarKind::kColRef;

@@ -49,6 +49,10 @@ struct ScalarExpr {
 
   // kConst
   QValue value;
+  /// >= 0 when this constant is a lifted translation-cache parameter: the
+  /// serializer's parameterized mode renders it as a `$slot+1` placeholder
+  /// instead of its value.
+  int param_slot = -1;
 
   // kColRef
   ColId col = kNoCol;
@@ -77,6 +81,8 @@ struct ScalarExpr {
 };
 
 ScalarPtr MakeConst(QValue v);
+/// A constant tagged as translation-cache parameter `slot`.
+ScalarPtr MakeParamConst(QValue v, int slot);
 ScalarPtr MakeColRef(ColId id, std::string name, QType type, bool nullable);
 ScalarPtr MakeFunc(std::string func, std::vector<ScalarPtr> args, QType type);
 ScalarPtr MakeAgg(std::string func, std::vector<ScalarPtr> args, QType type);

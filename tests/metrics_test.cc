@@ -268,19 +268,25 @@ TEST_F(StatsBuiltinTest, UnknownBuiltinFailsCleanly) {
 }
 
 TEST_F(StatsBuiltinTest, CacheHitsShowUpAfterRepeatedQueries) {
+  // Identical repeats are served by the translation cache; a structurally
+  // different query over the same table re-binds and hits the MDI cache.
   for (int i = 0; i < 4; ++i) {
     ASSERT_TRUE(harness_.hyperq().Query("select from trades").ok());
   }
+  ASSERT_TRUE(harness_.hyperq().Query("select Price from trades").ok());
   Result<QValue> stats = harness_.hyperq().Query(".hyperq.stats[]");
   ASSERT_TRUE(stats.ok());
   const QTable& table = stats->Table();
   const std::vector<std::string>& metric = table.columns[0].SymsView();
   const std::vector<int64_t>& count = table.columns[2].Ints();
-  int64_t hits = -1;
+  int64_t mdi_hits = -1;
+  int64_t translation_hits = -1;
   for (size_t i = 0; i < metric.size(); ++i) {
-    if (metric[i] == "mdi.cache_hits") hits = count[i];
+    if (metric[i] == "mdi.cache_hits") mdi_hits = count[i];
+    if (metric[i] == "translation_cache.hits") translation_hits = count[i];
   }
-  EXPECT_GT(hits, 0);
+  EXPECT_GT(mdi_hits, 0);
+  EXPECT_GT(translation_hits, 0);
 }
 
 }  // namespace

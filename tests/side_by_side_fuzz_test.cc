@@ -2,6 +2,7 @@
 
 #include <optional>
 
+#include "common/metrics.h"
 #include "common/strings.h"
 #include "testing/market_data.h"
 #include "testing/side_by_side.h"
@@ -190,6 +191,36 @@ TEST_P(SideBySideFuzz, RandomQueriesAgree) {
   // The generator must produce mostly executable queries, or the sweep
   // proves nothing.
   EXPECT_GE(checked, 20) << "too few queries actually executed";
+}
+
+/// Every query runs twice: the second run is served by the translation
+/// cache (exact or fingerprint tier) and must produce byte-identical SQL
+/// and identical results. Single statements only — pipelines materialize
+/// HQ_TEMP_<n> variables whose generated names legitimately differ between
+/// runs.
+TEST_P(SideBySideFuzz, HotCacheResultsMatchColdResults) {
+  Counter* hits =
+      MetricsRegistry::Global().GetCounter("translation_cache.hits");
+  uint64_t hits_before = hits->value();
+  int checked = 0;
+  for (int k = 0; k < 30; ++k) {
+    std::string q = RandomQuery();
+    SideBySideHarness::Comparison cold = harness_.Run(q);
+    SideBySideHarness::Comparison hot = harness_.Run(q);
+    EXPECT_EQ(hot.match, cold.match) << "seed " << GetParam() << ": " << q;
+    EXPECT_EQ(hot.both_failed, cold.both_failed) << q;
+    if (cold.both_failed) continue;
+    EXPECT_EQ(hot.sql, cold.sql)
+        << "seed " << GetParam() << " cached SQL diverged for: " << q;
+    EXPECT_TRUE(hot.hyperq_result == cold.hyperq_result)
+        << "seed " << GetParam() << " cached result diverged for: " << q
+        << "\ncold: " << cold.hyperq_result.ToString()
+        << "\nhot:  " << hot.hyperq_result.ToString();
+    ++checked;
+  }
+  EXPECT_GE(checked, 15) << "too few queries actually executed";
+  EXPECT_GT(hits->value(), hits_before)
+      << "the repeat runs never hit the translation cache";
 }
 
 TEST_P(SideBySideFuzz, MixedPipelinesAgree) {
