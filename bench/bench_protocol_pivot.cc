@@ -6,6 +6,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include <cmath>
+
 #include "bench/bench_main.h"
 
 #include "common/bytes.h"
@@ -108,6 +110,85 @@ void BM_PivotRowsToColumns(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * state.range(0));
 }
 BENCHMARK(BM_PivotRowsToColumns)->Arg(1000)->Arg(10000)->Arg(100000);
+
+/// The seed's per-cell pivot: one Datum materialized per cell, appended
+/// to the Q column one element at a time. Kept as a hand-rolled loop so
+/// the columnar fast paths below are measured against the original
+/// strategy rather than against themselves.
+void BM_PivotPerCellSeed(benchmark::State& state) {
+  Fixture f = MakeFixture(state.range(0));
+  size_t n = f.rows_fmt.data.row_count;
+  size_t cols = f.rows_fmt.columns.size();
+  for (auto _ : state) {
+    std::vector<QValue> out;
+    for (size_t c = 0; c < cols; ++c) {
+      switch (f.rows_fmt.columns[c].type) {
+        case sqldb::SqlType::kReal:
+        case sqldb::SqlType::kDouble: {
+          std::vector<double> v(n);
+          for (size_t r = 0; r < n; ++r) {
+            sqldb::Datum d = f.rows_fmt.data.At(r, c);
+            v[r] = d.is_null() ? std::nan("") : d.AsDouble();
+          }
+          out.push_back(QValue::FloatList(QType::kFloat, std::move(v)));
+          break;
+        }
+        case sqldb::SqlType::kVarchar: {
+          std::vector<std::string> v(n);
+          for (size_t r = 0; r < n; ++r) {
+            sqldb::Datum d = f.rows_fmt.data.At(r, c);
+            v[r] = d.is_null() ? "" : d.AsString();
+          }
+          out.push_back(QValue::Syms(std::move(v)));
+          break;
+        }
+        default: {  // integral family
+          std::vector<int64_t> v(n);
+          for (size_t r = 0; r < n; ++r) {
+            sqldb::Datum d = f.rows_fmt.data.At(r, c);
+            v[r] = d.is_null() ? kNullLong : d.AsInt();
+          }
+          out.push_back(QValue::IntList(QType::kLong, std::move(v)));
+          break;
+        }
+      }
+    }
+    benchmark::DoNotOptimize(out);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_PivotPerCellSeed)->Arg(1000)->Arg(10000)->Arg(100000);
+
+/// Columnar borrow: the lvalue overload copies typed column payloads
+/// wholesale (memcpy-ish vector copies) instead of pivoting cells.
+void BM_PivotColumnarBorrow(benchmark::State& state) {
+  Fixture f = MakeFixture(state.range(0));
+  for (auto _ : state) {
+    auto q = QValueFromResult(f.rows_fmt, ResultShape::kTable, {});
+    benchmark::DoNotOptimize(q);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_PivotColumnarBorrow)->Arg(1000)->Arg(10000)->Arg(100000);
+
+/// Columnar move: the rvalue overload adopts uniquely-owned column
+/// buffers outright — the steady-state path the CrossCompiler takes. The
+/// per-iteration result copy happens outside the timed region.
+void BM_PivotColumnarMove(benchmark::State& state) {
+  Fixture f = MakeFixture(state.range(0));
+  for (auto _ : state) {
+    state.PauseTiming();
+    sqldb::QueryResult fresh = f.rows_fmt;
+    for (auto& c : fresh.data.columns) {
+      c = std::make_shared<sqldb::Column>(*c);  // unique ownership
+    }
+    state.ResumeTiming();
+    auto q = QValueFromResult(std::move(fresh), ResultShape::kTable, {});
+    benchmark::DoNotOptimize(q);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_PivotColumnarMove)->Arg(1000)->Arg(10000)->Arg(100000);
 
 /// Whole result leg: pivot + QIPC encode (what the Endpoint does per
 /// response).

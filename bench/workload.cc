@@ -29,23 +29,38 @@ StoredTable BuildWide(const std::string& name, const char* prefix,
   }
   t.columns.push_back(TableColumn{kOrdColName, SqlType::kBigInt});
 
+  // Generate row-major (same RNG draw order as ever) into columnar
+  // buffers, then adopt them as the stored columns.
   int64_t time_ms = 9 * 3600000;
-  t.rows.reserve(rows);
+  std::vector<std::string> syms(rows);
+  std::vector<int64_t> times(with_time ? rows : 0);
+  std::vector<std::vector<double>> vals(cols, std::vector<double>(rows));
+  std::vector<int64_t> ord(rows);
   for (size_t r = 0; r < rows; ++r) {
-    std::vector<Datum> row;
-    row.reserve(t.columns.size());
     size_t sym = keyed ? r % symbols : rng->Below(symbols);
-    row.push_back(Datum::Varchar(StrCat("S", sym)));
+    syms[r] = StrCat("S", sym);
     if (with_time) {
       time_ms += static_cast<int64_t>(rng->Below(250));
-      row.push_back(Datum::Time(time_ms));
+      times[r] = time_ms;
     }
     for (size_t c = 0; c < cols; ++c) {
-      row.push_back(Datum::Double(rng->NextDouble()));
+      vals[c][r] = rng->NextDouble();
     }
-    row.push_back(Datum::BigInt(static_cast<int64_t>(r)));
-    t.rows.push_back(std::move(row));
+    ord[r] = static_cast<int64_t>(r);
   }
+  t.data.push_back(
+      sqldb::Column::FromStrings(SqlType::kVarchar, std::move(syms)));
+  if (with_time) {
+    t.data.push_back(sqldb::Column::FromInts(SqlType::kTime,
+                                             std::move(times)));
+  }
+  for (size_t c = 0; c < cols; ++c) {
+    t.data.push_back(
+        sqldb::Column::FromFloats(SqlType::kDouble, std::move(vals[c])));
+  }
+  t.data.push_back(sqldb::Column::FromInts(SqlType::kBigInt,
+                                           std::move(ord)));
+  t.row_count = rows;
   if (keyed) t.key_columns = {"sym"};
   t.sort_keys = {kOrdColName};
   return t;

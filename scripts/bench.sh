@@ -15,7 +15,8 @@ SMOKE=()
 echo "==> bench: configure + build"
 cmake -B build -S . >/dev/null
 cmake --build build -j "$JOBS" \
-  --target bench_translation_cache bench_fig6_translation_overhead >/dev/null
+  --target bench_translation_cache bench_fig6_translation_overhead \
+  bench_backend_exec >/dev/null
 
 echo "==> bench: translation cache hot path"
 ./build/bench/bench_translation_cache --json=BENCH_translation.json \
@@ -25,6 +26,10 @@ echo "==> bench: figure 6 translation overhead"
 ./build/bench/bench_fig6_translation_overhead --json=BENCH_fig6.json \
   "${SMOKE[@]}"
 
+echo "==> bench: backend executor (columnar + morsel parallelism)"
+./build/bench/bench_backend_exec --json=BENCH_backend.json "${SMOKE[@]}"
+
 echo "==> bench: artifacts"
 grep -o '"speedup_[a-z]*": [0-9.]*' BENCH_translation.json
 grep -o '"avg_overhead_pct": [0-9.]*' BENCH_fig6.json
+grep -c '"name": "BM_' BENCH_backend.json

@@ -1,7 +1,7 @@
 #!/usr/bin/env bash
 # CI entry point: tier-1 build + full test suite, then the concurrency
-# battery (endpoint stress + metrics) rebuilt and re-run under
-# ThreadSanitizer. Any TSAN report fails the run via -DHYPERQ_SANITIZE
+# battery (endpoint stress, metrics, worker pool, concurrent executors)
+# rebuilt and re-run under ThreadSanitizer. Any TSAN report fails the run via -DHYPERQ_SANITIZE
 # instrumentation and halt_on_error.
 #
 # Usage: scripts/ci.sh [--skip-tsan] [--bench-smoke]
@@ -40,7 +40,7 @@ echo "==> tsan: configure + build (build-tsan)"
 cmake -B build-tsan -S . -DHYPERQ_SANITIZE=thread >/dev/null
 cmake --build build-tsan -j "$JOBS" \
   --target endpoint_stress_test metrics_test endpoint_test \
-  translation_cache_test
+  translation_cache_test worker_pool_test exec_stress_test
 
 echo "==> tsan: concurrency battery"
 export TSAN_OPTIONS="halt_on_error=1 second_deadlock_stack=1"
@@ -48,5 +48,7 @@ export TSAN_OPTIONS="halt_on_error=1 second_deadlock_stack=1"
 ./build-tsan/tests/endpoint_test
 ./build-tsan/tests/endpoint_stress_test
 ./build-tsan/tests/translation_cache_test
+./build-tsan/tests/worker_pool_test
+./build-tsan/tests/exec_stress_test
 
 echo "==> ci: all green"

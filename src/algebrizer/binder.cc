@@ -1492,7 +1492,11 @@ Result<ScalarPtr> Binder::BindNamedCall(const std::string& name,
     HQ_ASSIGN_OR_RETURN(std::vector<ScalarPtr> a, bind_args());
     QType t = DeriveFuncType(name, a);
     if (name == "count") {
-      return MakeAgg("count", std::move(a), QType::kLong);
+      // Q `count` is list length: per group that is the group size,
+      // nulls included. SQL COUNT(col) skips NULLs, so lower to
+      // COUNT(*) instead (the argument only establishes the grouping
+      // context, it never changes the answer).
+      return MakeAgg("count_star", {}, QType::kLong);
     }
     return MakeAgg(name, std::move(a), t);
   }
@@ -1541,8 +1545,12 @@ Result<ScalarPtr> Binder::BindNamedCall(const std::string& name,
     // First element passes through: x - coalesce(lag(x), 0).
     ScalarPtr filled = MakeFunc(
         "coalesce", {std::move(lagged), MakeConst(QValue::Long(0))}, t);
-    return MakeFunc("sub", {x, std::move(filled)},
-                    DeriveFuncType("sub", {x, filled}));
+    ScalarPtr sub = MakeFunc("sub", {x, std::move(filled)},
+                             DeriveFuncType("sub", {x, filled}));
+    // Q `deltas` over temporal lists yields plain counts (longs), but the
+    // backend keeps temporal-minus-scalar temporal; cast to line up.
+    if (IsTemporal(t)) return MakeCast(std::move(sub), QType::kLong);
+    return sub;
   }
   if (name == "ratios") {
     HQ_ASSIGN_OR_RETURN(std::vector<ScalarPtr> a, bind_args());

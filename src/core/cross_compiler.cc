@@ -88,7 +88,7 @@ Result<QValue> CrossCompiler::Process(const std::string& q_text,
                        return Status::OK();
                      }
                      Result<QValue> v = QValueFromResult(
-                         backend_result, translation.shape,
+                         std::move(backend_result), translation.shape,
                          translation.key_columns);
                      if (!v.ok()) return v.status();
                      response = std::move(v).value();

@@ -84,18 +84,25 @@ Status LoadQTable(sqldb::Database* db, const std::string& name,
   stored.columns.push_back(
       sqldb::TableColumn{kOrdColName, SqlType::kBigInt});
 
-  stored.rows.reserve(rows);
-  for (size_t r = 0; r < rows; ++r) {
-    std::vector<Datum> row;
-    row.reserve(t.names.size() + 1);
-    for (size_t c = 0; c < t.names.size(); ++c) {
+  // Build the stored columns directly (column-major load; no row pivot).
+  stored.data.reserve(stored.columns.size());
+  for (size_t c = 0; c < t.names.size(); ++c) {
+    auto col = std::make_shared<sqldb::Column>();
+    col->Reserve(rows);
+    for (size_t r = 0; r < rows; ++r) {
       HQ_ASSIGN_OR_RETURN(Datum d,
                           DatumFromQ(t.columns[c], static_cast<int64_t>(r)));
-      row.push_back(std::move(d));
+      col->Append(d);
     }
-    row.push_back(Datum::BigInt(static_cast<int64_t>(r)));
-    stored.rows.push_back(std::move(row));
+    stored.data.push_back(std::move(col));
   }
+  {
+    std::vector<int64_t> ord(rows);
+    for (size_t r = 0; r < rows; ++r) ord[r] = static_cast<int64_t>(r);
+    stored.data.push_back(
+        sqldb::Column::FromInts(SqlType::kBigInt, std::move(ord)));
+  }
+  stored.row_count = rows;
   if (!key_columns.empty()) {
     stored.key_columns = key_columns;
   } else if (table_value.IsKeyedTable()) {
@@ -160,11 +167,13 @@ QValue QFromDatum(const Datum& d) {
 
 namespace {
 
-/// Builds a typed Q column from one result column (the row-to-column pivot
-/// of §4.2 / Figure 5).
-QValue ColumnFromRows(const sqldb::QueryResult& result, size_t col) {
+/// Per-cell pivot of one result column (the seed's row-to-column pivot of
+/// §4.2 / Figure 5). Fallback for columns whose storage does not match the
+/// declared type (mixed cells, refined types); reconstructs each Datum and
+/// keeps the historic coercion semantics exactly.
+QValue ColumnFromCells(const sqldb::QueryResult& result, size_t col) {
   SqlType t = result.columns[col].type;
-  size_t n = result.rows.size();
+  size_t n = result.data.row_count;
   switch (t) {
     case SqlType::kBoolean:
     case SqlType::kSmallInt:
@@ -176,7 +185,7 @@ QValue ColumnFromRows(const sqldb::QueryResult& result, size_t col) {
       QType qt = QTypeFromSqlType(t);
       std::vector<int64_t> v(n);
       for (size_t r = 0; r < n; ++r) {
-        const Datum& d = result.rows[r][col];
+        Datum d = result.data.At(r, col);
         v[r] = d.is_null() ? kNullLong : d.AsInt();
       }
       return QValue::IntList(qt, std::move(v));
@@ -185,7 +194,7 @@ QValue ColumnFromRows(const sqldb::QueryResult& result, size_t col) {
     case SqlType::kDouble: {
       std::vector<double> v(n);
       for (size_t r = 0; r < n; ++r) {
-        const Datum& d = result.rows[r][col];
+        Datum d = result.data.At(r, col);
         v[r] = d.is_null() ? std::nan("") : d.AsDouble();
       }
       return QValue::FloatList(QTypeFromSqlType(t), std::move(v));
@@ -193,7 +202,7 @@ QValue ColumnFromRows(const sqldb::QueryResult& result, size_t col) {
     case SqlType::kVarchar: {
       std::vector<std::string> v(n);
       for (size_t r = 0; r < n; ++r) {
-        const Datum& d = result.rows[r][col];
+        Datum d = result.data.At(r, col);
         v[r] = d.is_null() ? "" : d.AsString();
       }
       return QValue::Syms(std::move(v));
@@ -203,7 +212,7 @@ QValue ColumnFromRows(const sqldb::QueryResult& result, size_t col) {
     default: {
       std::vector<QValue> v(n);
       for (size_t r = 0; r < n; ++r) {
-        const Datum& d = result.rows[r][col];
+        Datum d = result.data.At(r, col);
         v[r] = d.is_null() ? QValue::Chars("") : QValue::Chars(d.AsString());
       }
       return QValue::Mixed(std::move(v));
@@ -211,15 +220,103 @@ QValue ColumnFromRows(const sqldb::QueryResult& result, size_t col) {
   }
 }
 
+/// Columnar pivot: when the backend column's storage matches the declared
+/// type family, the payload vector becomes the Q list body directly —
+/// moved when `may_move` and this result holds the only reference, copied
+/// wholesale otherwise. Null cells are patched to the Q null encodings the
+/// per-cell pivot produced (kNullLong / NaN / empty symbol).
+QValue ColumnFromResult(sqldb::QueryResult& result, size_t col,
+                        bool may_move) {
+  using Storage = sqldb::Column::Storage;
+  SqlType t = result.columns[col].type;
+  size_t n = result.data.row_count;
+  sqldb::ColumnPtr& cp = result.data.columns[col];
+  switch (t) {
+    case SqlType::kBoolean:
+    case SqlType::kSmallInt:
+    case SqlType::kInteger:
+    case SqlType::kBigInt:
+    case SqlType::kDate:
+    case SqlType::kTime:
+    case SqlType::kTimestamp: {
+      QType qt = QTypeFromSqlType(t);
+      if (cp->storage() == Storage::kEmpty) {
+        return QValue::IntList(qt, std::vector<int64_t>(n, kNullLong));
+      }
+      if (cp->storage() == Storage::kInt) {
+        std::vector<uint8_t> nulls = cp->null_bytes();
+        std::vector<int64_t> v;
+        if (may_move && cp.use_count() == 1) {
+          v = cp->TakeInts();
+        } else {
+          v.assign(cp->ints(), cp->ints() + n);
+        }
+        if (!nulls.empty()) {
+          for (size_t r = 0; r < n; ++r) {
+            if (nulls[r]) v[r] = kNullLong;
+          }
+        }
+        return QValue::IntList(qt, std::move(v));
+      }
+      break;
+    }
+    case SqlType::kReal:
+    case SqlType::kDouble: {
+      QType qt = QTypeFromSqlType(t);
+      if (cp->storage() == Storage::kEmpty) {
+        return QValue::FloatList(qt, std::vector<double>(n, std::nan("")));
+      }
+      if (cp->storage() == Storage::kFloat) {
+        std::vector<uint8_t> nulls = cp->null_bytes();
+        std::vector<double> v;
+        if (may_move && cp.use_count() == 1) {
+          v = cp->TakeFloats();
+        } else {
+          v.assign(cp->floats(), cp->floats() + n);
+        }
+        if (!nulls.empty()) {
+          for (size_t r = 0; r < n; ++r) {
+            if (nulls[r]) v[r] = std::nan("");
+          }
+        }
+        return QValue::FloatList(qt, std::move(v));
+      }
+      break;
+    }
+    case SqlType::kVarchar: {
+      if (cp->storage() == Storage::kEmpty) {
+        return QValue::Syms(std::vector<std::string>(n));
+      }
+      if (cp->storage() == Storage::kString) {
+        std::vector<uint8_t> nulls = cp->null_bytes();
+        std::vector<std::string> v;
+        if (may_move && cp.use_count() == 1) {
+          v = cp->TakeStrings();
+        } else {
+          v = cp->strs();
+        }
+        if (!nulls.empty()) {
+          for (size_t r = 0; r < n; ++r) {
+            if (nulls[r]) v[r].clear();
+          }
+        }
+        return QValue::Syms(std::move(v));
+      }
+      break;
+    }
+    default:
+      break;
+  }
+  return ColumnFromCells(result, col);
+}
+
 bool IsHelperColumn(const std::string& name) {
   return name == kOrdColName || StartsWith(name, "hq_");
 }
 
-}  // namespace
-
-Result<QValue> QValueFromResult(const sqldb::QueryResult& result,
-                                ResultShape shape,
-                                const std::vector<std::string>& key_columns) {
+Result<QValue> QValueFromResultImpl(
+    sqldb::QueryResult& result, ResultShape shape,
+    const std::vector<std::string>& key_columns, bool may_move) {
   std::vector<std::string> names;
   std::vector<QValue> columns;
   names.reserve(result.columns.size());
@@ -227,7 +324,7 @@ Result<QValue> QValueFromResult(const sqldb::QueryResult& result,
   for (size_t c = 0; c < result.columns.size(); ++c) {
     if (IsHelperColumn(result.columns[c].name)) continue;
     names.push_back(result.columns[c].name);
-    columns.push_back(ColumnFromRows(result, c));
+    columns.push_back(ColumnFromResult(result, c, may_move));
   }
   if (names.empty()) {
     return ExecutionError("backend result contained no visible columns");
@@ -235,7 +332,7 @@ Result<QValue> QValueFromResult(const sqldb::QueryResult& result,
 
   switch (shape) {
     case ResultShape::kAtom: {
-      if (result.rows.empty()) return QValue();
+      if (result.data.row_count == 0) return QValue();
       return columns[0].ElementAt(0);
     }
     case ResultShape::kList:
@@ -281,6 +378,23 @@ Result<QValue> QValueFromResult(const sqldb::QueryResult& result,
     }
   }
   return InternalError("unhandled result shape");
+}
+
+}  // namespace
+
+Result<QValue> QValueFromResult(const sqldb::QueryResult& result,
+                                ResultShape shape,
+                                const std::vector<std::string>& key_columns) {
+  // The impl never mutates the result unless may_move is set, so shedding
+  // const here is safe.
+  return QValueFromResultImpl(const_cast<sqldb::QueryResult&>(result), shape,
+                              key_columns, /*may_move=*/false);
+}
+
+Result<QValue> QValueFromResult(sqldb::QueryResult&& result,
+                                ResultShape shape,
+                                const std::vector<std::string>& key_columns) {
+  return QValueFromResultImpl(result, shape, key_columns, /*may_move=*/true);
 }
 
 }  // namespace hyperq

@@ -35,6 +35,13 @@ Result<QValue> QValueFromResult(const sqldb::QueryResult& result,
                                 ResultShape shape,
                                 const std::vector<std::string>& key_columns);
 
+/// Rvalue variant: may adopt (move) backend column buffers straight into
+/// the Q lists when this result holds the only reference, skipping the
+/// copy as well as the pivot. The result is consumed.
+Result<QValue> QValueFromResult(sqldb::QueryResult&& result,
+                                ResultShape shape,
+                                const std::vector<std::string>& key_columns);
+
 }  // namespace hyperq
 
 #endif  // HYPERQ_CORE_LOADER_H_

@@ -44,6 +44,7 @@ const char* WindowSqlName(const std::string& f) {
   if (f == "min") return "MIN";
   if (f == "max") return "MAX";
   if (f == "count") return "COUNT";
+  if (f == "count_star") return "COUNT";
   if (f == "first_value") return "FIRST_VALUE";
   if (f == "last_value") return "LAST_VALUE";
   return nullptr;
@@ -240,7 +241,10 @@ Result<std::string> Serializer::RenderScalarTwoSided(
           HQ_ASSIGN_OR_RETURN(std::string s, render(a));
           args.push_back(std::move(s));
         }
-        std::string out = StrCat(name, "(", Join(args, ", "), ") OVER (");
+        std::string out =
+            node->func == "count_star"
+                ? StrCat(name, "(*) OVER (")
+                : StrCat(name, "(", Join(args, ", "), ") OVER (");
         bool space = false;
         if (!node->partition_by.empty()) {
           std::vector<std::string> parts;

@@ -12,6 +12,30 @@ int StoredTable::FindColumn(const std::string& col) const {
   return -1;
 }
 
+void StoredTable::EnsureColumns() {
+  while (data.size() < columns.size()) {
+    data.push_back(Column::Make(columns[data.size()].type));
+  }
+}
+
+void StoredTable::AppendRow(const std::vector<Datum>& row) {
+  EnsureColumns();
+  for (size_t c = 0; c < data.size(); ++c) {
+    if (data[c].use_count() > 1) {
+      data[c] = std::make_shared<Column>(*data[c]);
+    }
+    data[c]->Append(c < row.size() ? row[c] : Datum::Null());
+  }
+  ++row_count;
+}
+
+std::vector<Datum> StoredTable::RowAt(size_t row) const {
+  std::vector<Datum> out;
+  out.reserve(data.size());
+  for (const auto& c : data) out.push_back(c->At(row));
+  return out;
+}
+
 Status Catalog::CreateTable(StoredTable table, bool or_replace) {
   std::lock_guard<std::mutex> lock(mu_);
   if (!or_replace && tables_.count(table.name) > 0) {
@@ -105,9 +129,11 @@ Status Catalog::AppendRows(const std::string& name,
   if (it == tables_.end()) {
     return NotFound(StrCat("table '", name, "' does not exist"));
   }
-  // Copy-on-write so concurrent readers of the old snapshot stay valid.
+  // Copy-on-write so concurrent readers of the old snapshot stay valid:
+  // the table copy shares column buffers, and the first append to each
+  // column clones it (Column CoW), leaving prior snapshots untouched.
   auto updated = std::make_shared<StoredTable>(*it->second);
-  for (auto& r : rows) updated->rows.push_back(std::move(r));
+  for (const auto& r : rows) updated->AppendRow(r);
   it->second = std::move(updated);
   ++version_;
   return Status::OK();

@@ -9,6 +9,7 @@
 
 #include "common/status.h"
 #include "sqldb/ast.h"
+#include "sqldb/relation.h"
 #include "sqldb/types.h"
 
 namespace hyperq {
@@ -19,12 +20,16 @@ struct TableColumn {
   SqlType type = SqlType::kText;
 };
 
-/// A stored table: schema plus row-major data. Rows are owned by the table;
-/// the executor copies what it needs.
+/// A stored table: schema plus columnar data. Column buffers are shared
+/// with scans by reference (shared_ptr); all mutation goes through
+/// AppendRow, which clones a shared buffer first (copy-on-write), so
+/// result sets handed out earlier never see later inserts.
 struct StoredTable {
   std::string name;
   std::vector<TableColumn> columns;
-  std::vector<std::vector<Datum>> rows;
+  /// Column data, index-aligned with `columns`.
+  std::vector<ColumnPtr> data;
+  size_t row_count = 0;
   /// Declared sort order (column names), advisory metadata exposed through
   /// the metadata interface for the binder's property derivation.
   std::vector<std::string> sort_keys;
@@ -32,6 +37,12 @@ struct StoredTable {
   std::vector<std::string> key_columns;
 
   int FindColumn(const std::string& name) const;
+
+  /// Creates empty column buffers for any schema column that lacks one.
+  void EnsureColumns();
+  /// Appends one row (copy-on-write on shared column buffers).
+  void AppendRow(const std::vector<Datum>& row);
+  std::vector<Datum> RowAt(size_t row) const;
 };
 
 struct StoredView {

@@ -17,8 +17,8 @@ QueryResult FromRelation(Relation rel) {
   for (const auto& c : rel.cols) {
     out.columns.push_back(TableColumn{c.name, c.type});
   }
-  out.command_tag = StrCat("SELECT ", rel.rows.size());
-  out.rows = std::move(rel.rows);
+  out.command_tag = StrCat("SELECT ", rel.row_count);
+  out.data = std::move(rel);  // columns carried through, zero pivot
   return out;
 }
 
@@ -88,7 +88,8 @@ Result<QueryResult> Database::ExecuteStatement(Session* session,
       for (const auto& c : rel.cols) {
         table.columns.push_back(TableColumn{c.name, c.type});
       }
-      table.rows = std::move(rel.rows);
+      table.data = std::move(rel.columns);
+      table.row_count = rel.row_count;
       if (stmt.temporary) {
         if (session == nullptr) {
           return InvalidArgument("temporary table requires a session");
@@ -185,14 +186,15 @@ Result<QueryResult> Database::ExecuteStatement(Session* session,
       } else {
         HQ_ASSIGN_OR_RETURN(Relation rel,
                             executor.ExecuteSelect(*stmt.select));
-        for (auto& row : rel.rows) {
+        for (size_t r = 0; r < rel.row_count; ++r) {
+          std::vector<Datum> row = rel.RowAt(r);
           HQ_RETURN_IF_ERROR(CoerceRow(columns, &row));
           rows.push_back(std::move(row));
         }
       }
       size_t count = rows.size();
       if (temp) {
-        for (auto& r : rows) temp->rows.push_back(std::move(r));
+        for (const auto& r : rows) temp->AppendRow(r);
       } else {
         HQ_RETURN_IF_ERROR(catalog_.AppendRows(stmt.target, std::move(rows)));
       }

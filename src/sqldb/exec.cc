@@ -1,9 +1,18 @@
 #include "sqldb/exec.h"
 
 #include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdint>
 #include <numeric>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
 
+#include "common/metrics.h"
 #include "common/strings.h"
+#include "common/worker_pool.h"
 
 namespace hyperq {
 namespace sqldb {
@@ -11,6 +20,42 @@ namespace sqldb {
 namespace {
 
 constexpr int kMaxViewDepth = 16;
+
+/// Rows per morsel for parallel scan/filter, group building and join
+/// probes. Large enough to amortize dispatch, small enough to balance.
+constexpr size_t kMorselRows = 16 * 1024;
+
+/// Pair-chunk size for join condition evaluation; bounds the size of the
+/// materialized candidate relation.
+constexpr size_t kJoinChunkPairs = 64 * 1024;
+
+/// Executor counters, surfaced through the metrics registry (and from
+/// there .hyperq.stats[]). Resolved once; the registry owns the objects.
+struct ExecMetrics {
+  Counter* batches;
+  Counter* rows;
+  Counter* parallel_tasks;
+  LatencyHistogram* morsel_us;
+
+  static const ExecMetrics& Get() {
+    static const ExecMetrics* m = [] {
+      auto* out = new ExecMetrics();
+      MetricsRegistry& reg = MetricsRegistry::Global();
+      out->batches = reg.GetCounter("exec.batches");
+      out->rows = reg.GetCounter("exec.rows");
+      out->parallel_tasks = reg.GetCounter("exec.parallel_tasks");
+      out->morsel_us = reg.GetHistogram("exec.morsel_us");
+      return out;
+    }();
+    return *m;
+  }
+};
+
+double NowUs() {
+  return std::chrono::duration<double, std::micro>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
 
 /// Splits an expression into its top-level AND conjuncts.
 void SplitConjuncts(const ExprPtr& e, std::vector<ExprPtr>* out) {
@@ -31,6 +76,78 @@ std::string OutputName(const SelectItem& item) {
     return e.func_name;
   }
   return "?column?";
+}
+
+/// Whether a stage over n rows is worth fanning out to the shared pool.
+bool ShouldParallelize(size_t n) {
+  return n >= 2 * kMorselRows && WorkerPool::Shared().thread_count() > 0;
+}
+
+/// Evaluates a filter over rows [0, n) of ctx.rel, morsel-parallel when the
+/// input is large and every column reference pre-resolves. Survivors are
+/// appended to *out in ascending row order regardless of scheduling; on
+/// error the lowest failing morsel wins, matching sequential evaluation.
+Status FilterRows(const Expr& e, const BatchCtx& ctx, size_t n,
+                  SelVector* out) {
+  const ExecMetrics& m = ExecMetrics::Get();
+  m.rows->Increment(n);
+  if (ShouldParallelize(n) && PreResolve(e, *ctx.rel)) {
+    size_t morsels = (n + kMorselRows - 1) / kMorselRows;
+    std::vector<SelVector> parts(morsels);
+    std::vector<Status> stats(morsels, Status::OK());
+    WorkerPool::Shared().ParallelFor(morsels, [&](size_t mi) {
+      double t0 = NowUs();
+      size_t lo = mi * kMorselRows;
+      size_t hi = std::min(n, lo + kMorselRows);
+      SelVector morsel(hi - lo);
+      for (size_t k = 0; k < morsel.size(); ++k) {
+        morsel[k] = static_cast<uint32_t>(lo + k);
+      }
+      stats[mi] =
+          EvalFilter(e, ctx, morsel.data(), morsel.size(), &parts[mi]);
+      m.morsel_us->Record(NowUs() - t0);
+    });
+    m.batches->Increment(morsels);
+    m.parallel_tasks->Increment(morsels);
+    for (size_t mi = 0; mi < morsels; ++mi) {
+      HQ_RETURN_IF_ERROR(stats[mi]);
+    }
+    size_t total = 0;
+    for (const auto& p : parts) total += p.size();
+    out->reserve(out->size() + total);
+    for (const auto& p : parts) {
+      out->insert(out->end(), p.begin(), p.end());
+    }
+    return Status::OK();
+  }
+  m.batches->Increment(1);
+  return EvalFilter(e, ctx, nullptr, n, out);
+}
+
+/// Compares two cells of one column with Datum::Compare semantics (the
+/// column is homogeneously typed, so the typed branch is exact).
+int CompareCells(const Column& col, size_t a, size_t b) {
+  switch (col.storage()) {
+    case Column::Storage::kMixed:
+      return Datum::Compare(col.mixed()[a], col.mixed()[b]);
+    case Column::Storage::kString: {
+      int c = col.strs()[a].compare(col.strs()[b]);
+      return c < 0 ? -1 : (c > 0 ? 1 : 0);
+    }
+    case Column::Storage::kFloat: {
+      double x = col.floats()[a], y = col.floats()[b];
+      bool xn = std::isnan(x), yn = std::isnan(y);
+      if (xn || yn) return xn == yn ? 0 : (xn ? 1 : -1);  // NaN sorts last
+      return x < y ? -1 : (x > y ? 1 : 0);
+    }
+    case Column::Storage::kInt: {
+      int64_t x = col.ints()[a], y = col.ints()[b];
+      return x < y ? -1 : (x > y ? 1 : 0);
+    }
+    case Column::Storage::kEmpty:
+      return 0;  // all NULL; callers handle nulls before comparing
+  }
+  return 0;
 }
 
 }  // namespace
@@ -118,9 +235,11 @@ Result<Relation> Executor::ExecuteSelect(const SelectStmt& stmt) {
             "UNION ALL member has ", next.output.cols.size(),
             " columns, expected ", core.output.cols.size()));
       }
-      for (auto& row : next.output.rows) {
-        core.output.rows.push_back(std::move(row));
+      // Column-wise concat (copy-on-write protects shared scans).
+      for (size_t c = 0; c < core.output.columns.size(); ++c) {
+        core.output.MutableColumn(c)->AppendColumn(*next.output.columns[c]);
       }
+      core.output.row_count += next.output.row_count;
     }
     // ORDER BY over a union may only reference output columns/ordinals.
     if (!stmt.order_by.empty()) {
@@ -139,24 +258,23 @@ Result<Relation> Executor::ExecuteSelect(const SelectStmt& stmt) {
 }
 
 Result<Executor::CoreResult> Executor::ExecCore(const SelectStmt& stmt) {
+  const ExecMetrics& metrics = ExecMetrics::Get();
+
   // ---- FROM ----
   Relation input;
   if (stmt.from) {
     HQ_ASSIGN_OR_RETURN(input, EvalTableRef(*stmt.from));
   } else {
-    input.rows.push_back({});  // SELECT without FROM: one empty row
+    input.AppendRow({});  // SELECT without FROM: one empty row
   }
 
   // ---- WHERE ----
   if (stmt.where) {
-    std::vector<std::vector<Datum>> kept;
-    kept.reserve(input.rows.size());
-    for (size_t i = 0; i < input.rows.size(); ++i) {
-      EvalCtx ctx{&input, i, nullptr, nullptr};
-      HQ_ASSIGN_OR_RETURN(Datum v, EvalExpr(*stmt.where, ctx));
-      if (DatumIsTrue(v)) kept.push_back(std::move(input.rows[i]));
-    }
-    input.rows = std::move(kept);
+    BatchCtx wctx;
+    wctx.rel = &input;
+    SelVector sel;
+    HQ_RETURN_IF_ERROR(FilterRows(*stmt.where, wctx, input.row_count, &sel));
+    input = input.GatherRows(sel.data(), sel.size());
   }
 
   CoreResult core;
@@ -168,53 +286,172 @@ Result<Executor::CoreResult> Executor::ExecCore(const SelectStmt& stmt) {
   bool grouped = !stmt.group_by.empty() || !agg_nodes.empty();
 
   if (grouped) {
-    // Bucket rows by group key (order of first occurrence).
-    std::unordered_map<std::string, size_t> group_of;
-    std::vector<std::vector<size_t>> members;
-    for (size_t i = 0; i < input.rows.size(); ++i) {
-      std::string key;
+    size_t n = input.row_count;
+
+    // Group keys evaluate column-wise; rows are then bucketed by the key
+    // bytes, encoded into one scratch buffer reused across rows.
+    std::vector<ColumnPtr> key_cols;
+    key_cols.reserve(stmt.group_by.size());
+    {
+      BatchCtx gctx;
+      gctx.rel = &input;
       for (const auto& g : stmt.group_by) {
-        EvalCtx ctx{&input, i, nullptr, nullptr};
-        HQ_ASSIGN_OR_RETURN(Datum v, EvalExpr(*g, ctx));
-        EncodeDatum(v, &key);
+        HQ_ASSIGN_OR_RETURN(ColumnPtr c, EvalBatch(*g, gctx, nullptr, n));
+        key_cols.push_back(std::move(c));
       }
-      auto [it, inserted] = group_of.emplace(key, members.size());
-      if (inserted) members.push_back({});
-      members[it->second].push_back(i);
+    }
+
+    // Bucket rows by group key (order of first occurrence). Large inputs
+    // build morsel-local groups in parallel, then merge in morsel order —
+    // morsels cover ascending row ranges, so both the group order and the
+    // member order within each group match the sequential scan exactly.
+    std::vector<SelVector> members;
+    if (!key_cols.empty() && ShouldParallelize(n)) {
+      size_t morsels = (n + kMorselRows - 1) / kMorselRows;
+      struct LocalGroups {
+        std::vector<std::string> keys;  // first-occurrence order
+        std::vector<SelVector> groups;
+        std::unordered_map<std::string, size_t> map;
+      };
+      std::vector<LocalGroups> locals(morsels);
+      WorkerPool::Shared().ParallelFor(morsels, [&](size_t mi) {
+        double t0 = NowUs();
+        LocalGroups& lg = locals[mi];
+        size_t lo = mi * kMorselRows;
+        size_t hi = std::min(n, lo + kMorselRows);
+        std::string key;
+        for (size_t i = lo; i < hi; ++i) {
+          key.clear();
+          for (const auto& kc : key_cols) kc->EncodeValue(i, &key);
+          // find-then-insert: emplace would allocate a map node per row
+          // even on hits, and that per-row malloc dominates the loop.
+          auto it = lg.map.find(key);
+          if (it == lg.map.end()) {
+            it = lg.map.emplace(key, lg.keys.size()).first;
+            lg.keys.push_back(key);
+            lg.groups.push_back({});
+          }
+          lg.groups[it->second].push_back(static_cast<uint32_t>(i));
+        }
+        metrics.morsel_us->Record(NowUs() - t0);
+      });
+      metrics.batches->Increment(morsels);
+      metrics.parallel_tasks->Increment(morsels);
+      metrics.rows->Increment(n);
+      std::unordered_map<std::string, size_t> group_of;
+      for (auto& lg : locals) {
+        for (size_t g = 0; g < lg.keys.size(); ++g) {
+          auto [it, inserted] =
+              group_of.emplace(std::move(lg.keys[g]), members.size());
+          if (inserted) {
+            members.push_back(std::move(lg.groups[g]));
+          } else {
+            SelVector& dst = members[it->second];
+            dst.insert(dst.end(), lg.groups[g].begin(), lg.groups[g].end());
+          }
+        }
+      }
+    } else if (!key_cols.empty()) {
+      std::unordered_map<std::string, size_t> group_of;
+      std::string key;  // reused across rows
+      for (size_t i = 0; i < n; ++i) {
+        key.clear();
+        for (const auto& kc : key_cols) kc->EncodeValue(i, &key);
+        auto it = group_of.find(key);
+        if (it == group_of.end()) {
+          it = group_of.emplace(key, members.size()).first;
+          members.push_back({});
+        }
+        members[it->second].push_back(static_cast<uint32_t>(i));
+      }
+      metrics.batches->Increment(1);
+      metrics.rows->Increment(n);
+    } else if (n > 0) {
+      // No GROUP BY: every row lands in one group.
+      members.push_back({});
+      members[0].resize(n);
+      std::iota(members[0].begin(), members[0].end(), 0);
     }
     // An aggregate query with no GROUP BY always yields one group, even
     // over zero rows.
     if (stmt.group_by.empty() && members.empty()) members.push_back({});
 
-    core.work.cols = input.cols;
-    for (const auto& m : members) {
-      std::unordered_map<const Expr*, Datum> aggs;
-      for (const Expr* agg : agg_nodes) {
-        HQ_ASSIGN_OR_RETURN(Datum v, ComputeAggregate(*agg, input, m));
-        aggs.emplace(agg, std::move(v));
+    size_t ngroups = members.size();
+
+    // Representative rows: first member (empty groups use all-null).
+    {
+      std::vector<int64_t> rep(ngroups);
+      for (size_t g = 0; g < ngroups; ++g) {
+        rep[g] = members[g].empty()
+                     ? -1
+                     : static_cast<int64_t>(members[g].front());
       }
-      // Representative row: first member (empty groups use all-null).
-      std::vector<Datum> rep =
-          m.empty() ? std::vector<Datum>(input.cols.size())
-                    : input.rows[m.front()];
-      core.work.rows.push_back(std::move(rep));
-      core.agg_per_row.push_back(std::move(aggs));
+      core.work = input.GatherRowsPad(rep.data(), ngroups);
     }
+
+    // Aggregates: evaluate each argument once over the full input as a
+    // column, then reduce groups in parallel. Member order within a group
+    // is ascending row order, so float accumulation is bit-identical to
+    // the row-at-a-time path.
+    core.agg_per_row.resize(ngroups);
+    for (const Expr* agg : agg_nodes) {
+      if (ngroups > 0 && core.agg_per_row[0].count(agg) > 0) {
+        continue;  // duplicate node, already computed
+      }
+      const std::string& f = agg->func_name;
+      bool star = !agg->args.empty() &&
+                  agg->args[0]->kind == ExprKind::kStar;
+      if (f == "count" && (agg->args.empty() || star)) {
+        for (size_t g = 0; g < ngroups; ++g) {
+          core.agg_per_row[g].emplace(
+              agg, Datum::BigInt(static_cast<int64_t>(members[g].size())));
+        }
+        continue;
+      }
+      if (agg->args.size() != 1 && f != "count") {
+        return TypeError(StrCat("aggregate ", f, " takes one argument"));
+      }
+      BatchCtx actx;
+      actx.rel = &input;
+      HQ_ASSIGN_OR_RETURN(ColumnPtr arg_col,
+                          EvalBatch(*agg->args[0], actx, nullptr, n));
+      std::vector<Datum> results(ngroups);
+      std::vector<Status> stats(ngroups, Status::OK());
+      auto reduce = [&](size_t g) {
+        Result<Datum> r = ComputeAggregateColumnar(*agg, *arg_col,
+                                                   members[g]);
+        if (r.ok()) {
+          results[g] = std::move(*r);
+        } else {
+          stats[g] = r.status();
+        }
+      };
+      if (ngroups > 1 && ShouldParallelize(n)) {
+        WorkerPool::Shared().ParallelFor(ngroups, reduce);
+        metrics.parallel_tasks->Increment(ngroups);
+      } else {
+        for (size_t g = 0; g < ngroups; ++g) reduce(g);
+      }
+      metrics.batches->Increment(1);
+      for (size_t g = 0; g < ngroups; ++g) {
+        HQ_RETURN_IF_ERROR(stats[g]);
+      }
+      for (size_t g = 0; g < ngroups; ++g) {
+        core.agg_per_row[g].emplace(agg, std::move(results[g]));
+      }
+    }
+
     // HAVING filters groups.
     if (stmt.having) {
-      Relation filtered;
-      filtered.cols = core.work.cols;
-      std::vector<std::unordered_map<const Expr*, Datum>> kept_aggs;
-      for (size_t i = 0; i < core.work.rows.size(); ++i) {
-        EvalCtx ctx{&core.work, i, &core.agg_per_row[i], nullptr};
-        HQ_ASSIGN_OR_RETURN(Datum v, EvalExpr(*stmt.having, ctx));
-        if (DatumIsTrue(v)) {
-          filtered.rows.push_back(std::move(core.work.rows[i]));
-          kept_aggs.push_back(std::move(core.agg_per_row[i]));
-        }
-      }
-      core.work = std::move(filtered);
-      core.agg_per_row = std::move(kept_aggs);
+      BatchCtx hctx{&core.work, &core.agg_per_row, nullptr};
+      SelVector hsel;
+      HQ_RETURN_IF_ERROR(EvalFilter(*stmt.having, hctx, nullptr,
+                                    core.work.row_count, &hsel));
+      core.work = core.work.GatherRows(hsel.data(), hsel.size());
+      std::vector<std::unordered_map<const Expr*, Datum>> kept;
+      kept.reserve(hsel.size());
+      for (uint32_t i : hsel) kept.push_back(std::move(core.agg_per_row[i]));
+      core.agg_per_row = std::move(kept);
     }
   } else {
     core.work = std::move(input);
@@ -252,6 +489,7 @@ Result<Executor::CoreResult> Executor::ExecCore(const SelectStmt& stmt) {
   }
   if (items.empty()) return BindError("empty select list");
 
+  size_t out_rows = core.work.row_count;
   core.output.cols.reserve(items.size());
   for (const auto& item : items) {
     RelColumn col;
@@ -259,45 +497,53 @@ Result<Executor::CoreResult> Executor::ExecCore(const SelectStmt& stmt) {
     col.type = InferType(*item.expr, core.work);
     core.output.cols.push_back(std::move(col));
   }
-  core.output.rows.reserve(core.work.rows.size());
-  for (size_t i = 0; i < core.work.rows.size(); ++i) {
-    EvalCtx ctx{&core.work, i,
-                core.agg_per_row.empty() ? nullptr : &core.agg_per_row[i],
+  BatchCtx pctx{&core.work,
+                core.agg_per_row.empty() ? nullptr : &core.agg_per_row,
                 core.window_values.empty() ? nullptr : &core.window_values};
-    std::vector<Datum> row;
-    row.reserve(items.size());
-    for (size_t c = 0; c < items.size(); ++c) {
-      HQ_ASSIGN_OR_RETURN(Datum v, EvalExpr(*items[c].expr, ctx));
-      // Refine inferred type from actual values.
-      if (!v.is_null() && core.output.cols[c].type != v.type() &&
-          core.output.rows.empty()) {
-        core.output.cols[c].type = v.type();
+  core.output.columns.reserve(items.size());
+  for (size_t c = 0; c < items.size(); ++c) {
+    HQ_ASSIGN_OR_RETURN(ColumnPtr col,
+                        EvalBatch(*items[c].expr, pctx, nullptr, out_rows));
+    // Refine the inferred type from the first row's actual value.
+    if (out_rows > 0 && !col->IsNull(0)) {
+      Datum v0 = col->At(0);
+      if (core.output.cols[c].type != v0.type()) {
+        core.output.cols[c].type = v0.type();
       }
-      row.push_back(std::move(v));
     }
-    core.output.rows.push_back(std::move(row));
+    core.output.columns.push_back(std::move(col));
   }
+  core.output.row_count = out_rows;
+  metrics.batches->Increment(items.size());
+  metrics.rows->Increment(out_rows);
 
   // ---- DISTINCT ----
   if (stmt.distinct) {
     std::unordered_map<std::string, bool> seen;
-    std::vector<std::vector<Datum>> rows;
-    for (auto& row : core.output.rows) {
-      std::string key = EncodeKeyRow(row);
-      if (seen.emplace(key, true).second) rows.push_back(std::move(row));
+    seen.reserve(out_rows * 2);
+    SelVector keep;
+    std::string key;  // reused across rows
+    for (size_t i = 0; i < out_rows; ++i) {
+      key.clear();
+      for (const auto& col : core.output.columns) col->EncodeValue(i, &key);
+      if (seen.find(key) == seen.end()) {
+        seen.emplace(key, true);
+        keep.push_back(static_cast<uint32_t>(i));
+      }
     }
-    core.output.rows = std::move(rows);
+    core.output = core.output.GatherRows(keep.data(), keep.size());
     core.distinct_applied = true;
   }
   return core;
 }
 
 Status Executor::ApplyOrderBy(const SelectStmt& stmt, CoreResult* core) {
-  size_t n = core->output.rows.size();
-  // Evaluate sort keys per output row. Keys may be output ordinals, output
+  size_t n = core->output.row_count;
+  // Evaluate sort keys as columns. Keys may be output ordinals, output
   // aliases, or (when no DISTINCT reshaped the rows) arbitrary expressions
   // over the pre-projection relation.
-  std::vector<std::vector<Datum>> keys(n);
+  std::vector<ColumnPtr> key_cols;
+  key_cols.reserve(stmt.order_by.size());
   for (const auto& item : stmt.order_by) {
     const Expr& e = *item.expr;
     int out_idx = -1;
@@ -318,9 +564,7 @@ Status Executor::ApplyOrderBy(const SelectStmt& stmt, CoreResult* core) {
       }
     }
     if (out_idx >= 0) {
-      for (size_t i = 0; i < n; ++i) {
-        keys[i].push_back(core->output.rows[i][out_idx]);
-      }
+      key_cols.push_back(core->output.columns[out_idx]);  // zero-copy share
       continue;
     }
     if (core->distinct_applied) {
@@ -328,43 +572,37 @@ Status Executor::ApplyOrderBy(const SelectStmt& stmt, CoreResult* core) {
           "ORDER BY expression must appear in the select list when "
           "DISTINCT/UNION is used");
     }
-    if (core->work.rows.size() != n) {
+    if (core->work.row_count != n) {
       return InternalError("order-by source rows out of sync");
     }
-    for (size_t i = 0; i < n; ++i) {
-      EvalCtx ctx{&core->work, i,
-                  core->agg_per_row.empty() ? nullptr : &core->agg_per_row[i],
+    BatchCtx kctx{&core->work,
+                  core->agg_per_row.empty() ? nullptr : &core->agg_per_row,
                   core->window_values.empty() ? nullptr
                                               : &core->window_values};
-      HQ_ASSIGN_OR_RETURN(Datum v, EvalExpr(e, ctx));
-      keys[i].push_back(std::move(v));
-    }
+    HQ_ASSIGN_OR_RETURN(ColumnPtr kcol, EvalBatch(e, kctx, nullptr, n));
+    key_cols.push_back(std::move(kcol));
   }
 
   std::vector<size_t> order(n);
   std::iota(order.begin(), order.end(), 0);
-  Status failure = Status::OK();
   std::stable_sort(order.begin(), order.end(), [&](size_t a, size_t b) {
     for (size_t k = 0; k < stmt.order_by.size(); ++k) {
-      const Datum& x = keys[a][k];
-      const Datum& y = keys[b][k];
+      const Column& col = *key_cols[k];
       const OrderItem& item = stmt.order_by[k];
-      if (x.is_null() || y.is_null()) {
-        if (x.is_null() == y.is_null()) continue;
-        bool a_first = x.is_null() == item.nulls_first;
-        return a_first;
+      bool xn = col.IsNull(a), yn = col.IsNull(b);
+      if (xn || yn) {
+        if (xn == yn) continue;
+        return xn == item.nulls_first;
       }
-      int cmp = Datum::Compare(x, y);
+      int cmp = CompareCells(col, a, b);
       if (cmp != 0) return item.ascending ? cmp < 0 : cmp > 0;
     }
     return false;
   });
-  HQ_RETURN_IF_ERROR(failure);
 
-  std::vector<std::vector<Datum>> sorted;
-  sorted.reserve(n);
-  for (size_t i : order) sorted.push_back(std::move(core->output.rows[i]));
-  core->output.rows = std::move(sorted);
+  SelVector sel(n);
+  for (size_t i = 0; i < n; ++i) sel[i] = static_cast<uint32_t>(order[i]);
+  core->output = core->output.GatherRows(sel.data(), sel.size());
   return Status::OK();
 }
 
@@ -382,17 +620,21 @@ Status Executor::ApplyLimit(const SelectStmt& stmt, Relation* rel) {
   int64_t limit = -1, offset = 0;
   HQ_RETURN_IF_ERROR(eval_const(stmt.limit, &limit));
   HQ_RETURN_IF_ERROR(eval_const(stmt.offset, &offset));
+  size_t start = 0;
+  size_t end = rel->row_count;
   if (stmt.offset && offset > 0) {
-    if (offset >= static_cast<int64_t>(rel->rows.size())) {
-      rel->rows.clear();
-    } else {
-      rel->rows.erase(rel->rows.begin(), rel->rows.begin() + offset);
-    }
+    start = std::min<size_t>(static_cast<size_t>(offset), end);
   }
   if (stmt.limit && limit >= 0 &&
-      static_cast<int64_t>(rel->rows.size()) > limit) {
-    rel->rows.resize(limit);
+      end - start > static_cast<size_t>(limit)) {
+    end = start + static_cast<size_t>(limit);
   }
+  if (start == 0 && end == rel->row_count) return Status::OK();
+  SelVector sel(end - start);
+  for (size_t i = 0; i < sel.size(); ++i) {
+    sel[i] = static_cast<uint32_t>(start + i);
+  }
+  *rel = rel->GatherRows(sel.data(), sel.size());
   return Status::OK();
 }
 
@@ -428,12 +670,18 @@ Result<Relation> Executor::LookupNamed(const std::string& name,
     HQ_ASSIGN_OR_RETURN(table, catalog_->GetTable(name));
   }
   if (table) {
+    // Zero-copy scan: the relation shares the stored column buffers.
+    // Mutation anywhere downstream goes through copy-on-write.
     Relation rel;
     rel.cols.reserve(table->columns.size());
-    for (const auto& c : table->columns) {
+    rel.columns.reserve(table->columns.size());
+    rel.row_count = table->row_count;
+    for (size_t i = 0; i < table->columns.size(); ++i) {
+      const TableColumn& c = table->columns[i];
       rel.cols.push_back(RelColumn{alias, c.name, c.type});
+      rel.columns.push_back(i < table->data.size() ? table->data[i]
+                                                   : Column::Make(c.type));
     }
-    rel.rows = table->rows;
     return rel;
   }
   const StoredView* view = nullptr;
@@ -466,29 +714,41 @@ Result<Relation> Executor::ExecJoin(const TableRef& join) {
   HQ_ASSIGN_OR_RETURN(Relation left, EvalTableRef(*join.left));
   HQ_ASSIGN_OR_RETURN(Relation right, EvalTableRef(*join.right));
 
-  Relation out;
-  out.cols = left.cols;
-  out.cols.insert(out.cols.end(), right.cols.begin(), right.cols.end());
+  const ExecMetrics& metrics = ExecMetrics::Get();
+  size_t ln = left.row_count;
+  size_t rn = right.row_count;
 
-  auto combine = [&](const std::vector<Datum>& l,
-                     const std::vector<Datum>& r) {
-    std::vector<Datum> row;
-    row.reserve(l.size() + r.size());
-    row.insert(row.end(), l.begin(), l.end());
-    row.insert(row.end(), r.begin(), r.end());
-    return row;
-  };
-  auto null_right = [&]() {
-    return std::vector<Datum>(right.cols.size());
+  std::vector<RelColumn> out_cols = left.cols;
+  out_cols.insert(out_cols.end(), right.cols.begin(), right.cols.end());
+
+  // Materializes a pair list (li, ri) into a combined-schema relation.
+  // ri == -1 pads an all-NULL right row (left outer join).
+  auto materialize_pairs = [&](const std::vector<uint32_t>& li,
+                               const std::vector<int64_t>& ri) {
+    Relation lg = left.GatherRows(li.data(), li.size());
+    Relation rg = right.GatherRowsPad(ri.data(), ri.size());
+    Relation res;
+    res.cols = out_cols;
+    res.columns = std::move(lg.columns);
+    res.columns.insert(res.columns.end(),
+                       std::make_move_iterator(rg.columns.begin()),
+                       std::make_move_iterator(rg.columns.end()));
+    res.row_count = li.size();
+    return res;
   };
 
   if (join.join_type == JoinType::kCross) {
-    for (const auto& l : left.rows) {
-      for (const auto& r : right.rows) {
-        out.rows.push_back(combine(l, r));
+    std::vector<uint32_t> li;
+    std::vector<int64_t> ri;
+    li.reserve(ln * rn);
+    ri.reserve(ln * rn);
+    for (size_t l = 0; l < ln; ++l) {
+      for (size_t r = 0; r < rn; ++r) {
+        li.push_back(static_cast<uint32_t>(l));
+        ri.push_back(static_cast<int64_t>(r));
       }
     }
-    return out;
+    return materialize_pairs(li, ri);
   }
 
   // Extract hashable equality keys from the ON conjuncts.
@@ -524,103 +784,188 @@ Result<Relation> Executor::ExecJoin(const TableRef& join) {
     residual.push_back(c);
   }
 
-  // One scratch relation reused for all residual evaluations (copying the
-  // 500-column schema per candidate row would dominate join cost).
-  Relation residual_scratch;
-  residual_scratch.cols = out.cols;
-  residual_scratch.rows.resize(1);
-  auto residual_ok = [&](std::vector<Datum>& row) -> Result<bool> {
-    residual_scratch.rows[0].swap(row);
-    bool ok = true;
-    Status failure = Status::OK();
-    for (const auto& c : residual) {
-      EvalCtx ctx{&residual_scratch, 0, nullptr, nullptr};
-      Result<Datum> v = EvalExpr(*c, ctx);
-      if (!v.ok()) {
-        failure = v.status();
-        ok = false;
-        break;
+  // Applies conjuncts to candidate pairs chunk by chunk, narrowing with
+  // each conjunct the way row-at-a-time evaluation short-circuited: a
+  // later conjunct only sees pairs where every earlier one was TRUE.
+  auto filter_pairs = [&](const std::vector<ExprPtr>& conds,
+                          std::vector<uint32_t>* li,
+                          std::vector<int64_t>* ri) -> Status {
+    if (conds.empty() || li->empty()) return Status::OK();
+    std::vector<uint32_t> keep_li;
+    std::vector<int64_t> keep_ri;
+    for (size_t base = 0; base < li->size(); base += kJoinChunkPairs) {
+      size_t cn = std::min(kJoinChunkPairs, li->size() - base);
+      std::vector<uint32_t> cli(li->begin() + base, li->begin() + base + cn);
+      std::vector<int64_t> cri(ri->begin() + base, ri->begin() + base + cn);
+      Relation cand = materialize_pairs(cli, cri);
+      BatchCtx bctx;
+      bctx.rel = &cand;
+      SelVector sel;
+      HQ_RETURN_IF_ERROR(
+          EvalFilter(*conds[0], bctx, nullptr, cn, &sel));
+      for (size_t c = 1; c < conds.size() && !sel.empty(); ++c) {
+        SelVector next;
+        HQ_RETURN_IF_ERROR(
+            EvalFilter(*conds[c], bctx, sel.data(), sel.size(), &next));
+        sel = std::move(next);
       }
-      if (!DatumIsTrue(*v)) {
-        ok = false;
-        break;
+      metrics.batches->Increment(conds.size());
+      metrics.rows->Increment(cn);
+      for (uint32_t s : sel) {
+        keep_li.push_back(cli[s]);
+        keep_ri.push_back(cri[s]);
       }
     }
-    residual_scratch.rows[0].swap(row);
-    HQ_RETURN_IF_ERROR(failure);
-    return ok;
+    *li = std::move(keep_li);
+    *ri = std::move(keep_ri);
+    return Status::OK();
+  };
+
+  // Interleaves an all-NULL right row for every unmatched left row at its
+  // position in left order (pairs are already left-major).
+  auto pad_unmatched = [&](const std::vector<uint8_t>& matched,
+                           std::vector<uint32_t>* li,
+                           std::vector<int64_t>* ri) {
+    std::vector<uint32_t> li2;
+    std::vector<int64_t> ri2;
+    li2.reserve(li->size() + ln);
+    ri2.reserve(ri->size() + ln);
+    size_t p = 0;
+    for (size_t l = 0; l < ln; ++l) {
+      if (matched[l]) {
+        while (p < li->size() && (*li)[p] == l) {
+          li2.push_back((*li)[p]);
+          ri2.push_back((*ri)[p]);
+          ++p;
+        }
+      } else {
+        li2.push_back(static_cast<uint32_t>(l));
+        ri2.push_back(-1);
+      }
+    }
+    *li = std::move(li2);
+    *ri = std::move(ri2);
   };
 
   if (!keys.empty()) {
-    // Hash join.
-    std::unordered_map<std::string, std::vector<size_t>> buckets;
-    buckets.reserve(right.rows.size() * 2);
-    for (size_t i = 0; i < right.rows.size(); ++i) {
+    // Hash join. Build side: encode right-row keys column-wise into one
+    // scratch buffer per row.
+    std::unordered_map<std::string, std::vector<uint32_t>> buckets;
+    buckets.reserve(rn * 2);
+    {
       std::string key;
-      bool usable = true;
-      for (const auto& k : keys) {
-        const Datum& v = right.rows[i][k.right_idx];
-        if (v.is_null() && !k.null_safe) {
-          usable = false;  // plain '=' never matches NULL
-          break;
-        }
-        EncodeDatum(v, &key);
-      }
-      if (usable) buckets[key].push_back(i);
-    }
-    for (const auto& l : left.rows) {
-      bool matched = false;
-      std::string key;
-      bool usable = true;
-      for (const auto& k : keys) {
-        const Datum& v = l[k.left_idx];
-        if (v.is_null() && !k.null_safe) {
-          usable = false;
-          break;
-        }
-        EncodeDatum(v, &key);
-      }
-      if (usable) {
-        auto it = buckets.find(key);
-        if (it != buckets.end()) {
-          for (size_t ri : it->second) {
-            std::vector<Datum> row = combine(l, right.rows[ri]);
-            HQ_ASSIGN_OR_RETURN(bool ok, residual_ok(row));
-            if (ok) {
-              out.rows.push_back(std::move(row));
-              matched = true;
-            }
+      for (size_t i = 0; i < rn; ++i) {
+        key.clear();
+        bool usable = true;
+        for (const auto& k : keys) {
+          const Column& c = *right.columns[k.right_idx];
+          if (c.IsNull(i) && !k.null_safe) {
+            usable = false;  // plain '=' never matches NULL
+            break;
           }
+          c.EncodeValue(i, &key);
         }
-      }
-      if (!matched && join.join_type == JoinType::kLeft) {
-        out.rows.push_back(combine(l, null_right()));
+        if (usable) buckets[key].push_back(static_cast<uint32_t>(i));
       }
     }
-    return out;
+
+    // Probe side: morsel-parallel over the left rows; each morsel emits
+    // pairs in left-row order and morsels concatenate in row order, so the
+    // output permutation is deterministic.
+    size_t morsels =
+        ShouldParallelize(ln) ? (ln + kMorselRows - 1) / kMorselRows : 1;
+    struct ProbeOut {
+      std::vector<uint32_t> li;
+      std::vector<int64_t> ri;
+    };
+    std::vector<ProbeOut> parts(morsels);
+    auto probe_range = [&](size_t mi, size_t lo, size_t hi) {
+      ProbeOut& po = parts[mi];
+      std::string key;
+      for (size_t i = lo; i < hi; ++i) {
+        key.clear();
+        bool usable = true;
+        for (const auto& k : keys) {
+          const Column& c = *left.columns[k.left_idx];
+          if (c.IsNull(i) && !k.null_safe) {
+            usable = false;
+            break;
+          }
+          c.EncodeValue(i, &key);
+        }
+        if (!usable) continue;
+        auto it = buckets.find(key);
+        if (it == buckets.end()) continue;
+        for (uint32_t r : it->second) {
+          po.li.push_back(static_cast<uint32_t>(i));
+          po.ri.push_back(static_cast<int64_t>(r));
+        }
+      }
+    };
+    if (morsels > 1) {
+      WorkerPool::Shared().ParallelFor(morsels, [&](size_t mi) {
+        double t0 = NowUs();
+        probe_range(mi, mi * kMorselRows,
+                    std::min(ln, (mi + 1) * kMorselRows));
+        metrics.morsel_us->Record(NowUs() - t0);
+      });
+      metrics.parallel_tasks->Increment(morsels);
+    } else {
+      probe_range(0, 0, ln);
+    }
+    metrics.batches->Increment(morsels);
+    metrics.rows->Increment(ln + rn);
+
+    std::vector<uint32_t> li;
+    std::vector<int64_t> ri;
+    {
+      size_t total = 0;
+      for (const auto& po : parts) total += po.li.size();
+      li.reserve(total);
+      ri.reserve(total);
+      for (const auto& po : parts) {
+        li.insert(li.end(), po.li.begin(), po.li.end());
+        ri.insert(ri.end(), po.ri.begin(), po.ri.end());
+      }
+    }
+    HQ_RETURN_IF_ERROR(filter_pairs(residual, &li, &ri));
+
+    if (join.join_type == JoinType::kLeft) {
+      std::vector<uint8_t> matched(ln, 0);
+      for (uint32_t l : li) matched[l] = 1;
+      pad_unmatched(matched, &li, &ri);
+    }
+    return materialize_pairs(li, ri);
   }
 
-  // Nested-loop fallback: evaluate the full ON condition per pair.
-  Relation probe;
-  probe.cols = out.cols;
-  probe.rows.push_back({});
-  for (const auto& l : left.rows) {
-    bool matched = false;
-    for (const auto& r : right.rows) {
-      std::vector<Datum> row = combine(l, r);
-      probe.rows[0] = row;
-      EvalCtx ctx{&probe, 0, nullptr, nullptr};
-      HQ_ASSIGN_OR_RETURN(Datum v, EvalExpr(*join.on, ctx));
-      if (DatumIsTrue(v)) {
-        out.rows.push_back(std::move(row));
-        matched = true;
+  // Nested-loop fallback: enumerate pairs in chunks and evaluate the full
+  // ON condition as a filter over the combined chunk.
+  std::vector<uint32_t> li;
+  std::vector<int64_t> ri;
+  std::vector<uint8_t> matched(ln, 0);
+  if (rn > 0) {
+    std::vector<ExprPtr> on_only{join.on};
+    for (size_t base = 0; base < ln * rn; base += kJoinChunkPairs) {
+      size_t cn = std::min(kJoinChunkPairs, ln * rn - base);
+      std::vector<uint32_t> cli(cn);
+      std::vector<int64_t> cri(cn);
+      for (size_t k = 0; k < cn; ++k) {
+        size_t p = base + k;
+        cli[k] = static_cast<uint32_t>(p / rn);
+        cri[k] = static_cast<int64_t>(p % rn);
+      }
+      HQ_RETURN_IF_ERROR(filter_pairs(on_only, &cli, &cri));
+      for (size_t k = 0; k < cli.size(); ++k) {
+        li.push_back(cli[k]);
+        ri.push_back(cri[k]);
+        matched[cli[k]] = 1;
       }
     }
-    if (!matched && join.join_type == JoinType::kLeft) {
-      out.rows.push_back(combine(l, null_right()));
-    }
   }
-  return out;
+  if (join.join_type == JoinType::kLeft) {
+    pad_unmatched(matched, &li, &ri);
+  }
+  return materialize_pairs(li, ri);
 }
 
 // ---------------------------------------------------------------------------
@@ -631,7 +976,7 @@ Status Executor::ComputeWindows(
     const std::vector<const Expr*>& nodes, const Relation& work,
     const std::vector<std::unordered_map<const Expr*, Datum>>& agg_per_row,
     std::unordered_map<const Expr*, std::vector<Datum>>* out) {
-  size_t n = work.rows.size();
+  size_t n = work.row_count;
   for (const Expr* node : nodes) {
     if (out->count(node) > 0) continue;
     const WindowSpec& spec = node->window;
@@ -720,24 +1065,14 @@ Status Executor::ComputeWindows(
         if (f == "row_number") {
           value = Datum::BigInt(static_cast<int64_t>(pos + 1));
         } else if (f == "rank" || f == "dense_rank") {
-          int64_t rank = 1;
-          int64_t dense = 1;
-          for (size_t p = 0; p < pos; ++p) {
-            if (peer_end[p] < pos) {
-              ++rank;
-              if (p == peer_end[p] || peer_end[p] < pos) {
-                // count distinct peer groups
-              }
-            }
-          }
-          // Simpler: rank = index of first peer + 1.
+          // rank = index of first peer + 1.
           size_t first_peer = pos;
           while (first_peer > 0 && peer_end[first_peer - 1] >= pos) {
             --first_peer;
           }
-          rank = static_cast<int64_t>(first_peer) + 1;
+          int64_t rank = static_cast<int64_t>(first_peer) + 1;
           // dense rank: count of peer groups before this one.
-          dense = 1;
+          int64_t dense = 1;
           size_t p = 0;
           while (p < first_peer) {
             ++dense;

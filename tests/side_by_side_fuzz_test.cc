@@ -138,6 +138,53 @@ class SideBySideFuzz : public ::testing::TestWithParam<uint64_t> {
     }
   }
 
+  std::string RandomWindowFunc() {
+    // Running/adjacent-row functions the translator lowers to SQL window
+    // functions (lag/lead/windowed aggregates). `ratios` is translatable
+    // but the oracle lacks it, so it stays out of the sweep.
+    static const char* kWins[] = {"sums", "mins", "maxs", "deltas", "prev",
+                                  "next"};
+    return kWins[rng_.Below(6)];
+  }
+
+  std::string RandomGroupedAgg() {
+    static const char* kAggs[] = {"sum", "avg", "min",   "max", "count",
+                                  "first", "last", "med", "dev", "var"};
+    return StrCat(kAggs[rng_.Below(10)], " ", RandomColumn());
+  }
+
+  /// Grouped-aggregation and window-function shapes, exercising the
+  /// executor's grouped (multi-aggregate, computed keys) and windowed
+  /// paths end to end against the oracle.
+  std::string RandomGroupedOrWindowQuery() {
+    switch (rng_.Below(5)) {
+      case 0: {  // multi-aggregate grouping
+        std::string q =
+            StrCat("select a: ", RandomGroupedAgg(), ", b: ",
+                   RandomGroupedAgg(), ", c: ", RandomGroupedAgg(),
+                   " by Symbol from trades");
+        if (rng_.Below(2) == 0) q += StrCat(" where ", RandomCondition());
+        return q;
+      }
+      case 1:  // grouped over a computed key (xbar bucketing)
+        return StrCat("select n: count Price, s: ", RandomGroupedAgg(),
+                      " by bucket: 100 xbar Size from trades");
+      case 2:  // running/window function down a filtered table
+        return StrCat("select Symbol, Time, w: ", RandomWindowFunc(), " ",
+                      RandomColumn(), " from trades where Symbol=",
+                      RandomSymbolLit());
+      case 3:  // window materialized, then grouped aggregation over it
+        return StrCat("W: select Symbol, Time, Price, w: ",
+                      RandomWindowFunc(), " ", RandomColumn(),
+                      " from trades where Symbol=", RandomSymbolLit(),
+                      "; select hi: max w, n: count w by Symbol from W");
+      default:  // adjacent-row deltas via prev alongside another window
+        return StrCat("select Symbol, d: Price - prev Price, x: ",
+                      RandomWindowFunc(), " Size from trades where Symbol=",
+                      RandomSymbolLit());
+    }
+  }
+
   /// Multi-statement pipelines mixing `select … by … where` with as-of
   /// joins — the dominant customer shape of §2.1 (filter trades, join the
   /// prevailing quote as-of each trade, aggregate per symbol). Each
@@ -247,6 +294,31 @@ TEST_P(SideBySideFuzz, MixedPipelinesAgree) {
                   << "\n  hq err:  " << first_mismatch->hyperq_error;
   }
   EXPECT_GE(checked, 15) << "too few pipelines actually executed";
+}
+
+TEST_P(SideBySideFuzz, GroupedAndWindowQueriesAgree) {
+  int checked = 0;
+  // As with the pipeline sweep, keep the first disagreement whole — the
+  // query, the SQL it translated to, and both results.
+  std::optional<SideBySideHarness::Comparison> first_mismatch;
+  for (int k = 0; k < 30; ++k) {
+    std::string q = RandomGroupedOrWindowQuery();
+    SideBySideHarness::Comparison c = harness_.Run(q);
+    if (!c.match && !first_mismatch) first_mismatch = c;
+    if (c.match && !c.both_failed) ++checked;
+  }
+  if (first_mismatch) {
+    ADD_FAILURE() << "seed " << GetParam()
+                  << " first mismatching grouped/window query:\n  query: "
+                  << first_mismatch->query
+                  << "\n  sql: " << first_mismatch->sql
+                  << "\n  kdb:    " << first_mismatch->kdb_result.ToString()
+                  << "\n  hyperq: "
+                  << first_mismatch->hyperq_result.ToString()
+                  << "\n  kdb err: " << first_mismatch->kdb_error
+                  << "\n  hq err:  " << first_mismatch->hyperq_error;
+  }
+  EXPECT_GE(checked, 20) << "too few queries actually executed";
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, SideBySideFuzz,

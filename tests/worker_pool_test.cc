@@ -1,0 +1,113 @@
+#include "common/worker_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <numeric>
+#include <thread>
+#include <vector>
+
+namespace hyperq {
+namespace {
+
+TEST(WorkerPoolTest, RunsEveryIndexExactlyOnce) {
+  WorkerPool pool(3);
+  constexpr size_t kN = 100000;
+  std::vector<std::atomic<int>> hits(kN);
+  pool.ParallelFor(kN, [&](size_t i) { hits[i].fetch_add(1); });
+  for (size_t i = 0; i < kN; ++i) {
+    ASSERT_EQ(hits[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST(WorkerPoolTest, ZeroThreadPoolRunsInline) {
+  WorkerPool pool(0);
+  EXPECT_EQ(pool.thread_count(), 0u);
+  std::vector<int> order;
+  pool.ParallelFor(8, [&](size_t i) {
+    // Single-threaded fallback: the caller runs everything, so mutation
+    // without synchronization is safe and order is ascending.
+    order.push_back(static_cast<int>(i));
+  });
+  std::vector<int> expect(8);
+  std::iota(expect.begin(), expect.end(), 0);
+  EXPECT_EQ(order, expect);
+}
+
+TEST(WorkerPoolTest, ZeroIterationLoopReturnsImmediately) {
+  WorkerPool pool(2);
+  bool ran = false;
+  pool.ParallelFor(0, [&](size_t) { ran = true; });
+  EXPECT_FALSE(ran);
+}
+
+TEST(WorkerPoolTest, NestedParallelForRunsInline) {
+  WorkerPool pool(2);
+  std::atomic<size_t> outer{0};
+  std::atomic<size_t> inner{0};
+  pool.ParallelFor(4, [&](size_t) {
+    outer.fetch_add(1);
+    // A task re-entering ParallelFor must not deadlock; the nested loop
+    // runs inline on the same thread.
+    pool.ParallelFor(4, [&](size_t) { inner.fetch_add(1); });
+  });
+  EXPECT_EQ(outer.load(), 4u);
+  EXPECT_EQ(inner.load(), 16u);
+}
+
+TEST(WorkerPoolTest, OnWorkerThreadVisibleInsideTasks) {
+  WorkerPool pool(2);
+  EXPECT_FALSE(WorkerPool::OnWorkerThread());
+  std::atomic<int> on_worker{0};
+  pool.ParallelFor(64, [&](size_t) {
+    if (WorkerPool::OnWorkerThread()) on_worker.fetch_add(1);
+  });
+  // The caller participates, so not every index runs on a pool thread, but
+  // the flag must never leak outside a task.
+  EXPECT_FALSE(WorkerPool::OnWorkerThread());
+  EXPECT_GE(on_worker.load(), 0);
+}
+
+TEST(WorkerPoolTest, ResizeRestartsWorkers) {
+  WorkerPool pool(1);
+  EXPECT_EQ(pool.thread_count(), 1u);
+  pool.Resize(4);
+  EXPECT_EQ(pool.thread_count(), 4u);
+  std::atomic<size_t> count{0};
+  pool.ParallelFor(1000, [&](size_t) { count.fetch_add(1); });
+  EXPECT_EQ(count.load(), 1000u);
+  pool.Resize(0);
+  EXPECT_EQ(pool.thread_count(), 0u);
+  count = 0;
+  pool.ParallelFor(10, [&](size_t) { count.fetch_add(1); });
+  EXPECT_EQ(count.load(), 10u);
+}
+
+TEST(WorkerPoolTest, ConcurrentSubmittersAllComplete) {
+  // Only one ParallelFor owns the pool at a time; the rest run inline.
+  // Either way every submitter's loop must complete with every index run.
+  WorkerPool pool(2);
+  constexpr int kSubmitters = 8;
+  constexpr size_t kN = 5000;
+  std::vector<std::thread> threads;
+  std::vector<std::atomic<size_t>> sums(kSubmitters);
+  for (int t = 0; t < kSubmitters; ++t) {
+    threads.emplace_back([&, t] {
+      pool.ParallelFor(kN, [&](size_t i) { sums[t].fetch_add(i + 1); });
+    });
+  }
+  for (auto& th : threads) th.join();
+  for (int t = 0; t < kSubmitters; ++t) {
+    EXPECT_EQ(sums[t].load(), kN * (kN + 1) / 2) << "submitter " << t;
+  }
+}
+
+TEST(WorkerPoolTest, SharedPoolIsSingleton) {
+  WorkerPool& a = WorkerPool::Shared();
+  WorkerPool& b = WorkerPool::Shared();
+  EXPECT_EQ(&a, &b);
+}
+
+}  // namespace
+}  // namespace hyperq
