@@ -1,8 +1,11 @@
 #!/usr/bin/env bash
 # Bench runner: builds the headline benches and writes their JSON artifacts
-# at the repo root (BENCH_translation.json, BENCH_fig6.json). The
-# translation-cache bench exits non-zero if the hot path is not at least
-# 5x faster than cold translation, so this script doubles as a perf gate.
+# at the repo root (BENCH_translation.json, BENCH_fig6.json,
+# BENCH_backend.json, BENCH_wire.json). The translation-cache bench exits
+# non-zero if the hot path is not at least 5x faster than cold translation,
+# and the wire bench exits non-zero if bulk encode is not at least 4x
+# faster than the element-wise baseline, so this script doubles as a perf
+# gate.
 #
 # Usage: scripts/bench.sh [--smoke]
 set -euo pipefail
@@ -16,7 +19,7 @@ echo "==> bench: configure + build"
 cmake -B build -S . >/dev/null
 cmake --build build -j "$JOBS" \
   --target bench_translation_cache bench_fig6_translation_overhead \
-  bench_backend_exec >/dev/null
+  bench_backend_exec bench_wire >/dev/null
 
 echo "==> bench: translation cache hot path"
 ./build/bench/bench_translation_cache --json=BENCH_translation.json \
@@ -29,7 +32,11 @@ echo "==> bench: figure 6 translation overhead"
 echo "==> bench: backend executor (columnar + morsel parallelism)"
 ./build/bench/bench_backend_exec --json=BENCH_backend.json "${SMOKE[@]}"
 
+echo "==> bench: wire path (vectorized encode + scatter egress)"
+./build/bench/bench_wire --json=BENCH_wire.json "${SMOKE[@]}"
+
 echo "==> bench: artifacts"
 grep -o '"speedup_[a-z]*": [0-9.]*' BENCH_translation.json
 grep -o '"avg_overhead_pct": [0-9.]*' BENCH_fig6.json
 grep -c '"name": "BM_' BENCH_backend.json
+grep -o '"encode_speedup": [0-9.]*' BENCH_wire.json

@@ -40,7 +40,8 @@ echo "==> tsan: configure + build (build-tsan)"
 cmake -B build-tsan -S . -DHYPERQ_SANITIZE=thread >/dev/null
 cmake --build build-tsan -j "$JOBS" \
   --target endpoint_stress_test metrics_test endpoint_test \
-  translation_cache_test worker_pool_test exec_stress_test
+  translation_cache_test worker_pool_test exec_stress_test \
+  wire_path_test qipc_property_test
 
 echo "==> tsan: concurrency battery"
 export TSAN_OPTIONS="halt_on_error=1 second_deadlock_stack=1"
@@ -50,5 +51,7 @@ export TSAN_OPTIONS="halt_on_error=1 second_deadlock_stack=1"
 ./build-tsan/tests/translation_cache_test
 ./build-tsan/tests/worker_pool_test
 ./build-tsan/tests/exec_stress_test
+./build-tsan/tests/wire_path_test
+./build-tsan/tests/qipc_property_test
 
 echo "==> ci: all green"

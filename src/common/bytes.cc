@@ -24,6 +24,37 @@ void PutBE(std::vector<uint8_t>* buf, T v) {
 
 }  // namespace
 
+void ByteWriter::PutI64ArrayLE(const int64_t* v, size_t n) {
+  if (n == 0) return;
+  uint8_t* dst = Extend(n * sizeof(int64_t));
+  if constexpr (kHostIsLittleEndian) {
+    std::memcpy(dst, v, n * sizeof(int64_t));
+  } else {
+    for (size_t i = 0; i < n; ++i) {
+      uint64_t x = static_cast<uint64_t>(v[i]);
+      for (size_t b = 0; b < 8; ++b) {
+        dst[i * 8 + b] = static_cast<uint8_t>(x >> (8 * b));
+      }
+    }
+  }
+}
+
+void ByteWriter::PutF64ArrayLE(const double* v, size_t n) {
+  if (n == 0) return;
+  uint8_t* dst = Extend(n * sizeof(double));
+  if constexpr (kHostIsLittleEndian) {
+    std::memcpy(dst, v, n * sizeof(double));
+  } else {
+    for (size_t i = 0; i < n; ++i) {
+      uint64_t x;
+      std::memcpy(&x, &v[i], sizeof(x));
+      for (size_t b = 0; b < 8; ++b) {
+        dst[i * 8 + b] = static_cast<uint8_t>(x >> (8 * b));
+      }
+    }
+  }
+}
+
 void ByteWriter::PutU16LE(uint16_t v) { PutLE(&buffer_, v); }
 void ByteWriter::PutU32LE(uint32_t v) { PutLE(&buffer_, v); }
 void ByteWriter::PutU64LE(uint64_t v) { PutLE(&buffer_, v); }
@@ -170,6 +201,38 @@ Result<double> ByteReader::GetF64BE() {
   double v;
   std::memcpy(&v, &bits, sizeof(v));
   return v;
+}
+
+Result<const uint8_t*> ByteReader::Raw(size_t len) {
+  HQ_RETURN_IF_ERROR(Need(len));
+  const uint8_t* p = data_ + pos_;
+  pos_ += len;
+  return p;
+}
+
+Status ByteReader::GetI64ArrayLE(int64_t* out, size_t n) {
+  HQ_ASSIGN_OR_RETURN(const uint8_t* p, Raw(n * sizeof(int64_t)));
+  if constexpr (kHostIsLittleEndian) {
+    std::memcpy(out, p, n * sizeof(int64_t));
+  } else {
+    for (size_t i = 0; i < n; ++i) {
+      out[i] = static_cast<int64_t>(ReadLE<uint64_t>(p + i * 8));
+    }
+  }
+  return Status::OK();
+}
+
+Status ByteReader::GetF64ArrayLE(double* out, size_t n) {
+  HQ_ASSIGN_OR_RETURN(const uint8_t* p, Raw(n * sizeof(double)));
+  if constexpr (kHostIsLittleEndian) {
+    std::memcpy(out, p, n * sizeof(double));
+  } else {
+    for (size_t i = 0; i < n; ++i) {
+      uint64_t bits = ReadLE<uint64_t>(p + i * 8);
+      std::memcpy(&out[i], &bits, sizeof(double));
+    }
+  }
+  return Status::OK();
 }
 
 Result<std::vector<uint8_t>> ByteReader::GetBytes(size_t len) {

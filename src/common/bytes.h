@@ -1,6 +1,7 @@
 #ifndef HYPERQ_COMMON_BYTES_H_
 #define HYPERQ_COMMON_BYTES_H_
 
+#include <bit>
 #include <cstdint>
 #include <cstring>
 #include <string>
@@ -10,6 +11,11 @@
 #include "common/status.h"
 
 namespace hyperq {
+
+/// True when the host lays out integers the way the QIPC wire does; the
+/// bulk array paths below degrade to byte-shuffling loops elsewhere.
+inline constexpr bool kHostIsLittleEndian =
+    std::endian::native == std::endian::little;
 
 /// Growable byte sink used to assemble wire-protocol messages.
 ///
@@ -22,6 +28,22 @@ class ByteWriter {
   std::vector<uint8_t> Take() { return std::move(buffer_); }
   size_t size() const { return buffer_.size(); }
 
+  /// Pre-sizes the backing buffer (size estimation pre-pass): a writer that
+  /// reserved the exact encoded size performs one allocation total.
+  void Reserve(size_t n) { buffer_.reserve(buffer_.size() + n); }
+  /// Empties the buffer but keeps its capacity — the arena-reuse primitive
+  /// for per-connection writers.
+  void Clear() { buffer_.clear(); }
+
+  /// Grows the buffer by `n` bytes and returns a pointer to the new region,
+  /// so fixed-width encodes can fill a whole vector without per-element
+  /// push_back bounds checks. The pointer is invalidated by the next write.
+  uint8_t* Extend(size_t n) {
+    size_t at = buffer_.size();
+    buffer_.resize(at + n);
+    return buffer_.data() + at;
+  }
+
   void PutU8(uint8_t v) { buffer_.push_back(v); }
   void PutBytes(const void* data, size_t len) {
     const uint8_t* p = static_cast<const uint8_t*>(data);
@@ -33,6 +55,12 @@ class ByteWriter {
     PutString(s);
     PutU8(0);
   }
+
+  /// Bulk little-endian array writes: one memcpy of the whole payload on
+  /// little-endian hosts, an element loop elsewhere. These carry typed
+  /// column payloads onto the wire with zero per-element branches.
+  void PutI64ArrayLE(const int64_t* v, size_t n);
+  void PutF64ArrayLE(const double* v, size_t n);
 
   void PutU16LE(uint16_t v);
   void PutU32LE(uint32_t v);
@@ -87,6 +115,15 @@ class ByteReader {
   Result<int32_t> GetI32BE();
   Result<int64_t> GetI64BE();
   Result<double> GetF64BE();
+
+  /// Borrows `len` bytes in place and advances the cursor — the zero-copy
+  /// read primitive for bulk decodes. The pointer aliases the message
+  /// buffer and is valid for its lifetime.
+  Result<const uint8_t*> Raw(size_t len);
+
+  /// Bulk little-endian array reads mirroring the writer's fast paths.
+  Status GetI64ArrayLE(int64_t* out, size_t n);
+  Status GetF64ArrayLE(double* out, size_t n);
 
   /// Reads exactly `len` bytes.
   Result<std::vector<uint8_t>> GetBytes(size_t len);

@@ -4,6 +4,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cstring>
 
 #include "common/logging.h"
 #include "common/metrics.h"
@@ -43,8 +44,55 @@ struct ServerMetrics {
   }
 };
 
+/// Egress-path metrics: how responses leave the process. encode_us is the
+/// Relation→wire serialization alone; writev_calls vs messages_out shows
+/// how often scatter replies needed more than one sendmsg batch;
+/// compress_{in,out}_bytes give the achieved compression ratio.
+struct WireMetrics {
+  LatencyHistogram* encode_us;
+  Counter* bytes_out;
+  Counter* messages_out;
+  Counter* writev_calls;
+  Counter* scatter_slices;
+  Counter* compress_in_bytes;
+  Counter* compress_out_bytes;
+
+  static WireMetrics& Get() {
+    static WireMetrics* m = [] {
+      MetricsRegistry& r = MetricsRegistry::Global();
+      return new WireMetrics{
+          r.GetHistogram("wire.encode_us"),
+          r.GetCounter("wire.bytes_out"),
+          r.GetCounter("wire.messages_out"),
+          r.GetCounter("wire.writev_calls"),
+          r.GetCounter("wire.scatter_slices"),
+          r.GetCounter("wire.compress_in_bytes"),
+          r.GetCounter("wire.compress_out_bytes")};
+    }();
+    return *m;
+  }
+};
+
 bool IsTimeout(const Status& s) {
   return s.message().find("timed out") != std::string::npos;
+}
+
+/// Once a request this large has been served, the connection's reusable
+/// buffers are shrunk back so one oversized query does not pin its peak
+/// footprint for the rest of the session.
+constexpr size_t kConnBufferKeepBytes = 1u << 20;
+
+void ShrinkIfOversized(std::vector<uint8_t>* buf) {
+  if (buf->capacity() > kConnBufferKeepBytes) {
+    buf->clear();
+    buf->shrink_to_fit();
+  }
+}
+
+uint32_t PlainLengthOfCompressed(const std::vector<uint8_t>& msg) {
+  uint32_t v = 0;
+  for (int k = 0; k < 4; ++k) v |= static_cast<uint32_t>(msg[8 + k]) << (8 * k);
+  return v;
 }
 
 }  // namespace
@@ -179,30 +227,44 @@ void HyperQServer::HandleConnection(TcpConnection conn) {
 
 void HyperQServer::ServeRequests(TcpConnection& conn) {
   ServerMetrics& metrics = ServerMetrics::Get();
+  WireMetrics& wire = WireMetrics::Get();
   // One Hyper-Q session per connection (its own temp-table namespace and
   // variable scopes).
   HyperQSession session(backend_, options_.session);
 
+  // Per-connection reusable buffers: the request buffer absorbs header +
+  // body in place (no per-request allocation, no header/rest splice), and
+  // the encode arena + slice list back the scatter egress path. All are
+  // shrunk back after an oversized request (kConnBufferKeepBytes).
+  std::vector<uint8_t> request;
+  ByteWriter arena;
+  std::vector<IoSlice> slices;
+
   while (running_) {
-    Result<std::vector<uint8_t>> header = conn.ReadExact(8);
-    if (!header.ok()) {  // disconnect or idle timeout
-      if (IsTimeout(header.status())) metrics.read_timeouts->Increment();
+    uint8_t header[8];
+    Status header_read = conn.ReadExactInto(header, 8);
+    if (!header_read.ok()) {  // disconnect or idle timeout
+      if (IsTimeout(header_read)) metrics.read_timeouts->Increment();
       break;
     }
     auto request_start = std::chrono::steady_clock::now();
-    Result<uint32_t> len = qipc::PeekMessageLength(header->data());
+    Result<uint32_t> len = qipc::PeekMessageLength(header);
     if (!len.ok() || *len < 9 || *len > (256u << 20)) break;
-    Result<std::vector<uint8_t>> rest = conn.ReadExact(*len - 8);
-    if (!rest.ok()) {
-      if (IsTimeout(rest.status())) metrics.read_timeouts->Increment();
+    request.resize(*len);
+    std::memcpy(request.data(), header, 8);
+    Status body_read = conn.ReadExactInto(request.data() + 8, *len - 8);
+    if (!body_read.ok()) {
+      if (IsTimeout(body_read)) metrics.read_timeouts->Increment();
       break;
     }
     metrics.bytes_in->Increment(*len);
-    std::vector<uint8_t> whole = std::move(*header);
-    whole.insert(whole.end(), rest->begin(), rest->end());
 
-    Result<qipc::DecodedMessage> msg = qipc::DecodeMessage(whole);
+    Result<qipc::DecodedMessage> msg = qipc::DecodeMessage(request);
+    // A reply is either `reply` bytes (errors, compressed responses) or
+    // `slices` into arena + result columns (plain scatter fast path).
     std::vector<uint8_t> reply;
+    slices.clear();
+    Result<QValue> result = QValue();
     if (!msg.ok()) {
       reply = qipc::EncodeError(msg.status().ToString(),
                                 qipc::MsgType::kResponse);
@@ -214,41 +276,81 @@ void HyperQServer::ServeRequests(TcpConnection& conn) {
       std::string q_text = msg->value.is_atom()
                                ? std::string(1, msg->value.AsChar())
                                : msg->value.CharsView();
-      Result<QValue> result = session.Query(q_text);
+      result = session.Query(q_text);
       if (!result.ok()) {
         reply = qipc::EncodeError(result.status().ToString(),
                                   qipc::MsgType::kResponse);
       } else {
-        Result<std::vector<uint8_t>> encoded =
-            options_.compress_responses
-                ? qipc::EncodeMessageCompressed(*result,
-                                                qipc::MsgType::kResponse)
-                : qipc::EncodeMessage(*result, qipc::MsgType::kResponse);
-        if (!encoded.ok()) {
-          reply = qipc::EncodeError(encoded.status().ToString(),
-                                    qipc::MsgType::kResponse);
-        } else {
-          if (options_.compress_responses &&
-              !qipc::IsCompressedMessage(*encoded)) {
-            // Incompressible (or under-threshold) payload fell back to the
-            // plain encoding.
-            metrics.compress_fallbacks->Increment();
+        auto encode_start = std::chrono::steady_clock::now();
+        if (options_.compress_responses) {
+          Result<std::vector<uint8_t>> encoded =
+              options_.block_compression
+                  ? qipc::EncodeMessageCompressedBlocked(
+                        *result, qipc::MsgType::kResponse)
+                  : qipc::EncodeMessageCompressed(*result,
+                                                  qipc::MsgType::kResponse);
+          if (!encoded.ok()) {
+            reply = qipc::EncodeError(encoded.status().ToString(),
+                                      qipc::MsgType::kResponse);
+          } else {
+            if ((*encoded)[2] == 0) {
+              // Incompressible (or under-threshold) payload fell back to
+              // the plain encoding.
+              metrics.compress_fallbacks->Increment();
+            } else if (encoded->size() > 12) {
+              wire.compress_in_bytes->Increment(
+                  PlainLengthOfCompressed(*encoded));
+              wire.compress_out_bytes->Increment(encoded->size());
+            }
+            reply = std::move(*encoded);
           }
-          reply = std::move(*encoded);
+        } else {
+          // Plain responses take the zero-copy path: framing and small
+          // payloads land in the reusable arena, large typed columns are
+          // borrowed from `result` and gathered by WriteAllV.
+          Status enc = qipc::EncodeMessageScatter(
+              *result, qipc::MsgType::kResponse, &arena, &slices);
+          if (!enc.ok()) {
+            slices.clear();
+            reply = qipc::EncodeError(enc.ToString(),
+                                      qipc::MsgType::kResponse);
+          }
         }
+        auto encode_end = std::chrono::steady_clock::now();
+        wire.encode_us->Record(
+            std::chrono::duration<double, std::micro>(encode_end -
+                                                      encode_start)
+                .count());
       }
       // Async messages expect no response.
-      if (msg->type == qipc::MsgType::kAsync) continue;
+      if (msg->type == qipc::MsgType::kAsync) {
+        ShrinkIfOversized(&request);
+        continue;
+      }
     }
-    bool sent = conn.WriteAll(reply).ok();
+    size_t reply_bytes = 0;
+    bool sent;
+    if (!slices.empty()) {
+      for (const IoSlice& s : slices) reply_bytes += s.len;
+      wire.scatter_slices->Increment(slices.size());
+      wire.writev_calls->Increment();
+      sent = conn.WriteAllV(slices).ok();
+    } else {
+      reply_bytes = reply.size();
+      sent = conn.WriteAll(reply).ok();
+    }
     if (sent) {
-      metrics.bytes_out->Increment(reply.size());
+      metrics.bytes_out->Increment(reply_bytes);
+      wire.bytes_out->Increment(reply_bytes);
+      wire.messages_out->Increment();
       auto end = std::chrono::steady_clock::now();
       metrics.request_us->Record(
           std::chrono::duration<double, std::micro>(end - request_start)
               .count());
     }
     if (!sent) break;
+    ShrinkIfOversized(&request);
+    if (arena.data().capacity() > kConnBufferKeepBytes) arena = ByteWriter();
   }
   (void)session.Close();
 }
@@ -274,14 +376,17 @@ Result<QValue> QipcClient::Query(const std::string& q_text) {
       qipc::EncodeMessage(QValue::Chars(q_text), qipc::MsgType::kSync));
   HQ_RETURN_IF_ERROR(conn_.WriteAll(msg));
 
-  HQ_ASSIGN_OR_RETURN(std::vector<uint8_t> header, conn_.ReadExact(8));
-  HQ_ASSIGN_OR_RETURN(uint32_t len, qipc::PeekMessageLength(header.data()));
+  uint8_t header[8];
+  HQ_RETURN_IF_ERROR(conn_.ReadExactInto(header, 8));
+  HQ_ASSIGN_OR_RETURN(uint32_t len, qipc::PeekMessageLength(header));
   if (len < 9 || len > (256u << 20)) {
     return ProtocolError(StrCat("implausible QIPC response length ", len));
   }
-  HQ_ASSIGN_OR_RETURN(std::vector<uint8_t> rest, conn_.ReadExact(len - 8));
-  std::vector<uint8_t> whole = std::move(header);
-  whole.insert(whole.end(), rest.begin(), rest.end());
+  // Read the body straight after the header in one buffer — no
+  // header/rest splice copy.
+  std::vector<uint8_t> whole(len);
+  std::memcpy(whole.data(), header, 8);
+  HQ_RETURN_IF_ERROR(conn_.ReadExactInto(whole.data() + 8, len - 8));
   HQ_ASSIGN_OR_RETURN(qipc::DecodedMessage reply,
                       qipc::DecodeMessage(whole));
   if (reply.is_error) {

@@ -244,16 +244,20 @@ QValue ColumnFromResult(sqldb::QueryResult& result, size_t col,
         return QValue::IntList(qt, std::vector<int64_t>(n, kNullLong));
       }
       if (cp->storage() == Storage::kInt) {
-        std::vector<uint8_t> nulls = cp->null_bytes();
+        // Move (sole owner) or reference the null map — never copy it.
+        std::vector<uint8_t> moved_nulls;
+        const std::vector<uint8_t>* nulls = &cp->null_bytes();
         std::vector<int64_t> v;
         if (may_move && cp.use_count() == 1) {
+          moved_nulls = cp->TakeNullBytes();
+          nulls = &moved_nulls;
           v = cp->TakeInts();
         } else {
           v.assign(cp->ints(), cp->ints() + n);
         }
-        if (!nulls.empty()) {
+        if (!nulls->empty()) {
           for (size_t r = 0; r < n; ++r) {
-            if (nulls[r]) v[r] = kNullLong;
+            if ((*nulls)[r]) v[r] = kNullLong;
           }
         }
         return QValue::IntList(qt, std::move(v));
@@ -267,16 +271,19 @@ QValue ColumnFromResult(sqldb::QueryResult& result, size_t col,
         return QValue::FloatList(qt, std::vector<double>(n, std::nan("")));
       }
       if (cp->storage() == Storage::kFloat) {
-        std::vector<uint8_t> nulls = cp->null_bytes();
+        std::vector<uint8_t> moved_nulls;
+        const std::vector<uint8_t>* nulls = &cp->null_bytes();
         std::vector<double> v;
         if (may_move && cp.use_count() == 1) {
+          moved_nulls = cp->TakeNullBytes();
+          nulls = &moved_nulls;
           v = cp->TakeFloats();
         } else {
           v.assign(cp->floats(), cp->floats() + n);
         }
-        if (!nulls.empty()) {
+        if (!nulls->empty()) {
           for (size_t r = 0; r < n; ++r) {
-            if (nulls[r]) v[r] = std::nan("");
+            if ((*nulls)[r]) v[r] = std::nan("");
           }
         }
         return QValue::FloatList(qt, std::move(v));
@@ -288,16 +295,19 @@ QValue ColumnFromResult(sqldb::QueryResult& result, size_t col,
         return QValue::Syms(std::vector<std::string>(n));
       }
       if (cp->storage() == Storage::kString) {
-        std::vector<uint8_t> nulls = cp->null_bytes();
+        std::vector<uint8_t> moved_nulls;
+        const std::vector<uint8_t>* nulls = &cp->null_bytes();
         std::vector<std::string> v;
         if (may_move && cp.use_count() == 1) {
+          moved_nulls = cp->TakeNullBytes();
+          nulls = &moved_nulls;
           v = cp->TakeStrings();
         } else {
           v = cp->strs();
         }
-        if (!nulls.empty()) {
+        if (!nulls->empty()) {
           for (size_t r = 0; r < n; ++r) {
-            if (nulls[r]) v[r].clear();
+            if ((*nulls)[r]) v[r].clear();
           }
         }
         return QValue::Syms(std::move(v));

@@ -5,6 +5,7 @@
 #include <netinet/tcp.h>
 #include <sys/socket.h>
 #include <sys/time.h>
+#include <sys/uio.h>
 #include <unistd.h>
 
 #include <cerrno>
@@ -79,11 +80,55 @@ Status TcpConnection::WriteAll(const void* data, size_t len) {
   return Status::OK();
 }
 
+Status TcpConnection::WriteAllV(const IoSlice* slices, size_t count) {
+  // (slice index, offset into that slice) is the single write cursor; the
+  // iovec window for each sendmsg is rebuilt from it, so short writes and
+  // EINTR need no separate compaction pass.
+  constexpr size_t kMaxIov = 64;
+  iovec iov[kMaxIov];
+  size_t i = 0;
+  size_t off = 0;  // bytes of slices[i] already sent
+  while (i < count) {
+    size_t n_iov = 0;
+    for (size_t j = i; j < count && n_iov < kMaxIov; ++j) {
+      size_t skip = j == i ? off : 0;
+      if (slices[j].len <= skip) continue;
+      iov[n_iov].iov_base =
+          const_cast<uint8_t*>(static_cast<const uint8_t*>(slices[j].data)) +
+          skip;
+      iov[n_iov].iov_len = slices[j].len - skip;
+      ++n_iov;
+    }
+    if (n_iov == 0) break;  // only empty slices remained
+    msghdr msg{};
+    msg.msg_iov = iov;
+    msg.msg_iovlen = n_iov;
+    ssize_t n = ::sendmsg(fd_, &msg, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Errno("sendmsg");
+    }
+    size_t done = static_cast<size_t>(n);
+    while (i < count && done >= slices[i].len - off) {
+      done -= slices[i].len - off;
+      ++i;
+      off = 0;
+    }
+    off += done;
+  }
+  return Status::OK();
+}
+
 Result<std::vector<uint8_t>> TcpConnection::ReadExact(size_t len) {
   std::vector<uint8_t> buf(len);
+  HQ_RETURN_IF_ERROR(ReadExactInto(buf.data(), len));
+  return buf;
+}
+
+Status TcpConnection::ReadExactInto(uint8_t* dst, size_t len) {
   size_t got = 0;
   while (got < len) {
-    ssize_t n = ::recv(fd_, buf.data() + got, len - got, 0);
+    ssize_t n = ::recv(fd_, dst + got, len - got, 0);
     if (n < 0) {
       if (errno == EINTR) continue;
       if (errno == EAGAIN || errno == EWOULDBLOCK) {
@@ -97,7 +142,7 @@ Result<std::vector<uint8_t>> TcpConnection::ReadExact(size_t len) {
     }
     got += static_cast<size_t>(n);
   }
-  return buf;
+  return Status::OK();
 }
 
 Result<std::vector<uint8_t>> TcpConnection::ReadSome(size_t max) {

@@ -11,6 +11,15 @@
 
 namespace hyperq {
 
+/// One gather-write fragment: WriteAllV sends a sequence of these with a
+/// single sendmsg per batch, so a wire message assembled as header + arena
+/// pieces + borrowed column payloads reaches the socket without being
+/// concatenated first.
+struct IoSlice {
+  const void* data = nullptr;
+  size_t len = 0;
+};
+
 /// Blocking TCP connection (kdb+ and PG both use TCP/IP, §3.1). Move-only
 /// RAII wrapper over a socket descriptor.
 class TcpConnection {
@@ -35,8 +44,20 @@ class TcpConnection {
     return WriteAll(data.data(), data.size());
   }
 
+  /// Scatter-gather write: sends every slice, in order, as if their
+  /// concatenation had been passed to WriteAll, but without building the
+  /// concatenation. Empty slices are permitted and skipped.
+  Status WriteAllV(const IoSlice* slices, size_t count);
+  Status WriteAllV(const std::vector<IoSlice>& slices) {
+    return WriteAllV(slices.data(), slices.size());
+  }
+
   /// Reads exactly `len` bytes (blocks until received or the peer closes).
   Result<std::vector<uint8_t>> ReadExact(size_t len);
+
+  /// Like ReadExact but fills caller-owned memory — the per-connection
+  /// read-buffer reuse primitive (no allocation per message).
+  Status ReadExactInto(uint8_t* dst, size_t len);
 
   /// Reads at most `max` bytes; empty result means orderly shutdown.
   Result<std::vector<uint8_t>> ReadSome(size_t max);

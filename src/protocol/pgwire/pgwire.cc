@@ -2,6 +2,8 @@
 
 #include <sys/socket.h>
 
+#include <charconv>
+#include <cstdio>
 #include <cstdlib>
 
 #include <algorithm>
@@ -132,6 +134,139 @@ std::vector<uint8_t> ReadyBody() {
   ByteWriter w;
   w.PutU8('I');
   return w.Take();
+}
+
+/// Minimum string-cell size worth its own iovec entry in the gather
+/// write; smaller cells are cheaper to copy into the arena.
+constexpr size_t kPgBorrowMinBytes = 256;
+
+/// Gathers a PG v3 response as arena runs interleaved with borrowed
+/// string-cell payloads. Framing (type bytes, lengths, counts) always
+/// lives in the arena, so message lengths are patched in place with
+/// PatchU32BE — no per-message body buffer and no body copy. Arena bytes
+/// are recorded as offsets (the arena may reallocate) and resolved to
+/// IoSlices at the end.
+class ResponseSink {
+ public:
+  explicit ResponseSink(ByteWriter* arena) : arena_(arena) {
+    arena_->Clear();
+  }
+
+  ByteWriter* arena() { return arena_; }
+
+  /// Starts a message: type byte + length placeholder.
+  void BeginMessage(char type) {
+    arena_->PutU8(static_cast<uint8_t>(type));
+    msg_len_off_ = arena_->size();
+    arena_->PutU32BE(0);
+    msg_borrowed_ = 0;
+  }
+
+  /// Patches the current message's length (everything after the type
+  /// byte, borrowed payloads included).
+  void EndMessage() {
+    arena_->PatchU32BE(
+        msg_len_off_,
+        static_cast<uint32_t>(arena_->size() - msg_len_off_ +
+                              msg_borrowed_));
+  }
+
+  /// Emits a slice referencing caller-owned bytes (a result string cell).
+  void Borrow(const void* data, size_t len) {
+    FlushArenaRun();
+    parts_.push_back(Part{/*arena_offset=*/0, data, len});
+    msg_borrowed_ += len;
+  }
+
+  void Finish(std::vector<IoSlice>* out) {
+    FlushArenaRun();
+    const uint8_t* base = arena_->data().data();
+    out->clear();
+    out->reserve(parts_.size());
+    for (const Part& p : parts_) {
+      out->push_back(IoSlice{
+          p.external != nullptr ? p.external : base + p.arena_offset,
+          p.len});
+    }
+  }
+
+ private:
+  struct Part {
+    size_t arena_offset;
+    const void* external;  // null = arena run
+    size_t len;
+  };
+
+  void FlushArenaRun() {
+    if (arena_->size() > run_start_) {
+      parts_.push_back(
+          Part{run_start_, nullptr, arena_->size() - run_start_});
+    }
+    run_start_ = arena_->size();
+  }
+
+  ByteWriter* arena_;
+  size_t run_start_ = 0;
+  size_t msg_len_off_ = 0;
+  size_t msg_borrowed_ = 0;
+  std::vector<Part> parts_;
+};
+
+/// Appends one DataRow cell (int32 BE length + text payload) straight
+/// into the sink. Numeric cells render via std::to_chars / stack snprintf
+/// with no std::string allocation; the text produced matches
+/// Datum::ToText byte for byte. Large string cells are borrowed from the
+/// result instead of copied.
+void PutTextCell(ResponseSink* sink, const sqldb::Datum& d) {
+  using sqldb::SqlType;
+  ByteWriter* w = sink->arena();
+  if (d.is_null()) {
+    w->PutI32BE(-1);
+    return;
+  }
+  switch (d.type()) {
+    case SqlType::kBoolean:
+      w->PutI32BE(1);
+      w->PutU8(d.AsInt() ? 't' : 'f');
+      return;
+    case SqlType::kSmallInt:
+    case SqlType::kInteger:
+    case SqlType::kBigInt: {
+      char buf[24];
+      auto res = std::to_chars(buf, buf + sizeof(buf), d.AsInt());
+      size_t len = static_cast<size_t>(res.ptr - buf);
+      w->PutI32BE(static_cast<int32_t>(len));
+      w->PutBytes(buf, len);
+      return;
+    }
+    case SqlType::kReal:
+    case SqlType::kDouble: {
+      // %.17g matches Datum::ToText exactly (std::to_chars shortest
+      // round-trip would change the wire text).
+      char buf[32];
+      int len = std::snprintf(buf, sizeof(buf), "%.17g", d.AsDouble());
+      w->PutI32BE(len);
+      w->PutBytes(buf, static_cast<size_t>(len));
+      return;
+    }
+    case SqlType::kVarchar:
+    case SqlType::kText: {
+      const std::string& s = d.AsString();
+      w->PutI32BE(static_cast<int32_t>(s.size()));
+      if (s.size() >= kPgBorrowMinBytes) {
+        sink->Borrow(s.data(), s.size());
+      } else {
+        w->PutString(s);
+      }
+      return;
+    }
+    default: {
+      std::string text = d.ToText();  // temporal formatting
+      w->PutI32BE(static_cast<int32_t>(text.size()));
+      w->PutString(text);
+      return;
+    }
+  }
 }
 
 Result<sqldb::Datum> DatumFromText(sqldb::SqlType type,
@@ -459,15 +594,21 @@ void PgWireServer::HandleConnection(TcpConnection conn) {
     return;
   }
   auto session = db_->CreateSession();
+  // Per-connection arena and slice list, reused across queries; bounded
+  // so one oversized result set does not pin its peak footprint.
+  constexpr size_t kArenaKeepBytes = 1u << 20;
+  ByteWriter out;
+  std::vector<IoSlice> slices;
   while (running_) {
     Result<WireMessage> msg = ReadMessage(&conn);
     if (!msg.ok()) return;  // disconnect
     if (msg->type == kMsgTerminate) return;
     if (msg->type != kMsgQuery) continue;
+    if (out.data().capacity() > kArenaKeepBytes) out = ByteWriter();
 
     ByteReader r(msg->body);
     Result<std::string> sql = r.GetCString();
-    ByteWriter out;
+    out.Clear();
     if (!sql.ok()) {
       WriteMessage(&out, kMsgErrorResponse, ErrorBody(sql.status()));
       WriteMessage(&out, kMsgReadyForQuery, ReadyBody());
@@ -481,39 +622,39 @@ void PgWireServer::HandleConnection(TcpConnection conn) {
       if (!conn.WriteAll(out.data()).ok()) return;
       continue;
     }
+    // The whole response — RowDescription, every DataRow, CommandComplete,
+    // ReadyForQuery — is framed in the arena with lengths patched in
+    // place, large string cells borrowed from `result`, and reaches the
+    // socket in one gather write.
+    ResponseSink sink(&out);
     if (result->has_rows) {
-      ByteWriter desc;
-      desc.PutI16BE(static_cast<int16_t>(result->columns.size()));
+      sink.BeginMessage(kMsgRowDescription);
+      out.PutI16BE(static_cast<int16_t>(result->columns.size()));
       for (const auto& c : result->columns) {
-        desc.PutCString(c.name);
-        desc.PutI32BE(0);
-        desc.PutI16BE(0);
-        desc.PutI32BE(OidFor(c.type));
-        desc.PutI16BE(-1);
-        desc.PutI32BE(-1);
-        desc.PutI16BE(0);  // text format
+        out.PutCString(c.name);
+        out.PutI32BE(0);
+        out.PutI16BE(0);
+        out.PutI32BE(OidFor(c.type));
+        out.PutI16BE(-1);
+        out.PutI32BE(-1);
+        out.PutI16BE(0);  // text format
       }
-      WriteMessage(&out, kMsgRowDescription, desc.Take());
+      sink.EndMessage();
       for (const auto& row : result->rows) {
-        ByteWriter dr;
-        dr.PutI16BE(static_cast<int16_t>(row.size()));
-        for (const auto& d : row) {
-          if (d.is_null()) {
-            dr.PutI32BE(-1);
-            continue;
-          }
-          std::string text = d.ToText();
-          dr.PutI32BE(static_cast<int32_t>(text.size()));
-          dr.PutString(text);
-        }
-        WriteMessage(&out, kMsgDataRow, dr.Take());
+        sink.BeginMessage(kMsgDataRow);
+        out.PutI16BE(static_cast<int16_t>(row.size()));
+        for (const auto& d : row) PutTextCell(&sink, d);
+        sink.EndMessage();
       }
     }
-    ByteWriter tag;
-    tag.PutCString(result->command_tag);
-    WriteMessage(&out, kMsgCommandComplete, tag.Take());
-    WriteMessage(&out, kMsgReadyForQuery, ReadyBody());
-    if (!conn.WriteAll(out.data()).ok()) return;
+    sink.BeginMessage(kMsgCommandComplete);
+    out.PutCString(result->command_tag);
+    sink.EndMessage();
+    sink.BeginMessage(kMsgReadyForQuery);
+    out.PutU8('I');
+    sink.EndMessage();
+    sink.Finish(&slices);
+    if (!conn.WriteAllV(slices).ok()) return;
   }
 }
 

@@ -5,7 +5,9 @@
 #include <string>
 #include <vector>
 
+#include "common/bytes.h"
 #include "common/status.h"
+#include "net/tcp.h"
 #include "qval/qvalue.h"
 
 namespace hyperq {
@@ -18,7 +20,8 @@ namespace qipc {
 /// Message layout:
 ///   byte 0: architecture (1 = little endian)
 ///   byte 1: message type (0 async, 1 sync, 2 response)
-///   byte 2: compressed flag (0; compression is not implemented)
+///   byte 2: compression scheme (0 plain, 1 kx single-stream, 2 blocked —
+///           see compress.h)
 ///   byte 3: reserved
 ///   bytes 4..7: total message length, uint32 LE
 ///   payload: recursive type-coded object encoding.
@@ -29,15 +32,54 @@ namespace qipc {
 /// dict (99) of column names to column lists.
 enum class MsgType : uint8_t { kAsync = 0, kSync = 1, kResponse = 2 };
 
-/// Serializes a Q value into a complete QIPC message.
+/// Exact encoded size of the object encoding of `value` — the payload
+/// bytes after the 8-byte message header. The size pre-pass lets every
+/// encoder below perform a single allocation (or none, into a reusable
+/// arena) and write the length header up front instead of back-patching.
+/// Fails for the same unencodable types the encoders reject.
+Result<size_t> EncodedObjectSize(const QValue& value);
+
+/// Serializes a Q value into a complete QIPC message. Vectorized: the size
+/// pre-pass reserves the full message once, and contiguous typed vectors
+/// (longs, floats, timestamps, booleans, ...) are copied wholesale on
+/// little-endian hosts instead of element at a time.
 Result<std::vector<uint8_t>> EncodeMessage(const QValue& value,
                                            MsgType type);
+
+/// Like EncodeMessage but appends into a caller-owned writer (cleared
+/// first), so a per-connection arena is reused across responses instead of
+/// allocating a fresh message buffer each time.
+Status EncodeMessageInto(const QValue& value, MsgType type, ByteWriter* out);
+
+/// The pre-vectorization element-at-a-time encoder, kept as a pinned
+/// baseline: property tests assert the bulk path is byte-identical to it,
+/// and bench_wire measures the bulk speedup against it. Not used on any
+/// serving path.
+Result<std::vector<uint8_t>> EncodeMessageElementwise(const QValue& value,
+                                                      MsgType type);
+
+/// Scatter encode: framing, counts and small payloads are appended to
+/// `arena` (cleared first), while large contiguous typed column payloads
+/// (8-byte integral lists, float lists, char lists) are *borrowed* from
+/// `value` as slices pointing at its own buffers — zero copies for the
+/// bulk of a big table. The resulting slices, in order, spell the complete
+/// wire message for TcpConnection::WriteAllV. `value` and `arena` must
+/// outlive the write.
+Status EncodeMessageScatter(const QValue& value, MsgType type,
+                            ByteWriter* arena, std::vector<IoSlice>* slices);
 
 /// Like EncodeMessage, but applies kdb+ IPC compression when the plain
 /// message exceeds the compression threshold and actually shrinks
 /// (see compress.h). DecodeMessage transparently handles both forms.
 Result<std::vector<uint8_t>> EncodeMessageCompressed(const QValue& value,
                                                      MsgType type);
+
+/// Like EncodeMessageCompressed but emits the blocked scheme-2 format,
+/// whose blocks compress in parallel on the shared worker pool. Only for
+/// links where our own DecodeMessage is the consumer (serve-side option);
+/// real kdb+ clients understand scheme 1 only.
+Result<std::vector<uint8_t>> EncodeMessageCompressedBlocked(
+    const QValue& value, MsgType type);
 
 /// Serializes an error response (type -128 + NUL-terminated text).
 std::vector<uint8_t> EncodeError(const std::string& message, MsgType type);

@@ -119,6 +119,14 @@ class Column {
   std::vector<int64_t> TakeInts();
   std::vector<double> TakeFloats();
   std::vector<std::string> TakeStrings();
+  /// Moves the null byte-map out. Call *before* TakeInts/TakeFloats/
+  /// TakeStrings (they reset the column, discarding the map); the column
+  /// then reads as all-non-null.
+  std::vector<uint8_t> TakeNullBytes() {
+    std::vector<uint8_t> v = std::move(nulls_);
+    nulls_.clear();
+    return v;
+  }
 
   /// The truth test the engine applies to WHERE/HAVING/CASE conditions:
   /// non-null and integer payload != 0. (Float and string cells are never

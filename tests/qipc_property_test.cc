@@ -268,6 +268,283 @@ TEST_P(QipcRoundTrip, CompressedStreamFuzzDoesNotCrash) {
   }
 }
 
+// -- Vectorized wire path ----------------------------------------------------
+
+TEST_P(QipcRoundTrip, BulkEncodeMatchesElementwiseBaseline) {
+  // The memcpy/tight-loop encoder must be byte-identical to the pinned
+  // element-wise baseline for large vectors of every typed shape, nulls
+  // included.
+  size_t n = 10000 + rng_.Below(5000);
+  std::vector<QValue> cases;
+  for (QType t : {QType::kLong, QType::kTimestamp, QType::kTimespan,
+                  QType::kShort, QType::kInt, QType::kDate, QType::kTime,
+                  QType::kBool, QType::kByte}) {
+    // bool/byte have no wire null; everything else gets nulls sprinkled in.
+    std::vector<int64_t> v(n);
+    for (auto& x : v) {
+      if (t == QType::kBool) {
+        x = rng_.Below(2);
+      } else if (t == QType::kByte) {
+        x = static_cast<int64_t>(rng_.Below(256)) - 128;  // decodes signed
+      } else if (rng_.Below(8) == 0) {
+        x = kNullLong;
+      } else if (t == QType::kShort) {
+        x = static_cast<int64_t>(rng_.Below(60000)) - 30000;
+      } else {
+        x = static_cast<int64_t>(rng_.Below(1u << 30)) - (1 << 29);
+      }
+    }
+    cases.push_back(QValue::IntList(t, std::move(v)));
+  }
+  for (QType t : {QType::kFloat, QType::kReal}) {
+    std::vector<double> v(n);
+    for (auto& x : v) {
+      x = rng_.NextDouble() * 1e9 - 5e8;
+      // Reals travel as float32; pre-round so the round trip matches.
+      if (t == QType::kReal) x = static_cast<float>(x);
+    }
+    cases.push_back(QValue::FloatList(t, std::move(v)));
+  }
+  {
+    std::vector<std::string> syms(n);
+    for (auto& s : syms)
+      s = std::string(1 + rng_.Below(7), 'a' + rng_.Below(26));
+    cases.push_back(QValue::Syms(std::move(syms)));
+    std::string chars(n, ' ');
+    for (auto& c : chars) c = static_cast<char>(rng_.Below(256));
+    cases.push_back(QValue::Chars(std::move(chars)));
+  }
+  // A wide table mixing all of the above exercises the recursive paths.
+  {
+    std::vector<std::string> names;
+    std::vector<QValue> cols;
+    for (size_t i = 0; i < cases.size(); ++i) {
+      names.push_back(std::string(1, static_cast<char>('a' + i)));
+      cols.push_back(cases[i]);
+    }
+    cases.push_back(QValue::MakeTableUnchecked(names, cols));
+  }
+  for (const QValue& v : cases) {
+    auto bulk = EncodeMessage(v, MsgType::kResponse);
+    auto baseline = EncodeMessageElementwise(v, MsgType::kResponse);
+    ASSERT_TRUE(bulk.ok()) << bulk.status().ToString();
+    ASSERT_TRUE(baseline.ok()) << baseline.status().ToString();
+    ASSERT_EQ(*bulk, *baseline) << "type " << QTypeName(v.type());
+    // And the bulk decode paths must invert them exactly.
+    auto decoded = DecodeMessage(*bulk);
+    ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+    EXPECT_TRUE(QValue::Match(v, decoded->value))
+        << "type " << QTypeName(v.type());
+  }
+}
+
+TEST_P(QipcRoundTrip, EncodedObjectSizeIsExact) {
+  // The size pre-pass must predict the payload size exactly for every
+  // wire-encodable shape (it sizes the single allocation and the header).
+  std::vector<QValue> cases;
+  for (int i = 0; i < 20; ++i) cases.push_back(RandomAtom());
+  for (int i = 0; i < 20; ++i) cases.push_back(RandomList(2));
+  for (int i = 0; i < 5; ++i) cases.push_back(RandomTable());
+  cases.push_back(QValue());  // generic null
+  for (const QValue& v : cases) {
+    auto size = EncodedObjectSize(v);
+    auto bytes = EncodeMessage(v, MsgType::kResponse);
+    ASSERT_TRUE(size.ok()) << size.status().ToString();
+    ASSERT_TRUE(bytes.ok()) << bytes.status().ToString();
+    EXPECT_EQ(*size, bytes->size() - 8) << v.ToString();
+  }
+}
+
+TEST_P(QipcRoundTrip, EncodeMessageIntoReusesArena) {
+  // A reused per-connection arena must produce the same bytes as a fresh
+  // encode, message after message.
+  ByteWriter arena;
+  for (int i = 0; i < 5; ++i) {
+    QValue v = RandomTable();
+    auto fresh = EncodeMessage(v, MsgType::kResponse);
+    ASSERT_TRUE(fresh.ok());
+    ASSERT_TRUE(EncodeMessageInto(v, MsgType::kResponse, &arena).ok());
+    EXPECT_EQ(arena.data(), *fresh);
+  }
+}
+
+TEST_P(QipcRoundTrip, ScatterEncodeSpellsSameBytes) {
+  // The gather-write slices, concatenated, must spell exactly the
+  // EncodeMessage bytes, and large typed columns must be borrowed from
+  // the value rather than copied into the arena.
+  size_t rows = 20000;
+  std::vector<int64_t> a(rows);
+  std::vector<double> b(rows);
+  for (size_t i = 0; i < rows; ++i) {
+    a[i] = static_cast<int64_t>(rng_.Below(1000));
+    b[i] = rng_.NextDouble();
+  }
+  QValue table = QValue::MakeTableUnchecked(
+      {"a", "b"},
+      {QValue::IntList(QType::kLong, std::move(a)),
+       QValue::FloatList(QType::kFloat, std::move(b))});
+
+  auto contiguous = EncodeMessage(table, MsgType::kResponse);
+  ASSERT_TRUE(contiguous.ok());
+  ByteWriter arena;
+  std::vector<IoSlice> slices;
+  ASSERT_TRUE(EncodeMessageScatter(table, MsgType::kResponse, &arena,
+                                   &slices)
+                  .ok());
+  std::vector<uint8_t> gathered;
+  for (const IoSlice& s : slices) {
+    const uint8_t* p = static_cast<const uint8_t*>(s.data);
+    gathered.insert(gathered.end(), p, p + s.len);
+  }
+  EXPECT_EQ(gathered, *contiguous);
+
+  if constexpr (kHostIsLittleEndian) {
+    // Column payloads are the value's own buffers: zero copies.
+    const QValue& col_a = table.Table().columns[0];
+    const QValue& col_b = table.Table().columns[1];
+    bool borrowed_a = false;
+    bool borrowed_b = false;
+    for (const IoSlice& s : slices) {
+      if (s.data == col_a.Ints().data()) borrowed_a = true;
+      if (s.data == col_b.Floats().data()) borrowed_b = true;
+    }
+    EXPECT_TRUE(borrowed_a);
+    EXPECT_TRUE(borrowed_b);
+  }
+
+  // Small values produce slices too (all-arena) and still concatenate to
+  // the contiguous encoding.
+  for (int i = 0; i < 10; ++i) {
+    QValue v = RandomList(2);
+    auto flat = EncodeMessage(v, MsgType::kResponse);
+    ASSERT_TRUE(flat.ok());
+    ASSERT_TRUE(
+        EncodeMessageScatter(v, MsgType::kResponse, &arena, &slices).ok());
+    std::vector<uint8_t> got;
+    for (const IoSlice& s : slices) {
+      const uint8_t* p = static_cast<const uint8_t*>(s.data);
+      got.insert(got.end(), p, p + s.len);
+    }
+    EXPECT_EQ(got, *flat);
+  }
+}
+
+TEST_P(QipcRoundTrip, CompressionZeroRunMatchRegression) {
+  // Regression: a long column of small repeated values emits zero-length
+  // match tokens; the decompressor must reset its hash cursor after those
+  // too, or its table diverges from the compressor's and later
+  // back-references land on the wrong position.
+  std::vector<int64_t> v(100000);
+  for (auto& x : v) x = static_cast<int64_t>(rng_.Below(4));
+  QValue table = QValue::MakeTableUnchecked(
+      {"v"}, {QValue::IntList(QType::kLong, std::move(v))});
+  auto plain = EncodeMessage(table, MsgType::kResponse);
+  ASSERT_TRUE(plain.ok());
+  auto packed = CompressMessage(*plain);
+  ASSERT_TRUE(IsCompressedMessage(packed));
+  auto restored = DecompressMessage(packed);
+  ASSERT_TRUE(restored.ok()) << restored.status().ToString();
+  EXPECT_EQ(*restored, *plain);
+}
+
+// -- Blocked (scheme 2) compression ------------------------------------------
+
+TEST_P(QipcRoundTrip, BlockCompressedRoundTrip) {
+  // Multi-block repetitive payload (~800KB plain = several 256KB blocks):
+  // must shrink, carry scheme byte 2, and decode to the same value.
+  size_t rows = 100000;
+  std::vector<int64_t> v(rows);
+  for (auto& x : v) x = static_cast<int64_t>(rng_.Below(4));
+  QValue table = QValue::MakeTableUnchecked(
+      {"v"}, {QValue::IntList(QType::kLong, std::move(v))});
+  auto plain = EncodeMessage(table, MsgType::kResponse);
+  ASSERT_TRUE(plain.ok());
+  ASSERT_GT(plain->size(), 2 * kCompressBlockSize);
+  auto packed = EncodeMessageCompressedBlocked(table, MsgType::kResponse);
+  ASSERT_TRUE(packed.ok());
+  EXPECT_TRUE(IsBlockCompressedMessage(*packed));
+  EXPECT_LT(packed->size(), plain->size());
+  auto decoded = DecodeMessage(*packed);
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  EXPECT_TRUE(QValue::Match(table, decoded->value));
+  // The direct decompressor must reproduce the plain message exactly.
+  auto restored = DecompressMessageBlocked(*packed);
+  ASSERT_TRUE(restored.ok()) << restored.status().ToString();
+  EXPECT_EQ(*restored, *plain);
+}
+
+TEST_P(QipcRoundTrip, BlockCompressedIncompressibleStaysPlain) {
+  // High-entropy payload: raw-stored blocks plus framing can never beat
+  // the plain message, so the encoder must fall back to scheme 0.
+  size_t rows = 100000;
+  std::vector<double> v(rows);
+  for (auto& x : v) x = rng_.NextDouble();
+  QValue list = QValue::FloatList(QType::kFloat, std::move(v));
+  auto packed = EncodeMessageCompressedBlocked(list, MsgType::kResponse);
+  ASSERT_TRUE(packed.ok());
+  EXPECT_FALSE(IsBlockCompressedMessage(*packed));
+  EXPECT_EQ((*packed)[2], 0);
+  auto decoded = DecodeMessage(*packed);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_TRUE(QValue::Match(list, decoded->value));
+}
+
+TEST_P(QipcRoundTrip, BlockCompressedThresholdBoundary) {
+  // Sub-threshold messages bypass blocking entirely and are encoded once.
+  for (long delta : {-2L, -1L, 0L, 1L, 2L}) {
+    size_t target = kMinCompressSize + static_cast<size_t>(delta);
+    QValue v = QValue::Chars(std::string(target - 14, 'r'));
+    auto plain = EncodeMessage(v, MsgType::kResponse);
+    ASSERT_TRUE(plain.ok());
+    ASSERT_EQ(plain->size(), target);
+    auto packed = EncodeMessageCompressedBlocked(v, MsgType::kResponse);
+    ASSERT_TRUE(packed.ok());
+    if (target >= kMinCompressSize) {
+      EXPECT_TRUE(IsBlockCompressedMessage(*packed));
+      EXPECT_LT(packed->size(), plain->size());
+    } else {
+      EXPECT_FALSE(IsBlockCompressedMessage(*packed));
+      EXPECT_EQ(*packed, *plain);
+    }
+    auto decoded = DecodeMessage(*packed);
+    ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+    EXPECT_TRUE(QValue::Match(v, decoded->value));
+  }
+}
+
+TEST_P(QipcRoundTrip, BlockCompressedTruncationRejected) {
+  // Every strict prefix of a blocked message must fail cleanly: the frame
+  // headers and per-block streams are all bounds-checked.
+  QValue table = QValue::MakeTableUnchecked(
+      {"v"}, {QValue::IntList(QType::kLong,
+                              std::vector<int64_t>(100000, 7))});
+  auto packed = EncodeMessageCompressedBlocked(table, MsgType::kResponse);
+  ASSERT_TRUE(packed.ok());
+  ASSERT_TRUE(IsBlockCompressedMessage(*packed));
+  for (size_t cut = 12; cut < packed->size();
+       cut += 1 + rng_.Below(packed->size() / 40)) {
+    std::vector<uint8_t> prefix(packed->begin(), packed->begin() + cut);
+    auto r = DecompressMessageBlocked(prefix);
+    EXPECT_FALSE(r.ok()) << "prefix of " << cut << " bytes decoded";
+  }
+}
+
+TEST_P(QipcRoundTrip, BlockCompressedFuzzDoesNotCrash) {
+  QValue table = QValue::MakeTableUnchecked(
+      {"v"}, {QValue::IntList(QType::kLong,
+                              std::vector<int64_t>(100000, 7))});
+  auto packed = EncodeMessageCompressedBlocked(table, MsgType::kResponse);
+  ASSERT_TRUE(packed.ok());
+  ASSERT_TRUE(IsBlockCompressedMessage(*packed));
+  for (int k = 0; k < 50; ++k) {
+    std::vector<uint8_t> corrupted = *packed;
+    size_t pos = 8 + rng_.Below(corrupted.size() - 8);
+    corrupted[pos] ^= static_cast<uint8_t>(1 + rng_.Below(255));
+    auto r = DecodeMessage(corrupted);  // must not crash or overrun
+    (void)r;
+  }
+}
+
 INSTANTIATE_TEST_SUITE_P(Seeds, QipcRoundTrip,
                          ::testing::Values(11u, 22u, 33u, 44u, 55u, 66u));
 
