@@ -1,20 +1,29 @@
 #!/usr/bin/env bash
 # CI entry point: tier-1 build + full test suite, then the concurrency
-# battery (endpoint stress, metrics, worker pool, concurrent executors)
-# rebuilt and re-run under ThreadSanitizer. Any TSAN report fails the run via -DHYPERQ_SANITIZE
-# instrumentation and halt_on_error.
+# battery (endpoint stress, metrics, worker pool, concurrent executors,
+# fault injection, chaos soak) rebuilt and re-run under ThreadSanitizer.
+# Any TSAN report fails the run via -DHYPERQ_SANITIZE instrumentation and
+# halt_on_error.
 #
-# Usage: scripts/ci.sh [--skip-tsan] [--bench-smoke]
+# Usage: scripts/ci.sh [--skip-tsan] [--bench-smoke] [--chaos-smoke]
+#
+#   --chaos-smoke  re-runs the chaos/soak battery (non-TSAN binary) with a
+#                  pinned seed and a short wall-clock budget; part of the
+#                  default flow already via ctest, this flag runs it again
+#                  standalone with the canonical CI seed so a failure
+#                  reproduces with: HYPERQ_SOAK_SEED=42 HYPERQ_SOAK_MS=1500
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 JOBS="$(nproc 2>/dev/null || echo 4)"
 SKIP_TSAN=0
 BENCH_SMOKE=0
+CHAOS_SMOKE=0
 for arg in "$@"; do
   case "$arg" in
     --skip-tsan) SKIP_TSAN=1 ;;
     --bench-smoke) BENCH_SMOKE=1 ;;
+    --chaos-smoke) CHAOS_SMOKE=1 ;;
     *) echo "unknown flag: $arg" >&2; exit 2 ;;
   esac
 done
@@ -31,6 +40,11 @@ if [[ "$BENCH_SMOKE" == 1 ]]; then
   scripts/bench.sh --smoke
 fi
 
+if [[ "$CHAOS_SMOKE" == 1 ]]; then
+  echo "==> chaos: smoke soak (pinned seed 42, 1500 ms)"
+  HYPERQ_SOAK_SEED=42 HYPERQ_SOAK_MS=1500 ./build/tests/chaos_soak_test
+fi
+
 if [[ "$SKIP_TSAN" == 1 ]]; then
   echo "==> tsan: skipped (--skip-tsan)"
   exit 0
@@ -41,7 +55,7 @@ cmake -B build-tsan -S . -DHYPERQ_SANITIZE=thread >/dev/null
 cmake --build build-tsan -j "$JOBS" \
   --target endpoint_stress_test metrics_test endpoint_test \
   translation_cache_test worker_pool_test exec_stress_test \
-  wire_path_test qipc_property_test
+  wire_path_test qipc_property_test fault_injection_test chaos_soak_test
 
 echo "==> tsan: concurrency battery"
 export TSAN_OPTIONS="halt_on_error=1 second_deadlock_stack=1"
@@ -53,5 +67,7 @@ export TSAN_OPTIONS="halt_on_error=1 second_deadlock_stack=1"
 ./build-tsan/tests/exec_stress_test
 ./build-tsan/tests/wire_path_test
 ./build-tsan/tests/qipc_property_test
+./build-tsan/tests/fault_injection_test
+HYPERQ_SOAK_MS=1500 ./build-tsan/tests/chaos_soak_test
 
 echo "==> ci: all green"

@@ -1,0 +1,25 @@
+#include "common/deadline.h"
+
+#include "common/strings.h"
+
+namespace hyperq {
+
+namespace {
+
+thread_local Deadline tls_deadline;
+
+}  // namespace
+
+Deadline Deadline::Current() { return tls_deadline; }
+
+ScopedDeadline::ScopedDeadline(Deadline d) : prev_(tls_deadline) {
+  tls_deadline = d;
+}
+
+ScopedDeadline::~ScopedDeadline() { tls_deadline = prev_; }
+
+Status DeadlineExceeded(const char* stage) {
+  return TimeoutError(StrCat("query deadline exceeded during ", stage));
+}
+
+}  // namespace hyperq

@@ -1,0 +1,78 @@
+#ifndef HYPERQ_COMMON_DEADLINE_H_
+#define HYPERQ_COMMON_DEADLINE_H_
+
+#include <chrono>
+#include <cstdint>
+
+#include "common/status.h"
+
+namespace hyperq {
+
+/// A per-query wall-clock budget, carried from QIPC request decode through
+/// translate -> execute -> serialize (docs/ROBUSTNESS.md). Cancellation is
+/// cooperative: the endpoint and cross compiler check at stage boundaries,
+/// the columnar executor at morsel boundaries, so an expired query turns
+/// into a clean `'timeout` wire error instead of a hung connection.
+///
+/// A Deadline is a small value type: copy it into worker lambdas freely.
+/// The ambient per-request deadline is published thread-local by
+/// ScopedDeadline on the serving thread and read once per query by the
+/// executor (morsel workers receive it by value through their closure).
+class Deadline {
+ public:
+  /// An unarmed deadline: never expires, Expired() never reads the clock.
+  Deadline() = default;
+
+  static Deadline After(int64_t ms) {
+    Deadline d;
+    d.armed_ = true;
+    d.at_ = std::chrono::steady_clock::now() + std::chrono::milliseconds(ms);
+    return d;
+  }
+
+  bool armed() const { return armed_; }
+
+  bool Expired() const {
+    return armed_ && std::chrono::steady_clock::now() >= at_;
+  }
+
+  /// Milliseconds until expiry; negative once expired, INT64_MAX unarmed.
+  int64_t remaining_ms() const {
+    if (!armed_) return INT64_MAX;
+    return std::chrono::duration_cast<std::chrono::milliseconds>(
+               at_ - std::chrono::steady_clock::now())
+        .count();
+  }
+
+  /// The deadline ScopedDeadline published for the current thread's
+  /// in-flight request (unarmed when none).
+  static Deadline Current();
+
+ private:
+  friend class ScopedDeadline;
+
+  bool armed_ = false;
+  std::chrono::steady_clock::time_point at_{};
+};
+
+/// Publishes `d` as the thread's ambient request deadline for its own
+/// lifetime, restoring the previous one on destruction (nesting-safe).
+class ScopedDeadline {
+ public:
+  explicit ScopedDeadline(Deadline d);
+  ~ScopedDeadline();
+
+  ScopedDeadline(const ScopedDeadline&) = delete;
+  ScopedDeadline& operator=(const ScopedDeadline&) = delete;
+
+ private:
+  Deadline prev_;
+};
+
+/// The kTimeout status an expired stage reports; the endpoint maps it to
+/// the q-style `'timeout` wire error.
+Status DeadlineExceeded(const char* stage);
+
+}  // namespace hyperq
+
+#endif  // HYPERQ_COMMON_DEADLINE_H_

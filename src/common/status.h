@@ -26,6 +26,8 @@ enum class StatusCode {
   kNetworkError,      ///< Socket level failure.
   kInvalidArgument,   ///< API misuse.
   kInternal,          ///< Invariant violation inside Hyper-Q.
+  kTimeout,           ///< Query deadline exceeded (wire error: 'timeout).
+  kUnavailable,       ///< Transient overload/backend loss (wire: 'busy).
 };
 
 /// Returns a stable human-readable name, e.g. "ParseError".
@@ -71,6 +73,15 @@ Status AuthError(std::string message);
 Status NetworkError(std::string message);
 Status InvalidArgument(std::string message);
 Status InternalError(std::string message);
+Status TimeoutError(std::string message);
+Status UnavailableError(std::string message);
+
+/// Errors worth retrying against the backend: the failure was in getting
+/// the request there or in transient capacity, not in the request itself.
+inline bool IsTransient(const Status& s) {
+  return s.code() == StatusCode::kUnavailable ||
+         s.code() == StatusCode::kNetworkError;
+}
 
 /// Holds either a value of type T or an error Status. Access to value() on
 /// an error result aborts in debug builds; callers must check ok() first.

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cstdlib>
 
+#include "common/fault.h"
+
 namespace hyperq {
 
 namespace {
@@ -72,6 +74,11 @@ void WorkerPool::RunShare(Job* job) {
   for (;;) {
     size_t i = job->next.fetch_add(1, std::memory_order_relaxed);
     if (i >= job->n) return;
+    // pool.task honors delay actions only (a task function cannot fail, so
+    // an armed error at this site is a no-op by design). Delays here model
+    // a straggler worker; morsel merges must stay byte-identical under
+    // arbitrary scheduling skew.
+    (void)CheckFault("pool.task");
     (*job->fn)(i);
     job->done.fetch_add(1, std::memory_order_acq_rel);
   }

@@ -1,6 +1,13 @@
 #include "core/cross_compiler.h"
 
+#include <algorithm>
+#include <cctype>
+#include <chrono>
+#include <thread>
+
+#include "common/deadline.h"
 #include "common/metrics.h"
+#include "common/strings.h"
 #include "core/loader.h"
 
 namespace hyperq {
@@ -20,6 +27,11 @@ struct XcMetrics {
   Counter* requests;
   Counter* translate_errors;
   Counter* execute_errors;
+  Counter* retry_attempts;
+  Counter* retry_success;
+  Counter* retry_exhausted;
+  Counter* retry_backoff_ms;
+  Counter* deadline_expired;
 
   static XcMetrics& Get() {
     static XcMetrics* m = [] {
@@ -32,11 +44,35 @@ struct XcMetrics {
                            r.GetHistogram("backend.execute_us"),
                            r.GetCounter("xc.requests"),
                            r.GetCounter("xc.translate_errors"),
-                           r.GetCounter("xc.execute_errors")};
+                           r.GetCounter("xc.execute_errors"),
+                           r.GetCounter("retry.attempts"),
+                           r.GetCounter("retry.success"),
+                           r.GetCounter("retry.exhausted"),
+                           r.GetCounter("retry.backoff_ms"),
+                           r.GetCounter("deadline.expired_stages")};
     }();
     return *m;
   }
 };
+
+/// Only reads are safe to re-dispatch: a retried CREATE/INSERT after an
+/// ambiguous failure could double-apply. The translator emits SELECT (or
+/// WITH ... SELECT) for every pure result query.
+bool IsIdempotentRead(const std::string& sql) {
+  std::string_view s = StripWhitespace(sql);
+  while (!s.empty() && s.front() == '(') s = StripWhitespace(s.substr(1));
+  auto starts_with_ci = [&s](std::string_view kw) {
+    if (s.size() < kw.size()) return false;
+    for (size_t i = 0; i < kw.size(); ++i) {
+      if (std::toupper(static_cast<unsigned char>(s[i])) != kw[i]) {
+        return false;
+      }
+    }
+    return true;
+  };
+  return starts_with_ci("SELECT") || starts_with_ci("WITH") ||
+         starts_with_ci("VALUES");
+}
 
 }  // namespace
 
@@ -73,11 +109,7 @@ Result<QValue> CrossCompiler::Process(const std::string& q_text,
           backend_result = sqldb::QueryResult{};
           return Status::OK();
         }
-        Result<sqldb::QueryResult> r =
-            gateway_->Execute(translation.result_sql);
-        if (!r.ok()) return r.status();
-        backend_result = std::move(r).value();
-        return Status::OK();
+        return ExecuteWithRetry(translation.result_sql, &backend_result);
       });
 
   // Results arrived: pivot rows into the Q result format (§4.2).
@@ -104,7 +136,20 @@ Result<QValue> CrossCompiler::Process(const std::string& q_text,
   XcMetrics& metrics = XcMetrics::Get();
   metrics.requests->Increment();
 
+  // Stage-boundary cancellation: between every FSM stage an expired
+  // ambient deadline turns the request into kTimeout instead of running
+  // the next (possibly expensive) stage. A stage that finished after the
+  // deadline is also converted — the client asked for a bound, and a late
+  // success past it must look the same as a cancelled one.
+  const Deadline deadline = Deadline::Current();
+  auto check_deadline = [&](const char* stage) -> Status {
+    if (!deadline.Expired()) return Status::OK();
+    metrics.deadline_expired->Increment();
+    return DeadlineExceeded(stage);
+  };
+
   HQ_RETURN_IF_ERROR(pt.Fire(PtEvent::kRequestArrived));
+  HQ_RETURN_IF_ERROR(check_deadline("request parse"));
   {
     Status translated = pt.Fire(PtEvent::kQueryExtracted);
     if (!translated.ok()) {
@@ -112,6 +157,7 @@ Result<QValue> CrossCompiler::Process(const std::string& q_text,
       return translated;
     }
   }
+  HQ_RETURN_IF_ERROR(check_deadline("translate"));
   // The stage split was measured inside the translator; publish it to the
   // live histograms (Figure 7 per stage, Figure 6 for the total). Cache
   // hits skip the stages they never ran so the per-stage distributions
@@ -134,13 +180,62 @@ Result<QValue> CrossCompiler::Process(const std::string& q_text,
       return executed;
     }
   }
+  HQ_RETURN_IF_ERROR(check_deadline("execute"));
   HQ_RETURN_IF_ERROR(pt.Fire(PtEvent::kResultsReady));
+  HQ_RETURN_IF_ERROR(check_deadline("result translation"));
   HQ_RETURN_IF_ERROR(pt.Fire(PtEvent::kResultsTranslated));
   HQ_RETURN_IF_ERROR(pt.Fire(PtEvent::kResponseSent));
 
   if (timings != nullptr) *timings = translation.timings;
   if (executed_sql != nullptr) *executed_sql = translation.result_sql;
   return response;
+}
+
+Status CrossCompiler::ExecuteWithRetry(const std::string& sql,
+                                       sqldb::QueryResult* result) {
+  XcMetrics& metrics = XcMetrics::Get();
+  const Deadline deadline = Deadline::Current();
+  int attempt = 0;
+  while (true) {
+    ++attempt;
+    Result<sqldb::QueryResult> r = gateway_->Execute(sql);
+    if (r.ok()) {
+      if (attempt > 1) metrics.retry_success->Increment();
+      *result = std::move(r).value();
+      return Status::OK();
+    }
+    Status s = r.status();
+    if (!IsTransient(s) || !IsIdempotentRead(sql)) return s;
+    if (attempt >= retry_.max_attempts) {
+      if (attempt > 1) metrics.retry_exhausted->Increment();
+      return s;
+    }
+    int backoff_ms = std::min(retry_.max_backoff_ms,
+                              retry_.base_backoff_ms << (attempt - 1));
+    backoff_ms = static_cast<int>(backoff_ms * NextJitter());
+    // Retrying is pointless when the backoff alone would blow the
+    // deadline; hand the transient error back instead of a late timeout.
+    if (deadline.armed() && deadline.remaining_ms() <= backoff_ms) {
+      metrics.retry_exhausted->Increment();
+      return s;
+    }
+    metrics.retry_attempts->Increment();
+    metrics.retry_backoff_ms->Increment(static_cast<uint64_t>(backoff_ms));
+    if (backoff_ms > 0) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(backoff_ms));
+    }
+  }
+}
+
+double CrossCompiler::NextJitter() {
+  // xorshift64*: deterministic for a given seed, cheap, no global state.
+  uint64_t x = jitter_state_;
+  x ^= x >> 12;
+  x ^= x << 25;
+  x ^= x >> 27;
+  jitter_state_ = x;
+  uint64_t bits = (x * 0x2545F4914F6CDD1Dull) >> 11;  // 53 random bits
+  return 0.5 + static_cast<double>(bits) / 9007199254740992.0;  // [0.5,1.5)
 }
 
 }  // namespace hyperq

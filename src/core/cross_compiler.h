@@ -1,6 +1,7 @@
 #ifndef HYPERQ_CORE_CROSS_COMPILER_H_
 #define HYPERQ_CORE_CROSS_COMPILER_H_
 
+#include <cstdint>
 #include <string>
 
 #include "core/fsm.h"
@@ -9,6 +10,21 @@
 #include "qval/qvalue.h"
 
 namespace hyperq {
+
+/// Bounded retry for transient backend-gateway failures (connection loss,
+/// overload — IsTransient statuses). Only the final, idempotent result
+/// query is ever re-dispatched: setup statements (materialized variables)
+/// have side effects, and non-SELECT results could double-apply. Backoff
+/// is exponential with deterministic, seeded jitter, and never sleeps past
+/// the request's deadline.
+struct RetryPolicy {
+  /// Total dispatch attempts (1 = retries disabled).
+  int max_attempts = 3;
+  int base_backoff_ms = 2;
+  int max_backoff_ms = 50;
+  /// Seed for the jitter RNG; 0 picks a fixed default (replayable runs).
+  uint64_t jitter_seed = 0;
+};
 
 /// The Cross Compiler (XC) of §3.4 / Figure 4: drives one request through
 /// the Protocol Translator / Query Translator split. The PT owns message
@@ -37,19 +53,35 @@ class CrossCompiler {
     kResponseSent,
   };
 
-  CrossCompiler(QueryTranslator* translator, BackendGateway* gateway)
-      : translator_(translator), gateway_(gateway) {}
+  CrossCompiler(QueryTranslator* translator, BackendGateway* gateway,
+                RetryPolicy retry = RetryPolicy{})
+      : translator_(translator), gateway_(gateway), retry_(retry) {
+    jitter_state_ = retry_.jitter_seed ? retry_.jitter_seed
+                                       : 0x9E3779B97F4A7C15ull;
+  }
 
   /// Runs the full query life cycle for one Q request; returns the Q value
   /// to send back. `timings` (optional) receives the translation stage
   /// breakdown; `executed_sql` (optional) receives the final SQL text.
+  /// Honors the thread's ambient Deadline at every stage boundary: an
+  /// expired request returns kTimeout instead of continuing.
   Result<QValue> Process(const std::string& q_text,
                          StageTimings* timings = nullptr,
                          std::string* executed_sql = nullptr);
 
+  const RetryPolicy& retry_policy() const { return retry_; }
+
  private:
+  /// Dispatches the result query with the bounded-retry policy.
+  Status ExecuteWithRetry(const std::string& sql,
+                          sqldb::QueryResult* result);
+  /// Deterministic jitter factor in [0.5, 1.5).
+  double NextJitter();
+
   QueryTranslator* translator_;
   BackendGateway* gateway_;
+  RetryPolicy retry_;
+  uint64_t jitter_state_;
 };
 
 }  // namespace hyperq

@@ -1,11 +1,14 @@
 #include "core/endpoint.h"
 
 #include <sys/socket.h>
+#include <sys/time.h>
 
 #include <algorithm>
 #include <chrono>
 #include <cstring>
 
+#include "common/deadline.h"
+#include "common/fault.h"
 #include "common/logging.h"
 #include "common/metrics.h"
 #include "common/strings.h"
@@ -24,6 +27,9 @@ struct ServerMetrics {
   Counter* bytes_in;
   Counter* bytes_out;
   Counter* compress_fallbacks;
+  Counter* busy_rejections;
+  Counter* deadline_armed;
+  Counter* deadline_timeouts;
   LatencyHistogram* request_us;
 
   static ServerMetrics& Get() {
@@ -38,6 +44,9 @@ struct ServerMetrics {
           r.GetCounter("server.bytes_in"),
           r.GetCounter("server.bytes_out"),
           r.GetCounter("server.compress_fallbacks"),
+          r.GetCounter("server.busy_rejections"),
+          r.GetCounter("deadline.armed_queries"),
+          r.GetCounter("deadline.timeouts"),
           r.GetHistogram("server.request_us")};
     }();
     return *m;
@@ -77,6 +86,15 @@ bool IsTimeout(const Status& s) {
   return s.message().find("timed out") != std::string::npos;
 }
 
+/// Structured wire errors: a q client sees `'timeout` / `'busy` symbols it
+/// can branch on instead of a free-form diagnostic string. Everything else
+/// keeps the full status text.
+std::string WireErrorText(const Status& s) {
+  if (s.code() == StatusCode::kTimeout) return "timeout";
+  if (s.code() == StatusCode::kUnavailable) return "busy";
+  return s.ToString();
+}
+
 /// Once a request this large has been served, the connection's reusable
 /// buffers are shrunk back so one oversized query does not pin its peak
 /// footprint for the rest of the session.
@@ -113,9 +131,27 @@ void HyperQServer::Stop() {
   {
     // Drain, don't axe: SHUT_RD wakes workers blocked in recv (they see
     // EOF and exit), while a worker mid-query can still write its response
-    // before its loop observes running_ == false.
-    std::lock_guard<std::mutex> lock(conn_mu_);
-    for (int fd : active_fds_) ::shutdown(fd, SHUT_RD);
+    // before its loop observes running_ == false. The drain must be
+    // bounded, though — a peer that stops reading leaves a worker blocked
+    // in send() with a full socket buffer, and an unbounded Stop() would
+    // wedge behind it. Arming SO_SNDTIMEO caps any write the worker
+    // *enters* from now on; it cannot wake a send() that is already
+    // blocked, so stragglers past the drain window get SHUT_RDWR, which
+    // does.
+    std::unique_lock<std::mutex> lock(conn_mu_);
+    struct timeval tv;
+    int snd_ms = options_.drain_timeout_ms > 0 ? options_.drain_timeout_ms
+                                               : 1;
+    tv.tv_sec = snd_ms / 1000;
+    tv.tv_usec = (snd_ms % 1000) * 1000;
+    for (int fd : active_fds_) {
+      ::shutdown(fd, SHUT_RD);
+      ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
+    }
+    drain_cv_.wait_for(
+        lock, std::chrono::milliseconds(options_.drain_timeout_ms),
+        [this]() { return active_fds_.empty(); });
+    for (int fd : active_fds_) ::shutdown(fd, SHUT_RDWR);
   }
   for (auto& w : workers_) {
     if (w.joinable()) w.join();
@@ -150,6 +186,7 @@ void HyperQServer::UnregisterFd(int fd) {
   std::lock_guard<std::mutex> lock(conn_mu_);
   active_fds_.erase(std::remove(active_fds_.begin(), active_fds_.end(), fd),
                     active_fds_.end());
+  if (active_fds_.empty()) drain_cv_.notify_all();
 }
 
 void HyperQServer::HandleConnection(TcpConnection conn) {
@@ -260,6 +297,12 @@ void HyperQServer::ServeRequests(TcpConnection& conn) {
     metrics.bytes_in->Increment(*len);
 
     Result<qipc::DecodedMessage> msg = qipc::DecodeMessage(request);
+    // Injected decode failures look exactly like a malformed request: a
+    // structured error reply, never a dropped or torn frame.
+    if (FaultHit f = CheckFault("qipc.decode");
+        f.kind == FaultHit::Kind::kError) {
+      msg = f.error;
+    }
     // A reply is either `reply` bytes (errors, compressed responses) or
     // `slices` into arena + result columns (plain scatter fast path).
     std::vector<uint8_t> reply;
@@ -276,9 +319,50 @@ void HyperQServer::ServeRequests(TcpConnection& conn) {
       std::string q_text = msg->value.is_atom()
                                ? std::string(1, msg->value.AsChar())
                                : msg->value.CharsView();
-      result = session.Query(q_text);
+      // Per-query deadline: the session's own (.hyperq.deadline[ms])
+      // overrides the server default. The ambient deadline covers
+      // translate, execute (incl. morsel fan-out) and serialize; builtins
+      // are exempt (they are how a wedged client un-wedges the server).
+      int64_t dl_ms = session.deadline_ms() > 0
+                          ? session.deadline_ms()
+                          : options_.default_deadline_ms;
+      Deadline deadline =
+          dl_ms > 0 ? Deadline::After(dl_ms) : Deadline();
+      if (deadline.armed()) metrics.deadline_armed->Increment();
+      ScopedDeadline scoped(deadline);
+      // Load shedding: a caller beyond the inflight cap gets the
+      // structured 'busy answer immediately — bounded queueing, and the
+      // client knows to back off (its retry, not ours: the request never
+      // started, so retrying it is always safe).
+      struct InflightGuard {
+        std::atomic<int>* n;
+        ~InflightGuard() {
+          if (n != nullptr) n->fetch_sub(1, std::memory_order_acq_rel);
+        }
+      } inflight{nullptr};
+      bool shed = false;
+      if (options_.max_inflight_queries > 0) {
+        int prior =
+            inflight_queries_.fetch_add(1, std::memory_order_acq_rel);
+        inflight.n = &inflight_queries_;
+        if (prior >= options_.max_inflight_queries) {
+          metrics.busy_rejections->Increment();
+          result = UnavailableError("server at inflight query cap");
+          shed = true;
+        }
+      }
+      if (!shed) result = session.Query(q_text);
       if (!result.ok()) {
-        reply = qipc::EncodeError(result.status().ToString(),
+        if (result.status().code() == StatusCode::kTimeout) {
+          metrics.deadline_timeouts->Increment();
+        }
+        reply = qipc::EncodeError(WireErrorText(result.status()),
+                                  qipc::MsgType::kResponse);
+      } else if (FaultHit f = CheckFault("qipc.encode");
+                 f.kind == FaultHit::Kind::kError) {
+        // Injected encode failure: the response is replaced by a
+        // structured error, exactly like a real serialization bug.
+        reply = qipc::EncodeError(f.error.ToString(),
                                   qipc::MsgType::kResponse);
       } else {
         auto encode_start = std::chrono::steady_clock::now();

@@ -2,6 +2,7 @@
 #define HYPERQ_CORE_ENDPOINT_H_
 
 #include <atomic>
+#include <condition_variable>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -45,6 +46,21 @@ class HyperQServer {
     /// connection whose next request does not arrive in time is closed
     /// (slow-loris style half-open peers no longer pin a worker forever).
     int read_timeout_ms = 0;
+    /// Default per-query deadline in milliseconds; 0 disables. A session
+    /// can override its own with `.hyperq.deadline[ms]`. Expired queries
+    /// answer with the structured 'timeout error and the connection stays
+    /// usable.
+    int64_t default_deadline_ms = 0;
+    /// Load shedding: sync queries beyond this many simultaneously
+    /// executing ones are answered immediately with the structured 'busy
+    /// error instead of queueing without bound. 0 disables.
+    int max_inflight_queries = 0;
+    /// Stop() drain bound in milliseconds: how long to wait for in-flight
+    /// requests to finish writing their responses before write-side
+    /// shutdown forces the stragglers out. Also arms each draining
+    /// socket's send timeout so a worker entering a blocking write during
+    /// drain cannot wedge Stop() behind a stalled peer.
+    int drain_timeout_ms = 5000;
   };
 
   HyperQServer(sqldb::Database* backend, Options options)
@@ -97,7 +113,9 @@ class HyperQServer {
   std::vector<std::thread> workers_;
   std::atomic<bool> running_{false};
   std::atomic<int> active_count_{0};
+  std::atomic<int> inflight_queries_{0};
   std::mutex conn_mu_;
+  std::condition_variable drain_cv_;
   std::vector<int> active_fds_;
 };
 

@@ -4,6 +4,7 @@
 #include <memory>
 #include <string>
 
+#include "common/fault.h"
 #include "common/status.h"
 #include "sqldb/database.h"
 
@@ -31,6 +32,14 @@ class DirectGateway : public BackendGateway {
       : db_(db), session_(db->CreateSession()) {}
 
   Result<sqldb::QueryResult> Execute(const std::string& sql) override {
+    // The gateway is where a remote backend would fail (connection loss,
+    // overload); injected errors here surface as transient kUnavailable so
+    // the cross compiler's retry policy sees exactly what a flaky
+    // backend-gateway link produces.
+    if (FaultHit f = CheckFault("backend.execute");
+        f.kind == FaultHit::Kind::kError) {
+      return f.error;
+    }
     return db_->Execute(session_.get(), sql);
   }
 

@@ -1,5 +1,8 @@
 #include "core/hyperq.h"
 
+#include <cstdlib>
+
+#include "common/fault.h"
 #include "common/metrics.h"
 #include "common/strings.h"
 #include "serializer/serializer.h"
@@ -57,14 +60,30 @@ std::optional<Result<QValue>> HyperQSession::TryBuiltin(
   std::string_view text = StripWhitespace(q_text);
   if (!StartsWith(text, ".hyperq.")) return std::nullopt;
   // Accept both niladic-call and bare-name spellings, as q tooling issues
-  // either form.
+  // either form; control builtins take one bracketed argument
+  // (`.hyperq.fault["net.read=error"]`, `.hyperq.deadline[250]`).
   std::string_view name = text;
-  for (std::string_view suffix : {"[]", "[::]"}) {
-    if (EndsWith(name, suffix)) {
-      name = name.substr(0, name.size() - suffix.size());
-      break;
-    }
+  std::string_view arg;
+  if (size_t lb = name.find('[');
+      lb != std::string_view::npos && EndsWith(name, "]")) {
+    arg = StripWhitespace(name.substr(lb + 1, name.size() - lb - 2));
+    name = name.substr(0, lb);
+    if (arg == "::") arg = {};  // niladic-call spelling
   }
+  // Quoted string argument: strip the q quotes.
+  if (arg.size() >= 2 && arg.front() == '"' && arg.back() == '"') {
+    arg = arg.substr(1, arg.size() - 2);
+  }
+  auto int_arg = [&arg]() -> Result<int64_t> {
+    char* end = nullptr;
+    std::string buf(arg);
+    int64_t v = std::strtoll(buf.c_str(), &end, 10);
+    if (buf.empty() || end == nullptr || *end != '\0') {
+      return InvalidArgument(
+          StrCat("expected an integer argument, got '", buf, "'"));
+    }
+    return v;
+  };
   SessionMetrics::Get().builtin_queries->Increment();
   if (name == ".hyperq.stats") {
     return Result<QValue>(StatsTable());
@@ -90,6 +109,55 @@ std::optional<Result<QValue>> HyperQSession::TryBuiltin(
   }
   if (name == ".hyperq.cacheClear") {
     tcache_->Clear();
+    return Result<QValue>(QValue());
+  }
+  // Runtime fault-injection control (docs/ROBUSTNESS.md). Faults are
+  // process-global, like metrics: arming over one connection affects the
+  // whole server, which is exactly what a chaos test wants.
+  if (name == ".hyperq.fault") {
+    Status s = FaultInjector::Global().Arm(std::string(arg));
+    if (!s.ok()) return Result<QValue>(s);
+    return Result<QValue>(QValue());
+  }
+  if (name == ".hyperq.faultClear") {
+    FaultInjector::Global().Clear();
+    return Result<QValue>(QValue());
+  }
+  if (name == ".hyperq.faultSeed") {
+    Result<int64_t> v = int_arg();
+    if (!v.ok()) return Result<QValue>(v.status());
+    FaultInjector::Global().Reseed(static_cast<uint64_t>(*v));
+    return Result<QValue>(QValue());
+  }
+  if (name == ".hyperq.faultSites") {
+    return Result<QValue>(QValue::Syms(FaultInjector::KnownSites()));
+  }
+  if (name == ".hyperq.faultStats") {
+    std::vector<FaultInjector::SiteStats> rows =
+        FaultInjector::Global().Stats();
+    std::vector<std::string> sites, specs;
+    std::vector<int64_t> hits, fires;
+    for (FaultInjector::SiteStats& r : rows) {
+      sites.push_back(std::move(r.site));
+      specs.push_back(std::move(r.spec));
+      hits.push_back(static_cast<int64_t>(r.hits));
+      fires.push_back(static_cast<int64_t>(r.fires));
+    }
+    return Result<QValue>(QValue::MakeTableUnchecked(
+        {"site", "spec", "hits", "fires"},
+        {QValue::Syms(std::move(sites)), QValue::Syms(std::move(specs)),
+         QValue::IntList(QType::kLong, std::move(hits)),
+         QValue::IntList(QType::kLong, std::move(fires))}));
+  }
+  // Per-session query deadline in ms; 0 disables. Niladic call reports the
+  // current setting.
+  if (name == ".hyperq.deadline") {
+    if (arg.empty()) {
+      return Result<QValue>(QValue::Long(deadline_ms_));
+    }
+    Result<int64_t> v = int_arg();
+    if (!v.ok()) return Result<QValue>(v.status());
+    set_deadline_ms(*v);
     return Result<QValue>(QValue());
   }
   return Result<QValue>(

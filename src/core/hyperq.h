@@ -89,6 +89,13 @@ class HyperQSession {
 
   const StageTimings& last_timings() const { return last_timings_; }
   const std::string& last_sql() const { return last_sql_; }
+
+  /// Per-session query deadline in milliseconds; 0 = none. Set over the
+  /// wire with `.hyperq.deadline[ms]`. The serving endpoint arms an
+  /// ambient Deadline from this before each query.
+  int64_t deadline_ms() const { return deadline_ms_; }
+  void set_deadline_ms(int64_t ms) { deadline_ms_ = ms < 0 ? 0 : ms; }
+
   MetadataCache& metadata_cache() { return cache_; }
   TranslationCache& translation_cache() { return *tcache_; }
   VariableScopes& scopes() { return scopes_; }
@@ -113,6 +120,7 @@ class HyperQSession {
   TranslationCache* tcache_ = nullptr;
   StageTimings last_timings_;
   std::string last_sql_;
+  int64_t deadline_ms_ = 0;
 };
 
 }  // namespace hyperq

@@ -8,9 +8,11 @@
 #include <sys/uio.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <cstring>
 
+#include "common/fault.h"
 #include "common/strings.h"
 
 namespace hyperq {
@@ -66,21 +68,68 @@ Status TcpConnection::SetReadTimeout(int millis) {
   return Status::OK();
 }
 
+Status TcpConnection::SetWriteTimeout(int millis) {
+  if (millis < 0) return InvalidArgument("negative write timeout");
+  timeval tv{};
+  tv.tv_sec = millis / 1000;
+  tv.tv_usec = (millis % 1000) * 1000;
+  if (::setsockopt(fd_, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv)) != 0) {
+    return Errno("setsockopt(SO_SNDTIMEO)");
+  }
+  return Status::OK();
+}
+
 Status TcpConnection::WriteAll(const void* data, size_t len) {
   const uint8_t* p = static_cast<const uint8_t*>(data);
+  size_t cap = len;
+  if (FaultHit f = CheckFault("net.write"); f.kind != FaultHit::Kind::kNone) {
+    if (f.kind == FaultHit::Kind::kError) return f.error;
+    // Short write: transmit a real prefix, then fail like a died peer —
+    // the caller must treat the stream as broken, never patch over it.
+    cap = std::min(cap, f.short_len);
+  }
   size_t sent = 0;
-  while (sent < len) {
-    ssize_t n = ::send(fd_, p + sent, len - sent, MSG_NOSIGNAL);
+  while (sent < cap) {
+    ssize_t n = ::send(fd_, p + sent, cap - sent, MSG_NOSIGNAL);
     if (n < 0) {
       if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        return NetworkError("send timed out");
+      }
       return Errno("send");
     }
     sent += static_cast<size_t>(n);
+  }
+  if (cap < len) {
+    return NetworkError(StrCat("injected short write: ", cap, " of ", len,
+                               " bytes sent"));
   }
   return Status::OK();
 }
 
 Status TcpConnection::WriteAllV(const IoSlice* slices, size_t count) {
+  if (FaultHit f = CheckFault("net.write"); f.kind != FaultHit::Kind::kNone) {
+    if (f.kind == FaultHit::Kind::kError) return f.error;
+    // Short write across a scatter list: send a real prefix of the
+    // concatenation, then fail the connection.
+    size_t budget = f.short_len;
+    for (size_t i = 0; i < count && budget > 0; ++i) {
+      size_t n = std::min(budget, slices[i].len);
+      const uint8_t* p = static_cast<const uint8_t*>(slices[i].data);
+      size_t sent = 0;
+      while (sent < n) {
+        ssize_t w = ::send(fd_, p + sent, n - sent, MSG_NOSIGNAL);
+        if (w < 0) {
+          if (errno == EINTR) continue;
+          return Errno("send");
+        }
+        sent += static_cast<size_t>(w);
+      }
+      budget -= n;
+    }
+    return NetworkError(
+        StrCat("injected short write: ", f.short_len, "-byte prefix sent"));
+  }
   // (slice index, offset into that slice) is the single write cursor; the
   // iovec window for each sendmsg is rebuilt from it, so short writes and
   // EINTR need no separate compaction pass.
@@ -106,6 +155,9 @@ Status TcpConnection::WriteAllV(const IoSlice* slices, size_t count) {
     ssize_t n = ::sendmsg(fd_, &msg, MSG_NOSIGNAL);
     if (n < 0) {
       if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        return NetworkError("send timed out");
+      }
       return Errno("sendmsg");
     }
     size_t done = static_cast<size_t>(n);
@@ -126,6 +178,10 @@ Result<std::vector<uint8_t>> TcpConnection::ReadExact(size_t len) {
 }
 
 Status TcpConnection::ReadExactInto(uint8_t* dst, size_t len) {
+  if (FaultHit f = CheckFault("net.read");
+      f.kind == FaultHit::Kind::kError) {
+    return f.error;
+  }
   size_t got = 0;
   while (got < len) {
     ssize_t n = ::recv(fd_, dst + got, len - got, 0);
@@ -146,6 +202,10 @@ Status TcpConnection::ReadExactInto(uint8_t* dst, size_t len) {
 }
 
 Result<std::vector<uint8_t>> TcpConnection::ReadSome(size_t max) {
+  if (FaultHit f = CheckFault("net.read");
+      f.kind == FaultHit::Kind::kError) {
+    return f.error;
+  }
   std::vector<uint8_t> buf(max);
   while (true) {
     ssize_t n = ::recv(fd_, buf.data(), max, 0);

@@ -67,6 +67,12 @@ class TcpConnection {
   /// mentioning "timed out".
   Status SetReadTimeout(int millis);
 
+  /// Caps how long a single blocking write may wait for socket-buffer
+  /// space (SO_SNDTIMEO); 0 disables. Armed during server drain so a peer
+  /// that stops reading cannot pin a worker in send() forever. A timed-out
+  /// write fails with NetworkError "send timed out".
+  Status SetWriteTimeout(int millis);
+
   void Close();
   bool ok() const { return fd_ >= 0; }
   int fd() const { return fd_; }

@@ -8,6 +8,7 @@
 
 #include <algorithm>
 
+#include "common/fault.h"
 #include "common/logging.h"
 #include "sqldb/eval.h"
 #include "common/strings.h"
@@ -80,6 +81,10 @@ void WriteMessage(ByteWriter* out, char type,
 }
 
 Result<WireMessage> ReadMessage(TcpConnection* conn) {
+  if (FaultHit f = CheckFault("pgwire.read");
+      f.kind == FaultHit::Kind::kError) {
+    return f.error;
+  }
   HQ_ASSIGN_OR_RETURN(std::vector<uint8_t> header, conn->ReadExact(5));
   WireMessage msg;
   msg.type = static_cast<char>(header[0]);
@@ -654,6 +659,17 @@ void PgWireServer::HandleConnection(TcpConnection conn) {
     out.PutU8('I');
     sink.EndMessage();
     sink.Finish(&slices);
+    // An egress fault behaves as the transport dying mid-response: the
+    // connection is dropped, never patched over with a second frame on a
+    // stream whose position is unknown.
+    if (FaultHit f = CheckFault("pgwire.write");
+        f.kind != FaultHit::Kind::kNone) {
+      if (f.kind == FaultHit::Kind::kShortWrite && !slices.empty()) {
+        (void)conn.WriteAll(slices[0].data,
+                            std::min(f.short_len, slices[0].len));
+      }
+      return;
+    }
     if (!conn.WriteAllV(slices).ok()) return;
   }
 }

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cstring>
 
+#include "common/fault.h"
 #include "common/strings.h"
 #include "common/worker_pool.h"
 
@@ -344,6 +345,14 @@ std::vector<uint8_t> CompressMessageBlocked(std::vector<uint8_t> input) {
     size_t len = std::min(kCompressBlockSize, t - off);
     BlockOut& b = blocks[i];
     b.plain_len = len;
+    // A failed block compression degrades to storing the block raw — the
+    // message stays exactly decodable, only smaller wins are lost. The
+    // fault site proves that path never tears a frame.
+    if (CheckFault("compress.block").kind == FaultHit::Kind::kError) {
+      b.enc_len = len;
+      b.enc.clear();
+      return;
+    }
     b.enc.resize(len);
     size_t enc = CompressBlock(base + off, len, b.enc.data(), len);
     if (enc > 0 && enc < len) {

@@ -10,6 +10,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/deadline.h"
 #include "common/metrics.h"
 #include "common/strings.h"
 #include "common/worker_pool.h"
@@ -57,6 +58,16 @@ double NowUs() {
       .count();
 }
 
+/// Cooperative cancellation at morsel/stage boundaries. The Deadline must
+/// be captured by value on the serving thread before any fan-out: pool
+/// threads do not inherit the caller's ambient (thread-local) deadline.
+/// Parallel lambdas skip their work when expired; the serving thread turns
+/// that into kTimeout here before any partial results are merged.
+Status CancelIfExpired(const Deadline& dl, const char* stage) {
+  if (dl.Expired()) return DeadlineExceeded(stage);
+  return Status::OK();
+}
+
 /// Splits an expression into its top-level AND conjuncts.
 void SplitConjuncts(const ExprPtr& e, std::vector<ExprPtr>* out) {
   if (!e) return;
@@ -95,7 +106,12 @@ Status FilterRows(const Expr& e, const BatchCtx& ctx, size_t n,
     size_t morsels = (n + kMorselRows - 1) / kMorselRows;
     std::vector<SelVector> parts(morsels);
     std::vector<Status> stats(morsels, Status::OK());
+    const Deadline dl = Deadline::Current();
     WorkerPool::Shared().ParallelFor(morsels, [&](size_t mi) {
+      if (dl.Expired()) {
+        stats[mi] = DeadlineExceeded("filter morsel");
+        return;
+      }
       double t0 = NowUs();
       size_t lo = mi * kMorselRows;
       size_t hi = std::min(n, lo + kMorselRows);
@@ -225,10 +241,12 @@ SqlType Executor::InferType(const Expr& e, const Relation& input) {
 }
 
 Result<Relation> Executor::ExecuteSelect(const SelectStmt& stmt) {
+  const Deadline deadline = Deadline::Current();
   HQ_ASSIGN_OR_RETURN(CoreResult core, ExecCore(stmt));
 
   if (!stmt.union_all.empty()) {
     for (const auto& u : stmt.union_all) {
+      HQ_RETURN_IF_ERROR(CancelIfExpired(deadline, "union member"));
       HQ_ASSIGN_OR_RETURN(CoreResult next, ExecCore(*u));
       if (next.output.cols.size() != core.output.cols.size()) {
         return BindError(StrCat(
@@ -251,6 +269,7 @@ Result<Relation> Executor::ExecuteSelect(const SelectStmt& stmt) {
       core.output = std::move(for_order.output);
     }
   } else if (!stmt.order_by.empty()) {
+    HQ_RETURN_IF_ERROR(CancelIfExpired(deadline, "order by"));
     HQ_RETURN_IF_ERROR(ApplyOrderBy(stmt, &core));
   }
   HQ_RETURN_IF_ERROR(ApplyLimit(stmt, &core.output));
@@ -259,12 +278,15 @@ Result<Relation> Executor::ExecuteSelect(const SelectStmt& stmt) {
 
 Result<Executor::CoreResult> Executor::ExecCore(const SelectStmt& stmt) {
   const ExecMetrics& metrics = ExecMetrics::Get();
+  const Deadline deadline = Deadline::Current();
 
   // ---- FROM ----
   Relation input;
   if (stmt.from) {
     HQ_ASSIGN_OR_RETURN(input, EvalTableRef(*stmt.from));
-  } else {
+  }
+  HQ_RETURN_IF_ERROR(CancelIfExpired(deadline, "scan/join"));
+  if (!stmt.from) {
     input.AppendRow({});  // SELECT without FROM: one empty row
   }
 
@@ -314,7 +336,9 @@ Result<Executor::CoreResult> Executor::ExecCore(const SelectStmt& stmt) {
         std::unordered_map<std::string, size_t> map;
       };
       std::vector<LocalGroups> locals(morsels);
+      const Deadline dl = Deadline::Current();
       WorkerPool::Shared().ParallelFor(morsels, [&](size_t mi) {
+        if (dl.Expired()) return;  // serving thread reports the timeout
         double t0 = NowUs();
         LocalGroups& lg = locals[mi];
         size_t lo = mi * kMorselRows;
@@ -338,6 +362,7 @@ Result<Executor::CoreResult> Executor::ExecCore(const SelectStmt& stmt) {
       metrics.batches->Increment(morsels);
       metrics.parallel_tasks->Increment(morsels);
       metrics.rows->Increment(n);
+      HQ_RETURN_IF_ERROR(CancelIfExpired(dl, "group build"));
       std::unordered_map<std::string, size_t> group_of;
       for (auto& lg : locals) {
         for (size_t g = 0; g < lg.keys.size(); ++g) {
@@ -417,7 +442,12 @@ Result<Executor::CoreResult> Executor::ExecCore(const SelectStmt& stmt) {
                           EvalBatch(*agg->args[0], actx, nullptr, n));
       std::vector<Datum> results(ngroups);
       std::vector<Status> stats(ngroups, Status::OK());
+      const Deadline dl = Deadline::Current();
       auto reduce = [&](size_t g) {
+        if (dl.Expired()) {
+          stats[g] = DeadlineExceeded("aggregate morsel");
+          return;
+        }
         Result<Datum> r = ComputeAggregateColumnar(*agg, *arg_col,
                                                    members[g]);
         if (r.ok()) {
@@ -456,6 +486,8 @@ Result<Executor::CoreResult> Executor::ExecCore(const SelectStmt& stmt) {
   } else {
     core.work = std::move(input);
   }
+
+  HQ_RETURN_IF_ERROR(CancelIfExpired(deadline, "group/aggregate"));
 
   // ---- Window functions ----
   std::vector<const Expr*> window_nodes;
@@ -902,8 +934,10 @@ Result<Relation> Executor::ExecJoin(const TableRef& join) {
         }
       }
     };
+    const Deadline dl = Deadline::Current();
     if (morsels > 1) {
       WorkerPool::Shared().ParallelFor(morsels, [&](size_t mi) {
+        if (dl.Expired()) return;  // serving thread reports the timeout
         double t0 = NowUs();
         probe_range(mi, mi * kMorselRows,
                     std::min(ln, (mi + 1) * kMorselRows));
@@ -915,6 +949,7 @@ Result<Relation> Executor::ExecJoin(const TableRef& join) {
     }
     metrics.batches->Increment(morsels);
     metrics.rows->Increment(ln + rn);
+    HQ_RETURN_IF_ERROR(CancelIfExpired(dl, "join probe"));
 
     std::vector<uint32_t> li;
     std::vector<int64_t> ri;

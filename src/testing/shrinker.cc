@@ -1,0 +1,165 @@
+#include "testing/shrinker.h"
+
+#include <algorithm>
+#include <cctype>
+#include <filesystem>
+#include <fstream>
+#include <vector>
+
+#include "common/strings.h"
+#include "qval/qvalue.h"
+
+namespace hyperq {
+namespace testing {
+
+namespace {
+
+bool IsIdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '.' || c == '_';
+}
+
+std::string JoinTokens(const std::vector<std::string>& tokens) {
+  std::string out;
+  for (const std::string& t : tokens) {
+    if (!out.empty()) out.push_back(' ');
+    out += t;
+  }
+  return out;
+}
+
+}  // namespace
+
+std::vector<std::string> TokenizeQuery(const std::string& query) {
+  std::vector<std::string> tokens;
+  size_t i = 0, n = query.size();
+  while (i < n) {
+    char c = query[i];
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    size_t start = i;
+    if (c == '"') {
+      // q string literal, backslash escapes.
+      ++i;
+      while (i < n && query[i] != '"') {
+        if (query[i] == '\\' && i + 1 < n) ++i;
+        ++i;
+      }
+      if (i < n) ++i;  // closing quote
+    } else if (c == '`') {
+      // Symbol literal (possibly empty: a lone backtick).
+      ++i;
+      while (i < n && (IsIdentChar(query[i]) || query[i] == ':')) ++i;
+    } else if (std::isdigit(static_cast<unsigned char>(c))) {
+      // Numeric literal, including temporal/typed forms (2020.01.01, 1.5f).
+      while (i < n && (IsIdentChar(query[i]) || query[i] == ':')) ++i;
+    } else if (IsIdentChar(c)) {
+      while (i < n && IsIdentChar(query[i])) ++i;
+    } else {
+      ++i;  // single-character operator / punctuation
+    }
+    tokens.push_back(query.substr(start, i - start));
+  }
+  return tokens;
+}
+
+ShrinkOutcome ShrinkQuery(const std::string& query,
+                          const std::function<bool(const std::string&)>&
+                              still_fails,
+                          const ShrinkOptions& options) {
+  ShrinkOutcome out;
+  std::vector<std::string> tokens = TokenizeQuery(query);
+  out.tokens_before = static_cast<int>(tokens.size());
+  out.minimized = query;
+  out.tokens_after = out.tokens_before;
+
+  auto budget_left = [&]() {
+    return out.evaluations < options.max_evaluations;
+  };
+  auto check = [&](const std::string& candidate) {
+    ++out.evaluations;
+    return still_fails(candidate);
+  };
+
+  // The shrinker works on the space-joined token form; if re-joining alone
+  // changes the outcome (whitespace-sensitive corner), keep the original.
+  if (tokens.size() < 2 || !budget_left()) return out;
+  {
+    std::string joined = JoinTokens(tokens);
+    if (!check(joined)) return out;
+    out.minimized = joined;
+  }
+
+  // ddmin: partition into `granularity` chunks and try deleting each chunk
+  // (test on the complement). On success restart coarse; otherwise refine.
+  size_t granularity = 2;
+  while (tokens.size() >= 2 && budget_left()) {
+    size_t chunk = std::max<size_t>(1, tokens.size() / granularity);
+    bool reduced = false;
+    for (size_t lo = 0; lo < tokens.size() && budget_left(); lo += chunk) {
+      size_t hi = std::min(tokens.size(), lo + chunk);
+      std::vector<std::string> candidate;
+      candidate.reserve(tokens.size() - (hi - lo));
+      candidate.insert(candidate.end(), tokens.begin(), tokens.begin() + lo);
+      candidate.insert(candidate.end(), tokens.begin() + hi, tokens.end());
+      if (candidate.empty()) continue;
+      std::string joined = JoinTokens(candidate);
+      if (check(joined)) {
+        tokens = std::move(candidate);
+        out.minimized = std::move(joined);
+        granularity = std::max<size_t>(2, granularity - 1);
+        reduced = true;
+        break;
+      }
+    }
+    if (!reduced) {
+      if (granularity >= tokens.size()) break;  // 1-minimal
+      granularity = std::min(tokens.size(), granularity * 2);
+    }
+  }
+  out.tokens_after = static_cast<int>(tokens.size());
+  return out;
+}
+
+Result<std::string> WriteFailureArtifact(
+    const std::string& dir_hint, uint64_t seed,
+    const SideBySideHarness::Comparison& failure,
+    const std::string& minimized) {
+  namespace fs = std::filesystem;
+  const char* env = std::getenv("HYPERQ_ARTIFACT_DIR");
+  fs::path dir = (env != nullptr && env[0] != '\0') ? fs::path(env)
+                                                    : fs::path(dir_hint);
+  std::error_code ec;
+  fs::create_directories(dir, ec);
+  if (ec) {
+    return InternalError(StrCat("cannot create artifact dir ", dir.string(),
+                                ": ", ec.message()));
+  }
+  fs::path path;
+  for (int n = 0; n < 10000; ++n) {
+    path = dir / StrCat("sbs_seed", seed, "_", n, ".txt");
+    if (!fs::exists(path, ec)) break;
+  }
+  std::ofstream f(path);
+  if (!f.is_open()) {
+    return InternalError(StrCat("cannot open artifact file ",
+                                path.string()));
+  }
+  f << "side-by-side fuzzer failure artifact\n"
+    << "seed: " << seed << "\n"
+    << "query: " << failure.query << "\n"
+    << "minimized: " << minimized << "\n"
+    << "sql: " << failure.sql << "\n"
+    << "kdb_error: " << failure.kdb_error << "\n"
+    << "hyperq_error: " << failure.hyperq_error << "\n"
+    << "kdb_result: " << failure.kdb_result.ToString() << "\n"
+    << "hyperq_result: " << failure.hyperq_result.ToString() << "\n"
+    << "replay: rerun the fuzz test with this seed, or paste `minimized`\n"
+    << "        into a SideBySideHarness::Run call.\n";
+  f.close();
+  return path.string();
+}
+
+}  // namespace testing
+}  // namespace hyperq

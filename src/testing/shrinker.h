@@ -1,0 +1,62 @@
+#ifndef HYPERQ_TESTING_SHRINKER_H_
+#define HYPERQ_TESTING_SHRINKER_H_
+
+#include <functional>
+#include <string>
+
+#include "common/status.h"
+#include "testing/side_by_side.h"
+
+namespace hyperq {
+namespace testing {
+
+/// Delta-debugging minimizer for failing queries (ddmin over lexical
+/// tokens). When the side-by-side fuzzer finds a disagreement, the raw
+/// query is usually long and mostly irrelevant; the shrinker repeatedly
+/// removes token chunks and keeps any candidate for which the failure
+/// predicate still holds, converging on a 1-minimal reproducer. Candidates
+/// that stop being valid q are rejected by the predicate naturally (a
+/// both-sides-parse-error is not the failure being chased), so no grammar
+/// knowledge is needed here.
+struct ShrinkOptions {
+  /// Upper bound on predicate evaluations; the current best reproducer is
+  /// returned when the budget runs out.
+  int max_evaluations = 512;
+};
+
+struct ShrinkOutcome {
+  /// The smallest failing query found (the input itself if nothing
+  /// smaller still failed).
+  std::string minimized;
+  /// Predicate evaluations spent.
+  int evaluations = 0;
+  /// Token count before and after.
+  int tokens_before = 0;
+  int tokens_after = 0;
+};
+
+/// Minimizes `query` while `still_fails` holds. The predicate receives a
+/// candidate query and returns true when the candidate reproduces the
+/// original failure; it must be deterministic for the shrink to converge.
+ShrinkOutcome ShrinkQuery(const std::string& query,
+                          const std::function<bool(const std::string&)>&
+                              still_fails,
+                          const ShrinkOptions& options = ShrinkOptions{});
+
+/// Splits a q expression into the shrinker's lexical tokens (identifiers,
+/// numbers, strings, symbols, operators). Exposed for tests.
+std::vector<std::string> TokenizeQuery(const std::string& query);
+
+/// Writes a replayable failure artifact for a fuzzer mismatch: the seed,
+/// the original and minimized queries, both sides' results/errors and the
+/// generated SQL. The file lands under $HYPERQ_ARTIFACT_DIR when set, else
+/// `dir_hint`, as `sbs_seed<seed>_<n>.txt`; returns the path written.
+Result<std::string> WriteFailureArtifact(
+    const std::string& dir_hint, uint64_t seed,
+    const SideBySideHarness::Comparison& failure,
+    const std::string& minimized);
+
+}  // namespace testing
+}  // namespace hyperq
+
+#endif  // HYPERQ_TESTING_SHRINKER_H_

@@ -253,5 +253,50 @@ TEST_F(EndpointStressTest, StatsBuiltinOverLiveQipcAfterMixedWorkload) {
   server.Stop();
 }
 
+/// Regression: Stop() used to hang behind a worker blocked in send() when
+/// a client requested a response far larger than the socket buffers and
+/// then never read it. The bounded drain (SO_SNDTIMEO + write-side
+/// shutdown escalation) must get Stop() back within the configured window
+/// regardless of what the peer does.
+TEST_F(EndpointStressTest, StopDrainsBlockedWriterWithinBound) {
+  // A response big enough to overflow loopback send+receive buffers, so
+  // the serving worker genuinely blocks mid-write.
+  {
+    kdb::Interpreter loader;
+    ASSERT_TRUE(loader.EvalText("big: ([] a: til 2000000)").ok());
+    ASSERT_TRUE(LoadQTable(&db_, "big", *loader.GetGlobal("big")).ok());
+  }
+  HyperQServer::Options opts;
+  opts.drain_timeout_ms = 200;
+  HyperQServer server(&db_, opts);
+  ASSERT_TRUE(server.Start(0).ok());
+
+  // Raw client: handshake, send the sync query, then never read a byte.
+  Result<TcpConnection> conn =
+      TcpConnection::Connect("127.0.0.1", server.port());
+  ASSERT_TRUE(conn.ok());
+  std::vector<uint8_t> hs = qipc::EncodeHandshake("drain", "pw");
+  ASSERT_TRUE(conn->WriteAll(hs).ok());
+  Result<std::vector<uint8_t>> ack = conn->ReadExact(1);
+  ASSERT_TRUE(ack.ok());
+  Result<std::vector<uint8_t>> msg = qipc::EncodeMessage(
+      QValue::Chars("select a from big"), qipc::MsgType::kSync);
+  ASSERT_TRUE(msg.ok());
+  ASSERT_TRUE(conn->WriteAll(*msg).ok());
+
+  // Give the worker time to execute the query and wedge in the write.
+  std::this_thread::sleep_for(std::chrono::milliseconds(400));
+
+  auto t0 = std::chrono::steady_clock::now();
+  server.Stop();
+  auto elapsed = std::chrono::duration_cast<std::chrono::milliseconds>(
+                     std::chrono::steady_clock::now() - t0)
+                     .count();
+  // Drain window (200ms) + escalation + joins; far below the hang this
+  // regresses against (and below the suite timeout).
+  EXPECT_LT(elapsed, 5000) << "Stop() wedged behind a blocked writer";
+  conn->Close();
+}
+
 }  // namespace
 }  // namespace hyperq

@@ -1,0 +1,172 @@
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <set>
+#include <string>
+
+#include "testing/market_data.h"
+#include "testing/shrinker.h"
+#include "testing/side_by_side.h"
+
+namespace hyperq {
+namespace testing {
+namespace {
+
+bool ContainsToken(const std::string& query, const std::string& token) {
+  for (const std::string& t : TokenizeQuery(query)) {
+    if (t == token) return true;
+  }
+  return false;
+}
+
+TEST(TokenizeQueryTest, LexesQConstructs) {
+  std::vector<std::string> toks =
+      TokenizeQuery("select a, v: 2*Price from trades where Symbol=`AAPL");
+  std::vector<std::string> expected{"select", "a",     ",",     "v",
+                                    ":",      "2",     "*",     "Price",
+                                    "from",   "trades", "where", "Symbol",
+                                    "=",      "`AAPL"};
+  EXPECT_EQ(toks, expected);
+
+  // Strings stay whole (embedded spaces and escapes included).
+  toks = TokenizeQuery("f[\"a b \\\" c\"; `sym]");
+  ASSERT_EQ(toks.size(), 6u);
+  EXPECT_EQ(toks[2], "\"a b \\\" c\"");
+  EXPECT_EQ(toks[4], "`sym");
+
+  // Temporal / typed literals lex as one token.
+  toks = TokenizeQuery("09:30:00.000 2020.01.01");
+  ASSERT_EQ(toks.size(), 2u);
+  EXPECT_EQ(toks[0], "09:30:00.000");
+  EXPECT_EQ(toks[1], "2020.01.01");
+}
+
+TEST(ShrinkQueryTest, MinimizesToThePredicateCore) {
+  // The "failure" needs tokens A and B to reproduce; everything else is
+  // noise ddmin must strip.
+  std::string noisy =
+      "x1 x2 A x3 x4 x5 x6 B x7 x8 x9 x10 x11 x12 x13 x14 x15";
+  auto still_fails = [](const std::string& q) {
+    return ContainsToken(q, "A") && ContainsToken(q, "B");
+  };
+  ShrinkOutcome out = ShrinkQuery(noisy, still_fails);
+  EXPECT_EQ(out.minimized, "A B");
+  EXPECT_EQ(out.tokens_after, 2);
+  EXPECT_GT(out.tokens_before, out.tokens_after);
+  EXPECT_GT(out.evaluations, 0);
+}
+
+TEST(ShrinkQueryTest, DeterministicForAFixedInput) {
+  std::string noisy = "k1 k2 NEEDLE k3 k4 k5 k6 k7 k8";
+  auto still_fails = [](const std::string& q) {
+    return ContainsToken(q, "NEEDLE");
+  };
+  ShrinkOutcome a = ShrinkQuery(noisy, still_fails);
+  ShrinkOutcome b = ShrinkQuery(noisy, still_fails);
+  EXPECT_EQ(a.minimized, b.minimized);
+  EXPECT_EQ(a.evaluations, b.evaluations);
+  EXPECT_EQ(a.minimized, "NEEDLE");
+}
+
+TEST(ShrinkQueryTest, KeepsOriginalWhenNothingSmallerFails) {
+  // Failure requires every token: no candidate with a deletion matches.
+  std::string q = "a b c";
+  auto still_fails = [](const std::string& cand) {
+    return ContainsToken(cand, "a") && ContainsToken(cand, "b") &&
+           ContainsToken(cand, "c");
+  };
+  ShrinkOutcome out = ShrinkQuery(q, still_fails);
+  EXPECT_EQ(out.minimized, "a b c");
+  EXPECT_EQ(out.tokens_after, 3);
+}
+
+TEST(ShrinkQueryTest, RespectsEvaluationBudget) {
+  std::string noisy;
+  for (int i = 0; i < 200; ++i) noisy += "tok" + std::to_string(i) + " ";
+  noisy += "NEEDLE";
+  int calls = 0;
+  auto still_fails = [&calls](const std::string& q) {
+    ++calls;
+    return ContainsToken(q, "NEEDLE");
+  };
+  ShrinkOptions opts;
+  opts.max_evaluations = 10;
+  ShrinkOutcome out = ShrinkQuery(noisy, still_fails, opts);
+  EXPECT_LE(out.evaluations, 10);
+  EXPECT_LE(calls, 10);
+  // Whatever it settled on must still fail.
+  EXPECT_TRUE(ContainsToken(out.minimized, "NEEDLE"));
+}
+
+TEST(ShrinkQueryTest, MinimizesARealHarnessMismatch) {
+  // `ratios` is translatable by Hyper-Q but absent from the mini-kdb
+  // oracle, so this query is a guaranteed, stable side-by-side
+  // disagreement — exactly the failure shape the fuzzer hands over.
+  SideBySideHarness harness;
+  MarketDataOptions opts;
+  opts.trades_per_symbol = 10;
+  opts.quotes_per_symbol = 10;
+  MarketData data = GenerateMarketData(opts);
+  ASSERT_TRUE(harness.LoadTable("trades", data.trades).ok());
+
+  std::string failing =
+      "select Symbol, Time, Price, r: ratios Price, s: Size "
+      "from trades where Size>0";
+  SideBySideHarness::Comparison c = harness.Run(failing);
+  ASSERT_FALSE(c.match) << "expected a stable oracle gap via `ratios`";
+
+  // Shrink against the failure *signature*, not just "some mismatch":
+  // plain ddmin would happily wander to an unrelated one-sided error.
+  auto same_failure = [&](const std::string& cand) {
+    SideBySideHarness::Comparison r = harness.Run(cand);
+    return !r.match && r.kdb_error == c.kdb_error &&
+           r.hyperq_error == c.hyperq_error;
+  };
+  ShrinkOutcome out = ShrinkQuery(failing, same_failure);
+  EXPECT_LE(out.tokens_after, out.tokens_before);
+  EXPECT_TRUE(ContainsToken(out.minimized, "ratios"))
+      << "minimized reproducer lost the failing construct: "
+      << out.minimized;
+  // The minimized query still reproduces.
+  EXPECT_FALSE(harness.Run(out.minimized).match);
+}
+
+TEST(WriteFailureArtifactTest, WritesReplayableArtifact) {
+  namespace fs = std::filesystem;
+  fs::path dir =
+      fs::temp_directory_path() /
+      ("hq_artifacts_" + std::to_string(::getpid()));
+  SideBySideHarness::Comparison failure;
+  failure.query = "select broken from nowhere";
+  failure.kdb_error = "type";
+  failure.hyperq_error = "";
+  failure.sql = "SELECT broken FROM nowhere";
+
+  Result<std::string> path =
+      WriteFailureArtifact(dir.string(), 4242, failure, "broken");
+  ASSERT_TRUE(path.ok()) << path.status().ToString();
+  EXPECT_NE(path->find("sbs_seed4242_"), std::string::npos);
+
+  std::ifstream f(*path);
+  ASSERT_TRUE(f.is_open());
+  std::string content((std::istreambuf_iterator<char>(f)),
+                      std::istreambuf_iterator<char>());
+  EXPECT_NE(content.find("select broken from nowhere"), std::string::npos);
+  EXPECT_NE(content.find("minimized: broken"), std::string::npos);
+  EXPECT_NE(content.find("seed: 4242"), std::string::npos);
+
+  // Two failures for one seed land in distinct files.
+  Result<std::string> second =
+      WriteFailureArtifact(dir.string(), 4242, failure, "broken");
+  ASSERT_TRUE(second.ok());
+  EXPECT_NE(*path, *second);
+  fs::remove_all(dir);
+}
+
+}  // namespace
+}  // namespace testing
+}  // namespace hyperq

@@ -5,6 +5,7 @@
 #include "common/metrics.h"
 #include "common/strings.h"
 #include "testing/market_data.h"
+#include "testing/shrinker.h"
 #include "testing/side_by_side.h"
 
 namespace hyperq {
@@ -185,6 +186,22 @@ class SideBySideFuzz : public ::testing::TestWithParam<uint64_t> {
     }
   }
 
+  /// On a mismatch, delta-debug the query down to a 1-minimal reproducer
+  /// and write a replayable artifact (tests/artifacts, or
+  /// $HYPERQ_ARTIFACT_DIR); returns text to append to the failure message.
+  std::string ShrinkAndArchive(
+      const SideBySideHarness::Comparison& failure) {
+    ShrinkOutcome s = ShrinkQuery(
+        failure.query,
+        [this](const std::string& cand) { return !harness_.Run(cand).match; });
+    Result<std::string> path = WriteFailureArtifact(
+        "tests/artifacts", GetParam(), failure, s.minimized);
+    return StrCat("\n  minimized (", s.tokens_before, " -> ",
+                  s.tokens_after, " tokens): ", s.minimized,
+                  "\n  artifact: ",
+                  path.ok() ? *path : path.status().ToString());
+  }
+
   /// Multi-statement pipelines mixing `select … by … where` with as-of
   /// joins — the dominant customer shape of §2.1 (filter trades, join the
   /// prevailing quote as-of each trade, aggregate per symbol). Each
@@ -291,7 +308,8 @@ TEST_P(SideBySideFuzz, MixedPipelinesAgree) {
                   << "\n  hyperq: "
                   << first_mismatch->hyperq_result.ToString()
                   << "\n  kdb err: " << first_mismatch->kdb_error
-                  << "\n  hq err:  " << first_mismatch->hyperq_error;
+                  << "\n  hq err:  " << first_mismatch->hyperq_error
+                  << ShrinkAndArchive(*first_mismatch);
   }
   EXPECT_GE(checked, 15) << "too few pipelines actually executed";
 }
@@ -316,7 +334,8 @@ TEST_P(SideBySideFuzz, GroupedAndWindowQueriesAgree) {
                   << "\n  hyperq: "
                   << first_mismatch->hyperq_result.ToString()
                   << "\n  kdb err: " << first_mismatch->kdb_error
-                  << "\n  hq err:  " << first_mismatch->hyperq_error;
+                  << "\n  hq err:  " << first_mismatch->hyperq_error
+                  << ShrinkAndArchive(*first_mismatch);
   }
   EXPECT_GE(checked, 20) << "too few queries actually executed";
 }
