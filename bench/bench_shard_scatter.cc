@@ -1,0 +1,109 @@
+// Scatter-gather scaling (docs/SCALE_OUT.md): the same translated
+// filter+aggregate served by the sharded coordinator at N=1/2/4 shards
+// over one fixed 1M-row trades table. Two shapes:
+//  - scatter: a non-partition filter fans out to every shard; the win is
+//    parallel per-shard scans, so it needs cores to show.
+//  - routed: the filter pins the partition column to one symbol, so the
+//    coordinator prunes the scatter to the owning shard — at N shards it
+//    scans ~1/N of the rows, a throughput win independent of core count.
+// Items/sec is logical table rows per query, so the routed speedup reads
+// directly as scan throughput.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdint>
+#include <cstdlib>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench/bench_main.h"
+
+#include "common/worker_pool.h"
+#include "core/hyperq.h"
+#include "qval/qvalue.h"
+#include "shard/sharded_backend.h"
+#include "testing/market_data.h"
+
+namespace hyperq {
+namespace bench {
+namespace {
+
+constexpr size_t kRows = 1 << 20;  // 1M trades
+constexpr size_t kSyms = 64;       // spreads evenly across 1/2/4 shards
+
+/// One sharded backend per shard count, each loading the identical table:
+/// building the fixture per iteration would dominate the measurement.
+shard::ShardedBackend& Fixture(int num_shards) {
+  static std::map<int, std::unique_ptr<shard::ShardedBackend>>* fixtures =
+      new std::map<int, std::unique_ptr<shard::ShardedBackend>>();
+  auto it = fixtures->find(num_shards);
+  if (it != fixtures->end()) return *it->second;
+
+  testing::Rng rng(42);
+  std::vector<std::string> syms(kRows);
+  std::vector<double> px(kRows);
+  std::vector<int64_t> qty(kRows);
+  for (size_t r = 0; r < kRows; ++r) {
+    syms[r] = "S" + std::to_string(rng.Below(kSyms));
+    px[r] = rng.NextDouble() * 1000.0;
+    qty[r] = static_cast<int64_t>(rng.Below(10000));
+  }
+  QValue trades = QValue::MakeTableUnchecked(
+      {"Symbol", "Price", "Size"},
+      {QValue::Syms(std::move(syms)),
+       QValue::FloatList(QType::kFloat, std::move(px)),
+       QValue::IntList(QType::kLong, std::move(qty))});
+
+  auto backend = std::make_unique<shard::ShardedBackend>(num_shards);
+  if (!backend->LoadQTable("trades", trades).ok()) std::abort();
+  auto [pos, _] = fixtures->emplace(num_shards, std::move(backend));
+  return *pos->second;
+}
+
+/// Runs one q query per iteration through a session fronting the sharded
+/// coordinator at state.range(0) shards. The translation caches after the
+/// first iteration, so the loop measures scatter + execution + merge.
+void RunShardBench(benchmark::State& state, const std::string& q) {
+  shard::ShardedBackend& backend = Fixture(static_cast<int>(state.range(0)));
+  HyperQSession session(std::make_unique<shard::ShardedGateway>(&backend),
+                        HyperQSession::Options{});
+  WorkerPool::Shared().Resize(3);  // 4 workers incl. the calling thread
+  for (auto _ : state) {
+    Result<QValue> r = session.Query(q);
+    if (!r.ok()) {
+      state.SkipWithError(r.status().ToString().c_str());
+      break;
+    }
+    benchmark::DoNotOptimize(r->Count());
+  }
+  WorkerPool::Shared().Resize(0);
+  state.SetItemsProcessed(state.iterations() * kRows);
+}
+
+void BM_FilterAggScatter(benchmark::State& state) {
+  RunShardBench(state,
+                "select s: sum Size, c: count Size by Symbol from trades "
+                "where Size > 5000");
+}
+BENCHMARK(BM_FilterAggScatter)->Arg(1)->Arg(2)->Arg(4);
+
+void BM_FilterAggRouted(benchmark::State& state) {
+  RunShardBench(state,
+                "select s: sum Size, c: count Size by Symbol from trades "
+                "where Symbol = `S7");
+}
+BENCHMARK(BM_FilterAggRouted)->Arg(1)->Arg(2)->Arg(4);
+
+void BM_OrderedScanScatter(benchmark::State& state) {
+  RunShardBench(state,
+                "select Symbol, Price, Size from trades where Size > 9900");
+}
+BENCHMARK(BM_OrderedScanScatter)->Arg(1)->Arg(2)->Arg(4);
+
+}  // namespace
+}  // namespace bench
+}  // namespace hyperq
+
+HQ_BENCH_MAIN();

@@ -1,11 +1,12 @@
 #!/usr/bin/env bash
 # Bench runner: builds the headline benches and writes their JSON artifacts
 # at the repo root (BENCH_translation.json, BENCH_fig6.json,
-# BENCH_backend.json, BENCH_wire.json). The translation-cache bench exits
-# non-zero if the hot path is not at least 5x faster than cold translation,
-# and the wire bench exits non-zero if bulk encode is not at least 4x
-# faster than the element-wise baseline, so this script doubles as a perf
-# gate.
+# BENCH_backend.json, BENCH_wire.json, BENCH_shard.json). The
+# translation-cache bench exits non-zero if the hot path is not at least 5x
+# faster than cold translation, the wire bench exits non-zero if bulk
+# encode is not at least 4x faster than the element-wise baseline, and this
+# script exits non-zero if the routed 4-shard filter+agg is not at least 2x
+# faster than 1 shard, so it doubles as a perf gate.
 #
 # Usage: scripts/bench.sh [--smoke]
 set -euo pipefail
@@ -19,7 +20,7 @@ echo "==> bench: configure + build"
 cmake -B build -S . >/dev/null
 cmake --build build -j "$JOBS" \
   --target bench_translation_cache bench_fig6_translation_overhead \
-  bench_backend_exec bench_wire >/dev/null
+  bench_backend_exec bench_wire bench_shard_scatter >/dev/null
 
 echo "==> bench: translation cache hot path"
 ./build/bench/bench_translation_cache --json=BENCH_translation.json \
@@ -35,8 +36,29 @@ echo "==> bench: backend executor (columnar + morsel parallelism)"
 echo "==> bench: wire path (vectorized encode + scatter egress)"
 ./build/bench/bench_wire --json=BENCH_wire.json "${SMOKE[@]}"
 
+echo "==> bench: shard scatter-gather (partition routing + shard scaling)"
+./build/bench/bench_shard_scatter --json=BENCH_shard.json "${SMOKE[@]}"
+
 echo "==> bench: artifacts"
 grep -o '"speedup_[a-z]*": [0-9.]*' BENCH_translation.json
 grep -o '"avg_overhead_pct": [0-9.]*' BENCH_fig6.json
 grep -c '"name": "BM_' BENCH_backend.json
 grep -o '"encode_speedup": [0-9.]*' BENCH_wire.json
+# Gate: the routed symbol-pinned filter+agg at 4 shards scans ~1/4 of the
+# rows, so it must beat the 1-shard run by at least 2x even on one core.
+awk -F': ' '
+  /"name": "BM_FilterAggRouted\/1"/ { want1 = 1 }
+  want1 && /"real_time"/ { t1 = $2 + 0; want1 = 0 }
+  /"name": "BM_FilterAggRouted\/4"/ { want4 = 1 }
+  want4 && /"real_time"/ { t4 = $2 + 0; want4 = 0 }
+  END {
+    if (t1 <= 0 || t4 <= 0) {
+      print "shard bench: routed timings missing from BENCH_shard.json"
+      exit 1
+    }
+    printf "shard routed 4-shard speedup: %.2fx\n", t1 / t4
+    if (t1 / t4 < 2.0) {
+      print "FAIL: routed 4-shard filter+agg speedup below 2x"
+      exit 1
+    }
+  }' BENCH_shard.json

@@ -33,6 +33,8 @@ constexpr SiteInfo kSites[] = {
     {"compress.block", StatusCode::kInternal, "block compression"},
     {"pgwire.read", StatusCode::kNetworkError, "pg wire read"},
     {"pgwire.write", StatusCode::kNetworkError, "pg wire write"},
+    {"shard.execute", StatusCode::kUnavailable, "shard scatter execution"},
+    {"shard.gather", StatusCode::kUnavailable, "shard partial gather"},
 };
 constexpr size_t kNumSites = sizeof(kSites) / sizeof(kSites[0]);
 

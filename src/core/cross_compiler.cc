@@ -109,7 +109,7 @@ Result<QValue> CrossCompiler::Process(const std::string& q_text,
           backend_result = sqldb::QueryResult{};
           return Status::OK();
         }
-        return ExecuteWithRetry(translation.result_sql, &backend_result);
+        return ExecuteWithRetry(translation, &backend_result);
       });
 
   // Results arrived: pivot rows into the Q result format (§4.2).
@@ -191,21 +191,26 @@ Result<QValue> CrossCompiler::Process(const std::string& q_text,
   return response;
 }
 
-Status CrossCompiler::ExecuteWithRetry(const std::string& sql,
+Status CrossCompiler::ExecuteWithRetry(const Translation& translation,
                                        sqldb::QueryResult* result) {
   XcMetrics& metrics = XcMetrics::Get();
   const Deadline deadline = Deadline::Current();
   int attempt = 0;
   while (true) {
     ++attempt;
-    Result<sqldb::QueryResult> r = gateway_->Execute(sql);
+    // The whole scatter-gather is re-dispatched on a transient failure:
+    // shard partials carry no side effects, so a retry after a partial
+    // shard failure is as idempotent as a plain re-SELECT.
+    Result<sqldb::QueryResult> r = gateway_->ExecuteTranslated(translation);
     if (r.ok()) {
       if (attempt > 1) metrics.retry_success->Increment();
       *result = std::move(r).value();
       return Status::OK();
     }
     Status s = r.status();
-    if (!IsTransient(s) || !IsIdempotentRead(sql)) return s;
+    if (!IsTransient(s) || !IsIdempotentRead(translation.result_sql)) {
+      return s;
+    }
     if (attempt >= retry_.max_attempts) {
       if (attempt > 1) metrics.retry_exhausted->Increment();
       return s;

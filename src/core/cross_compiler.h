@@ -72,8 +72,9 @@ class CrossCompiler {
   const RetryPolicy& retry_policy() const { return retry_; }
 
  private:
-  /// Dispatches the result query with the bounded-retry policy.
-  Status ExecuteWithRetry(const std::string& sql,
+  /// Dispatches the result query (scatter-gather included, via the
+  /// gateway's ExecuteTranslated) with the bounded-retry policy.
+  Status ExecuteWithRetry(const Translation& translation,
                           sqldb::QueryResult* result);
   /// Deterministic jitter factor in [0.5, 1.5).
   double NextJitter();

@@ -266,8 +266,14 @@ void HyperQServer::ServeRequests(TcpConnection& conn) {
   ServerMetrics& metrics = ServerMetrics::Get();
   WireMetrics& wire = WireMetrics::Get();
   // One Hyper-Q session per connection (its own temp-table namespace and
-  // variable scopes).
-  HyperQSession session(backend_, options_.session);
+  // variable scopes), over the configured gateway — direct by default,
+  // the scatter-gather coordinator when a factory is installed.
+  std::unique_ptr<HyperQSession> owned_session =
+      options_.gateway_factory
+          ? std::make_unique<HyperQSession>(options_.gateway_factory(),
+                                            options_.session)
+          : std::make_unique<HyperQSession>(backend_, options_.session);
+  HyperQSession& session = *owned_session;
 
   // Per-connection reusable buffers: the request buffer absorbs header +
   // body in place (no per-request allocation, no header/rest splice), and

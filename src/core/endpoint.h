@@ -3,6 +3,7 @@
 
 #include <atomic>
 #include <condition_variable>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -61,6 +62,12 @@ class HyperQServer {
     /// socket's send timeout so a worker entering a blocking write during
     /// drain cannot wedge Stop() behind a stalled peer.
     int drain_timeout_ms = 5000;
+    /// Builds the backend gateway for each connection's session; null uses
+    /// a DirectGateway on the server's backend. Lets the server front the
+    /// sharded scatter-gather coordinator: the factory is called once per
+    /// connection and each gateway must expose in-process
+    /// database()/session() handles (see HyperQSession).
+    std::function<std::unique_ptr<BackendGateway>()> gateway_factory;
   };
 
   HyperQServer(sqldb::Database* backend, Options options)

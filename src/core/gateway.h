@@ -2,23 +2,46 @@
 #define HYPERQ_CORE_GATEWAY_H_
 
 #include <memory>
+#include <optional>
 #include <string>
 
 #include "common/fault.h"
 #include "common/status.h"
+#include "core/query_translator.h"
 #include "sqldb/database.h"
 
 namespace hyperq {
 
 /// The Gateway is the PG-side plugin of Figure 1: it carries SQL to the
 /// backend and results back. Implementations: an in-process gateway bound
-/// directly to the mini PG engine, and a wire gateway speaking the PG v3
-/// protocol over TCP (protocol/pgwire).
+/// directly to the mini PG engine, a wire gateway speaking the PG v3
+/// protocol over TCP (protocol/pgwire), and the sharded scatter-gather
+/// coordinator (src/shard).
 class BackendGateway {
  public:
   virtual ~BackendGateway() = default;
 
   virtual Result<sqldb::QueryResult> Execute(const std::string& sql) = 0;
+
+  /// Dispatches a fully translated result query. The default ignores the
+  /// shard plan and executes the result SQL as-is; a sharded gateway
+  /// scatters the per-shard SQL and merges the partials.
+  virtual Result<sqldb::QueryResult> ExecuteTranslated(const Translation& t) {
+    return Execute(t.result_sql);
+  }
+
+  /// Partitioning info for a base table; nullopt when the gateway is not
+  /// sharded or the table is not partitioned.
+  virtual std::optional<ShardTableInfo> ShardInfo(
+      const std::string& table) const {
+    (void)table;
+    return std::nullopt;
+  }
+
+  /// In-process backend handles for metadata lookups and loaders; null
+  /// for pure wire gateways.
+  virtual sqldb::Database* database() { return nullptr; }
+  virtual sqldb::Session* session() { return nullptr; }
 
   /// Human-readable backend description for logs.
   virtual std::string Describe() const = 0;
@@ -45,8 +68,8 @@ class DirectGateway : public BackendGateway {
 
   std::string Describe() const override { return "direct(sqldb)"; }
 
-  sqldb::Session* session() { return session_.get(); }
-  sqldb::Database* database() { return db_; }
+  sqldb::Session* session() override { return session_.get(); }
+  sqldb::Database* database() override { return db_; }
 
  private:
   sqldb::Database* db_;

@@ -37,11 +37,20 @@ class HyperQSession {
       : HyperQSession(backend, Options()) {}
 
   HyperQSession(sqldb::Database* backend, Options options)
-      : gateway_(std::make_unique<DirectGateway>(backend)),
-        raw_mdi_(backend, gateway_->session()),
+      : HyperQSession(std::make_unique<DirectGateway>(backend),
+                      std::move(options)) {}
+
+  /// Composition over an arbitrary gateway (e.g. the sharded coordinator).
+  /// The gateway must expose an in-process database()/session() pair — the
+  /// MDI reads catalog metadata through them.
+  HyperQSession(std::unique_ptr<BackendGateway> gateway, Options options)
+      : gateway_(std::move(gateway)),
+        raw_mdi_(gateway_->database(), gateway_->session()),
         cache_(&raw_mdi_, options.cache),
         scopes_(&cache_),
-        translator_(&cache_, &scopes_, options.translator,
+        translator_(&cache_, &scopes_,
+                    WithShardInfo(std::move(options.translator),
+                                  gateway_.get()),
                     [this](const std::string& sql) -> Status {
                       Result<sqldb::QueryResult> r = gateway_->Execute(sql);
                       return r.ok() ? Status::OK() : r.status();
@@ -110,7 +119,20 @@ class HyperQSession {
   /// Handles `.hyperq.*` builtins; returns nullopt for ordinary queries.
   std::optional<Result<QValue>> TryBuiltin(const std::string& q_text);
 
-  std::unique_ptr<DirectGateway> gateway_;
+  /// Routes the translator's partitioning lookups through the gateway
+  /// (a plain gateway answers nullopt for every table).
+  static QueryTranslator::Options WithShardInfo(
+      QueryTranslator::Options options, BackendGateway* gateway) {
+    if (!options.shard_info) {
+      options.shard_info =
+          [gateway](const std::string& table) {
+            return gateway->ShardInfo(table);
+          };
+    }
+    return options;
+  }
+
+  std::unique_ptr<BackendGateway> gateway_;
   SqldbMetadata raw_mdi_;
   MetadataCache cache_;
   VariableScopes scopes_;

@@ -187,6 +187,7 @@ Result<Translation> QueryTranslator::TranslateFingerprintMiss(
   }
   out.shape = bound.shape;
   out.key_columns = bound.key_columns;
+  PlanSharding(bound.root, &out);
 
   // Value-dependent bindings make the translation specific to this
   // session's variables: return it, but never share it through the cache.
@@ -436,7 +437,32 @@ Status QueryTranslator::EmitResultQuery(const AstPtr& expr, Binder* binder,
   }
   out->shape = bound.shape;
   out->key_columns = bound.key_columns;
+  PlanSharding(bound.root, out);
   return Status::OK();
+}
+
+void QueryTranslator::PlanSharding(const xtra::XtraPtr& root,
+                                   Translation* out) {
+  out->shard = ShardPlan{};
+  if (!options_.shard_info) return;
+  ShardRewrite rewrite = PlanShardRewrite(root, options_.shard_info);
+  if (rewrite.mode == ShardMode::kNone) return;
+  std::string partial_sql;
+  if (rewrite.partial != nullptr) {
+    Serializer partial_ser;
+    Result<std::string> p = partial_ser.Serialize(rewrite.partial);
+    if (!p.ok()) return;
+    partial_sql = std::move(*p);
+  }
+  Serializer merge_ser;
+  Result<std::string> m = merge_ser.Serialize(rewrite.merge);
+  if (!m.ok()) return;
+  out->shard.mode = rewrite.mode;
+  out->shard.table = std::move(rewrite.table);
+  out->shard.partial_sql = std::move(partial_sql);
+  out->shard.merge_sql = std::move(*m);
+  out->shard.routed = rewrite.routed;
+  out->shard.route_key = std::move(rewrite.route_key);
 }
 
 }  // namespace hyperq

@@ -8,6 +8,7 @@
 #include "algebrizer/binder.h"
 #include "algebrizer/scopes.h"
 #include "common/status.h"
+#include "xformer/shard_rewrite.h"
 #include "xformer/xformer.h"
 
 namespace hyperq {
@@ -32,6 +33,20 @@ struct StageTimings {
   }
 };
 
+/// How a translated result query distributes over a sharded backend
+/// (docs/SCALE_OUT.md). Planned at translation time; a gateway without
+/// shards simply ignores it.
+struct ShardPlan {
+  ShardMode mode = ShardMode::kNone;
+  std::string table;        ///< the hash-partitioned base table
+  std::string partial_sql;  ///< per-shard SQL; empty = result_sql verbatim
+  std::string merge_sql;    ///< runs over the concatenated partials table
+  /// Partition routing: the filters pin the partition column to this one
+  /// symbol, so the coordinator scatters to the owning shard only.
+  bool routed = false;
+  std::string route_key;
+};
+
 /// The output of translating one Q request: any setup statements that were
 /// eagerly executed against the backend (materialized variables), the final
 /// result query, and how to re-shape its rows into a Q value.
@@ -40,6 +55,7 @@ struct Translation {
   std::string result_sql;              ///< empty for pure assignments
   ResultShape shape = ResultShape::kTable;
   std::vector<std::string> key_columns;
+  ShardPlan shard;
   StageTimings timings;
   /// True when the translation was served from the translation cache; the
   /// per-stage timings above are then zero (or parse-only for a
@@ -56,6 +72,10 @@ class QueryTranslator {
   struct Options {
     Xformer::Options xformer;
     MaterializeMode materialize = MaterializeMode::kPhysical;
+    /// Partitioning oracle for the backend's tables. When set, every
+    /// result query is classified against the distributable shapes and
+    /// carries a ShardPlan for the gateway to scatter with.
+    ShardInfoFn shard_info;
   };
 
   /// `execute_backend` runs a setup statement against the backend
@@ -83,6 +103,10 @@ class QueryTranslator {
                              Translation* out, bool* produced_result);
   Status EmitResultQuery(const AstPtr& expr, Binder* binder,
                          Translation* out);
+  /// Classifies the transformed tree for scatter-gather and serializes the
+  /// per-shard / merge SQL into out->shard. Planning failures only clear
+  /// the plan (the fallback path stays correct), never fail translation.
+  void PlanSharding(const xtra::XtraPtr& root, Translation* out);
   Status MaterializeQuery(const std::string& var_name, const AstPtr& expr,
                           Binder* binder, Translation* out);
 

@@ -66,6 +66,7 @@ bool TranslationCache::LookupExact(const std::string& q_text,
   out->result_sql = c.sql;
   out->shape = c.shape;
   out->key_columns = c.key_columns;
+  out->shard = c.shard;
   out->timings = StageTimings{};
   hits_->Increment();
   hits_exact_->Increment();
@@ -94,6 +95,7 @@ void TranslationCache::InsertExact(const std::string& q_text,
   c.sql = t.result_sql;
   c.shape = t.shape;
   c.key_columns = t.key_columns;
+  c.shard = t.shard;
   c.pins.clear();
   c.ref_tables = std::move(ref_tables);
   c.ref_names = std::move(ref_names);

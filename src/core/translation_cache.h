@@ -133,6 +133,11 @@ class TranslationCache {
     std::string sql;
     ResultShape shape = ResultShape::kTable;
     std::vector<std::string> key_columns;
+    /// Exact-tier entries replay their shard plan verbatim (the literals
+    /// are identical by construction). Fingerprint-tier hits deliberately
+    /// carry no plan — a templated partial/merge pair is not worth the
+    /// correctness risk, and the fallback path stays byte-identical.
+    ShardPlan shard;
     /// (slot, rendered literal) pairs that must match the incoming params.
     std::vector<std::pair<int, std::string>> pins;
     std::vector<std::string> ref_tables;

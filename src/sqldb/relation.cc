@@ -251,7 +251,11 @@ void Column::AppendFrom(const Column& src, size_t i) {
 void Column::AppendColumn(const Column& src) {
   if (src.storage_ == storage_ && src.value_type_ == value_type_ &&
       storage_ != Storage::kMixed && storage_ != Storage::kEmpty) {
-    if (!src.nulls_.empty()) EnsureNulls();
+    // Decide up front whether a null map is needed: testing nulls_ after
+    // EnsureNulls would lose src's nulls when this column is still empty
+    // (EnsureNulls on zero rows leaves the map empty).
+    const bool need_nulls = !nulls_.empty() || !src.nulls_.empty();
+    if (need_nulls) EnsureNulls();
     switch (storage_) {
       case Storage::kInt:
         ints_.insert(ints_.end(), src.ints_.begin(), src.ints_.end());
@@ -265,7 +269,7 @@ void Column::AppendColumn(const Column& src) {
       default:
         break;
     }
-    if (!nulls_.empty()) {
+    if (need_nulls) {
       if (src.nulls_.empty()) {
         nulls_.insert(nulls_.end(), src.size_, 0);
       } else {

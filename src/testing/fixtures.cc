@@ -1,0 +1,83 @@
+#include "testing/fixtures.h"
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/loader.h"
+#include "sqldb/relation.h"
+
+namespace hyperq {
+namespace testing {
+
+MarketData FixtureMarketData(uint64_t seed) {
+  MarketDataOptions opts;
+  opts.seed = seed;
+  return GenerateMarketData(opts);
+}
+
+Result<BackendFixture> MakeBackend(const MarketData& data) {
+  BackendFixture f;
+  f.db = std::make_unique<sqldb::Database>();
+  HQ_RETURN_IF_ERROR(LoadQTable(f.db.get(), "trades", data.trades));
+  HQ_RETURN_IF_ERROR(LoadQTable(f.db.get(), "quotes", data.quotes));
+  f.session = std::make_unique<HyperQSession>(f.db.get());
+  return f;
+}
+
+Result<ShardedBackendFixture> MakeShardedBackend(int num_shards,
+                                                 const MarketData& data) {
+  ShardedBackendFixture f;
+  f.backend = std::make_unique<shard::ShardedBackend>(num_shards);
+  HQ_RETURN_IF_ERROR(f.backend->LoadQTable("trades", data.trades));
+  HQ_RETURN_IF_ERROR(f.backend->LoadQTable("quotes", data.quotes));
+  f.session = std::make_unique<HyperQSession>(
+      std::make_unique<shard::ShardedGateway>(f.backend.get()),
+      HyperQSession::Options{});
+  return f;
+}
+
+Status LoadStressTables(sqldb::Database* db, size_t rows, size_t syms) {
+  using sqldb::Column;
+  using sqldb::SqlType;
+  using sqldb::StoredTable;
+  using sqldb::TableColumn;
+
+  Rng rng(7);
+  StoredTable t;
+  t.name = "facts";
+  t.columns = {TableColumn{"sym", SqlType::kVarchar},
+               TableColumn{"px", SqlType::kDouble},
+               TableColumn{"qty", SqlType::kBigInt}};
+  std::vector<std::string> sym(rows);
+  std::vector<double> px(rows);
+  std::vector<int64_t> qty(rows);
+  for (size_t r = 0; r < rows; ++r) {
+    sym[r] = "S" + std::to_string(rng.Below(syms));
+    px[r] = rng.NextDouble() * 100.0;
+    qty[r] = static_cast<int64_t>(rng.Below(1000));
+  }
+  t.data = {Column::FromStrings(SqlType::kVarchar, std::move(sym)),
+            Column::FromFloats(SqlType::kDouble, std::move(px)),
+            Column::FromInts(SqlType::kBigInt, std::move(qty))};
+  t.row_count = rows;
+  HQ_RETURN_IF_ERROR(db->CreateAndLoad(std::move(t)));
+
+  StoredTable d;
+  d.name = "dims";
+  d.columns = {TableColumn{"sym", SqlType::kVarchar},
+               TableColumn{"w", SqlType::kDouble}};
+  std::vector<std::string> dsym(syms);
+  std::vector<double> w(syms);
+  for (size_t s = 0; s < syms; ++s) {
+    dsym[s] = "S" + std::to_string(s);
+    w[s] = static_cast<double>(s);
+  }
+  d.data = {Column::FromStrings(SqlType::kVarchar, std::move(dsym)),
+            Column::FromFloats(SqlType::kDouble, std::move(w))};
+  d.row_count = syms;
+  return db->CreateAndLoad(std::move(d));
+}
+
+}  // namespace testing
+}  // namespace hyperq

@@ -1,0 +1,46 @@
+#ifndef HYPERQ_TESTING_FIXTURES_H_
+#define HYPERQ_TESTING_FIXTURES_H_
+
+#include <memory>
+
+#include "core/hyperq.h"
+#include "shard/sharded_backend.h"
+#include "sqldb/database.h"
+#include "testing/market_data.h"
+
+namespace hyperq {
+namespace testing {
+
+/// Canonical seeded market-data fixture for the distributed test battery:
+/// single-backend and N-shard sessions must load byte-identical trades and
+/// quotes, or byte-identity of their responses proves nothing.
+MarketData FixtureMarketData(uint64_t seed = 42);
+
+/// A single-backend Hyper-Q session over the fixture tables, loaded
+/// through the ordcol loader — the reference side of every scatter-gather
+/// comparison.
+struct BackendFixture {
+  std::unique_ptr<sqldb::Database> db;
+  std::unique_ptr<HyperQSession> session;
+};
+Result<BackendFixture> MakeBackend(const MarketData& data);
+
+/// An N-shard scatter-gather session over the identical fixture tables,
+/// hash-partitioned by Symbol.
+struct ShardedBackendFixture {
+  std::unique_ptr<shard::ShardedBackend> backend;
+  std::unique_ptr<HyperQSession> session;
+};
+Result<ShardedBackendFixture> MakeShardedBackend(int num_shards,
+                                                 const MarketData& data);
+
+/// The morsel-stress fixture shared by the executor stress test and the
+/// shard scatter bench: "facts" (sym, px, qty; `rows` rows across `syms`
+/// symbols, Rng(7)) and "dims" (sym, w; one row per symbol).
+Status LoadStressTables(sqldb::Database* db, size_t rows = 100000,
+                        size_t syms = 8);
+
+}  // namespace testing
+}  // namespace hyperq
+
+#endif  // HYPERQ_TESTING_FIXTURES_H_

@@ -105,6 +105,13 @@ SideBySideHarness::SideBySideHarness() {
   session_ = std::make_unique<HyperQSession>(&db_);
 }
 
+SideBySideHarness::SideBySideHarness(int num_shards) {
+  sharded_ = std::make_unique<shard::ShardedBackend>(num_shards);
+  session_ = std::make_unique<HyperQSession>(
+      std::make_unique<shard::ShardedGateway>(sharded_.get()),
+      HyperQSession::Options{});
+}
+
 Status SideBySideHarness::DefineTable(const std::string& name,
                                       const std::string& q_definition) {
   HQ_ASSIGN_OR_RETURN(QValue table, kdb_.EvalText(q_definition));
@@ -114,6 +121,7 @@ Status SideBySideHarness::DefineTable(const std::string& name,
 Status SideBySideHarness::LoadTable(const std::string& name,
                                     const QValue& table) {
   kdb_.SetGlobal(name, table);
+  if (sharded_ != nullptr) return sharded_->LoadQTable(name, table);
   return LoadQTable(&db_, name, table);
 }
 

@@ -7,6 +7,7 @@
 
 #include "core/hyperq.h"
 #include "kdb/engine.h"
+#include "shard/sharded_backend.h"
 
 namespace hyperq {
 namespace testing {
@@ -21,6 +22,12 @@ namespace testing {
 class SideBySideHarness {
  public:
   SideBySideHarness();
+
+  /// Sharded variant: Hyper-Q runs over the scatter-gather coordinator
+  /// with `num_shards` backends; tables land hash-partitioned by Symbol.
+  /// The kdb+ reference side is unchanged, so the same comparisons verify
+  /// the distributed merge path.
+  explicit SideBySideHarness(int num_shards);
 
   /// Defines a table on both sides. `q_definition` is a q expression
   /// producing the table, e.g. "([] a: 1 2 3; b: `x`y`z)".
@@ -50,11 +57,16 @@ class SideBySideHarness {
 
   kdb::Interpreter& kdb() { return kdb_; }
   HyperQSession& hyperq() { return *session_; }
-  sqldb::Database& backend() { return db_; }
+  sqldb::Database& backend() {
+    return sharded_ ? *sharded_->fallback() : db_;
+  }
+  /// Non-null for the sharded variant.
+  shard::ShardedBackend* sharded() { return sharded_.get(); }
 
  private:
   kdb::Interpreter kdb_;
   sqldb::Database db_;
+  std::unique_ptr<shard::ShardedBackend> sharded_;
   std::unique_ptr<HyperQSession> session_;
 };
 

@@ -14,6 +14,7 @@
 #include "common/strings.h"
 #include "core/endpoint.h"
 #include "core/loader.h"
+#include "shard/sharded_backend.h"
 #include "testing/market_data.h"
 
 namespace hyperq {
@@ -100,6 +101,23 @@ class ChaosSoakTest : public ::testing::Test {
       return whole;
     }
   };
+
+  /// A fresh 4-way sharded coordinator over the pinned market data.
+  std::unique_ptr<shard::ShardedBackend> MakeSharded() {
+    auto backend = std::make_unique<shard::ShardedBackend>(4);
+    EXPECT_TRUE(backend->LoadQTable("trades", data_.trades).ok());
+    EXPECT_TRUE(backend->LoadQTable("quotes", data_.quotes).ok());
+    return backend;
+  }
+
+  static HyperQServer::Options ShardedOptions(
+      shard::ShardedBackend* backend) {
+    HyperQServer::Options opts;
+    opts.gateway_factory = [backend]() {
+      return std::make_unique<shard::ShardedGateway>(backend);
+    };
+    return opts;
+  }
 
   testing::MarketData data_;
   sqldb::Database db_;
@@ -251,6 +269,134 @@ TEST_F(ChaosSoakTest, SoakSurvivesSeededFaultsAndReplaysByteIdentical) {
   for (size_t i = 0; i < first.size(); ++i) {
     ASSERT_EQ(first[i], second[i])
         << "replay diverged at query " << i << ": " << replay[i];
+  }
+}
+
+TEST_F(ChaosSoakTest, ShardedSoakSurvivesAndMixedReplayIsByteIdentical) {
+  const int64_t soak_ms = EnvInt("HYPERQ_SOAK_MS", 2000) / 2;
+  const uint64_t seed =
+      static_cast<uint64_t>(EnvInt("HYPERQ_SOAK_SEED", 42)) + 1;
+
+  std::unique_ptr<shard::ShardedBackend> sharded = MakeSharded();
+  HyperQServer::Options opts = ShardedOptions(sharded.get());
+  opts.default_deadline_ms = 500;
+  HyperQServer server(sharded->fallback(), opts);
+  ASSERT_TRUE(server.Start(0).ok());
+
+  // The single-backend soak's sites plus the scatter-gather ones: a shard
+  // dying mid-scatter and a lost gather are the distributed failure modes
+  // the coordinator must absorb without hanging or corrupting a frame.
+  FaultInjector::Global().Reseed(seed);
+  ASSERT_TRUE(FaultInjector::Global()
+                  .Arm("shard.execute=error,p:0.03;"
+                       "shard.gather=error,p:0.02;"
+                       "backend.execute=error,p:0.02;"
+                       "net.write=error,p:0.01;"
+                       "qipc.encode=error,p:0.02;"
+                       "pool.task=delay:1,p:0.05")
+                  .ok());
+
+  constexpr int kClients = 4;
+  const auto stop_at = std::chrono::steady_clock::now() +
+                       std::chrono::milliseconds(soak_ms);
+  std::vector<std::vector<std::string>> recorded(kClients);
+  std::vector<int> completed(kClients, 0);
+  std::vector<std::thread> clients;
+  for (int tid = 0; tid < kClients; ++tid) {
+    clients.emplace_back([&, tid]() {
+      testing::Rng rng(seed * 1000003 + tid * 7919 + 1);
+      std::unique_ptr<QipcClient> client;
+      while (std::chrono::steady_clock::now() < stop_at) {
+        if (client == nullptr) {
+          Result<QipcClient> c = QipcClient::Connect(
+              "127.0.0.1", server.port(), "soak", "pw");
+          if (!c.ok()) {
+            std::this_thread::sleep_for(std::chrono::milliseconds(2));
+            continue;
+          }
+          client = std::make_unique<QipcClient>(std::move(*c));
+        }
+        const std::string& q = QueryPool()[rng.Below(QueryPool().size())];
+        recorded[tid].push_back(q);
+        Result<QValue> r = client->Query(q);
+        if (r.ok()) {
+          ++completed[tid];
+        } else {
+          client->Close();
+          client = nullptr;
+        }
+      }
+      if (client != nullptr) client->Close();
+    });
+  }
+  for (auto& t : clients) t.join();
+
+  int total_completed = 0;
+  for (int tid = 0; tid < kClients; ++tid) total_completed += completed[tid];
+  EXPECT_GT(total_completed, 0) << "no query ever completed under chaos";
+  EXPECT_GT(MetricsRegistry::Global().GetCounter("fault.fired")->value(),
+            0u);
+  EXPECT_GT(MetricsRegistry::Global().GetCounter("shard.scatter")->value(),
+            0u)
+      << "soak never exercised the scatter path";
+
+  // The chaos coordinator is still healthy once the faults are gone.
+  FaultInjector::Global().Clear();
+  {
+    Result<QipcClient> c =
+        QipcClient::Connect("127.0.0.1", server.port(), "soak", "pw");
+    ASSERT_TRUE(c.ok()) << "sharded server unusable after soak";
+    EXPECT_TRUE(c->Query(QueryPool()[0]).ok());
+    c->Close();
+  }
+  server.Stop();
+  EXPECT_EQ(server.active_connections(), 0);
+
+  // Mixed replay: the recorded stream served fault-free from a fresh
+  // sharded server and from a fresh single-backend server must produce
+  // byte-identical response frames — scatter-gather is invisible on the
+  // wire even after a chaos run.
+  std::vector<std::string> replay;
+  for (int tid = 0; tid < kClients && replay.size() < 150; ++tid) {
+    for (const std::string& q : recorded[tid]) {
+      replay.push_back(q);
+      if (replay.size() >= 150) break;
+    }
+  }
+  ASSERT_FALSE(replay.empty());
+  auto run_replay = [&](bool use_shards,
+                        std::vector<std::vector<uint8_t>>* out) {
+    sqldb::Database plain;
+    std::unique_ptr<shard::ShardedBackend> fresh;
+    HyperQServer::Options ropts;
+    sqldb::Database* server_db = &plain;
+    if (use_shards) {
+      fresh = MakeSharded();
+      ropts = ShardedOptions(fresh.get());
+      server_db = fresh->fallback();
+    } else {
+      LoadInto(&plain);
+    }
+    HyperQServer replay_server(server_db, ropts);
+    ASSERT_TRUE(replay_server.Start(0).ok());
+    Result<RawClient> rc = RawClient::Open(replay_server.port());
+    ASSERT_TRUE(rc.ok());
+    for (const std::string& q : replay) {
+      Result<std::vector<uint8_t>> bytes = rc->Query(q);
+      ASSERT_TRUE(bytes.ok()) << q;
+      out->push_back(std::move(*bytes));
+    }
+    rc->conn.Close();
+    replay_server.Stop();
+  };
+  std::vector<std::vector<uint8_t>> via_shards, via_single;
+  run_replay(true, &via_shards);
+  run_replay(false, &via_single);
+  ASSERT_EQ(via_shards.size(), via_single.size());
+  for (size_t i = 0; i < via_shards.size(); ++i) {
+    ASSERT_EQ(via_shards[i], via_single[i])
+        << "sharded replay diverged from single-backend at query " << i
+        << ": " << replay[i];
   }
 }
 

@@ -8,16 +8,12 @@
 #include "common/worker_pool.h"
 #include "sqldb/database.h"
 #include "sqldb/session.h"
-#include "testing/market_data.h"
+#include "testing/fixtures.h"
 
 namespace hyperq {
 namespace {
 
-using sqldb::Column;
 using sqldb::QueryResult;
-using sqldb::SqlType;
-using sqldb::StoredTable;
-using sqldb::TableColumn;
 
 /// Concurrent-executor stress: many sessions execute morsel-parallel
 /// queries against one shared catalog at once. Scans share the stored
@@ -30,40 +26,7 @@ class ExecStressTest : public ::testing::Test {
   static constexpr size_t kSyms = 8;
 
   void SetUp() override {
-    testing::Rng rng(7);
-    StoredTable t;
-    t.name = "facts";
-    t.columns = {TableColumn{"sym", SqlType::kVarchar},
-                 TableColumn{"px", SqlType::kDouble},
-                 TableColumn{"qty", SqlType::kBigInt}};
-    std::vector<std::string> syms(kRows);
-    std::vector<double> px(kRows);
-    std::vector<int64_t> qty(kRows);
-    for (size_t r = 0; r < kRows; ++r) {
-      syms[r] = "S" + std::to_string(rng.Below(kSyms));
-      px[r] = rng.NextDouble() * 100.0;
-      qty[r] = static_cast<int64_t>(rng.Below(1000));
-    }
-    t.data = {Column::FromStrings(SqlType::kVarchar, std::move(syms)),
-              Column::FromFloats(SqlType::kDouble, std::move(px)),
-              Column::FromInts(SqlType::kBigInt, std::move(qty))};
-    t.row_count = kRows;
-    ASSERT_TRUE(db_.CreateAndLoad(std::move(t)).ok());
-
-    StoredTable d;
-    d.name = "dims";
-    d.columns = {TableColumn{"sym", SqlType::kVarchar},
-                 TableColumn{"w", SqlType::kDouble}};
-    std::vector<std::string> dsym(kSyms);
-    std::vector<double> w(kSyms);
-    for (size_t s = 0; s < kSyms; ++s) {
-      dsym[s] = "S" + std::to_string(s);
-      w[s] = static_cast<double>(s);
-    }
-    d.data = {Column::FromStrings(SqlType::kVarchar, std::move(dsym)),
-              Column::FromFloats(SqlType::kDouble, std::move(w))};
-    d.row_count = kSyms;
-    ASSERT_TRUE(db_.CreateAndLoad(std::move(d)).ok());
+    ASSERT_TRUE(testing::LoadStressTables(&db_, kRows, kSyms).ok());
   }
 
   /// One canonical text rendering of a result, for cross-run comparison.

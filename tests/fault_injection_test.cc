@@ -2,6 +2,7 @@
 
 #include <atomic>
 #include <chrono>
+#include <memory>
 #include <string>
 #include <thread>
 #include <vector>
@@ -12,6 +13,7 @@
 #include "common/strings.h"
 #include "core/endpoint.h"
 #include "kdb/engine.h"
+#include "shard/sharded_backend.h"
 
 namespace hyperq {
 namespace {
@@ -34,7 +36,8 @@ class FaultInjectionTest : public ::testing::Test {
                         " Time:09:30:00.000 09:30:01.000 09:30:02.000 "
                         "09:30:03.000 09:30:04.000)")
                     .ok());
-    ASSERT_TRUE(LoadQTable(&db_, "trades", *loader.GetGlobal("trades")).ok());
+    trades_ = *loader.GetGlobal("trades");
+    ASSERT_TRUE(LoadQTable(&db_, "trades", trades_).ok());
   }
 
   void TearDown() override { FaultInjector::Global().Clear(); }
@@ -43,6 +46,17 @@ class FaultInjectionTest : public ::testing::Test {
     return MetricsRegistry::Global().GetCounter(name)->value();
   }
 
+  /// Server options that front every connection with the scatter-gather
+  /// coordinator over `backend` (docs/SCALE_OUT.md).
+  static HyperQServer::Options ShardedOptions(shard::ShardedBackend* backend) {
+    HyperQServer::Options opts;
+    opts.gateway_factory = [backend]() {
+      return std::make_unique<shard::ShardedGateway>(backend);
+    };
+    return opts;
+  }
+
+  QValue trades_;
   sqldb::Database db_;
 };
 
@@ -408,6 +422,126 @@ TEST_F(FaultInjectionTest, OverCapQueriesAreShedWithBusy) {
   ASSERT_TRUE(c.ok());
   EXPECT_TRUE(c->Query("select Price from trades").ok());
   c->Close();
+  server.Stop();
+}
+
+// ---------------------------------------------------------------------------
+// Sharded scatter-gather fault sites (docs/SCALE_OUT.md): one failing
+// shard must surface a structured error — never a hang — a transient
+// shard fault must be retried transparently (the scatter is a pure read,
+// so re-dispatch is idempotent), and a straggler shard is bounded by the
+// query deadline.
+
+TEST_F(FaultInjectionTest, TransientShardFaultIsRetriedTransparently) {
+  shard::ShardedBackend sharded(4);
+  ASSERT_TRUE(sharded.LoadQTable("trades", trades_).ok());
+  HyperQServer server(sharded.fallback(), ShardedOptions(&sharded));
+  ASSERT_TRUE(server.Start(0).ok());
+  Result<QipcClient> client =
+      QipcClient::Connect("127.0.0.1", server.port(), "fault", "pw");
+  ASSERT_TRUE(client.ok());
+
+  uint64_t scatters_before = CounterValue("shard.scatter");
+  ASSERT_TRUE(FaultInjector::Global().Arm("shard.execute=error,once").ok());
+  // One shard fails once; the whole scatter is re-dispatched and the
+  // client never sees the fault.
+  Result<QValue> r = client->Query("select sum Price by Symbol from trades");
+  EXPECT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_GE(CounterValue("retry.success"), 1u);
+  EXPECT_GE(CounterValue("fault.fired.shard.execute"), 1u);
+  EXPECT_GT(CounterValue("shard.scatter"), scatters_before)
+      << "query did not take the scatter path";
+
+  client->Close();
+  server.Stop();
+}
+
+TEST_F(FaultInjectionTest, OneShardFailingSurfacesStructuredErrorNotHang) {
+  shard::ShardedBackend sharded(4);
+  ASSERT_TRUE(sharded.LoadQTable("trades", trades_).ok());
+  HyperQServer server(sharded.fallback(), ShardedOptions(&sharded));
+  ASSERT_TRUE(server.Start(0).ok());
+  Result<QipcClient> client =
+      QipcClient::Connect("127.0.0.1", server.port(), "fault", "pw");
+  ASSERT_TRUE(client.ok());
+
+  uint64_t errors_before = CounterValue("shard.errors");
+  ASSERT_TRUE(FaultInjector::Global().Arm("shard.execute=error").ok());
+  Result<QValue> r = client->Query("select sum Price by Symbol from trades");
+  ASSERT_FALSE(r.ok());
+  // kUnavailable maps to the structured 'busy wire error; the connection
+  // was answered, not torn or hung.
+  EXPECT_NE(r.status().message().find("busy"), std::string::npos)
+      << r.status().ToString();
+  EXPECT_GT(CounterValue("shard.errors"), errors_before);
+
+  // Same connection, fault cleared: the coordinator is fully usable.
+  FaultInjector::Global().Clear();
+  Result<QValue> ok = client->Query("select sum Price by Symbol from trades");
+  EXPECT_TRUE(ok.ok()) << ok.status().ToString();
+  client->Close();
+  server.Stop();
+}
+
+TEST_F(FaultInjectionTest, GatherFaultSurfacesAndCoordinatorRecovers) {
+  shard::ShardedBackend sharded(2);
+  ASSERT_TRUE(sharded.LoadQTable("trades", trades_).ok());
+  HyperQServer server(sharded.fallback(), ShardedOptions(&sharded));
+  ASSERT_TRUE(server.Start(0).ok());
+  Result<QipcClient> client =
+      QipcClient::Connect("127.0.0.1", server.port(), "fault", "pw");
+  ASSERT_TRUE(client.ok());
+
+  // Transient gather fault: retried transparently, like shard.execute.
+  ASSERT_TRUE(FaultInjector::Global().Arm("shard.gather=error,once").ok());
+  EXPECT_TRUE(client->Query("select max Price by Symbol from trades").ok());
+  EXPECT_GE(CounterValue("fault.fired.shard.gather"), 1u);
+
+  // Persistent gather fault: structured 'busy, then clean recovery.
+  ASSERT_TRUE(FaultInjector::Global().Arm("shard.gather=error").ok());
+  Result<QValue> r = client->Query("select max Price by Symbol from trades");
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.status().message().find("busy"), std::string::npos)
+      << r.status().ToString();
+  FaultInjector::Global().Clear();
+  EXPECT_TRUE(client->Query("select max Price by Symbol from trades").ok());
+  client->Close();
+  server.Stop();
+}
+
+TEST_F(FaultInjectionTest, StragglerShardIsBoundedByDeadline) {
+  shard::ShardedBackend sharded(4);
+  ASSERT_TRUE(sharded.LoadQTable("trades", trades_).ok());
+  HyperQServer server(sharded.fallback(), ShardedOptions(&sharded));
+  ASSERT_TRUE(server.Start(0).ok());
+  Result<QipcClient> client =
+      QipcClient::Connect("127.0.0.1", server.port(), "fault", "pw");
+  ASSERT_TRUE(client.ok());
+
+  constexpr int kDeadlineMs = 300;
+  ASSERT_TRUE(
+      client->Query(StrCat(".hyperq.deadline[", kDeadlineMs, "]")).ok());
+  // Exactly one shard straggles past the budget; the other three finish.
+  // The scatter must convert the straggler into 'timeout within 2x the
+  // deadline instead of waiting it out per shard.
+  ASSERT_TRUE(
+      FaultInjector::Global().Arm("shard.execute=delay:450,once").ok());
+  auto t0 = std::chrono::steady_clock::now();
+  Result<QValue> r = client->Query("select sum Price by Symbol from trades");
+  auto elapsed_ms = std::chrono::duration_cast<std::chrono::milliseconds>(
+                        std::chrono::steady_clock::now() - t0)
+                        .count();
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.status().message().find("timeout"), std::string::npos)
+      << r.status().ToString();
+  EXPECT_LT(elapsed_ms, 2 * kDeadlineMs)
+      << "'timeout must arrive within 2x the deadline";
+  EXPECT_GE(CounterValue("deadline.timeouts"), 1u);
+
+  // Deadline still armed, fault gone: queries flow again.
+  FaultInjector::Global().Clear();
+  EXPECT_TRUE(client->Query("select sum Price by Symbol from trades").ok());
+  client->Close();
   server.Stop();
 }
 

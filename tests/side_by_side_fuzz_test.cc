@@ -1,9 +1,12 @@
 #include <gtest/gtest.h>
 
+#include <memory>
 #include <optional>
+#include <vector>
 
 #include "common/metrics.h"
 #include "common/strings.h"
+#include "protocol/qipc/qipc.h"
 #include "testing/market_data.h"
 #include "testing/shrinker.h"
 #include "testing/side_by_side.h"
@@ -338,6 +341,89 @@ TEST_P(SideBySideFuzz, GroupedAndWindowQueriesAgree) {
                   << ShrinkAndArchive(*first_mismatch);
   }
   EXPECT_GE(checked, 20) << "too few queries actually executed";
+}
+
+/// The distributed byte-identity sweep: the full random corpus (single
+/// statements, grouped/window shapes and multi-statement pipelines) runs
+/// against the scatter-gather coordinator at 1, 2 and 4 shards, and every
+/// QIPC-encoded response must equal the single-backend response byte for
+/// byte. Decomposable queries exercise the two-phase merge; everything
+/// else must fall back transparently — either way the wire bytes may not
+/// change.
+TEST_P(SideBySideFuzz, ShardedResponsesByteIdenticalAcrossShardCounts) {
+  MarketDataOptions opts;
+  opts.seed = GetParam();
+  opts.symbols = {"AAPL", "GOOG", "IBM", "MSFT"};
+  opts.trades_per_symbol = 30;
+  opts.quotes_per_symbol = 90;
+  MarketData data = GenerateMarketData(opts);
+
+  // Fresh sessions on both sides so materialized-variable counters advance
+  // in lockstep when pipelines run.
+  SideBySideHarness direct;
+  ASSERT_TRUE(direct.LoadTable("trades", data.trades).ok());
+  ASSERT_TRUE(direct.LoadTable("quotes", data.quotes).ok());
+  std::vector<std::unique_ptr<SideBySideHarness>> sharded;
+  for (int n : {1, 2, 4}) {
+    sharded.push_back(std::make_unique<SideBySideHarness>(n));
+    ASSERT_TRUE(sharded.back()->LoadTable("trades", data.trades).ok());
+    ASSERT_TRUE(sharded.back()->LoadTable("quotes", data.quotes).ok());
+  }
+
+  auto response_bytes = [](HyperQSession& s,
+                           const std::string& q) -> std::string {
+    Result<QValue> r = s.Query(q);
+    if (!r.ok()) return StrCat("!error"); // shard context in messages is ok
+    Result<std::vector<uint8_t>> bytes =
+        qipc::EncodeMessage(*r, qipc::MsgType::kResponse);
+    if (!bytes.ok()) return StrCat("!encode: ", bytes.status().ToString());
+    return std::string(bytes->begin(), bytes->end());
+  };
+
+  std::vector<std::string> corpus;
+  for (int k = 0; k < 12; ++k) corpus.push_back(RandomQuery());
+  for (int k = 0; k < 6; ++k) corpus.push_back(RandomGroupedOrWindowQuery());
+  for (int k = 0; k < 6; ++k) corpus.push_back(RandomPipeline());
+
+  Counter* scatters = MetricsRegistry::Global().GetCounter("shard.scatter");
+  const uint64_t scatters_before = scatters->value();
+  int compared = 0;
+  for (const std::string& q : corpus) {
+    const std::string want = response_bytes(direct.hyperq(), q);
+    for (size_t si = 0; si < sharded.size(); ++si) {
+      const int n = si == 0 ? 1 : (si == 1 ? 2 : 4);
+      const std::string got = response_bytes(sharded[si]->hyperq(), q);
+      if (want == got) continue;
+      // First mismatch: shrink against this shard count and archive.
+      SideBySideHarness& bad = *sharded[si];
+      ShrinkOutcome s = ShrinkQuery(q, [&](const std::string& cand) {
+        return response_bytes(direct.hyperq(), cand) !=
+               response_bytes(bad.hyperq(), cand);
+      });
+      SideBySideHarness::Comparison failure;
+      failure.query = q;
+      failure.hyperq_error =
+          StrCat("sharded(", std::to_string(n),
+                 ") response bytes diverged from single backend");
+      failure.sql = bad.hyperq().last_sql();
+      Result<std::string> path = WriteFailureArtifact(
+          "tests/artifacts", GetParam(), failure, s.minimized);
+      FAIL() << "seed " << GetParam() << " shards=" << n
+             << " response bytes diverged\n  query: " << q
+             << "\n  minimized (" << s.tokens_before << " -> "
+             << s.tokens_after << " tokens): " << s.minimized
+             << "\n  single sql:  " << direct.hyperq().last_sql()
+             << "\n  sharded sql: " << bad.hyperq().last_sql()
+             << "\n  artifact: "
+             << (path.ok() ? *path : path.status().ToString());
+    }
+    if (want.empty() || want[0] != '!') ++compared;
+  }
+  EXPECT_GE(compared, 12) << "too few queries produced comparable responses";
+  // Byte-identity proves nothing if the planner fell back on the whole
+  // corpus: some generated queries must actually scatter.
+  EXPECT_GT(scatters->value(), scatters_before)
+      << "no corpus query took the scatter path";
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, SideBySideFuzz,
