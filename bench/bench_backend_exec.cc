@@ -77,6 +77,10 @@ Database& Fixture() {
                  Column::FromFloats(SqlType::kDouble, std::move(w))};
     dims.row_count = kSyms;
     if (!d->CreateAndLoad(std::move(dims)).ok()) std::abort();
+    // This bench measures the interpreted columnar executor; the fused
+    // kernel tier has its own bench (bench_kernel_exec) that compares
+    // against these numbers.
+    d->kernel_registry().set_enabled(false);
     return d;
   }();
   return *db;

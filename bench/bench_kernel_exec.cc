@@ -1,0 +1,136 @@
+// Fused-kernel execution vs the interpreted columnar executor on the hot
+// filter+aggregate and filter+project shapes (same 1M-row fixture as
+// bench_backend_exec), plus the cold-compile overhead of a kernel cache
+// miss. The ISSUE gate compares BM_KernelFilterAggregate against
+// BM_InterpFilterAggregate at 1 and 4 threads (>=2x, scripts/bench.sh).
+
+#include <benchmark/benchmark.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "bench/bench_main.h"
+
+#include "common/worker_pool.h"
+#include "sqldb/database.h"
+#include "sqldb/kernel.h"
+#include "sqldb/session.h"
+#include "sqldb/sql_parser.h"
+#include "testing/market_data.h"
+
+namespace hyperq {
+namespace bench {
+namespace {
+
+using sqldb::Column;
+using sqldb::Database;
+using sqldb::Session;
+using sqldb::SqlType;
+using sqldb::StoredTable;
+using sqldb::TableColumn;
+
+constexpr size_t kRows = 1 << 20;  // 1M fact rows, matching bench_backend_exec
+constexpr size_t kSyms = 16;
+
+Database& Fixture() {
+  static Database* db = [] {
+    auto* d = new Database();
+    testing::Rng rng(42);
+    StoredTable facts;
+    facts.name = "facts";
+    facts.columns = {TableColumn{"sym", SqlType::kVarchar},
+                     TableColumn{"px", SqlType::kDouble},
+                     TableColumn{"qty", SqlType::kBigInt}};
+    std::vector<std::string> syms(kRows);
+    std::vector<double> px(kRows);
+    std::vector<int64_t> qty(kRows);
+    for (size_t r = 0; r < kRows; ++r) {
+      syms[r] = "S" + std::to_string(rng.Below(kSyms));
+      px[r] = rng.NextDouble() * 1000.0;
+      qty[r] = static_cast<int64_t>(rng.Below(10000));
+    }
+    facts.data = {Column::FromStrings(SqlType::kVarchar, std::move(syms)),
+                  Column::FromFloats(SqlType::kDouble, std::move(px)),
+                  Column::FromInts(SqlType::kBigInt, std::move(qty))};
+    facts.row_count = kRows;
+    if (!d->CreateAndLoad(std::move(facts)).ok()) std::abort();
+    return d;
+  }();
+  return *db;
+}
+
+const char kFilterAggSql[] =
+    "SELECT sym, SUM(px) AS s, COUNT(*) AS n FROM facts "
+    "WHERE qty > 1000 GROUP BY sym";
+const char kFilterProjectSql[] =
+    "SELECT sym, px, qty FROM facts WHERE px > 500.0";
+
+void RunQueryBench(benchmark::State& state, const std::string& sql,
+                   bool kernels) {
+  Database& db = Fixture();
+  db.kernel_registry().set_enabled(kernels);
+  Session session;
+  WorkerPool::Shared().Resize(static_cast<size_t>(state.range(0)) - 1);
+  for (auto _ : state) {
+    auto r = db.Execute(&session, sql);
+    if (!r.ok()) {
+      state.SkipWithError(r.status().ToString().c_str());
+      return;
+    }
+    benchmark::DoNotOptimize(r->data);
+  }
+  WorkerPool::Shared().Resize(0);
+  db.kernel_registry().set_enabled(true);
+  state.SetItemsProcessed(state.iterations() * kRows);
+}
+
+void BM_KernelFilterAggregate(benchmark::State& state) {
+  RunQueryBench(state, kFilterAggSql, /*kernels=*/true);
+}
+BENCHMARK(BM_KernelFilterAggregate)->Arg(1)->Arg(2)->Arg(4)->Arg(8);
+
+void BM_InterpFilterAggregate(benchmark::State& state) {
+  RunQueryBench(state, kFilterAggSql, /*kernels=*/false);
+}
+BENCHMARK(BM_InterpFilterAggregate)->Arg(1)->Arg(2)->Arg(4)->Arg(8);
+
+void BM_KernelFilterProject(benchmark::State& state) {
+  RunQueryBench(state, kFilterProjectSql, /*kernels=*/true);
+}
+BENCHMARK(BM_KernelFilterProject)->Arg(1)->Arg(4);
+
+void BM_InterpFilterProject(benchmark::State& state) {
+  RunQueryBench(state, kFilterProjectSql, /*kernels=*/false);
+}
+BENCHMARK(BM_InterpFilterProject)->Arg(1)->Arg(4);
+
+/// Cold-compile overhead: fingerprint walk + plan compilation for the hot
+/// shape, measured without execution. This is the one-time cost a cache
+/// miss adds on top of the interpreted run it falls back from.
+void BM_KernelCompile(benchmark::State& state) {
+  Database& db = Fixture();
+  auto stmts = sqldb::SqlParser::Parse(kFilterAggSql);
+  if (!stmts.ok()) {
+    state.SkipWithError(stmts.status().ToString().c_str());
+    return;
+  }
+  const sqldb::SelectStmt& stmt = *(*stmts)[0].select;
+  for (auto _ : state) {
+    sqldb::KernelFingerprint fp = sqldb::KernelFingerprintFor(stmt);
+    benchmark::DoNotOptimize(fp);
+    auto plan = sqldb::KernelPlan::Compile(stmt, db.catalog());
+    if (!plan.ok()) {
+      state.SkipWithError(plan.status().ToString().c_str());
+      return;
+    }
+    benchmark::DoNotOptimize(*plan);
+  }
+}
+BENCHMARK(BM_KernelCompile);
+
+}  // namespace
+}  // namespace bench
+}  // namespace hyperq
+
+HQ_BENCH_MAIN();

@@ -1,12 +1,14 @@
 #!/usr/bin/env bash
 # Bench runner: builds the headline benches and writes their JSON artifacts
 # at the repo root (BENCH_translation.json, BENCH_fig6.json,
-# BENCH_backend.json, BENCH_wire.json, BENCH_shard.json). The
-# translation-cache bench exits non-zero if the hot path is not at least 5x
-# faster than cold translation, the wire bench exits non-zero if bulk
-# encode is not at least 4x faster than the element-wise baseline, and this
-# script exits non-zero if the routed 4-shard filter+agg is not at least 2x
-# faster than 1 shard, so it doubles as a perf gate.
+# BENCH_backend.json, BENCH_kernel.json, BENCH_wire.json,
+# BENCH_shard.json). The translation-cache bench exits non-zero if the hot
+# path is not at least 5x faster than cold translation, the wire bench
+# exits non-zero if bulk encode is not at least 4x faster than the
+# element-wise baseline, and this script exits non-zero if the routed
+# 4-shard filter+agg is not at least 2x faster than 1 shard or if the
+# fused-kernel filter+agg is not at least 2x faster than the interpreted
+# executor at 1 and 4 threads, so it doubles as a perf gate.
 #
 # Usage: scripts/bench.sh [--smoke]
 set -euo pipefail
@@ -20,7 +22,8 @@ echo "==> bench: configure + build"
 cmake -B build -S . >/dev/null
 cmake --build build -j "$JOBS" \
   --target bench_translation_cache bench_fig6_translation_overhead \
-  bench_backend_exec bench_wire bench_shard_scatter >/dev/null
+  bench_backend_exec bench_kernel_exec bench_wire \
+  bench_shard_scatter >/dev/null
 
 echo "==> bench: translation cache hot path"
 ./build/bench/bench_translation_cache --json=BENCH_translation.json \
@@ -33,6 +36,9 @@ echo "==> bench: figure 6 translation overhead"
 echo "==> bench: backend executor (columnar + morsel parallelism)"
 ./build/bench/bench_backend_exec --json=BENCH_backend.json "${SMOKE[@]}"
 
+echo "==> bench: fused-kernel execution (fingerprint-keyed kernel cache)"
+./build/bench/bench_kernel_exec --json=BENCH_kernel.json "${SMOKE[@]}"
+
 echo "==> bench: wire path (vectorized encode + scatter egress)"
 ./build/bench/bench_wire --json=BENCH_wire.json "${SMOKE[@]}"
 
@@ -43,7 +49,31 @@ echo "==> bench: artifacts"
 grep -o '"speedup_[a-z]*": [0-9.]*' BENCH_translation.json
 grep -o '"avg_overhead_pct": [0-9.]*' BENCH_fig6.json
 grep -c '"name": "BM_' BENCH_backend.json
+grep -c '"name": "BM_' BENCH_kernel.json
 grep -o '"encode_speedup": [0-9.]*' BENCH_wire.json
+# Gate: the fused filter+agg kernel must beat the interpreted columnar
+# executor by at least 2x on the hot shape at 1 and at 4 threads.
+awk -F': ' '
+  /"name": "BM_KernelFilterAggregate\/1"/ { wantk1 = 1 }
+  wantk1 && /"real_time"/ { k1 = $2 + 0; wantk1 = 0 }
+  /"name": "BM_KernelFilterAggregate\/4"/ { wantk4 = 1 }
+  wantk4 && /"real_time"/ { k4 = $2 + 0; wantk4 = 0 }
+  /"name": "BM_InterpFilterAggregate\/1"/ { wanti1 = 1 }
+  wanti1 && /"real_time"/ { i1 = $2 + 0; wanti1 = 0 }
+  /"name": "BM_InterpFilterAggregate\/4"/ { wanti4 = 1 }
+  wanti4 && /"real_time"/ { i4 = $2 + 0; wanti4 = 0 }
+  END {
+    if (k1 <= 0 || k4 <= 0 || i1 <= 0 || i4 <= 0) {
+      print "kernel bench: filter+agg timings missing from BENCH_kernel.json"
+      exit 1
+    }
+    printf "fused kernel filter+agg speedup: %.2fx @1, %.2fx @4\n", \
+      i1 / k1, i4 / k4
+    if (i1 / k1 < 2.0 || i4 / k4 < 2.0) {
+      print "FAIL: fused-kernel filter+agg speedup below 2x"
+      exit 1
+    }
+  }' BENCH_kernel.json
 # Gate: the routed symbol-pinned filter+agg at 4 shards scans ~1/4 of the
 # rows, so it must beat the 1-shard run by at least 2x even on one core.
 awk -F': ' '

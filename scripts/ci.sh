@@ -56,6 +56,7 @@ cmake -B build-tsan -S . -DHYPERQ_SANITIZE=thread >/dev/null
 cmake --build build-tsan -j "$JOBS" \
   --target endpoint_stress_test metrics_test endpoint_test \
   translation_cache_test worker_pool_test exec_stress_test \
+  kernel_exec_test \
   wire_path_test qipc_property_test fault_injection_test chaos_soak_test \
   shard_exec_test side_by_side_fuzz_test
 
@@ -67,6 +68,7 @@ export TSAN_OPTIONS="halt_on_error=1 second_deadlock_stack=1"
 ./build-tsan/tests/translation_cache_test
 ./build-tsan/tests/worker_pool_test
 ./build-tsan/tests/exec_stress_test
+./build-tsan/tests/kernel_exec_test
 ./build-tsan/tests/wire_path_test
 ./build-tsan/tests/qipc_property_test
 ./build-tsan/tests/fault_injection_test

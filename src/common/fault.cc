@@ -35,6 +35,7 @@ constexpr SiteInfo kSites[] = {
     {"pgwire.write", StatusCode::kNetworkError, "pg wire write"},
     {"shard.execute", StatusCode::kUnavailable, "shard scatter execution"},
     {"shard.gather", StatusCode::kUnavailable, "shard partial gather"},
+    {"backend.kernel", StatusCode::kUnavailable, "fused kernel execution"},
 };
 constexpr size_t kNumSites = sizeof(kSites) / sizeof(kSites[0]);
 

@@ -56,6 +56,12 @@ Result<QueryResult> Database::ExecuteStatement(Session* session,
   Executor executor(&catalog_, session);
   switch (stmt.kind) {
     case SqlStatement::Kind::kSelect: {
+      // Hot shapes run through the fused-kernel cache; anything it
+      // declines (nullopt) falls back to the interpreted executor.
+      if (auto kr = kernels_.TryExecuteSelect(*stmt.select, session)) {
+        if (!kr->ok()) return kr->status();
+        return FromRelation(*std::move(*kr));
+      }
       HQ_ASSIGN_OR_RETURN(Relation rel, executor.ExecuteSelect(*stmt.select));
       return FromRelation(std::move(rel));
     }

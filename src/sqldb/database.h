@@ -7,6 +7,7 @@
 
 #include "common/status.h"
 #include "sqldb/catalog.h"
+#include "sqldb/kernel_registry.h"
 #include "sqldb/relation.h"
 #include "sqldb/session.h"
 
@@ -144,6 +145,9 @@ class Database {
   Catalog& catalog() { return catalog_; }
   const Catalog& catalog() const { return catalog_; }
 
+  /// The fused-kernel plan cache for hot SELECT shapes (sqldb/kernel.h).
+  KernelRegistry& kernel_registry() { return kernels_; }
+
   std::unique_ptr<Session> CreateSession() {
     return std::make_unique<Session>();
   }
@@ -163,6 +167,7 @@ class Database {
 
  private:
   Catalog catalog_;
+  KernelRegistry kernels_{&catalog_};
 };
 
 }  // namespace sqldb

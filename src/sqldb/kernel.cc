@@ -1,0 +1,1198 @@
+#include "sqldb/kernel.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "common/deadline.h"
+#include "common/status.h"
+#include "common/worker_pool.h"
+#include "sqldb/eval.h"
+#include "sqldb/exec.h"
+
+namespace hyperq {
+namespace sqldb {
+namespace {
+
+// Mirrors the interpreted executor's morsel discipline (exec.cc): same
+// morsel size, same parallelization threshold, same cooperative
+// cancellation stages, so a kernel behaves like the interpreter under
+// deadlines and thread-count changes.
+constexpr size_t kMorselRows = 16 * 1024;
+
+bool ShouldParallelize(size_t n) {
+  return n >= 2 * kMorselRows && WorkerPool::Shared().thread_count() > 0;
+}
+
+Status CancelIfExpired(const Deadline& dl, const char* stage) {
+  if (dl.Expired()) return DeadlineExceeded(stage);
+  return Status::OK();
+}
+
+// ---------------------------------------------------------------------------
+// Fingerprinting
+// ---------------------------------------------------------------------------
+
+uint64_t Fnv1a(const std::string& s) {
+  uint64_t h = 1469598103934665603ull;
+  for (unsigned char c : s) {
+    h ^= c;
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+/// Literal class for the `$k` slot: statements whose literals differ only
+/// within a class compile to the same kernel.
+char ClassOf(const Datum& d) {
+  if (d.is_null()) return 'n';
+  if (IsStringType(d.type())) return 's';
+  if (d.type() == SqlType::kReal || d.type() == SqlType::kDouble) return 'f';
+  return 'i';
+}
+
+/// Comparison operator index shared with the plan: 0 '=', 1 '<>', 2 '<',
+/// 3 '>', 4 '<=', 5 '>='; -1 for anything else (incl. IS_DISTINCT).
+int CmpOpIndexOf(const std::string& op) {
+  if (op == "=") return 0;
+  if (op == "<>" || op == "!=") return 1;
+  if (op == "<") return 2;
+  if (op == ">") return 3;
+  if (op == "<=") return 4;
+  if (op == ">=") return 5;
+  return -1;
+}
+
+/// Mirrors swapping the operand order of a comparison.
+int FlipCmpOp(int op) {
+  switch (op) {
+    case 2: return 3;
+    case 3: return 2;
+    case 4: return 5;
+    case 5: return 4;
+    default: return op;  // =, <> are symmetric
+  }
+}
+
+/// Folds a literal operand to a Datum: plain constants plus unary minus
+/// over numeric constants (parsers spell -5 as -(5)). The fold matches
+/// what per-row evaluation of the same subtree produces.
+bool FoldLiteral(const Expr& e, Datum* out) {
+  if (e.kind == ExprKind::kConst) {
+    *out = e.datum;
+    return true;
+  }
+  if (e.kind == ExprKind::kUnary && e.op == "-" && e.lhs != nullptr &&
+      e.lhs->kind == ExprKind::kConst) {
+    const Datum& d = e.lhs->datum;
+    if (d.is_null()) return false;
+    if (d.type() == SqlType::kReal || d.type() == SqlType::kDouble) {
+      *out = Datum::Float(d.type(), -d.AsDouble());
+      return true;
+    }
+    if (IsIntegralType(d.type()) && d.type() != SqlType::kBoolean &&
+        d.AsInt() != INT64_MIN) {
+      *out = Datum::Int(d.type(), -d.AsInt());
+      return true;
+    }
+  }
+  return false;
+}
+
+/// Builds the canonical fingerprint text. '\x01' separates fields; every
+/// construct is tagged, so two statements share text only when the kernel
+/// compiled for one is exactly the kernel for the other (modulo literal
+/// values, which live in `params`).
+struct FpBuilder {
+  KernelFingerprint fp;
+
+  void Field(const std::string& s) {
+    fp.text += s;
+    fp.text += '\x01';
+  }
+  void Tag(const char* t) { fp.text += t; }
+  void Col(const Expr& e) {
+    Field(e.qualifier);
+    Field(e.column);
+  }
+  void Lit(const Datum& d) {
+    fp.text += '$';
+    fp.text += ClassOf(d);
+    fp.text += '\x01';
+    fp.params.push_back(d);
+  }
+};
+
+bool WalkWhere(const Expr& e, FpBuilder* b) {
+  if (e.kind == ExprKind::kBinary && e.op == "AND") {
+    return WalkWhere(*e.lhs, b) && WalkWhere(*e.rhs, b);
+  }
+  if (e.kind == ExprKind::kBinary) {
+    int op = CmpOpIndexOf(e.op);
+    if (op < 0 || e.lhs == nullptr || e.rhs == nullptr) return false;
+    const Expr* col = nullptr;
+    Datum lit;
+    if (e.lhs->kind == ExprKind::kColRef && FoldLiteral(*e.rhs, &lit)) {
+      col = e.lhs.get();
+    } else if (e.rhs->kind == ExprKind::kColRef && FoldLiteral(*e.lhs, &lit)) {
+      col = e.rhs.get();
+      op = FlipCmpOp(op);
+    } else {
+      return false;
+    }
+    b->Tag("p:c");
+    b->Field(std::to_string(op));
+    b->Col(*col);
+    b->Lit(lit);
+    return true;
+  }
+  if (e.kind == ExprKind::kIsNull) {
+    if (e.lhs == nullptr || e.lhs->kind != ExprKind::kColRef) return false;
+    b->Tag(e.negated ? "p:N" : "p:n");
+    b->Col(*e.lhs);
+    return true;
+  }
+  if (e.kind == ExprKind::kBetween) {
+    if (e.lhs == nullptr || e.lhs->kind != ExprKind::kColRef) return false;
+    Datum lo, hi;
+    if (e.low == nullptr || e.high == nullptr || !FoldLiteral(*e.low, &lo) ||
+        !FoldLiteral(*e.high, &hi)) {
+      return false;
+    }
+    b->Tag(e.negated ? "p:B" : "p:b");
+    b->Col(*e.lhs);
+    b->Lit(lo);
+    b->Lit(hi);
+    return true;
+  }
+  return false;
+}
+
+/// True when the item expression is a kernel-runnable aggregate call:
+/// non-DISTINCT, known aggregate function, argument either a single column
+/// reference or the COUNT(*) spellings.
+bool IsKernelAggregate(const Expr& e) {
+  if (e.kind != ExprKind::kFuncCall || !IsAggregateFunction(e.func_name) ||
+      e.distinct) {
+    return false;
+  }
+  bool star = e.args.empty() ||
+              (e.args.size() == 1 && e.args[0]->kind == ExprKind::kStar);
+  if (star) return e.func_name == "count";
+  return e.args.size() == 1 && e.args[0]->kind == ExprKind::kColRef;
+}
+
+}  // namespace
+
+KernelFingerprint KernelFingerprintFor(const SelectStmt& stmt) {
+  KernelFingerprint unsupported;
+  // Shapes with their own post-core machinery (sorting, limits, unions,
+  // dedup, HAVING) stay on the interpreted path.
+  if (stmt.distinct || stmt.having != nullptr || !stmt.order_by.empty() ||
+      stmt.limit != nullptr || stmt.offset != nullptr ||
+      !stmt.union_all.empty()) {
+    return unsupported;
+  }
+  if (stmt.from == nullptr || stmt.from->kind != TableRef::Kind::kNamed ||
+      stmt.from->name.empty() || stmt.items.empty()) {
+    return unsupported;
+  }
+
+  FpBuilder b;
+  b.Tag("krn1|");
+  b.Field(stmt.from->name);
+  b.Field(stmt.from->alias);
+
+  bool has_agg = false;
+  for (const SelectItem& item : stmt.items) {
+    const Expr& e = *item.expr;
+    if (e.kind == ExprKind::kColRef) {
+      b.Tag("i:c");
+      b.Col(e);
+    } else if (e.kind == ExprKind::kStar) {
+      b.Tag("i:s");
+      b.Field(e.qualifier);
+    } else if (IsKernelAggregate(e)) {
+      has_agg = true;
+      b.Tag("i:a");
+      b.Field(e.func_name);
+      if (e.args.size() == 1 && e.args[0]->kind == ExprKind::kColRef) {
+        b.Col(*e.args[0]);
+      } else {
+        b.Tag("*\x01");
+      }
+    } else {
+      return unsupported;
+    }
+    b.Field(item.alias);
+  }
+
+  if (stmt.where != nullptr) {
+    b.Tag("w|");
+    if (!WalkWhere(*stmt.where, &b)) return unsupported;
+  }
+
+  if (!stmt.group_by.empty()) {
+    b.Tag("g|");
+    for (const ExprPtr& g : stmt.group_by) {
+      if (g->kind != ExprKind::kColRef) return unsupported;
+      b.Col(*g);
+    }
+  }
+  // A star select of a grouped query would project every column through
+  // representative rows; keep stars on the projection path only (the
+  // interpreted executor owns the exotic combination).
+  if (has_agg || !stmt.group_by.empty()) {
+    for (const SelectItem& item : stmt.items) {
+      if (item.expr->kind == ExprKind::kStar) return unsupported;
+    }
+  }
+
+  b.fp.supported = true;
+  b.fp.table = stmt.from->name;
+  b.fp.hash = Fnv1a(b.fp.text);
+  return b.fp;
+}
+
+// ---------------------------------------------------------------------------
+// Compilation
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/// Resolves a column reference against the scan schema exactly like
+/// Relation::Resolve over the scan relation would (the scan aliases every
+/// column with the table alias). Ambiguity or a miss compiles to fallback
+/// so the interpreted executor reports its own bind error.
+int ResolveCol(const Expr& e, const std::vector<TableColumn>& schema,
+               const std::string& alias) {
+  if (!e.qualifier.empty() && e.qualifier != alias) return -1;
+  int found = -1;
+  for (size_t i = 0; i < schema.size(); ++i) {
+    if (schema[i].name != e.column) continue;
+    if (found >= 0) return -1;
+    found = static_cast<int>(i);
+  }
+  return found;
+}
+
+/// Comparison mode for `column <op> literal` following BinaryKernel's
+/// dispatch (eval.cc): string columns compare bytes against string
+/// literals, float on either side promotes to double, otherwise int64.
+/// kNever encodes combinations that can never pass (NULL literal, all-NULL
+/// column); nullopt rejects the plan (data-dependent type errors belong to
+/// the interpreted path).
+std::optional<KernelPlan::CmpMode> CmpModeFor(Column::Storage st,
+                                              char lit_class) {
+  using Mode = KernelPlan::CmpMode;
+  if (lit_class == 'n' || st == Column::Storage::kEmpty) return Mode::kNever;
+  switch (st) {
+    case Column::Storage::kString:
+      if (lit_class == 's') return Mode::kString;
+      return std::nullopt;
+    case Column::Storage::kInt:
+      if (lit_class == 'i') return Mode::kIntInt;
+      if (lit_class == 'f') return Mode::kIntDouble;
+      return std::nullopt;
+    case Column::Storage::kFloat:
+      if (lit_class == 'i' || lit_class == 'f') return Mode::kDouble;
+      return std::nullopt;
+    default:
+      return std::nullopt;
+  }
+}
+
+struct CompileCtx {
+  const std::vector<TableColumn>* schema;
+  const std::vector<Column::Storage>* storages;
+  std::string alias;
+  std::vector<KernelPlan::Pred>* preds;
+  int next_param = 0;
+};
+
+Status CompileWhere(const Expr& e, CompileCtx* ctx) {
+  if (e.kind == ExprKind::kBinary && e.op == "AND") {
+    HQ_RETURN_IF_ERROR(CompileWhere(*e.lhs, ctx));
+    return CompileWhere(*e.rhs, ctx);
+  }
+  KernelPlan::Pred p;
+  if (e.kind == ExprKind::kBinary) {
+    int op = CmpOpIndexOf(e.op);
+    const Expr* colref = nullptr;
+    Datum lit;
+    if (e.lhs->kind == ExprKind::kColRef && FoldLiteral(*e.rhs, &lit)) {
+      colref = e.lhs.get();
+    } else {
+      colref = e.rhs.get();
+      FoldLiteral(*e.lhs, &lit);
+      op = FlipCmpOp(op);
+    }
+    p.kind = KernelPlan::Pred::Kind::kCmp;
+    p.op = op;
+    p.col = ResolveCol(*colref, *ctx->schema, ctx->alias);
+    if (p.col < 0) return Unsupported("kernel: unresolved filter column");
+    auto mode = CmpModeFor((*ctx->storages)[p.col], ClassOf(lit));
+    if (!mode) return Unsupported("kernel: comparison type classes differ");
+    p.mode = *mode;
+    p.p0 = ctx->next_param++;
+  } else if (e.kind == ExprKind::kIsNull) {
+    p.kind = KernelPlan::Pred::Kind::kIsNull;
+    p.negated = e.negated;
+    p.col = ResolveCol(*e.lhs, *ctx->schema, ctx->alias);
+    if (p.col < 0) return Unsupported("kernel: unresolved filter column");
+  } else {
+    Datum lo, hi;
+    FoldLiteral(*e.low, &lo);
+    FoldLiteral(*e.high, &hi);
+    p.kind = KernelPlan::Pred::Kind::kBetween;
+    p.negated = e.negated;
+    p.col = ResolveCol(*e.lhs, *ctx->schema, ctx->alias);
+    if (p.col < 0) return Unsupported("kernel: unresolved filter column");
+    if (lo.is_null() || hi.is_null()) {
+      // Any NULL bound makes the whole predicate evaluate to NULL before
+      // the bound comparison, so neither bound can raise a type error.
+      p.lo_mode = KernelPlan::CmpMode::kNever;
+      p.hi_mode = KernelPlan::CmpMode::kNever;
+    } else {
+      auto lo_mode = CmpModeFor((*ctx->storages)[p.col], ClassOf(lo));
+      auto hi_mode = CmpModeFor((*ctx->storages)[p.col], ClassOf(hi));
+      if (!lo_mode || !hi_mode) {
+        return Unsupported("kernel: BETWEEN type classes differ");
+      }
+      p.lo_mode = *lo_mode;
+      p.hi_mode = *hi_mode;
+    }
+    p.p0 = ctx->next_param++;
+    p.p1 = ctx->next_param++;
+  }
+  ctx->preds->push_back(p);
+  return Status::OK();
+}
+
+const char* OutputNameOf(const SelectItem& item) {
+  if (!item.alias.empty()) return item.alias.c_str();
+  const Expr& e = *item.expr;
+  if (e.kind == ExprKind::kColRef) return e.column.c_str();
+  if (e.kind == ExprKind::kFuncCall) return e.func_name.c_str();
+  return "?column?";
+}
+
+}  // namespace
+
+Result<std::shared_ptr<const KernelPlan>> KernelPlan::Compile(
+    const SelectStmt& stmt, const Catalog& catalog) {
+  const std::string& name = stmt.from->name;
+  // Catalog tables shadow catalog views in the executor's lookup order;
+  // views (or missing tables) take the interpreted path.
+  if (!catalog.HasTable(name)) {
+    return Unsupported("kernel: not a catalog base table");
+  }
+  HQ_ASSIGN_OR_RETURN(std::shared_ptr<StoredTable> table,
+                      catalog.GetTable(name));
+
+  auto plan = std::shared_ptr<KernelPlan>(new KernelPlan());
+  plan->table_name_ = name;
+  plan->schema_ = table->columns;
+  if (table->data.size() != table->columns.size()) {
+    return Unsupported("kernel: table missing column buffers");
+  }
+  for (const ColumnPtr& c : table->data) {
+    if (c == nullptr || c->size() != table->row_count) {
+      return Unsupported("kernel: ragged column buffers");
+    }
+    if (c->storage() == Column::Storage::kMixed) {
+      return Unsupported("kernel: mixed-datum column");
+    }
+    plan->storages_.push_back(c->storage());
+  }
+
+  const std::string alias =
+      stmt.from->alias.empty() ? name : stmt.from->alias;
+
+  if (stmt.where != nullptr) {
+    CompileCtx ctx{&plan->schema_, &plan->storages_, alias, &plan->preds_, 0};
+    HQ_RETURN_IF_ERROR(CompileWhere(*stmt.where, &ctx));
+  }
+
+  // The scan relation's column metadata, for exact InferType reuse.
+  Relation meta;
+  for (size_t i = 0; i < plan->schema_.size(); ++i) {
+    meta.cols.push_back(
+        RelColumn{alias, plan->schema_[i].name, plan->schema_[i].type});
+  }
+
+  bool has_agg = false;
+  for (const SelectItem& item : stmt.items) {
+    const Expr& e = *item.expr;
+    if (e.kind == ExprKind::kStar) {
+      // Projection-path star: expand like the interpreted projection does,
+      // alias = column name, honoring a qualifier filter.
+      bool any = false;
+      for (size_t i = 0; i < plan->schema_.size(); ++i) {
+        if (!e.qualifier.empty() && e.qualifier != alias) continue;
+        Item it;
+        it.col = static_cast<int>(i);
+        it.name = plan->schema_[i].name;
+        it.type = plan->schema_[i].type;
+        plan->items_.push_back(std::move(it));
+        any = true;
+      }
+      if (!any) return Unsupported("kernel: star expands to no columns");
+      continue;
+    }
+    Item it;
+    if (e.kind == ExprKind::kColRef) {
+      it.col = ResolveCol(e, plan->schema_, alias);
+      if (it.col < 0) return Unsupported("kernel: unresolved select column");
+    } else {
+      has_agg = true;
+      it.is_agg = true;
+      it.agg.fn_name = e.func_name;
+      if (e.args.size() == 1 && e.args[0]->kind == ExprKind::kColRef) {
+        it.agg.col = ResolveCol(*e.args[0], plan->schema_, alias);
+        if (it.agg.col < 0) {
+          return Unsupported("kernel: unresolved aggregate column");
+        }
+        if (plan->storages_[it.agg.col] == Column::Storage::kString &&
+            !(e.func_name == "count" || e.func_name == "min" ||
+              e.func_name == "max" || e.func_name == "first" ||
+              e.func_name == "last")) {
+          // Numeric reductions over strings funnel through the collected
+          // row path; leave those to the interpreter.
+          return Unsupported("kernel: numeric aggregate over strings");
+        }
+      }
+    }
+    it.name = OutputNameOf(item);
+    it.type = Executor::InferType(e, meta);
+    plan->items_.push_back(std::move(it));
+  }
+
+  plan->grouped_ = has_agg || !stmt.group_by.empty();
+  for (const ExprPtr& g : stmt.group_by) {
+    int c = ResolveCol(*g, plan->schema_, alias);
+    if (c < 0) return Unsupported("kernel: unresolved group column");
+    plan->group_cols_.push_back(c);
+  }
+  if (plan->grouped_) {
+    if (plan->group_cols_.empty()) {
+      plan->group_mode_ = GroupMode::kNone;
+    } else if (plan->group_cols_.size() == 1 &&
+               plan->storages_[plan->group_cols_[0]] ==
+                   Column::Storage::kInt) {
+      plan->group_mode_ = GroupMode::kSingleInt;
+    } else if (plan->group_cols_.size() == 1 &&
+               plan->storages_[plan->group_cols_[0]] ==
+                   Column::Storage::kString) {
+      plan->group_mode_ = GroupMode::kSingleString;
+    } else {
+      plan->group_mode_ = GroupMode::kGeneric;
+    }
+  }
+  return std::shared_ptr<const KernelPlan>(plan);
+}
+
+bool KernelPlan::GuardOk(const StoredTable& table) const {
+  if (table.columns.size() != schema_.size() ||
+      table.data.size() != schema_.size()) {
+    return false;
+  }
+  for (size_t i = 0; i < schema_.size(); ++i) {
+    if (table.columns[i].name != schema_[i].name ||
+        table.columns[i].type != schema_[i].type) {
+      return false;
+    }
+    if (table.data[i] == nullptr ||
+        table.data[i]->storage() != storages_[i] ||
+        table.data[i]->size() != table.row_count) {
+      return false;
+    }
+  }
+  return true;
+}
+
+// ---------------------------------------------------------------------------
+// Execution
+// ---------------------------------------------------------------------------
+
+namespace {
+
+using CmpMode = KernelPlan::CmpMode;
+using Pred = KernelPlan::Pred;
+
+/// Raw pointers into one stored column, hoisted out of the row loop.
+struct ColView {
+  Column::Storage st = Column::Storage::kEmpty;
+  const int64_t* iv = nullptr;
+  const double* dv = nullptr;
+  const std::vector<std::string>* sv = nullptr;
+  const uint8_t* nulls = nullptr;
+
+  bool IsNull(size_t r) const {
+    if (st == Column::Storage::kEmpty) return true;
+    return nulls != nullptr && nulls[r] != 0;
+  }
+};
+
+ColView ViewOf(const Column& c) {
+  ColView v;
+  v.st = c.storage();
+  switch (v.st) {
+    case Column::Storage::kInt:
+      v.iv = c.ints();
+      break;
+    case Column::Storage::kFloat:
+      v.dv = c.floats();
+      break;
+    case Column::Storage::kString:
+      v.sv = &c.strs();
+      break;
+    default:
+      break;
+  }
+  if (!c.null_bytes().empty()) v.nulls = c.null_bytes().data();
+  return v;
+}
+
+/// A predicate with its literal slots spliced for this execution.
+struct BoundPred {
+  Pred p;
+  int64_t i0 = 0, i1 = 0;
+  double d0 = 0, d1 = 0;
+  const std::string* s0 = nullptr;
+  const std::string* s1 = nullptr;
+};
+
+/// Datum::Compare's double ordering: NaN sorts last, two NaNs tie.
+inline int Cmp3Double(double x, double y) {
+  bool nx = std::isnan(x), ny = std::isnan(y);
+  if (nx || ny) return nx && ny ? 0 : (nx ? 1 : -1);
+  return (x > y) - (x < y);
+}
+
+inline bool CmpHoldsIdx(int op, int c) {
+  switch (op) {
+    case 0: return c == 0;
+    case 1: return c != 0;
+    case 2: return c < 0;
+    case 3: return c > 0;
+    case 4: return c <= 0;
+    default: return c >= 0;
+  }
+}
+
+/// Three-way "column value vs spliced bound" under the mode's typing.
+inline int Cmp3Bound(CmpMode mode, const ColView& c, size_t r, int64_t bi,
+                     double bd, const std::string* bs) {
+  switch (mode) {
+    case CmpMode::kIntInt: {
+      int64_t x = c.iv[r];
+      return (x > bi) - (x < bi);
+    }
+    case CmpMode::kIntDouble:
+      return Cmp3Double(static_cast<double>(c.iv[r]), bd);
+    case CmpMode::kDouble:
+      return Cmp3Double(c.dv[r], bd);
+    case CmpMode::kString: {
+      int s = (*c.sv)[r].compare(*bs);
+      return (s > 0) - (s < 0);
+    }
+    default:
+      return 0;
+  }
+}
+
+/// First predicate fills `sel` from [lo, hi); later predicates compact it
+/// in place. `pass` is a mode-specialized lambda so the row loop carries
+/// no type dispatch.
+template <typename Pass>
+inline void FillOrCompact(bool first, size_t lo, size_t hi, SelVector* sel,
+                          Pass pass) {
+  if (first) {
+    for (size_t r = lo; r < hi; ++r) {
+      if (pass(r)) sel->push_back(static_cast<uint32_t>(r));
+    }
+    return;
+  }
+  size_t w = 0;
+  for (uint32_t r : *sel) {
+    if (pass(r)) (*sel)[w++] = r;
+  }
+  sel->resize(w);
+}
+
+void ApplyPred(const BoundPred& bp, const std::vector<ColView>& cols,
+               bool first, size_t lo, size_t hi, SelVector* sel) {
+  const Pred& p = bp.p;
+  const ColView& c = cols[p.col];
+  const uint8_t* nulls = c.nulls;
+  switch (p.kind) {
+    case Pred::Kind::kIsNull: {
+      const bool neg = p.negated;
+      if (c.st == Column::Storage::kEmpty) {
+        // Every row is NULL: IS NULL keeps all, IS NOT NULL keeps none.
+        FillOrCompact(first, lo, hi, sel, [neg](size_t) { return !neg; });
+      } else if (nulls == nullptr) {
+        FillOrCompact(first, lo, hi, sel, [neg](size_t) { return neg; });
+      } else {
+        FillOrCompact(first, lo, hi, sel, [nulls, neg](size_t r) {
+          return (nulls[r] != 0) != neg;
+        });
+      }
+      return;
+    }
+    case Pred::Kind::kCmp: {
+      const int op = p.op;
+      switch (p.mode) {
+        case CmpMode::kNever:
+          FillOrCompact(first, lo, hi, sel, [](size_t) { return false; });
+          return;
+        case CmpMode::kIntInt: {
+          const int64_t* iv = c.iv;
+          const int64_t b = bp.i0;
+          FillOrCompact(first, lo, hi, sel, [iv, nulls, b, op](size_t r) {
+            if (nulls != nullptr && nulls[r] != 0) return false;
+            const int64_t x = iv[r];
+            return CmpHoldsIdx(op, (x > b) - (x < b));
+          });
+          return;
+        }
+        case CmpMode::kIntDouble: {
+          const int64_t* iv = c.iv;
+          const double b = bp.d0;
+          FillOrCompact(first, lo, hi, sel, [iv, nulls, b, op](size_t r) {
+            if (nulls != nullptr && nulls[r] != 0) return false;
+            return CmpHoldsIdx(op,
+                               Cmp3Double(static_cast<double>(iv[r]), b));
+          });
+          return;
+        }
+        case CmpMode::kDouble: {
+          const double* dv = c.dv;
+          const double b = bp.d0;
+          FillOrCompact(first, lo, hi, sel, [dv, nulls, b, op](size_t r) {
+            if (nulls != nullptr && nulls[r] != 0) return false;
+            return CmpHoldsIdx(op, Cmp3Double(dv[r], b));
+          });
+          return;
+        }
+        case CmpMode::kString: {
+          const std::vector<std::string>* sv = c.sv;
+          const std::string* b = bp.s0;
+          FillOrCompact(first, lo, hi, sel, [sv, nulls, b, op](size_t r) {
+            if (nulls != nullptr && nulls[r] != 0) return false;
+            const int s = (*sv)[r].compare(*b);
+            return CmpHoldsIdx(op, (s > 0) - (s < 0));
+          });
+          return;
+        }
+      }
+      return;
+    }
+    case Pred::Kind::kBetween: {
+      // NULL operand or NULL bound => NULL => row dropped, negated or not.
+      if (p.lo_mode == CmpMode::kNever || p.hi_mode == CmpMode::kNever ||
+          c.st == Column::Storage::kEmpty) {
+        FillOrCompact(first, lo, hi, sel, [](size_t) { return false; });
+        return;
+      }
+      const bool neg = p.negated;
+      FillOrCompact(first, lo, hi, sel, [&bp, &c, nulls, neg](size_t r) {
+        if (nulls != nullptr && nulls[r] != 0) return false;
+        const int c1 = Cmp3Bound(bp.p.lo_mode, c, r, bp.i0, bp.d0, bp.s0);
+        const int c2 = Cmp3Bound(bp.p.hi_mode, c, r, bp.i1, bp.d1, bp.s1);
+        const bool in = c1 >= 0 && c2 <= 0;
+        return in != neg;
+      });
+      return;
+    }
+  }
+}
+
+/// Fused filter over one morsel: survivors of all conjuncts land in `sel`
+/// (ascending). No full-table SelVector is ever materialized.
+void FilterMorsel(const std::vector<BoundPred>& preds,
+                  const std::vector<ColView>& cols, size_t lo, size_t hi,
+                  SelVector* sel) {
+  sel->clear();
+  if (preds.empty()) {
+    sel->reserve(hi - lo);
+    for (size_t r = lo; r < hi; ++r) {
+      sel->push_back(static_cast<uint32_t>(r));
+    }
+    return;
+  }
+  bool first = true;
+  for (const BoundPred& bp : preds) {
+    ApplyPred(bp, cols, first, lo, hi, sel);
+    first = false;
+  }
+}
+
+Result<std::vector<BoundPred>> SplicePreds(const std::vector<Pred>& preds,
+                                           const std::vector<Datum>& params) {
+  std::vector<BoundPred> out;
+  out.reserve(preds.size());
+  for (const Pred& p : preds) {
+    BoundPred bp;
+    bp.p = p;
+    auto bind = [&params](CmpMode mode, int slot, int64_t* bi, double* bd,
+                          const std::string** bs) -> Status {
+      if (mode == CmpMode::kNever) return Status::OK();
+      if (slot < 0 || static_cast<size_t>(slot) >= params.size()) {
+        return InternalError("kernel: literal slot out of range");
+      }
+      const Datum& d = params[slot];
+      switch (mode) {
+        case CmpMode::kIntInt:
+          *bi = d.AsInt();
+          break;
+        case CmpMode::kIntDouble:
+        case CmpMode::kDouble:
+          *bd = d.AsDouble();
+          break;
+        case CmpMode::kString:
+          *bs = &d.AsString();
+          break;
+        default:
+          break;
+      }
+      return Status::OK();
+    };
+    if (p.kind == Pred::Kind::kCmp) {
+      HQ_RETURN_IF_ERROR(bind(p.mode, p.p0, &bp.i0, &bp.d0, &bp.s0));
+    } else if (p.kind == Pred::Kind::kBetween) {
+      HQ_RETURN_IF_ERROR(bind(p.lo_mode, p.p0, &bp.i0, &bp.d0, &bp.s0));
+      HQ_RETURN_IF_ERROR(bind(p.hi_mode, p.p1, &bp.i1, &bp.d1, &bp.s1));
+    }
+    out.push_back(bp);
+  }
+  return out;
+}
+
+// --- fused filter + group build -------------------------------------------
+
+/// Key adapters for the group-build template. `at()` must only be called
+/// on rows where `null_at()` is false.
+struct IntKeyAdapter {
+  const ColView* c;
+  using Key = int64_t;
+  bool null_at(size_t r) const { return c->IsNull(r); }
+  Key at(size_t r) const { return c->iv[r]; }
+  static uint64_t Hash(int64_t k) {  // splitmix64 finalizer
+    uint64_t x = static_cast<uint64_t>(k) + 0x9E3779B97F4A7C15ull;
+    x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+    x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+    return x ^ (x >> 31);
+  }
+};
+
+struct StringKeyAdapter {
+  const ColView* c;
+  using Key = std::string_view;
+  bool null_at(size_t r) const { return c->IsNull(r); }
+  Key at(size_t r) const { return std::string_view((*c->sv)[r]); }
+  static uint64_t Hash(std::string_view k) {
+    uint64_t h = 1469598103934665603ull;
+    for (char ch : k) {
+      h ^= static_cast<uint8_t>(ch);
+      h *= 1099511628211ull;
+    }
+    return h;
+  }
+};
+
+/// Generic keying: identical bytes to the interpreter's per-row
+/// EncodeValue concatenation over the group columns, so NaN
+/// canonicalization and the integral-double/int equivalence class carry
+/// over exactly.
+struct GenericKeyAdapter {
+  const std::vector<ColumnPtr>* columns;
+  const std::vector<int>* group_cols;
+  mutable std::string scratch;
+  using Key = std::string;
+  bool null_at(size_t) const { return false; }
+  const std::string& at(size_t r) const {
+    scratch.clear();
+    for (int gc : *group_cols) (*columns)[gc]->EncodeValue(r, &scratch);
+    return scratch;
+  }
+  static uint64_t Hash(const std::string& k) {
+    return StringKeyAdapter::Hash(std::string_view(k));
+  }
+};
+
+/// Morsel-local groups over an open-addressing table (power-of-two
+/// capacity, linear probing, cached hashes) — no per-row node allocation,
+/// which is what makes the fused path beat the interpreter's
+/// unordered_map bucketing. Group ids are assigned in first-occurrence
+/// row order within the morsel and merged in morsel order, so group
+/// order stays byte-identical to the interpreter's parallel group build
+/// (exec.cc).
+template <typename Adapter>
+struct FlatGroups {
+  using Key = typename Adapter::Key;
+  static constexpr uint32_t kEmptySlot = 0xFFFFFFFFu;
+
+  std::vector<uint32_t> slot_gid;   // kEmptySlot = vacant
+  std::vector<uint64_t> slot_hash;  // valid where slot_gid is occupied
+  size_t mask = 0;
+  bool has_null = false;
+  uint32_t null_gid = 0;
+  std::vector<Key> keys;  // per gid; default-constructed for the null gid
+  std::vector<uint8_t> key_null;
+  std::vector<SelVector> members;
+
+  void Grow() {
+    size_t ncap = slot_gid.empty() ? 64 : slot_gid.size() * 2;
+    std::vector<uint32_t> ng(ncap, kEmptySlot);
+    std::vector<uint64_t> nh(ncap, 0);
+    size_t nmask = ncap - 1;
+    for (size_t i = 0; i < slot_gid.size(); ++i) {
+      if (slot_gid[i] == kEmptySlot) continue;
+      size_t j = slot_hash[i] & nmask;
+      while (ng[j] != kEmptySlot) j = (j + 1) & nmask;
+      ng[j] = slot_gid[i];
+      nh[j] = slot_hash[i];
+    }
+    slot_gid = std::move(ng);
+    slot_hash = std::move(nh);
+    mask = nmask;
+  }
+
+  uint32_t GidFor(uint64_t h, const Key& key) {
+    if ((keys.size() + 1) * 4 >= slot_gid.size() * 3) Grow();
+    size_t j = h & mask;
+    while (slot_gid[j] != kEmptySlot) {
+      uint32_t g = slot_gid[j];
+      if (slot_hash[j] == h && keys[g] == key) return g;
+      j = (j + 1) & mask;
+    }
+    uint32_t gid = static_cast<uint32_t>(keys.size());
+    slot_gid[j] = gid;
+    slot_hash[j] = h;
+    keys.push_back(key);
+    key_null.push_back(0);
+    members.emplace_back();
+    return gid;
+  }
+
+  SelVector* NullMembers() {
+    if (!has_null) {
+      has_null = true;
+      null_gid = static_cast<uint32_t>(members.size());
+      keys.emplace_back();
+      key_null.push_back(1);
+      members.emplace_back();
+    }
+    return &members[null_gid];
+  }
+
+  void Add(const Adapter& ad, uint32_t row) {
+    if (ad.null_at(row)) {
+      NullMembers()->push_back(row);
+      return;
+    }
+    const auto& key = ad.at(row);
+    members[GidFor(Adapter::Hash(key), key)].push_back(row);
+  }
+};
+
+template <typename Adapter>
+Result<std::vector<SelVector>> BuildGroupsT(
+    size_t n, const std::vector<BoundPred>& preds,
+    const std::vector<ColView>& cols, const Adapter& ad, const Deadline& dl) {
+  if (ShouldParallelize(n)) {
+    size_t morsels = (n + kMorselRows - 1) / kMorselRows;
+    std::vector<FlatGroups<Adapter>> locals(morsels);
+    std::vector<Status> stats(morsels, Status::OK());
+    WorkerPool::Shared().ParallelFor(morsels, [&](size_t mi) {
+      if (dl.Expired()) {
+        stats[mi] = DeadlineExceeded("filter morsel");
+        return;
+      }
+      Adapter local_ad = ad;  // generic adapter carries a scratch buffer
+      size_t lo = mi * kMorselRows;
+      size_t hi = std::min(n, lo + kMorselRows);
+      FlatGroups<Adapter>& fg = locals[mi];
+      SelVector sel;
+      FilterMorsel(preds, cols, lo, hi, &sel);
+      for (uint32_t r : sel) fg.Add(local_ad, r);
+    });
+    for (const Status& s : stats) {
+      if (!s.ok()) return s;  // lowest morsel's error wins
+    }
+    // Merge in morsel order: first-occurrence group order is global.
+    FlatGroups<Adapter> global;
+    for (FlatGroups<Adapter>& lg : locals) {
+      for (size_t g = 0; g < lg.members.size(); ++g) {
+        SelVector* m;
+        if (lg.key_null[g]) {
+          m = global.NullMembers();
+        } else {
+          const typename Adapter::Key& key = lg.keys[g];
+          m = &global.members[global.GidFor(Adapter::Hash(key), key)];
+        }
+        if (m->empty()) {
+          *m = std::move(lg.members[g]);
+        } else {
+          m->insert(m->end(), lg.members[g].begin(), lg.members[g].end());
+        }
+      }
+    }
+    return std::move(global.members);
+  }
+
+  FlatGroups<Adapter> fg;
+  SelVector sel;
+  for (size_t lo = 0; lo < n; lo += kMorselRows) {
+    if (dl.Expired()) return DeadlineExceeded("filter morsel");
+    size_t hi = std::min(n, lo + kMorselRows);
+    FilterMorsel(preds, cols, lo, hi, &sel);
+    for (uint32_t r : sel) fg.Add(ad, r);
+  }
+  return std::move(fg.members);
+}
+
+/// Filter-only survivor scan (projection path and no-GROUP-BY
+/// aggregation): per-morsel ascending parts concatenated in morsel order,
+/// exactly like the interpreter's FilterRows merge.
+Result<SelVector> FusedFilter(size_t n, const std::vector<BoundPred>& preds,
+                              const std::vector<ColView>& cols,
+                              const Deadline& dl) {
+  if (ShouldParallelize(n)) {
+    size_t morsels = (n + kMorselRows - 1) / kMorselRows;
+    std::vector<SelVector> parts(morsels);
+    std::vector<Status> stats(morsels, Status::OK());
+    WorkerPool::Shared().ParallelFor(morsels, [&](size_t mi) {
+      if (dl.Expired()) {
+        stats[mi] = DeadlineExceeded("filter morsel");
+        return;
+      }
+      size_t lo = mi * kMorselRows;
+      size_t hi = std::min(n, lo + kMorselRows);
+      FilterMorsel(preds, cols, lo, hi, &parts[mi]);
+    });
+    for (const Status& s : stats) {
+      if (!s.ok()) return s;
+    }
+    SelVector sel;
+    size_t total = 0;
+    for (const SelVector& p : parts) total += p.size();
+    sel.reserve(total);
+    for (const SelVector& p : parts) sel.insert(sel.end(), p.begin(), p.end());
+    return sel;
+  }
+  SelVector sel;
+  SelVector part;
+  for (size_t lo = 0; lo < n; lo += kMorselRows) {
+    if (dl.Expired()) return DeadlineExceeded("filter morsel");
+    size_t hi = std::min(n, lo + kMorselRows);
+    FilterMorsel(preds, cols, lo, hi, &part);
+    sel.insert(sel.end(), part.begin(), part.end());
+  }
+  return sel;
+}
+
+/// Synthesizes the aggregate Expr node ComputeAggregateColumnar reads
+/// (func_name + distinct); reusing the library reducer keeps every
+/// accumulator — member-order FP folds included — byte-identical to the
+/// interpreted path by construction.
+Expr AggExprFor(const std::string& fn_name) {
+  Expr e;
+  e.kind = ExprKind::kFuncCall;
+  e.func_name = fn_name;
+  return e;
+}
+
+}  // namespace
+
+Result<Relation> KernelPlan::ExecuteGrouped(
+    const StoredTable& table, const std::vector<Datum>& params) const {
+  const Deadline dl = Deadline::Current();
+  HQ_RETURN_IF_ERROR(CancelIfExpired(dl, "scan/join"));
+  const size_t n = table.row_count;
+
+  HQ_ASSIGN_OR_RETURN(std::vector<BoundPred> preds,
+                      SplicePreds(preds_, params));
+  std::vector<ColView> cols;
+  cols.reserve(table.data.size());
+  for (const ColumnPtr& c : table.data) cols.push_back(ViewOf(*c));
+
+  std::vector<SelVector> members;
+  switch (group_mode_) {
+    case GroupMode::kNone: {
+      HQ_ASSIGN_OR_RETURN(SelVector sel, FusedFilter(n, preds, cols, dl));
+      if (!sel.empty()) members.push_back(std::move(sel));
+      break;
+    }
+    case GroupMode::kSingleInt: {
+      IntKeyAdapter ad{&cols[group_cols_[0]]};
+      HQ_ASSIGN_OR_RETURN(members, BuildGroupsT(n, preds, cols, ad, dl));
+      break;
+    }
+    case GroupMode::kSingleString: {
+      StringKeyAdapter ad{&cols[group_cols_[0]]};
+      HQ_ASSIGN_OR_RETURN(members, BuildGroupsT(n, preds, cols, ad, dl));
+      break;
+    }
+    case GroupMode::kGeneric: {
+      GenericKeyAdapter ad;
+      ad.columns = &table.data;
+      ad.group_cols = &group_cols_;
+      HQ_ASSIGN_OR_RETURN(members, BuildGroupsT(n, preds, cols, ad, dl));
+      break;
+    }
+  }
+  // No GROUP BY: aggregates over an empty input still produce one row
+  // (count(*) = 0, sums NULL), exactly like the interpreted executor.
+  if (group_cols_.empty() && members.empty()) members.emplace_back();
+  HQ_RETURN_IF_ERROR(CancelIfExpired(dl, "group build"));
+
+  const size_t ngroups = members.size();
+  size_t filtered = 0;
+  for (const SelVector& m : members) filtered += m.size();
+
+  // Representative rows feed the plain-column outputs (first member; -1
+  // pads the empty no-GROUP-BY group with NULLs).
+  std::vector<int64_t> rep(ngroups);
+  for (size_t g = 0; g < ngroups; ++g) {
+    rep[g] = members[g].empty() ? -1
+                                : static_cast<int64_t>(members[g].front());
+  }
+  std::unordered_map<int, ColumnPtr> rep_cols;
+  for (const Item& item : items_) {
+    if (item.is_agg || rep_cols.count(item.col) != 0) continue;
+    rep_cols.emplace(item.col,
+                     table.data[item.col]->GatherPad(rep.data(), ngroups));
+  }
+
+  Relation out;
+  out.row_count = ngroups;
+  const bool par_aggs = ngroups > 1 && ShouldParallelize(filtered);
+  for (const Item& item : items_) {
+    ColumnPtr col;
+    if (!item.is_agg) {
+      col = rep_cols[item.col];
+    } else if (item.agg.col < 0) {
+      auto c = std::make_shared<Column>();
+      for (size_t g = 0; g < ngroups; ++g) {
+        c->Append(Datum::BigInt(static_cast<int64_t>(members[g].size())));
+      }
+      col = std::move(c);
+    } else {
+      const Column& arg = *table.data[item.agg.col];
+      const Expr agg_expr = AggExprFor(item.agg.fn_name);
+      std::vector<Datum> vals(ngroups);
+      std::vector<Status> stats(ngroups, Status::OK());
+      auto reduce_one = [&](size_t g) {
+        if (dl.Expired()) {
+          stats[g] = DeadlineExceeded("aggregate morsel");
+          return;
+        }
+        Result<Datum> v = ComputeAggregateColumnar(agg_expr, arg, members[g]);
+        if (!v.ok()) {
+          stats[g] = v.status();
+          return;
+        }
+        vals[g] = *std::move(v);
+      };
+      if (par_aggs) {
+        WorkerPool::Shared().ParallelFor(ngroups, reduce_one);
+      } else {
+        for (size_t g = 0; g < ngroups; ++g) reduce_one(g);
+      }
+      for (const Status& s : stats) {
+        if (!s.ok()) return s;  // lowest group's error wins
+      }
+      auto c = std::make_shared<Column>();
+      for (size_t g = 0; g < ngroups; ++g) c->Append(vals[g]);
+      col = std::move(c);
+    }
+    SqlType type = item.type;
+    if (ngroups > 0 && !col->IsNull(0)) {
+      Datum v0 = col->At(0);
+      if (type != v0.type()) type = v0.type();
+    }
+    out.cols.push_back(RelColumn{"", item.name, type});
+    out.columns.push_back(std::move(col));
+  }
+  HQ_RETURN_IF_ERROR(CancelIfExpired(dl, "group/aggregate"));
+  return out;
+}
+
+Result<Relation> KernelPlan::ExecuteProject(
+    const StoredTable& table, const std::vector<Datum>& params) const {
+  const Deadline dl = Deadline::Current();
+  HQ_RETURN_IF_ERROR(CancelIfExpired(dl, "scan/join"));
+  const size_t n = table.row_count;
+
+  std::unordered_map<int, ColumnPtr> gathered;
+  size_t out_rows = n;
+  if (!preds_.empty()) {
+    HQ_ASSIGN_OR_RETURN(std::vector<BoundPred> preds,
+                        SplicePreds(preds_, params));
+    std::vector<ColView> cols;
+    cols.reserve(table.data.size());
+    for (const ColumnPtr& c : table.data) cols.push_back(ViewOf(*c));
+    HQ_ASSIGN_OR_RETURN(SelVector sel, FusedFilter(n, preds, cols, dl));
+    out_rows = sel.size();
+
+    // Gather only the referenced columns (the interpreter gathers the
+    // whole table); Relation::GatherRows keeps the PR 3 parallel 2-D
+    // gather and its byte-identical-to-sequential contract.
+    Relation sub;
+    std::vector<int> sub_cols;
+    for (const Item& item : items_) {
+      if (gathered.count(item.col) != 0) continue;
+      gathered.emplace(item.col, nullptr);
+      sub_cols.push_back(item.col);
+      sub.cols.push_back(RelColumn{"", schema_[item.col].name,
+                                   schema_[item.col].type});
+      sub.columns.push_back(table.data[item.col]);
+    }
+    sub.row_count = n;
+    Relation picked = sub.GatherRows(sel.data(), sel.size());
+    for (size_t j = 0; j < sub_cols.size(); ++j) {
+      gathered[sub_cols[j]] = picked.columns[j];
+    }
+  } else {
+    // No filter: share the stored column buffers zero-copy, like the
+    // interpreted scan + identity projection.
+    for (const Item& item : items_) {
+      if (gathered.count(item.col) == 0) {
+        gathered.emplace(item.col, table.data[item.col]);
+      }
+    }
+  }
+
+  Relation out;
+  out.row_count = out_rows;
+  for (const Item& item : items_) {
+    ColumnPtr col = gathered[item.col];
+    SqlType type = item.type;
+    if (out_rows > 0 && !col->IsNull(0)) {
+      Datum v0 = col->At(0);
+      if (type != v0.type()) type = v0.type();
+    }
+    out.cols.push_back(RelColumn{"", item.name, type});
+    out.columns.push_back(std::move(col));
+  }
+  return out;
+}
+
+Result<Relation> KernelPlan::Execute(const StoredTable& table,
+                                     const std::vector<Datum>& params) const {
+  return grouped_ ? ExecuteGrouped(table, params)
+                  : ExecuteProject(table, params);
+}
+
+}  // namespace sqldb
+}  // namespace hyperq

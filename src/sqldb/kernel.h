@@ -1,0 +1,162 @@
+#ifndef HYPERQ_SQLDB_KERNEL_H_
+#define HYPERQ_SQLDB_KERNEL_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "sqldb/ast.h"
+#include "sqldb/catalog.h"
+#include "sqldb/relation.h"
+#include "sqldb/types.h"
+
+namespace hyperq {
+namespace sqldb {
+
+/// Fused-kernel execution for hot SELECT shapes (docs/PERFORMANCE.md).
+///
+/// The interpreted executor (exec.cc/eval.cc) evaluates a filter into a
+/// SelVector, gathers every table column through it, encodes group keys row
+/// by row over the gathered relation, and only then reduces aggregates. For
+/// the simple shapes that dominate hot dashboard traffic —
+///
+///   SELECT cols / aggs FROM one_table [WHERE conjuncts] [GROUP BY cols]
+///
+/// — a compiled KernelPlan instead runs scan -> filter -> group/aggregate
+/// (or scan -> filter -> project) as a single morsel-at-a-time loop over the
+/// base columns: typed comparators test each row in place, survivors feed
+/// the group builder directly (no intermediate SelVector or gathered
+/// relation), and aggregates reduce straight off the stored column buffers.
+/// Plans are cached in the per-database KernelRegistry keyed by a statement
+/// fingerprint with literals lifted to `$k` slots, so the PR 2 parameterized
+/// translation tier shares one kernel across literal variants.
+///
+/// Everything a kernel produces is byte-identical to the interpreted
+/// executor, including the PR 3 determinism rules: morsel-ordered merges,
+/// first-occurrence group order, and member-order (ascending row)
+/// floating-point accumulation. Any shape outside the supported set must be
+/// rejected at fingerprint/compile time so the interpreted path also keeps
+/// ownership of its error surface (e.g. data-dependent comparison type
+/// errors).
+
+/// A canonicalized statement identity for the kernel cache. `text` is a
+/// deterministic rendering of the SELECT with every literal replaced by a
+/// `$<class>` slot (classes: i = integral/bool/temporal, f = float,
+/// s = string, n = NULL); `params` carries the literal values of this
+/// instance in slot order. Statements that differ only in literal values of
+/// the same class share `text` — and therefore share one compiled kernel.
+struct KernelFingerprint {
+  bool supported = false;
+  std::string text;
+  uint64_t hash = 0;
+  std::string table;  ///< unqualified base-table name (shadow checks)
+  std::vector<Datum> params;
+};
+
+/// Classifies and canonicalizes `stmt`. supported=false when the statement
+/// uses any construct outside the fused-kernel shape (joins, subqueries,
+/// windows, DISTINCT, OR-filters, expressions, HAVING/ORDER BY/LIMIT,
+/// UNION, non-colref group keys, unsupported aggregates, ...). The walk is
+/// catalog-free: column existence and type-class checks happen at compile.
+KernelFingerprint KernelFingerprintFor(const SelectStmt& stmt);
+
+/// A compiled, type-specialized execution plan for one fingerprint against
+/// one catalog schema version. Immutable after Compile; safe to share
+/// across threads.
+class KernelPlan {
+ public:
+  /// How a filter comparison is evaluated, fixed at compile time from the
+  /// column's storage class and the literal's fingerprint class so the
+  /// per-row loop carries no type dispatch.
+  enum class CmpMode : uint8_t {
+    kIntInt,     ///< int column vs integral literal: int64 compare
+    kIntDouble,  ///< int column vs float literal: compare as double
+    kDouble,     ///< float column vs numeric literal: compare as double
+    kString,     ///< string column vs string literal
+    kNever,      ///< NULL literal or all-NULL (kEmpty) column: never true
+  };
+
+  struct Pred {
+    enum class Kind : uint8_t { kCmp, kIsNull, kBetween };
+    Kind kind = Kind::kCmp;
+    int col = 0;
+    /// kCmp operator index: 0 '=', 1 '<>', 2 '<', 3 '>', 4 '<=', 5 '>='
+    /// (literal normalized to the right-hand side).
+    int op = 0;
+    bool negated = false;  ///< IS NOT NULL / NOT BETWEEN
+    CmpMode mode = CmpMode::kNever;     ///< kCmp
+    CmpMode lo_mode = CmpMode::kNever;  ///< kBetween: lo vs value
+    CmpMode hi_mode = CmpMode::kNever;  ///< kBetween: value vs hi
+    int p0 = -1;  ///< param slot (kCmp literal / kBetween lo)
+    int p1 = -1;  ///< param slot (kBetween hi)
+  };
+
+  struct Agg {
+    std::string fn_name;  ///< aggregate function (IsAggregateFunction set)
+    int col = -1;         ///< argument column; -1 for count(*)
+  };
+
+  /// One output column: either a plain column reference (group key or
+  /// representative-row value) or an aggregate.
+  struct Item {
+    bool is_agg = false;
+    int col = -1;  ///< colref items
+    Agg agg;
+    std::string name;  ///< OutputName(): alias | column | function name
+    SqlType type = SqlType::kText;  ///< static InferType (pre-refinement)
+  };
+
+  /// Compiles the fingerprinted statement against the current catalog.
+  /// Errors mean "this shape/schema combination is not kernel-runnable"
+  /// (negative-cacheable), never a user-visible failure.
+  static Result<std::shared_ptr<const KernelPlan>> Compile(
+      const SelectStmt& stmt, const Catalog& catalog);
+
+  /// True when `table` still matches the schema the plan was compiled
+  /// against (column count, names, declared types, storage classes).
+  bool GuardOk(const StoredTable& table) const;
+
+  /// Runs the fused loop over the table's columns with the fingerprint's
+  /// literal values spliced into the predicate slots. The only possible
+  /// error is deadline expiry (mirroring the interpreted executor's
+  /// morsel-boundary cancellation); everything else was rejected at
+  /// compile time.
+  Result<Relation> Execute(const StoredTable& table,
+                           const std::vector<Datum>& params) const;
+
+  const std::string& table_name() const { return table_name_; }
+
+ private:
+  KernelPlan() = default;
+
+  /// Group-key specialization chosen at compile time.
+  enum class GroupMode : uint8_t {
+    kNone,          ///< no GROUP BY and aggregates present: one group
+    kSingleInt,     ///< single kInt-storage key column
+    kSingleString,  ///< single kString-storage key column
+    kGeneric,       ///< EncodeValue byte keys (multi-column / float keys)
+  };
+
+  Result<Relation> ExecuteGrouped(const StoredTable& table,
+                                  const std::vector<Datum>& params) const;
+  Result<Relation> ExecuteProject(const StoredTable& table,
+                                  const std::vector<Datum>& params) const;
+
+  std::string table_name_;
+  /// Compile-time schema snapshot for GuardOk.
+  std::vector<TableColumn> schema_;
+  std::vector<Column::Storage> storages_;
+
+  std::vector<Pred> preds_;
+  bool grouped_ = false;  ///< aggregate path vs projection path
+  GroupMode group_mode_ = GroupMode::kNone;
+  std::vector<int> group_cols_;
+  std::vector<Item> items_;
+};
+
+}  // namespace sqldb
+}  // namespace hyperq
+
+#endif  // HYPERQ_SQLDB_KERNEL_H_

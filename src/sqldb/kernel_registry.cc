@@ -1,0 +1,127 @@
+#include "sqldb/kernel_registry.h"
+
+#include <chrono>
+#include <utility>
+
+#include "common/fault.h"
+#include "sqldb/session.h"
+
+namespace hyperq {
+namespace sqldb {
+namespace {
+
+int64_t NowUs() {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
+
+KernelRegistry::KernelRegistry(Catalog* catalog) : catalog_(catalog) {
+  MetricsRegistry& reg = MetricsRegistry::Global();
+  hits_ = reg.GetCounter("kernel.hits");
+  misses_ = reg.GetCounter("kernel.misses");
+  fallbacks_ = reg.GetCounter("kernel.fallbacks");
+  compile_us_ = reg.GetHistogram("kernel.compile_us");
+  exec_us_ = reg.GetHistogram("kernel.exec_us");
+}
+
+std::shared_ptr<const KernelPlan> KernelRegistry::PlanFor(
+    const KernelFingerprint& fp, const SelectStmt& stmt, uint64_t version) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = entries_.find(fp.text);
+    if (it != entries_.end() && it->second.catalog_version == version) {
+      lru_.splice(lru_.begin(), lru_, it->second.lru_it);
+      if (it->second.plan != nullptr) hits_->Increment();
+      return it->second.plan;
+    }
+  }
+
+  // Miss or stale: compile outside the lock (compiles are rare and other
+  // queries shouldn't serialize behind them).
+  misses_->Increment();
+  int64_t t0 = NowUs();
+  Result<std::shared_ptr<const KernelPlan>> compiled =
+      KernelPlan::Compile(stmt, *catalog_);
+  compile_us_->Record(NowUs() - t0);
+  std::shared_ptr<const KernelPlan> plan =
+      compiled.ok() ? *std::move(compiled) : nullptr;
+
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = entries_.find(fp.text);
+  if (it != entries_.end()) {
+    lru_.splice(lru_.begin(), lru_, it->second.lru_it);
+    it->second.catalog_version = version;
+    it->second.plan = plan;
+    return plan;
+  }
+  while (entries_.size() >= kCapacity) {
+    entries_.erase(lru_.back());
+    lru_.pop_back();
+  }
+  lru_.push_front(fp.text);
+  entries_.emplace(fp.text, Entry{version, plan, lru_.begin()});
+  return plan;
+}
+
+std::optional<Result<Relation>> KernelRegistry::TryExecuteSelect(
+    const SelectStmt& stmt, const Session* session) {
+  if (!enabled()) return std::nullopt;
+
+  KernelFingerprint fp = KernelFingerprintFor(stmt);
+  if (!fp.supported) {
+    fallbacks_->Increment();
+    return std::nullopt;
+  }
+  // Session temp tables/views shadow catalog tables in the executor's
+  // lookup order; a kernel compiled against the catalog table would read
+  // the wrong data.
+  if (session != nullptr && (session->temp_tables().count(fp.table) != 0 ||
+                             session->temp_views().count(fp.table) != 0)) {
+    fallbacks_->Increment();
+    return std::nullopt;
+  }
+  // Fault site: an armed error downgrades the kernel path to the
+  // interpreted executor (the query still succeeds); delays are slept
+  // inside the injector before this returns.
+  if (CheckFault("backend.kernel").kind != FaultHit::Kind::kNone) {
+    fallbacks_->Increment();
+    return std::nullopt;
+  }
+
+  const uint64_t version = catalog_->version();
+  std::shared_ptr<const KernelPlan> plan = PlanFor(fp, stmt, version);
+  if (plan == nullptr) {
+    fallbacks_->Increment();
+    return std::nullopt;
+  }
+
+  Result<std::shared_ptr<StoredTable>> table = catalog_->GetTable(fp.table);
+  if (!table.ok() || *table == nullptr || !plan->GuardOk(**table)) {
+    // Schema drifted under us (or the table vanished): let the
+    // interpreted executor produce the authoritative result/error.
+    fallbacks_->Increment();
+    return std::nullopt;
+  }
+
+  int64_t t0 = NowUs();
+  Result<Relation> result = plan->Execute(**table, fp.params);
+  exec_us_->Record(NowUs() - t0);
+  return std::optional<Result<Relation>>(std::move(result));
+}
+
+void KernelRegistry::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  entries_.clear();
+  lru_.clear();
+}
+
+size_t KernelRegistry::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return entries_.size();
+}
+
+}  // namespace sqldb
+}  // namespace hyperq

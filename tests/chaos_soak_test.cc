@@ -143,6 +143,7 @@ TEST_F(ChaosSoakTest, SoakSurvivesSeededFaultsAndReplaysByteIdentical) {
                        "qipc.decode=error,p:0.02;"
                        "qipc.encode=error,p:0.02;"
                        "backend.execute=error,p:0.04;"
+                       "backend.kernel=error,p:0.04;"
                        "pool.task=delay:1,p:0.05;"
                        "compress.block=error,p:0.1")
                   .ok());
@@ -291,6 +292,7 @@ TEST_F(ChaosSoakTest, ShardedSoakSurvivesAndMixedReplayIsByteIdentical) {
                   .Arm("shard.execute=error,p:0.03;"
                        "shard.gather=error,p:0.02;"
                        "backend.execute=error,p:0.02;"
+                       "backend.kernel=delay:1,p:0.03;"
                        "net.write=error,p:0.01;"
                        "qipc.encode=error,p:0.02;"
                        "pool.task=delay:1,p:0.05")

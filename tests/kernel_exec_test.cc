@@ -1,0 +1,367 @@
+// Fused-kernel execution battery (src/sqldb/kernel.h): byte-identity of
+// kernel results against the interpreted executor across null patterns,
+// empty/all-filtered/skewed/parallel-sized tables, cache hit/invalidation
+// semantics, fault-site fallback, and deadline behavior.
+
+#include <cmath>
+#include <cstring>
+#include <iterator>
+#include <memory>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/deadline.h"
+#include "common/fault.h"
+#include "common/metrics.h"
+#include "common/strings.h"
+#include "common/worker_pool.h"
+#include "sqldb/database.h"
+#include "testing/market_data.h"
+
+namespace hyperq {
+namespace sqldb {
+namespace {
+
+int64_t CounterValue(const char* name) {
+  return MetricsRegistry::Global().GetCounter(name)->value();
+}
+
+/// Cell-level byte identity: same null mask, same Datum type, and for
+/// floats the same bit pattern (NaN payloads and signed zeros included).
+void ExpectCellEq(const Datum& a, const Datum& b, const std::string& ctx) {
+  ASSERT_EQ(a.is_null(), b.is_null()) << ctx;
+  if (a.is_null()) return;
+  ASSERT_EQ(static_cast<int>(a.type()), static_cast<int>(b.type())) << ctx;
+  if (a.type() == SqlType::kDouble || a.type() == SqlType::kReal) {
+    double x = a.AsDouble(), y = b.AsDouble();
+    ASSERT_EQ(0, std::memcmp(&x, &y, sizeof(x))) << ctx << " " << x
+                                                 << " vs " << y;
+  } else if (IsStringType(a.type())) {
+    ASSERT_EQ(a.AsString(), b.AsString()) << ctx;
+  } else {
+    ASSERT_EQ(a.AsInt(), b.AsInt()) << ctx;
+  }
+}
+
+void ExpectResultEq(const Result<QueryResult>& a, const Result<QueryResult>& b,
+                    const std::string& sql) {
+  ASSERT_EQ(a.ok(), b.ok()) << sql << "\n  kernel: " << a.status().ToString()
+                            << "\n  interp: " << b.status().ToString();
+  if (!a.ok()) {
+    ASSERT_EQ(a.status().ToString(), b.status().ToString()) << sql;
+    return;
+  }
+  const QueryResult& ka = *a;
+  const QueryResult& kb = *b;
+  ASSERT_EQ(ka.command_tag, kb.command_tag) << sql;
+  ASSERT_EQ(ka.columns.size(), kb.columns.size()) << sql;
+  for (size_t c = 0; c < ka.columns.size(); ++c) {
+    ASSERT_EQ(ka.columns[c].name, kb.columns[c].name) << sql;
+    ASSERT_EQ(static_cast<int>(ka.columns[c].type),
+              static_cast<int>(kb.columns[c].type))
+        << sql << " col " << ka.columns[c].name;
+  }
+  ASSERT_EQ(ka.data.row_count, kb.data.row_count) << sql;
+  for (size_t r = 0; r < ka.data.row_count; ++r) {
+    for (size_t c = 0; c < ka.columns.size(); ++c) {
+      ExpectCellEq(ka.data.At(r, c), kb.data.At(r, c),
+                   StrCat(sql, " row ", r, " col ", c));
+    }
+  }
+}
+
+/// Builds one random table and loads the SAME column buffers into both
+/// databases (columns are immutable here), so any result divergence is the
+/// executor's fault, never the fixture's.
+struct TableSpec {
+  size_t rows = 0;
+  double null_rate = 0.0;  ///< px/qty null density
+  int sym_card = 8;        ///< 1 = total skew
+  bool with_nan = false;
+};
+
+StoredTable MakeTable(const TableSpec& spec, uint64_t seed) {
+  hyperq::testing::Rng rng(seed);
+  std::vector<std::string> sym(spec.rows);
+  std::vector<uint8_t> sym_nulls(spec.rows, 0);
+  std::vector<double> px(spec.rows);
+  std::vector<uint8_t> px_nulls(spec.rows, 0);
+  std::vector<int64_t> qty(spec.rows);
+  std::vector<uint8_t> qty_nulls(spec.rows, 0);
+  for (size_t i = 0; i < spec.rows; ++i) {
+    if (rng.NextDouble() < spec.null_rate / 2) {
+      sym_nulls[i] = 1;
+    } else {
+      sym[i] = StrCat("S", rng.Below(spec.sym_card));
+    }
+    if (rng.NextDouble() < spec.null_rate) {
+      px_nulls[i] = 1;
+    } else if (spec.with_nan && rng.Below(16) == 0) {
+      px[i] = std::nan("");
+    } else {
+      px[i] = rng.NextDouble() * 1000.0 - 200.0;
+    }
+    if (rng.NextDouble() < spec.null_rate) {
+      qty_nulls[i] = 1;
+    } else {
+      qty[i] = static_cast<int64_t>(rng.Below(10000)) - 2000;
+    }
+  }
+  StoredTable t;
+  t.name = "facts";
+  t.columns = {{"sym", SqlType::kVarchar},
+               {"px", SqlType::kDouble},
+               {"qty", SqlType::kBigInt}};
+  t.data = {Column::FromStrings(SqlType::kVarchar, std::move(sym),
+                                std::move(sym_nulls)),
+            Column::FromFloats(SqlType::kDouble, std::move(px),
+                               std::move(px_nulls)),
+            Column::FromInts(SqlType::kBigInt, std::move(qty),
+                             std::move(qty_nulls))};
+  t.row_count = spec.rows;
+  return t;
+}
+
+class KernelExec : public ::testing::Test {
+ protected:
+  void Load(const TableSpec& spec, uint64_t seed) {
+    StoredTable t = MakeTable(spec, seed);
+    ASSERT_TRUE(kdb_.CreateAndLoad(t).ok());
+    ASSERT_TRUE(idb_.CreateAndLoad(std::move(t)).ok());
+    idb_.kernel_registry().set_enabled(false);
+    ksession_ = kdb_.CreateSession();
+    isession_ = idb_.CreateSession();
+  }
+
+  /// Runs `sql` on both databases and asserts byte-identical results.
+  void Check(const std::string& sql) {
+    ExpectResultEq(kdb_.Execute(ksession_.get(), sql),
+                   idb_.Execute(isession_.get(), sql), sql);
+  }
+
+  Database kdb_;  ///< kernels enabled (default)
+  Database idb_;  ///< interpreted only
+  std::unique_ptr<Session> ksession_;
+  std::unique_ptr<Session> isession_;
+};
+
+const char* const kSupportedQueries[] = {
+    "SELECT sym, SUM(px) AS s, COUNT(*) AS n FROM facts WHERE qty > 1000 "
+    "GROUP BY sym",
+    "SELECT sym, COUNT(px), MIN(px), MAX(px), AVG(px) FROM facts GROUP BY sym",
+    "SELECT COUNT(*) FROM facts",
+    "SELECT SUM(qty), MIN(sym), MAX(sym), COUNT(sym) FROM facts "
+    "WHERE px >= 10.5",
+    "SELECT sym, qty FROM facts WHERE px BETWEEN 100 AND 500.5",
+    "SELECT * FROM facts WHERE sym = 'S3'",
+    "SELECT * FROM facts",
+    "SELECT qty FROM facts WHERE sym <> 'S1' AND qty <= 5000 "
+    "AND px IS NOT NULL",
+    "SELECT sym FROM facts WHERE px IS NULL",
+    "SELECT px, sym, px AS px2 FROM facts WHERE qty NOT BETWEEN 10 AND 2000",
+    "SELECT sym, px, COUNT(*) FROM facts GROUP BY sym, px",
+    "SELECT qty, COUNT(*) AS c, SUM(px) FROM facts GROUP BY qty",
+    "SELECT px, COUNT(*) FROM facts GROUP BY px",
+    "SELECT sym, SUM(px) FROM facts WHERE qty > 99999999 GROUP BY sym",
+    "SELECT SUM(px), AVG(qty), COUNT(*) FROM facts WHERE qty > 99999999",
+    "SELECT sym, MEDIAN(px), STDDEV(px) FROM facts GROUP BY sym",
+    "SELECT sym, FIRST(px), LAST(qty) FROM facts GROUP BY sym",
+    "SELECT qty FROM facts WHERE 500 < qty AND qty < 600",
+    "SELECT sym, COUNT(*) FROM facts WHERE qty = -17 GROUP BY sym",
+    "SELECT px FROM facts WHERE px > -50.25 AND sym IS NOT NULL",
+};
+
+class KernelIdentity
+    : public KernelExec,
+      public ::testing::WithParamInterface<std::tuple<int, uint64_t>> {};
+
+TEST_P(KernelIdentity, ByteIdenticalToInterpreter) {
+  static const TableSpec kSpecs[] = {
+      {0, 0.0, 8, false},         // empty table
+      {1, 0.5, 8, false},         // single row
+      {7, 0.3, 3, true},          // tiny, nulls + NaN
+      {1000, 0.25, 8, true},      // mid-size
+      {1000, 1.0, 1, false},      // everything NULL / one symbol
+      {40000, 0.2, 8, true},      // crosses the 32K parallel threshold
+      {40000, 0.05, 1, false},    // parallel + total key skew
+  };
+  const TableSpec& spec = kSpecs[std::get<0>(GetParam())];
+  Load(spec, std::get<1>(GetParam()));
+  int64_t h0 = CounterValue("kernel.hits");
+  int64_t m0 = CounterValue("kernel.misses");
+  for (const char* sql : kSupportedQueries) Check(sql);
+  // Second pass: every supported shape must now replay from the cache.
+  for (const char* sql : kSupportedQueries) Check(sql);
+  EXPECT_GT(CounterValue("kernel.misses"), m0) << "kernel path never ran";
+  EXPECT_GT(CounterValue("kernel.hits"), h0) << "kernel cache never hit";
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, KernelIdentity,
+    ::testing::Combine(::testing::Range(0, 7),
+                       ::testing::Values(1ull, 42ull, 20260807ull)));
+
+TEST_F(KernelExec, UnsupportedShapesFallBackWithIdenticalResults) {
+  Load({500, 0.2, 6, true}, 7);
+  int64_t f0 = CounterValue("kernel.fallbacks");
+  const char* const unsupported[] = {
+      "SELECT DISTINCT sym FROM facts",
+      "SELECT sym FROM facts ORDER BY sym",
+      "SELECT sym FROM facts LIMIT 3",
+      "SELECT UPPER(sym) FROM facts WHERE qty > 0",
+      "SELECT sym FROM facts WHERE px + 1 > 2",
+      "SELECT sym FROM facts WHERE sym = 'S1' OR qty = 1",
+      "SELECT sym, COUNT(*) FROM facts GROUP BY sym HAVING COUNT(*) > 2",
+      "SELECT a.sym FROM facts a, facts b WHERE a.qty = b.qty AND a.qty = 1",
+      "SELECT COUNT(DISTINCT sym) FROM facts",
+      "SELECT sym FROM facts WHERE qty IN (1, 2, 3)",
+  };
+  for (const char* sql : unsupported) Check(sql);
+  EXPECT_GE(CounterValue("kernel.fallbacks") - f0,
+            static_cast<int64_t>(std::size(unsupported)));
+}
+
+TEST_F(KernelExec, DataDependentTypeErrorsStayOnInterpretedPath) {
+  Load({50, 0.1, 4, false}, 11);
+  // String column vs numeric literal: the interpreter raises a comparison
+  // type error on the first non-null row; the kernel must reject the shape
+  // at compile so both paths report the identical error.
+  Check("SELECT sym FROM facts WHERE sym > 5");
+  Check("SELECT qty FROM facts WHERE qty = 'S1'");
+  Check("SELECT sym FROM facts WHERE px BETWEEN 'a' AND 'b'");
+  // NULL literals never error (three-valued logic short-circuits).
+  Check("SELECT sym FROM facts WHERE sym > NULL");
+  Check("SELECT qty FROM facts WHERE qty BETWEEN NULL AND 100");
+}
+
+TEST_F(KernelExec, ParameterizedVariantsShareOneKernel) {
+  Load({200, 0.1, 4, false}, 3);
+  const std::string q1 = "SELECT sym, SUM(px) FROM facts WHERE qty > 100 "
+                         "GROUP BY sym";
+  const std::string q2 = "SELECT sym, SUM(px) FROM facts WHERE qty > 2500 "
+                         "GROUP BY sym";
+  size_t s0 = kdb_.kernel_registry().size();
+  Check(q1);
+  EXPECT_EQ(kdb_.kernel_registry().size(), s0 + 1);
+  int64_t h0 = CounterValue("kernel.hits");
+  int64_t m0 = CounterValue("kernel.misses");
+  Check(q2);  // same fingerprint text, different literal
+  EXPECT_EQ(kdb_.kernel_registry().size(), s0 + 1);
+  EXPECT_EQ(CounterValue("kernel.hits"), h0 + 1);
+  EXPECT_EQ(CounterValue("kernel.misses"), m0);
+}
+
+TEST_F(KernelExec, StaleKernelAfterSchemaChangeRecompiles) {
+  Load({100, 0.0, 4, false}, 5);
+  const std::string q = "SELECT sym, COUNT(*), SUM(qty) FROM facts GROUP BY "
+                        "sym";
+  Check(q);
+  // Same statement text, new schema underneath: qty is now a double and
+  // the column order moved. A stale kernel would read the wrong buffers;
+  // the catalog version stamp must force a recompile.
+  for (Database* db : {&kdb_, &idb_}) {
+    Session* s = (db == &kdb_ ? ksession_ : isession_).get();
+    ASSERT_TRUE(db->Execute(s, "DROP TABLE facts").ok());
+    ASSERT_TRUE(db->Execute(s, "CREATE TABLE facts (qty double precision, "
+                               "sym varchar)")
+                    .ok());
+    ASSERT_TRUE(db->Execute(s, "INSERT INTO facts VALUES (1.5, 'a'), "
+                               "(2.5, 'a'), (NULL, 'b')")
+                    .ok());
+  }
+  Check(q);
+  // DML bumps the catalog version too: appended rows must be visible.
+  for (Database* db : {&kdb_, &idb_}) {
+    Session* s = (db == &kdb_ ? ksession_ : isession_).get();
+    ASSERT_TRUE(db->Execute(s, "INSERT INTO facts VALUES (9.25, 'c')").ok());
+  }
+  Check(q);
+}
+
+TEST_F(KernelExec, SessionTempTablesShadowTheKernelTable) {
+  Load({100, 0.0, 4, false}, 9);
+  Check("SELECT COUNT(*) FROM facts");
+  // A session temp table named `facts` must shadow the catalog table on
+  // both paths; the kernel (compiled against the catalog) must step aside.
+  for (Database* db : {&kdb_, &idb_}) {
+    Session* s = (db == &kdb_ ? ksession_ : isession_).get();
+    ASSERT_TRUE(db->Execute(s, "CREATE TEMP TABLE facts (sym varchar)").ok());
+    ASSERT_TRUE(db->Execute(s, "INSERT INTO facts VALUES ('only')").ok());
+  }
+  Check("SELECT COUNT(*) FROM facts");
+  Check("SELECT sym FROM facts");
+}
+
+TEST_F(KernelExec, ClearDropsCompiledPlans) {
+  Load({100, 0.0, 4, false}, 13);
+  Check("SELECT COUNT(*) FROM facts");
+  EXPECT_GT(kdb_.kernel_registry().size(), 0u);
+  kdb_.kernel_registry().Clear();
+  EXPECT_EQ(kdb_.kernel_registry().size(), 0u);
+  int64_t m0 = CounterValue("kernel.misses");
+  Check("SELECT COUNT(*) FROM facts");  // recompiles
+  EXPECT_EQ(CounterValue("kernel.misses"), m0 + 1);
+}
+
+TEST_F(KernelExec, DisabledRegistryNeverRuns) {
+  Load({100, 0.0, 4, false}, 17);
+  kdb_.kernel_registry().set_enabled(false);
+  int64_t h0 = CounterValue("kernel.hits");
+  int64_t m0 = CounterValue("kernel.misses");
+  Check("SELECT COUNT(*) FROM facts");
+  EXPECT_EQ(CounterValue("kernel.hits"), h0);
+  EXPECT_EQ(CounterValue("kernel.misses"), m0);
+  kdb_.kernel_registry().set_enabled(true);
+}
+
+TEST_F(KernelExec, ArmedFaultFallsBackToInterpreter) {
+  Load({500, 0.1, 4, false}, 19);
+  const std::string q = "SELECT sym, SUM(px) FROM facts WHERE qty > 0 "
+                        "GROUP BY sym";
+  Check(q);  // compile + cache while faults are disarmed
+
+  ASSERT_TRUE(FaultInjector::Global().Arm("backend.kernel=error,once").ok());
+  int64_t f0 = CounterValue("kernel.fallbacks");
+  int64_t fired0 = CounterValue("fault.fired.backend.kernel");
+  Check(q);  // fault fires -> interpreted path, identical result
+  FaultInjector::Global().Clear();
+  EXPECT_EQ(CounterValue("kernel.fallbacks"), f0 + 1);
+  EXPECT_EQ(CounterValue("fault.fired.backend.kernel"), fired0 + 1);
+
+  // Delay action: the kernel path slows down but still runs.
+  ASSERT_TRUE(FaultInjector::Global().Arm("backend.kernel=delay:1,once").ok());
+  int64_t h0 = CounterValue("kernel.hits");
+  Check(q);
+  FaultInjector::Global().Clear();
+  EXPECT_EQ(CounterValue("kernel.hits"), h0 + 1);
+}
+
+TEST_F(KernelExec, ExpiredDeadlineReturnsTimeoutFromKernel) {
+  Load({40000, 0.1, 8, false}, 23);
+  const std::string q = "SELECT sym, SUM(px) FROM facts WHERE qty > 0 "
+                        "GROUP BY sym";
+  Check(q);  // hot kernel
+  {
+    ScopedDeadline sd(Deadline::After(0));
+    Result<QueryResult> r = kdb_.Execute(ksession_.get(), q);
+    ASSERT_FALSE(r.ok());
+    EXPECT_EQ(r.status().code(), StatusCode::kTimeout) << r.status().ToString();
+  }
+  Check(q);  // connection state stays healthy afterwards
+}
+
+TEST_F(KernelExec, ThreadCountSweepIsByteIdentical) {
+  Load({40000, 0.15, 6, true}, 29);
+  for (int threads : {0, 1, 4}) {
+    WorkerPool::Shared().Resize(threads);
+    for (const char* sql : kSupportedQueries) Check(sql);
+  }
+  WorkerPool::Shared().Resize(0);
+}
+
+}  // namespace
+}  // namespace sqldb
+}  // namespace hyperq

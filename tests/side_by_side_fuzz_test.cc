@@ -290,6 +290,43 @@ TEST_P(SideBySideFuzz, HotCacheResultsMatchColdResults) {
       << "the repeat runs never hit the translation cache";
 }
 
+/// Same double-run shape, but watching the *kernel* cache (the second
+/// fingerprint-keyed cache): the repeat run of every kernel-supported
+/// translated query must be served by a compiled plan, and the hot result
+/// must stay byte-identical to the cold interpreted-or-kernel one.
+TEST_P(SideBySideFuzz, HotKernelResultsMatchColdResults) {
+  MetricsRegistry& reg = MetricsRegistry::Global();
+  uint64_t hits0 = reg.GetCounter("kernel.hits")->value();
+  uint64_t misses0 = reg.GetCounter("kernel.misses")->value();
+  uint64_t fallbacks0 = reg.GetCounter("kernel.fallbacks")->value();
+  int checked = 0;
+  for (int k = 0; k < 30; ++k) {
+    std::string q = RandomQuery();
+    SideBySideHarness::Comparison cold = harness_.Run(q);
+    SideBySideHarness::Comparison hot = harness_.Run(q);
+    EXPECT_EQ(hot.match, cold.match) << "seed " << GetParam() << ": " << q;
+    EXPECT_EQ(hot.both_failed, cold.both_failed) << q;
+    if (cold.both_failed) continue;
+    EXPECT_TRUE(hot.hyperq_result == cold.hyperq_result)
+        << "seed " << GetParam() << " hot-kernel result diverged for: " << q
+        << "\ncold: " << cold.hyperq_result.ToString()
+        << "\nhot:  " << hot.hyperq_result.ToString();
+    ++checked;
+  }
+  EXPECT_GE(checked, 15) << "too few queries actually executed";
+  uint64_t hits = reg.GetCounter("kernel.hits")->value() - hits0;
+  uint64_t misses = reg.GetCounter("kernel.misses")->value() - misses0;
+  uint64_t fallbacks =
+      reg.GetCounter("kernel.fallbacks")->value() - fallbacks0;
+  // The registry must have been consulted for every SELECT, and any shape
+  // it compiled (a miss) ran twice — so the repeat must have hit.
+  EXPECT_GT(hits + misses + fallbacks, 0u)
+      << "kernel registry never consulted";
+  if (misses > 0) {
+    EXPECT_GT(hits, 0u) << "compiled kernels never served the repeat runs";
+  }
+}
+
 TEST_P(SideBySideFuzz, MixedPipelinesAgree) {
   int checked = 0;
   // Keep the first disagreement whole — query, generated SQL and both
