@@ -29,6 +29,24 @@ for arg in "$@"; do
   esac
 done
 
+# fd preflight: the endpoint tests open thousands of sockets (idle-churn,
+# C10K smoke). Raise the soft RLIMIT_NOFILE toward the hard limit, capped
+# at 8192, and warn when even that is unavailable (tests self-scale, but a
+# tiny limit weakens their coverage).
+HARD_FD="$(ulimit -Hn)"
+TARGET_FD=8192
+if [[ "$HARD_FD" != "unlimited" && "$HARD_FD" -lt "$TARGET_FD" ]]; then
+  TARGET_FD="$HARD_FD"
+fi
+if [[ "$(ulimit -Sn)" -lt "$TARGET_FD" ]]; then
+  ulimit -Sn "$TARGET_FD" || true
+fi
+if [[ "$(ulimit -Sn)" -lt 1024 ]]; then
+  echo "warning: open-file limit is only $(ulimit -Sn); connection-scale" \
+       "tests will run with reduced connection counts" >&2
+fi
+echo "==> fd limit: $(ulimit -Sn) (hard: $HARD_FD)"
+
 echo "==> tier-1: configure + build"
 cmake -B build -S . >/dev/null
 cmake --build build -j "$JOBS"
@@ -55,6 +73,7 @@ echo "==> tsan: configure + build (build-tsan)"
 cmake -B build-tsan -S . -DHYPERQ_SANITIZE=thread >/dev/null
 cmake --build build-tsan -j "$JOBS" \
   --target endpoint_stress_test metrics_test endpoint_test \
+  event_loop_test protocol_test \
   translation_cache_test worker_pool_test exec_stress_test \
   kernel_exec_test \
   wire_path_test qipc_property_test fault_injection_test chaos_soak_test \
@@ -63,6 +82,8 @@ cmake --build build-tsan -j "$JOBS" \
 echo "==> tsan: concurrency battery"
 export TSAN_OPTIONS="halt_on_error=1 second_deadlock_stack=1"
 ./build-tsan/tests/metrics_test
+./build-tsan/tests/event_loop_test
+./build-tsan/tests/protocol_test
 ./build-tsan/tests/endpoint_test
 ./build-tsan/tests/endpoint_stress_test
 ./build-tsan/tests/translation_cache_test

@@ -143,4 +143,61 @@ void WorkerPool::ParallelFor(size_t n, const std::function<void(size_t)>& fn) {
   wake_.notify_all();  // release workers parked on `job_ != job`
 }
 
+TaskPool::TaskPool(size_t threads) {
+  if (threads == 0) {
+    unsigned hw = std::thread::hardware_concurrency();
+    threads = std::min<unsigned>(hw == 0 ? 4 : hw, 8);
+  }
+  threads_.reserve(threads);
+  for (size_t i = 0; i < threads; ++i) {
+    threads_.emplace_back([this] { Loop(); });
+  }
+}
+
+TaskPool::~TaskPool() { Stop(); }
+
+bool TaskPool::Submit(std::function<void()> fn) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stopped_) return false;
+    queue_.push_back(std::move(fn));
+  }
+  wake_.notify_one();
+  return true;
+}
+
+void TaskPool::Stop() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stopped_ && threads_.empty()) return;
+    stopped_ = true;
+  }
+  wake_.notify_all();
+  for (auto& t : threads_) t.join();
+  threads_.clear();
+}
+
+size_t TaskPool::queue_depth() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return queue_.size() - head_;
+}
+
+void TaskPool::Loop() {
+  for (;;) {
+    std::function<void()> fn;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      wake_.wait(lock, [this] { return stopped_ || head_ < queue_.size(); });
+      if (head_ >= queue_.size()) return;  // stopped and drained
+      fn = std::move(queue_[head_]);
+      ++head_;
+      if (head_ == queue_.size()) {
+        queue_.clear();
+        head_ = 0;
+      }
+    }
+    fn();
+  }
+}
+
 }  // namespace hyperq

@@ -80,6 +80,46 @@ class WorkerPool {
   std::mutex submit_mu_;  // one ParallelFor in flight; others run inline
 };
 
+/// A small FIFO task executor for asynchronous work units (one queued query
+/// execution per task). Distinct from WorkerPool on purpose: ParallelFor
+/// blocks its caller and marks pool threads as worker threads (forcing
+/// nested loops inline), so running whole queries *on* the WorkerPool would
+/// serialize their morsel fan-out. TaskPool threads are plain threads — a
+/// task that calls into the executor still gets full morsel parallelism
+/// from the shared WorkerPool.
+class TaskPool {
+ public:
+  /// threads == 0 picks a small default from the hardware.
+  explicit TaskPool(size_t threads = 0);
+  ~TaskPool();
+
+  TaskPool(const TaskPool&) = delete;
+  TaskPool& operator=(const TaskPool&) = delete;
+
+  /// Enqueues fn; returns false after Stop() (the task is dropped — callers
+  /// own any cleanup, e.g. failing the originating connection).
+  bool Submit(std::function<void()> fn);
+
+  /// Rejects new tasks, runs everything already queued, joins all threads.
+  /// Idempotent.
+  void Stop();
+
+  /// Tasks queued but not yet started (load-shedding signal).
+  size_t queue_depth() const;
+
+  size_t thread_count() const { return threads_.size(); }
+
+ private:
+  void Loop();
+
+  mutable std::mutex mu_;
+  std::condition_variable wake_;
+  std::vector<std::function<void()>> queue_;  // FIFO via head_ cursor
+  size_t head_ = 0;
+  bool stopped_ = false;
+  std::vector<std::thread> threads_;
+};
+
 }  // namespace hyperq
 
 #endif  // HYPERQ_COMMON_WORKER_POOL_H_

@@ -1,17 +1,20 @@
 #include "core/endpoint.h"
 
+#include <sys/epoll.h>
 #include <sys/socket.h>
 #include <sys/time.h>
 
 #include <algorithm>
 #include <chrono>
 #include <cstring>
+#include <future>
 
 #include "common/deadline.h"
 #include "common/fault.h"
 #include "common/logging.h"
 #include "common/metrics.h"
 #include "common/strings.h"
+#include "core/fsm.h"
 #include "protocol/qipc/compress.h"
 
 namespace hyperq {
@@ -20,6 +23,7 @@ namespace {
 
 struct ServerMetrics {
   Gauge* connections_active;
+  Gauge* connections_idle;
   Counter* connections_total;
   Counter* connections_refused;
   Counter* handshake_failures;
@@ -37,6 +41,7 @@ struct ServerMetrics {
       MetricsRegistry& r = MetricsRegistry::Global();
       return new ServerMetrics{
           r.GetGauge("server.connections_active"),
+          r.GetGauge("server.connections_idle"),
           r.GetCounter("server.connections_total"),
           r.GetCounter("server.connections_refused"),
           r.GetCounter("server.handshake_failures"),
@@ -100,6 +105,9 @@ std::string WireErrorText(const Status& s) {
 /// footprint for the rest of the session.
 constexpr size_t kConnBufferKeepBytes = 1u << 20;
 
+constexpr size_t kMaxHandshakeBytes = 4096;
+constexpr uint32_t kMaxFrameBytes = 256u << 20;
+
 void ShrinkIfOversized(std::vector<uint8_t>* buf) {
   if (buf->capacity() > kConnBufferKeepBytes) {
     buf->clear();
@@ -113,12 +121,191 @@ uint32_t PlainLengthOfCompressed(const std::vector<uint8_t>& msg) {
   return v;
 }
 
+/// Records metrics for a fully written reply (both io models).
+void RecordReplySent(size_t reply_bytes,
+                     std::chrono::steady_clock::time_point request_start) {
+  ServerMetrics& metrics = ServerMetrics::Get();
+  WireMetrics& wire = WireMetrics::Get();
+  metrics.bytes_out->Increment(reply_bytes);
+  wire.bytes_out->Increment(reply_bytes);
+  wire.messages_out->Increment();
+  auto end = std::chrono::steady_clock::now();
+  metrics.request_us->Record(
+      std::chrono::duration<double, std::micro>(end - request_start)
+          .count());
+}
+
 }  // namespace
+
+// ---------------------------------------------------------------------------
+// Shared request pipeline
+// ---------------------------------------------------------------------------
+
+std::unique_ptr<HyperQSession> HyperQServer::MakeSession() {
+  // One Hyper-Q session per connection (its own temp-table namespace and
+  // variable scopes), over the configured gateway — direct by default,
+  // the scatter-gather coordinator when a factory is installed.
+  return options_.gateway_factory
+             ? std::make_unique<HyperQSession>(options_.gateway_factory(),
+                                               options_.session)
+             : std::make_unique<HyperQSession>(backend_, options_.session);
+}
+
+void HyperQServer::AdjustIdle(int delta) {
+  int now = idle_count_.fetch_add(delta, std::memory_order_acq_rel) + delta;
+  // Set() rather than Add() so a mid-flight .hyperq.resetStats[] desyncs
+  // the gauge only until the next transition instead of forever.
+  ServerMetrics::Get().connections_idle->Set(now);
+}
+
+bool HyperQServer::ShouldShed() {
+  // Load shedding against *dispatched* queries — queued on the exec pool
+  // or executing — so queueing stays bounded in both io models. The
+  // caller must pair this with DoneExecuting() when the query finishes.
+  if (options_.max_inflight_queries <= 0) return false;
+  int prior = inflight_queries_.fetch_add(1, std::memory_order_acq_rel);
+  return prior >= options_.max_inflight_queries;
+}
+
+void HyperQServer::DoneExecuting() {
+  if (options_.max_inflight_queries <= 0) return;
+  inflight_queries_.fetch_sub(1, std::memory_order_acq_rel);
+}
+
+void HyperQServer::BuildReply(HyperQSession& session,
+                              const std::vector<uint8_t>& request,
+                              Outgoing* out, bool* respond, bool shed) {
+  ServerMetrics& metrics = ServerMetrics::Get();
+  WireMetrics& wire = WireMetrics::Get();
+  *respond = true;
+  out->slices.clear();
+  out->owned.clear();
+  out->arena.Clear();
+  out->keepalive.reset();
+  out->idx = 0;
+  out->off = 0;
+
+  Result<qipc::DecodedMessage> msg = qipc::DecodeMessage(request);
+  // Injected decode failures look exactly like a malformed request: a
+  // structured error reply, never a dropped or torn frame.
+  if (FaultHit f = CheckFault("qipc.decode");
+      f.kind == FaultHit::Kind::kError) {
+    msg = f.error;
+  }
+  // A reply is either `owned` bytes (errors, compressed responses) or
+  // `slices` into the arena + result columns (plain scatter fast path).
+  std::vector<uint8_t> reply;
+  if (!msg.ok()) {
+    reply = qipc::EncodeError(msg.status().ToString(),
+                              qipc::MsgType::kResponse);
+  } else if (msg->value.type() != QType::kChar) {
+    reply = qipc::EncodeError(
+        "expected a query string (char list) in the request",
+        qipc::MsgType::kResponse);
+  } else {
+    std::string q_text = msg->value.is_atom()
+                             ? std::string(1, msg->value.AsChar())
+                             : msg->value.CharsView();
+    // Per-query deadline: the session's own (.hyperq.deadline[ms])
+    // overrides the server default. The ambient deadline covers
+    // translate, execute (incl. morsel fan-out) and serialize; builtins
+    // are exempt (they are how a wedged client un-wedges the server).
+    int64_t dl_ms = session.deadline_ms() > 0 ? session.deadline_ms()
+                                              : options_.default_deadline_ms;
+    Deadline deadline = dl_ms > 0 ? Deadline::After(dl_ms) : Deadline();
+    if (deadline.armed()) metrics.deadline_armed->Increment();
+    ScopedDeadline scoped(deadline);
+    // Load shedding (decided by the caller, who owns the inflight
+    // accounting): a shed caller gets the structured 'busy answer —
+    // bounded queueing, and the client knows to back off (its retry, not
+    // ours: the request never started, so retrying it is always safe).
+    Result<QValue> result = QValue();
+    if (shed) {
+      metrics.busy_rejections->Increment();
+      result = UnavailableError("server at inflight query cap");
+    } else {
+      result = session.Query(q_text);
+    }
+    if (!result.ok()) {
+      if (result.status().code() == StatusCode::kTimeout) {
+        metrics.deadline_timeouts->Increment();
+      }
+      reply = qipc::EncodeError(WireErrorText(result.status()),
+                                qipc::MsgType::kResponse);
+    } else if (FaultHit f = CheckFault("qipc.encode");
+               f.kind == FaultHit::Kind::kError) {
+      // Injected encode failure: the response is replaced by a
+      // structured error, exactly like a real serialization bug.
+      reply = qipc::EncodeError(f.error.ToString(),
+                                qipc::MsgType::kResponse);
+    } else {
+      auto encode_start = std::chrono::steady_clock::now();
+      if (options_.compress_responses) {
+        Result<std::vector<uint8_t>> encoded =
+            options_.block_compression
+                ? qipc::EncodeMessageCompressedBlocked(
+                      *result, qipc::MsgType::kResponse)
+                : qipc::EncodeMessageCompressed(*result,
+                                                qipc::MsgType::kResponse);
+        if (!encoded.ok()) {
+          reply = qipc::EncodeError(encoded.status().ToString(),
+                                    qipc::MsgType::kResponse);
+        } else {
+          if ((*encoded)[2] == 0) {
+            // Incompressible (or under-threshold) payload fell back to
+            // the plain encoding.
+            metrics.compress_fallbacks->Increment();
+          } else if (encoded->size() > 12) {
+            wire.compress_in_bytes->Increment(
+                PlainLengthOfCompressed(*encoded));
+            wire.compress_out_bytes->Increment(encoded->size());
+          }
+          reply = std::move(*encoded);
+        }
+      } else {
+        // Plain responses take the zero-copy path: framing and small
+        // payloads land in the arena, large typed columns are borrowed
+        // from the result (pinned by `keepalive`) and gathered on the
+        // wire by a scatter write.
+        auto held = std::make_shared<QValue>(std::move(*result));
+        Status enc = qipc::EncodeMessageScatter(
+            *held, qipc::MsgType::kResponse, &out->arena, &out->slices);
+        if (!enc.ok()) {
+          out->slices.clear();
+          reply = qipc::EncodeError(enc.ToString(),
+                                    qipc::MsgType::kResponse);
+        } else {
+          out->keepalive = std::move(held);
+        }
+      }
+      auto encode_end = std::chrono::steady_clock::now();
+      wire.encode_us->Record(std::chrono::duration<double, std::micro>(
+                                 encode_end - encode_start)
+                                 .count());
+    }
+    // Async messages expect no response.
+    if (msg->type == qipc::MsgType::kAsync) {
+      *respond = false;
+      return;
+    }
+  }
+  if (out->slices.empty()) {
+    out->owned = std::move(reply);
+    out->slices.push_back(IoSlice{out->owned.data(), out->owned.size()});
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Start / Stop
+// ---------------------------------------------------------------------------
 
 Status HyperQServer::Start(uint16_t port) {
   HQ_ASSIGN_OR_RETURN(TcpListener listener, TcpListener::Listen(port));
   port_ = listener.port();
   listener_ = std::make_unique<TcpListener>(std::move(listener));
+  if (options_.io_model == IoModel::kEventLoop) {
+    return StartEventModel();
+  }
   running_ = true;
   accept_thread_ = std::make_unique<std::thread>([this]() { AcceptLoop(); });
   return Status::OK();
@@ -126,6 +313,20 @@ Status HyperQServer::Start(uint16_t port) {
 
 void HyperQServer::Stop() {
   if (!running_.exchange(false)) return;
+  if (options_.io_model == IoModel::kEventLoop) {
+    StopEventModel();
+  } else {
+    StopThreadModel();
+  }
+  HQ_LOG(Debug) << "qipc server stopped; final metrics:\n"
+                << MetricsRegistry::Global().TextDump();
+}
+
+// ---------------------------------------------------------------------------
+// Thread-per-connection model
+// ---------------------------------------------------------------------------
+
+void HyperQServer::StopThreadModel() {
   if (listener_) listener_->Close();
   if (accept_thread_ && accept_thread_->joinable()) accept_thread_->join();
   {
@@ -140,8 +341,8 @@ void HyperQServer::Stop() {
     // does.
     std::unique_lock<std::mutex> lock(conn_mu_);
     struct timeval tv;
-    int snd_ms = options_.drain_timeout_ms > 0 ? options_.drain_timeout_ms
-                                               : 1;
+    int snd_ms =
+        options_.drain_timeout_ms > 0 ? options_.drain_timeout_ms : 1;
     tv.tv_sec = snd_ms / 1000;
     tv.tv_usec = (snd_ms % 1000) * 1000;
     for (int fd : active_fds_) {
@@ -157,19 +358,33 @@ void HyperQServer::Stop() {
     if (w.joinable()) w.join();
   }
   workers_.clear();
-  HQ_LOG(Debug) << "qipc server stopped; final metrics:\n"
-                << MetricsRegistry::Global().TextDump();
 }
 
 void HyperQServer::AcceptLoop() {
+  ServerMetrics& metrics = ServerMetrics::Get();
   while (running_) {
     Result<TcpConnection> conn = listener_->Accept();
     if (!conn.ok()) {
-      if (running_) {
+      if (running_ && !TcpListener::IsClosedError(conn.status())) {
         HQ_LOG(Warning) << "qipc accept failed: "
                         << conn.status().ToString();
       }
       return;
+    }
+    // Admission control up front: an over-limit connection is refused
+    // right here — closed before the accept byte, no handler thread
+    // spawned — so rejections cost one accept() and never stall the loop.
+    // The gauge mirrors active_count_ via Set() rather than Add(+-1) so a
+    // mid-flight .hyperq.resetStats[] desyncs it only until the next
+    // connection event instead of driving it negative forever.
+    metrics.connections_total->Increment();
+    int prior = active_count_.fetch_add(1, std::memory_order_acq_rel);
+    metrics.connections_active->Set(prior + 1);
+    if (prior >= effective_max_connections()) {
+      metrics.connections_refused->Increment();
+      int now = active_count_.fetch_sub(1, std::memory_order_acq_rel) - 1;
+      metrics.connections_active->Set(now);
+      continue;  // `conn` closes on scope exit: refusal without a thread
     }
     workers_.emplace_back([this, c = std::move(*conn)]() mutable {
       HandleConnection(std::move(c));
@@ -191,13 +406,7 @@ void HyperQServer::UnregisterFd(int fd) {
 
 void HyperQServer::HandleConnection(TcpConnection conn) {
   ServerMetrics& metrics = ServerMetrics::Get();
-  metrics.connections_total->Increment();
-  // Admission control: reserve a slot before any protocol work; over-limit
-  // connections are closed before the accept byte, which clients observe
-  // as a rejected handshake instead of an unbounded worker pile-up.
-  // The gauge mirrors active_count_ via Set() rather than Add(+-1) so a
-  // mid-flight .hyperq.resetStats[] desyncs it only until the next
-  // connection event instead of driving it negative forever.
+  // The admission slot was reserved by AcceptLoop; release it on exit.
   struct SlotGuard {
     HyperQServer* s;
     ~SlotGuard() {
@@ -205,13 +414,7 @@ void HyperQServer::HandleConnection(TcpConnection conn) {
       ServerMetrics::Get().connections_active->Set(now);
     }
   };
-  int prior = active_count_.fetch_add(1, std::memory_order_acq_rel);
-  metrics.connections_active->Set(prior + 1);
   SlotGuard slot{this};
-  if (prior >= options_.max_connections) {
-    metrics.connections_refused->Increment();
-    return;
-  }
 
   RegisterFd(conn.fd());
   struct FdGuard {
@@ -237,7 +440,7 @@ void HyperQServer::HandleConnection(TcpConnection conn) {
     }
     creds.insert(creds.end(), chunk->begin(), chunk->end());
     if (creds.back() == 0) break;
-    if (creds.size() > 4096) {  // junk
+    if (creds.size() > kMaxHandshakeBytes) {  // junk
       metrics.handshake_failures->Increment();
       return;
     }
@@ -265,23 +468,19 @@ void HyperQServer::HandleConnection(TcpConnection conn) {
 void HyperQServer::ServeRequests(TcpConnection& conn) {
   ServerMetrics& metrics = ServerMetrics::Get();
   WireMetrics& wire = WireMetrics::Get();
-  // One Hyper-Q session per connection (its own temp-table namespace and
-  // variable scopes), over the configured gateway — direct by default,
-  // the scatter-gather coordinator when a factory is installed.
-  std::unique_ptr<HyperQSession> owned_session =
-      options_.gateway_factory
-          ? std::make_unique<HyperQSession>(options_.gateway_factory(),
-                                            options_.session)
-          : std::make_unique<HyperQSession>(backend_, options_.session);
-  HyperQSession& session = *owned_session;
+  // The session is created lazily on the first request: a connected-but-
+  // quiet client costs no backend state in either io model.
+  std::unique_ptr<HyperQSession> session;
 
   // Per-connection reusable buffers: the request buffer absorbs header +
   // body in place (no per-request allocation, no header/rest splice), and
-  // the encode arena + slice list back the scatter egress path. All are
-  // shrunk back after an oversized request (kConnBufferKeepBytes).
+  // the Outgoing's arena + slice list back the scatter egress path. All
+  // are shrunk back after an oversized request (kConnBufferKeepBytes).
   std::vector<uint8_t> request;
-  ByteWriter arena;
-  std::vector<IoSlice> slices;
+  Outgoing out;
+
+  AdjustIdle(+1);
+  bool idle = true;
 
   while (running_) {
     uint8_t header[8];
@@ -292,7 +491,7 @@ void HyperQServer::ServeRequests(TcpConnection& conn) {
     }
     auto request_start = std::chrono::steady_clock::now();
     Result<uint32_t> len = qipc::PeekMessageLength(header);
-    if (!len.ok() || *len < 9 || *len > (256u << 20)) break;
+    if (!len.ok() || *len < 9 || *len > kMaxFrameBytes) break;
     request.resize(*len);
     std::memcpy(request.data(), header, 8);
     Status body_read = conn.ReadExactInto(request.data() + 8, *len - 8);
@@ -302,148 +501,511 @@ void HyperQServer::ServeRequests(TcpConnection& conn) {
     }
     metrics.bytes_in->Increment(*len);
 
-    Result<qipc::DecodedMessage> msg = qipc::DecodeMessage(request);
-    // Injected decode failures look exactly like a malformed request: a
-    // structured error reply, never a dropped or torn frame.
-    if (FaultHit f = CheckFault("qipc.decode");
-        f.kind == FaultHit::Kind::kError) {
-      msg = f.error;
+    AdjustIdle(-1);
+    idle = false;
+    if (!session) session = MakeSession();
+    bool respond;
+    bool shed = ShouldShed();
+    BuildReply(*session, request, &out, &respond, shed);
+    DoneExecuting();
+    if (!respond) {
+      ShrinkIfOversized(&request);
+      AdjustIdle(+1);
+      idle = true;
+      continue;
     }
-    // A reply is either `reply` bytes (errors, compressed responses) or
-    // `slices` into arena + result columns (plain scatter fast path).
-    std::vector<uint8_t> reply;
-    slices.clear();
-    Result<QValue> result = QValue();
-    if (!msg.ok()) {
-      reply = qipc::EncodeError(msg.status().ToString(),
-                                qipc::MsgType::kResponse);
-    } else if (msg->value.type() != QType::kChar) {
-      reply = qipc::EncodeError(
-          "expected a query string (char list) in the request",
-          qipc::MsgType::kResponse);
-    } else {
-      std::string q_text = msg->value.is_atom()
-                               ? std::string(1, msg->value.AsChar())
-                               : msg->value.CharsView();
-      // Per-query deadline: the session's own (.hyperq.deadline[ms])
-      // overrides the server default. The ambient deadline covers
-      // translate, execute (incl. morsel fan-out) and serialize; builtins
-      // are exempt (they are how a wedged client un-wedges the server).
-      int64_t dl_ms = session.deadline_ms() > 0
-                          ? session.deadline_ms()
-                          : options_.default_deadline_ms;
-      Deadline deadline =
-          dl_ms > 0 ? Deadline::After(dl_ms) : Deadline();
-      if (deadline.armed()) metrics.deadline_armed->Increment();
-      ScopedDeadline scoped(deadline);
-      // Load shedding: a caller beyond the inflight cap gets the
-      // structured 'busy answer immediately — bounded queueing, and the
-      // client knows to back off (its retry, not ours: the request never
-      // started, so retrying it is always safe).
-      struct InflightGuard {
-        std::atomic<int>* n;
-        ~InflightGuard() {
-          if (n != nullptr) n->fetch_sub(1, std::memory_order_acq_rel);
-        }
-      } inflight{nullptr};
-      bool shed = false;
-      if (options_.max_inflight_queries > 0) {
-        int prior =
-            inflight_queries_.fetch_add(1, std::memory_order_acq_rel);
-        inflight.n = &inflight_queries_;
-        if (prior >= options_.max_inflight_queries) {
-          metrics.busy_rejections->Increment();
-          result = UnavailableError("server at inflight query cap");
-          shed = true;
-        }
-      }
-      if (!shed) result = session.Query(q_text);
-      if (!result.ok()) {
-        if (result.status().code() == StatusCode::kTimeout) {
-          metrics.deadline_timeouts->Increment();
-        }
-        reply = qipc::EncodeError(WireErrorText(result.status()),
-                                  qipc::MsgType::kResponse);
-      } else if (FaultHit f = CheckFault("qipc.encode");
-                 f.kind == FaultHit::Kind::kError) {
-        // Injected encode failure: the response is replaced by a
-        // structured error, exactly like a real serialization bug.
-        reply = qipc::EncodeError(f.error.ToString(),
-                                  qipc::MsgType::kResponse);
-      } else {
-        auto encode_start = std::chrono::steady_clock::now();
-        if (options_.compress_responses) {
-          Result<std::vector<uint8_t>> encoded =
-              options_.block_compression
-                  ? qipc::EncodeMessageCompressedBlocked(
-                        *result, qipc::MsgType::kResponse)
-                  : qipc::EncodeMessageCompressed(*result,
-                                                  qipc::MsgType::kResponse);
-          if (!encoded.ok()) {
-            reply = qipc::EncodeError(encoded.status().ToString(),
-                                      qipc::MsgType::kResponse);
-          } else {
-            if ((*encoded)[2] == 0) {
-              // Incompressible (or under-threshold) payload fell back to
-              // the plain encoding.
-              metrics.compress_fallbacks->Increment();
-            } else if (encoded->size() > 12) {
-              wire.compress_in_bytes->Increment(
-                  PlainLengthOfCompressed(*encoded));
-              wire.compress_out_bytes->Increment(encoded->size());
-            }
-            reply = std::move(*encoded);
-          }
-        } else {
-          // Plain responses take the zero-copy path: framing and small
-          // payloads land in the reusable arena, large typed columns are
-          // borrowed from `result` and gathered by WriteAllV.
-          Status enc = qipc::EncodeMessageScatter(
-              *result, qipc::MsgType::kResponse, &arena, &slices);
-          if (!enc.ok()) {
-            slices.clear();
-            reply = qipc::EncodeError(enc.ToString(),
-                                      qipc::MsgType::kResponse);
-          }
-        }
-        auto encode_end = std::chrono::steady_clock::now();
-        wire.encode_us->Record(
-            std::chrono::duration<double, std::micro>(encode_end -
-                                                      encode_start)
-                .count());
-      }
-      // Async messages expect no response.
-      if (msg->type == qipc::MsgType::kAsync) {
-        ShrinkIfOversized(&request);
-        continue;
-      }
-    }
-    size_t reply_bytes = 0;
+    size_t reply_bytes = out.TotalBytes();
     bool sent;
-    if (!slices.empty()) {
-      for (const IoSlice& s : slices) reply_bytes += s.len;
-      wire.scatter_slices->Increment(slices.size());
+    if (out.slices.size() > 1) {
+      wire.scatter_slices->Increment(out.slices.size());
       wire.writev_calls->Increment();
-      sent = conn.WriteAllV(slices).ok();
+      sent = conn.WriteAllV(out.slices).ok();
     } else {
-      reply_bytes = reply.size();
-      sent = conn.WriteAll(reply).ok();
+      sent = conn.WriteAll(out.slices[0].data, out.slices[0].len).ok();
     }
-    if (sent) {
-      metrics.bytes_out->Increment(reply_bytes);
-      wire.bytes_out->Increment(reply_bytes);
-      wire.messages_out->Increment();
-      auto end = std::chrono::steady_clock::now();
-      metrics.request_us->Record(
-          std::chrono::duration<double, std::micro>(end - request_start)
-              .count());
-    }
+    if (sent) RecordReplySent(reply_bytes, request_start);
+    AdjustIdle(+1);
+    idle = true;
     if (!sent) break;
     ShrinkIfOversized(&request);
-    if (arena.data().capacity() > kConnBufferKeepBytes) arena = ByteWriter();
+    ShrinkIfOversized(&out.owned);
+    if (out.arena.data().capacity() > kConnBufferKeepBytes) {
+      out.arena = ByteWriter();
+    }
+    out.keepalive.reset();
+    out.slices.clear();
   }
-  (void)session.Close();
+  if (idle) AdjustIdle(-1);
+  if (session) (void)session->Close();
 }
+
+// ---------------------------------------------------------------------------
+// Event-loop model
+// ---------------------------------------------------------------------------
+
+/// Per-socket QIPC protocol state machine on an event loop (§3.4: each
+/// translator maintains its state as an FSM). States follow the wire
+/// phases — handshake → frame header → frame body → dispatch →
+/// write-drain — over a shared immutable transition table, so an idle
+/// connection is just this object plus its (usually empty) read buffer.
+class HyperQServer::QipcEventConn final : public EventConn {
+ public:
+  enum class St { kHandshake, kFrameHeader, kFrameBody, kDispatch, kDrain };
+  enum class Ev {
+    kCredsComplete,
+    kHeaderComplete,
+    kBodyComplete,
+    kReplyReady,
+    kAsyncDone,
+    kReplyDrained,
+  };
+
+  QipcEventConn(HyperQServer* server, EventLoop* loop, TcpConnection conn)
+      : EventConn(loop, std::move(conn)),
+        server_(server),
+        fsm_(St::kHandshake, &Table()) {}
+
+  /// Called on the loop thread right after Register() succeeds.
+  void AfterRegister() {
+    SetIdle(true);
+    ArmReadTimer();
+  }
+
+  /// Server drain (Stop): stop reading; an idle connection closes now, a
+  /// busy one finishes its in-flight request + response under a
+  /// force-close timer — the event-loop successor of the thread model's
+  /// SO_SNDTIMEO + SHUT_RDWR drain bound.
+  void BeginDrain() {
+    if (closed() || draining_) return;
+    draining_ = true;
+    PauseReads();
+    ::shutdown(fd(), SHUT_RD);
+    if (!executing_ && !write_pending()) {
+      Close();
+      return;
+    }
+    int bound = server_->options_.drain_timeout_ms > 0
+                    ? server_->options_.drain_timeout_ms
+                    : 1;
+    drain_timer_ = loop()->AddTimerAfter(std::chrono::milliseconds(bound),
+                                         [this] {
+                                           drain_timer_ = 0;
+                                           Close();
+                                         });
+  }
+
+ protected:
+  void OnData() override { Pump(); }
+
+  void OnError(const Status& error) override {
+    if (fsm_.state() == St::kHandshake) {
+      ServerMetrics::Get().handshake_failures->Increment();
+    }
+    if (IsTimeout(error)) ServerMetrics::Get().read_timeouts->Increment();
+    Close();
+  }
+
+  void OnPeerClosed() override {
+    if (fsm_.state() == St::kHandshake) {
+      ServerMetrics::Get().handshake_failures->Increment();
+    }
+    Close();
+  }
+
+  void OnWriteDrained() override {
+    if (fsm_.state() != St::kDrain) return;  // handshake ack drained
+    (void)fsm_.Fire(Ev::kReplyDrained);
+    RecordReplySent(pending_reply_bytes_, request_start_);
+    pending_reply_bytes_ = 0;
+    if (draining_) {
+      Close();
+      return;
+    }
+    ResumeReads();
+    Pump();  // pipelined frames may already be buffered
+  }
+
+  void OnClosed() override {
+    SetIdle(false);
+    if (read_timer_ != 0) {
+      loop()->CancelTimer(read_timer_);
+      read_timer_ = 0;
+    }
+    if (drain_timer_ != 0) {
+      loop()->CancelTimer(drain_timer_);
+      drain_timer_ = 0;
+    }
+    // A query still running on the exec pool holds the session; its
+    // completion callback closes it. Otherwise close here.
+    if (!executing_) CloseSession();
+    server_->OnEventConnClosed(this);
+  }
+
+ private:
+  using Table_t = TransitionTable<St, Ev>;
+
+  static const Table_t& Table() {
+    static const Table_t* t = [] {
+      auto* table = new Table_t("qipc-conn");
+      table->Add(St::kHandshake, Ev::kCredsComplete, St::kFrameHeader);
+      table->Add(St::kFrameHeader, Ev::kHeaderComplete, St::kFrameBody);
+      table->Add(St::kFrameBody, Ev::kBodyComplete, St::kDispatch);
+      table->Add(St::kDispatch, Ev::kReplyReady, St::kDrain);
+      table->Add(St::kDispatch, Ev::kAsyncDone, St::kFrameHeader);
+      table->Add(St::kDrain, Ev::kReplyDrained, St::kFrameHeader);
+      return table;
+    }();
+    return *t;
+  }
+
+  /// Drives the state machine over whatever is buffered. Decoding pulls
+  /// requests straight out of rbuf_, so a client that pipelines N queries
+  /// has them served back-to-back with no extra round trips.
+  void Pump() {
+    ServerMetrics& metrics = ServerMetrics::Get();
+    while (!closed()) {
+      size_t avail = rbuf_.size() - rpos_;
+      switch (fsm_.state()) {
+        case St::kHandshake: {
+          // NUL-terminated credential block (§4.2).
+          const uint8_t* base = rbuf_.data() + rpos_;
+          const void* nul = std::memchr(base, 0, avail);
+          if (nul == nullptr) {
+            if (avail > kMaxHandshakeBytes) {  // junk
+              metrics.handshake_failures->Increment();
+              Close();
+            }
+            return;
+          }
+          size_t creds_len =
+              static_cast<const uint8_t*>(nul) - base + 1;
+          std::vector<uint8_t> creds(base, base + creds_len);
+          ConsumeTo(rpos_ + creds_len);
+          metrics.bytes_in->Increment(creds.size());
+          Result<qipc::HandshakeRequest> hs = qipc::DecodeHandshake(creds);
+          if (!hs.ok()) {
+            metrics.handshake_failures->Increment();
+            Close();
+            return;
+          }
+          const Options& opts = server_->options_;
+          if (!opts.user.empty() && (hs->user != opts.user ||
+                                     hs->password != opts.password)) {
+            // Rejected credentials: close immediately, as kdb+ does.
+            metrics.handshake_failures->Increment();
+            Close();
+            return;
+          }
+          uint8_t accept_version = hs->version > 3 ? 3 : hs->version;
+          Outgoing ack;
+          ack.owned.push_back(accept_version);
+          ack.slices.push_back(IoSlice{ack.owned.data(), 1});
+          Send(std::move(ack));
+          if (closed()) return;
+          metrics.bytes_out->Increment(1);
+          (void)fsm_.Fire(Ev::kCredsComplete);
+          break;
+        }
+        case St::kFrameHeader: {
+          if (avail < 8) {
+            if (avail == 0) ConsumeTo(rpos_);  // allow shrink when empty
+            return;
+          }
+          Result<uint32_t> len =
+              qipc::PeekMessageLength(rbuf_.data() + rpos_);
+          if (!len.ok() || *len < 9 || *len > kMaxFrameBytes) {
+            Close();
+            return;
+          }
+          frame_len_ = *len;
+          (void)fsm_.Fire(Ev::kHeaderComplete);
+          break;
+        }
+        case St::kFrameBody: {
+          if (avail < frame_len_) return;
+          request_start_ = std::chrono::steady_clock::now();
+          std::vector<uint8_t> frame(
+              rbuf_.data() + rpos_, rbuf_.data() + rpos_ + frame_len_);
+          ConsumeTo(rpos_ + frame_len_);
+          metrics.bytes_in->Increment(frame.size());
+          (void)fsm_.Fire(Ev::kBodyComplete);
+          Dispatch(std::move(frame));
+          return;  // reads paused until the reply is on its way
+        }
+        case St::kDispatch:
+        case St::kDrain:
+          // Buffered pipelined bytes wait for the in-flight request.
+          return;
+      }
+    }
+  }
+
+  /// Hands the frame to the exec pool (strictly one in flight per
+  /// connection — the session is single-threaded) and pauses socket
+  /// reads; pipelined frames accumulate in rbuf_ meanwhile.
+  void Dispatch(std::vector<uint8_t> frame) {
+    executing_ = true;
+    SetIdle(false);
+    PauseReads();
+    if (!session_) {
+      session_ = std::shared_ptr<HyperQSession>(server_->MakeSession());
+    }
+    auto self =
+        std::static_pointer_cast<QipcEventConn>(shared_from_this());
+    // Shed decision at dispatch: the cap counts queued + executing
+    // queries, so the exec pool's queue stays bounded even when every
+    // reactor is pumping pipelined requests at it.
+    bool shed = server_->ShouldShed();
+    bool accepted = server_->exec_pool_->Submit(
+        [self, server = server_, session = session_, shed,
+         frame = std::move(frame)] {
+          auto out = std::make_shared<Outgoing>();
+          bool respond = true;
+          server->BuildReply(*session, frame, out.get(), &respond, shed);
+          server->DoneExecuting();
+          self->loop()->Post([self, out, respond] {
+            self->OnQueryDone(std::move(*out), respond);
+          });
+        });
+    if (!accepted) {  // server stopping; no more replies will flow
+      server_->DoneExecuting();
+      executing_ = false;
+      Close();
+    }
+  }
+
+  /// Completion, back on the loop thread.
+  void OnQueryDone(Outgoing out, bool respond) {
+    executing_ = false;
+    if (closed()) {
+      CloseSession();
+      return;
+    }
+    if (!respond) {  // async message: no reply on the wire
+      (void)fsm_.Fire(Ev::kAsyncDone);
+      if (draining_) {
+        if (!write_pending()) Close();
+        return;
+      }
+      SetIdle(true);
+      ResumeReads();
+      Pump();
+      return;
+    }
+    (void)fsm_.Fire(Ev::kReplyReady);
+    SetIdle(true);
+    pending_reply_bytes_ = out.TotalBytes();
+    if (out.slices.size() > 1) {
+      WireMetrics& wire = WireMetrics::Get();
+      wire.scatter_slices->Increment(out.slices.size());
+      wire.writev_calls->Increment();
+    }
+    Send(std::move(out));  // OnWriteDrained advances the machine
+  }
+
+  void CloseSession() {
+    if (session_) {
+      (void)session_->Close();
+      session_.reset();
+    }
+  }
+
+  void SetIdle(bool idle) {
+    if (idle == counted_idle_) return;
+    counted_idle_ = idle;
+    server_->AdjustIdle(idle ? +1 : -1);
+  }
+
+  void ArmReadTimer() {
+    int timeout = server_->options_.read_timeout_ms;
+    if (timeout <= 0) return;
+    read_timer_ = loop()->AddTimerAfter(std::chrono::milliseconds(timeout),
+                                        [this] { ReadTimerFired(); });
+  }
+
+  void ReadTimerFired() {
+    read_timer_ = 0;
+    if (closed() || draining_) return;
+    int timeout = server_->options_.read_timeout_ms;
+    if (executing_ || write_pending()) {
+      // Not waiting on the peer right now; check again in a full window.
+      ArmReadTimer();
+      return;
+    }
+    auto idle_for = std::chrono::duration_cast<std::chrono::milliseconds>(
+                        std::chrono::steady_clock::now() - last_activity())
+                        .count();
+    if (idle_for >= timeout) {
+      ServerMetrics::Get().read_timeouts->Increment();
+      if (fsm_.state() == St::kHandshake) {
+        ServerMetrics::Get().handshake_failures->Increment();
+      }
+      Close();
+      return;
+    }
+    read_timer_ = loop()->AddTimerAfter(
+        std::chrono::milliseconds(timeout - idle_for),
+        [this] { ReadTimerFired(); });
+  }
+
+  HyperQServer* server_;
+  Fsm<St, Ev> fsm_;
+  std::shared_ptr<HyperQSession> session_;
+  uint32_t frame_len_ = 0;
+  bool executing_ = false;
+  bool draining_ = false;
+  bool counted_idle_ = false;
+  uint64_t read_timer_ = 0;
+  uint64_t drain_timer_ = 0;
+  size_t pending_reply_bytes_ = 0;
+  std::chrono::steady_clock::time_point request_start_{};
+};
+
+Status HyperQServer::StartEventModel() {
+  loops_ = std::make_unique<EventLoopGroup>(
+      options_.event_loop_threads > 0
+          ? static_cast<size_t>(options_.event_loop_threads)
+          : 0);
+  HQ_RETURN_IF_ERROR(loops_->Start());
+  exec_pool_ = std::make_unique<TaskPool>(
+      options_.exec_threads > 0 ? static_cast<size_t>(options_.exec_threads)
+                                : 0);
+  HQ_RETURN_IF_ERROR(listener_->SetNonBlocking(true));
+  running_ = true;
+  // Single dispatcher: loop 0 owns the listener and fans accepted sockets
+  // out across the group.
+  loops_->loop(0)->Post([this] {
+    listen_watch_ = loops_->loop(0)->AddWatch(
+        listener_->fd(), EPOLLIN, [this](uint32_t) { EventAcceptReady(); });
+  });
+  return Status::OK();
+}
+
+void HyperQServer::EventAcceptReady() {
+  ServerMetrics& metrics = ServerMetrics::Get();
+  while (true) {
+    Result<std::optional<TcpConnection>> pending = listener_->TryAccept();
+    if (!pending.ok()) {
+      if (running_ && !TcpListener::IsClosedError(pending.status())) {
+        HQ_LOG(Warning) << "qipc accept failed: "
+                        << pending.status().ToString();
+      }
+      if (listen_watch_ != nullptr) {
+        loops_->loop(0)->RemoveWatch(listen_watch_);
+        listen_watch_ = nullptr;
+      }
+      return;
+    }
+    if (!pending->has_value()) return;  // accept queue drained
+    TcpConnection conn = std::move(**pending);
+    metrics.connections_total->Increment();
+    int prior = active_count_.fetch_add(1, std::memory_order_acq_rel);
+    metrics.connections_active->Set(prior + 1);
+    if (prior >= effective_max_connections() || !running_) {
+      // Non-blocking refusal: close before the accept byte, right here on
+      // the dispatcher — no thread, no registration, no syscalls beyond
+      // the close.
+      metrics.connections_refused->Increment();
+      int now = active_count_.fetch_sub(1, std::memory_order_acq_rel) - 1;
+      metrics.connections_active->Set(now);
+      continue;
+    }
+    EventLoop* target = loops_->Next();
+    auto ec = std::make_shared<QipcEventConn>(this, target,
+                                              std::move(conn));
+    {
+      std::lock_guard<std::mutex> lock(conn_mu_);
+      event_conns_.emplace(ec.get(), ec);
+    }
+    target->Post([ec] {
+      if (!ec->Register().ok()) {
+        ec->Close();
+        return;
+      }
+      ec->AfterRegister();
+    });
+  }
+}
+
+void HyperQServer::OnEventConnClosed(EventConn* conn) {
+  ServerMetrics& metrics = ServerMetrics::Get();
+  int now = active_count_.fetch_sub(1, std::memory_order_acq_rel) - 1;
+  metrics.connections_active->Set(now);
+  std::lock_guard<std::mutex> lock(conn_mu_);
+  event_conns_.erase(conn);
+  if (event_conns_.empty()) drain_cv_.notify_all();
+}
+
+void HyperQServer::StopEventModel() {
+  // 1. Stop accepting. The watch retirement must complete on the loop
+  // thread BEFORE the fd is closed here: close() racing the loop's
+  // epoll_ctl on the same descriptor is a genuine data race (and could
+  // hit a recycled fd number). The bounded wait covers the pathological
+  // case of a loop that died early (its posts are dropped).
+  {
+    auto removed = std::make_shared<std::promise<void>>();
+    std::future<void> done = removed->get_future();
+    loops_->loop(0)->Post([this, removed] {
+      if (listen_watch_ != nullptr) {
+        loops_->loop(0)->RemoveWatch(listen_watch_);
+        listen_watch_ = nullptr;
+      }
+      removed->set_value();
+    });
+    done.wait_for(std::chrono::seconds(2));
+  }
+  listener_->Close();
+  // 2. Drain every connection on its own loop: idle ones close now, busy
+  // ones finish their in-flight request + response under a per-connection
+  // force-close timer (the event-loop form of the drain bound).
+  std::vector<std::shared_ptr<EventConn>> snapshot;
+  {
+    std::lock_guard<std::mutex> lock(conn_mu_);
+    snapshot.reserve(event_conns_.size());
+    for (auto& [ptr, sp] : event_conns_) snapshot.push_back(sp);
+  }
+  for (auto& sp : snapshot) {
+    auto qc = std::static_pointer_cast<QipcEventConn>(sp);
+    qc->loop()->Post([qc] { qc->BeginDrain(); });
+  }
+  snapshot.clear();
+  // 3. Bounded wait for the drain to finish.
+  {
+    std::unique_lock<std::mutex> lock(conn_mu_);
+    drain_cv_.wait_for(
+        lock,
+        std::chrono::milliseconds(options_.drain_timeout_ms + 1000),
+        [this] { return event_conns_.empty(); });
+  }
+  // 4. Queries still running finish here (deadlines bound them); their
+  // completion posts land on loops that are still alive.
+  exec_pool_->Stop();
+  // 5. Anything that survived the drain window is closed unconditionally.
+  {
+    std::lock_guard<std::mutex> lock(conn_mu_);
+    snapshot.reserve(event_conns_.size());
+    for (auto& [ptr, sp] : event_conns_) snapshot.push_back(sp);
+  }
+  for (auto& sp : snapshot) {
+    sp->loop()->Post([sp] { sp->Close(); });
+  }
+  snapshot.clear();
+  {
+    std::unique_lock<std::mutex> lock(conn_mu_);
+    drain_cv_.wait_for(lock, std::chrono::milliseconds(1000),
+                       [this] { return event_conns_.empty(); });
+  }
+  // 6. Loops drain their remaining posts (connection releases) and exit.
+  loops_->Stop();
+  {
+    std::lock_guard<std::mutex> lock(conn_mu_);
+    event_conns_.clear();
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Client
+// ---------------------------------------------------------------------------
 
 Result<QipcClient> QipcClient::Connect(const std::string& host,
                                        uint16_t port,

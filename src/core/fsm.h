@@ -3,6 +3,7 @@
 
 #include <functional>
 #include <map>
+#include <memory>
 #include <string>
 #include <utility>
 #include <vector>
@@ -12,22 +13,72 @@
 
 namespace hyperq {
 
+/// Immutable transition table shared by every Fsm instance built over it.
+/// The per-connection state machines of the event-driven front end create
+/// one Fsm per socket; sharing the table keeps each instance to a couple
+/// of words instead of a full transition map, which is what makes an FSM
+/// per idle connection affordable at C100K scale.
+template <typename State, typename Event>
+class TransitionTable {
+ public:
+  using Callback = std::function<Status()>;
+
+  explicit TransitionTable(const char* name = "fsm") : name_(name) {}
+
+  /// Registers `from --event--> to` running `cb` (may be null). Callbacks
+  /// in a shared table must not capture per-connection state; connection
+  /// machines pass per-fire callbacks to Fsm::Fire instead.
+  void Add(State from, Event event, State to, Callback cb = nullptr) {
+    transitions_[{from, event}] = {to, std::move(cb)};
+  }
+
+  const char* name() const { return name_; }
+
+ private:
+  template <typename S, typename E>
+  friend class Fsm;
+
+  struct Transition {
+    State to;
+    Callback callback;
+  };
+
+  const char* name_;
+  std::map<std::pair<State, Event>, Transition> transitions_;
+};
+
 /// Finite State Machine as described for the Cross Compiler (§3.4): each
 /// translator process (Protocol Translator, Query Translator) maintains its
 /// internal state as an FSM; firing an event runs the transition's callback
 /// and advances the state, giving the re-entrant, callback-driven structure
 /// the paper attributes to XC.
+///
+/// Two ownership modes:
+///   - Fsm(initial, name): the machine owns its own table (the original
+///     behavior; AddTransition builds it) and records visited states.
+///   - Fsm(initial, &shared_table): the machine borrows an immutable
+///     shared table and records no history — the lightweight
+///     per-connection mode (long-lived connections fire transitions
+///     indefinitely; an unbounded history would be a slow leak).
 template <typename State, typename Event>
 class Fsm {
  public:
   using Callback = std::function<Status()>;
+  using Table = TransitionTable<State, Event>;
 
   explicit Fsm(State initial, const char* name = "fsm")
-      : state_(initial), name_(name) {}
+      : state_(initial),
+        owned_table_(std::make_unique<Table>(name)),
+        table_(owned_table_.get()),
+        record_history_(true) {}
 
-  /// Registers `from --event--> to` running `cb` (may be null).
+  Fsm(State initial, const Table* table)
+      : state_(initial), table_(table), record_history_(false) {}
+
+  /// Registers `from --event--> to` running `cb` (may be null). Only valid
+  /// on a machine that owns its table.
   void AddTransition(State from, Event event, State to, Callback cb) {
-    transitions_[{from, event}] = {to, std::move(cb)};
+    owned_table_->Add(from, event, to, std::move(cb));
   }
 
   State state() const { return state_; }
@@ -37,9 +88,9 @@ class Fsm {
   /// otherwise runs the callback and commits the new state. A failing
   /// callback leaves the machine in the source state.
   Status Fire(Event event) {
-    auto it = transitions_.find({state_, event});
-    if (it == transitions_.end()) {
-      return ProtocolError(StrCat(name_, ": event ",
+    auto it = table_->transitions_.find({state_, event});
+    if (it == table_->transitions_.end()) {
+      return ProtocolError(StrCat(table_->name_, ": event ",
                                   static_cast<int>(event),
                                   " is invalid in state ",
                                   static_cast<int>(state_)));
@@ -48,22 +99,19 @@ class Fsm {
       HQ_RETURN_IF_ERROR(it->second.callback());
     }
     state_ = it->second.to;
-    history_.push_back(state_);
+    if (record_history_) history_.push_back(state_);
     return Status::OK();
   }
 
-  /// States visited (after the initial one); used by tests.
+  /// States visited (after the initial one); used by tests. Empty for
+  /// machines over a shared table (history recording is off there).
   const std::vector<State>& history() const { return history_; }
 
  private:
-  struct Transition {
-    State to;
-    Callback callback;
-  };
-
   State state_;
-  const char* name_;
-  std::map<std::pair<State, Event>, Transition> transitions_;
+  std::unique_ptr<Table> owned_table_;
+  const Table* table_;
+  bool record_history_;
   std::vector<State> history_;
 };
 

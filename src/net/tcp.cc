@@ -1,6 +1,7 @@
 #include "net/tcp.h"
 
 #include <arpa/inet.h>
+#include <fcntl.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
 #include <sys/socket.h>
@@ -21,6 +22,18 @@ namespace {
 
 Status Errno(const char* what) {
   return NetworkError(StrCat(what, ": ", std::strerror(errno)));
+}
+
+constexpr const char kListenerClosedMsg[] = "accept: listener closed";
+
+Status SetFdNonBlocking(int fd, bool nonblocking) {
+  int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0) return Errno("fcntl(F_GETFL)");
+  int want = nonblocking ? (flags | O_NONBLOCK) : (flags & ~O_NONBLOCK);
+  if (want != flags && ::fcntl(fd, F_SETFL, want) < 0) {
+    return Errno("fcntl(F_SETFL)");
+  }
+  return Status::OK();
 }
 
 }  // namespace
@@ -77,6 +90,108 @@ Status TcpConnection::SetWriteTimeout(int millis) {
     return Errno("setsockopt(SO_SNDTIMEO)");
   }
   return Status::OK();
+}
+
+Status TcpConnection::SetNonBlocking(bool nonblocking) {
+  return SetFdNonBlocking(fd_, nonblocking);
+}
+
+TcpConnection::IoOutcome TcpConnection::ReadSomeInto(uint8_t* dst,
+                                                     size_t max, size_t* n,
+                                                     Status* status) {
+  *n = 0;
+  if (FaultHit f = CheckFault("net.read");
+      f.kind == FaultHit::Kind::kError) {
+    *status = f.error;
+    return IoOutcome::kError;
+  }
+  while (true) {
+    ssize_t got = ::recv(fd_, dst, max, 0);
+    if (got < 0) {
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        return IoOutcome::kWouldBlock;
+      }
+      *status = Errno("recv");
+      return IoOutcome::kError;
+    }
+    if (got == 0) return IoOutcome::kEof;
+    *n = static_cast<size_t>(got);
+    return IoOutcome::kOk;
+  }
+}
+
+TcpConnection::IoOutcome TcpConnection::WriteSomeV(const IoSlice* slices,
+                                                   size_t count,
+                                                   size_t* idx, size_t* off,
+                                                   Status* status) {
+  if (FaultHit f = CheckFault("net.write"); f.kind != FaultHit::Kind::kNone) {
+    if (f.kind == FaultHit::Kind::kError) {
+      *status = f.error;
+      return IoOutcome::kError;
+    }
+    // Short write: transmit a real prefix of what remains, then fail the
+    // connection — identical contract to the blocking WriteAllV.
+    size_t budget = f.short_len;
+    for (size_t i = *idx; i < count && budget > 0; ++i) {
+      size_t skip = i == *idx ? *off : 0;
+      if (slices[i].len <= skip) continue;
+      size_t want = std::min(budget, slices[i].len - skip);
+      const uint8_t* p = static_cast<const uint8_t*>(slices[i].data) + skip;
+      size_t sent = 0;
+      while (sent < want) {
+        ssize_t w = ::send(fd_, p + sent, want - sent, MSG_NOSIGNAL);
+        if (w < 0) {
+          if (errno == EINTR) continue;
+          break;  // best-effort prefix; the injected error wins anyway
+        }
+        sent += static_cast<size_t>(w);
+      }
+      budget -= want;
+    }
+    *status = NetworkError(
+        StrCat("injected short write: ", f.short_len, "-byte prefix sent"));
+    return IoOutcome::kError;
+  }
+  constexpr size_t kMaxIov = 64;
+  iovec iov[kMaxIov];
+  while (*idx < count) {
+    size_t n_iov = 0;
+    for (size_t j = *idx; j < count && n_iov < kMaxIov; ++j) {
+      size_t skip = j == *idx ? *off : 0;
+      if (slices[j].len <= skip) continue;
+      iov[n_iov].iov_base =
+          const_cast<uint8_t*>(static_cast<const uint8_t*>(slices[j].data)) +
+          skip;
+      iov[n_iov].iov_len = slices[j].len - skip;
+      ++n_iov;
+    }
+    if (n_iov == 0) {  // only empty slices remained
+      *idx = count;
+      *off = 0;
+      break;
+    }
+    msghdr msg{};
+    msg.msg_iov = iov;
+    msg.msg_iovlen = n_iov;
+    ssize_t n = ::sendmsg(fd_, &msg, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        return IoOutcome::kWouldBlock;
+      }
+      *status = Errno("sendmsg");
+      return IoOutcome::kError;
+    }
+    size_t done = static_cast<size_t>(n);
+    while (*idx < count && done >= slices[*idx].len - *off) {
+      done -= slices[*idx].len - *off;
+      ++*idx;
+      *off = 0;
+    }
+    *off += done;
+  }
+  return IoOutcome::kOk;
 }
 
 Status TcpConnection::WriteAll(const void* data, size_t len) {
@@ -241,7 +356,9 @@ Result<TcpListener> TcpListener::Listen(uint16_t port) {
     ::close(fd);
     return Errno("bind");
   }
-  if (::listen(fd, 16) != 0) {
+  // 512-deep accept backlog: a C10K bench opens thousands of connections in
+  // a burst, far faster than a single dispatcher can drain 16 at a time.
+  if (::listen(fd, 512) != 0) {
     ::close(fd);
     return Errno("listen");
   }
@@ -258,16 +375,57 @@ TcpListener::~TcpListener() { Close(); }
 Result<TcpConnection> TcpListener::Accept() {
   while (true) {
     int fd = fd_.load(std::memory_order_acquire);
-    if (fd < 0) return NetworkError("accept: listener closed");
+    if (fd < 0) return NetworkError(kListenerClosedMsg);
     int client = ::accept(fd, nullptr, nullptr);
     if (client < 0) {
       if (errno == EINTR) continue;
+      // Close() may race the accept(): the kernel then reports EBADF (fd
+      // already closed) or EINVAL (no longer listening after shutdown).
+      // Both mean orderly teardown, not a socket failure.
+      if (fd_.load(std::memory_order_acquire) < 0 || errno == EBADF ||
+          errno == EINVAL) {
+        return NetworkError(kListenerClosedMsg);
+      }
       return Errno("accept");
     }
     int one = 1;
     ::setsockopt(client, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
     return TcpConnection(client);
   }
+}
+
+bool TcpListener::IsClosedError(const Status& status) {
+  return status.message().find(kListenerClosedMsg) != std::string::npos;
+}
+
+Result<std::optional<TcpConnection>> TcpListener::TryAccept() {
+  while (true) {
+    int fd = fd_.load(std::memory_order_acquire);
+    if (fd < 0) return NetworkError(kListenerClosedMsg);
+    int client = ::accept(fd, nullptr, nullptr);
+    if (client < 0) {
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        return std::optional<TcpConnection>();
+      }
+      // ECONNABORTED: the peer gave up while queued — skip it, keep going.
+      if (errno == ECONNABORTED) continue;
+      if (fd_.load(std::memory_order_acquire) < 0 || errno == EBADF ||
+          errno == EINVAL) {
+        return NetworkError(kListenerClosedMsg);
+      }
+      return Errno("accept");
+    }
+    int one = 1;
+    ::setsockopt(client, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    return std::optional<TcpConnection>(TcpConnection(client));
+  }
+}
+
+Status TcpListener::SetNonBlocking(bool nonblocking) {
+  int fd = fd_.load(std::memory_order_acquire);
+  if (fd < 0) return NetworkError(kListenerClosedMsg);
+  return SetFdNonBlocking(fd, nonblocking);
 }
 
 void TcpListener::Close() {

@@ -4,6 +4,7 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -73,6 +74,33 @@ class TcpConnection {
   /// write fails with NetworkError "send timed out".
   Status SetWriteTimeout(int millis);
 
+  /// Switches the socket to non-blocking mode (O_NONBLOCK) for use on an
+  /// epoll event loop. The blocking Read*/Write* calls above then surface
+  /// empty sockets as "timed out" errors; event-driven callers use the
+  /// *Some primitives below instead.
+  Status SetNonBlocking(bool nonblocking);
+
+  /// Non-blocking read outcome: distinguishes "nothing buffered right now"
+  /// (kWouldBlock) from orderly shutdown (kEof) and real errors.
+  enum class IoOutcome { kOk, kWouldBlock, kEof, kError };
+
+  /// Reads at most `max` bytes into caller memory without blocking.
+  /// Returns kOk with *n > 0, kWouldBlock (*n == 0), kEof on peer close,
+  /// or kError (*status carries the errno text; also used for injected
+  /// `net.read` faults).
+  IoOutcome ReadSomeInto(uint8_t* dst, size_t max, size_t* n,
+                         Status* status);
+
+  /// Non-blocking scatter write: sends as much of slices[idx..] (starting
+  /// `off` bytes into slices[idx]) as the socket accepts, advancing the
+  /// (*idx, *off) cursor in place. Returns kOk when everything was
+  /// written, kWouldBlock when the socket buffer filled (resume on
+  /// EPOLLOUT), or kError. Injected `net.write` faults surface here
+  /// exactly as on the blocking path: error, or a transmitted prefix
+  /// followed by an error.
+  IoOutcome WriteSomeV(const IoSlice* slices, size_t count, size_t* idx,
+                       size_t* off, Status* status);
+
   void Close();
   bool ok() const { return fd_ >= 0; }
   int fd() const { return fd_; }
@@ -92,9 +120,25 @@ class TcpListener {
   TcpListener(const TcpListener&) = delete;
   TcpListener& operator=(const TcpListener&) = delete;
 
-  /// Blocks until a client connects (fails when the listener is closed).
+  /// Blocks until a client connects. Fails with the distinguished
+  /// "listener closed" NetworkError after Close() — including the benign
+  /// EBADF/EINVAL the kernel reports when the descriptor is torn down
+  /// mid-accept — so shutdown never logs as a real accept failure.
   Result<TcpConnection> Accept();
 
+  /// True when `status` is Accept()/TryAccept() reporting an orderly
+  /// Close() rather than a genuine socket failure.
+  static bool IsClosedError(const Status& status);
+
+  /// Non-blocking accept for the event loop: returns a connection, or an
+  /// empty optional when no client is pending (EAGAIN). The listener must
+  /// have been put in non-blocking mode with SetNonBlocking().
+  Result<std::optional<TcpConnection>> TryAccept();
+
+  /// Switches the listening socket to non-blocking mode.
+  Status SetNonBlocking(bool nonblocking);
+
+  int fd() const { return fd_.load(std::memory_order_acquire); }
   uint16_t port() const { return port_; }
 
   /// Safe to call from a thread other than the one blocked in Accept():

@@ -1,15 +1,20 @@
 #include "protocol/pgwire/pgwire.h"
 
+#include <sys/epoll.h>
 #include <sys/socket.h>
 
 #include <charconv>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <future>
+#include <optional>
 
 #include <algorithm>
 
 #include "common/fault.h"
 #include "common/logging.h"
+#include "core/fsm.h"
 #include "sqldb/eval.h"
 #include "common/strings.h"
 
@@ -140,6 +145,10 @@ std::vector<uint8_t> ReadyBody() {
   w.PutU8('I');
   return w.Take();
 }
+
+/// Fixed md5 salt (toy auth flow; see ToyMd5). One constant so the
+/// blocking and event-driven handshakes challenge identically.
+constexpr char kPgAuthSalt[] = "hqs!";
 
 /// Minimum string-cell size worth its own iovec entry in the gather
 /// write; smaller cells are cheaper to copy into the arena.
@@ -297,6 +306,79 @@ Result<sqldb::Datum> DatumFromText(sqldb::SqlType type,
       return Datum::String(type, text);
     }
   }
+}
+
+/// Builds the complete reply to one simple-query message body —
+/// RowDescription/DataRows/CommandComplete on success, ErrorResponse on
+/// failure, always followed by ReadyForQuery — into `out`. Framing lives
+/// in out->arena with lengths patched in place; large string cells are
+/// borrowed from the result, which out->keepalive pins until the bytes
+/// are on the wire. Both io models call this, which is what keeps their
+/// wire traffic byte-identical by construction.
+void BuildQueryReply(sqldb::Database* db, sqldb::Session* session,
+                     const std::vector<uint8_t>& body, Outgoing* out) {
+  out->owned.clear();
+  out->keepalive.reset();
+  out->slices.clear();
+  out->idx = 0;
+  out->off = 0;
+
+  ByteReader reader(body);
+  Result<std::string> sql = reader.GetCString();
+  Status error = Status::OK();
+  std::shared_ptr<sqldb::QueryResult> result;
+  if (!sql.ok()) {
+    error = sql.status();
+  } else {
+    Result<sqldb::QueryResult> res = db->Execute(session, *sql);
+    if (!res.ok()) {
+      error = res.status();
+    } else {
+      result = std::make_shared<sqldb::QueryResult>(std::move(*res));
+    }
+  }
+
+  ByteWriter& arena = out->arena;
+  if (!error.ok()) {
+    arena.Clear();
+    WriteMessage(&arena, kMsgErrorResponse, ErrorBody(error));
+    WriteMessage(&arena, kMsgReadyForQuery, ReadyBody());
+    out->slices.push_back(IoSlice{arena.data().data(), arena.size()});
+    return;
+  }
+
+  // The whole response is framed in the arena with lengths patched in
+  // place, large string cells borrowed from `result`, and reaches the
+  // socket in one gather write.
+  ResponseSink sink(&arena);
+  if (result->has_rows) {
+    sink.BeginMessage(kMsgRowDescription);
+    arena.PutI16BE(static_cast<int16_t>(result->columns.size()));
+    for (const auto& c : result->columns) {
+      arena.PutCString(c.name);
+      arena.PutI32BE(0);
+      arena.PutI16BE(0);
+      arena.PutI32BE(OidFor(c.type));
+      arena.PutI16BE(-1);
+      arena.PutI32BE(-1);
+      arena.PutI16BE(0);  // text format
+    }
+    sink.EndMessage();
+    for (const auto& row : result->rows) {
+      sink.BeginMessage(kMsgDataRow);
+      arena.PutI16BE(static_cast<int16_t>(row.size()));
+      for (const auto& d : row) PutTextCell(&sink, d);
+      sink.EndMessage();
+    }
+  }
+  sink.BeginMessage(kMsgCommandComplete);
+  arena.PutCString(result->command_tag);
+  sink.EndMessage();
+  sink.BeginMessage(kMsgReadyForQuery);
+  arena.PutU8('I');
+  sink.EndMessage();
+  sink.Finish(&out->slices);
+  out->keepalive = std::move(result);  // pins the borrowed string cells
 }
 
 }  // namespace
@@ -470,6 +552,9 @@ Status PgWireServer::Start(uint16_t port) {
   HQ_ASSIGN_OR_RETURN(TcpListener listener, TcpListener::Listen(port));
   port_ = listener.port();
   listener_ = std::make_unique<TcpListener>(std::move(listener));
+  if (options_.io_model == IoModel::kEventLoop) {
+    return StartEventModel();
+  }
   running_ = true;
   accept_thread_ = std::make_unique<std::thread>([this]() { AcceptLoop(); });
   return Status::OK();
@@ -477,6 +562,14 @@ Status PgWireServer::Start(uint16_t port) {
 
 void PgWireServer::Stop() {
   if (!running_.exchange(false)) return;
+  if (options_.io_model == IoModel::kEventLoop) {
+    StopEventModel();
+    return;
+  }
+  StopThreadModel();
+}
+
+void PgWireServer::StopThreadModel() {
   if (listener_) listener_->Close();
   if (accept_thread_ && accept_thread_->joinable()) accept_thread_->join();
   {
@@ -494,10 +587,18 @@ void PgWireServer::AcceptLoop() {
   while (running_) {
     Result<TcpConnection> conn = listener_->Accept();
     if (!conn.ok()) {
-      if (running_) {
+      // Stop() closing the listener surfaces as a benign "listener
+      // closed" error; anything else is a real accept failure.
+      if (running_ && !TcpListener::IsClosedError(conn.status())) {
         HQ_LOG(Warning) << "pg accept failed: " << conn.status().ToString();
       }
       return;
+    }
+    int prior = active_count_.fetch_add(1, std::memory_order_acq_rel);
+    if (prior >= effective_max_connections()) {
+      // Refused: the socket closes before any protocol byte.
+      active_count_.fetch_sub(1, std::memory_order_acq_rel);
+      continue;
     }
     workers_.emplace_back(
         [this, c = std::move(*conn)]() mutable {
@@ -534,7 +635,7 @@ Status PgWireServer::Handshake(TcpConnection* conn) {
     return conn->WriteAll(out.data());
   };
 
-  std::string salt = "hqs!";
+  std::string salt = kPgAuthSalt;
   if (options_.auth == AuthMode::kCleartext) {
     HQ_RETURN_IF_ERROR(send(kMsgAuthentication, AuthBody(3)));
   } else if (options_.auth == AuthMode::kMd5) {
@@ -591,7 +692,10 @@ void PgWireServer::HandleConnection(TcpConnection conn) {
   struct Guard {
     PgWireServer* s;
     int fd;
-    ~Guard() { s->UnregisterFd(fd); }
+    ~Guard() {
+      s->UnregisterFd(fd);
+      s->active_count_.fetch_sub(1, std::memory_order_acq_rel);
+    }
   } guard{this, conn.fd()};
   Status hs = Handshake(&conn);
   if (!hs.ok()) {
@@ -599,78 +703,486 @@ void PgWireServer::HandleConnection(TcpConnection conn) {
     return;
   }
   auto session = db_->CreateSession();
-  // Per-connection arena and slice list, reused across queries; bounded
-  // so one oversized result set does not pin its peak footprint.
+  // Per-connection reply buffers, reused across queries; bounded so one
+  // oversized result set does not pin its peak footprint.
   constexpr size_t kArenaKeepBytes = 1u << 20;
-  ByteWriter out;
-  std::vector<IoSlice> slices;
+  Outgoing out;
   while (running_) {
     Result<WireMessage> msg = ReadMessage(&conn);
     if (!msg.ok()) return;  // disconnect
     if (msg->type == kMsgTerminate) return;
     if (msg->type != kMsgQuery) continue;
-    if (out.data().capacity() > kArenaKeepBytes) out = ByteWriter();
-
-    ByteReader r(msg->body);
-    Result<std::string> sql = r.GetCString();
-    out.Clear();
-    if (!sql.ok()) {
-      WriteMessage(&out, kMsgErrorResponse, ErrorBody(sql.status()));
-      WriteMessage(&out, kMsgReadyForQuery, ReadyBody());
-      if (!conn.WriteAll(out.data()).ok()) return;
-      continue;
+    if (out.arena.data().capacity() > kArenaKeepBytes) {
+      out.arena = ByteWriter();
     }
-    Result<sqldb::QueryResult> result = db_->Execute(session.get(), *sql);
-    if (!result.ok()) {
-      WriteMessage(&out, kMsgErrorResponse, ErrorBody(result.status()));
-      WriteMessage(&out, kMsgReadyForQuery, ReadyBody());
-      if (!conn.WriteAll(out.data()).ok()) return;
-      continue;
-    }
-    // The whole response — RowDescription, every DataRow, CommandComplete,
-    // ReadyForQuery — is framed in the arena with lengths patched in
-    // place, large string cells borrowed from `result`, and reaches the
-    // socket in one gather write.
-    ResponseSink sink(&out);
-    if (result->has_rows) {
-      sink.BeginMessage(kMsgRowDescription);
-      out.PutI16BE(static_cast<int16_t>(result->columns.size()));
-      for (const auto& c : result->columns) {
-        out.PutCString(c.name);
-        out.PutI32BE(0);
-        out.PutI16BE(0);
-        out.PutI32BE(OidFor(c.type));
-        out.PutI16BE(-1);
-        out.PutI32BE(-1);
-        out.PutI16BE(0);  // text format
-      }
-      sink.EndMessage();
-      for (const auto& row : result->rows) {
-        sink.BeginMessage(kMsgDataRow);
-        out.PutI16BE(static_cast<int16_t>(row.size()));
-        for (const auto& d : row) PutTextCell(&sink, d);
-        sink.EndMessage();
-      }
-    }
-    sink.BeginMessage(kMsgCommandComplete);
-    out.PutCString(result->command_tag);
-    sink.EndMessage();
-    sink.BeginMessage(kMsgReadyForQuery);
-    out.PutU8('I');
-    sink.EndMessage();
-    sink.Finish(&slices);
+    BuildQueryReply(db_, session.get(), msg->body, &out);
     // An egress fault behaves as the transport dying mid-response: the
     // connection is dropped, never patched over with a second frame on a
     // stream whose position is unknown.
     if (FaultHit f = CheckFault("pgwire.write");
         f.kind != FaultHit::Kind::kNone) {
-      if (f.kind == FaultHit::Kind::kShortWrite && !slices.empty()) {
-        (void)conn.WriteAll(slices[0].data,
-                            std::min(f.short_len, slices[0].len));
+      if (f.kind == FaultHit::Kind::kShortWrite && !out.slices.empty()) {
+        (void)conn.WriteAll(out.slices[0].data,
+                            std::min(f.short_len, out.slices[0].len));
       }
       return;
     }
-    if (!conn.WriteAllV(slices).ok()) return;
+    if (!conn.WriteAllV(out.slices).ok()) return;
+    out.keepalive.reset();  // release the result's row set
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Event-loop model
+// ---------------------------------------------------------------------------
+
+/// Per-socket PG v3 protocol state machine on an event loop, the pgwire
+/// counterpart of the QIPC QipcEventConn (§3.4: each protocol translator
+/// maintains its state as an FSM). States follow the wire phases —
+/// startup → password-wait → ready → execute → respond — over a shared
+/// immutable transition table.
+class PgWireServer::PgEventConn final : public EventConn {
+ public:
+  enum class St { kStartup, kPasswordWait, kReady, kExecute, kRespond };
+  enum class Ev {
+    kAuthRequested,
+    kAuthGranted,
+    kQueryReceived,
+    kReplyReady,
+    kReplyDrained,
+  };
+
+  PgEventConn(PgWireServer* server, EventLoop* loop, TcpConnection conn)
+      : EventConn(loop, std::move(conn)),
+        server_(server),
+        fsm_(St::kStartup, &Table()) {}
+
+  /// Server drain (Stop): stop reading; an idle connection closes now, a
+  /// busy one finishes its in-flight query + response under a
+  /// force-close timer.
+  void BeginDrain() {
+    if (closed() || draining_) return;
+    draining_ = true;
+    PauseReads();
+    ::shutdown(fd(), SHUT_RD);
+    if (!executing_ && !write_pending()) {
+      Close();
+      return;
+    }
+    int bound = server_->options_.drain_timeout_ms > 0
+                    ? server_->options_.drain_timeout_ms
+                    : 1;
+    drain_timer_ = loop()->AddTimerAfter(std::chrono::milliseconds(bound),
+                                         [this] {
+                                           drain_timer_ = 0;
+                                           Close();
+                                         });
+  }
+
+ protected:
+  void OnData() override { Pump(); }
+
+  void OnWriteDrained() override {
+    if (close_after_reply_) {
+      Close();
+      return;
+    }
+    if (fsm_.state() != St::kRespond) return;  // handshake frames drained
+    (void)fsm_.Fire(Ev::kReplyDrained);
+    if (draining_) {
+      Close();
+      return;
+    }
+    ResumeReads();
+    Pump();  // pipelined queries may already be buffered
+  }
+
+  void OnClosed() override {
+    if (drain_timer_ != 0) {
+      loop()->CancelTimer(drain_timer_);
+      drain_timer_ = 0;
+    }
+    server_->OnEventConnClosed(this);
+  }
+
+ private:
+  using Table_t = TransitionTable<St, Ev>;
+
+  static const Table_t& Table() {
+    static const Table_t* t = [] {
+      auto* table = new Table_t("pgwire-conn");
+      table->Add(St::kStartup, Ev::kAuthRequested, St::kPasswordWait);
+      table->Add(St::kStartup, Ev::kAuthGranted, St::kReady);
+      table->Add(St::kPasswordWait, Ev::kAuthGranted, St::kReady);
+      table->Add(St::kReady, Ev::kQueryReceived, St::kExecute);
+      table->Add(St::kExecute, Ev::kReplyReady, St::kRespond);
+      table->Add(St::kRespond, Ev::kReplyDrained, St::kReady);
+      return table;
+    }();
+    return *t;
+  }
+
+  /// Drives the state machine over whatever is buffered; pipelined
+  /// queries decode straight out of rbuf_.
+  void Pump() {
+    while (!closed()) {
+      switch (fsm_.state()) {
+        case St::kStartup: {
+          size_t avail = rbuf_.size() - rpos_;
+          if (avail < 4) return;
+          ByteReader lr(rbuf_.data() + rpos_, 4);
+          uint32_t len = *lr.GetU32BE();
+          if (len < 8 || len > (1u << 20)) {  // implausible startup length
+            Close();
+            return;
+          }
+          if (avail < len) return;
+          std::vector<uint8_t> body(rbuf_.data() + rpos_ + 4,
+                                    rbuf_.data() + rpos_ + len);
+          ConsumeTo(rpos_ + len);
+          if (!ProcessStartup(body)) return;
+          break;
+        }
+        case St::kPasswordWait: {
+          std::optional<WireMessage> msg;
+          if (!ExtractMessage(&msg)) return;
+          if (!msg.has_value()) return;  // incomplete
+          if (!ProcessPassword(*msg)) return;
+          break;
+        }
+        case St::kReady: {
+          std::optional<WireMessage> msg;
+          if (!ExtractMessage(&msg)) return;
+          if (!msg.has_value()) return;  // incomplete
+          if (msg->type == kMsgTerminate) {
+            Close();
+            return;
+          }
+          if (msg->type != kMsgQuery) break;  // ignore
+          (void)fsm_.Fire(Ev::kQueryReceived);
+          Dispatch(std::move(msg->body));
+          return;  // reads paused until the reply is on its way
+        }
+        case St::kExecute:
+        case St::kRespond:
+          // Buffered pipelined bytes wait for the in-flight query.
+          return;
+      }
+    }
+  }
+
+  /// Extracts one complete typed message from rbuf_ if available.
+  /// Returns false when the connection was closed (framing violation or
+  /// injected pgwire.read fault — the fault site the blocking
+  /// ReadMessage checks per message).
+  bool ExtractMessage(std::optional<WireMessage>* out) {
+    size_t avail = rbuf_.size() - rpos_;
+    if (avail < 5) {
+      if (avail == 0) ConsumeTo(rpos_);  // allow shrink when empty
+      return true;
+    }
+    const uint8_t* base = rbuf_.data() + rpos_;
+    ByteReader r(base + 1, 4);
+    uint32_t len = *r.GetU32BE();
+    if (len < 4 || len > (64u << 20)) {
+      Close();  // implausible PG message length
+      return false;
+    }
+    size_t total = 1 + static_cast<size_t>(len);
+    if (avail < total) return true;
+    if (FaultHit f = CheckFault("pgwire.read");
+        f.kind == FaultHit::Kind::kError) {
+      Close();
+      return false;
+    }
+    WireMessage msg;
+    msg.type = static_cast<char>(base[0]);
+    msg.body.assign(base + 5, base + total);
+    ConsumeTo(rpos_ + total);
+    *out = std::move(msg);
+    return true;
+  }
+
+  /// Startup packet: protocol check, user extraction, auth challenge (or
+  /// immediate grant under trust). Same bytes as the blocking Handshake.
+  bool ProcessStartup(const std::vector<uint8_t>& body) {
+    ByteReader r(body);
+    Result<int32_t> protocol = r.GetI32BE();
+    if (!protocol.ok() || *protocol != kProtocolVersion3) {
+      Close();
+      return false;
+    }
+    while (!r.AtEnd()) {
+      Result<std::string> key = r.GetCString();
+      if (!key.ok() || key->empty()) break;
+      Result<std::string> value = r.GetCString();
+      if (!value.ok()) {
+        Close();
+        return false;
+      }
+      if (*key == "user") user_ = *value;
+    }
+    const ServerOptions& opts = server_->options_;
+    if (opts.auth == AuthMode::kCleartext) {
+      ByteWriter w;
+      WriteMessage(&w, kMsgAuthentication, AuthBody(3));
+      SendOwned(w.Take());
+      if (!closed()) (void)fsm_.Fire(Ev::kAuthRequested);
+      return !closed();
+    }
+    if (opts.auth == AuthMode::kMd5) {
+      ByteWriter b;
+      b.PutI32BE(5);
+      b.PutString(kPgAuthSalt);
+      ByteWriter w;
+      WriteMessage(&w, kMsgAuthentication, b.Take());
+      SendOwned(w.Take());
+      if (!closed()) (void)fsm_.Fire(Ev::kAuthRequested);
+      return !closed();
+    }
+    GrantAccess();  // trust
+    return !closed();
+  }
+
+  bool ProcessPassword(const WireMessage& pw) {
+    if (pw.type != kMsgPassword) {
+      Close();
+      return false;
+    }
+    ByteReader pr(pw.body);
+    Result<std::string> given = pr.GetCString();
+    if (!given.ok()) {
+      Close();
+      return false;
+    }
+    const ServerOptions& opts = server_->options_;
+    bool ok;
+    if (opts.auth == AuthMode::kCleartext) {
+      ok = *given == opts.password && user_ == opts.user;
+    } else {
+      std::string expect =
+          "md5" +
+          ToyMd5(ToyMd5(opts.password + opts.user) + kPgAuthSalt);
+      ok = *given == expect;
+    }
+    if (!ok) {
+      ByteWriter w;
+      WriteMessage(&w, kMsgErrorResponse,
+                   ErrorBody(AuthError("password authentication failed")));
+      close_after_reply_ = true;
+      PauseReads();
+      SendOwned(w.Take());
+      return false;
+    }
+    GrantAccess();
+    return !closed();
+  }
+
+  /// AuthenticationOk + ParameterStatus + ReadyForQuery.
+  void GrantAccess() {
+    ByteWriter w;
+    WriteMessage(&w, kMsgAuthentication, AuthBody(0));
+    ByteWriter ps;
+    ps.PutCString("server_version");
+    ps.PutCString("9.2-hyperq-mini");
+    WriteMessage(&w, kMsgParameterStatus, ps.Take());
+    WriteMessage(&w, kMsgReadyForQuery, ReadyBody());
+    SendOwned(w.Take());
+    if (!closed()) (void)fsm_.Fire(Ev::kAuthGranted);
+  }
+
+  void SendOwned(std::vector<uint8_t> bytes) {
+    Outgoing out;
+    out.owned = std::move(bytes);
+    out.slices.push_back(IoSlice{out.owned.data(), out.owned.size()});
+    Send(std::move(out));
+  }
+
+  /// Hands the query to the exec pool (strictly one in flight per
+  /// connection — the sqldb session is single-threaded) and pauses
+  /// socket reads; pipelined queries accumulate in rbuf_ meanwhile.
+  void Dispatch(std::vector<uint8_t> body) {
+    executing_ = true;
+    PauseReads();
+    if (!session_) {
+      session_ = std::shared_ptr<sqldb::Session>(server_->db_->CreateSession());
+    }
+    auto self = std::static_pointer_cast<PgEventConn>(shared_from_this());
+    bool accepted = server_->exec_pool_->Submit(
+        [self, db = server_->db_, session = session_,
+         body = std::move(body)] {
+          auto out = std::make_shared<Outgoing>();
+          BuildQueryReply(db, session.get(), body, out.get());
+          self->loop()->Post(
+              [self, out] { self->OnQueryDone(std::move(*out)); });
+        });
+    if (!accepted) {  // server stopping; no more replies will flow
+      executing_ = false;
+      Close();
+    }
+  }
+
+  /// Completion, back on the loop thread.
+  void OnQueryDone(Outgoing out) {
+    executing_ = false;
+    if (closed()) return;
+    (void)fsm_.Fire(Ev::kReplyReady);
+    // An egress fault behaves as the transport dying mid-response
+    // (optionally after a short prefix) — same semantics as the
+    // blocking model's pgwire.write site.
+    if (FaultHit f = CheckFault("pgwire.write");
+        f.kind != FaultHit::Kind::kNone) {
+      if (f.kind == FaultHit::Kind::kShortWrite && !out.slices.empty()) {
+        size_t n = std::min(f.short_len, out.slices[0].len);
+        const uint8_t* p = static_cast<const uint8_t*>(out.slices[0].data);
+        Outgoing prefix;
+        prefix.owned.assign(p, p + n);
+        prefix.slices.push_back(IoSlice{prefix.owned.data(), n});
+        close_after_reply_ = true;
+        Send(std::move(prefix));
+        return;
+      }
+      Close();
+      return;
+    }
+    Send(std::move(out));  // OnWriteDrained advances the machine
+  }
+
+  PgWireServer* server_;
+  Fsm<St, Ev> fsm_;
+  std::shared_ptr<sqldb::Session> session_;
+  std::string user_;
+  bool executing_ = false;
+  bool draining_ = false;
+  bool close_after_reply_ = false;
+  uint64_t drain_timer_ = 0;
+};
+
+Status PgWireServer::StartEventModel() {
+  loops_ = std::make_unique<EventLoopGroup>(
+      options_.event_loop_threads > 0
+          ? static_cast<size_t>(options_.event_loop_threads)
+          : 0);
+  HQ_RETURN_IF_ERROR(loops_->Start());
+  exec_pool_ = std::make_unique<TaskPool>(
+      options_.exec_threads > 0 ? static_cast<size_t>(options_.exec_threads)
+                                : 0);
+  HQ_RETURN_IF_ERROR(listener_->SetNonBlocking(true));
+  running_ = true;
+  // Single dispatcher: loop 0 owns the listener and fans accepted sockets
+  // out across the group.
+  loops_->loop(0)->Post([this] {
+    listen_watch_ = loops_->loop(0)->AddWatch(
+        listener_->fd(), EPOLLIN, [this](uint32_t) { EventAcceptReady(); });
+  });
+  return Status::OK();
+}
+
+void PgWireServer::EventAcceptReady() {
+  while (true) {
+    Result<std::optional<TcpConnection>> pending = listener_->TryAccept();
+    if (!pending.ok()) {
+      if (running_ && !TcpListener::IsClosedError(pending.status())) {
+        HQ_LOG(Warning) << "pg accept failed: "
+                        << pending.status().ToString();
+      }
+      if (listen_watch_ != nullptr) {
+        loops_->loop(0)->RemoveWatch(listen_watch_);
+        listen_watch_ = nullptr;
+      }
+      return;
+    }
+    if (!pending->has_value()) return;  // accept queue drained
+    TcpConnection conn = std::move(**pending);
+    int prior = active_count_.fetch_add(1, std::memory_order_acq_rel);
+    if (prior >= effective_max_connections() || !running_) {
+      // Non-blocking refusal: close before any protocol byte.
+      active_count_.fetch_sub(1, std::memory_order_acq_rel);
+      continue;
+    }
+    EventLoop* target = loops_->Next();
+    auto ec = std::make_shared<PgEventConn>(this, target, std::move(conn));
+    {
+      std::lock_guard<std::mutex> lock(conn_mu_);
+      event_conns_.emplace(ec.get(), ec);
+    }
+    target->Post([ec] {
+      if (!ec->Register().ok()) ec->Close();
+    });
+  }
+}
+
+void PgWireServer::OnEventConnClosed(EventConn* conn) {
+  active_count_.fetch_sub(1, std::memory_order_acq_rel);
+  std::lock_guard<std::mutex> lock(conn_mu_);
+  event_conns_.erase(conn);
+  if (event_conns_.empty()) drain_cv_.notify_all();
+}
+
+void PgWireServer::StopEventModel() {
+  // 1. Stop accepting. The watch retirement must complete on the loop
+  // thread BEFORE the fd is closed here: close() racing the loop's
+  // epoll_ctl on the same descriptor is a genuine data race (and could
+  // hit a recycled fd number). The bounded wait covers the pathological
+  // case of a loop that died early (its posts are dropped).
+  {
+    auto removed = std::make_shared<std::promise<void>>();
+    std::future<void> done = removed->get_future();
+    loops_->loop(0)->Post([this, removed] {
+      if (listen_watch_ != nullptr) {
+        loops_->loop(0)->RemoveWatch(listen_watch_);
+        listen_watch_ = nullptr;
+      }
+      removed->set_value();
+    });
+    done.wait_for(std::chrono::seconds(2));
+  }
+  listener_->Close();
+  // 2. Drain every connection on its own loop: idle ones close now, busy
+  // ones finish their in-flight query + response under a per-connection
+  // force-close timer.
+  std::vector<std::shared_ptr<EventConn>> snapshot;
+  {
+    std::lock_guard<std::mutex> lock(conn_mu_);
+    snapshot.reserve(event_conns_.size());
+    for (auto& [ptr, sp] : event_conns_) snapshot.push_back(sp);
+  }
+  for (auto& sp : snapshot) {
+    auto pc = std::static_pointer_cast<PgEventConn>(sp);
+    pc->loop()->Post([pc] { pc->BeginDrain(); });
+  }
+  snapshot.clear();
+  // 3. Bounded wait for the drain to finish.
+  {
+    std::unique_lock<std::mutex> lock(conn_mu_);
+    drain_cv_.wait_for(
+        lock,
+        std::chrono::milliseconds(options_.drain_timeout_ms + 1000),
+        [this] { return event_conns_.empty(); });
+  }
+  // 4. Queries still running finish here; their completion posts land on
+  // loops that are still alive.
+  exec_pool_->Stop();
+  // 5. Anything that survived the drain window is closed unconditionally.
+  {
+    std::lock_guard<std::mutex> lock(conn_mu_);
+    snapshot.reserve(event_conns_.size());
+    for (auto& [ptr, sp] : event_conns_) snapshot.push_back(sp);
+  }
+  for (auto& sp : snapshot) {
+    sp->loop()->Post([sp] { sp->Close(); });
+  }
+  snapshot.clear();
+  {
+    std::unique_lock<std::mutex> lock(conn_mu_);
+    drain_cv_.wait_for(lock, std::chrono::milliseconds(1000),
+                       [this] { return event_conns_.empty(); });
+  }
+  // 6. Loops drain their remaining posts (connection releases) and exit.
+  loops_->Stop();
+  {
+    std::lock_guard<std::mutex> lock(conn_mu_);
+    event_conns_.clear();
   }
 }
 

@@ -123,12 +123,28 @@ class ChaosSoakTest : public ::testing::Test {
   sqldb::Database db_;
 };
 
-TEST_F(ChaosSoakTest, SoakSurvivesSeededFaultsAndReplaysByteIdentical) {
+std::string IoModelName(const ::testing::TestParamInfo<IoModel>& info) {
+  return info.param == IoModel::kEventLoop ? "EventLoop" : "ThreadPerConn";
+}
+
+/// The chaos soak runs against both connection-handling front ends: the
+/// epoll event loop must absorb the same fault storm the blocking model
+/// does, and the replay half compares the two models' raw frames.
+class ChaosSoakIoModelTest : public ChaosSoakTest,
+                             public ::testing::WithParamInterface<IoModel> {};
+
+INSTANTIATE_TEST_SUITE_P(IoModels, ChaosSoakIoModelTest,
+                         ::testing::Values(IoModel::kEventLoop,
+                                           IoModel::kThreadPerConnection),
+                         IoModelName);
+
+TEST_P(ChaosSoakIoModelTest, SoakSurvivesSeededFaultsAndReplaysByteIdentical) {
   const int64_t soak_ms = EnvInt("HYPERQ_SOAK_MS", 2000);
   const uint64_t seed =
       static_cast<uint64_t>(EnvInt("HYPERQ_SOAK_SEED", 42));
 
   HyperQServer::Options opts;
+  opts.io_model = GetParam();
   opts.default_deadline_ms = 500;  // deadlines active during the soak
   HyperQServer server(&db_, opts);
   ASSERT_TRUE(server.Start(0).ok());
@@ -237,9 +253,9 @@ TEST_F(ChaosSoakTest, SoakSurvivesSeededFaultsAndReplaysByteIdentical) {
   EXPECT_EQ(server.active_connections(), 0);
 
   // Replay: the recorded (fault-free-deterministic) query stream against
-  // two fresh servers over fresh identical backends must produce
-  // byte-identical response streams — the robustness counterpart of the
-  // side-by-side oracle.
+  // two fresh servers over fresh identical backends — one per io_model —
+  // must produce byte-identical response streams. This is both the
+  // run-to-run determinism check and the cross-model wire-parity oracle.
   std::vector<std::string> replay;
   for (int tid = 0; tid < kClients && replay.size() < 200; ++tid) {
     for (const std::string& q : recorded[tid]) {
@@ -248,10 +264,13 @@ TEST_F(ChaosSoakTest, SoakSurvivesSeededFaultsAndReplaysByteIdentical) {
     }
   }
   ASSERT_FALSE(replay.empty());
-  auto run_replay = [&](std::vector<std::vector<uint8_t>>* out) {
+  auto run_replay = [&](IoModel model,
+                        std::vector<std::vector<uint8_t>>* out) {
     sqldb::Database fresh;
     LoadInto(&fresh);
-    HyperQServer replay_server(&fresh, HyperQServer::Options{});
+    HyperQServer::Options ropts;
+    ropts.io_model = model;
+    HyperQServer replay_server(&fresh, ropts);
     ASSERT_TRUE(replay_server.Start(0).ok());
     Result<RawClient> rc = RawClient::Open(replay_server.port());
     ASSERT_TRUE(rc.ok());
@@ -263,13 +282,13 @@ TEST_F(ChaosSoakTest, SoakSurvivesSeededFaultsAndReplaysByteIdentical) {
     rc->conn.Close();
     replay_server.Stop();
   };
-  std::vector<std::vector<uint8_t>> first, second;
-  run_replay(&first);
-  run_replay(&second);
-  ASSERT_EQ(first.size(), second.size());
-  for (size_t i = 0; i < first.size(); ++i) {
-    ASSERT_EQ(first[i], second[i])
-        << "replay diverged at query " << i << ": " << replay[i];
+  std::vector<std::vector<uint8_t>> via_event, via_thread;
+  run_replay(IoModel::kEventLoop, &via_event);
+  run_replay(IoModel::kThreadPerConnection, &via_thread);
+  ASSERT_EQ(via_event.size(), via_thread.size());
+  for (size_t i = 0; i < via_event.size(); ++i) {
+    ASSERT_EQ(via_event[i], via_thread[i])
+        << "io models diverged at query " << i << ": " << replay[i];
   }
 }
 

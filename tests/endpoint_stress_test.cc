@@ -1,5 +1,8 @@
 #include <gtest/gtest.h>
 
+#include <sys/resource.h>
+
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <thread>
@@ -14,11 +17,29 @@
 namespace hyperq {
 namespace {
 
+#if defined(__SANITIZE_THREAD__)
+constexpr bool kTsan = true;
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer)
+constexpr bool kTsan = true;
+#else
+constexpr bool kTsan = false;
+#endif
+#else
+constexpr bool kTsan = false;
+#endif
+
+std::string IoModelName(const ::testing::TestParamInfo<IoModel>& info) {
+  return info.param == IoModel::kEventLoop ? "EventLoop"
+                                           : "ThreadPerConnection";
+}
+
 /// Concurrency hardening for the QIPC endpoint: many simultaneous
-/// unchanged-Q-application clients, admission control, idle timeouts, and
-/// drain-on-Stop() — the serving properties a production Hyper-Q needs on
-/// top of single-connection correctness (endpoint_test.cc).
-class EndpointStressTest : public ::testing::Test {
+/// unchanged-Q-application clients, admission control, idle timeouts,
+/// connection churn and drain-on-Stop() — the serving properties a
+/// production Hyper-Q needs on top of single-connection correctness
+/// (endpoint_test.cc). Parametrized over both connection front ends.
+class EndpointStressTest : public ::testing::TestWithParam<IoModel> {
  protected:
   void SetUp() override {
     MetricsRegistry::Global().ResetAll();
@@ -32,6 +53,12 @@ class EndpointStressTest : public ::testing::Test {
                         "09:30:03.000 09:30:04.000)")
                     .ok());
     ASSERT_TRUE(LoadQTable(&db_, "trades", *loader.GetGlobal("trades")).ok());
+  }
+
+  HyperQServer::Options Opts() const {
+    HyperQServer::Options opts;
+    opts.io_model = GetParam();
+    return opts;
   }
 
   /// Polls until the server's connection count drains to `expected`.
@@ -49,8 +76,13 @@ class EndpointStressTest : public ::testing::Test {
   sqldb::Database db_;
 };
 
-TEST_F(EndpointStressTest, SixteenClientsFiftyQueriesEach) {
-  HyperQServer server(&db_, HyperQServer::Options{});
+INSTANTIATE_TEST_SUITE_P(IoModels, EndpointStressTest,
+                         ::testing::Values(IoModel::kEventLoop,
+                                           IoModel::kThreadPerConnection),
+                         IoModelName);
+
+TEST_P(EndpointStressTest, SixteenClientsFiftyQueriesEach) {
+  HyperQServer server(&db_, Opts());
   ASSERT_TRUE(server.Start(0).ok());
 
   constexpr int kClients = 16;
@@ -95,8 +127,8 @@ TEST_F(EndpointStressTest, SixteenClientsFiftyQueriesEach) {
   server.Stop();
 }
 
-TEST_F(EndpointStressTest, StopDuringInFlightTrafficDrainsCleanly) {
-  auto server = std::make_unique<HyperQServer>(&db_, HyperQServer::Options{});
+TEST_P(EndpointStressTest, StopDuringInFlightTrafficDrainsCleanly) {
+  auto server = std::make_unique<HyperQServer>(&db_, Opts());
   ASSERT_TRUE(server->Start(0).ok());
 
   constexpr int kClients = 8;
@@ -134,8 +166,8 @@ TEST_F(EndpointStressTest, StopDuringInFlightTrafficDrainsCleanly) {
   server.reset();
 }
 
-TEST_F(EndpointStressTest, MaxConnectionsRefusesGracefully) {
-  HyperQServer::Options opts;
+TEST_P(EndpointStressTest, MaxConnectionsRefusesGracefully) {
+  HyperQServer::Options opts = Opts();
   opts.max_connections = 2;
   HyperQServer server(&db_, opts);
   ASSERT_TRUE(server.Start(0).ok());
@@ -165,8 +197,8 @@ TEST_F(EndpointStressTest, MaxConnectionsRefusesGracefully) {
   server.Stop();
 }
 
-TEST_F(EndpointStressTest, IdleConnectionsTimeOut) {
-  HyperQServer::Options opts;
+TEST_P(EndpointStressTest, IdleConnectionsTimeOut) {
+  HyperQServer::Options opts = Opts();
   opts.read_timeout_ms = 100;
   HyperQServer server(&db_, opts);
   ASSERT_TRUE(server.Start(0).ok());
@@ -186,8 +218,8 @@ TEST_F(EndpointStressTest, IdleConnectionsTimeOut) {
   server.Stop();
 }
 
-TEST_F(EndpointStressTest, StatsBuiltinOverLiveQipcAfterMixedWorkload) {
-  HyperQServer::Options opts;
+TEST_P(EndpointStressTest, StatsBuiltinOverLiveQipcAfterMixedWorkload) {
+  HyperQServer::Options opts = Opts();
   opts.compress_responses = true;
   HyperQServer server(&db_, opts);
   ASSERT_TRUE(server.Start(0).ok());
@@ -255,18 +287,19 @@ TEST_F(EndpointStressTest, StatsBuiltinOverLiveQipcAfterMixedWorkload) {
 
 /// Regression: Stop() used to hang behind a worker blocked in send() when
 /// a client requested a response far larger than the socket buffers and
-/// then never read it. The bounded drain (SO_SNDTIMEO + write-side
-/// shutdown escalation) must get Stop() back within the configured window
-/// regardless of what the peer does.
-TEST_F(EndpointStressTest, StopDrainsBlockedWriterWithinBound) {
+/// then never read it. The thread model's bounded drain (SO_SNDTIMEO +
+/// write-side shutdown escalation) and the event loop's per-connection
+/// force-close timer must both get Stop() back within the configured
+/// window regardless of what the peer does.
+TEST_P(EndpointStressTest, StopDrainsBlockedWriterWithinBound) {
   // A response big enough to overflow loopback send+receive buffers, so
-  // the serving worker genuinely blocks mid-write.
+  // the serving side genuinely wedges mid-write.
   {
     kdb::Interpreter loader;
     ASSERT_TRUE(loader.EvalText("big: ([] a: til 2000000)").ok());
     ASSERT_TRUE(LoadQTable(&db_, "big", *loader.GetGlobal("big")).ok());
   }
-  HyperQServer::Options opts;
+  HyperQServer::Options opts = Opts();
   opts.drain_timeout_ms = 200;
   HyperQServer server(&db_, opts);
   ASSERT_TRUE(server.Start(0).ok());
@@ -296,6 +329,80 @@ TEST_F(EndpointStressTest, StopDrainsBlockedWriterWithinBound) {
   // regresses against (and below the suite timeout).
   EXPECT_LT(elapsed, 5000) << "Stop() wedged behind a blocked writer";
   conn->Close();
+}
+
+/// C100K-scale connection churn: a large block of handshaken-but-idle
+/// connections, half of which disconnect at once, while fresh clients
+/// keep arriving. Admission, idle accounting and fd bookkeeping must all
+/// converge (no leaked slots, no stuck gauge). The event loop carries
+/// thousands of idle sessions; the thread model is exercised at a scale
+/// its one-thread-per-connection design can hold.
+TEST_P(EndpointStressTest, IdleConnectionChurnConvergesAccounting) {
+  struct rlimit nofile{};
+  ASSERT_EQ(getrlimit(RLIMIT_NOFILE, &nofile), 0);
+  // Client fd + server fd per connection, plus generous headroom for the
+  // suite's own files, loops and listeners.
+  int fd_budget = static_cast<int>((nofile.rlim_cur - 200) / 2);
+  int target = GetParam() == IoModel::kEventLoop ? 2000 : 96;
+  if (kTsan) target = std::min(target, 256);
+  target = std::min(target, fd_budget);
+  ASSERT_GT(target, 8) << "file descriptor limit too low for churn test";
+
+  HyperQServer::Options opts = Opts();
+  HyperQServer server(&db_, opts);
+  ASSERT_TRUE(server.Start(0).ok());
+
+  // Open the idle block: handshake only, no queries — each one should
+  // cost a state machine and an fd, not a session or a thread stack (the
+  // session is created lazily on the first request).
+  std::vector<TcpConnection> idle;
+  idle.reserve(target);
+  std::vector<uint8_t> hs = qipc::EncodeHandshake("churn", "pw");
+  for (int i = 0; i < target; ++i) {
+    Result<TcpConnection> c =
+        TcpConnection::Connect("127.0.0.1", server.port());
+    ASSERT_TRUE(c.ok()) << "connect " << i << ": " << c.status().ToString();
+    ASSERT_TRUE(c->WriteAll(hs).ok());
+    Result<std::vector<uint8_t>> ack = c->ReadExact(1);
+    ASSERT_TRUE(ack.ok()) << "handshake " << i;
+    idle.push_back(std::move(*c));
+  }
+  ASSERT_TRUE(WaitForActive(server, target));
+
+  // The idle gauge follows the admitted-and-quiet population.
+  Gauge* idle_gauge =
+      MetricsRegistry::Global().GetGauge("server.connections_idle");
+  auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(5);
+  while (idle_gauge->value() != target &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  EXPECT_EQ(idle_gauge->value(), target);
+
+  // Churn: the first half disconnects at once.
+  int half = target / 2;
+  for (int i = 0; i < half; ++i) idle[i].Close();
+  ASSERT_TRUE(WaitForActive(server, target - half))
+      << "server did not reap " << half << " closed connections";
+
+  // Fresh clients are admitted and served while the survivors sit idle.
+  auto fresh = QipcClient::Connect("127.0.0.1", server.port(), "f", "p");
+  ASSERT_TRUE(fresh.ok()) << fresh.status().ToString();
+  EXPECT_TRUE(fresh->Query("select from trades").ok());
+  fresh->Close();
+
+  // Everyone leaves: both the active count and the idle gauge converge
+  // to zero — the fd/slot accounting survived the churn.
+  for (int i = half; i < target; ++i) idle[i].Close();
+  ASSERT_TRUE(WaitForActive(server, 0));
+  deadline = std::chrono::steady_clock::now() + std::chrono::seconds(5);
+  while (idle_gauge->value() != 0 &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  EXPECT_EQ(idle_gauge->value(), 0);
+  server.Stop();
 }
 
 }  // namespace

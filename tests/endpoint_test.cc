@@ -1,5 +1,8 @@
 #include <gtest/gtest.h>
 
+#include <cstring>
+
+#include "common/strings.h"
 #include "core/endpoint.h"
 #include "core/gateway_wire.h"
 #include "kdb/engine.h"
@@ -7,10 +10,17 @@
 namespace hyperq {
 namespace {
 
+std::string IoModelName(const ::testing::TestParamInfo<IoModel>& info) {
+  return info.param == IoModel::kEventLoop ? "EventLoop"
+                                           : "ThreadPerConnection";
+}
+
 /// The full paper pipeline over real sockets: an unchanged "Q application"
 /// (QipcClient) talks QIPC to Hyper-Q, which translates and executes
-/// against the PG-compatible backend (§3 Query Life Cycle).
-class EndpointTest : public ::testing::Test {
+/// against the PG-compatible backend (§3 Query Life Cycle). Parametrized
+/// over both connection-handling front ends — the event-loop reactor and
+/// the thread-per-connection baseline must be interchangeable.
+class EndpointTest : public ::testing::TestWithParam<IoModel> {
  protected:
   void SetUp() override {
     kdb::Interpreter loader;
@@ -23,17 +33,28 @@ class EndpointTest : public ::testing::Test {
                         "09:30:03.000 09:30:04.000)")
                     .ok());
     ASSERT_TRUE(LoadQTable(&db_, "trades", *loader.GetGlobal("trades")).ok());
-    server_ = std::make_unique<HyperQServer>(&db_, HyperQServer::Options{});
+    server_ = std::make_unique<HyperQServer>(&db_, Opts());
     ASSERT_TRUE(server_->Start(0).ok());
   }
 
   void TearDown() override { server_->Stop(); }
 
+  HyperQServer::Options Opts() const {
+    HyperQServer::Options opts;
+    opts.io_model = GetParam();
+    return opts;
+  }
+
   sqldb::Database db_;
   std::unique_ptr<HyperQServer> server_;
 };
 
-TEST_F(EndpointTest, QueryLifeCycleOverQipc) {
+INSTANTIATE_TEST_SUITE_P(IoModels, EndpointTest,
+                         ::testing::Values(IoModel::kEventLoop,
+                                           IoModel::kThreadPerConnection),
+                         IoModelName);
+
+TEST_P(EndpointTest, QueryLifeCycleOverQipc) {
   auto client =
       QipcClient::Connect("127.0.0.1", server_->port(), "trader", "pw");
   ASSERT_TRUE(client.ok()) << client.status().ToString();
@@ -46,7 +67,7 @@ TEST_F(EndpointTest, QueryLifeCycleOverQipc) {
   client->Close();
 }
 
-TEST_F(EndpointTest, MultipleQueriesShareSessionState) {
+TEST_P(EndpointTest, MultipleQueriesShareSessionState) {
   auto client =
       QipcClient::Connect("127.0.0.1", server_->port(), "trader", "pw");
   ASSERT_TRUE(client.ok());
@@ -59,7 +80,7 @@ TEST_F(EndpointTest, MultipleQueriesShareSessionState) {
   client->Close();
 }
 
-TEST_F(EndpointTest, ErrorsTravelAsQipcErrors) {
+TEST_P(EndpointTest, ErrorsTravelAsQipcErrors) {
   auto client =
       QipcClient::Connect("127.0.0.1", server_->port(), "trader", "pw");
   ASSERT_TRUE(client.ok());
@@ -72,7 +93,7 @@ TEST_F(EndpointTest, ErrorsTravelAsQipcErrors) {
   client->Close();
 }
 
-TEST_F(EndpointTest, AggregateAtomOverWire) {
+TEST_P(EndpointTest, AggregateAtomOverWire) {
   auto client =
       QipcClient::Connect("127.0.0.1", server_->port(), "trader", "pw");
   ASSERT_TRUE(client.ok());
@@ -83,8 +104,8 @@ TEST_F(EndpointTest, AggregateAtomOverWire) {
   client->Close();
 }
 
-TEST_F(EndpointTest, CompressedResponsesDecodeTransparently) {
-  HyperQServer::Options opts;
+TEST_P(EndpointTest, CompressedResponsesDecodeTransparently) {
+  HyperQServer::Options opts = Opts();
   opts.compress_responses = true;
   HyperQServer compressed(&db_, opts);
   ASSERT_TRUE(compressed.Start(0).ok());
@@ -99,8 +120,8 @@ TEST_F(EndpointTest, CompressedResponsesDecodeTransparently) {
   compressed.Stop();
 }
 
-TEST_F(EndpointTest, AuthRejectionClosesConnection) {
-  HyperQServer::Options opts;
+TEST_P(EndpointTest, AuthRejectionClosesConnection) {
+  HyperQServer::Options opts = Opts();
   opts.user = "alice";
   opts.password = "correct";
   HyperQServer secured(&db_, opts);
@@ -114,7 +135,7 @@ TEST_F(EndpointTest, AuthRejectionClosesConnection) {
   secured.Stop();
 }
 
-TEST_F(EndpointTest, ConcurrentClients) {
+TEST_P(EndpointTest, ConcurrentClients) {
   // kdb+ serializes requests (§2.2); Hyper-Q allows concurrent sessions
   // ("configurable concurrency" is one of its improvements, §5).
   constexpr int kClients = 4;
@@ -137,6 +158,111 @@ TEST_F(EndpointTest, ConcurrentClients) {
   }
   for (auto& t : threads) t.join();
   EXPECT_EQ(failures.load(), 0);
+}
+
+TEST_P(EndpointTest, PipelinedRequestsAreServedInOrder) {
+  // A q client may write several sync messages back to back before reading
+  // any reply; the server must answer each, in order. The event loop
+  // decodes the burst out of one read buffer; the thread model naturally
+  // serializes on its blocking loop.
+  Result<TcpConnection> conn =
+      TcpConnection::Connect("127.0.0.1", server_->port());
+  ASSERT_TRUE(conn.ok());
+  ASSERT_TRUE(conn->WriteAll(qipc::EncodeHandshake("pipe", "pw")).ok());
+  ASSERT_TRUE(conn->ReadExact(1).ok());
+
+  constexpr int kBurst = 8;
+  std::vector<uint8_t> burst;
+  for (int i = 0; i < kBurst; ++i) {
+    auto msg = qipc::EncodeMessage(QValue::Chars(StrCat("2+", i)),
+                                   qipc::MsgType::kSync);
+    ASSERT_TRUE(msg.ok());
+    burst.insert(burst.end(), msg->begin(), msg->end());
+  }
+  ASSERT_TRUE(conn->WriteAll(burst).ok());
+
+  for (int i = 0; i < kBurst; ++i) {
+    uint8_t header[8];
+    ASSERT_TRUE(conn->ReadExactInto(header, 8).ok());
+    Result<uint32_t> len = qipc::PeekMessageLength(header);
+    ASSERT_TRUE(len.ok());
+    std::vector<uint8_t> whole(*len);
+    std::memcpy(whole.data(), header, 8);
+    ASSERT_TRUE(conn->ReadExactInto(whole.data() + 8, *len - 8).ok());
+    Result<qipc::DecodedMessage> reply = qipc::DecodeMessage(whole);
+    ASSERT_TRUE(reply.ok());
+    ASSERT_FALSE(reply->is_error);
+    EXPECT_EQ(reply->value.AsInt(), 2 + i) << "burst reply " << i;
+  }
+  conn->Close();
+}
+
+/// Both front ends must put exactly the same bytes on the wire for the
+/// same request stream — the A/B selectability of Options::io_model is
+/// only sound if the models are indistinguishable to a byte-level client.
+TEST(IoModelParityTest, QipcResponsesAreByteIdenticalAcrossIoModels) {
+  const std::vector<std::string> queries = {
+      "select Price from trades where Symbol=`GOOG",
+      "select Size wavg Price by Symbol from trades",
+      "exec max Price from trades",
+      "select from nonexistent_table",  // error frame
+      "PX: 700.0",
+      "select from trades where Price>PX",
+      "1+1",
+  };
+
+  auto serve_raw = [&](IoModel model, std::vector<std::vector<uint8_t>>* out) {
+    sqldb::Database db;
+    {
+      kdb::Interpreter loader;
+      ASSERT_TRUE(loader
+                      .EvalText(
+                          "trades: ([] Symbol:`GOOG`IBM`GOOG`MSFT`IBM;"
+                          " Price:720.5 151.2 721.0 52.1 150.9;"
+                          " Size:100 200 150 300 120;"
+                          " Time:09:30:00.000 09:30:01.000 09:30:02.000 "
+                          "09:30:03.000 09:30:04.000)")
+                      .ok());
+      ASSERT_TRUE(
+          LoadQTable(&db, "trades", *loader.GetGlobal("trades")).ok());
+    }
+    HyperQServer::Options opts;
+    opts.io_model = model;
+    HyperQServer server(&db, opts);
+    ASSERT_TRUE(server.Start(0).ok());
+
+    Result<TcpConnection> conn =
+        TcpConnection::Connect("127.0.0.1", server.port());
+    ASSERT_TRUE(conn.ok());
+    ASSERT_TRUE(conn->WriteAll(qipc::EncodeHandshake("parity", "pw")).ok());
+    Result<std::vector<uint8_t>> ack = conn->ReadExact(1);
+    ASSERT_TRUE(ack.ok());
+    out->push_back(*ack);
+    for (const std::string& q : queries) {
+      auto msg = qipc::EncodeMessage(QValue::Chars(q), qipc::MsgType::kSync);
+      ASSERT_TRUE(msg.ok());
+      ASSERT_TRUE(conn->WriteAll(*msg).ok());
+      uint8_t header[8];
+      ASSERT_TRUE(conn->ReadExactInto(header, 8).ok());
+      Result<uint32_t> len = qipc::PeekMessageLength(header);
+      ASSERT_TRUE(len.ok());
+      std::vector<uint8_t> whole(*len);
+      std::memcpy(whole.data(), header, 8);
+      ASSERT_TRUE(conn->ReadExactInto(whole.data() + 8, *len - 8).ok());
+      out->push_back(std::move(whole));
+    }
+    conn->Close();
+    server.Stop();
+  };
+
+  std::vector<std::vector<uint8_t>> via_event, via_thread;
+  serve_raw(IoModel::kEventLoop, &via_event);
+  serve_raw(IoModel::kThreadPerConnection, &via_thread);
+  ASSERT_EQ(via_event.size(), via_thread.size());
+  for (size_t i = 0; i < via_event.size(); ++i) {
+    ASSERT_EQ(via_event[i], via_thread[i])
+        << "io models diverged at frame " << i;
+  }
 }
 
 /// Hyper-Q with a wire gateway: SQL flows over the PG v3 protocol to a

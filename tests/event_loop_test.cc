@@ -1,0 +1,330 @@
+#include "net/event_loop.h"
+
+#include <gtest/gtest.h>
+#include <sys/epoll.h>
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <memory>
+#include <mutex>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/worker_pool.h"
+#include "net/tcp.h"
+
+namespace hyperq {
+namespace {
+
+/// Unit tests for the reactor primitives underneath both event-driven
+/// front ends: EventLoop (posts, timers, watches), EventLoopGroup
+/// placement, TaskPool semantics, and the EventConn read/write machinery
+/// over a real socket pair.
+
+using namespace std::chrono_literals;
+
+/// Blocks until a posted probe confirms the predicate, with a deadline.
+template <typename Pred>
+bool WaitFor(Pred pred, std::chrono::milliseconds deadline = 5000ms) {
+  const auto stop_at = std::chrono::steady_clock::now() + deadline;
+  while (std::chrono::steady_clock::now() < stop_at) {
+    if (pred()) return true;
+    std::this_thread::sleep_for(1ms);
+  }
+  return pred();
+}
+
+TEST(EventLoopTest, PostedTasksRunOnTheLoopThreadInOrder) {
+  EventLoop loop;
+  ASSERT_TRUE(loop.Start().ok());
+
+  std::mutex mu;
+  std::condition_variable cv;
+  std::vector<int> order;
+  bool on_loop_thread = false;
+  int remaining = 3;
+  for (int i = 0; i < 3; ++i) {
+    loop.Post([&, i]() {
+      std::lock_guard<std::mutex> lock(mu);
+      order.push_back(i);
+      if (i == 0) on_loop_thread = loop.OnLoopThread();
+      if (--remaining == 0) cv.notify_all();
+    });
+  }
+  {
+    std::unique_lock<std::mutex> lock(mu);
+    ASSERT_TRUE(cv.wait_for(lock, 5s, [&] { return remaining == 0; }));
+  }
+  EXPECT_TRUE(on_loop_thread);
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2}));
+  EXPECT_FALSE(loop.OnLoopThread());
+  loop.Stop();
+}
+
+TEST(EventLoopTest, StopDrainsTasksPostedBeforeItAndDropsLaterOnes) {
+  EventLoop loop;
+  ASSERT_TRUE(loop.Start().ok());
+
+  std::atomic<int> ran{0};
+  for (int i = 0; i < 64; ++i) loop.Post([&]() { ran.fetch_add(1); });
+  loop.Stop();
+  EXPECT_EQ(ran.load(), 64) << "Stop() must drain the post queue";
+
+  // Posting after Stop() is a silent drop, not a crash.
+  loop.Post([&]() { ran.fetch_add(1000); });
+  std::this_thread::sleep_for(20ms);
+  EXPECT_EQ(ran.load(), 64);
+}
+
+TEST(EventLoopTest, TimersFireOnceAndCancelledTimersNever) {
+  EventLoop loop;
+  ASSERT_TRUE(loop.Start().ok());
+
+  std::atomic<int> fired{0};
+  std::atomic<int> cancelled_fired{0};
+  loop.Post([&]() {
+    loop.AddTimerAfter(10ms, [&]() { fired.fetch_add(1); });
+    uint64_t id =
+        loop.AddTimerAfter(10ms, [&]() { cancelled_fired.fetch_add(1); });
+    loop.CancelTimer(id);
+  });
+  ASSERT_TRUE(WaitFor([&] { return fired.load() == 1; }));
+  std::this_thread::sleep_for(50ms);  // give the cancelled one a chance
+  EXPECT_EQ(fired.load(), 1) << "one-shot timer fired more than once";
+  EXPECT_EQ(cancelled_fired.load(), 0);
+  loop.Stop();
+}
+
+TEST(EventLoopTest, WatchDeliversReadinessAndRemoveSilencesIt) {
+  EventLoop loop;
+  ASSERT_TRUE(loop.Start().ok());
+
+  Result<TcpListener> listener = TcpListener::Listen(0);
+  ASSERT_TRUE(listener.ok());
+  Result<TcpConnection> client =
+      TcpConnection::Connect("127.0.0.1", listener->port());
+  ASSERT_TRUE(client.ok());
+  Result<TcpConnection> server = listener->Accept();
+  ASSERT_TRUE(server.ok());
+  ASSERT_TRUE(server->SetNonBlocking(true).ok());
+
+  std::atomic<int> readable{0};
+  EventLoop::Watch* watch = nullptr;
+  loop.Post([&]() {
+    watch = loop.AddWatch(server->fd(), EPOLLIN, [&](uint32_t events) {
+      if (events & EPOLLIN) {
+        readable.fetch_add(1);
+        // Drain so the level-triggered loop doesn't spin on the byte.
+        uint8_t buf[16];
+        size_t n = 0;
+        Status st;
+        server->ReadSomeInto(buf, sizeof buf, &n, &st);
+      }
+    });
+  });
+  std::vector<uint8_t> one{0x42};
+  ASSERT_TRUE(client->WriteAll(one).ok());
+  ASSERT_TRUE(WaitFor([&] { return readable.load() >= 1; }));
+
+  // After RemoveWatch, further traffic must not invoke the callback.
+  loop.Post([&]() { loop.RemoveWatch(watch); });
+  std::this_thread::sleep_for(10ms);
+  int before = readable.load();
+  ASSERT_TRUE(client->WriteAll(one).ok());
+  std::this_thread::sleep_for(50ms);
+  EXPECT_EQ(readable.load(), before);
+  loop.Stop();
+}
+
+TEST(EventLoopGroupTest, RoundRobinCyclesAcrossAllLoops) {
+  EventLoopGroup group(3);
+  ASSERT_TRUE(group.Start().ok());
+  ASSERT_EQ(group.size(), 3u);
+
+  std::set<EventLoop*> seen;
+  for (int i = 0; i < 6; ++i) seen.insert(group.Next());
+  EXPECT_EQ(seen.size(), 3u) << "Next() must rotate over every loop";
+  for (size_t i = 0; i < group.size(); ++i) {
+    EXPECT_NE(group.loop(i), nullptr);
+    EXPECT_EQ(group.loop(i)->index(), static_cast<int>(i));
+  }
+  group.Stop();
+}
+
+TEST(TaskPoolTest, RunsTasksAndRejectsSubmitsAfterStop) {
+  TaskPool pool(2);
+  std::atomic<int> ran{0};
+  for (int i = 0; i < 32; ++i) {
+    EXPECT_TRUE(pool.Submit([&]() { ran.fetch_add(1); }));
+  }
+  ASSERT_TRUE(WaitFor([&] { return ran.load() == 32; }));
+  pool.Stop();
+  EXPECT_FALSE(pool.Submit([&]() { ran.fetch_add(100); }))
+      << "Submit after Stop must refuse the task";
+  EXPECT_EQ(ran.load(), 32);
+}
+
+TEST(TaskPoolTest, StopRunsEverythingAlreadyQueued) {
+  TaskPool pool(1);
+  std::atomic<int> ran{0};
+  std::atomic<bool> release{false};
+  // Block the single thread so later submissions pile up in the queue.
+  ASSERT_TRUE(pool.Submit([&]() {
+    while (!release.load()) std::this_thread::sleep_for(1ms);
+  }));
+  for (int i = 0; i < 16; ++i) {
+    ASSERT_TRUE(pool.Submit([&]() { ran.fetch_add(1); }));
+  }
+  EXPECT_GT(pool.queue_depth(), 0u);
+  release.store(true);
+  pool.Stop();  // must drain the 16 queued tasks before joining
+  EXPECT_EQ(ran.load(), 16);
+  EXPECT_EQ(pool.queue_depth(), 0u);
+}
+
+// -- EventConn over a real socket pair --------------------------------------
+
+/// Echoes every received byte back, optionally recording lifecycle hooks.
+class EchoConn final : public EventConn {
+ public:
+  EchoConn(EventLoop* loop, TcpConnection conn)
+      : EventConn(loop, std::move(conn)) {}
+
+  std::atomic<int> drained{0};
+  std::atomic<bool> peer_closed{false};
+  std::atomic<bool> on_closed{false};
+
+ protected:
+  void OnData() override {
+    Outgoing out;
+    out.owned.assign(rbuf_.begin() + static_cast<long>(rpos_), rbuf_.end());
+    ConsumeTo(rbuf_.size());
+    if (out.owned.empty()) return;
+    out.slices.push_back(IoSlice{out.owned.data(), out.owned.size()});
+    Send(std::move(out));
+  }
+  void OnWriteDrained() override { drained.fetch_add(1); }
+  void OnPeerClosed() override {
+    peer_closed.store(true);
+    Close();
+  }
+  void OnClosed() override { on_closed.store(true); }
+};
+
+class EventConnTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_TRUE(loop_.Start().ok());
+    Result<TcpListener> listener = TcpListener::Listen(0);
+    ASSERT_TRUE(listener.ok());
+    Result<TcpConnection> client =
+        TcpConnection::Connect("127.0.0.1", listener->port());
+    ASSERT_TRUE(client.ok());
+    client_ = std::make_unique<TcpConnection>(std::move(*client));
+    Result<TcpConnection> server = listener->Accept();
+    ASSERT_TRUE(server.ok());
+    conn_ = std::make_shared<EchoConn>(&loop_, std::move(*server));
+    std::atomic<bool> registered{false};
+    loop_.Post([&]() {
+      ASSERT_TRUE(conn_->Register().ok());
+      registered.store(true);
+    });
+    ASSERT_TRUE(WaitFor([&] { return registered.load(); }));
+  }
+
+  void TearDown() override {
+    // Use the atomic on_closed flag, not closed(), to stay race-free with
+    // the loop thread; Close() itself is loop-thread-only and idempotent.
+    if (conn_ != nullptr && !conn_->on_closed.load()) {
+      std::atomic<bool> done{false};
+      loop_.Post([&]() {
+        conn_->Close();
+        done.store(true);
+      });
+      WaitFor([&] { return done.load(); });
+    }
+    loop_.Stop();
+  }
+
+  EventLoop loop_;
+  std::unique_ptr<TcpConnection> client_;
+  std::shared_ptr<EchoConn> conn_;
+};
+
+TEST_F(EventConnTest, EchoesBytesAndSignalsWriteDrained) {
+  const std::string msg = "hello, reactor";
+  ASSERT_TRUE(client_->WriteAll(msg.data(), msg.size()).ok());
+  Result<std::vector<uint8_t>> back = client_->ReadExact(msg.size());
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(std::string(back->begin(), back->end()), msg);
+  EXPECT_TRUE(WaitFor([&] { return conn_->drained.load() >= 1; }));
+}
+
+TEST_F(EventConnTest, PipelinedWritesComeBackInOrder) {
+  // One large burst: the echo server sees it as one or more OnData calls
+  // but the byte stream must come back verbatim.
+  std::vector<uint8_t> burst;
+  for (int i = 0; i < 1000; ++i) {
+    burst.push_back(static_cast<uint8_t>(i & 0xff));
+  }
+  ASSERT_TRUE(client_->WriteAll(burst).ok());
+  Result<std::vector<uint8_t>> back = client_->ReadExact(burst.size());
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(*back, burst);
+}
+
+TEST_F(EventConnTest, PeerCloseFiresOnPeerClosedThenOnClosed) {
+  client_->Close();
+  EXPECT_TRUE(WaitFor([&] { return conn_->on_closed.load(); }));
+  EXPECT_TRUE(conn_->peer_closed.load());
+  EXPECT_TRUE(conn_->closed());
+}
+
+TEST_F(EventConnTest, PauseReadsStopsDeliveryUntilResumed) {
+  std::atomic<bool> paused{false};
+  loop_.Post([&]() {
+    conn_->PauseReads();
+    paused.store(true);
+  });
+  ASSERT_TRUE(WaitFor([&] { return paused.load(); }));
+
+  const std::string msg = "deferred";
+  ASSERT_TRUE(client_->WriteAll(msg.data(), msg.size()).ok());
+  std::this_thread::sleep_for(50ms);
+  // Nothing echoed while paused: the socket would block on a read.
+  // (We can't portably assert "no data" on a blocking socket without a
+  // timeout, so assert via the write-drain counter instead.)
+  EXPECT_EQ(conn_->drained.load(), 0);
+
+  std::atomic<bool> resumed{false};
+  loop_.Post([&]() {
+    conn_->ResumeReads();
+    resumed.store(true);
+  });
+  ASSERT_TRUE(WaitFor([&] { return resumed.load(); }));
+  Result<std::vector<uint8_t>> back = client_->ReadExact(msg.size());
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(std::string(back->begin(), back->end()), msg);
+}
+
+TEST_F(EventConnTest, LargeResponseDrainsAcrossEpolloutRounds) {
+  // 8 MiB round trip: far beyond any socket buffer, so the echo path must
+  // park on EPOLLOUT and resume — the resumable scatter-write machinery.
+  std::vector<uint8_t> big(8u << 20);
+  for (size_t i = 0; i < big.size(); ++i) {
+    big[i] = static_cast<uint8_t>((i * 2654435761u) >> 24);
+  }
+  std::thread writer([&]() {
+    EXPECT_TRUE(client_->WriteAll(big).ok());
+  });
+  Result<std::vector<uint8_t>> back = client_->ReadExact(big.size());
+  writer.join();
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(*back, big);
+}
+
+}  // namespace
+}  // namespace hyperq

@@ -116,6 +116,26 @@ TEST(QipcTest, TruncatedMessageIsProtocolError) {
   EXPECT_FALSE(qipc::DecodeMessage(cut).ok());
 }
 
+std::string IoModelName(const ::testing::TestParamInfo<IoModel>& info) {
+  return info.param == IoModel::kEventLoop ? "EventLoop"
+                                           : "ThreadPerConnection";
+}
+
+/// PG v3 server tests parametrized over both connection front ends.
+class PgWireServerTest : public ::testing::TestWithParam<IoModel> {
+ protected:
+  pgwire::ServerOptions Opts() const {
+    pgwire::ServerOptions opts;
+    opts.io_model = GetParam();
+    return opts;
+  }
+};
+
+INSTANTIATE_TEST_SUITE_P(IoModels, PgWireServerTest,
+                         ::testing::Values(IoModel::kEventLoop,
+                                           IoModel::kThreadPerConnection),
+                         IoModelName);
+
 TEST(PgWireTest, OidMappingIsInverse) {
   using sqldb::SqlType;
   for (SqlType t : {SqlType::kBoolean, SqlType::kSmallInt, SqlType::kInteger,
@@ -138,7 +158,7 @@ TEST(PgWireTest, MessageFraming) {
 }
 
 /// Full server round trip over real TCP: startup, auth, query, results.
-TEST(PgWireTest, EndToEndQueryOverWire) {
+TEST_P(PgWireServerTest, EndToEndQueryOverWire) {
   sqldb::Database db;
   {
     auto session = db.CreateSession();
@@ -150,7 +170,7 @@ TEST(PgWireTest, EndToEndQueryOverWire) {
                            "(3, NULL)")
                     .ok());
   }
-  pgwire::PgWireServer server(&db, pgwire::ServerOptions{});
+  pgwire::PgWireServer server(&db, Opts());
   ASSERT_TRUE(server.Start(0).ok());
 
   auto client = pgwire::PgWireClient::Connect("127.0.0.1", server.port(),
@@ -175,9 +195,9 @@ TEST(PgWireTest, EndToEndQueryOverWire) {
   server.Stop();
 }
 
-TEST(PgWireTest, CleartextAuthFlow) {
+TEST_P(PgWireServerTest, CleartextAuthFlow) {
   sqldb::Database db;
-  pgwire::ServerOptions opts;
+  pgwire::ServerOptions opts = Opts();
   opts.auth = pgwire::AuthMode::kCleartext;
   opts.user = "gp";
   opts.password = "secret";
@@ -194,9 +214,9 @@ TEST(PgWireTest, CleartextAuthFlow) {
   server.Stop();
 }
 
-TEST(PgWireTest, Md5AuthFlow) {
+TEST_P(PgWireServerTest, Md5AuthFlow) {
   sqldb::Database db;
-  pgwire::ServerOptions opts;
+  pgwire::ServerOptions opts = Opts();
   opts.auth = pgwire::AuthMode::kMd5;
   opts.user = "gp";
   opts.password = "secret";
@@ -207,6 +227,98 @@ TEST(PgWireTest, Md5AuthFlow) {
                                     "secret");
   EXPECT_TRUE(good.ok()) << good.status().ToString();
   server.Stop();
+}
+
+/// Both front ends must put exactly the same bytes on the wire: a raw
+/// byte-level PG client runs the same startup + query sequence against a
+/// thread-per-connection server and an event-loop server and compares the
+/// full response streams, handshake included.
+TEST(PgWireParityTest, ResponsesAreByteIdenticalAcrossIoModels) {
+  const std::vector<std::string> queries = {
+      "SELECT a, b FROM t ORDER BY a",
+      "SELECT COUNT(*) FROM t",
+      "SELECT nope FROM t",  // ErrorResponse frame
+      "SELECT b FROM t WHERE a = 2",
+  };
+
+  // Reads one typed message (5-byte header + body) verbatim.
+  auto read_frame = [](TcpConnection* conn,
+                       std::vector<uint8_t>* out) -> bool {
+    Result<std::vector<uint8_t>> header = conn->ReadExact(5);
+    if (!header.ok()) return false;
+    ByteReader r(header->data() + 1, 4);
+    Result<uint32_t> len = r.GetU32BE();
+    if (!len.ok() || *len < 4 || *len > (64u << 20)) return false;
+    out->insert(out->end(), header->begin(), header->end());
+    if (*len > 4) {
+      Result<std::vector<uint8_t>> body = conn->ReadExact(*len - 4);
+      if (!body.ok()) return false;
+      out->insert(out->end(), body->begin(), body->end());
+    }
+    return true;
+  };
+
+  auto serve_raw = [&](IoModel model, std::vector<uint8_t>* stream) {
+    sqldb::Database db;
+    {
+      auto session = db.CreateSession();
+      ASSERT_TRUE(db.Execute(session.get(),
+                             "CREATE TABLE t (a bigint, b varchar)")
+                      .ok());
+      ASSERT_TRUE(db.Execute(session.get(),
+                             "INSERT INTO t VALUES (1,'x'), (2,'y'), "
+                             "(3, NULL)")
+                      .ok());
+    }
+    pgwire::ServerOptions opts;
+    opts.io_model = model;
+    pgwire::PgWireServer server(&db, opts);
+    ASSERT_TRUE(server.Start(0).ok());
+
+    Result<TcpConnection> conn =
+        TcpConnection::Connect("127.0.0.1", server.port());
+    ASSERT_TRUE(conn.ok());
+    // Startup message (no type byte).
+    ByteWriter body;
+    body.PutI32BE(pgwire::kProtocolVersion3);
+    body.PutCString("user");
+    body.PutCString("hyperq");
+    body.PutCString("database");
+    body.PutCString("hyperq");
+    body.PutU8(0);
+    ByteWriter startup;
+    startup.PutU32BE(static_cast<uint32_t>(body.size() + 4));
+    startup.PutBytes(body.data().data(), body.size());
+    ASSERT_TRUE(conn->WriteAll(startup.data()).ok());
+    // Trust auth: AuthenticationOk, ParameterStatus, ReadyForQuery.
+    for (int i = 0; i < 3; ++i) {
+      ASSERT_TRUE(read_frame(&*conn, stream)) << "startup frame " << i;
+    }
+    for (const std::string& q : queries) {
+      ByteWriter qb;
+      qb.PutCString(q);
+      ByteWriter msg;
+      pgwire::WriteMessage(&msg, pgwire::kMsgQuery, qb.Take());
+      ASSERT_TRUE(conn->WriteAll(msg.data()).ok());
+      // Read raw frames until ReadyForQuery closes the cycle.
+      while (true) {
+        size_t frame_start = stream->size();
+        ASSERT_TRUE(read_frame(&*conn, stream)) << q;
+        if ((*stream)[frame_start] ==
+            static_cast<uint8_t>(pgwire::kMsgReadyForQuery)) {
+          break;
+        }
+      }
+    }
+    conn->Close();
+    server.Stop();
+  };
+
+  std::vector<uint8_t> via_event, via_thread;
+  serve_raw(IoModel::kEventLoop, &via_event);
+  serve_raw(IoModel::kThreadPerConnection, &via_thread);
+  ASSERT_EQ(via_event.size(), via_thread.size());
+  EXPECT_EQ(via_event, via_thread);
 }
 
 }  // namespace
