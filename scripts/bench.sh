@@ -80,6 +80,24 @@ awk -F': ' '
       exit 1
     }
   }' BENCH_kernel.json
+# Gate: the end-to-end translated-Q hot corpus (Q text -> cross-compiler
+# -> backend, serializer wrappers included) must be served by compiled
+# kernels at >= 80% — the canonicalizer flattening the serializer's
+# standard shells is what keeps this from collapsing toward 0.
+awk -F': ' '
+  /"name": "BM_TranslatedQKernel\/1"/ { want = 1 }
+  want && /"kernel_hit_rate"/ { rate = $2 + 0; want = 0; seen = 1 }
+  END {
+    if (!seen) {
+      print "kernel bench: kernel_hit_rate missing from BENCH_kernel.json"
+      exit 1
+    }
+    printf "translated-Q kernel hit rate: %.0f%%\n", rate * 100
+    if (rate < 0.8) {
+      print "FAIL: kernel hit rate on the translated corpus below 80%"
+      exit 1
+    }
+  }' BENCH_kernel.json
 # Gate: the routed symbol-pinned filter+agg at 4 shards scans ~1/4 of the
 # rows, so it must beat the 1-shard run by at least 2x even on one core.
 awk -F': ' '

@@ -7,12 +7,19 @@
 # halt_on_error.
 #
 # Usage: scripts/ci.sh [--skip-tsan] [--bench-smoke] [--chaos-smoke]
+#                      [--kernel-coverage]
 #
 #   --chaos-smoke  re-runs the chaos/soak battery (non-TSAN binary) with a
 #                  pinned seed and a short wall-clock budget; part of the
 #                  default flow already via ctest, this flag runs it again
 #                  standalone with the canonical CI seed so a failure
 #                  reproduces with: HYPERQ_SOAK_SEED=42 HYPERQ_SOAK_MS=1500
+#
+#   --kernel-coverage  builds and runs ONLY the fused-kernel coverage sweep
+#                  (the KernelCoverageOnTranslatedHotCorpus fuzz battery):
+#                  translator-emitted hot SELECTs must be served by
+#                  compiled kernels at >= 80% or the run fails. Fast
+#                  standalone check for kernel-grammar regressions.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -20,14 +27,27 @@ JOBS="$(nproc 2>/dev/null || echo 4)"
 SKIP_TSAN=0
 BENCH_SMOKE=0
 CHAOS_SMOKE=0
+KERNEL_COVERAGE=0
 for arg in "$@"; do
   case "$arg" in
     --skip-tsan) SKIP_TSAN=1 ;;
     --bench-smoke) BENCH_SMOKE=1 ;;
     --chaos-smoke) CHAOS_SMOKE=1 ;;
+    --kernel-coverage) KERNEL_COVERAGE=1 ;;
     *) echo "unknown flag: $arg" >&2; exit 2 ;;
   esac
 done
+
+if [[ "$KERNEL_COVERAGE" == 1 ]]; then
+  echo "==> kernel-coverage: configure + build"
+  cmake -B build -S . >/dev/null
+  cmake --build build -j "$JOBS" --target side_by_side_fuzz_test >/dev/null
+  echo "==> kernel-coverage: translated hot-corpus sweep (floor: 80%)"
+  ./build/tests/side_by_side_fuzz_test \
+    --gtest_filter='*KernelCoverageOnTranslatedHotCorpus*'
+  echo "==> kernel-coverage: green"
+  exit 0
+fi
 
 # fd preflight: the endpoint tests open thousands of sockets (idle-churn,
 # C10K smoke). Raise the soft RLIMIT_NOFILE toward the hard limit, capped

@@ -4,14 +4,16 @@
 #include <string>
 #include <vector>
 
+#include "common/sql_markers.h"
 #include "common/status.h"
 #include "qval/qtype.h"
 
 namespace hyperq {
 
 /// Name of the implicit order column Hyper-Q adds to backend tables to
-/// preserve Q's ordered-list semantics in SQL (§2.2, §3.3).
-inline constexpr char kOrdColName[] = "ordcol";
+/// preserve Q's ordered-list semantics in SQL (§2.2, §3.3). Shared with
+/// the serializer and the backend kernel canonicalizer via sql_markers.h.
+inline constexpr const char* kOrdColName = kSqlOrdColName;
 
 struct ColumnMetadata {
   std::string name;

@@ -1,0 +1,21 @@
+#ifndef HYPERQ_COMMON_SQL_MARKERS_H_
+#define HYPERQ_COMMON_SQL_MARKERS_H_
+
+namespace hyperq {
+
+/// Shared spellings for the helper constructs the cross-compiler plants in
+/// its emitted SQL, so downstream recognition (kernel canonicalization,
+/// result-leg column dropping) is an exact-name match against the same
+/// constants the serializer writes — recognition, not guessing.
+///
+/// `kSqlOrdColName` is the implicit order column the loader appends to
+/// every Q table (ascending, never NULL) and the serializer orders final
+/// results by; `kSqlFinalWrapperAlias` is the alias of the outermost
+/// `SELECT * FROM (...) AS hq_final ORDER BY "ordcol"` wrapper that
+/// restores Q's ordered-list semantics.
+inline constexpr char kSqlOrdColName[] = "ordcol";
+inline constexpr char kSqlFinalWrapperAlias[] = "hq_final";
+
+}  // namespace hyperq
+
+#endif  // HYPERQ_COMMON_SQL_MARKERS_H_

@@ -4,6 +4,7 @@
 #include <cstdio>
 #include <functional>
 
+#include "common/sql_markers.h"
 #include "common/strings.h"
 #include "qval/temporal.h"
 
@@ -582,8 +583,8 @@ Result<std::string> Serializer::Serialize(const XtraPtr& root) {
   // the Xformer decided order is not required.
   if (root->order_required && root->kind != XtraKind::kSort &&
       root->kind != XtraKind::kLimit && root->ord_col != kNoCol) {
-    sql = StrCat("SELECT * FROM (", sql, ") AS hq_final ORDER BY ",
-                 QuoteIdent(rendered.columns[root->ord_col]));
+    sql = StrCat("SELECT * FROM (", sql, ") AS ", kSqlFinalWrapperAlias,
+                 " ORDER BY ", QuoteIdent(rendered.columns[root->ord_col]));
   }
   return sql;
 }

@@ -1312,5 +1312,29 @@ Status EvalFilter(const Expr& e, const BatchCtx& ctx, const uint32_t* sel,
   return Status::OK();
 }
 
+int CompareCells(const Column& col, size_t a, size_t b) {
+  switch (col.storage()) {
+    case Column::Storage::kMixed:
+      return Datum::Compare(col.mixed()[a], col.mixed()[b]);
+    case Column::Storage::kString: {
+      int c = col.strs()[a].compare(col.strs()[b]);
+      return c < 0 ? -1 : (c > 0 ? 1 : 0);
+    }
+    case Column::Storage::kFloat: {
+      double x = col.floats()[a], y = col.floats()[b];
+      bool xn = std::isnan(x), yn = std::isnan(y);
+      if (xn || yn) return xn == yn ? 0 : (xn ? 1 : -1);  // NaN sorts last
+      return x < y ? -1 : (x > y ? 1 : 0);
+    }
+    case Column::Storage::kInt: {
+      int64_t x = col.ints()[a], y = col.ints()[b];
+      return x < y ? -1 : (x > y ? 1 : 0);
+    }
+    case Column::Storage::kEmpty:
+      return 0;  // all NULL; callers handle nulls before comparing
+  }
+  return 0;
+}
+
 }  // namespace sqldb
 }  // namespace hyperq

@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "common/deadline.h"
+#include "common/sql_markers.h"
 #include "common/status.h"
 #include "common/worker_pool.h"
 #include "sqldb/eval.h"
@@ -81,12 +82,23 @@ int FlipCmpOp(int op) {
   }
 }
 
-/// Folds a literal operand to a Datum: plain constants plus unary minus
-/// over numeric constants (parsers spell -5 as -(5)). The fold matches
-/// what per-row evaluation of the same subtree produces.
+/// Folds a literal operand to a Datum: plain constants, unary minus over
+/// numeric constants (parsers spell -5 as -(5)), and casts of constants
+/// (the serializer spells every literal with an explicit type,
+/// 'MSFT'::varchar). The fold matches what per-row evaluation of the same
+/// subtree produces; a cast that would error stays unfolded so the
+/// interpreter keeps ownership of the error.
 bool FoldLiteral(const Expr& e, Datum* out) {
   if (e.kind == ExprKind::kConst) {
     *out = e.datum;
+    return true;
+  }
+  if (e.kind == ExprKind::kCast && e.lhs != nullptr) {
+    Datum inner;
+    if (!FoldLiteral(*e.lhs, &inner)) return false;
+    Result<Datum> cast = CastDatum(inner, e.cast_type);
+    if (!cast.ok()) return false;
+    *out = *std::move(cast);
     return true;
   }
   if (e.kind == ExprKind::kUnary && e.op == "-" && e.lhs != nullptr &&
@@ -130,9 +142,151 @@ struct FpBuilder {
   }
 };
 
+const char* OutputNameOf(const SelectItem& item) {
+  if (!item.alias.empty()) return item.alias.c_str();
+  const Expr& e = *item.expr;
+  if (e.kind == ExprKind::kColRef) return e.column.c_str();
+  if (e.kind == ExprKind::kFuncCall) return e.func_name.c_str();
+  return "?column?";
+}
+
+/// Compile-time three-valued truth (+1 TRUE / 0 FALSE / -1 NULL) of a
+/// COALESCE fallback expression under an assumed nullness of the
+/// comparison's column. The supported grammar is what the serializer's
+/// null-ordering rewrite emits — IS [NOT] NULL over that same column or
+/// over a literal, boolean constants, NOT, AND/OR (Kleene, exactly like
+/// EvalExpr) — and anything else fails the walk (returns false), keeping
+/// the predicate on the interpreted path.
+bool FallbackTruth(const Expr& e, const Expr& colref, bool col_null,
+                   int* out) {
+  switch (e.kind) {
+    case ExprKind::kConst: {
+      if (e.datum.is_null()) {
+        *out = -1;
+        return true;
+      }
+      if (e.datum.type() != SqlType::kBoolean) return false;
+      *out = e.datum.AsInt() != 0 ? 1 : 0;
+      return true;
+    }
+    case ExprKind::kIsNull: {
+      if (e.lhs == nullptr) return false;
+      bool isnull;
+      Datum lit;
+      if (e.lhs->kind == ExprKind::kColRef) {
+        if (e.lhs->qualifier != colref.qualifier ||
+            e.lhs->column != colref.column) {
+          return false;  // some other column: not this predicate's business
+        }
+        isnull = col_null;
+      } else if (FoldLiteral(*e.lhs, &lit)) {
+        isnull = lit.is_null();
+      } else {
+        return false;
+      }
+      *out = (isnull != e.negated) ? 1 : 0;
+      return true;
+    }
+    case ExprKind::kUnary: {
+      if (e.op != "NOT" || e.lhs == nullptr) return false;
+      int v;
+      if (!FallbackTruth(*e.lhs, colref, col_null, &v)) return false;
+      *out = v < 0 ? -1 : (v == 1 ? 0 : 1);
+      return true;
+    }
+    case ExprKind::kBinary: {
+      if ((e.op != "AND" && e.op != "OR") || e.lhs == nullptr ||
+          e.rhs == nullptr) {
+        return false;
+      }
+      int a, b;
+      if (!FallbackTruth(*e.lhs, colref, col_null, &a) ||
+          !FallbackTruth(*e.rhs, colref, col_null, &b)) {
+        return false;
+      }
+      if (e.op == "AND") {
+        *out = (a == 0 || b == 0) ? 0 : ((a == 1 && b == 1) ? 1 : -1);
+      } else {
+        *out = (a == 1 || b == 1) ? 1 : ((a == 0 && b == 0) ? 0 : -1);
+      }
+      return true;
+    }
+    default:
+      return false;
+  }
+}
+
+/// Recognizes `COALESCE(<col cmp lit>, <fallback>)` — the serializer's
+/// null-aware comparison form — and resolves it to (colref, op, literal,
+/// fallback truth under NULL / non-NULL column). The fallback codes are a
+/// pure function of the expression structure and the literal classes, so
+/// they are fingerprint-stable across literal values.
+struct CoalesceCmp {
+  const Expr* col = nullptr;
+  int op = 0;
+  Datum lit;
+  int fb_col_null = 0;
+  int fb_col_notnull = 0;
+};
+
+bool MatchCoalesceCmp(const Expr& e, CoalesceCmp* out) {
+  if (e.kind != ExprKind::kFuncCall || e.func_name != "coalesce" ||
+      e.args.size() != 2 || e.args[0] == nullptr || e.args[1] == nullptr) {
+    return false;
+  }
+  const Expr& cmp = *e.args[0];
+  if (cmp.kind != ExprKind::kBinary || cmp.lhs == nullptr ||
+      cmp.rhs == nullptr) {
+    return false;
+  }
+  int op = CmpOpIndexOf(cmp.op);
+  if (op < 0) return false;
+  const Expr* col = nullptr;
+  Datum lit;
+  if (cmp.lhs->kind == ExprKind::kColRef && FoldLiteral(*cmp.rhs, &lit)) {
+    col = cmp.lhs.get();
+  } else if (cmp.rhs->kind == ExprKind::kColRef &&
+             FoldLiteral(*cmp.lhs, &lit)) {
+    col = cmp.rhs.get();
+    op = FlipCmpOp(op);
+  } else {
+    return false;
+  }
+  int fb_cn, fb_cnn;
+  if (!FallbackTruth(*e.args[1], *col, /*col_null=*/true, &fb_cn) ||
+      !FallbackTruth(*e.args[1], *col, /*col_null=*/false, &fb_cnn)) {
+    return false;
+  }
+  out->col = col;
+  out->op = op;
+  out->lit = std::move(lit);
+  out->fb_col_null = fb_cn;
+  out->fb_col_notnull = fb_cnn;
+  return true;
+}
+
 bool WalkWhere(const Expr& e, FpBuilder* b) {
   if (e.kind == ExprKind::kBinary && e.op == "AND") {
     return WalkWhere(*e.lhs, b) && WalkWhere(*e.rhs, b);
+  }
+  if (e.kind == ExprKind::kBinary &&
+      (e.op == "IS_DISTINCT" || e.op == "IS_NOT_DISTINCT")) {
+    if (e.lhs == nullptr || e.rhs == nullptr) return false;
+    const Expr* col = nullptr;
+    Datum lit;
+    // IS [NOT] DISTINCT FROM is symmetric: no operator flip when the
+    // literal is on the left.
+    if (e.lhs->kind == ExprKind::kColRef && FoldLiteral(*e.rhs, &lit)) {
+      col = e.lhs.get();
+    } else if (e.rhs->kind == ExprKind::kColRef && FoldLiteral(*e.lhs, &lit)) {
+      col = e.rhs.get();
+    } else {
+      return false;
+    }
+    b->Tag(e.op == "IS_DISTINCT" ? "p:D" : "p:d");
+    b->Col(*col);
+    b->Lit(lit);
+    return true;
   }
   if (e.kind == ExprKind::kBinary) {
     int op = CmpOpIndexOf(e.op);
@@ -172,6 +326,34 @@ bool WalkWhere(const Expr& e, FpBuilder* b) {
     b->Lit(hi);
     return true;
   }
+  if (e.kind == ExprKind::kFuncCall) {
+    CoalesceCmp cc;
+    if (!MatchCoalesceCmp(e, &cc)) return false;
+    b->Tag("p:q");
+    b->Field(std::to_string(cc.op));
+    b->Col(*cc.col);
+    // The fallback's compile-time truth codes are part of the shape: two
+    // statements share a kernel only when their fallbacks agree.
+    b->Field(std::to_string(cc.fb_col_null));
+    b->Field(std::to_string(cc.fb_col_notnull));
+    b->Lit(cc.lit);
+    return true;
+  }
+  if (e.kind == ExprKind::kInList) {
+    if (e.lhs == nullptr || e.lhs->kind != ExprKind::kColRef ||
+        e.args.empty()) {
+      return false;
+    }
+    b->Tag(e.negated ? "p:I" : "p:i");
+    b->Col(*e.lhs);
+    b->Field(std::to_string(e.args.size()));
+    for (const ExprPtr& a : e.args) {
+      Datum item;
+      if (a == nullptr || !FoldLiteral(*a, &item)) return false;
+      b->Lit(item);
+    }
+    return true;
+  }
   return false;
 }
 
@@ -189,34 +371,348 @@ bool IsKernelAggregate(const Expr& e) {
   return e.args.size() == 1 && e.args[0]->kind == ExprKind::kColRef;
 }
 
+// ---------------------------------------------------------------------------
+// Canonicalization (subquery flattening)
+//
+// The serializer's emitted SQL wraps every operator in a rename shell —
+//   SELECT t0."C" AS "C", ... FROM (SELECT ...) AS t0 [WHERE ...]
+// — and the final result in `SELECT * FROM (...) AS hq_final ORDER BY
+// "ordcol"`. These wrappers compose projection/filter/order over an inner
+// query without changing row identity, so they flatten away before
+// fingerprinting: the kernel then sees the same flat scan shape a
+// hand-written query would produce. Flattening only ever REPLACES fields
+// of a private SelectStmt copy; shared Expr/TableRef subtrees are never
+// mutated (the kernel path reads them name-based, ignoring the resolution
+// memo).
+// ---------------------------------------------------------------------------
+
+/// Rewrites `e` so references to the subquery's output columns become the
+/// inner item expressions themselves. Returns nullptr when the expression
+/// references anything that is not an inner output column — the flatten
+/// then fails and the statement keeps its interpreted shape.
+ExprPtr SubstituteExpr(const ExprPtr& e, const std::string& alias,
+                       const std::unordered_map<std::string, ExprPtr>& map) {
+  if (e == nullptr) return nullptr;
+  switch (e->kind) {
+    case ExprKind::kConst:
+      return e;
+    case ExprKind::kColRef: {
+      if (!e->qualifier.empty() && e->qualifier != alias) return nullptr;
+      auto it = map.find(e->column);
+      return it == map.end() ? nullptr : it->second;
+    }
+    case ExprKind::kBinary:
+    case ExprKind::kUnary: {
+      auto out = std::make_shared<Expr>();
+      out->kind = e->kind;
+      out->op = e->op;
+      if (e->lhs != nullptr) {
+        out->lhs = SubstituteExpr(e->lhs, alias, map);
+        if (out->lhs == nullptr) return nullptr;
+      }
+      if (e->rhs != nullptr) {
+        out->rhs = SubstituteExpr(e->rhs, alias, map);
+        if (out->rhs == nullptr) return nullptr;
+      }
+      return out;
+    }
+    case ExprKind::kIsNull: {
+      auto out = std::make_shared<Expr>();
+      out->kind = e->kind;
+      out->negated = e->negated;
+      out->lhs = SubstituteExpr(e->lhs, alias, map);
+      return out->lhs == nullptr ? nullptr : out;
+    }
+    case ExprKind::kCast: {
+      auto out = std::make_shared<Expr>();
+      out->kind = e->kind;
+      out->cast_type = e->cast_type;
+      out->lhs = SubstituteExpr(e->lhs, alias, map);
+      return out->lhs == nullptr ? nullptr : out;
+    }
+    case ExprKind::kBetween: {
+      auto out = std::make_shared<Expr>();
+      out->kind = e->kind;
+      out->negated = e->negated;
+      out->lhs = SubstituteExpr(e->lhs, alias, map);
+      out->low = SubstituteExpr(e->low, alias, map);
+      out->high = SubstituteExpr(e->high, alias, map);
+      if (out->lhs == nullptr || out->low == nullptr ||
+          out->high == nullptr) {
+        return nullptr;
+      }
+      return out;
+    }
+    case ExprKind::kInList: {
+      auto out = std::make_shared<Expr>();
+      out->kind = e->kind;
+      out->negated = e->negated;
+      out->lhs = SubstituteExpr(e->lhs, alias, map);
+      if (out->lhs == nullptr) return nullptr;
+      out->args.reserve(e->args.size());
+      for (const ExprPtr& a : e->args) {
+        ExprPtr s = SubstituteExpr(a, alias, map);
+        if (s == nullptr) return nullptr;
+        out->args.push_back(std::move(s));
+      }
+      return out;
+    }
+    case ExprKind::kFuncCall: {
+      auto out = std::make_shared<Expr>();
+      out->kind = e->kind;
+      out->func_name = e->func_name;
+      out->distinct = e->distinct;
+      out->args.reserve(e->args.size());
+      for (const ExprPtr& a : e->args) {
+        if (a != nullptr && a->kind == ExprKind::kStar) {
+          out->args.push_back(a);  // COUNT(*): rows map 1:1 through a scan
+          continue;
+        }
+        ExprPtr s = SubstituteExpr(a, alias, map);
+        if (s == nullptr) return nullptr;
+        out->args.push_back(std::move(s));
+      }
+      return out;
+    }
+    default:
+      // kStar handled by the item loop; CASE/CAST/window shapes are not
+      // kernel material anyway, so there is no point flattening them.
+      return nullptr;
+  }
+}
+
+/// One flattening step over `cur` (whose FROM is a subquery). Two shapes:
+///  - plain inner scan (no aggregation): outer items/filters/group keys
+///    substitute the inner item expressions, and the WHERE clauses conjoin
+///    as `inner AND outer` so evaluation order is preserved;
+///  - aggregating inner: the outer must be a pure column rename/reorder
+///    (the serializer's kSort and hq_final shells); the inner query is
+///    kept and only output names, ORDER BY and LIMIT/OFFSET move in.
+/// ORDER BY keys are rewritten to unqualified references to output
+/// columns — never substituted to base expressions — so resolution keeps
+/// hitting the select list first, exactly like the interpreted
+/// ApplyOrderBy.
+bool TryFlattenOnce(SelectStmt* cur) {
+  // Pin the inner select: reassigning cur->from below must not free what
+  // `inner` still references.
+  const SelectPtr inner_keepalive = cur->from->subquery;
+  const SelectStmt& inner = *inner_keepalive;
+  const std::string alias = cur->from->alias;
+  if (inner.distinct || inner.having != nullptr || !inner.order_by.empty() ||
+      inner.limit != nullptr || inner.offset != nullptr ||
+      !inner.union_all.empty() || inner.from == nullptr ||
+      inner.items.empty()) {
+    return false;
+  }
+  bool inner_agg = !inner.group_by.empty();
+  for (const SelectItem& it : inner.items) {
+    if (it.expr == nullptr || it.expr->kind == ExprKind::kStar) return false;
+    std::vector<const Expr*> aggs;
+    CollectAggregates(it.expr, &aggs);
+    if (!aggs.empty()) inner_agg = true;
+  }
+  // Inner output names must be unique so references are unambiguous.
+  std::vector<std::string> names;
+  std::unordered_map<std::string, ExprPtr> by_name;
+  names.reserve(inner.items.size());
+  for (const SelectItem& it : inner.items) {
+    std::string n = OutputNameOf(it);
+    if (n.empty() || by_name.count(n) != 0) return false;
+    names.push_back(n);
+    by_name.emplace(std::move(n), it.expr);
+  }
+
+  std::vector<SelectItem> new_items;
+  // For plain-colref outer items, the inner column name they project —
+  // qualified ORDER BY keys resolve through this.
+  std::vector<std::string> item_src;
+  ExprPtr new_where;
+  std::vector<ExprPtr> new_group;
+  auto expand_star = [&](const Expr& star) {
+    if (!star.qualifier.empty() && star.qualifier != alias) return false;
+    for (size_t i = 0; i < inner.items.size(); ++i) {
+      SelectItem ni;
+      ni.expr = inner.items[i].expr;
+      ni.alias = names[i];  // preserve output names across the flatten
+      new_items.push_back(std::move(ni));
+      item_src.push_back(names[i]);
+    }
+    return true;
+  };
+  if (!inner_agg) {
+    for (const SelectItem& item : cur->items) {
+      const Expr& e = *item.expr;
+      if (e.kind == ExprKind::kStar) {
+        if (!expand_star(e)) return false;
+        continue;
+      }
+      ExprPtr sub = SubstituteExpr(item.expr, alias, by_name);
+      if (sub == nullptr) return false;
+      SelectItem ni;
+      ni.expr = std::move(sub);
+      ni.alias = OutputNameOf(item);
+      new_items.push_back(std::move(ni));
+      item_src.push_back(
+          (e.kind == ExprKind::kColRef &&
+           (e.qualifier.empty() || e.qualifier == alias))
+              ? e.column
+              : std::string());
+    }
+    if (cur->where != nullptr) {
+      ExprPtr w = SubstituteExpr(cur->where, alias, by_name);
+      if (w == nullptr) return false;
+      new_where = inner.where != nullptr
+                      ? MakeBinary("AND", inner.where, std::move(w))
+                      : std::move(w);
+    } else {
+      new_where = inner.where;
+    }
+    new_group.reserve(cur->group_by.size());
+    for (const ExprPtr& g : cur->group_by) {
+      ExprPtr sg = SubstituteExpr(g, alias, by_name);
+      if (sg == nullptr) return false;
+      new_group.push_back(std::move(sg));
+    }
+  } else {
+    // Aggregating inner: the outer may only rename/reorder columns. Any
+    // outer filter/group/dedup over aggregate output stays interpreted.
+    if (cur->where != nullptr || !cur->group_by.empty() ||
+        cur->having != nullptr || cur->distinct || !cur->union_all.empty()) {
+      return false;
+    }
+    for (const SelectItem& item : cur->items) {
+      const Expr& e = *item.expr;
+      if (e.kind == ExprKind::kStar) {
+        if (!expand_star(e)) return false;
+        continue;
+      }
+      if (e.kind != ExprKind::kColRef ||
+          (!e.qualifier.empty() && e.qualifier != alias)) {
+        return false;
+      }
+      auto it = by_name.find(e.column);
+      if (it == by_name.end()) return false;
+      SelectItem ni;
+      ni.expr = it->second;
+      ni.alias = OutputNameOf(item);
+      new_items.push_back(std::move(ni));
+      item_src.push_back(e.column);
+    }
+    new_where = inner.where;
+    new_group = inner.group_by;
+  }
+
+  // ORDER BY keys: ordinals keep their positions (stars expand in place to
+  // the same column count); unqualified names must still resolve in the
+  // select list; alias-qualified keys redirect to the output column that
+  // projects the same inner column.
+  std::vector<OrderItem> new_order;
+  new_order.reserve(cur->order_by.size());
+  auto first_by_alias = [&](const std::string& name) {
+    for (size_t i = 0; i < new_items.size(); ++i) {
+      if (new_items[i].alias == name) return static_cast<int>(i);
+    }
+    return -1;
+  };
+  for (const OrderItem& k : cur->order_by) {
+    if (k.expr == nullptr) return false;
+    const Expr& e = *k.expr;
+    OrderItem nk = k;
+    if (e.kind == ExprKind::kConst) {
+      new_order.push_back(std::move(nk));
+      continue;
+    }
+    if (e.kind != ExprKind::kColRef) return false;
+    if (e.qualifier.empty()) {
+      if (first_by_alias(e.column) < 0) return false;
+      new_order.push_back(std::move(nk));  // already canonical
+      continue;
+    }
+    if (e.qualifier != alias) return false;
+    int idx = -1;
+    for (size_t i = 0; i < item_src.size(); ++i) {
+      if (item_src[i] == e.column) {
+        idx = static_cast<int>(i);
+        break;
+      }
+    }
+    if (idx < 0) return false;
+    // The rewritten unqualified name must resolve back to this item (an
+    // earlier duplicate alias would shadow it).
+    if (first_by_alias(new_items[idx].alias) != idx) return false;
+    nk.expr = MakeColRef("", new_items[idx].alias);
+    new_order.push_back(std::move(nk));
+  }
+
+  TableRefPtr new_from = inner.from;
+  cur->items = std::move(new_items);
+  cur->from = std::move(new_from);
+  cur->where = std::move(new_where);
+  cur->group_by = std::move(new_group);
+  cur->order_by = std::move(new_order);
+  return true;
+}
+
+/// Flattens the serializer's standard wrappers off `stmt`. Returns the
+/// canonical statement when at least one level flattened, nullptr when the
+/// statement is not wrapper-composed (including "not a subquery FROM").
+SelectPtr CanonicalizeSelect(const SelectStmt& stmt) {
+  auto cur = std::make_shared<SelectStmt>(stmt);
+  bool changed = false;
+  // Depth-bounded: the serializer nests one shell per operator, and
+  // anything deeper than a handful of shells is not hot-query material.
+  for (int depth = 0; depth < 8; ++depth) {
+    if (cur->from == nullptr ||
+        cur->from->kind != TableRef::Kind::kSubquery ||
+        cur->from->subquery == nullptr) {
+      break;
+    }
+    if (!TryFlattenOnce(cur.get())) break;
+    changed = true;
+  }
+  return changed ? cur : nullptr;
+}
+
 }  // namespace
 
-KernelFingerprint KernelFingerprintFor(const SelectStmt& stmt) {
-  KernelFingerprint unsupported;
-  // Shapes with their own post-core machinery (sorting, limits, unions,
-  // dedup, HAVING) stay on the interpreted path.
-  if (stmt.distinct || stmt.having != nullptr || !stmt.order_by.empty() ||
-      stmt.limit != nullptr || stmt.offset != nullptr ||
-      !stmt.union_all.empty()) {
-    return unsupported;
+namespace {
+
+KernelFingerprint RejectFp(const char* reason) {
+  KernelFingerprint fp;
+  fp.reject_reason = reason;
+  return fp;
+}
+
+/// Fingerprints a (possibly canonicalized) flat statement.
+KernelFingerprint FingerprintFlat(const SelectStmt& stmt) {
+  // Shapes with their own post-core machinery (dedup, unions, HAVING)
+  // stay on the interpreted path.
+  if (stmt.distinct) return RejectFp("distinct");
+  if (stmt.having != nullptr) return RejectFp("having");
+  if (!stmt.union_all.empty()) return RejectFp("union");
+  if (stmt.from == nullptr) return RejectFp("from");
+  if (stmt.from->kind == TableRef::Kind::kSubquery) {
+    return RejectFp("subquery");  // canonicalization could not flatten it
   }
-  if (stmt.from == nullptr || stmt.from->kind != TableRef::Kind::kNamed ||
-      stmt.from->name.empty() || stmt.items.empty()) {
-    return unsupported;
+  if (stmt.from->kind == TableRef::Kind::kJoin) return RejectFp("join");
+  if (stmt.from->name.empty() || stmt.items.empty()) {
+    return RejectFp("from");
   }
 
   FpBuilder b;
-  b.Tag("krn1|");
+  b.Tag("krn2|");
   b.Field(stmt.from->name);
   b.Field(stmt.from->alias);
 
   bool has_agg = false;
+  bool has_star = false;
   for (const SelectItem& item : stmt.items) {
     const Expr& e = *item.expr;
     if (e.kind == ExprKind::kColRef) {
       b.Tag("i:c");
       b.Col(e);
     } else if (e.kind == ExprKind::kStar) {
+      has_star = true;
       b.Tag("i:s");
       b.Field(e.qualifier);
     } else if (IsKernelAggregate(e)) {
@@ -229,36 +725,98 @@ KernelFingerprint KernelFingerprintFor(const SelectStmt& stmt) {
         b.Tag("*\x01");
       }
     } else {
-      return unsupported;
+      return RejectFp("expr");
     }
     b.Field(item.alias);
   }
 
   if (stmt.where != nullptr) {
     b.Tag("w|");
-    if (!WalkWhere(*stmt.where, &b)) return unsupported;
+    if (!WalkWhere(*stmt.where, &b)) return RejectFp("predicate");
   }
 
   if (!stmt.group_by.empty()) {
     b.Tag("g|");
     for (const ExprPtr& g : stmt.group_by) {
-      if (g->kind != ExprKind::kColRef) return unsupported;
+      if (g->kind != ExprKind::kColRef) return RejectFp("group_by");
       b.Col(*g);
     }
   }
   // A star select of a grouped query would project every column through
   // representative rows; keep stars on the projection path only (the
   // interpreted executor owns the exotic combination).
-  if (has_agg || !stmt.group_by.empty()) {
-    for (const SelectItem& item : stmt.items) {
-      if (item.expr->kind == ExprKind::kStar) return unsupported;
+  if ((has_agg || !stmt.group_by.empty()) && has_star) {
+    return RejectFp("star_agg");
+  }
+
+  // ORDER BY: output ordinals (baked into the shape — positions are
+  // structural) or unqualified output names. Qualified keys and arbitrary
+  // expressions sort over the pre-projection relation in the interpreted
+  // executor; leave those to it.
+  if (!stmt.order_by.empty()) {
+    b.Tag("o|");
+    for (const OrderItem& k : stmt.order_by) {
+      if (k.expr == nullptr) return RejectFp("order_by");
+      const Expr& e = *k.expr;
+      if (e.kind == ExprKind::kConst && !e.datum.is_null() &&
+          IsIntegralType(e.datum.type())) {
+        int64_t ord = e.datum.AsInt();
+        // Out-of-range ordinals raise a user-visible bind error the
+        // interpreter owns; with a star the output width is unknown here.
+        if (has_star || ord < 1 ||
+            ord > static_cast<int64_t>(stmt.items.size())) {
+          return RejectFp("order_by");
+        }
+        b.Tag("o:#");
+        b.Field(std::to_string(ord));
+      } else if (e.kind == ExprKind::kColRef && e.qualifier.empty()) {
+        b.Tag("o:c");
+        b.Field(e.column);
+      } else {
+        return RejectFp("order_by");
+      }
+      b.Field(k.ascending ? "a" : "d");
+      b.Field(k.nulls_first ? "nf" : "nl");
     }
+  }
+
+  // LIMIT/OFFSET: constant and integral, lifted to literal slots so LIMIT
+  // 5 and LIMIT 10 share one kernel. Anything the interpreted ApplyLimit
+  // would reject (NULL, non-integral) is its error to report.
+  auto walk_limit = [&b](const Expr& e, const char* tag) {
+    Datum d;
+    if (!FoldLiteral(e, &d) || d.is_null() || !IsIntegralType(d.type())) {
+      return false;
+    }
+    b.Tag(tag);
+    b.Lit(d);
+    return true;
+  };
+  if (stmt.limit != nullptr && !walk_limit(*stmt.limit, "l|")) {
+    return RejectFp("limit");
+  }
+  if (stmt.offset != nullptr && !walk_limit(*stmt.offset, "O|")) {
+    return RejectFp("limit");
   }
 
   b.fp.supported = true;
   b.fp.table = stmt.from->name;
   b.fp.hash = Fnv1a(b.fp.text);
   return b.fp;
+}
+
+}  // namespace
+
+KernelFingerprint KernelFingerprintFor(const SelectStmt& stmt) {
+  if (stmt.from != nullptr &&
+      stmt.from->kind == TableRef::Kind::kSubquery) {
+    SelectPtr canonical = CanonicalizeSelect(stmt);
+    if (canonical == nullptr) return RejectFp("subquery");
+    KernelFingerprint fp = FingerprintFlat(*canonical);
+    fp.canonical = std::move(canonical);
+    return fp;
+  }
+  return FingerprintFlat(stmt);
 }
 
 // ---------------------------------------------------------------------------
@@ -309,11 +867,34 @@ std::optional<KernelPlan::CmpMode> CmpModeFor(Column::Storage st,
   }
 }
 
+/// Equality mode for the Datum::DistinctEquals-based kinds (IS [NOT]
+/// DISTINCT FROM, IN lists). Unlike CmpModeFor this never rejects:
+/// DistinctEquals never raises a type error — a class mismatch simply
+/// compares unequal — so mismatches compile to kNever (equality false).
+KernelPlan::CmpMode EqModeFor(Column::Storage st, char lit_class) {
+  using Mode = KernelPlan::CmpMode;
+  if (lit_class == 'n' || st == Column::Storage::kEmpty) return Mode::kNever;
+  switch (st) {
+    case Column::Storage::kString:
+      return lit_class == 's' ? Mode::kString : Mode::kNever;
+    case Column::Storage::kInt:
+      if (lit_class == 'i') return Mode::kIntInt;
+      if (lit_class == 'f') return Mode::kIntDouble;
+      return Mode::kNever;
+    case Column::Storage::kFloat:
+      return (lit_class == 'i' || lit_class == 'f') ? Mode::kDouble
+                                                    : Mode::kNever;
+    default:
+      return Mode::kNever;
+  }
+}
+
 struct CompileCtx {
   const std::vector<TableColumn>* schema;
   const std::vector<Column::Storage>* storages;
   std::string alias;
   std::vector<KernelPlan::Pred>* preds;
+  std::vector<KernelPlan::InList>* in_lists;
   int next_param = 0;
 };
 
@@ -323,7 +904,24 @@ Status CompileWhere(const Expr& e, CompileCtx* ctx) {
     return CompileWhere(*e.rhs, ctx);
   }
   KernelPlan::Pred p;
-  if (e.kind == ExprKind::kBinary) {
+  if (e.kind == ExprKind::kBinary &&
+      (e.op == "IS_DISTINCT" || e.op == "IS_NOT_DISTINCT")) {
+    const Expr* colref = nullptr;
+    Datum lit;
+    if (e.lhs->kind == ExprKind::kColRef && FoldLiteral(*e.rhs, &lit)) {
+      colref = e.lhs.get();
+    } else {
+      colref = e.rhs.get();
+      FoldLiteral(*e.lhs, &lit);
+    }
+    p.kind = KernelPlan::Pred::Kind::kDistinct;
+    p.negated = e.op == "IS_DISTINCT";
+    p.col = ResolveCol(*colref, *ctx->schema, ctx->alias);
+    if (p.col < 0) return Unsupported("kernel: unresolved filter column");
+    p.lit_null = lit.is_null();
+    p.mode = EqModeFor((*ctx->storages)[p.col], ClassOf(lit));
+    p.p0 = ctx->next_param++;
+  } else if (e.kind == ExprKind::kBinary) {
     int op = CmpOpIndexOf(e.op);
     const Expr* colref = nullptr;
     Datum lit;
@@ -342,6 +940,42 @@ Status CompileWhere(const Expr& e, CompileCtx* ctx) {
     if (!mode) return Unsupported("kernel: comparison type classes differ");
     p.mode = *mode;
     p.p0 = ctx->next_param++;
+  } else if (e.kind == ExprKind::kFuncCall) {
+    CoalesceCmp cc;
+    if (!MatchCoalesceCmp(e, &cc)) {
+      return Unsupported("kernel: unsupported filter function");
+    }
+    p.kind = KernelPlan::Pred::Kind::kCoalesceCmp;
+    p.op = cc.op;
+    p.col = ResolveCol(*cc.col, *ctx->schema, ctx->alias);
+    if (p.col < 0) return Unsupported("kernel: unresolved filter column");
+    p.lit_null = cc.lit.is_null();
+    // A class mismatch raises the interpreter's comparison type error on
+    // every non-NULL row (COALESCE evaluates the comparison first), so it
+    // rejects exactly like a plain comparison would.
+    auto mode = CmpModeFor((*ctx->storages)[p.col], ClassOf(cc.lit));
+    if (!mode) return Unsupported("kernel: comparison type classes differ");
+    p.mode = *mode;
+    p.fb_col_null = static_cast<int8_t>(cc.fb_col_null);
+    p.fb_col_notnull = static_cast<int8_t>(cc.fb_col_notnull);
+    p.p0 = ctx->next_param++;
+  } else if (e.kind == ExprKind::kInList) {
+    p.kind = KernelPlan::Pred::Kind::kInList;
+    p.negated = e.negated;
+    p.col = ResolveCol(*e.lhs, *ctx->schema, ctx->alias);
+    if (p.col < 0) return Unsupported("kernel: unresolved filter column");
+    KernelPlan::InList il;
+    il.modes.reserve(e.args.size());
+    il.slots.reserve(e.args.size());
+    for (const ExprPtr& a : e.args) {
+      Datum item;
+      FoldLiteral(*a, &item);
+      if (item.is_null()) il.has_null_item = true;
+      il.modes.push_back(EqModeFor((*ctx->storages)[p.col], ClassOf(item)));
+      il.slots.push_back(ctx->next_param++);
+    }
+    p.p0 = static_cast<int>(ctx->in_lists->size());
+    ctx->in_lists->push_back(std::move(il));
   } else if (e.kind == ExprKind::kIsNull) {
     p.kind = KernelPlan::Pred::Kind::kIsNull;
     p.negated = e.negated;
@@ -376,12 +1010,20 @@ Status CompileWhere(const Expr& e, CompileCtx* ctx) {
   return Status::OK();
 }
 
-const char* OutputNameOf(const SelectItem& item) {
-  if (!item.alias.empty()) return item.alias.c_str();
-  const Expr& e = *item.expr;
-  if (e.kind == ExprKind::kColRef) return e.column.c_str();
-  if (e.kind == ExprKind::kFuncCall) return e.func_name.c_str();
-  return "?column?";
+/// True when the column is globally non-NULL and non-decreasing — i.e. a
+/// stable ascending sort of it is the identity permutation. O(n) scan at
+/// compile time, run only for declared-sorted columns (the loader's
+/// ordcol / sort_keys); results are pinned by pointer identity in GuardOk.
+bool ColumnSortedNonNull(const Column& col, size_t n) {
+  if (n == 0) return true;
+  if (col.storage() == Column::Storage::kEmpty) return false;  // all NULL
+  for (uint8_t b : col.null_bytes()) {
+    if (b != 0) return false;
+  }
+  for (size_t r = 1; r < n; ++r) {
+    if (CompareCells(col, r - 1, r) > 0) return false;
+  }
+  return true;
 }
 
 }  // namespace
@@ -416,8 +1058,9 @@ Result<std::shared_ptr<const KernelPlan>> KernelPlan::Compile(
   const std::string alias =
       stmt.from->alias.empty() ? name : stmt.from->alias;
 
+  CompileCtx ctx{&plan->schema_, &plan->storages_, alias,
+                 &plan->preds_,  &plan->in_lists_,  0};
   if (stmt.where != nullptr) {
-    CompileCtx ctx{&plan->schema_, &plan->storages_, alias, &plan->preds_, 0};
     HQ_RETURN_IF_ERROR(CompileWhere(*stmt.where, &ctx));
   }
 
@@ -496,6 +1139,72 @@ Result<std::shared_ptr<const KernelPlan>> KernelPlan::Compile(
       plan->group_mode_ = GroupMode::kGeneric;
     }
   }
+
+  // ORDER BY keys resolve against the output items exactly like the
+  // interpreted ApplyOrderBy (ordinals are 1-based; unqualified names take
+  // the first select-list match).
+  for (const OrderItem& k : stmt.order_by) {
+    const Expr& e = *k.expr;
+    int idx = -1;
+    if (e.kind == ExprKind::kConst) {
+      int64_t ord = e.datum.AsInt();
+      if (ord < 1 || ord > static_cast<int64_t>(plan->items_.size())) {
+        return Unsupported("kernel: ORDER BY position out of range");
+      }
+      idx = static_cast<int>(ord - 1);
+    } else {
+      for (size_t i = 0; i < plan->items_.size(); ++i) {
+        if (plan->items_[i].name == e.column) {
+          idx = static_cast<int>(i);
+          break;
+        }
+      }
+      if (idx < 0) {
+        // The interpreter would sort over the pre-projection relation;
+        // that machinery stays interpreted.
+        return Unsupported("kernel: ORDER BY key not in the select list");
+      }
+    }
+    OrderKey key;
+    key.item = idx;
+    key.ascending = k.ascending;
+    key.nulls_first = k.nulls_first;
+    plan->order_keys_.push_back(key);
+  }
+
+  // ordcol elision: a lone ascending key over a column the loader declared
+  // scan-sorted (the synthetic ordcol, or any advisory sort key) sorts a
+  // sequence the fused scan already produces in that order — a filter only
+  // drops rows from a sorted sequence, and a stable sort of a sorted,
+  // NULL-free column is the identity — so the sort disappears entirely.
+  // The declaration is only a hint: an O(n) compile-time scan proves
+  // sortedness, and GuardOk pins the verified buffer by pointer identity.
+  if (!plan->grouped_ && plan->order_keys_.size() == 1 &&
+      plan->order_keys_[0].ascending) {
+    const Item& it = plan->items_[plan->order_keys_[0].item];
+    if (!it.is_agg && it.col >= 0) {
+      const std::string& cname = plan->schema_[it.col].name;
+      bool declared =
+          cname == kSqlOrdColName ||
+          std::find(table->sort_keys.begin(), table->sort_keys.end(),
+                    cname) != table->sort_keys.end();
+      if (declared &&
+          ColumnSortedNonNull(*table->data[it.col], table->row_count)) {
+        plan->elided_col_ = it.col;
+        plan->elided_col_ptr_ = table->data[it.col].get();
+        plan->order_keys_.clear();
+      }
+    }
+  }
+
+  if (stmt.limit != nullptr) {
+    plan->has_limit_ = true;
+    plan->limit_slot_ = ctx.next_param++;
+  }
+  if (stmt.offset != nullptr) {
+    plan->has_offset_ = true;
+    plan->offset_slot_ = ctx.next_param++;
+  }
   return std::shared_ptr<const KernelPlan>(plan);
 }
 
@@ -514,6 +1223,14 @@ bool KernelPlan::GuardOk(const StoredTable& table) const {
         table.data[i]->size() != table.row_count) {
       return false;
     }
+  }
+  // An elided sort is a data-dependent proof (the key buffer was scanned
+  // as sorted at compile time); require the exact buffer, so a same-schema
+  // data swap racing the registry's version check can never run it.
+  if (elided_col_ >= 0 &&
+      (static_cast<size_t>(elided_col_) >= table.data.size() ||
+       table.data[elided_col_].get() != elided_col_ptr_)) {
+    return false;
   }
   return true;
 }
@@ -568,6 +1285,12 @@ struct BoundPred {
   double d0 = 0, d1 = 0;
   const std::string* s0 = nullptr;
   const std::string* s1 = nullptr;
+  /// kInList: the plan's membership list plus this execution's item
+  /// values, parallel to inl->modes (only the mode-active lane is bound).
+  const KernelPlan::InList* inl = nullptr;
+  std::vector<int64_t> in_i;
+  std::vector<double> in_d;
+  std::vector<const std::string*> in_s;
 };
 
 /// Datum::Compare's double ordering: NaN sorts last, two NaNs tie.
@@ -713,6 +1436,190 @@ void ApplyPred(const BoundPred& bp, const std::vector<ColView>& cols,
       });
       return;
     }
+    case Pred::Kind::kDistinct: {
+      // Datum::DistinctEquals semantics: NULLs are equal to each other,
+      // IEEE equality for floats (NaN != NaN), class mismatch unequal —
+      // never a type error. Row passes when equality != negated.
+      const bool neg = p.negated;
+      if (p.lit_null) {
+        // Equal iff the cell is NULL.
+        if (c.st == Column::Storage::kEmpty) {
+          FillOrCompact(first, lo, hi, sel, [neg](size_t) { return !neg; });
+        } else if (nulls == nullptr) {
+          FillOrCompact(first, lo, hi, sel, [neg](size_t) { return neg; });
+        } else {
+          FillOrCompact(first, lo, hi, sel, [nulls, neg](size_t r) {
+            return (nulls[r] != 0) != neg;
+          });
+        }
+        return;
+      }
+      switch (p.mode) {
+        case CmpMode::kNever:  // class mismatch or all-NULL column
+          FillOrCompact(first, lo, hi, sel, [neg](size_t) { return neg; });
+          return;
+        case CmpMode::kIntInt: {
+          const int64_t* iv = c.iv;
+          const int64_t b = bp.i0;
+          FillOrCompact(first, lo, hi, sel, [iv, nulls, b, neg](size_t r) {
+            const bool eq =
+                (nulls == nullptr || nulls[r] == 0) && iv[r] == b;
+            return eq != neg;
+          });
+          return;
+        }
+        case CmpMode::kIntDouble: {
+          const int64_t* iv = c.iv;
+          const double b = bp.d0;
+          FillOrCompact(first, lo, hi, sel, [iv, nulls, b, neg](size_t r) {
+            const bool eq = (nulls == nullptr || nulls[r] == 0) &&
+                            static_cast<double>(iv[r]) == b;
+            return eq != neg;
+          });
+          return;
+        }
+        case CmpMode::kDouble: {
+          const double* dv = c.dv;
+          const double b = bp.d0;
+          FillOrCompact(first, lo, hi, sel, [dv, nulls, b, neg](size_t r) {
+            const bool eq =
+                (nulls == nullptr || nulls[r] == 0) && dv[r] == b;
+            return eq != neg;
+          });
+          return;
+        }
+        case CmpMode::kString: {
+          const std::vector<std::string>* sv = c.sv;
+          const std::string* b = bp.s0;
+          FillOrCompact(first, lo, hi, sel, [sv, nulls, b, neg](size_t r) {
+            const bool eq =
+                (nulls == nullptr || nulls[r] == 0) && (*sv)[r] == *b;
+            return eq != neg;
+          });
+          return;
+        }
+      }
+      return;
+    }
+    case Pred::Kind::kCoalesceCmp: {
+      // COALESCE(cmp, fallback): a non-NULL comparison decides the row; a
+      // NULL comparison (NULL cell or NULL literal) falls back to the
+      // compile-time truth codes.
+      const bool pass_null = p.fb_col_null > 0;
+      const bool pass_notnull = p.fb_col_notnull > 0;
+      if (p.lit_null) {
+        // The comparison is NULL on every row.
+        if (c.st == Column::Storage::kEmpty) {
+          FillOrCompact(first, lo, hi, sel,
+                        [pass_null](size_t) { return pass_null; });
+        } else if (nulls == nullptr) {
+          FillOrCompact(first, lo, hi, sel,
+                        [pass_notnull](size_t) { return pass_notnull; });
+        } else {
+          FillOrCompact(first, lo, hi, sel,
+                        [nulls, pass_null, pass_notnull](size_t r) {
+                          return nulls[r] != 0 ? pass_null : pass_notnull;
+                        });
+        }
+        return;
+      }
+      const int op = p.op;
+      switch (p.mode) {
+        case CmpMode::kNever:  // all-NULL column: fallback on every row
+          FillOrCompact(first, lo, hi, sel,
+                        [pass_null](size_t) { return pass_null; });
+          return;
+        case CmpMode::kIntInt: {
+          const int64_t* iv = c.iv;
+          const int64_t b = bp.i0;
+          FillOrCompact(first, lo, hi, sel,
+                        [iv, nulls, b, op, pass_null](size_t r) {
+                          if (nulls != nullptr && nulls[r] != 0) {
+                            return pass_null;
+                          }
+                          const int64_t x = iv[r];
+                          return CmpHoldsIdx(op, (x > b) - (x < b));
+                        });
+          return;
+        }
+        case CmpMode::kIntDouble: {
+          const int64_t* iv = c.iv;
+          const double b = bp.d0;
+          FillOrCompact(
+              first, lo, hi, sel,
+              [iv, nulls, b, op, pass_null](size_t r) {
+                if (nulls != nullptr && nulls[r] != 0) return pass_null;
+                return CmpHoldsIdx(
+                    op, Cmp3Double(static_cast<double>(iv[r]), b));
+              });
+          return;
+        }
+        case CmpMode::kDouble: {
+          const double* dv = c.dv;
+          const double b = bp.d0;
+          FillOrCompact(first, lo, hi, sel,
+                        [dv, nulls, b, op, pass_null](size_t r) {
+                          if (nulls != nullptr && nulls[r] != 0) {
+                            return pass_null;
+                          }
+                          return CmpHoldsIdx(op, Cmp3Double(dv[r], b));
+                        });
+          return;
+        }
+        case CmpMode::kString: {
+          const std::vector<std::string>* sv = c.sv;
+          const std::string* b = bp.s0;
+          FillOrCompact(first, lo, hi, sel,
+                        [sv, nulls, b, op, pass_null](size_t r) {
+                          if (nulls != nullptr && nulls[r] != 0) {
+                            return pass_null;
+                          }
+                          const int s = (*sv)[r].compare(*b);
+                          return CmpHoldsIdx(op, (s > 0) - (s < 0));
+                        });
+          return;
+        }
+      }
+      return;
+    }
+    case Pred::Kind::kInList: {
+      // IN: NULL cell => NULL => dropped; otherwise any DistinctEquals
+      // item match passes (NULL/mismatched items never match a non-NULL
+      // cell). NOT IN: a NULL item makes every row NULL => dropped;
+      // otherwise pass iff no item matches.
+      const bool neg = p.negated;
+      if ((neg && bp.inl->has_null_item) ||
+          c.st == Column::Storage::kEmpty) {
+        FillOrCompact(first, lo, hi, sel, [](size_t) { return false; });
+        return;
+      }
+      const KernelPlan::InList& il = *bp.inl;
+      const size_t ni = il.modes.size();
+      FillOrCompact(first, lo, hi, sel, [&, nulls, neg, ni](size_t r) {
+        if (nulls != nullptr && nulls[r] != 0) return false;
+        bool eq = false;
+        for (size_t i = 0; i < ni && !eq; ++i) {
+          switch (il.modes[i]) {
+            case CmpMode::kIntInt:
+              eq = c.iv[r] == bp.in_i[i];
+              break;
+            case CmpMode::kIntDouble:
+              eq = static_cast<double>(c.iv[r]) == bp.in_d[i];
+              break;
+            case CmpMode::kDouble:
+              eq = c.dv[r] == bp.in_d[i];
+              break;
+            case CmpMode::kString:
+              eq = (*c.sv)[r] == *bp.in_s[i];
+              break;
+            case CmpMode::kNever:
+              break;
+          }
+        }
+        return eq != neg;
+      });
+      return;
+    }
   }
 }
 
@@ -736,8 +1643,10 @@ void FilterMorsel(const std::vector<BoundPred>& preds,
   }
 }
 
-Result<std::vector<BoundPred>> SplicePreds(const std::vector<Pred>& preds,
-                                           const std::vector<Datum>& params) {
+Result<std::vector<BoundPred>> SplicePreds(
+    const std::vector<Pred>& preds,
+    const std::vector<KernelPlan::InList>& in_lists,
+    const std::vector<Datum>& params) {
   std::vector<BoundPred> out;
   out.reserve(preds.size());
   for (const Pred& p : preds) {
@@ -766,13 +1675,29 @@ Result<std::vector<BoundPred>> SplicePreds(const std::vector<Pred>& preds,
       }
       return Status::OK();
     };
-    if (p.kind == Pred::Kind::kCmp) {
+    if (p.kind == Pred::Kind::kCmp || p.kind == Pred::Kind::kDistinct ||
+        p.kind == Pred::Kind::kCoalesceCmp) {
       HQ_RETURN_IF_ERROR(bind(p.mode, p.p0, &bp.i0, &bp.d0, &bp.s0));
     } else if (p.kind == Pred::Kind::kBetween) {
       HQ_RETURN_IF_ERROR(bind(p.lo_mode, p.p0, &bp.i0, &bp.d0, &bp.s0));
       HQ_RETURN_IF_ERROR(bind(p.hi_mode, p.p1, &bp.i1, &bp.d1, &bp.s1));
+    } else if (p.kind == Pred::Kind::kInList) {
+      if (p.p0 < 0 || static_cast<size_t>(p.p0) >= in_lists.size()) {
+        return InternalError("kernel: IN-list index out of range");
+      }
+      const KernelPlan::InList& il = in_lists[p.p0];
+      bp.inl = &il;
+      const size_t ni = il.modes.size();
+      bp.in_i.resize(ni, 0);
+      bp.in_d.resize(ni, 0);
+      bp.in_s.resize(ni, nullptr);
+      for (size_t i = 0; i < ni; ++i) {
+        HQ_RETURN_IF_ERROR(
+            bind(il.modes[i], il.slots[i], &bp.in_i[i], &bp.in_d[i],
+                 &bp.in_s[i]));
+      }
     }
-    out.push_back(bp);
+    out.push_back(std::move(bp));
   }
   return out;
 }
@@ -1021,7 +1946,7 @@ Result<Relation> KernelPlan::ExecuteGrouped(
   const size_t n = table.row_count;
 
   HQ_ASSIGN_OR_RETURN(std::vector<BoundPred> preds,
-                      SplicePreds(preds_, params));
+                      SplicePreds(preds_, in_lists_, params));
   std::vector<ColView> cols;
   cols.reserve(table.data.size());
   for (const ColumnPtr& c : table.data) cols.push_back(ViewOf(*c));
@@ -1125,7 +2050,7 @@ Result<Relation> KernelPlan::ExecuteGrouped(
     out.columns.push_back(std::move(col));
   }
   HQ_RETURN_IF_ERROR(CancelIfExpired(dl, "group/aggregate"));
-  return out;
+  return ApplyOrderAndLimit(std::move(out), params);
 }
 
 Result<Relation> KernelPlan::ExecuteProject(
@@ -1138,11 +2063,39 @@ Result<Relation> KernelPlan::ExecuteProject(
   size_t out_rows = n;
   if (!preds_.empty()) {
     HQ_ASSIGN_OR_RETURN(std::vector<BoundPred> preds,
-                        SplicePreds(preds_, params));
+                        SplicePreds(preds_, in_lists_, params));
     std::vector<ColView> cols;
     cols.reserve(table.data.size());
     for (const ColumnPtr& c : table.data) cols.push_back(ViewOf(*c));
-    HQ_ASSIGN_OR_RETURN(SelVector sel, FusedFilter(n, preds, cols, dl));
+    SelVector sel;
+    // LIMIT early-exit: with no sort left to satisfy, survivors are taken
+    // in scan order, so the morsel loop can stop once OFFSET+LIMIT rows
+    // survived (at least one, so the first-survivor type refinement below
+    // still sees what the interpreter's full scan would). The collected
+    // prefix is identical to the interpreter's prefix by construction.
+    bool early_done = false;
+    if (has_limit_ && order_keys_.empty()) {
+      const int64_t limit = params[limit_slot_].AsInt();
+      const int64_t offset =
+          has_offset_ ? params[offset_slot_].AsInt() : 0;
+      if (limit >= 0) {
+        uint64_t need = static_cast<uint64_t>(limit) +
+                        static_cast<uint64_t>(offset > 0 ? offset : 0);
+        if (need < 1) need = 1;
+        SelVector part;
+        for (size_t lo = 0; lo < n && sel.size() < need;
+             lo += kMorselRows) {
+          HQ_RETURN_IF_ERROR(CancelIfExpired(dl, "filter morsel"));
+          size_t hi = std::min(n, lo + kMorselRows);
+          FilterMorsel(preds, cols, lo, hi, &part);
+          sel.insert(sel.end(), part.begin(), part.end());
+        }
+        early_done = true;
+      }
+    }
+    if (!early_done) {
+      HQ_ASSIGN_OR_RETURN(sel, FusedFilter(n, preds, cols, dl));
+    }
     out_rows = sel.size();
 
     // Gather only the referenced columns (the interpreter gathers the
@@ -1184,6 +2137,60 @@ Result<Relation> KernelPlan::ExecuteProject(
     }
     out.cols.push_back(RelColumn{"", item.name, type});
     out.columns.push_back(std::move(col));
+  }
+  return ApplyOrderAndLimit(std::move(out), params);
+}
+
+Result<Relation> KernelPlan::ApplyOrderAndLimit(
+    Relation out, const std::vector<Datum>& params) const {
+  // Mirrors the interpreted ApplyOrderBy: stable sort of a row
+  // permutation, NULLs placed by nulls_first, cells compared with the
+  // shared CompareCells, then one gather. Identity permutations (0/1
+  // rows) skip the gather; cell bytes are unchanged either way.
+  if (!order_keys_.empty() && out.row_count > 1) {
+    const size_t n = out.row_count;
+    SelVector order(n);
+    for (size_t i = 0; i < n; ++i) order[i] = static_cast<uint32_t>(i);
+    std::stable_sort(
+        order.begin(), order.end(), [&](uint32_t a, uint32_t b) {
+          for (const OrderKey& k : order_keys_) {
+            const Column& col = *out.columns[k.item];
+            bool xn = col.IsNull(a), yn = col.IsNull(b);
+            if (xn || yn) {
+              if (xn == yn) continue;
+              return xn == k.nulls_first;
+            }
+            int cmp = CompareCells(col, a, b);
+            if (cmp != 0) return k.ascending ? cmp < 0 : cmp > 0;
+          }
+          return false;
+        });
+    out = out.GatherRows(order.data(), order.size());
+  }
+
+  // Mirrors the interpreted ApplyLimit: negative LIMIT means "no limit",
+  // OFFSET only applies when positive, and the whole-range case skips the
+  // gather.
+  if (has_limit_ || has_offset_) {
+    int64_t limit = -1, offset = 0;
+    if (has_limit_) limit = params[limit_slot_].AsInt();
+    if (has_offset_) offset = params[offset_slot_].AsInt();
+    size_t start = 0;
+    size_t end = out.row_count;
+    if (has_offset_ && offset > 0) {
+      start = std::min<size_t>(static_cast<size_t>(offset), end);
+    }
+    if (has_limit_ && limit >= 0 &&
+        end - start > static_cast<size_t>(limit)) {
+      end = start + static_cast<size_t>(limit);
+    }
+    if (!(start == 0 && end == out.row_count)) {
+      SelVector sel(end - start);
+      for (size_t i = 0; i < sel.size(); ++i) {
+        sel[i] = static_cast<uint32_t>(start + i);
+      }
+      out = out.GatherRows(sel.data(), sel.size());
+    }
   }
   return out;
 }

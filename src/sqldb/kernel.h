@@ -41,6 +41,15 @@ namespace sqldb {
 /// ownership of its error surface (e.g. data-dependent comparison type
 /// errors).
 
+/// Version of the kernel's recognized grammar. Bumped whenever
+/// KernelFingerprintFor learns to accept a previously rejected construct,
+/// so negative cache entries stamped with an older version are re-
+/// fingerprinted instead of pinning the shape to the interpreted path
+/// (see KernelRegistry). v1: flat scan/filter/group shapes (PR 7).
+/// v2: subquery flattening, ORDER BY / LIMIT / OFFSET, null-aware
+/// COALESCE comparisons, IS [NOT] DISTINCT FROM, IN lists.
+inline constexpr int kKernelGrammarVersion = 2;
+
 /// A canonicalized statement identity for the kernel cache. `text` is a
 /// deterministic rendering of the SELECT with every literal replaced by a
 /// `$<class>` slot (classes: i = integral/bool/temporal, f = float,
@@ -53,13 +62,28 @@ struct KernelFingerprint {
   uint64_t hash = 0;
   std::string table;  ///< unqualified base-table name (shadow checks)
   std::vector<Datum> params;
+  /// On rejection: a short stable label for the first construct outside the
+  /// kernel grammar ("subquery", "order_by", "predicate", ...), surfaced as
+  /// a `kernel.reject.<reason>` counter by the registry. nullptr when
+  /// supported.
+  const char* reject_reason = nullptr;
+  /// When the serializer's standard wrappers were flattened away, the
+  /// canonical statement the fingerprint describes (Compile reads this
+  /// instead of the original). nullptr when the statement was already flat.
+  SelectPtr canonical;
 };
 
-/// Classifies and canonicalizes `stmt`. supported=false when the statement
-/// uses any construct outside the fused-kernel shape (joins, subqueries,
-/// windows, DISTINCT, OR-filters, expressions, HAVING/ORDER BY/LIMIT,
-/// UNION, non-colref group keys, unsupported aggregates, ...). The walk is
-/// catalog-free: column existence and type-class checks happen at compile.
+/// Classifies and canonicalizes `stmt`. A pre-fingerprint pass flattens the
+/// serializer's standard wrappers — `SELECT ... FROM (SELECT ...) tN` rename/
+/// filter/order shells and the final `... AS hq_final ORDER BY "ordcol"`
+/// wrapper — into a flat single-table SELECT when the nesting is pure
+/// projection/filter/order composition. supported=false when the (canonical)
+/// statement still uses any construct outside the fused-kernel shape (joins,
+/// unflattenable subqueries, windows, DISTINCT, OR-filters, computed
+/// expressions, HAVING, UNION, non-colref group keys, unsupported
+/// aggregates, qualified/expression ORDER BY keys, non-constant LIMIT, ...).
+/// The walk is catalog-free: column existence and type-class checks happen
+/// at compile.
 KernelFingerprint KernelFingerprintFor(const SelectStmt& stmt);
 
 /// A compiled, type-specialized execution plan for one fingerprint against
@@ -79,18 +103,52 @@ class KernelPlan {
   };
 
   struct Pred {
-    enum class Kind : uint8_t { kCmp, kIsNull, kBetween };
+    enum class Kind : uint8_t {
+      kCmp,
+      kIsNull,
+      kBetween,
+      kDistinct,     ///< col IS [NOT] DISTINCT FROM literal
+      kCoalesceCmp,  ///< COALESCE(cmp(col, literal), fallback) null-aware cmp
+      kInList,       ///< col [NOT] IN (<literal list>)
+    };
     Kind kind = Kind::kCmp;
     int col = 0;
-    /// kCmp operator index: 0 '=', 1 '<>', 2 '<', 3 '>', 4 '<=', 5 '>='
-    /// (literal normalized to the right-hand side).
+    /// kCmp/kCoalesceCmp operator index: 0 '=', 1 '<>', 2 '<', 3 '>',
+    /// 4 '<=', 5 '>=' (literal normalized to the right-hand side).
     int op = 0;
-    bool negated = false;  ///< IS NOT NULL / NOT BETWEEN
-    CmpMode mode = CmpMode::kNever;     ///< kCmp
+    bool negated = false;  ///< IS NOT NULL / NOT BETWEEN / IS DISTINCT / NOT IN
+    CmpMode mode = CmpMode::kNever;     ///< kCmp/kCoalesceCmp/kDistinct
     CmpMode lo_mode = CmpMode::kNever;  ///< kBetween: lo vs value
     CmpMode hi_mode = CmpMode::kNever;  ///< kBetween: value vs hi
-    int p0 = -1;  ///< param slot (kCmp literal / kBetween lo)
+    int p0 = -1;  ///< param slot (kCmp literal / kBetween lo); kInList: index
+                  ///< into in_lists_
     int p1 = -1;  ///< param slot (kBetween hi)
+    bool lit_null = false;  ///< kDistinct/kCoalesceCmp: literal is NULL
+    /// kCoalesceCmp: compile-time tri-state value of the fallback expression
+    /// (+1 TRUE / 0 FALSE / -1 NULL — a row passes only on TRUE), evaluated
+    /// under "column IS NULL" and "column IS NOT NULL" respectively. The
+    /// fallback runs when the comparison is NULL: for a NULL literal on
+    /// every row, otherwise only on NULL column cells.
+    int8_t fb_col_null = 0;
+    int8_t fb_col_notnull = 0;
+  };
+
+  /// Literal membership list for one kInList predicate. Per-item compare
+  /// modes are fixed at compile time; NULL or class-mismatched items can
+  /// never equal a non-NULL cell (Datum::DistinctEquals never errors), so
+  /// they only matter through `has_null_item` (NOT IN with a NULL item
+  /// matches no row, IN falls back to per-item equality).
+  struct InList {
+    std::vector<CmpMode> modes;  ///< one per item (kNever for NULL/mismatch)
+    std::vector<int> slots;      ///< param slot per item
+    bool has_null_item = false;
+  };
+
+  /// One compiled ORDER BY key, resolved to an output item index.
+  struct OrderKey {
+    int item = 0;
+    bool ascending = true;
+    bool nulls_first = false;
   };
 
   struct Agg {
@@ -143,6 +201,11 @@ class KernelPlan {
                                   const std::vector<Datum>& params) const;
   Result<Relation> ExecuteProject(const StoredTable& table,
                                   const std::vector<Datum>& params) const;
+  /// Mirrors the interpreted ApplyOrderBy/ApplyLimit tail over the built
+  /// output relation (stable sort with the shared CompareCells comparator,
+  /// then the LIMIT/OFFSET row-range gather).
+  Result<Relation> ApplyOrderAndLimit(Relation out,
+                                      const std::vector<Datum>& params) const;
 
   std::string table_name_;
   /// Compile-time schema snapshot for GuardOk.
@@ -150,10 +213,25 @@ class KernelPlan {
   std::vector<Column::Storage> storages_;
 
   std::vector<Pred> preds_;
+  std::vector<InList> in_lists_;
   bool grouped_ = false;  ///< aggregate path vs projection path
   GroupMode group_mode_ = GroupMode::kNone;
   std::vector<int> group_cols_;
   std::vector<Item> items_;
+
+  /// ORDER BY keys remaining after elision (see Compile: a lone ascending
+  /// key over the scan-ordered ordcol/sort-key column is dropped because a
+  /// stable sort of an already-sorted NULL-free column is the identity).
+  std::vector<OrderKey> order_keys_;
+  /// When a sort was elided, the column buffer whose verified sortedness
+  /// justified it; GuardOk additionally requires pointer identity so a
+  /// racing same-schema data swap can never run the elided plan.
+  int elided_col_ = -1;
+  const Column* elided_col_ptr_ = nullptr;
+  bool has_limit_ = false;
+  bool has_offset_ = false;
+  int limit_slot_ = -1;
+  int offset_slot_ = -1;
 };
 
 }  // namespace sqldb

@@ -25,14 +25,42 @@ KernelRegistry::KernelRegistry(Catalog* catalog) : catalog_(catalog) {
   fallbacks_ = reg.GetCounter("kernel.fallbacks");
   compile_us_ = reg.GetHistogram("kernel.compile_us");
   exec_us_ = reg.GetHistogram("kernel.exec_us");
+  // Every label KernelFingerprintFor / Compile can emit, pre-created so
+  // `.hyperq.stats[]` reports the full rejection taxonomy even at zero
+  // (docs/OBSERVABILITY.md).
+  static const char* const kRejectReasons[] = {
+      "subquery", "join",     "from",    "distinct", "having",
+      "union",    "group_by", "star_agg", "expr",    "predicate",
+      "order_by", "limit",    "compile"};
+  for (const char* reason : kRejectReasons) {
+    reject_counters_.emplace(
+        reason, reg.GetCounter(std::string("kernel.reject.") + reason));
+  }
+  reject_other_ = reg.GetCounter("kernel.reject.other");
+}
+
+void KernelRegistry::CountReject(const char* reason) {
+  if (reason == nullptr) {
+    reject_other_->Increment();
+    return;
+  }
+  auto it = reject_counters_.find(reason);
+  (it != reject_counters_.end() ? it->second : reject_other_)->Increment();
 }
 
 std::shared_ptr<const KernelPlan> KernelRegistry::PlanFor(
     const KernelFingerprint& fp, const SelectStmt& stmt, uint64_t version) {
+  int grammar_version;
   {
     std::lock_guard<std::mutex> lock(mu_);
+    grammar_version = grammar_version_;
     auto it = entries_.find(fp.text);
-    if (it != entries_.end() && it->second.catalog_version == version) {
+    if (it != entries_.end() && it->second.catalog_version == version &&
+        (it->second.plan != nullptr ||
+         it->second.grammar_version == grammar_version)) {
+      // A negative entry stamped by an older grammar is NOT a hit: the
+      // shape may have been rejected for a construct the current grammar
+      // compiles, so fall through and re-compile.
       lru_.splice(lru_.begin(), lru_, it->second.lru_it);
       if (it->second.plan != nullptr) hits_->Increment();
       return it->second.plan;
@@ -48,12 +76,14 @@ std::shared_ptr<const KernelPlan> KernelRegistry::PlanFor(
   compile_us_->Record(NowUs() - t0);
   std::shared_ptr<const KernelPlan> plan =
       compiled.ok() ? *std::move(compiled) : nullptr;
+  if (plan == nullptr) CountReject("compile");
 
   std::lock_guard<std::mutex> lock(mu_);
   auto it = entries_.find(fp.text);
   if (it != entries_.end()) {
     lru_.splice(lru_.begin(), lru_, it->second.lru_it);
     it->second.catalog_version = version;
+    it->second.grammar_version = grammar_version;
     it->second.plan = plan;
     return plan;
   }
@@ -62,7 +92,7 @@ std::shared_ptr<const KernelPlan> KernelRegistry::PlanFor(
     lru_.pop_back();
   }
   lru_.push_front(fp.text);
-  entries_.emplace(fp.text, Entry{version, plan, lru_.begin()});
+  entries_.emplace(fp.text, Entry{version, grammar_version, plan, lru_.begin()});
   return plan;
 }
 
@@ -73,8 +103,12 @@ std::optional<Result<Relation>> KernelRegistry::TryExecuteSelect(
   KernelFingerprint fp = KernelFingerprintFor(stmt);
   if (!fp.supported) {
     fallbacks_->Increment();
+    CountReject(fp.reject_reason);
     return std::nullopt;
   }
+  // Compile against the canonical (wrapper-flattened) statement when the
+  // fingerprint produced one; the fingerprint text already describes it.
+  const SelectStmt& cstmt = fp.canonical != nullptr ? *fp.canonical : stmt;
   // Session temp tables/views shadow catalog tables in the executor's
   // lookup order; a kernel compiled against the catalog table would read
   // the wrong data.
@@ -92,7 +126,7 @@ std::optional<Result<Relation>> KernelRegistry::TryExecuteSelect(
   }
 
   const uint64_t version = catalog_->version();
-  std::shared_ptr<const KernelPlan> plan = PlanFor(fp, stmt, version);
+  std::shared_ptr<const KernelPlan> plan = PlanFor(fp, cstmt, version);
   if (plan == nullptr) {
     fallbacks_->Increment();
     return std::nullopt;

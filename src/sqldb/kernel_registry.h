@@ -55,9 +55,22 @@ class KernelRegistry {
 
   size_t size() const;
 
+  /// Test hook: pretend the registry was built by an older (or newer)
+  /// grammar so negative-cache staleness can be exercised without a real
+  /// grammar change. Production code never calls this.
+  void set_grammar_version_for_test(int version) {
+    std::lock_guard<std::mutex> lock(mu_);
+    grammar_version_ = version;
+  }
+
  private:
   struct Entry {
     uint64_t catalog_version = 0;
+    /// Grammar version that produced this entry. A negative entry from an
+    /// older grammar only proves the *old* compiler rejected the shape, so
+    /// it is treated as a miss and re-fingerprinted (positive entries stay
+    /// valid: a plan that compiled is correct under any newer grammar).
+    int grammar_version = kKernelGrammarVersion;
     /// nullptr = negative entry (shape compiles to "unsupported").
     std::shared_ptr<const KernelPlan> plan;
     std::list<std::string>::iterator lru_it;
@@ -71,18 +84,29 @@ class KernelRegistry {
 
   static constexpr size_t kCapacity = 256;
 
+  /// Bumps the `kernel.reject.<reason>` counter for a rejected shape.
+  /// Unknown reasons fold into `kernel.reject.other`.
+  void CountReject(const char* reason);
+
   Catalog* catalog_;
   std::atomic<bool> enabled_{true};
 
   mutable std::mutex mu_;
   std::unordered_map<std::string, Entry> entries_;
   std::list<std::string> lru_;  ///< front = most recent
+  /// Grammar version stamped onto new entries; kKernelGrammarVersion except
+  /// under set_grammar_version_for_test.
+  int grammar_version_ = kKernelGrammarVersion;
 
   Counter* hits_;
   Counter* misses_;
   Counter* fallbacks_;
   LatencyHistogram* compile_us_;
   LatencyHistogram* exec_us_;
+  /// Labeled rejection counters (kernel.reject.subquery, .order_by, ...),
+  /// pre-created so `.hyperq.stats[]` always lists the full set at zero.
+  std::unordered_map<std::string, Counter*> reject_counters_;
+  Counter* reject_other_;
 };
 
 }  // namespace sqldb

@@ -172,6 +172,37 @@ const char* const kSupportedQueries[] = {
     "SELECT qty FROM facts WHERE 500 < qty AND qty < 600",
     "SELECT sym, COUNT(*) FROM facts WHERE qty = -17 GROUP BY sym",
     "SELECT px FROM facts WHERE px > -50.25 AND sym IS NOT NULL",
+    // --- v2 grammar: ORDER BY / LIMIT / OFFSET ---
+    "SELECT sym FROM facts ORDER BY sym",
+    "SELECT sym, qty FROM facts ORDER BY qty DESC, sym",
+    "SELECT sym, px FROM facts WHERE qty > 0 ORDER BY 2 DESC",
+    "SELECT sym FROM facts LIMIT 3",
+    "SELECT sym, qty FROM facts LIMIT 5 OFFSET 2",
+    "SELECT qty FROM facts ORDER BY qty LIMIT 4 OFFSET 1",
+    "SELECT px FROM facts WHERE qty > 100 LIMIT 7",
+    "SELECT sym, COUNT(*) AS c FROM facts GROUP BY sym ORDER BY sym LIMIT 3",
+    "SELECT sym, SUM(px) FROM facts GROUP BY sym ORDER BY 1 DESC",
+    // --- v2 grammar: IN lists ---
+    "SELECT sym FROM facts WHERE qty IN (1, 2, 3)",
+    "SELECT sym FROM facts WHERE sym NOT IN ('S1', 'S2')",
+    "SELECT qty FROM facts WHERE qty IN (100, NULL, 200)",
+    "SELECT qty FROM facts WHERE qty NOT IN (100, NULL)",
+    "SELECT sym FROM facts WHERE px IN (0.5, 1, 'x')",
+    // --- v2 grammar: null-aware comparisons (translator-emitted forms) ---
+    "SELECT sym FROM facts WHERE sym IS NOT DISTINCT FROM 'S1'",
+    "SELECT sym FROM facts WHERE px IS DISTINCT FROM NULL",
+    "SELECT qty FROM facts WHERE qty IS DISTINCT FROM 7",
+    "SELECT sym FROM facts WHERE COALESCE((qty < 100), (qty IS NULL))",
+    "SELECT sym FROM facts "
+    "WHERE COALESCE((px > 10.5), ((10.5 IS NULL) AND (px IS NOT NULL)))",
+    "SELECT sym FROM facts WHERE COALESCE((qty <= 500), (qty IS NULL))",
+    // --- v2 grammar: serializer rename/filter shells flatten away ---
+    "SELECT * FROM (SELECT sym, qty FROM facts WHERE qty > 10) t "
+    "WHERE qty < 5000",
+    "SELECT t0.\"sym\" AS \"sym\", t0.\"px\" AS \"px\" "
+    "FROM (SELECT \"sym\", \"px\" FROM \"facts\") AS t0 WHERE t0.\"px\" >= 0",
+    "SELECT sym, SUM(px) AS s FROM (SELECT sym, px FROM facts WHERE qty > 0) t "
+    "GROUP BY sym",
 };
 
 class KernelIdentity
@@ -209,15 +240,15 @@ TEST_F(KernelExec, UnsupportedShapesFallBackWithIdenticalResults) {
   int64_t f0 = CounterValue("kernel.fallbacks");
   const char* const unsupported[] = {
       "SELECT DISTINCT sym FROM facts",
-      "SELECT sym FROM facts ORDER BY sym",
-      "SELECT sym FROM facts LIMIT 3",
       "SELECT UPPER(sym) FROM facts WHERE qty > 0",
       "SELECT sym FROM facts WHERE px + 1 > 2",
       "SELECT sym FROM facts WHERE sym = 'S1' OR qty = 1",
       "SELECT sym, COUNT(*) FROM facts GROUP BY sym HAVING COUNT(*) > 2",
       "SELECT a.sym FROM facts a, facts b WHERE a.qty = b.qty AND a.qty = 1",
       "SELECT COUNT(DISTINCT sym) FROM facts",
-      "SELECT sym FROM facts WHERE qty IN (1, 2, 3)",
+      "SELECT sym FROM facts ORDER BY px + 1",
+      "SELECT sym FROM facts LIMIT 1 + 2",
+      "SELECT sym FROM facts WHERE qty IN (1, px)",
   };
   for (const char* sql : unsupported) Check(sql);
   EXPECT_GE(CounterValue("kernel.fallbacks") - f0,
@@ -360,6 +391,155 @@ TEST_F(KernelExec, ThreadCountSweepIsByteIdentical) {
     for (const char* sql : kSupportedQueries) Check(sql);
   }
   WorkerPool::Shared().Resize(0);
+}
+
+/// Loads a table shaped like the Q loader's output: an `ordcol` scan-order
+/// column (0..n-1, sorted, NULL-free) plus payload columns, into both
+/// databases.
+class KernelWrapperExec : public KernelExec {
+ protected:
+  void LoadOrdered(size_t rows, double null_rate, uint64_t seed) {
+    hyperq::testing::Rng rng(seed);
+    std::vector<int64_t> ord(rows);
+    std::vector<std::string> sym(rows);
+    std::vector<uint8_t> sym_nulls(rows, 0);
+    std::vector<double> px(rows);
+    std::vector<uint8_t> px_nulls(rows, 0);
+    for (size_t i = 0; i < rows; ++i) {
+      ord[i] = static_cast<int64_t>(i);
+      if (rng.NextDouble() < null_rate) {
+        sym_nulls[i] = 1;
+      } else {
+        sym[i] = StrCat("S", rng.Below(6));
+      }
+      if (rng.NextDouble() < null_rate) {
+        px_nulls[i] = 1;
+      } else {
+        px[i] = rng.NextDouble() * 100.0 - 20.0;
+      }
+    }
+    StoredTable t;
+    t.name = "qsrc";
+    t.columns = {{"ordcol", SqlType::kBigInt},
+                 {"sym", SqlType::kVarchar},
+                 {"px", SqlType::kDouble}};
+    t.data = {Column::FromInts(SqlType::kBigInt, std::move(ord),
+                               std::vector<uint8_t>(rows, 0)),
+              Column::FromStrings(SqlType::kVarchar, std::move(sym),
+                                  std::move(sym_nulls)),
+              Column::FromFloats(SqlType::kDouble, std::move(px),
+                                 std::move(px_nulls))};
+    t.row_count = rows;
+    t.sort_keys = {"ordcol"};
+    ASSERT_TRUE(kdb_.CreateAndLoad(t).ok());
+    ASSERT_TRUE(idb_.CreateAndLoad(std::move(t)).ok());
+    idb_.kernel_registry().set_enabled(false);
+    ksession_ = kdb_.CreateSession();
+    isession_ = idb_.CreateSession();
+  }
+};
+
+/// The serializer's standard wrappers — rename/filter shells and the final
+/// `AS hq_final ORDER BY "ordcol"` shell — must flatten into kernel-shaped
+/// scans and replay hot from the cache, byte-identical at every thread
+/// count.
+TEST_F(KernelWrapperExec, TranslatorWrapperShapesRunOnTheKernel) {
+  LoadOrdered(40000, 0.2, 41);
+  const char* const wrapped[] = {
+      // Final wrapper straight over the scan: the ORDER BY elides.
+      "SELECT * FROM (SELECT \"ordcol\", \"sym\" FROM \"qsrc\") AS hq_final "
+      "ORDER BY \"ordcol\"",
+      // Filter shell under the final wrapper.
+      "SELECT * FROM (SELECT t0.\"ordcol\" AS \"ordcol\", t0.\"px\" AS \"px\" "
+      "FROM (SELECT \"ordcol\", \"px\" FROM \"qsrc\") AS t0 "
+      "WHERE t0.\"px\" > 0) AS hq_final ORDER BY \"ordcol\"",
+      // Rename shell over an aggregate.
+      "SELECT t1.\"sym\" AS \"sym\", t1.\"n\" AS \"n\" "
+      "FROM (SELECT \"sym\", COUNT(*) AS \"n\" FROM \"qsrc\" "
+      "GROUP BY \"sym\") AS t1",
+      // Limit over the elided scan order (early-exit path).
+      "SELECT * FROM (SELECT \"ordcol\", \"sym\" FROM \"qsrc\" "
+      "WHERE \"px\" IS NOT NULL) AS hq_final ORDER BY \"ordcol\" LIMIT 10",
+  };
+  int64_t h0 = CounterValue("kernel.hits");
+  for (int threads : {0, 4}) {
+    WorkerPool::Shared().Resize(threads);
+    for (const char* sql : wrapped) {
+      Check(sql);
+      Check(sql);  // hot second run
+    }
+  }
+  WorkerPool::Shared().Resize(0);
+  // Every wrapped shape compiled to a kernel and replayed from the cache.
+  EXPECT_GE(CounterValue("kernel.hits") - h0,
+            static_cast<int64_t>(std::size(wrapped)));
+}
+
+/// A sort elided against verified column order must stop replaying when the
+/// data underneath changes (the catalog version bump forces a recompile,
+/// and GuardOk pins the exact column buffer).
+TEST_F(KernelWrapperExec, ElidedOrderRecompilesAfterDataChange) {
+  LoadOrdered(1000, 0.1, 43);
+  const std::string q =
+      "SELECT * FROM (SELECT \"ordcol\", \"sym\" FROM \"qsrc\") AS hq_final "
+      "ORDER BY \"ordcol\"";
+  Check(q);
+  Check(q);
+  // Append an out-of-order ordcol value: the elision precondition (sorted,
+  // NULL-free) no longer holds, so the recompiled plan must really sort.
+  for (Database* db : {&kdb_, &idb_}) {
+    Session* s = (db == &kdb_ ? ksession_ : isession_).get();
+    ASSERT_TRUE(
+        db->Execute(s, "INSERT INTO qsrc VALUES (-1, 'zz', 0.5)").ok());
+  }
+  Check(q);
+  Check(q);
+}
+
+TEST_F(KernelExec, GrammarBumpInvalidatesNegativeCacheEntries) {
+  Load({100, 0.0, 4, false}, 31);
+  // Fingerprint-supported but compile-rejected (string column vs integer
+  // literal): lands in the cache as a negative entry.
+  const std::string q = "SELECT sym FROM facts WHERE sym > 5";
+  int64_t m0 = CounterValue("kernel.misses");
+  Check(q);
+  EXPECT_EQ(CounterValue("kernel.misses"), m0 + 1);
+  Check(q);  // negative-cache hit: no recompile
+  EXPECT_EQ(CounterValue("kernel.misses"), m0 + 1);
+  // Pretend the grammar grew: the negative entry only proves the OLD
+  // compiler rejected the shape, so the next lookup must re-fingerprint.
+  kdb_.kernel_registry().set_grammar_version_for_test(kKernelGrammarVersion +
+                                                      1);
+  Check(q);
+  EXPECT_EQ(CounterValue("kernel.misses"), m0 + 2);
+  Check(q);  // re-stamped under the new version: negative-cached again
+  EXPECT_EQ(CounterValue("kernel.misses"), m0 + 2);
+  kdb_.kernel_registry().set_grammar_version_for_test(kKernelGrammarVersion);
+}
+
+TEST_F(KernelExec, RejectReasonsAreCounted) {
+  Load({50, 0.0, 4, false}, 37);
+  int64_t d0 = CounterValue("kernel.reject.distinct");
+  int64_t e0 = CounterValue("kernel.reject.expr");
+  int64_t j0 = CounterValue("kernel.reject.join");
+  int64_t o0 = CounterValue("kernel.reject.order_by");
+  Check("SELECT DISTINCT sym FROM facts");
+  Check("SELECT UPPER(sym) FROM facts");
+  Check("SELECT a.sym FROM facts a, facts b WHERE a.qty = b.qty AND "
+        "a.qty = 1");
+  Check("SELECT sym FROM facts ORDER BY px + 1");
+  EXPECT_EQ(CounterValue("kernel.reject.distinct"), d0 + 1);
+  EXPECT_EQ(CounterValue("kernel.reject.expr"), e0 + 1);
+  EXPECT_EQ(CounterValue("kernel.reject.join"), j0 + 1);
+  EXPECT_EQ(CounterValue("kernel.reject.order_by"), o0 + 1);
+  // Compile-time rejection (shape fingerprints fine, types don't line up)
+  // is labeled separately, and only the compile itself counts — the
+  // negative-cache replay does not.
+  int64_t c0 = CounterValue("kernel.reject.compile");
+  Check("SELECT qty FROM facts WHERE qty = 'S1'");
+  EXPECT_EQ(CounterValue("kernel.reject.compile"), c0 + 1);
+  Check("SELECT qty FROM facts WHERE qty = 'S1'");
+  EXPECT_EQ(CounterValue("kernel.reject.compile"), c0 + 1);
 }
 
 }  // namespace

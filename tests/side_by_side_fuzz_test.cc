@@ -189,6 +189,67 @@ class SideBySideFuzz : public ::testing::TestWithParam<uint64_t> {
     }
   }
 
+  /// Kernel-targeted hot shapes: the translatable subset whose generated
+  /// SQL should land inside the fused-kernel grammar — flat scans and plain
+  /// column projections, conjunctive literal filters (comparisons, symbol
+  /// equality, `in` lists, `within` ranges), grouped/scalar aggregates, and
+  /// sort+take paging. The general RandomQuery corpus intentionally strays
+  /// outside the grammar (computed expressions, fby, joins); this one is
+  /// the hit-rate yardstick.
+  std::string RandomKernelCondition() {
+    switch (rng_.Below(4)) {
+      case 0:
+        return StrCat("Price", RandomCmp(),
+                      StrCat(80 + rng_.Below(100), ".0"));
+      case 1:
+        return StrCat("Symbol=", RandomSymbolLit());
+      case 2:
+        return StrCat("Symbol in ", RandomSymbolLit(), RandomSymbolLit());
+      default:
+        return StrCat("Size within ", 100 * rng_.Below(20), " ",
+                      2000 + 100 * rng_.Below(30));
+    }
+  }
+
+  std::string RandomKernelHotQuery() {
+    switch (rng_.Below(6)) {
+      case 0: {  // plain colref projection
+        std::string q = "select Symbol, Price, Size from trades";
+        if (rng_.Below(2) == 0) q += StrCat(" where ", RandomKernelCondition());
+        return q;
+      }
+      case 1: {  // bare scan
+        std::string q = "select from trades";
+        if (rng_.Below(2) == 0) q += StrCat(" where ", RandomKernelCondition());
+        return q;
+      }
+      case 2: {  // grouped aggregates
+        std::string q = StrCat("select a: ", RandomAgg(), ", b: ",
+                               RandomAgg(), " by Symbol from trades");
+        if (rng_.Below(2) == 0) q += StrCat(" where ", RandomKernelCondition());
+        return q;
+      }
+      case 3: {  // scalar aggregate
+        // `sum` stays out of the scalar-exec shapes: q sums an empty list
+        // to 0 while SQL SUM over no rows is NULL, so a filter that
+        // matches nothing (Symbol=`NOPE) is an oracle disagreement — a
+        // translator gap independent of kernel coverage. Grouped sums are
+        // fine (an empty group never materializes a row).
+        static const char* kExecAggs[] = {"avg", "min",   "max",
+                                          "count", "first", "last"};
+        return StrCat("exec ", kExecAggs[rng_.Below(6)], " ", RandomColumn(),
+                      " from trades where ", RandomKernelCondition());
+      }
+      case 4:  // sort + take
+        return StrCat(1 + rng_.Below(20), "#`", RandomColumn(),
+                      rng_.Below(2) == 0 ? " xasc" : " xdesc", " trades");
+      default:  // select[n;>Col] paging
+        return StrCat("select[", 1 + rng_.Below(15), ";",
+                      rng_.Below(2) == 0 ? ">" : "<", RandomColumn(),
+                      "] from trades");
+    }
+  }
+
   /// On a mismatch, delta-debug the query down to a 1-minimal reproducer
   /// and write a replayable artifact (tests/artifacts, or
   /// $HYPERQ_ARTIFACT_DIR); returns text to append to the failure message.
@@ -325,6 +386,45 @@ TEST_P(SideBySideFuzz, HotKernelResultsMatchColdResults) {
   if (misses > 0) {
     EXPECT_GT(hits, 0u) << "compiled kernels never served the repeat runs";
   }
+}
+
+/// Kernel-coverage gate over the translator-emitted hot corpus: every
+/// generated query runs twice, and counts as covered when the repeat run
+/// is served by a compiled kernel (kernel.hits advanced). The floor
+/// matches the hit-rate gate on BENCH_kernel.json in scripts/bench.sh;
+/// `scripts/ci.sh --kernel-coverage` runs exactly this sweep.
+TEST_P(SideBySideFuzz, KernelCoverageOnTranslatedHotCorpus) {
+  Counter* hits = MetricsRegistry::Global().GetCounter("kernel.hits");
+  int executed = 0, covered = 0;
+  std::vector<std::string> uncovered;
+  for (int k = 0; k < 40; ++k) {
+    std::string q = RandomKernelHotQuery();
+    SideBySideHarness::Comparison cold = harness_.Run(q);
+    EXPECT_TRUE(cold.match) << "seed " << GetParam() << " query: " << q
+                            << "\nsql: " << cold.sql
+                            << "\nkdb err: " << cold.kdb_error
+                            << "\nhq err:  " << cold.hyperq_error;
+    if (cold.both_failed) continue;
+    uint64_t h0 = hits->value();
+    SideBySideHarness::Comparison hot = harness_.Run(q);
+    EXPECT_TRUE(hot.hyperq_result == cold.hyperq_result)
+        << "seed " << GetParam() << " hot result diverged for: " << q
+        << "\ncold: " << cold.hyperq_result.ToString()
+        << "\nhot:  " << hot.hyperq_result.ToString();
+    ++executed;
+    if (hits->value() > h0) {
+      ++covered;
+    } else if (uncovered.size() < 8) {
+      uncovered.push_back(StrCat(q, "\n      => ", cold.sql));
+    }
+  }
+  ASSERT_GE(executed, 25) << "too few queries actually executed";
+  std::string sample;
+  for (const std::string& u : uncovered) sample += StrCat("\n  ", u);
+  EXPECT_GE(covered * 100, executed * 80)
+      << "kernel hit rate on the translated hot corpus regressed below the "
+         "80% floor: "
+      << covered << "/" << executed << " covered; first uncovered:" << sample;
 }
 
 TEST_P(SideBySideFuzz, MixedPipelinesAgree) {
