@@ -26,7 +26,7 @@ cmake -B build -S . >/dev/null
 cmake --build build -j "$JOBS" \
   --target bench_translation_cache bench_fig6_translation_overhead \
   bench_backend_exec bench_kernel_exec bench_wire \
-  bench_shard_scatter bench_endpoint_c10k >/dev/null
+  bench_shard_scatter bench_ingest_hybrid bench_endpoint_c10k >/dev/null
 
 echo "==> bench: translation cache hot path"
 ./build/bench/bench_translation_cache --json=BENCH_translation.json \
@@ -47,6 +47,9 @@ echo "==> bench: wire path (vectorized encode + scatter egress)"
 
 echo "==> bench: shard scatter-gather (partition routing + shard scaling)"
 ./build/bench/bench_shard_scatter --json=BENCH_shard.json "${SMOKE[@]}"
+
+echo "==> bench: ingest + hybrid live/historical queries"
+./build/bench/bench_ingest_hybrid --json=BENCH_ingest.json "${SMOKE[@]}"
 
 echo "==> bench: C10K endpoint (event loop vs thread-per-connection)"
 ./build/bench/bench_endpoint_c10k --json=BENCH_endpoint.json "${SMOKE[@]}"
@@ -98,6 +101,28 @@ awk -F': ' '
       exit 1
     }
   }' BENCH_kernel.json
+# Gate: a live tail must be nearly free for readers — the hybrid split
+# (epoch pin + historical/tail partials + merge) over the same rows, with
+# one publisher sustaining ingest into another live table, must stay
+# within 1.3x of the plain bulk-loaded table's latency. Per-table kernel
+# invalidation is load-bearing here: if the publisher's flushes evicted
+# the measured query's compiled kernel, this gate would blow past 1.3x.
+awk -F': ' '
+  /"name": "BM_StaticFilterAgg"/ { wants = 1 }
+  wants && /"real_time"/ { s = $2 + 0; wants = 0 }
+  /"name": "BM_HybridFilterAgg\/1"/ { wanth = 1 }
+  wanth && /"real_time"/ { h = $2 + 0; wanth = 0 }
+  END {
+    if (s <= 0 || h <= 0) {
+      print "ingest bench: static/hybrid timings missing from BENCH_ingest.json"
+      exit 1
+    }
+    printf "hybrid filter+agg at 1 publisher: %.2fx static baseline\n", h / s
+    if (h > s * 1.3) {
+      print "FAIL: hybrid query latency above 1.3x the static table at 1 publisher"
+      exit 1
+    }
+  }' BENCH_ingest.json
 # Gate: the routed symbol-pinned filter+agg at 4 shards scans ~1/4 of the
 # rows, so it must beat the 1-shard run by at least 2x even on one core.
 awk -F': ' '

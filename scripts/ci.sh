@@ -1,8 +1,8 @@
 #!/usr/bin/env bash
 # CI entry point: tier-1 build + full test suite, then the concurrency
 # battery (endpoint stress, metrics, worker pool, concurrent executors,
-# fault injection, shard scatter-gather, chaos soak) rebuilt and re-run
-# under ThreadSanitizer.
+# fault injection, shard scatter-gather, ingest hybrid, chaos soak)
+# rebuilt and re-run under ThreadSanitizer.
 # Any TSAN report fails the run via -DHYPERQ_SANITIZE instrumentation and
 # halt_on_error.
 #
@@ -97,7 +97,7 @@ cmake --build build-tsan -j "$JOBS" \
   translation_cache_test worker_pool_test exec_stress_test \
   kernel_exec_test \
   wire_path_test qipc_property_test fault_injection_test chaos_soak_test \
-  shard_exec_test side_by_side_fuzz_test
+  shard_exec_test side_by_side_fuzz_test ingest_hybrid_test
 
 echo "==> tsan: concurrency battery"
 export TSAN_OPTIONS="halt_on_error=1 second_deadlock_stack=1"
@@ -115,6 +115,7 @@ export TSAN_OPTIONS="halt_on_error=1 second_deadlock_stack=1"
 ./build-tsan/tests/fault_injection_test
 ./build-tsan/tests/shard_exec_test
 ./build-tsan/tests/side_by_side_fuzz_test
+./build-tsan/tests/ingest_hybrid_test
 HYPERQ_SOAK_MS=1500 ./build-tsan/tests/chaos_soak_test
 
 echo "==> ci: all green"

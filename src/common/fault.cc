@@ -36,6 +36,8 @@ constexpr SiteInfo kSites[] = {
     {"shard.execute", StatusCode::kUnavailable, "shard scatter execution"},
     {"shard.gather", StatusCode::kUnavailable, "shard partial gather"},
     {"backend.kernel", StatusCode::kUnavailable, "fused kernel execution"},
+    {"ingest.upd", StatusCode::kUnavailable, "ingest upd append"},
+    {"ingest.flush", StatusCode::kUnavailable, "ingest tail flush"},
 };
 constexpr size_t kNumSites = sizeof(kSites) / sizeof(kSites[0]);
 

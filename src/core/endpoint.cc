@@ -15,6 +15,7 @@
 #include "common/metrics.h"
 #include "common/strings.h"
 #include "core/fsm.h"
+#include "core/live_store.h"
 #include "protocol/qipc/compress.h"
 
 namespace hyperq {
@@ -98,6 +99,20 @@ std::string WireErrorText(const Status& s) {
   if (s.code() == StatusCode::kTimeout) return "timeout";
   if (s.code() == StatusCode::kUnavailable) return "busy";
   return s.ToString();
+}
+
+/// A tickerplant publish frame, by the kdb+ convention: the mixed list
+/// (`upd; `table; data). The first element arrives as a symbol from real
+/// q publishers (or a char list from casual tooling), the second names the
+/// live table, the third is the batch (table value or column list).
+bool IsUpdMessage(const QValue& v) {
+  if (!v.IsMixedList() || v.Items().size() != 3) return false;
+  const QValue& fn = v.Items()[0];
+  const bool named_upd =
+      (fn.type() == QType::kSymbol && fn.is_atom() && fn.AsSym() == "upd") ||
+      (fn.type() == QType::kChar && !fn.is_atom() && fn.CharsView() == "upd");
+  return named_upd && v.Items()[1].type() == QType::kSymbol &&
+         v.Items()[1].is_atom();
 }
 
 /// Once a request this large has been served, the connection's reusable
@@ -198,6 +213,41 @@ void HyperQServer::BuildReply(HyperQSession& session,
   if (!msg.ok()) {
     reply = qipc::EncodeError(msg.status().ToString(),
                               qipc::MsgType::kResponse);
+  } else if (IsUpdMessage(msg->value)) {
+    // Tickerplant publish: dispatched straight to the ingest store, never
+    // through the translator. Works identically in both io models (this
+    // is the one shared request path), so publishers ride the C10K event
+    // loop like every query client.
+    const std::vector<QValue>& items = msg->value.Items();
+    LiveStore* store = session.gateway().live_store();
+    Result<QValue> result = QValue();
+    if (store == nullptr) {
+      result = InvalidArgument("this server has no ingest store");
+    } else if (shed) {
+      metrics.busy_rejections->Increment();
+      result = UnavailableError("server at inflight query cap");
+    } else {
+      Result<size_t> rows = store->Upd(items[1].AsSym(), items[2]);
+      result = rows.ok()
+                   ? Result<QValue>(QValue::Long(static_cast<int64_t>(*rows)))
+                   : Result<QValue>(rows.status());
+    }
+    // Async publishes (the kdb+ norm) expect no reply — errors included:
+    // the publisher observes them via `.hyperq.ingestStats` instead.
+    if (msg->type == qipc::MsgType::kAsync) {
+      *respond = false;
+      return;
+    }
+    if (!result.ok()) {
+      reply = qipc::EncodeError(WireErrorText(result.status()),
+                                qipc::MsgType::kResponse);
+    } else {
+      Result<std::vector<uint8_t>> enc =
+          qipc::EncodeMessage(*result, qipc::MsgType::kResponse);
+      reply = enc.ok() ? std::move(*enc)
+                       : qipc::EncodeError(enc.status().ToString(),
+                                           qipc::MsgType::kResponse);
+    }
   } else if (msg->value.type() != QType::kChar) {
     reply = qipc::EncodeError(
         "expected a query string (char list) in the request",
@@ -1023,9 +1073,18 @@ Result<QipcClient> QipcClient::Connect(const std::string& host,
 }
 
 Result<QValue> QipcClient::Query(const std::string& q_text) {
-  HQ_ASSIGN_OR_RETURN(
-      std::vector<uint8_t> msg,
-      qipc::EncodeMessage(QValue::Chars(q_text), qipc::MsgType::kSync));
+  return Call(QValue::Chars(q_text));
+}
+
+Status QipcClient::AsyncCall(const QValue& value) {
+  HQ_ASSIGN_OR_RETURN(std::vector<uint8_t> msg,
+                      qipc::EncodeMessage(value, qipc::MsgType::kAsync));
+  return conn_.WriteAll(msg);
+}
+
+Result<QValue> QipcClient::Call(const QValue& value) {
+  HQ_ASSIGN_OR_RETURN(std::vector<uint8_t> msg,
+                      qipc::EncodeMessage(value, qipc::MsgType::kSync));
   HQ_RETURN_IF_ERROR(conn_.WriteAll(msg));
 
   uint8_t header[8];

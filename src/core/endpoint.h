@@ -207,6 +207,14 @@ class QipcClient {
   /// ExecutionError carrying the server's message).
   Result<QValue> Query(const std::string& q_text);
 
+  /// Sends an arbitrary Q value synchronously — e.g. a tickerplant
+  /// publish `(`upd; `trade; batch)` — and decodes the reply.
+  Result<QValue> Call(const QValue& value);
+
+  /// Fire-and-forget publish (kAsync): the server executes the message
+  /// and sends no reply, exactly like a q tickerplant subscriber feed.
+  Status AsyncCall(const QValue& value);
+
   void Close() { conn_.Close(); }
 
  private:

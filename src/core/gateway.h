@@ -13,6 +13,8 @@
 
 namespace hyperq {
 
+class LiveStore;
+
 /// The Gateway is the PG-side plugin of Figure 1: it carries SQL to the
 /// backend and results back. Implementations: an in-process gateway bound
 /// directly to the mini PG engine, a wire gateway speaking the PG v3
@@ -38,6 +40,17 @@ class BackendGateway {
     (void)table;
     return std::nullopt;
   }
+
+  /// True when the table is live-backed: rows may sit in an in-memory
+  /// ingest tail in addition to the historical backend (docs/INGEST.md).
+  virtual bool IsLiveTable(const std::string& table) const {
+    (void)table;
+    return false;
+  }
+
+  /// The ingest store feeding this gateway's live tables; null when the
+  /// gateway serves static tables only.
+  virtual LiveStore* live_store() { return nullptr; }
 
   /// In-process backend handles for metadata lookups and loaders; null
   /// for pure wire gateways.

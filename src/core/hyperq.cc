@@ -5,6 +5,7 @@
 #include "common/fault.h"
 #include "common/metrics.h"
 #include "common/strings.h"
+#include "core/live_store.h"
 #include "serializer/serializer.h"
 
 namespace hyperq {
@@ -161,6 +162,29 @@ std::optional<Result<QValue>> HyperQSession::TryBuiltin(
         {QValue::Syms(std::move(sites)), QValue::Syms(std::move(specs)),
          QValue::IntList(QType::kLong, std::move(hits)),
          QValue::IntList(QType::kLong, std::move(fires))}));
+  }
+  // Real-time ingest control (docs/INGEST.md): flush the live tail of one
+  // table (or all tables, niladic) into the historical backend, and the
+  // per-table ingest counters.
+  if (name == ".hyperq.flush") {
+    LiveStore* store = gateway_->live_store();
+    if (store == nullptr) {
+      return Result<QValue>(
+          InvalidArgument("this server has no ingest store"));
+    }
+    // Symbol-argument spelling: `.hyperq.flush[`trade]`.
+    if (!arg.empty() && arg.front() == '`') arg = arg.substr(1);
+    Status s = arg.empty() ? store->FlushAll() : store->Flush(std::string(arg));
+    if (!s.ok()) return Result<QValue>(s);
+    return Result<QValue>(QValue());
+  }
+  if (name == ".hyperq.ingestStats") {
+    LiveStore* store = gateway_->live_store();
+    if (store == nullptr) {
+      return Result<QValue>(
+          InvalidArgument("this server has no ingest store"));
+    }
+    return Result<QValue>(store->StatsTable());
   }
   // Per-session query deadline in ms; 0 disables. Niladic call reports the
   // current setting.

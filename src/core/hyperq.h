@@ -49,8 +49,9 @@ class HyperQSession {
         cache_(&raw_mdi_, options.cache),
         scopes_(&cache_),
         translator_(&cache_, &scopes_,
-                    WithShardInfo(std::move(options.translator),
-                                  gateway_.get()),
+                    WithLiveInfo(WithShardInfo(std::move(options.translator),
+                                               gateway_.get()),
+                                 gateway_.get()),
                     [this](const std::string& sql) -> Status {
                       Result<sqldb::QueryResult> r = gateway_->Execute(sql);
                       return r.ok() ? Status::OK() : r.status();
@@ -128,6 +129,19 @@ class HyperQSession {
           [gateway](const std::string& table) {
             return gateway->ShardInfo(table);
           };
+    }
+    return options;
+  }
+
+  /// Routes the translator's live-table lookups through the gateway (a
+  /// plain gateway answers false for every table), so queries over
+  /// ingest-backed tables carry a hybrid split plan.
+  static QueryTranslator::Options WithLiveInfo(
+      QueryTranslator::Options options, BackendGateway* gateway) {
+    if (!options.live_info) {
+      options.live_info = [gateway](const std::string& table) {
+        return gateway->IsLiveTable(table);
+      };
     }
     return options;
   }

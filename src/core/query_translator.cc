@@ -188,6 +188,7 @@ Result<Translation> QueryTranslator::TranslateFingerprintMiss(
   out.shape = bound.shape;
   out.key_columns = bound.key_columns;
   PlanSharding(bound.root, &out);
+  PlanHybrid(bound.root, &out);
 
   // Value-dependent bindings make the translation specific to this
   // session's variables: return it, but never share it through the cache.
@@ -438,6 +439,7 @@ Status QueryTranslator::EmitResultQuery(const AstPtr& expr, Binder* binder,
   out->shape = bound.shape;
   out->key_columns = bound.key_columns;
   PlanSharding(bound.root, out);
+  PlanHybrid(bound.root, out);
   return Status::OK();
 }
 
@@ -463,6 +465,28 @@ void QueryTranslator::PlanSharding(const xtra::XtraPtr& root,
   out->shard.merge_sql = std::move(*m);
   out->shard.routed = rewrite.routed;
   out->shard.route_key = std::move(rewrite.route_key);
+}
+
+void QueryTranslator::PlanHybrid(const xtra::XtraPtr& root,
+                                 Translation* out) {
+  out->hybrid = ShardPlan{};
+  if (!options_.live_info) return;
+  ShardRewrite rewrite = PlanHybridRewrite(root, options_.live_info);
+  if (rewrite.mode == ShardMode::kNone) return;
+  std::string partial_sql;
+  if (rewrite.partial != nullptr) {
+    Serializer partial_ser;
+    Result<std::string> p = partial_ser.Serialize(rewrite.partial);
+    if (!p.ok()) return;
+    partial_sql = std::move(*p);
+  }
+  Serializer merge_ser;
+  Result<std::string> m = merge_ser.Serialize(rewrite.merge);
+  if (!m.ok()) return;
+  out->hybrid.mode = rewrite.mode;
+  out->hybrid.table = std::move(rewrite.table);
+  out->hybrid.partial_sql = std::move(partial_sql);
+  out->hybrid.merge_sql = std::move(*m);
 }
 
 }  // namespace hyperq

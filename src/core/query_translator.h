@@ -56,6 +56,11 @@ struct Translation {
   ResultShape shape = ResultShape::kTable;
   std::vector<std::string> key_columns;
   ShardPlan shard;
+  /// Hybrid live/historical split of the result query (docs/INGEST.md):
+  /// when mode != kNone, the gateway may run partial_sql against the
+  /// historical table and the pinned live tail independently and recombine
+  /// with merge_sql. Routing fields are never set here.
+  ShardPlan hybrid;
   StageTimings timings;
   /// True when the translation was served from the translation cache; the
   /// per-stage timings above are then zero (or parse-only for a
@@ -76,6 +81,10 @@ class QueryTranslator {
     /// result query is classified against the distributable shapes and
     /// carries a ShardPlan for the gateway to scatter with.
     ShardInfoFn shard_info;
+    /// Live-table oracle (ingest). When set, every result query over a
+    /// live-backed table is classified against the hybrid-splittable
+    /// shapes and carries Translation::hybrid for the gateway.
+    LiveInfoFn live_info;
   };
 
   /// `execute_backend` runs a setup statement against the backend
@@ -107,6 +116,8 @@ class QueryTranslator {
   /// per-shard / merge SQL into out->shard. Planning failures only clear
   /// the plan (the fallback path stays correct), never fail translation.
   void PlanSharding(const xtra::XtraPtr& root, Translation* out);
+  /// Same, for the hybrid live/historical split (Translation::hybrid).
+  void PlanHybrid(const xtra::XtraPtr& root, Translation* out);
   Status MaterializeQuery(const std::string& var_name, const AstPtr& expr,
                           Binder* binder, Translation* out);
 

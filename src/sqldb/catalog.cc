@@ -48,6 +48,7 @@ Status Catalog::CreateTable(StoredTable table, bool or_replace) {
   std::string name = table.name;
   tables_[name] = std::make_shared<StoredTable>(std::move(table));
   ++version_;
+  table_versions_[name] = ++table_stamp_;
   return Status::OK();
 }
 
@@ -58,6 +59,7 @@ Status Catalog::DropTable(const std::string& name, bool if_exists) {
     return NotFound(StrCat("table '", name, "' does not exist"));
   }
   ++version_;
+  table_versions_[name] = ++table_stamp_;
   return Status::OK();
 }
 
@@ -136,12 +138,54 @@ Status Catalog::AppendRows(const std::string& name,
   for (const auto& r : rows) updated->AppendRow(r);
   it->second = std::move(updated);
   ++version_;
+  table_versions_[name] = ++table_stamp_;
+  return Status::OK();
+}
+
+Status Catalog::AppendColumns(const std::string& name,
+                              std::vector<ColumnPtr> cols, size_t rows) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = tables_.find(name);
+  if (it == tables_.end()) {
+    return NotFound(StrCat("table '", name, "' does not exist"));
+  }
+  if (cols.size() != it->second->columns.size()) {
+    return InvalidArgument(
+        StrCat("AppendColumns to '", name, "': got ", cols.size(),
+               " columns, table has ", it->second->columns.size()));
+  }
+  for (const auto& c : cols) {
+    if (!c || c->size() != rows) {
+      return InvalidArgument(
+          StrCat("AppendColumns to '", name, "': column batch is not ",
+                 rows, " rows"));
+    }
+  }
+  // Same copy-on-write discipline as AppendRows: clone the table shell,
+  // clone each still-shared column buffer once, then bulk-append.
+  auto updated = std::make_shared<StoredTable>(*it->second);
+  updated->EnsureColumns();
+  for (size_t c = 0; c < updated->data.size(); ++c) {
+    if (updated->data[c].use_count() > 1) {
+      updated->data[c] = std::make_shared<Column>(*updated->data[c]);
+    }
+    updated->data[c]->AppendColumn(*cols[c]);
+  }
+  updated->row_count += rows;
+  it->second = std::move(updated);
+  table_versions_[name] = ++table_stamp_;
   return Status::OK();
 }
 
 uint64_t Catalog::version() const {
   std::lock_guard<std::mutex> lock(mu_);
   return version_;
+}
+
+uint64_t Catalog::TableVersion(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = table_versions_.find(name);
+  return it == table_versions_.end() ? 0 : it->second;
 }
 
 }  // namespace sqldb

@@ -72,15 +72,37 @@ class Catalog {
   Status AppendRows(const std::string& name,
                     std::vector<std::vector<Datum>> rows);
 
+  /// Appends whole column batches to an existing table — the ingest flush
+  /// path. `cols` must be index-aligned with the table's schema and all of
+  /// length `rows`. Copy-on-write like AppendRows, so readers holding the
+  /// previous StoredTable snapshot are never disturbed. Bumps only the
+  /// table's own version (see TableVersion), not the global one: a data
+  /// flush invalidates the flushed table's compiled kernels but leaves
+  /// every other table's caches — and the schema-dependent translation
+  /// tier — untouched.
+  Status AppendColumns(const std::string& name, std::vector<ColumnPtr> cols,
+                       size_t rows);
+
   /// Monotonic version counter bumped by every DDL/DML change; the
   /// metadata cache uses it for invalidation (§6).
   uint64_t version() const;
+
+  /// Per-table version: bumped whenever `name` itself is created, dropped,
+  /// or mutated (AppendRow/AppendRows/AppendColumns). The kernel registry
+  /// stamps compiled plans with this, so flushing one table cannot evict
+  /// another table's hot kernels. Returns 0 for unknown tables.
+  uint64_t TableVersion(const std::string& name) const;
 
  private:
   mutable std::mutex mu_;
   std::map<std::string, std::shared_ptr<StoredTable>> tables_;
   std::map<std::string, StoredView> views_;
   uint64_t version_ = 0;
+  /// Monotonic stamp source for table_versions_; advances on every table
+  /// mutation (including flushes that leave `version_` alone) so a stamp
+  /// comparison never aliases across distinct states of one table.
+  uint64_t table_stamp_ = 0;
+  std::map<std::string, uint64_t> table_versions_;
 };
 
 }  // namespace sqldb

@@ -125,7 +125,10 @@ std::optional<Result<Relation>> KernelRegistry::TryExecuteSelect(
     return std::nullopt;
   }
 
-  const uint64_t version = catalog_->version();
+  // Stamp with the *per-table* version, not the global one: an ingest
+  // flush (or any DML) into table B must not force recompiles of table
+  // A's hot kernels.
+  const uint64_t version = catalog_->TableVersion(fp.table);
   std::shared_ptr<const KernelPlan> plan = PlanFor(fp, cstmt, version);
   if (plan == nullptr) {
     fallbacks_->Increment();

@@ -94,5 +94,45 @@ MarketData GenerateMarketData(const MarketDataOptions& options) {
   return out;
 }
 
+QValue SliceColumn(const QValue& col, size_t begin, size_t end) {
+  switch (col.type()) {
+    case QType::kReal:
+    case QType::kFloat: {
+      const std::vector<double>& v = col.Floats();
+      return QValue::FloatList(
+          col.type(),
+          std::vector<double>(v.begin() + begin, v.begin() + end));
+    }
+    case QType::kSymbol: {
+      const std::vector<std::string>& v = col.SymsView();
+      return QValue::Syms(
+          std::vector<std::string>(v.begin() + begin, v.begin() + end));
+    }
+    case QType::kChar:
+      return QValue::Chars(col.CharsView().substr(begin, end - begin));
+    case QType::kMixed: {
+      const std::vector<QValue>& v = col.Items();
+      return QValue::Mixed(
+          std::vector<QValue>(v.begin() + begin, v.begin() + end));
+    }
+    default: {
+      const std::vector<int64_t>& v = col.Ints();
+      return QValue::IntList(
+          col.type(),
+          std::vector<int64_t>(v.begin() + begin, v.begin() + end));
+    }
+  }
+}
+
+QValue SliceTable(const QValue& table, size_t begin, size_t end) {
+  const QTable& tab = table.Table();
+  std::vector<QValue> cols;
+  cols.reserve(tab.columns.size());
+  for (const QValue& c : tab.columns) {
+    cols.push_back(SliceColumn(c, begin, end));
+  }
+  return QValue::MakeTableUnchecked(tab.names, std::move(cols));
+}
+
 }  // namespace testing
 }  // namespace hyperq

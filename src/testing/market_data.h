@@ -37,6 +37,14 @@ struct MarketData {
 /// handler would produce).
 MarketData GenerateMarketData(const MarketDataOptions& options);
 
+/// Row slice [begin, end) of one Q column, preserving the payload type
+/// (nulls are sentinel payloads, so slicing keeps them bit-exact). Used by
+/// the ingest tests to cut a fixture table into upd batches.
+QValue SliceColumn(const QValue& col, size_t begin, size_t end);
+
+/// Row slice [begin, end) of a Q table (same names, sliced columns).
+QValue SliceTable(const QValue& table, size_t begin, size_t end);
+
 /// Deterministic xorshift generator used by all synthetic data (no
 /// std::rand, reproducible across platforms).
 class Rng {

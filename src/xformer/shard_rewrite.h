@@ -64,6 +64,22 @@ struct ShardRewrite {
 ShardRewrite PlanShardRewrite(const xtra::XtraPtr& root,
                               const ShardInfoFn& info);
 
+/// Resolves a base table to whether it is live-backed (has an in-memory
+/// ingest tail alongside its historical rows).
+using LiveInfoFn = std::function<bool(const std::string&)>;
+
+/// Plans the hybrid live/historical split of one result query
+/// (docs/INGEST.md): the historical table and the pinned tail segment are
+/// the two "shards", so only the partition-agnostic modes apply —
+/// kOrdered (re-sort the concatenated parts by the implicit order column,
+/// which ingest continues past the historical max) and kTwoPhase
+/// (decomposable partial aggregates). kAligned and partition routing are
+/// never produced: a symbol's rows straddle the flush boundary by
+/// construction. Everything else returns kNone and the gateway falls back
+/// to merged-snapshot execution.
+ShardRewrite PlanHybridRewrite(const xtra::XtraPtr& root,
+                               const LiveInfoFn& live);
+
 }  // namespace hyperq
 
 #endif  // HYPERQ_XFORMER_SHARD_REWRITE_H_

@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <cstdlib>
@@ -14,6 +15,8 @@
 #include "common/strings.h"
 #include "core/endpoint.h"
 #include "core/loader.h"
+#include "ingest/hybrid_gateway.h"
+#include "ingest/ingest.h"
 #include "shard/sharded_backend.h"
 #include "testing/market_data.h"
 
@@ -419,6 +422,216 @@ TEST_F(ChaosSoakTest, ShardedSoakSurvivesAndMixedReplayIsByteIdentical) {
         << "sharded replay diverged from single-backend at query " << i
         << ": " << replay[i];
   }
+}
+
+TEST_F(ChaosSoakTest, IngestSoakKeepsAccountingAndReplaysByteIdentical) {
+  // Live-ingest chaos: publisher clients sustain tickerplant `upd` traffic
+  // over QIPC while query clients hammer the same tables, with the
+  // ingest fault sites (and the usual QIPC-path ones) armed and the
+  // background flusher + row watermark racing every reader. Afterwards the
+  // per-table accounting invariant must hold exactly — every row that was
+  // acknowledged is either still in the tail or flushed — and the live
+  // server's fault-free answers must be byte-identical to a fresh server
+  // bulk-loaded with the live server's own final table contents.
+  const int64_t soak_ms = EnvInt("HYPERQ_SOAK_MS", 2000) / 2;
+  const uint64_t seed =
+      static_cast<uint64_t>(EnvInt("HYPERQ_SOAK_SEED", 42)) + 2;
+
+  // The historical part is a prefix of the pinned fixture; publishers feed
+  // a disjoint stream generated from another seed, batch-interleaved
+  // across publisher threads.
+  size_t nt = data_.trades.Table().RowCount();
+  size_t nq = data_.quotes.Table().RowCount();
+  sqldb::Database live_db;
+  ASSERT_TRUE(
+      LoadQTable(&live_db, "trades", testing::SliceTable(data_.trades, 0, nt / 2))
+          .ok());
+  ASSERT_TRUE(
+      LoadQTable(&live_db, "quotes", testing::SliceTable(data_.quotes, 0, nq / 2))
+          .ok());
+  testing::MarketDataOptions feed_opts;
+  feed_opts.seed = 43;
+  testing::MarketData feed = testing::GenerateMarketData(feed_opts);
+
+  ingest::IngestOptions iopts;
+  iopts.tail_max_rows = 300;    // watermark flushes fire during the soak
+  iopts.flush_interval_ms = 20;  // and so does the background flusher
+  ingest::IngestStore store(&live_db, iopts);
+  ASSERT_TRUE(store.Register("trades").ok());
+  ASSERT_TRUE(store.Register("quotes").ok());
+  store.Start();
+
+  HyperQServer::Options opts;
+  opts.default_deadline_ms = 500;
+  opts.gateway_factory = [&live_db, &store]() {
+    return std::make_unique<ingest::HybridGateway>(&live_db, &store);
+  };
+  HyperQServer server(&live_db, opts);
+  ASSERT_TRUE(server.Start(0).ok());
+
+  FaultInjector::Global().Reseed(seed);
+  ASSERT_TRUE(FaultInjector::Global()
+                  .Arm("ingest.upd=error,p:0.05;"
+                       "ingest.flush=error,p:0.08;"
+                       "backend.execute=error,p:0.03;"
+                       "backend.kernel=error,p:0.03;"
+                       "net.write=error,p:0.005;"
+                       "pool.task=delay:1,p:0.05")
+                  .ok());
+
+  constexpr int kPublishers = 2;
+  constexpr int kQueryClients = 4;
+  constexpr size_t kBatchRows = 40;
+  const auto stop_at = std::chrono::steady_clock::now() +
+                       std::chrono::milliseconds(soak_ms);
+  std::vector<int> published(kPublishers, 0);
+  std::vector<int> completed(kQueryClients, 0);
+
+  std::vector<std::thread> workers;
+  for (int tid = 0; tid < kPublishers; ++tid) {
+    workers.emplace_back([&, tid]() {
+      testing::Rng rng(seed * 1000003 + tid * 104729 + 1);
+      std::unique_ptr<QipcClient> client;
+      // Publisher tid owns every kPublishers'th batch of the feed, split
+      // alternately across trades and quotes; batches a fault rejects are
+      // simply dropped (the invariant is about acknowledged rows).
+      size_t batch = static_cast<size_t>(tid);
+      while (std::chrono::steady_clock::now() < stop_at) {
+        if (client == nullptr) {
+          Result<QipcClient> c = QipcClient::Connect(
+              "127.0.0.1", server.port(), "soak", "pw");
+          if (!c.ok()) {
+            std::this_thread::sleep_for(std::chrono::milliseconds(2));
+            continue;
+          }
+          client = std::make_unique<QipcClient>(std::move(*c));
+        }
+        bool to_trades = batch % 2 == 0;
+        const QValue& src = to_trades ? feed.trades : feed.quotes;
+        size_t rows = src.Table().RowCount();
+        size_t lo = (batch * kBatchRows) % rows;
+        size_t hi = std::min(lo + kBatchRows, rows);
+        QValue msg = QValue::Mixed(
+            {QValue::Sym("upd"),
+             QValue::Sym(to_trades ? "trades" : "quotes"),
+             testing::SliceTable(src, lo, hi)});
+        batch += kPublishers;
+        if (rng.Below(4) == 0) {
+          // Fire-and-forget publish: any upd error is absorbed silently,
+          // exactly like a real tickerplant subscriber feed.
+          if (!client->AsyncCall(msg).ok()) {
+            client->Close();
+            client = nullptr;
+          }
+          continue;
+        }
+        Result<QValue> r = client->Call(msg);
+        if (r.ok()) {
+          ++published[tid];
+        } else if (r.status().code() != StatusCode::kExecutionError) {
+          // A decoded server error ('busy, injected upd fault) keeps the
+          // session; anything else is transport-level loss — drop the
+          // session and reconnect.
+          client->Close();
+          client = nullptr;
+        }
+      }
+      if (client != nullptr) client->Close();
+    });
+  }
+  for (int tid = 0; tid < kQueryClients; ++tid) {
+    workers.emplace_back([&, tid]() {
+      testing::Rng rng(seed * 1000003 + tid * 7919 + 500);
+      std::unique_ptr<QipcClient> client;
+      while (std::chrono::steady_clock::now() < stop_at) {
+        if (client == nullptr) {
+          Result<QipcClient> c = QipcClient::Connect(
+              "127.0.0.1", server.port(), "soak", "pw");
+          if (!c.ok()) {
+            std::this_thread::sleep_for(std::chrono::milliseconds(2));
+            continue;
+          }
+          client = std::make_unique<QipcClient>(std::move(*c));
+        }
+        // Workload queries plus the ingest control surface: stats scrapes
+        // and explicit flushes race the publishers and the background
+        // flusher on purpose.
+        uint64_t pick = rng.Below(12);
+        const std::string q =
+            pick == 0   ? ".hyperq.ingestStats[]"
+            : pick == 1 ? ".hyperq.flush[]"
+                        : QueryPool()[rng.Below(QueryPool().size())];
+        Result<QValue> r = client->Query(q);
+        if (r.ok()) {
+          ++completed[tid];
+        } else {
+          client->Close();
+          client = nullptr;
+        }
+      }
+      if (client != nullptr) client->Close();
+    });
+  }
+  for (auto& t : workers) t.join();
+
+  int total_published = 0, total_completed = 0;
+  for (int v : published) total_published += v;
+  for (int v : completed) total_completed += v;
+  EXPECT_GT(total_published, 0) << "no upd batch ever landed under chaos";
+  EXPECT_GT(total_completed, 0) << "no query ever completed under chaos";
+  EXPECT_GT(MetricsRegistry::Global().GetCounter("fault.fired")->value(),
+            0u);
+  EXPECT_GT(MetricsRegistry::Global().GetCounter("ingest.rows")->value(),
+            0u);
+
+  // The accounting invariant: every acknowledged row is either still in
+  // the tail or flushed — faults, watermark flushes, builtin flushes and
+  // the background flusher included.
+  FaultInjector::Global().Clear();
+  for (const std::string& table : {std::string("trades"), std::string("quotes")}) {
+    ingest::IngestStore::TableStats s = store.Stats(table);
+    EXPECT_EQ(s.rows_ingested, s.tail_rows + s.rows_flushed)
+        << table << " lost or duplicated rows during the soak";
+  }
+
+  // Fault-free replay identity: snapshot the live server's final tables
+  // over the wire, bulk-load them into a fresh single-backend server, and
+  // compare raw response frames for the whole query pool. The live server
+  // still has whatever tail the last flush left behind — hybrid answers
+  // must be indistinguishable from the bulk load.
+  Result<QipcClient> snap =
+      QipcClient::Connect("127.0.0.1", server.port(), "soak", "pw");
+  ASSERT_TRUE(snap.ok()) << "live server unusable after soak";
+  Result<QValue> final_trades = snap->Query("select from trades");
+  Result<QValue> final_quotes = snap->Query("select from quotes");
+  ASSERT_TRUE(final_trades.ok()) << final_trades.status().ToString();
+  ASSERT_TRUE(final_quotes.ok()) << final_quotes.status().ToString();
+  snap->Close();
+
+  sqldb::Database oracle_db;
+  ASSERT_TRUE(LoadQTable(&oracle_db, "trades", *final_trades).ok());
+  ASSERT_TRUE(LoadQTable(&oracle_db, "quotes", *final_quotes).ok());
+  HyperQServer oracle_server(&oracle_db, HyperQServer::Options{});
+  ASSERT_TRUE(oracle_server.Start(0).ok());
+
+  Result<RawClient> live_rc = RawClient::Open(server.port());
+  Result<RawClient> oracle_rc = RawClient::Open(oracle_server.port());
+  ASSERT_TRUE(live_rc.ok());
+  ASSERT_TRUE(oracle_rc.ok());
+  for (const std::string& q : QueryPool()) {
+    Result<std::vector<uint8_t>> live_bytes = live_rc->Query(q);
+    Result<std::vector<uint8_t>> oracle_bytes = oracle_rc->Query(q);
+    ASSERT_TRUE(live_bytes.ok()) << q;
+    ASSERT_TRUE(oracle_bytes.ok()) << q;
+    ASSERT_EQ(*live_bytes, *oracle_bytes)
+        << "post-soak hybrid replay diverged from bulk load on: " << q;
+  }
+  live_rc->conn.Close();
+  oracle_rc->conn.Close();
+  oracle_server.Stop();
+  server.Stop();
+  store.Stop();
+  EXPECT_EQ(server.active_connections(), 0);
 }
 
 }  // namespace

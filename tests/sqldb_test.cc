@@ -483,6 +483,77 @@ TEST_F(SqlDbTest, QuotedIdentifiersPreserveCase) {
   EXPECT_DOUBLE_EQ(r.rows[0][0].AsDouble(), 1.5);
 }
 
+TEST_F(SqlDbTest, AppendColumnsBumpsOnlyTheTablesOwnVersion) {
+  // The ingest-flush contract: AppendColumns is a data-only change, so it
+  // advances the flushed table's per-table version (kernel invalidation)
+  // while the global catalog version — which gates the schema-dependent
+  // translation cache and every other table's caches — stays put. DML
+  // INSERT, by contrast, bumps both.
+  Run("CREATE TABLE other (v bigint)");
+  uint64_t global0 = db_.catalog().version();
+  uint64_t trades0 = db_.catalog().TableVersion("trades");
+  uint64_t other0 = db_.catalog().TableVersion("other");
+
+  std::vector<ColumnPtr> cols = {
+      Column::FromStrings(SqlType::kVarchar, {"ORCL"}),
+      Column::FromFloats(SqlType::kDouble, {39.5}),
+      Column::FromInts(SqlType::kBigInt, {50}),
+      Column::FromInts(SqlType::kTime, {34205000})};
+  ASSERT_TRUE(db_.catalog().AppendColumns("trades", cols, 1).ok());
+
+  EXPECT_EQ(db_.catalog().version(), global0)
+      << "a data flush must not invalidate schema-level caches";
+  EXPECT_GT(db_.catalog().TableVersion("trades"), trades0);
+  EXPECT_EQ(db_.catalog().TableVersion("other"), other0);
+
+  QueryResult r = Run("SELECT count(*) AS n FROM trades");
+  EXPECT_EQ(r.rows[0][0].AsInt(), 6);
+
+  Run("INSERT INTO trades VALUES ('IBM', 151.0, 10, '09:31:00')");
+  EXPECT_GT(db_.catalog().version(), global0)
+      << "DML must keep bumping the global version";
+}
+
+TEST_F(SqlDbTest, AppendColumnsIsCopyOnWriteForSnapshotHolders) {
+  // A reader holding the StoredTable snapshot from before a flush must
+  // never observe the appended rows — the epoch-pinned hybrid split relies
+  // on exactly this.
+  Result<std::shared_ptr<StoredTable>> before =
+      db_.catalog().GetTable("trades");
+  ASSERT_TRUE(before.ok());
+  size_t rows_before = (*before)->row_count;
+  std::vector<ColumnPtr> cols = {
+      Column::FromStrings(SqlType::kVarchar, {"ORCL", "ORCL"}),
+      Column::FromFloats(SqlType::kDouble, {39.5, 39.6}),
+      Column::FromInts(SqlType::kBigInt, {50, 60}),
+      Column::FromInts(SqlType::kTime, {34205000, 34206000})};
+  ASSERT_TRUE(db_.catalog().AppendColumns("trades", cols, 2).ok());
+
+  EXPECT_EQ((*before)->row_count, rows_before);
+  EXPECT_EQ((*before)->data[0]->size(), rows_before);
+  Result<std::shared_ptr<StoredTable>> after =
+      db_.catalog().GetTable("trades");
+  ASSERT_TRUE(after.ok());
+  EXPECT_EQ((*after)->row_count, rows_before + 2);
+
+  // Shape validation: misaligned column counts and ragged lengths are
+  // rejected without mutating the table.
+  std::vector<ColumnPtr> wrong_arity = {
+      Column::FromStrings(SqlType::kVarchar, {"X"})};
+  EXPECT_FALSE(db_.catalog().AppendColumns("trades", wrong_arity, 1).ok());
+  std::vector<ColumnPtr> ragged = {
+      Column::FromStrings(SqlType::kVarchar, {"X"}),
+      Column::FromFloats(SqlType::kDouble, {1.0, 2.0}),
+      Column::FromInts(SqlType::kBigInt, {1}),
+      Column::FromInts(SqlType::kTime, {1})};
+  EXPECT_FALSE(db_.catalog().AppendColumns("trades", ragged, 1).ok());
+  EXPECT_FALSE(db_.catalog().AppendColumns("nosuch", cols, 2).ok());
+  Result<std::shared_ptr<StoredTable>> final_t =
+      db_.catalog().GetTable("trades");
+  ASSERT_TRUE(final_t.ok());
+  EXPECT_EQ((*final_t)->row_count, rows_before + 2);
+}
+
 }  // namespace
 }  // namespace sqldb
 }  // namespace hyperq
